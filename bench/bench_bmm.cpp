@@ -1,0 +1,83 @@
+// EXP-5 — the Section 9 lower-bound construction, measured.
+//
+// Theorem 28: BMM(n, m) reduces to sqrt(n / sigma) MSRP instances. The
+// reduction is of course slower than multiplying directly — that is the
+// point: it proves a *lower* bound, i.e. the reduction overhead bounds how
+// fast MSRP could possibly be. The series report direct combinatorial
+// multiply vs the MSRP route, plus gadget sizes.
+#include "bench_common.hpp"
+
+#include "bmm/multiply.hpp"
+#include "bmm/reduction.hpp"
+
+namespace {
+
+using namespace msrp;
+using namespace msrp::bmm;
+
+void BM_DirectNaive(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const BoolMatrix a = BoolMatrix::random(n, 0.2, rng);
+  const BoolMatrix b = BoolMatrix::random(n, 0.2, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(multiply_naive(a, b).popcount());
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_DirectNaive)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_DirectBitset(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const BoolMatrix a = BoolMatrix::random(n, 0.2, rng);
+  const BoolMatrix b = BoolMatrix::random(n, 0.2, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(multiply_bitset(a, b).popcount());
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_DirectBitset)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_ViaMsrp(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto sigma = static_cast<std::uint32_t>(state.range(1));
+  const BoolMatrix a = BoolMatrix::random(n, 0.2, rng);
+  const BoolMatrix b = BoolMatrix::random(n, 0.2, rng);
+  Config cfg;
+  cfg.exact = true;
+  BoolMatrix c(n);
+  for (auto _ : state) {
+    c = multiply_via_msrp(a, b, sigma, cfg);
+    benchmark::DoNotOptimize(c.popcount());
+  }
+  // Verify outside the timing loop: the reduction must stay correct.
+  if (!(c == multiply_bitset(a, b))) state.SkipWithError("reduction decoded wrong product");
+  state.counters["n"] = n;
+  state.counters["sigma"] = sigma;
+}
+BENCHMARK(BM_ViaMsrp)
+    ->Args({32, 2})
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({128, 2})
+    ->Args({128, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GadgetConstruction(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t sigma = 4;
+  std::uint32_t q = 1;
+  while (sigma * q * q < n) ++q;
+  const BoolMatrix a = BoolMatrix::random(sigma * q * q, 0.2, rng);
+  const BoolMatrix b = BoolMatrix::random(sigma * q * q, 0.2, rng);
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    const ReductionGadget gd = build_reduction_gadget(a, b, 0, sigma, q);
+    edges = gd.graph.num_edges();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["gadget_vertices"] = static_cast<double>(3 * a.size() + sigma * q * q + sigma * q);
+  state.counters["gadget_edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_GadgetConstruction)->Arg(64)->Arg(144)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

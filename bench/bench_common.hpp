@@ -1,0 +1,50 @@
+// Shared helpers for the benchmark binaries (see DESIGN.md per-experiment
+// index). Each binary prints the rows of one "table" of the reproduction:
+// google-benchmark timings plus counters for the quantities the paper's
+// analysis tracks (landmark counts, auxiliary sizes, phase shares).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/msrp.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace msrp::benchutil {
+
+inline Graph er_graph(Vertex n, double avg_deg, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  return gen::connected_avg_degree(n, avg_deg, rng);
+}
+
+/// High-diameter workload: grid as close to square as possible.
+inline Graph grid_graph(Vertex n) {
+  Vertex rows = 1;
+  while ((rows + 1) * (rows + 1) <= n) ++rows;
+  return gen::grid(rows, n / rows);
+}
+
+inline Graph chorded_path(Vertex n, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  return gen::path_with_chords(n, n / 8, rng);
+}
+
+inline std::vector<Vertex> spread_sources(const Graph& g, std::uint32_t sigma,
+                                          std::uint64_t seed = 7) {
+  Rng rng(seed);
+  const auto picks = rng.sample_without_replacement(g.num_vertices(), sigma);
+  return {picks.begin(), picks.end()};
+}
+
+/// Output cells produced by a run: sum over (s, t) of path lengths.
+inline std::uint64_t output_cells(const MsrpResult& res, const Graph& g) {
+  std::uint64_t cells = 0;
+  for (const Vertex s : res.sources()) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) cells += res.row(s, t).size();
+  }
+  return cells;
+}
+
+}  // namespace msrp::benchutil

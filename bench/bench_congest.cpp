@@ -1,0 +1,94 @@
+// EXP-7 — CONGEST round complexity (the venue-model substitution).
+//
+// Distributed BFS floods complete in eccentricity + 1 rounds regardless of
+// n; distributed replacement-path recomputation costs Theta(L * D) rounds.
+// The series sweep low-diameter (ER) and high-diameter (grid, path)
+// topologies to show rounds tracking diameter, not size — and how brutal
+// the L * D bill becomes exactly where the paper's centralized algorithm is
+// most interesting.
+#include "bench_common.hpp"
+
+#include "congest/bfs.hpp"
+#include "congest/landmark_sketch.hpp"
+#include "congest/replacement.hpp"
+#include "graph/properties.hpp"
+
+namespace {
+
+using namespace msrp;
+using namespace msrp::benchutil;
+using namespace msrp::congest;
+
+template <typename MakeGraph>
+void run_bfs(benchmark::State& state, MakeGraph make) {
+  const Graph g = make(static_cast<Vertex>(state.range(0)));
+  BfsOutcome out;
+  for (auto _ : state) {
+    out = distributed_bfs(g, 0);
+    benchmark::DoNotOptimize(out.rounds);
+  }
+  state.counters["n"] = g.num_vertices();
+  state.counters["rounds"] = out.rounds;
+  state.counters["messages"] = static_cast<double>(out.messages);
+  state.counters["ecc"] = eccentricity(g, 0);
+}
+
+void BM_CongestBfs_ER(benchmark::State& state) {
+  run_bfs(state, [](Vertex n) { return er_graph(n, 8.0); });
+}
+BENCHMARK(BM_CongestBfs_ER)->RangeMultiplier(4)->Range(256, 4096)->Unit(benchmark::kMillisecond);
+
+void BM_CongestBfs_Grid(benchmark::State& state) {
+  run_bfs(state, [](Vertex n) { return grid_graph(n); });
+}
+BENCHMARK(BM_CongestBfs_Grid)->RangeMultiplier(4)->Range(256, 4096)->Unit(benchmark::kMillisecond);
+
+void BM_CongestMultiSource(benchmark::State& state) {
+  const Graph g = grid_graph(1024);
+  const auto sigma = static_cast<std::uint32_t>(state.range(0));
+  const auto sources = spread_sources(g, sigma);
+  MultiSourceBfsOutcome out;
+  for (auto _ : state) {
+    out = distributed_multi_source_bfs(g, sources);
+    benchmark::DoNotOptimize(out.rounds);
+  }
+  state.counters["sigma"] = sigma;
+  state.counters["rounds"] = out.rounds;
+  state.counters["messages"] = static_cast<double>(out.messages);
+}
+BENCHMARK(BM_CongestMultiSource)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Pipelined landmark floods: the distributed analogue of the paper's
+// Section 5 preprocessing. Rounds should scale like |L| + D, NOT |L| * D.
+void BM_CongestLandmarkSketch(benchmark::State& state) {
+  const Graph g = grid_graph(1024);  // D = 62
+  const auto num_l = static_cast<std::uint32_t>(state.range(0));
+  const auto landmarks = spread_sources(g, num_l, 3);
+  LandmarkSketchOutcome out;
+  for (auto _ : state) {
+    out = distributed_landmark_sketch(g, landmarks);
+    benchmark::DoNotOptimize(out.rounds);
+  }
+  state.counters["landmarks"] = num_l;
+  state.counters["rounds"] = out.rounds;
+  state.counters["sequential_rounds"] = static_cast<double>(num_l) * (diameter(g) + 1);
+  state.counters["messages"] = static_cast<double>(out.messages);
+}
+BENCHMARK(BM_CongestLandmarkSketch)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_CongestReplacement(benchmark::State& state) {
+  const Graph g = chorded_path(static_cast<Vertex>(state.range(0)));
+  const Vertex t = g.num_vertices() - 1;
+  ReplacementOutcome out;
+  for (auto _ : state) {
+    out = distributed_replacement_paths(g, 0, t);
+    benchmark::DoNotOptimize(out.total_rounds);
+  }
+  state.counters["n"] = g.num_vertices();
+  state.counters["path_len"] = static_cast<double>(out.path_edges.size());
+  state.counters["total_rounds"] = out.total_rounds;
+  state.counters["total_messages"] = static_cast<double>(out.total_messages);
+}
+BENCHMARK(BM_CongestReplacement)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace

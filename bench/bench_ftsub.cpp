@@ -1,0 +1,57 @@
+// EXP-9 — Parter–Peleg fault-tolerant subgraph sizes (the paper's related
+// work [26]): |H| = O(sqrt(sigma) n^{3/2}) edges for multi-source
+// single-fault BFS preservation, and the measured sqrt(sigma) scaling.
+//
+// Series report kept-edge counts as counters next to the theoretical
+// budget; the densities where sparsification actually bites (m >> n^{3/2})
+// are the interesting rows.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "ftsub/ft_subgraph.hpp"
+
+namespace {
+
+using namespace msrp;
+using namespace msrp::benchutil;
+
+void BM_FtSubgraph_N(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  // Dense regime: avg degree ~ sqrt(n) so m ~ n^{3/2} and the bound matters.
+  const Graph g = er_graph(n, std::sqrt(static_cast<double>(n)));
+  const auto sources = spread_sources(g, 2);
+  std::size_t kept = 0;
+  for (auto _ : state) {
+    const FtSubgraph ft = build_ft_subgraph(g, sources);
+    kept = ft.kept_edges.size();
+    benchmark::DoNotOptimize(kept);
+  }
+  state.counters["n"] = n;
+  state.counters["m"] = g.num_edges();
+  state.counters["kept"] = static_cast<double>(kept);
+  state.counters["pp_budget"] =
+      std::sqrt(2.0) * std::pow(static_cast<double>(n), 1.5);
+}
+BENCHMARK(BM_FtSubgraph_N)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_FtSubgraph_Sigma(benchmark::State& state) {
+  const Vertex n = 256;
+  const Graph g = er_graph(n, 16.0);
+  const auto sigma = static_cast<std::uint32_t>(state.range(0));
+  const auto sources = spread_sources(g, sigma);
+  std::size_t kept = 0;
+  for (auto _ : state) {
+    const FtSubgraph ft = build_ft_subgraph(g, sources);
+    kept = ft.kept_edges.size();
+    benchmark::DoNotOptimize(kept);
+  }
+  state.counters["sigma"] = sigma;
+  state.counters["m"] = g.num_edges();
+  state.counters["kept"] = static_cast<double>(kept);
+  state.counters["kept_per_sqrt_sigma"] =
+      static_cast<double>(kept) / std::sqrt(static_cast<double>(sigma));
+}
+BENCHMARK(BM_FtSubgraph_Sigma)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// EXP-4 — the phase budget of Theorem 26's analysis.
+//
+// The paper accounts for the total as:
+//   preprocessing BFS over landmarks .... O~(m sqrt(n sigma))
+//   landmark replacement paths .......... O~(m sqrt(n sigma) + sigma n^2)
+//   near-small auxiliary Dijkstras ...... O~(m sqrt(n / sigma)) per source
+//   far + near-large assembly ........... O~(sigma n^2)
+// This binary reports measured per-phase shares (from the solver's internal
+// PhaseTimers) as counters, for both landmark-table methods.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace msrp;
+using namespace msrp::benchutil;
+
+void run_phases(benchmark::State& state, const Graph& g, LandmarkRpMethod method) {
+  const auto sigma = static_cast<std::uint32_t>(state.range(0));
+  const auto sources = spread_sources(g, sigma);
+  Config cfg;
+  cfg.landmark_rp = method;
+  MsrpStats stats;
+  for (auto _ : state) {
+    const MsrpResult res = solve_msrp(g, sources, cfg);
+    stats = res.stats();
+    benchmark::DoNotOptimize(&stats);
+  }
+  state.counters["sigma"] = sigma;
+  state.counters["landmarks"] = static_cast<double>(stats.num_landmarks);
+  state.counters["trees"] = static_cast<double>(stats.num_trees);
+  double total = 0;
+  for (const auto& [name, secs] : stats.phase_seconds) total += secs;
+  for (const auto& [name, secs] : stats.phase_seconds) {
+    state.counters["pct_" + name] = total > 0 ? 100.0 * secs / total : 0.0;
+  }
+  state.counters["aux_arcs_near_small"] = static_cast<double>(stats.near_small_aux_arcs);
+}
+
+void BM_Phases_Mmg(benchmark::State& state) {
+  static const Graph g = er_graph(1024, 8.0);
+  run_phases(state, g, LandmarkRpMethod::kMmgPerPair);
+}
+BENCHMARK(BM_Phases_Mmg)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Phases_Bk(benchmark::State& state) {
+  static const Graph g = er_graph(384, 8.0);
+  run_phases(state, g, LandmarkRpMethod::kBkAuxGraphs);
+}
+BENCHMARK(BM_Phases_Bk)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Phases_Mmg_Grid(benchmark::State& state) {
+  static const Graph g = grid_graph(1024);
+  run_phases(state, g, LandmarkRpMethod::kMmgPerPair);
+}
+BENCHMARK(BM_Phases_Mmg_Grid)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace

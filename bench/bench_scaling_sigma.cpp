@@ -1,0 +1,56 @@
+// EXP-2 — interpolation in sigma between the two endpoints the paper
+// generalizes: Chechik–Cohen (sigma = 1, O~(m sqrt(n) + n^2)) and
+// Bernstein–Karger (sigma = n, O~(mn + n^3)).
+//
+// At fixed n, Theorem 26 predicts cost growth ~ m sqrt(n) * sqrt(sigma) +
+// n^2 * sigma: sublinear in sigma while the landmark phase dominates,
+// linear once the per-source assembly does. The per_source counter (time /
+// sigma) should therefore *fall* before flattening — the economy of scale
+// over solving sigma independent SSRP instances, which is the paper's
+// headline contribution.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace msrp;
+using namespace msrp::benchutil;
+
+constexpr Vertex kN = 1024;
+
+void run_sigma(benchmark::State& state, const Graph& g) {
+  const auto sigma = static_cast<std::uint32_t>(state.range(0));
+  const auto sources = spread_sources(g, sigma);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(output_cells(solve_msrp(g, sources), g));
+  }
+  state.counters["sigma"] = sigma;
+  state.counters["n"] = g.num_vertices();
+  // seconds of wall time per source: the economy-of-scale series.
+  state.counters["per_source_s"] = benchmark::Counter(
+      static_cast<double>(sigma),
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+}
+
+void BM_SigmaSweep_ER(benchmark::State& state) {
+  static const Graph g = er_graph(kN, 8.0);
+  run_sigma(state, g);
+}
+// Sweep capped at sigma = 64 = n/16: beyond it the sampling probability
+// p_0 saturates at 1 (every vertex a landmark) and the MMG landmark table
+// degenerates to all-pairs work — see EXPERIMENTS.md for the discussion of
+// where the Section 8 machinery would take over asymptotically.
+BENCHMARK(BM_SigmaSweep_ER)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SigmaSweep_Grid(benchmark::State& state) {
+  static const Graph g = grid_graph(kN);
+  run_sigma(state, g);
+}
+BENCHMARK(BM_SigmaSweep_Grid)
+    ->RangeMultiplier(4)
+    ->Range(1, 64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,55 @@
+// CONGEST-model demonstration: distributed BFS, multi-source BFS (the
+// distributed analogue of the paper's landmark preprocessing), and
+// replacement-path recomputation after a link failure — with round and
+// message accounting.
+//
+//   $ ./examples/congest_demo
+#include <cstdio>
+
+#include "congest/bfs.hpp"
+#include "congest/replacement.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+using namespace msrp;
+using namespace msrp::congest;
+
+int main() {
+  const Graph g = gen::grid(8, 8);
+  std::printf("network: 8x8 grid, n=%u, m=%u, diameter=%u\n\n", g.num_vertices(),
+              g.num_edges(), diameter(g));
+
+  // Single-source BFS flood.
+  const BfsOutcome bfs = distributed_bfs(g, 0);
+  std::printf("distributed BFS from node 0:\n");
+  std::printf("  rounds   : %u (eccentricity + 1 = %u)\n", bfs.rounds,
+              eccentricity(g, 0) + 1);
+  std::printf("  messages : %llu (<= 2m = %u)\n\n",
+              static_cast<unsigned long long>(bfs.messages), 2 * g.num_edges());
+
+  // Multi-source BFS: every node learns its nearest "landmark".
+  const std::vector<Vertex> landmarks{0, 7, 56, 63, 27};
+  const MultiSourceBfsOutcome ms = distributed_multi_source_bfs(g, landmarks);
+  std::printf("multi-source BFS from %zu landmarks:\n", landmarks.size());
+  std::printf("  rounds   : %u\n", ms.rounds);
+  std::printf("  messages : %llu\n", static_cast<unsigned long long>(ms.messages));
+  std::printf("  cluster map (nearest landmark per node):\n");
+  for (Vertex r = 0; r < 8; ++r) {
+    std::printf("    ");
+    for (Vertex c = 0; c < 8; ++c) std::printf("%u ", ms.nearest[r * 8 + c]);
+    std::printf("\n");
+  }
+
+  // Replacement paths across a failure, the distributed way.
+  const Vertex s = 0, t = 63;
+  const ReplacementOutcome rep = distributed_replacement_paths(g, s, t);
+  std::printf("\nreplacement paths %u -> %u (one BFS per failed path edge):\n", s, t);
+  std::printf("  path edges    : %zu\n", rep.path_edges.size());
+  std::printf("  total rounds  : %u\n", rep.total_rounds);
+  std::printf("  total messages: %llu\n", static_cast<unsigned long long>(rep.total_messages));
+  std::printf("  d(s,t,e) per failed edge:");
+  for (const Dist d : rep.avoiding) std::printf(" %u", d);
+  std::printf("\n\nThe Theta(L * D) round bill above is what the centralized\n");
+  std::printf("O~(m sqrt(n sigma) + sigma n^2) algorithm amortizes away.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Network resilience audit with multiple depots — the multi-source scenario
+// the MSRP problem models directly.
+//
+// A logistics operator runs sigma depots on a road grid. For every customer
+// and every road segment on its delivery route, the operator wants the
+// detour cost if that segment closes: exactly d(s, t, e). This example
+// computes the full table and reports the fragility profile of the network:
+// worst detours, monopoly segments (no detour exists), and per-depot
+// resilience summaries.
+//
+//   $ ./examples/network_resilience
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/msrp.hpp"
+#include "graph/generators.hpp"
+
+using namespace msrp;
+
+int main() {
+  // A 12x12 city grid with a river: a row where only two bridges cross.
+  const Vertex rows = 12, cols = 12;
+  GraphBuilder gb(rows * cols);
+  const auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) gb.add_edge(id(r, c), id(r, c + 1));
+      const bool river = (r == 5);  // crossings between row 5 and 6
+      if (r + 1 < rows) {
+        if (!river || c == 2 || c == 9) gb.add_edge(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+  const Graph g = gb.build();
+  const std::vector<Vertex> depots{id(0, 0), id(11, 11), id(0, 11)};
+
+  const MsrpResult res = solve_msrp(g, depots);
+  std::printf("city: %ux%u grid with a 2-bridge river, n=%u m=%u, depots: 3\n\n", rows,
+              cols, g.num_vertices(), g.num_edges());
+
+  // Fragility: for each edge, the worst detour premium over all (s, t).
+  struct Fragile {
+    EdgeId e;
+    Dist premium;
+  };
+  std::vector<Dist> worst_premium(g.num_edges(), 0);
+  std::uint64_t pairs = 0, monopolies = 0;
+  for (const Vertex s : depots) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      const auto row = res.row(s, t);
+      std::uint32_t pos = 0;
+      for (const EdgeId e : res.tree(s).path_edges(t)) {
+        ++pairs;
+        const Dist d = res.shortest(s, t);
+        if (row[pos] == kInfDist) {
+          ++monopolies;
+          worst_premium[e] = kInfDist;
+        } else if (worst_premium[e] != kInfDist) {
+          worst_premium[e] = std::max(worst_premium[e], row[pos] - d);
+        }
+        ++pos;
+      }
+    }
+  }
+
+  std::vector<Fragile> ranked;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (worst_premium[e] > 0) ranked.push_back({e, worst_premium[e]});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Fragile& a, const Fragile& b) { return a.premium > b.premium; });
+
+  std::printf("audited %llu (route, segment) pairs; %llu with NO detour\n\n",
+              static_cast<unsigned long long>(pairs),
+              static_cast<unsigned long long>(monopolies));
+  std::printf("top fragile segments (worst detour premium over all routes):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, ranked.size()); ++i) {
+    const auto [u, v] = g.endpoints(ranked[i].e);
+    if (ranked[i].premium == kInfDist) {
+      std::printf("  (%2u,%2u) <-> (%2u,%2u)  premium: UNBOUNDED\n", u / cols, u % cols,
+                  v / cols, v % cols);
+    } else {
+      std::printf("  (%2u,%2u) <-> (%2u,%2u)  premium: +%u\n", u / cols, u % cols, v / cols,
+                  v % cols, ranked[i].premium);
+    }
+  }
+
+  std::printf("\nper-depot resilience (mean detour premium on its routes):\n");
+  for (const Vertex s : depots) {
+    std::uint64_t total = 0, cnt = 0, inf = 0;
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      const auto row = res.row(s, t);
+      const Dist d = res.shortest(s, t);
+      for (const Dist v : row) {
+        if (v == kInfDist) {
+          ++inf;
+        } else {
+          total += v - d;
+          ++cnt;
+        }
+      }
+    }
+    std::printf("  depot (%2u,%2u): mean premium %.2f over %llu segments"
+                " (%llu unbridgeable)\n",
+                s / cols, s % cols, cnt ? static_cast<double>(total) / cnt : 0.0,
+                static_cast<unsigned long long>(cnt), static_cast<unsigned long long>(inf));
+  }
+  std::printf("\nthe two bridge rows dominate the fragility ranking, as expected.\n");
+  return 0;
+}

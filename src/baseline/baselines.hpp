@@ -1,0 +1,23 @@
+// Reference algorithms the paper compares against (and our ground truth).
+//
+//  * solve_msrp_brute_force — one BFS per (source, tree edge): O(sigma n m).
+//    Exact and deterministic; the correctness oracle for every test and the
+//    "naive" series in EXP-1/EXP-3.
+//  * solve_msrp_per_pair — the "inefficient algorithm" of Section 3: run the
+//    classical single-pair replacement-path algorithm [21, 20, 22] for every
+//    (s, t) pair: O~(sigma n (m + n)). Exact and deterministic; the
+//    crossover baseline in EXP-3.
+//
+// Both return the same MsrpResult shape as solve_msrp, so harnesses and
+// tests can compare rows directly.
+#pragma once
+
+#include "core/result.hpp"
+
+namespace msrp {
+
+MsrpResult solve_msrp_brute_force(const Graph& g, const std::vector<Vertex>& sources);
+
+MsrpResult solve_msrp_per_pair(const Graph& g, const std::vector<Vertex>& sources);
+
+}  // namespace msrp

@@ -1,0 +1,24 @@
+#include "baseline/baselines.hpp"
+#include "rp/oracle.hpp"
+
+namespace msrp {
+
+MsrpResult solve_msrp_brute_force(const Graph& g, const std::vector<Vertex>& sources) {
+  MsrpResult result(g, sources);
+  for (std::uint32_t si = 0; si < result.num_sources(); ++si) {
+    const Vertex s = sources[si];
+    const RpOracle oracle(g, s);
+    const BfsTree& ts = result.tree(s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      if (!ts.reachable(t) || t == s) continue;
+      auto row = result.mutable_row(si, t);
+      std::uint32_t pos = 0;
+      for (const EdgeId e : ts.path_edges(t)) {
+        row[pos++] = oracle.distance_avoiding(t, e);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace msrp

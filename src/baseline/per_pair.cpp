@@ -1,0 +1,23 @@
+#include "baseline/baselines.hpp"
+#include "rp/single_pair.hpp"
+
+namespace msrp {
+
+MsrpResult solve_msrp_per_pair(const Graph& g, const std::vector<Vertex>& sources) {
+  MsrpResult result(g, sources);
+  for (std::uint32_t si = 0; si < result.num_sources(); ++si) {
+    const Vertex s = sources[si];
+    const BfsTree& ts = result.tree(s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      if (!ts.reachable(t) || t == s) continue;
+      const SinglePairRp rp = replacement_paths(g, ts, t);
+      auto row = result.mutable_row(si, t);
+      for (std::uint32_t pos = 0; pos < rp.avoiding.size(); ++pos) {
+        row[pos] = rp.avoiding[pos];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace msrp

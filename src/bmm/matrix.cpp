@@ -1,0 +1,40 @@
+#include "bmm/matrix.hpp"
+
+#include <bit>
+
+namespace msrp::bmm {
+
+BoolMatrix BoolMatrix::random(std::uint32_t n, double density, Rng& rng) {
+  BoolMatrix m(n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (rng.next_bernoulli(density)) m.set(r, c);
+    }
+  }
+  return m;
+}
+
+BoolMatrix BoolMatrix::identity(std::uint32_t n) {
+  BoolMatrix m(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.set(i, i);
+  return m;
+}
+
+std::uint64_t BoolMatrix::popcount() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : rows_) total += static_cast<std::uint64_t>(std::popcount(w));
+  return total;
+}
+
+BoolMatrix BoolMatrix::padded(std::uint32_t n2) const {
+  MSRP_REQUIRE(n2 >= n_, "padding cannot shrink the matrix");
+  BoolMatrix out(n2);
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      out.row(r)[w] = row(r)[w];
+    }
+  }
+  return out;
+}
+
+}  // namespace msrp::bmm

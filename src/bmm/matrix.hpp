@@ -1,0 +1,66 @@
+// Boolean matrices for the Section 9 lower-bound construction.
+//
+// Rows are bit-packed (64 columns per word) so the combinatorial baseline
+// multiply can OR whole rows — the classic "combinatorial" speedup that
+// stays within the BMM conjecture's model (no algebraic matrix
+// multiplication).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace msrp::bmm {
+
+class BoolMatrix {
+ public:
+  explicit BoolMatrix(std::uint32_t n = 0) : n_(n), words_((n + 63) / 64) {
+    rows_.assign(static_cast<std::size_t>(n) * words_, 0);
+  }
+
+  static BoolMatrix random(std::uint32_t n, double density, Rng& rng);
+  static BoolMatrix identity(std::uint32_t n);
+
+  std::uint32_t size() const { return n_; }
+
+  bool get(std::uint32_t r, std::uint32_t c) const {
+    MSRP_DCHECK(r < n_ && c < n_, "index out of range");
+    return (rows_[static_cast<std::size_t>(r) * words_ + c / 64] >> (c % 64)) & 1;
+  }
+
+  void set(std::uint32_t r, std::uint32_t c, bool value = true) {
+    MSRP_DCHECK(r < n_ && c < n_, "index out of range");
+    auto& w = rows_[static_cast<std::size_t>(r) * words_ + c / 64];
+    const std::uint64_t bit = std::uint64_t{1} << (c % 64);
+    w = value ? (w | bit) : (w & ~bit);
+  }
+
+  /// Pointer to the packed words of row r (words_per_row() words).
+  const std::uint64_t* row(std::uint32_t r) const {
+    return rows_.data() + static_cast<std::size_t>(r) * words_;
+  }
+  std::uint64_t* row(std::uint32_t r) {
+    return rows_.data() + static_cast<std::size_t>(r) * words_;
+  }
+
+  std::uint32_t words_per_row() const { return words_; }
+
+  /// Number of set bits.
+  std::uint64_t popcount() const;
+
+  /// Returns an n2 x n2 copy with zero padding (n2 >= size()).
+  BoolMatrix padded(std::uint32_t n2) const;
+
+  friend bool operator==(const BoolMatrix& a, const BoolMatrix& b) {
+    return a.n_ == b.n_ && a.rows_ == b.rows_;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t words_;
+  std::vector<std::uint64_t> rows_;
+};
+
+}  // namespace msrp::bmm

@@ -1,0 +1,38 @@
+#include "bmm/multiply.hpp"
+
+namespace msrp::bmm {
+
+BoolMatrix multiply_naive(const BoolMatrix& a, const BoolMatrix& b) {
+  MSRP_REQUIRE(a.size() == b.size(), "dimension mismatch");
+  const std::uint32_t n = a.size();
+  BoolMatrix c(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      for (std::uint32_t k = 0; k < n; ++k) {
+        if (a.get(i, k) && b.get(k, j)) {
+          c.set(i, j);
+          break;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+BoolMatrix multiply_bitset(const BoolMatrix& a, const BoolMatrix& b) {
+  MSRP_REQUIRE(a.size() == b.size(), "dimension mismatch");
+  const std::uint32_t n = a.size();
+  const std::uint32_t words = a.words_per_row();
+  BoolMatrix c(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t* ci = c.row(i);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (!a.get(i, k)) continue;
+      const std::uint64_t* bk = b.row(k);
+      for (std::uint32_t w = 0; w < words; ++w) ci[w] |= bk[w];
+    }
+  }
+  return c;
+}
+
+}  // namespace msrp::bmm

@@ -1,0 +1,29 @@
+// Combinatorial Boolean matrix multiplication baselines and the Section 9
+// reduction through the MSRP solver.
+//
+// multiply_via_msrp realizes Theorem 28: C = A x B is recovered from
+// sqrt(n / sigma) MSRP instances, each a gadget graph with O(n) vertices and
+// O(m) edges where sigma sources read off sqrt(n sigma) rows of C via
+// replacement-path queries along their "staircase" chunk paths (see
+// reduction.cpp for the decoding invariant).
+#pragma once
+
+#include "bmm/matrix.hpp"
+#include "core/config.hpp"
+
+namespace msrp::bmm {
+
+/// Schoolbook triple loop with early exit. O(n^3) worst case.
+BoolMatrix multiply_naive(const BoolMatrix& a, const BoolMatrix& b);
+
+/// Row-OR combinatorial multiply: O(n^2 + nnz(A) * n / 64).
+BoolMatrix multiply_bitset(const BoolMatrix& a, const BoolMatrix& b);
+
+/// Theorem 28: multiply via MSRP. `sigma` is the per-gadget source count;
+/// inputs are zero-padded to the nearest n' = sigma * q^2. The MSRP config
+/// can be overridden (tests pass high oversampling; exact mode makes the
+/// whole reduction deterministic).
+BoolMatrix multiply_via_msrp(const BoolMatrix& a, const BoolMatrix& b, std::uint32_t sigma,
+                             const Config& cfg = Config{});
+
+}  // namespace msrp::bmm

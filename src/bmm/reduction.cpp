@@ -1,0 +1,113 @@
+#include "bmm/reduction.hpp"
+
+#include <cmath>
+
+#include "bmm/multiply.hpp"
+#include "core/msrp.hpp"
+
+namespace msrp::bmm {
+
+ReductionGadget build_reduction_gadget(const BoolMatrix& a, const BoolMatrix& b,
+                                       std::uint32_t gadget_index, std::uint32_t sigma,
+                                       std::uint32_t q) {
+  const std::uint32_t n = a.size();
+  MSRP_REQUIRE(b.size() == n, "dimension mismatch");
+  const std::uint32_t rows_per_gadget = sigma * q;
+  MSRP_REQUIRE((gadget_index + 1) * rows_per_gadget <= n, "gadget beyond matrix rows");
+
+  ReductionGadget out;
+  out.q = q;
+  out.first_row = gadget_index * rows_per_gadget;
+
+  // Vertex layout: a-block [0, n), b-block [n, 2n), c-block [2n, 3n),
+  // then per chunk j: v_j(1..q) followed by its pendant vertices.
+  GraphBuilder gb(3 * n);
+  const auto a_v = [&](std::uint32_t x) { return static_cast<Vertex>(x); };
+  const auto b_v = [&](std::uint32_t x) { return static_cast<Vertex>(n + x); };
+  const auto c_v = [&](std::uint32_t x) { return static_cast<Vertex>(2 * n + x); };
+
+  for (std::uint32_t x = 0; x < n; ++x) {
+    for (std::uint32_t y = 0; y < n; ++y) {
+      if (a.get(x, y)) gb.add_edge(a_v(x), b_v(y));
+      if (b.get(x, y)) gb.add_edge(b_v(x), c_v(y));
+    }
+  }
+
+  struct PendingChunkEdge {
+    Vertex u, v;
+  };
+  std::vector<std::vector<PendingChunkEdge>> chunk_edge_ends(sigma);
+  for (std::uint32_t j = 0; j < sigma; ++j) {
+    // Chunk path v_j(1) - v_j(2) - ... - v_j(q); source is v_j(q).
+    std::vector<Vertex> chunk(q);
+    for (std::uint32_t p = 0; p < q; ++p) chunk[p] = gb.add_vertex();
+    for (std::uint32_t p = 0; p + 1 < q; ++p) {
+      gb.add_edge(chunk[p], chunk[p + 1]);
+      chunk_edge_ends[j].push_back({chunk[p], chunk[p + 1]});
+    }
+    out.sources.push_back(chunk[q - 1]);
+    // Pendant from v_j(p) to a(first_row + j*q + p - 1), 2(p-1)+1 edges.
+    for (std::uint32_t p = 1; p <= q; ++p) {
+      const std::uint32_t row = out.first_row + j * q + (p - 1);
+      Vertex prev = chunk[p - 1];
+      for (std::uint32_t step = 0; step < 2 * (p - 1); ++step) {
+        const Vertex w = gb.add_vertex();
+        gb.add_edge(prev, w);
+        prev = w;
+      }
+      gb.add_edge(prev, a_v(row));
+    }
+  }
+
+  out.graph = gb.build();
+  // Resolve chunk edge ids now that the graph is frozen.
+  out.chunk_edges.resize(sigma);
+  for (std::uint32_t j = 0; j < sigma; ++j) {
+    for (const auto& [u, v] : chunk_edge_ends[j]) {
+      const EdgeId e = out.graph.find_edge(u, v);
+      MSRP_CHECK(e != kNoEdge, "chunk edge vanished");
+      out.chunk_edges[j].push_back(e);
+    }
+  }
+  for (std::uint32_t l = 0; l < n; ++l) out.c_vertex.push_back(c_v(l));
+  return out;
+}
+
+BoolMatrix multiply_via_msrp(const BoolMatrix& a, const BoolMatrix& b, std::uint32_t sigma,
+                             const Config& cfg) {
+  MSRP_REQUIRE(a.size() == b.size(), "dimension mismatch");
+  MSRP_REQUIRE(sigma >= 1, "need at least one source");
+  const std::uint32_t n = a.size();
+  MSRP_REQUIRE(n >= 1, "empty matrix");
+
+  // Pad to n' = sigma * q^2 >= n (zero rows/columns are inert).
+  std::uint32_t q = 1;
+  while (sigma * q * q < n) ++q;
+  const std::uint32_t n2 = sigma * q * q;
+  const BoolMatrix ap = a.padded(n2);
+  const BoolMatrix bp = b.padded(n2);
+  const std::uint32_t num_gadgets = n2 / (sigma * q);
+
+  BoolMatrix c(n);
+  for (std::uint32_t gi = 0; gi < num_gadgets; ++gi) {
+    const ReductionGadget gadget = build_reduction_gadget(ap, bp, gi, sigma, q);
+    const MsrpResult res = solve_msrp(gadget.graph, gadget.sources, cfg);
+    for (std::uint32_t j = 0; j < sigma; ++j) {
+      const Vertex s = gadget.sources[j];
+      for (std::uint32_t p = 1; p <= q; ++p) {
+        const std::uint32_t row = gadget.first_row + j * q + (p - 1);
+        if (row >= n) continue;  // padding row
+        const Dist target = gadget.target(p);
+        for (std::uint32_t l = 0; l < n; ++l) {
+          const Vertex cl = gadget.c_vertex[l];
+          const Dist d = (p == 1) ? res.shortest(s, cl)
+                                  : res.avoiding(s, cl, gadget.chunk_edges[j][p - 2]);
+          if (d == target) c.set(row, l);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace msrp::bmm

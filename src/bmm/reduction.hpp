@@ -1,0 +1,52 @@
+// Section 9 gadget construction: one graph G_i per block of sqrt(n sigma)
+// rows of C, read out by sigma sources via replacement-path queries.
+//
+// Layout of G_i (q = sqrt(n / sigma), rows per source = q):
+//   * core: a(0..n-1), b(0..n-1), c(0..n-1); a(x)-b(y) iff A[x][y],
+//     b(x)-c(y) iff B[x][y];
+//   * per source j in [0, sigma): a chunk path v_j(1..q) whose endpoint
+//     v_j(q) is the source;
+//   * v_j(p) hangs a pendant path of 2(p-1)+1 edges down to
+//     a(first_row + j*q + (p-1)).
+//
+// Decoding invariant (see DESIGN.md / Theorem 28): from source s_j, pendants
+// reachable after deleting chunk edge e_{p-1} are exactly p..q, and the
+// pendant lengths make the entry cost D(p) = q + p - 1 strictly increasing,
+// so
+//
+//   C[row(p)][l] = 1  <=>  d(s_j, c(l), e_{p-1}) == D(p) + 2
+//
+// (with e_0 = "no failure"); wandering paths inside the core cost at least
+// two extra edges and can only collide with targets of already-disconnected
+// pendants, so the exact-match readout is sound.
+#pragma once
+
+#include <vector>
+
+#include "bmm/matrix.hpp"
+#include "graph/graph.hpp"
+#include "util/distance.hpp"
+
+namespace msrp::bmm {
+
+struct ReductionGadget {
+  Graph graph;
+  std::uint32_t q = 0;          // rows per source
+  std::uint32_t first_row = 0;  // first row of C this gadget covers
+  std::vector<Vertex> sources;  // per chunk j
+  // chunk_edges[j][p-1] = edge between v_j(p) and v_j(p+1), p = 1..q-1
+  std::vector<std::vector<EdgeId>> chunk_edges;
+  std::vector<Vertex> c_vertex;  // per column l
+
+  /// The exact-match readout target for row offset p (1-based within a
+  /// chunk): D(p) + 2 = q + p + 1.
+  Dist target(std::uint32_t p) const { return q + p + 1; }
+};
+
+/// Builds gadget i for C = A x B with `sigma` sources. `a` and `b` must be
+/// square of size sigma * q * num_gadgets for integral q (callers pad).
+ReductionGadget build_reduction_gadget(const BoolMatrix& a, const BoolMatrix& b,
+                                       std::uint32_t gadget_index, std::uint32_t sigma,
+                                       std::uint32_t q);
+
+}  // namespace msrp::bmm

@@ -1,0 +1,85 @@
+#include "congest/bfs.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace msrp::congest {
+
+BfsOutcome distributed_bfs(const Graph& g, Vertex root, EdgeId failed) {
+  MSRP_REQUIRE(root < g.num_vertices(), "root out of range");
+  CongestSimulator sim(g);
+  if (failed != kNoEdge) sim.fail_edge(failed);
+
+  BfsOutcome out;
+  out.dist.assign(g.num_vertices(), kInfDist);
+  std::vector<bool> announced(g.num_vertices(), false);
+
+  out.rounds = sim.run(
+      [&](Vertex v, std::span<const Inbound> inbox, CongestSimulator::Outbox& ob) {
+        // Adopt the best distance heard so far.
+        for (const Inbound& msg : inbox) {
+          const Dist d = static_cast<Dist>(msg.payload) + 1;
+          if (d < out.dist[v]) out.dist[v] = d;
+        }
+        if (v == root) out.dist[v] = 0;
+        // Announce once, the round after the distance settles (in BFS
+        // flooding the first heard distance is already optimal).
+        if (out.dist[v] != kInfDist && !announced[v]) {
+          announced[v] = true;
+          for (const Arc& a : g.neighbors(v)) ob.send(a, out.dist[v]);
+        }
+      },
+      2 * g.num_vertices() + 2);
+  out.messages = sim.total_messages();
+  return out;
+}
+
+MultiSourceBfsOutcome distributed_multi_source_bfs(const Graph& g,
+                                                   const std::vector<Vertex>& sources) {
+  MSRP_REQUIRE(!sources.empty(), "need at least one source");
+  CongestSimulator sim(g);
+  const auto n = std::max<Vertex>(2, g.num_vertices());
+  const auto logn = static_cast<std::uint32_t>(std::bit_width(std::uint32_t{n} - 1));
+
+  MultiSourceBfsOutcome out;
+  out.dist.assign(g.num_vertices(), kInfDist);
+  out.nearest.assign(g.num_vertices(), static_cast<std::uint32_t>(-1));
+  std::vector<bool> announced(g.num_vertices(), false);
+
+  std::vector<std::int32_t> source_of(g.num_vertices(), -1);
+  for (std::uint32_t i = 0; i < sources.size(); ++i) {
+    MSRP_REQUIRE(sources[i] < g.num_vertices(), "source out of range");
+    source_of[sources[i]] = static_cast<std::int32_t>(i);
+  }
+
+  // Payload layout: (distance << logn) | source index — 2 log n bits.
+  const auto pack = [&](std::uint32_t si, Dist d) -> Payload {
+    return (Payload{d} << logn) | si;
+  };
+
+  out.rounds = sim.run(
+      [&](Vertex v, std::span<const Inbound> inbox, CongestSimulator::Outbox& ob) {
+        for (const Inbound& msg : inbox) {
+          const auto si = static_cast<std::uint32_t>(msg.payload & ((Payload{1} << logn) - 1));
+          const Dist d = static_cast<Dist>(msg.payload >> logn) + 1;
+          // Ties break toward the smaller source index for determinism.
+          if (d < out.dist[v] || (d == out.dist[v] && si < out.nearest[v])) {
+            out.dist[v] = d;
+            out.nearest[v] = si;
+          }
+        }
+        if (source_of[v] >= 0) {
+          out.dist[v] = 0;
+          out.nearest[v] = static_cast<std::uint32_t>(source_of[v]);
+        }
+        if (out.dist[v] != kInfDist && !announced[v]) {
+          announced[v] = true;
+          for (const Arc& a : g.neighbors(v)) ob.send(a, pack(out.nearest[v], out.dist[v]));
+        }
+      },
+      2 * g.num_vertices() + 2);
+  out.messages = sim.total_messages();
+  return out;
+}
+
+}  // namespace msrp::congest

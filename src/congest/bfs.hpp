@@ -1,0 +1,40 @@
+// Distributed BFS protocols in the CONGEST model.
+//
+// Flooding BFS: the root announces distance 0; every node adopts the
+// smallest announced distance + 1 and re-announces once. Completes in
+// eccentricity(root) + 1 rounds with at most one message per edge per
+// direction — the textbook O(D)-round building block.
+//
+// The multi-source variant runs all sources simultaneously; payloads carry
+// (source index, distance) so every node also learns its nearest source,
+// exactly the information the paper's landmark preprocessing distributes.
+#pragma once
+
+#include <vector>
+
+#include "congest/simulator.hpp"
+#include "util/distance.hpp"
+
+namespace msrp::congest {
+
+struct BfsOutcome {
+  std::vector<Dist> dist;
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+struct MultiSourceBfsOutcome {
+  std::vector<Dist> dist;              // to the nearest source
+  std::vector<std::uint32_t> nearest;  // index into `sources`; -1 unreachable
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+/// BFS from `root`; `failed` (if valid) models a failed link, i.e. BFS in
+/// G - failed.
+BfsOutcome distributed_bfs(const Graph& g, Vertex root, EdgeId failed = kNoEdge);
+
+MultiSourceBfsOutcome distributed_multi_source_bfs(const Graph& g,
+                                                   const std::vector<Vertex>& sources);
+
+}  // namespace msrp::congest

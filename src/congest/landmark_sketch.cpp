@@ -1,0 +1,69 @@
+#include "congest/landmark_sketch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+
+namespace msrp::congest {
+
+LandmarkSketchOutcome distributed_landmark_sketch(const Graph& g,
+                                                  const std::vector<Vertex>& landmarks) {
+  MSRP_REQUIRE(!landmarks.empty(), "need at least one landmark");
+  const Vertex n = g.num_vertices();
+  const auto num_l = static_cast<std::uint32_t>(landmarks.size());
+
+  CongestSimulator sim(g);
+  const auto logn = static_cast<std::uint32_t>(
+      std::bit_width(std::uint32_t{std::max<Vertex>(2, n)} - 1));
+  MSRP_REQUIRE(num_l <= (1u << logn), "landmark index exceeds the message budget");
+
+  LandmarkSketchOutcome out;
+  out.dist.assign(static_cast<std::size_t>(num_l) * n, kInfDist);
+  const auto cell = [&](std::uint32_t li, Vertex v) -> Dist& {
+    return out.dist[static_cast<std::size_t>(li) * n + v];
+  };
+
+  // Per-node announcement queue: (distance, landmark index), smallest
+  // distance first. Entries may be stale; staleness is checked on pop.
+  using Item = std::pair<Dist, std::uint32_t>;
+  std::vector<std::priority_queue<Item, std::vector<Item>, std::greater<>>> queue(n);
+  // The value each landmark index had when last enqueued, to skip stale pops.
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    MSRP_REQUIRE(landmarks[li] < n, "landmark out of range");
+    cell(li, landmarks[li]) = 0;
+    queue[landmarks[li]].emplace(0, li);
+  }
+
+  const auto pack = [&](std::uint32_t li, Dist d) -> Payload {
+    return (Payload{d} << logn) | li;
+  };
+
+  out.rounds = sim.run(
+      [&](Vertex v, std::span<const Inbound> inbox, CongestSimulator::Outbox& ob) {
+        for (const Inbound& msg : inbox) {
+          const auto li = static_cast<std::uint32_t>(msg.payload & ((Payload{1} << logn) - 1));
+          const Dist d = static_cast<Dist>(msg.payload >> logn) + 1;
+          if (d < cell(li, v)) {
+            cell(li, v) = d;
+            queue[v].emplace(d, li);
+          }
+        }
+        // Announce the best still-current queued entry (one broadcast per
+        // round keeps every edge within its one-message budget).
+        while (!queue[v].empty()) {
+          const auto [d, li] = queue[v].top();
+          if (d != cell(li, v)) {  // superseded by a later improvement
+            queue[v].pop();
+            continue;
+          }
+          queue[v].pop();
+          for (const Arc& a : g.neighbors(v)) ob.send(a, pack(li, d));
+          break;
+        }
+      },
+      16 * (n + num_l) + 16);
+  out.messages = sim.total_messages();
+  return out;
+}
+
+}  // namespace msrp::congest

@@ -1,0 +1,39 @@
+// Distributed landmark distance sketch — the CONGEST analogue of the
+// paper's preprocessing (Section 5: "for each landmark vertex r, find the
+// shortest path from r to every other vertex").
+//
+// All |L| BFS floods run concurrently under the one-message-per-edge-per-
+// round rule. Each node keeps, per landmark, the best distance heard, and
+// an announcement queue ordered by distance (smallest first — the classic
+// pipelining rule that keeps the schedule near O(|L| + D) rounds instead of
+// O(|L| * D)). Payloads carry (landmark index, distance): 2 log n bits.
+//
+// A node may transiently announce a stale (longer) distance if floods
+// interleave badly; improvements re-enqueue, and since values only
+// decrease, the protocol quiesces with exact distances.
+#pragma once
+
+#include <vector>
+
+#include "congest/simulator.hpp"
+#include "util/distance.hpp"
+
+namespace msrp::congest {
+
+struct LandmarkSketchOutcome {
+  // dist[li * n + v] = d(landmarks[li], v).
+  std::vector<Dist> dist;
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+
+  Dist at(std::uint32_t li, Vertex v, Vertex n) const {
+    return dist[static_cast<std::size_t>(li) * n + v];
+  }
+};
+
+/// Runs the concurrent pipelined floods. Landmark count must fit the
+/// message budget (< n).
+LandmarkSketchOutcome distributed_landmark_sketch(const Graph& g,
+                                                  const std::vector<Vertex>& landmarks);
+
+}  // namespace msrp::congest

@@ -1,0 +1,30 @@
+#include "congest/replacement.hpp"
+
+namespace msrp::congest {
+
+ReplacementOutcome distributed_replacement_paths(const Graph& g, Vertex s, Vertex t) {
+  MSRP_REQUIRE(s < g.num_vertices() && t < g.num_vertices(), "endpoint out of range");
+  ReplacementOutcome out;
+
+  // The canonical path itself comes from one distributed BFS; the simulator
+  // is omniscient, so we read the parents off the centralized tree (the
+  // distributed version would convergecast them in O(L) extra rounds).
+  const BfsTree ts(g, s);
+  if (!ts.reachable(t)) return out;
+  out.path_edges = ts.path_edges(t);
+  {
+    const BfsOutcome base = distributed_bfs(g, s);
+    out.total_rounds += base.rounds;
+    out.total_messages += base.messages;
+  }
+
+  for (const EdgeId e : out.path_edges) {
+    const BfsOutcome avoid = distributed_bfs(g, s, e);
+    out.avoiding.push_back(avoid.dist[t]);
+    out.total_rounds += avoid.rounds;
+    out.total_messages += avoid.messages;
+  }
+  return out;
+}
+
+}  // namespace msrp::congest

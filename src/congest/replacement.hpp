@@ -1,0 +1,30 @@
+// Distributed replacement-path computation in the CONGEST model.
+//
+// Given (s, t), the naive distributed strategy the paper's centralized
+// algorithm should be compared against: for every edge on the st path, rerun
+// a BFS flood in G - e. Round complexity Theta(L * D) for a length-L path —
+// the EXP-7 benchmark shows how quickly this grows with the diameter, which
+// is exactly the cost the replacement-path literature amortizes away.
+//
+// The returned rows match the centralized oracle exactly (tests enforce it).
+#pragma once
+
+#include <vector>
+
+#include "congest/bfs.hpp"
+#include "tree/bfs_tree.hpp"
+
+namespace msrp::congest {
+
+struct ReplacementOutcome {
+  std::vector<EdgeId> path_edges;  // canonical st path edges, in order
+  std::vector<Dist> avoiding;      // d(s, t, e) per path edge
+  std::uint32_t total_rounds = 0;
+  std::uint64_t total_messages = 0;
+};
+
+/// Computes d(s, t, e) for every edge on the canonical st path by repeated
+/// distributed BFS in G - e.
+ReplacementOutcome distributed_replacement_paths(const Graph& g, Vertex s, Vertex t);
+
+}  // namespace msrp::congest

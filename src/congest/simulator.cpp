@@ -1,0 +1,69 @@
+#include "congest/simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace msrp::congest {
+
+CongestSimulator::CongestSimulator(const Graph& g, std::uint32_t message_bits) : g_(&g) {
+  const auto n = std::max<Vertex>(2, g.num_vertices());
+  const auto logn = static_cast<std::uint32_t>(std::bit_width(std::uint32_t{n} - 1));
+  message_bits_ = message_bits == 0 ? 2 * logn + 4 : message_bits;
+  MSRP_REQUIRE(message_bits_ <= 64, "payloads are stored in 64 bits");
+  payload_limit_ = message_bits_ == 64 ? ~Payload{0} : (Payload{1} << message_bits_) - 1;
+  inbox_.resize(g.num_vertices());
+  next_inbox_.resize(g.num_vertices());
+  edge_failed_.assign(g.num_edges(), false);
+  sent_this_round_.assign(2 * static_cast<std::size_t>(g.num_edges()), 0);
+}
+
+void CongestSimulator::Outbox::send(const Arc& arc, Payload payload) {
+  sim_->deliver(from_, arc.edge, arc.to, payload);
+}
+
+void CongestSimulator::deliver(Vertex from, EdgeId edge, Vertex to, Payload payload) {
+  MSRP_REQUIRE(payload <= payload_limit_, "payload exceeds the CONGEST message budget");
+  MSRP_REQUIRE(edge < g_->num_edges(), "unknown edge");
+  if (edge_failed_[edge]) return;  // failed link: message silently lost
+  const auto [u, v] = g_->endpoints(edge);
+  MSRP_REQUIRE((from == u && to == v) || (from == v && to == u),
+               "message must travel over an incident edge");
+  const std::size_t slot = 2 * static_cast<std::size_t>(edge) + (from == u ? 0 : 1);
+  MSRP_REQUIRE(!sent_this_round_[slot], "one message per edge per direction per round");
+  sent_this_round_[slot] = 1;
+  next_inbox_[to].push_back(Inbound{from, edge, payload});
+  ++total_messages_;
+  any_sent_ = true;
+}
+
+std::uint32_t CongestSimulator::run(const Handler& handler, std::uint32_t max_rounds) {
+  std::uint32_t rounds = 0;
+  for (; rounds < max_rounds; ++rounds) {
+    any_sent_ = false;
+    std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
+    Outbox out;
+    out.sim_ = this;
+    for (Vertex v = 0; v < g_->num_vertices(); ++v) {
+      out.from_ = v;
+      handler(v, std::span<const Inbound>(inbox_[v]), out);
+    }
+    for (Vertex v = 0; v < g_->num_vertices(); ++v) {
+      inbox_[v] = std::move(next_inbox_[v]);
+      next_inbox_[v].clear();
+    }
+    if (!any_sent_) break;
+    ++total_rounds_;
+  }
+  return rounds;
+}
+
+void CongestSimulator::fail_edge(EdgeId e) {
+  MSRP_REQUIRE(e < edge_failed_.size(), "edge out of range");
+  edge_failed_[e] = true;
+}
+
+void CongestSimulator::restore_edges() {
+  std::fill(edge_failed_.begin(), edge_failed_.end(), false);
+}
+
+}  // namespace msrp::congest

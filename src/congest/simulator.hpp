@@ -1,0 +1,90 @@
+// Round-synchronous CONGEST-model simulator.
+//
+// The paper appeared at PODC; its algorithm is centralized, but the natural
+// distributed substrate (per DESIGN.md's substitution table) is the CONGEST
+// model: n nodes, one O(log n)-bit message per edge per direction per
+// round. This simulator executes protocols under those rules and meters
+// rounds and messages, which grounds the EXP-7 benchmark (round complexity
+// of distributed BFS / replacement-path recomputation vs diameter).
+//
+// Protocols are written as per-node handlers:
+//
+//   sim.run([&](Vertex v, std::span<const Inbound> inbox, Outbox& out) {
+//     ... out.send(neighbor_arc, payload) ...
+//   }, max_rounds);
+//
+// The simulator enforces the model:
+//   * a payload must fit in message_bits() (throws otherwise);
+//   * at most one message per incident edge per round per direction
+//     (throws on the second send over the same arc);
+//   * delivery happens at the start of the next round;
+//   * execution stops after a round in which no node sent anything (global
+//     termination detection is simulator-level omniscience, which is the
+//     usual convention for counting rounds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace msrp::congest {
+
+using Payload = std::uint64_t;
+
+struct Inbound {
+  Vertex from;
+  EdgeId edge;
+  Payload payload;
+};
+
+class CongestSimulator {
+ public:
+  /// message_bits defaults to 2 ceil(log2 n) + 4: two vertex ids plus tag
+  /// bits, the budget every protocol in this library fits in.
+  explicit CongestSimulator(const Graph& g, std::uint32_t message_bits = 0);
+
+  class Outbox {
+   public:
+    /// Queues a message over the incident edge `arc` of the current vertex.
+    void send(const Arc& arc, Payload payload);
+
+   private:
+    friend class CongestSimulator;
+    CongestSimulator* sim_ = nullptr;
+    Vertex from_ = kNoVertex;
+  };
+
+  using Handler = std::function<void(Vertex, std::span<const Inbound>, Outbox&)>;
+
+  /// Runs until a silent round or `max_rounds`. Returns rounds executed
+  /// (the silent terminating round is not counted).
+  std::uint32_t run(const Handler& handler, std::uint32_t max_rounds);
+
+  std::uint32_t message_bits() const { return message_bits_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_rounds() const { return total_rounds_; }
+
+  /// Removes an edge from the communication graph (models a link failure;
+  /// nodes can no longer exchange messages over it).
+  void fail_edge(EdgeId e);
+  void restore_edges();
+
+ private:
+  void deliver(Vertex from, EdgeId edge, Vertex to, Payload payload);
+
+  const Graph* g_;
+  std::uint32_t message_bits_;
+  Payload payload_limit_;
+  std::vector<std::vector<Inbound>> inbox_, next_inbox_;
+  std::vector<bool> edge_failed_;
+  // (edge, direction-bit) sends this round, for the one-message rule.
+  std::vector<std::uint8_t> sent_this_round_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_rounds_ = 0;
+  bool any_sent_ = false;
+};
+
+}  // namespace msrp::congest

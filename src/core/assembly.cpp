@@ -1,0 +1,111 @@
+#include "core/assembly.hpp"
+
+#include <algorithm>
+
+namespace msrp {
+namespace {
+
+struct PathEdge {
+  EdgeId id;
+  Vertex child;  // deeper endpoint (position pos means dist(child) == pos + 1)
+};
+
+/// Landmark candidates for one (t, level) pair: members of L_k whose true
+/// distance to t is within the Algorithm 3 / 4 radius.
+struct FilteredLevel {
+  std::vector<std::pair<std::uint32_t, Dist>> items;  // (landmark index, d(r, t))
+};
+
+}  // namespace
+
+void assemble_source_rows(const Graph& g, std::uint32_t si, const RootedTree& rs,
+                          const LevelSets& landmarks, TreePool& pool,
+                          const LandmarkRpTable& dsr, const NearSmall& near_small,
+                          const Params& params, MsrpResult& result) {
+  const Vertex n = g.num_vertices();
+  const BfsTree& ts = rs.tree;
+  const Dist t_thresh = params.near_threshold();
+
+  std::vector<PathEdge> path_edges;  // reused per target
+  for (Vertex t = 0; t < n; ++t) {
+    const Dist depth = ts.dist(t);
+    if (depth == kInfDist || depth == 0) continue;
+    auto row = result.mutable_row(si, t);
+
+    // Path edges by position, via one parent walk.
+    path_edges.resize(depth);
+    {
+      Vertex v = t;
+      for (std::uint32_t pos = depth; pos-- > 0;) {
+        path_edges[pos] = {ts.parent_edge(v), v};
+        v = ts.parent(v);
+      }
+    }
+
+    const std::uint32_t first_near = near_small.first_near_pos(t);
+
+    // ---- near edges: small values + Algorithm 4 over L_0 ----------------
+    if (first_near < depth) {
+      // Filter L_0 once per t: Lemma 12's witness satisfies d(r, t) <= T.
+      FilteredLevel f0;
+      for (const Vertex r : landmarks.level(0)) {
+        const Dist drt = pool.existing(r).dist(t);
+        if (drt <= t_thresh) {
+          f0.items.emplace_back(static_cast<std::uint32_t>(dsr.landmark_index(r)), drt);
+        }
+      }
+      for (std::uint32_t pos = first_near; pos < depth; ++pos) {
+        Dist best = near_small.value(t, pos);
+        const auto [eid, child] = path_edges[pos];
+        const auto [eu, ev] = g.endpoints(eid);
+        for (const auto& [li, drt] : f0.items) {
+          const Vertex r = dsr.landmarks()[li];
+          // Algorithm 4's guard: e must avoid the canonical rt path.
+          if (pool.existing(r).edge_on_path_to(eid, eu, ev, t)) continue;
+          best = std::min(best, sat_add(dsr.avoiding(si, li, child, pos), drt));
+        }
+        row[pos] = std::min(row[pos], best);
+      }
+    }
+
+    // ---- far edges: Algorithm 3, bucketed by distance from t ------------
+    // Edge at position pos has |et| = depth - pos - 1; far means >= 2T.
+    // Bucket k covers |et| in [2^{k+1} T, 2^{k+2} T).
+    if (first_near > 0) {
+      std::int64_t pos = static_cast<std::int64_t>(first_near) - 1;
+      for (std::uint32_t k = 0; k <= params.num_levels() && pos >= 0; ++k) {
+        const Dist radius = params.far_radius(k);
+        // Bucket k's positions: |et| < 2^{k+2} T  <=>  pos > depth - 1 - 2^{k+2} T.
+        // The top bucket absorbs everything beyond the sampled levels.
+        const std::uint64_t upper_et =
+            (k == params.num_levels()) ? std::uint64_t{kInfDist} : std::uint64_t{4} * radius;
+        FilteredLevel fk;
+        bool filtered = false;
+        for (; pos >= 0; --pos) {
+          const Dist et = depth - static_cast<Dist>(pos) - 1;
+          if (et >= upper_et) break;  // next bucket
+          if (!filtered) {
+            filtered = true;
+            for (const Vertex r : landmarks.level(k)) {
+              const Dist drt = pool.existing(r).dist(t);
+              if (drt <= radius) {
+                fk.items.emplace_back(static_cast<std::uint32_t>(dsr.landmark_index(r)), drt);
+              }
+            }
+          }
+          const auto [eid, child] = path_edges[pos];
+          (void)eid;
+          Dist best = row[pos];
+          for (const auto& [li, drt] : fk.items) {
+            // No on-path check needed: d(r, t) <= 2^k T < 2^{k+1} T <= |et|,
+            // so no shortest rt path can cross e (Section 6).
+            best = std::min(best, sat_add(dsr.avoiding(si, li, child, pos), drt));
+          }
+          row[pos] = best;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace msrp

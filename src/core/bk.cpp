@@ -1,0 +1,60 @@
+#include "core/bk.hpp"
+
+#include "core/bottleneck.hpp"
+#include "core/center_landmark.hpp"
+#include "core/intervals.hpp"
+#include "core/source_center.hpp"
+
+namespace msrp {
+
+BkContext::BkContext(const Graph& g_in, const Params& params_in, TreePool& pool_in,
+                     const LevelSets& landmarks_in, const LevelSets& centers_in,
+                     std::vector<const RootedTree*> sources,
+                     std::vector<const NearSmall*> near_small_in)
+    : g(g_in),
+      params(params_in),
+      pool(pool_in),
+      landmarks(landmarks_in),
+      centers(centers_in),
+      source_trees(std::move(sources)),
+      near_small(std::move(near_small_in)) {
+  center_list = centers.members();
+  center_index.assign(g.num_vertices(), -1);
+  for (std::uint32_t i = 0; i < center_list.size(); ++i) {
+    center_index[center_list[i]] = static_cast<std::int32_t>(i);
+  }
+  MSRP_REQUIRE(center_list.size() < (1u << 24), "too many centers for key packing");
+}
+
+void fill_landmark_rp_bk(BkContext& ctx, LandmarkRpTable& dsr, MsrpStats& stats,
+                         PhaseTimers& timers) {
+  const auto num_sources = static_cast<std::uint32_t>(ctx.source_trees.size());
+
+  // 8.1 — source -> center tables.
+  SourceCenterTable dsc(ctx);
+  {
+    auto t = timers.scope("bk_source_center");
+    for (std::uint32_t si = 0; si < num_sources; ++si) dsc.build_source(si, stats);
+  }
+
+  // 8.2.1 — enumerate small replacement paths; 8.2.2 — center -> landmark.
+  CenterLandmarkTable dcr(ctx, dsr);
+  {
+    auto t = timers.scope("bk_small_enumeration");
+    for (std::uint32_t si = 0; si < num_sources; ++si) dcr.accumulate_small_via(si);
+  }
+  {
+    auto t = timers.scope("bk_center_landmark");
+    for (std::uint32_t ci = 0; ci < ctx.num_centers(); ++ci) dcr.build_center(ci, stats);
+  }
+
+  // 8.3 — intervals, MTC, bottlenecks; writes the final d(s, r, e) rows.
+  {
+    auto t = timers.scope("bk_bottleneck");
+    for (std::uint32_t si = 0; si < num_sources; ++si) {
+      fill_source_rows_bk(ctx, si, dsc, dcr, dsr, stats);
+    }
+  }
+}
+
+}  // namespace msrp

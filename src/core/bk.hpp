@@ -1,0 +1,71 @@
+// Section 8: the Bernstein–Karger adaptation that fills the d(s, r, e)
+// landmark table in O~(m sqrt(n sigma) + sigma n^2) total instead of one MMG
+// run per (source, landmark) pair.
+//
+// Pipeline (one call, several phases):
+//   8.1  source -> center replacement paths, one auxiliary Dijkstra per
+//        source (source_center.cpp);
+//   8.2.1 enumeration of small near-edge replacement paths to landmarks,
+//        recording the centers they pass through (center_landmark.cpp);
+//   8.2.2 center -> landmark replacement paths, one auxiliary Dijkstra per
+//        center (center_landmark.cpp);
+//   8.3  interval decomposition of every sr path (Definition 15), MTC
+//        (Definition 17), bottleneck edges (Definition 23) and the
+//        interval-avoiding auxiliary Dijkstra per source (intervals.cpp,
+//        bottleneck.cpp).
+//
+// To close the paper's implicit recursions at the two path ends, both the
+// sources and all landmarks are members of C_0 (see DESIGN.md): the first
+// interval's term sc1 + (c1 r <> e) is served by the 8.2.2 Dijkstra of the
+// center c1 = s, and the last interval's term (s c2 <> e) + c2 r by the 8.1
+// Dijkstra with c2 = r.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/landmark_rp.hpp"
+#include "core/landmarks.hpp"
+#include "core/near_small.hpp"
+#include "core/result.hpp"
+#include "util/timer.hpp"
+
+namespace msrp {
+
+/// Everything the Section 8 phases share.
+struct BkContext {
+  const Graph& g;
+  const Params& params;
+  TreePool& pool;
+  const LevelSets& landmarks;
+  const LevelSets& centers;
+  std::vector<const RootedTree*> source_trees;        // per source index
+  std::vector<const NearSmall*> near_small;           // per source index
+  std::vector<Vertex> center_list;                    // dense center ids
+  std::vector<std::int32_t> center_index;             // vertex -> center id or -1
+
+  BkContext(const Graph& g_in, const Params& params_in, TreePool& pool_in,
+            const LevelSets& landmarks_in, const LevelSets& centers_in,
+            std::vector<const RootedTree*> sources,
+            std::vector<const NearSmall*> near_small_in);
+
+  std::uint32_t num_centers() const { return static_cast<std::uint32_t>(center_list.size()); }
+
+  /// Highest level of center c (>= 0 for every member of center_list).
+  std::uint32_t priority(Vertex c) const {
+    return static_cast<std::uint32_t>(centers.priority(c));
+  }
+
+  /// Pruning radius for detour candidates routed through vertex v with
+  /// sampling priority `prio`: witnesses from Lemmas 9/12/19 sit within
+  /// 2^prio * T of the target, so a 2x slack radius keeps them all.
+  Dist prune_radius(std::uint32_t prio) const {
+    const std::uint64_t r = std::uint64_t{params.near_threshold()} << (prio + 1);
+    return r >= kInfDist ? kInfDist - 1 : static_cast<Dist>(r);
+  }
+};
+
+/// Runs all Section 8 phases and fills `dsr`. Phase timings and auxiliary
+/// sizes are accumulated into `stats`.
+void fill_landmark_rp_bk(BkContext& ctx, LandmarkRpTable& dsr, MsrpStats& stats,
+                         PhaseTimers& timers);
+
+}  // namespace msrp

@@ -1,0 +1,100 @@
+#include "core/bottleneck.hpp"
+
+#include <algorithm>
+
+#include "spath/dijkstra.hpp"
+
+namespace msrp {
+
+void fill_source_rows_bk(const BkContext& ctx, std::uint32_t si,
+                         const SourceCenterTable& dsc, const CenterLandmarkTable& dcr,
+                         LandmarkRpTable& dsr, MsrpStats& stats) {
+  const Graph& g = ctx.g;
+  const RootedTree& rs = *ctx.source_trees[si];
+  const NearSmall& ns = *ctx.near_small[si];
+  const std::uint32_t num_l = dsr.num_landmarks();
+
+  // ---- decompositions for every reachable landmark ------------------------
+  std::vector<SrDecomposition> decomp(num_l);
+  std::vector<bool> active(num_l, false);
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    const Vertex r = dsr.landmarks()[li];
+    const Dist depth = rs.dist(r);
+    if (depth == kInfDist || depth == 0) continue;
+    decomp[li] = decompose_sr_path(ctx, si, rs.tree.path_to(r), dsc, dcr);
+    active[li] = true;
+  }
+
+  // ---- auxiliary graph -----------------------------------------------------
+  AuxGraph aux;
+  const AuxNode src = aux.add_node();  // [s]
+  const AuxNode first_r = aux.add_nodes(num_l);
+  std::vector<AuxNode> base(num_l, 0);
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    base[li] = aux.add_nodes(active[li] ? decomp[li].num_intervals() : 0);
+  }
+
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    const Vertex r = dsr.landmarks()[li];
+    if (active[li]) aux.add_arc(src, first_r + li, rs.dist(r));
+  }
+
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    if (!active[li]) continue;
+    const Vertex r = dsr.landmarks()[li];
+    const SrDecomposition& dec = decomp[li];
+    const std::vector<Vertex> path = rs.tree.path_to(r);
+    for (std::uint32_t iv = 0; iv < dec.num_intervals(); ++iv) {
+      const AuxNode target = base[li] + iv;
+      const std::uint32_t bpos = dec.bottleneck_pos[iv];
+      // Identify B = B[s, r, iv].
+      const Vertex child = path[bpos + 1];
+      const EdgeId eid = rs.tree.parent_edge(child);
+      const auto [eu, ev] = g.endpoints(eid);
+
+      // Small replacement path value and the direct MTC term.
+      const Dist small = ns.value(r, bpos);
+      if (small != kInfDist) aux.add_arc(src, target, small);
+      if (dec.mtc[bpos] != kInfDist) aux.add_arc(src, target, dec.mtc[bpos]);
+
+      // Landmark detours.
+      for (std::uint32_t lj = 0; lj < num_l; ++lj) {
+        if (lj == li || !active[lj]) continue;
+        const Vertex r2 = dsr.landmarks()[lj];
+        const RootedTree& rr2 = ctx.pool.existing(r2);
+        const Dist drr = rr2.dist(r);
+        const auto prio2 = static_cast<std::uint32_t>(ctx.landmarks.priority(r2));
+        if (drr > ctx.prune_radius(prio2)) continue;
+        if (rr2.edge_on_path_to(eid, eu, ev, r)) continue;  // B on r'r
+        if (!rs.anc.is_ancestor(child, r2)) {
+          // B off sr': the canonical prefix + suffix path.
+          aux.add_arc(first_r + lj, target, drr);
+        } else {
+          // B on sr' at the same position (same tree edge of T_s).
+          const std::uint32_t j2 = decomp[lj].interval_of[bpos];
+          aux.add_arc(base[lj] + j2, target, drr);
+          if (decomp[lj].mtc[bpos] != kInfDist) {
+            aux.add_arc(src, target, sat_add(decomp[lj].mtc[bpos], drr));
+          }
+        }
+      }
+    }
+  }
+
+  stats.bk_bottleneck_aux_arcs += aux.num_arcs();
+  const DijkstraResult dij = dijkstra(aux, src);
+
+  // ---- assemble d(s, r, e) per Lemma 24 ------------------------------------
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    if (!active[li]) continue;
+    const Vertex r = dsr.landmarks()[li];
+    const SrDecomposition& dec = decomp[li];
+    auto& row = dsr.mutable_row(si, li);
+    for (std::uint32_t pos = 0; pos < row.size(); ++pos) {
+      const Dist via_bottleneck = dij.dist[base[li] + dec.interval_of[pos]];
+      row[pos] = std::min({row[pos], dec.mtc[pos], via_bottleneck, ns.value(r, pos)});
+    }
+  }
+}
+
+}  // namespace msrp

@@ -1,0 +1,30 @@
+// Section 8.3, second half: replacement paths avoiding bottleneck edges.
+//
+// Per source, an auxiliary digraph over the landmarks:
+//   nodes [r] per landmark and [s, r, i] per interval of the sr path;
+//   [s]        -> [r]        weight |sr|
+//   [s]        -> [s, r, i]  weight w[r, B]  (Section 7.1 small value)
+//   [s]        -> [s, r, i]  weight MTC(s, r, B)
+//   [s]        -> [s, r, i]  weight MTC(s, r', B) + |r'r|  (B on sr', off r'r)
+//   [r']       -> [s, r, i]  weight |r'r|   (B off sr' and off r'r)
+//   [s, r', j] -> [s, r, i]  weight |r'r|   (B inside interval j of sr',
+//                                            off r'r)
+// with B = B[s, r, i], the interval's bottleneck edge. Dijkstra from [s]
+// computes sr <> B for every interval (Lemma 25); the caller then assembles
+//
+//   d(s, r, e) = min(MTC(s, r, e), sr <> B[s, r, interval(e)], w[r, e])
+//
+// per Lemma 24 and writes it into the landmark table.
+#pragma once
+
+#include "core/intervals.hpp"
+
+namespace msrp {
+
+/// Runs the bottleneck phase for source `si` and fills that source's rows of
+/// `dsr` (positions covered by Section 8's guarantees; rows are min-merged).
+void fill_source_rows_bk(const BkContext& ctx, std::uint32_t si,
+                         const SourceCenterTable& dsc, const CenterLandmarkTable& dcr,
+                         LandmarkRpTable& dsr, MsrpStats& stats);
+
+}  // namespace msrp

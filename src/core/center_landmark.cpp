@@ -1,0 +1,164 @@
+#include "core/center_landmark.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "spath/dijkstra.hpp"
+
+namespace msrp {
+namespace {
+
+struct WindowEdge {
+  EdgeId id;
+  Vertex child;  // deeper endpoint in T_c
+};
+
+}  // namespace
+
+CenterLandmarkTable::CenterLandmarkTable(const BkContext& ctx, const LandmarkRpTable& dsr)
+    : ctx_(&ctx), dsr_(&dsr), small_via_(ctx.num_centers()), dcr_(ctx.num_centers()) {}
+
+void CenterLandmarkTable::accumulate_small_via(std::uint32_t si) {
+  const BkContext& ctx = *ctx_;
+  const NearSmall& ns = *ctx.near_small[si];
+  const RootedTree& rs = *ctx.source_trees[si];
+
+  for (std::uint32_t li = 0; li < dsr_->num_landmarks(); ++li) {
+    const Vertex r = dsr_->landmarks()[li];
+    const Dist depth = rs.dist(r);
+    if (depth == kInfDist || depth == 0) continue;
+    for (std::uint32_t pos = ns.first_near_pos(r); pos < depth; ++pos) {
+      const Dist total = ns.value(r, pos);
+      if (total == kInfDist) continue;
+      const EdgeId eid = ns.near_edge(r, pos).first;
+      const std::vector<Vertex> path = ns.reconstruct_path(r, pos);
+      MSRP_DCHECK(path.size() == static_cast<std::size_t>(total) + 1,
+                  "reconstructed path length mismatch");
+      for (std::uint32_t ix = 0; ix < path.size(); ++ix) {
+        const std::int32_t cidx = ctx.center_index[path[ix]];
+        if (cidx < 0) continue;
+        const Dist suffix = total - ix;
+        auto& table = small_via_[cidx];
+        const std::uint64_t k = small_key(li, eid);
+        Dist* cur = table.find(k);
+        if (cur == nullptr) {
+          table.put(k, suffix);
+        } else if (suffix < *cur) {
+          *cur = suffix;
+        }
+      }
+    }
+  }
+}
+
+void CenterLandmarkTable::build_center(std::uint32_t cidx, MsrpStats& stats) {
+  const BkContext& ctx = *ctx_;
+  const Graph& g = ctx.g;
+  const Vertex c = ctx.center_list[cidx];
+  const RootedTree& rc = ctx.pool.existing(c);
+  const std::uint32_t num_l = dsr_->num_landmarks();
+  const Dist wcap = ctx.params.window(ctx.priority(c));
+
+  // ---- window edge lists: first W(k) edges of each cr path ---------------
+  std::vector<std::vector<WindowEdge>> window(num_l);
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    const Vertex r = dsr_->landmarks()[li];
+    const Dist depth = rc.dist(r);
+    if (depth == kInfDist || depth == 0 || r == c) continue;
+    const Dist wlen = std::min<Dist>(depth, wcap);
+    // Walking up from r yields positions depth-1 .. 0; we need 0 .. wlen-1,
+    // i.e. the edges nearest to c (the top of the tree path).
+    const std::vector<Vertex> path = rc.tree.path_to(r);
+    auto& edges = window[li];
+    edges.resize(wlen);
+    for (std::uint32_t j = 0; j < wlen; ++j) {
+      edges[j] = {rc.tree.parent_edge(path[j + 1]), path[j + 1]};
+    }
+  }
+
+  std::unordered_map<EdgeId, std::vector<std::pair<std::uint32_t, std::uint32_t>>> by_edge;
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    for (std::uint32_t j = 0; j < window[li].size(); ++j) {
+      by_edge[window[li][j].id].emplace_back(li, j);
+    }
+  }
+
+  // ---- nodes: [r] = li, [r, e] follow -------------------------------------
+  AuxGraph aux;
+  aux.add_nodes(num_l);
+  const AuxNode src = aux.add_node();  // [c]
+  std::vector<AuxNode> base(num_l, 0);
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    base[li] = aux.add_nodes(static_cast<std::uint32_t>(window[li].size()));
+  }
+
+  // ---- arcs ----------------------------------------------------------------
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    const Vertex r = dsr_->landmarks()[li];
+    if (r != c && rc.tree.reachable(r)) aux.add_arc(src, li, rc.dist(r));
+  }
+  const auto& small_table = small_via_[cidx];
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    const Vertex r = dsr_->landmarks()[li];
+    for (std::uint32_t j = 0; j < window[li].size(); ++j) {
+      const auto [eid, child] = window[li][j];
+      const auto [eu, ev] = g.endpoints(eid);
+      const AuxNode target = base[li] + j;
+      // 8.2.1 small replacement path through c.
+      if (const Dist* w = small_table.find(small_key(li, eid))) {
+        aux.add_arc(src, target, *w);
+      }
+      // Landmark detours [r'] -> [r, e].
+      for (std::uint32_t lj = 0; lj < num_l; ++lj) {
+        if (lj == li) continue;
+        const Vertex r2 = dsr_->landmarks()[lj];
+        const RootedTree& rr2 = ctx.pool.existing(r2);
+        const Dist drr = rr2.dist(r);
+        const auto prio2 = static_cast<std::uint32_t>(ctx.landmarks.priority(r2));
+        if (drr > ctx.prune_radius(prio2)) continue;
+        if (rr2.edge_on_path_to(eid, eu, ev, r)) continue;  // e on r'r
+        if (!rc.anc.is_ancestor(child, r2)) {               // e not on cr'
+          aux.add_arc(lj, target, drr);
+        }
+      }
+      // Same-edge chains [r', e] -> [r, e].
+      for (const auto& [lj, j2] : by_edge[eid]) {
+        if (lj == li) continue;
+        const Vertex r2 = dsr_->landmarks()[lj];
+        const RootedTree& rr2 = ctx.pool.existing(r2);
+        const Dist drr = rr2.dist(r);
+        const auto prio2 = static_cast<std::uint32_t>(ctx.landmarks.priority(r2));
+        if (drr > ctx.prune_radius(prio2)) continue;
+        if (rr2.edge_on_path_to(eid, eu, ev, r)) continue;
+        aux.add_arc(base[lj] + j2, target, drr);
+      }
+    }
+  }
+
+  stats.bk_center_landmark_aux_arcs += aux.num_arcs();
+  const DijkstraResult dij = dijkstra(aux, src);
+
+  auto& table = dcr_[cidx];
+  for (std::uint32_t li = 0; li < num_l; ++li) {
+    for (std::uint32_t j = 0; j < window[li].size(); ++j) {
+      const Dist d = dij.dist[base[li] + j];
+      if (d != kInfDist) table.put(dcr_key(li, j), d);
+    }
+  }
+}
+
+Dist CenterLandmarkTable::avoiding(Vertex c, Vertex r, EdgeId e, Vertex eu, Vertex ev) const {
+  const BkContext& ctx = *ctx_;
+  const RootedTree& rc = ctx.pool.existing(c);
+  // Deeper endpoint of e in T_c, if e is one of its tree edges.
+  Vertex child = kNoVertex;
+  if (rc.tree.parent_edge(eu) == e) child = eu;
+  if (rc.tree.parent_edge(ev) == e) child = ev;
+  if (child == kNoVertex || !rc.anc.is_ancestor(child, r)) return rc.dist(r);
+  const std::uint32_t pos_from_c = rc.dist(child) - 1;
+  const auto cidx = static_cast<std::uint32_t>(ctx.center_index[c]);
+  const auto li = static_cast<std::uint32_t>(dsr_->landmark_index(r));
+  return dcr_[cidx].get_or(dcr_key(li, pos_from_c), kInfDist);
+}
+
+}  // namespace msrp

@@ -1,0 +1,53 @@
+// Section 8.2: replacement paths from each center to each landmark.
+//
+// 8.2.1 — small near-edge replacement paths from sources to landmarks are
+// enumerated (the Section 7.1 Dijkstra retains parents), and for every
+// center c found on such a path the length of its c..r suffix is recorded:
+// w[c, r, e]. These become [c] -> [r, e] arcs below.
+//
+// 8.2.2 — per center c (priority k), an auxiliary digraph with node [r] per
+// landmark and [r, e] for the first W(k) edges of the canonical cr path:
+//   [c]  -> [r]     weight |cr|
+//   [c]  -> [r, e]  weight w[c, r, e]                  (from 8.2.1)
+//   [r'] -> [r, e]  weight |r'r|  if e not on cr' and not on r'r
+//   [r',e]-> [r, e] weight |r'r|  if e not on r'r      (same failing edge)
+// Dijkstra from [c] yields d(c, r, e) = dist([r, e]) (Lemma 22). The same
+// 2 * 2^priority * T prune as Section 8.1 applies to landmark detours.
+#pragma once
+
+#include "core/bk.hpp"
+#include "core/landmark_rp.hpp"
+#include "util/cuckoo_hash.hpp"
+
+namespace msrp {
+
+class CenterLandmarkTable {
+ public:
+  CenterLandmarkTable(const BkContext& ctx, const LandmarkRpTable& dsr);
+
+  /// 8.2.1: enumerate the small replacement paths of source `si` and record
+  /// center pass-throughs.
+  void accumulate_small_via(std::uint32_t si);
+
+  /// 8.2.2: build center c's auxiliary graph and run Dijkstra.
+  void build_center(std::uint32_t cidx, MsrpStats& stats);
+
+  /// d(c, r, e) for edge e with endpoints (eu, ev). Returns |cr| when e is
+  /// off the canonical cr path, kInfDist beyond the stored window.
+  Dist avoiding(Vertex c, Vertex r, EdgeId e, Vertex eu, Vertex ev) const;
+
+ private:
+  static std::uint64_t small_key(std::uint32_t lidx, EdgeId e) {
+    return (std::uint64_t{lidx} << 32) | e;
+  }
+  static std::uint64_t dcr_key(std::uint32_t lidx, std::uint32_t pos_from_c) {
+    return (std::uint64_t{lidx} << 32) | pos_from_c;
+  }
+
+  const BkContext* ctx_;
+  const LandmarkRpTable* dsr_;
+  std::vector<CuckooHash<Dist>> small_via_;  // per center: (lidx, edge) -> |P[c, r]|
+  std::vector<CuckooHash<Dist>> dcr_;        // per center: (lidx, pos)  -> d(c, r, e)
+};
+
+}  // namespace msrp

@@ -1,0 +1,57 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msrp {
+
+Params::Params(Vertex n, std::uint32_t sigma, const Config& cfg)
+    : n_(n), sigma_(sigma), window_scale_(cfg.window_scale) {
+  MSRP_REQUIRE(n >= 1, "graph must be non-empty");
+  MSRP_REQUIRE(sigma >= 1 && sigma <= n, "need 1 <= sigma <= n");
+  MSRP_REQUIRE(cfg.oversample > 0, "oversample must be positive");
+  MSRP_REQUIRE(cfg.window_scale >= 2.0, "window_scale below the paper's minimum l >= 2");
+
+  const double nd = n, sd = sigma;
+  double near_scale = cfg.near_scale;
+  if (cfg.paper_constants) near_scale = std::max(1.0, std::log2(nd));
+  MSRP_REQUIRE(near_scale > 0, "near_scale must be positive");
+
+  if (cfg.exact) {
+    // T >= n makes every edge near and every replacement path small, so the
+    // deterministic Section 7.1 Dijkstra answers every query by itself.
+    t_ = n;
+  } else {
+    t_ = std::max<Dist>(1, static_cast<Dist>(std::llround(near_scale * std::sqrt(nd / sd))));
+  }
+
+  // k ranges to log2(sqrt(n * sigma)) (Definition 3).
+  levels_ = static_cast<std::uint32_t>(std::ceil(std::log2(std::max(2.0, std::sqrt(nd * sd)))));
+
+  base_prob_ = std::min(1.0, cfg.oversample * 4.0 * std::sqrt(sd / nd));
+}
+
+double Params::sample_prob(std::uint32_t k) const {
+  return std::min(1.0, base_prob_ / static_cast<double>(1u << std::min(k, 31u)));
+}
+
+Dist Params::window(std::uint32_t k) const {
+  const double w = window_scale_ * std::ldexp(static_cast<double>(t_), static_cast<int>(k));
+  if (w >= static_cast<double>(n_)) return n_;  // windows never need to exceed a path length
+  return static_cast<Dist>(w);
+}
+
+std::uint32_t Params::far_bucket(Dist et) const {
+  MSRP_DCHECK(et >= 2 * static_cast<std::uint64_t>(t_), "edge is near, not far");
+  // Largest k with 2^{k+1} T <= et.
+  std::uint32_t k = 0;
+  while (k + 1 <= levels_ && (std::uint64_t{t_} << (k + 2)) <= et) ++k;
+  return std::min(k, levels_);
+}
+
+Dist Params::far_radius(std::uint32_t k) const {
+  const std::uint64_t r = std::uint64_t{t_} << k;
+  return r >= kInfDist ? kInfDist - 1 : static_cast<Dist>(r);
+}
+
+}  // namespace msrp

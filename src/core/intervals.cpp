@@ -1,0 +1,101 @@
+#include "core/intervals.hpp"
+
+#include <algorithm>
+
+namespace msrp {
+
+SrDecomposition decompose_sr_path(const BkContext& ctx, std::uint32_t si,
+                                  const std::vector<Vertex>& path,
+                                  const SourceCenterTable& dsc,
+                                  const CenterLandmarkTable& dcr) {
+  MSRP_REQUIRE(path.size() >= 2, "decomposition needs a non-trivial path");
+  const RootedTree& rs = *ctx.source_trees[si];
+  const Vertex r = path.back();
+  const auto depth = static_cast<std::uint32_t>(path.size() - 1);
+
+  // ---- centers on the path ------------------------------------------------
+  struct OnPath {
+    std::uint32_t pos;
+    Vertex v;
+    std::uint32_t prio;
+  };
+  std::vector<OnPath> centers;
+  for (std::uint32_t pos = 0; pos <= depth; ++pos) {
+    if (ctx.center_index[path[pos]] >= 0) {
+      centers.push_back({pos, path[pos], ctx.priority(path[pos])});
+    }
+  }
+  // s and r are members of C_0, so the list brackets the whole path.
+  MSRP_CHECK(!centers.empty() && centers.front().pos == 0 && centers.back().pos == depth,
+             "sources and landmarks must be centers");
+
+  // ---- staircase selection (Definition 15) --------------------------------
+  std::uint32_t max_prio = 0;
+  for (const auto& c : centers) max_prio = std::max(max_prio, c.prio);
+
+  std::vector<std::uint32_t> selected;  // indices into `centers`
+  // Ascending from s: next strictly higher priority until the maximum.
+  {
+    std::uint32_t cur = centers.front().prio;
+    selected.push_back(0);
+    for (std::uint32_t i = 1; i < centers.size() && cur < max_prio; ++i) {
+      if (centers[i].prio > cur) {
+        selected.push_back(i);
+        cur = centers[i].prio;
+      }
+    }
+  }
+  // Descending side, scanned from r.
+  {
+    std::uint32_t cur = centers.back().prio;
+    selected.push_back(static_cast<std::uint32_t>(centers.size() - 1));
+    for (std::uint32_t i = static_cast<std::uint32_t>(centers.size() - 1);
+         i-- > 0 && cur < max_prio;) {
+      if (centers[i].prio > cur) {
+        selected.push_back(i);
+        cur = centers[i].prio;
+      }
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()), selected.end());
+
+  SrDecomposition out;
+  for (const std::uint32_t i : selected) {
+    out.boundary_pos.push_back(centers[i].pos);
+    out.boundary_center.push_back(centers[i].v);
+  }
+
+  // ---- per-edge interval + MTC --------------------------------------------
+  const auto num_intervals = static_cast<std::uint32_t>(out.boundary_pos.size() - 1);
+  out.mtc.assign(depth, kInfDist);
+  out.interval_of.assign(depth, 0);
+  out.bottleneck_pos.assign(num_intervals, 0);
+  std::vector<Dist> bottleneck_val(num_intervals, 0);
+
+  std::uint32_t iv = 0;
+  for (std::uint32_t pos = 0; pos < depth; ++pos) {
+    while (iv + 1 < num_intervals && out.boundary_pos[iv + 1] <= pos) ++iv;
+    out.interval_of[pos] = iv;
+    const Vertex c1 = out.boundary_center[iv];
+    const Vertex c2 = out.boundary_center[iv + 1];
+    const Vertex child = path[pos + 1];
+    const EdgeId eid = rs.tree.parent_edge(child);
+    const auto [eu, ev] = ctx.g.endpoints(eid);
+
+    const Dist term1 = sat_add(rs.dist(c1), dcr.avoiding(c1, r, eid, eu, ev));
+    const Dist term2 = sat_add(dsc.avoiding(si, c2, child), ctx.pool.existing(c2).dist(r));
+    const Dist m = std::min(term1, term2);
+    out.mtc[pos] = m;
+
+    // Bottleneck: maximal MTC in the interval. The interval's first edge
+    // (pos == boundary_pos[iv]) initializes; later edges must beat it.
+    if (pos == out.boundary_pos[iv] || m > bottleneck_val[iv]) {
+      bottleneck_val[iv] = m;
+      out.bottleneck_pos[iv] = pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace msrp

@@ -1,0 +1,51 @@
+// Section 8.3 support: interval decomposition of sr paths (Definition 15),
+// MTC (Definition 17), and bottleneck edges (Definition 23).
+//
+// The centers on the canonical sr path are scanned into the paper's
+// "staircase": walking from s, each next center with strictly higher
+// priority is selected until the maximum priority is reached; symmetrically
+// from r. Consecutive selected centers delimit the intervals. Because
+// sources and landmarks are both forced into C_0 (bk.hpp), the first
+// boundary is s itself and the last is r, so every edge lies between two
+// proper centers and both MTC terms are always defined:
+//
+//   MTC(s, r, e) = min( |s c1| + d(c1, r, e),     [8.2.2 table]
+//                       d(s, c2, e) + |c2 r| )    [8.1 table]
+//
+// The bottleneck of an interval is its max-MTC edge (by Lemma 24 the third
+// path-cover term is constant per interval, so MTC ranks the edges).
+#pragma once
+
+#include "core/bk.hpp"
+#include "core/center_landmark.hpp"
+#include "core/source_center.hpp"
+
+namespace msrp {
+
+/// Decomposition and per-edge data for one (source, landmark) pair.
+struct SrDecomposition {
+  // Selected boundary centers: positions on the path (ascending, first is 0
+  // = s, last is dist(r) = r) and the center vertices themselves.
+  std::vector<std::uint32_t> boundary_pos;
+  std::vector<Vertex> boundary_center;
+
+  // Per path-edge position: MTC value and the interval index it lies in.
+  std::vector<Dist> mtc;
+  std::vector<std::uint32_t> interval_of;
+
+  // Per interval: position of the bottleneck edge (max MTC).
+  std::vector<std::uint32_t> bottleneck_pos;
+
+  std::uint32_t num_intervals() const {
+    return static_cast<std::uint32_t>(bottleneck_pos.size());
+  }
+};
+
+/// Builds the decomposition and MTC/bottleneck data for (si, r). `path` is
+/// the canonical s..r vertex sequence (at least 2 vertices).
+SrDecomposition decompose_sr_path(const BkContext& ctx, std::uint32_t si,
+                                  const std::vector<Vertex>& path,
+                                  const SourceCenterTable& dsc,
+                                  const CenterLandmarkTable& dcr);
+
+}  // namespace msrp

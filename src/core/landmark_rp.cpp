@@ -1,0 +1,38 @@
+#include "core/landmark_rp.hpp"
+
+namespace msrp {
+
+LandmarkRpTable::LandmarkRpTable(const Graph& g, std::vector<const RootedTree*> source_trees,
+                                 const std::vector<Vertex>& landmark_list)
+    : source_trees_(std::move(source_trees)), landmarks_(landmark_list) {
+  lidx_.assign(g.num_vertices(), -1);
+  for (std::uint32_t i = 0; i < landmarks_.size(); ++i) {
+    lidx_[landmarks_[i]] = static_cast<std::int32_t>(i);
+  }
+  rows_.resize(source_trees_.size() * landmarks_.size());
+  // Pre-size rows so mutable_row callers can write by position directly.
+  for (std::uint32_t si = 0; si < source_trees_.size(); ++si) {
+    const BfsTree& t = source_trees_[si]->tree;
+    for (std::uint32_t li = 0; li < landmarks_.size(); ++li) {
+      const Dist d = t.dist(landmarks_[li]);
+      rows_[si * landmarks_.size() + li].assign(d == kInfDist ? 0 : d, kInfDist);
+    }
+  }
+}
+
+void LandmarkRpTable::fill_mmg(const Graph& g, TreePool* pool) {
+  for (std::uint32_t si = 0; si < source_trees_.size(); ++si) {
+    const BfsTree& ts = source_trees_[si]->tree;
+    for (std::uint32_t li = 0; li < landmarks_.size(); ++li) {
+      const Vertex r = landmarks_[li];
+      if (!ts.reachable(r) || r == ts.root()) continue;
+      if (pool != nullptr) {
+        mutable_row(si, li) = replacement_paths(g, ts, pool->at(r).tree).avoiding;
+      } else {
+        mutable_row(si, li) = replacement_paths(g, ts, r).avoiding;
+      }
+    }
+  }
+}
+
+}  // namespace msrp

@@ -1,0 +1,55 @@
+#include "core/landmarks.hpp"
+
+#include <algorithm>
+
+namespace msrp {
+
+LevelSets::LevelSets(const Params& params, const std::vector<Vertex>& forced, Rng& rng) {
+  const Vertex n = params.n();
+  priority_.assign(n, -1);
+  levels_.resize(params.num_levels() + 1);
+
+  for (std::uint32_t k = 0; k <= params.num_levels(); ++k) {
+    const double p = params.sample_prob(k);
+    for (Vertex v = 0; v < n; ++v) {
+      if (rng.next_bernoulli(p)) {
+        levels_[k].push_back(v);
+        priority_[v] = std::max(priority_[v], static_cast<std::int32_t>(k));
+      }
+    }
+  }
+  for (const Vertex v : forced) {
+    MSRP_REQUIRE(v < n, "forced member out of range");
+    if (priority_[v] < 0 ||
+        std::find(levels_[0].begin(), levels_[0].end(), v) == levels_[0].end()) {
+      levels_[0].push_back(v);
+    }
+    priority_[v] = std::max(priority_[v], 0);
+  }
+  std::sort(levels_[0].begin(), levels_[0].end());
+  levels_[0].erase(std::unique(levels_[0].begin(), levels_[0].end()), levels_[0].end());
+
+  for (Vertex v = 0; v < n; ++v) {
+    if (priority_[v] >= 0) members_.push_back(v);
+  }
+}
+
+const RootedTree& TreePool::at(Vertex v) {
+  MSRP_REQUIRE(v < slot_.size(), "root out of range");
+  if (slot_[v] == kNoSlot) {
+    slot_[v] = static_cast<std::uint32_t>(trees_.size());
+    trees_.push_back(std::make_unique<RootedTree>(*g_, v));
+  }
+  return *trees_[slot_[v]];
+}
+
+const RootedTree& TreePool::existing(Vertex v) const {
+  MSRP_REQUIRE(v < slot_.size() && slot_[v] != kNoSlot, "tree was never built");
+  return *trees_[slot_[v]];
+}
+
+void TreePool::ensure(const std::vector<Vertex>& roots) {
+  for (const Vertex v : roots) at(v);
+}
+
+}  // namespace msrp

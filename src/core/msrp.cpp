@@ -1,0 +1,120 @@
+#include "core/msrp.hpp"
+
+#include "core/assembly.hpp"
+#include "core/bk.hpp"
+#include "core/landmark_rp.hpp"
+#include "core/near_small.hpp"
+
+namespace msrp {
+namespace {
+
+class MsrpEngine {
+ public:
+  MsrpEngine(const Graph& g, const std::vector<Vertex>& sources, const Config& cfg)
+      : g_(g),
+        cfg_(cfg),
+        params_(g.num_vertices(), static_cast<std::uint32_t>(sources.size()), cfg),
+        pool_(g),
+        result_(g, sources) {}
+
+  MsrpResult run() {
+    PhaseTimers timers;
+
+    // ---- sampling (Definition 3) + preprocessing BFS trees ---------------
+    Rng rng(cfg_.seed);
+    {
+      auto t = timers.scope("sample+bfs");
+      Rng landmark_rng = rng.split();
+      Rng center_rng = rng.split();
+      landmarks_.emplace(params_, result_.sources(), landmark_rng);
+      // C_0 additionally holds all landmarks: it closes the first/last
+      // interval recursions of Section 8.3 (see bk.hpp).
+      std::vector<Vertex> forced_centers = result_.sources();
+      forced_centers.insert(forced_centers.end(), landmarks_->members().begin(),
+                            landmarks_->members().end());
+      centers_.emplace(params_, forced_centers, center_rng);
+
+      pool_.ensure(landmarks_->members());
+      if (cfg_.landmark_rp == LandmarkRpMethod::kBkAuxGraphs) {
+        pool_.ensure(centers_->members());
+      }
+    }
+
+    std::vector<const RootedTree*> source_trees;
+    for (const Vertex s : result_.sources()) source_trees.push_back(&result_.rooted(s));
+
+    // ---- d(s, r, e) for landmarks (Section 3 or Section 8) ---------------
+    LandmarkRpTable dsr(g_, source_trees, landmarks_->members());
+    std::vector<std::unique_ptr<NearSmall>> near_small(result_.num_sources());
+    if (cfg_.landmark_rp == LandmarkRpMethod::kMmgPerPair) {
+      auto t = timers.scope("landmark_rp_mmg");
+      dsr.fill_mmg(g_, &pool_);
+    } else {
+      {
+        auto t = timers.scope("near_small_dijkstra");
+        build_near_small(source_trees, near_small);
+      }
+      std::vector<const NearSmall*> ns_view;
+      for (const auto& p : near_small) ns_view.push_back(p.get());
+      BkContext ctx(g_, params_, pool_, *landmarks_, *centers_, source_trees, ns_view);
+      fill_landmark_rp_bk(ctx, dsr, result_.stats(), timers);
+    }
+
+    // ---- Sections 6 + 7: per-target assembly ------------------------------
+    for (std::uint32_t si = 0; si < result_.num_sources(); ++si) {
+      if (!near_small[si]) {
+        auto t = timers.scope("near_small_dijkstra");
+        near_small[si] = std::make_unique<NearSmall>(g_, *source_trees[si], params_);
+        result_.stats().near_small_aux_nodes += near_small[si]->aux_nodes();
+        result_.stats().near_small_aux_arcs += near_small[si]->aux_arcs();
+      }
+      auto t = timers.scope("assembly");
+      assemble_source_rows(g_, si, *source_trees[si], *landmarks_, pool_, dsr,
+                           *near_small[si], params_, result_);
+      near_small[si].reset();  // free the per-source auxiliary graph early
+    }
+
+    // ---- stats ------------------------------------------------------------
+    auto& st = result_.stats();
+    st.num_landmarks = landmarks_->members().size();
+    st.num_centers =
+        cfg_.landmark_rp == LandmarkRpMethod::kBkAuxGraphs ? centers_->members().size() : 0;
+    st.num_trees = pool_.size() + result_.num_sources();
+    for (std::uint32_t k = 0; k < landmarks_->num_levels(); ++k) {
+      st.landmarks_per_level.push_back(landmarks_->level(k).size());
+    }
+    if (cfg_.collect_phase_timings) st.phase_seconds = timers.totals();
+    return std::move(result_);
+  }
+
+ private:
+  void build_near_small(const std::vector<const RootedTree*>& source_trees,
+                        std::vector<std::unique_ptr<NearSmall>>& out) {
+    for (std::uint32_t si = 0; si < out.size(); ++si) {
+      out[si] = std::make_unique<NearSmall>(g_, *source_trees[si], params_);
+      result_.stats().near_small_aux_nodes += out[si]->aux_nodes();
+      result_.stats().near_small_aux_arcs += out[si]->aux_arcs();
+    }
+  }
+
+  const Graph& g_;
+  Config cfg_;
+  Params params_;
+  TreePool pool_;
+  MsrpResult result_;
+  std::optional<LevelSets> landmarks_;
+  std::optional<LevelSets> centers_;
+};
+
+}  // namespace
+
+MsrpResult solve_msrp(const Graph& g, const std::vector<Vertex>& sources, const Config& cfg) {
+  MSRP_REQUIRE(g.num_vertices() >= 1, "graph must be non-empty");
+  return MsrpEngine(g, sources, cfg).run();
+}
+
+MsrpResult solve_ssrp(const Graph& g, Vertex source, const Config& cfg) {
+  return solve_msrp(g, {source}, cfg);
+}
+
+}  // namespace msrp

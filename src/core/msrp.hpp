@@ -1,0 +1,29 @@
+// Public entry point: the Multiple Source Replacement Path solver
+// (Theorem 26 — O~(m sqrt(n sigma) + sigma n^2) whp-exact algorithm).
+//
+// Usage:
+//
+//   msrp::Graph g = msrp::gen::connected_gnp(1000, 0.01, rng);
+//   msrp::MsrpResult res = msrp::solve_msrp(g, {3, 77, 512});
+//   for (msrp::EdgeId e : res.tree(3).path_edges(t))
+//     use(res.avoiding(3, t, e));
+//
+// The solver is Monte Carlo: with the default configuration every returned
+// value is the length of a genuine replacement path (never too small) and is
+// exactly optimal with high probability. Config::exact = true switches to a
+// deterministic exact mode (slower; used as a cross-check).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+
+namespace msrp {
+
+/// Solves MSRP for the given sources. Sources must be distinct vertices.
+MsrpResult solve_msrp(const Graph& g, const std::vector<Vertex>& sources,
+                      const Config& cfg = {});
+
+/// Single Source Replacement Paths (Theorem 14): the sigma = 1 special case.
+MsrpResult solve_ssrp(const Graph& g, Vertex source, const Config& cfg = {});
+
+}  // namespace msrp

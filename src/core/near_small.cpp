@@ -1,0 +1,103 @@
+#include "core/near_small.hpp"
+
+#include <algorithm>
+
+namespace msrp {
+
+NearSmall::NearSmall(const Graph& g, const RootedTree& rs, const Params& params)
+    : g_(&g), rs_(&rs) {
+  const Vertex n = g.num_vertices();
+  const BfsTree& ts = rs.tree;
+  const Dist near_span = sat_add(params.near_threshold(), params.near_threshold());
+
+  // Near edges of t are the last min(2T, dist(t)) edges of its path: e at
+  // position i has |et| = dist(t) - i - 1 < 2T  <=>  i >= dist(t) - 2T.
+  first_pos_.assign(n, 0);
+  near_edges_.resize(n);
+  base_.assign(n, 0);
+
+  // Nodes [v] use handles 0..n-1; [t, e] handles follow.
+  aux_.add_nodes(n);
+  for (Vertex t = 0; t < n; ++t) {
+    const Dist d = ts.dist(t);
+    if (d == kInfDist || d == 0) {
+      first_pos_[t] = (d == kInfDist) ? 0 : d;
+      continue;
+    }
+    first_pos_[t] = (d > near_span) ? d - near_span : 0;
+    const std::uint32_t count = d - first_pos_[t];
+    base_[t] = aux_.add_nodes(count);
+    node_vertex_.resize(node_vertex_.size() + count, t);
+    // Walk up from t: parent edges give positions d-1, d-2, ...
+    auto& edges = near_edges_[t];
+    edges.resize(count);
+    Vertex v = t;
+    for (std::uint32_t pos = d; pos-- > first_pos_[t];) {
+      edges[pos - first_pos_[t]] = {ts.parent_edge(v), v};
+      v = ts.parent(v);
+    }
+  }
+
+  // [s] -> [v] with the canonical distance. [v] carries no avoidance
+  // obligation; the guards sit on the arcs into [t, e] nodes.
+  const Vertex s = ts.root();
+  for (Vertex v = 0; v < n; ++v) {
+    if (v != s && ts.reachable(v)) aux_.add_arc(s, v, ts.dist(v));
+  }
+
+  // For every adjacency (v, t) and every near edge e of t:
+  //   [v]    -> [t, e]  if e not on the canonical sv path and (v,t) != e
+  //   [v, e] -> [t, e]  if [v, e] exists and (v,t) != e
+  for (Vertex t = 0; t < n; ++t) {
+    if (!ts.reachable(t)) continue;
+    const auto& edges = near_edges_[t];
+    for (std::uint32_t j = 0; j < edges.size(); ++j) {
+      const auto [eid, child] = edges[j];
+      const AuxNode target = base_[t] + j;
+      const std::uint32_t pos = first_pos_[t] + j;
+      for (const Arc& a : g.neighbors(t)) {
+        const Vertex v = a.to;
+        if (a.edge == eid || !ts.reachable(v)) continue;  // never traverse e itself
+        if (!rs.anc.is_ancestor(child, v)) {
+          aux_.add_arc(v, target, 1);
+        } else if (is_near(v, pos)) {
+          // e is on the sv path (ancestor check) at the same position; the
+          // [v, e] node exists iff that position is near for v.
+          aux_.add_arc(handle(v, pos), target, 1);
+        }
+      }
+    }
+  }
+
+  dij_ = dijkstra(aux_, s);
+}
+
+Dist NearSmall::value(Vertex t, std::uint32_t pos) const {
+  MSRP_DCHECK(t < first_pos_.size(), "vertex out of range");
+  if (!is_near(t, pos)) return kInfDist;
+  return dij_.dist[handle(t, pos)];
+}
+
+std::pair<EdgeId, Vertex> NearSmall::near_edge(Vertex t, std::uint32_t pos) const {
+  MSRP_REQUIRE(is_near(t, pos), "position is not a near edge of t");
+  return near_edges_[t][pos - first_pos_[t]];
+}
+
+std::vector<Vertex> NearSmall::reconstruct_path(Vertex t, std::uint32_t pos) const {
+  if (value(t, pos) == kInfDist) return {};
+  const Vertex n = g_->num_vertices();
+  // Aux path: [s] -> [v] -> chain of [t', e] nodes. Each [t', e] contributes
+  // t'; the leading [v] hop expands to the canonical s..v path.
+  std::vector<Vertex> tail;
+  AuxNode node = handle(t, pos);
+  while (node >= n) {
+    tail.push_back(node_vertex_[node - n]);
+    node = dij_.parent[node];
+  }
+  // `node` is now a [v] node (or [s] itself).
+  std::vector<Vertex> path = rs_->tree.path_to(static_cast<Vertex>(node));
+  path.insert(path.end(), tail.rbegin(), tail.rend());
+  return path;
+}
+
+}  // namespace msrp

@@ -1,0 +1,70 @@
+// Section 7.1: small replacement paths avoiding near edges, for one source.
+//
+// Builds the auxiliary graph G_s — nodes [v] for every vertex plus [t, e] for
+// every near edge e on the canonical st path — and runs Dijkstra from [s].
+// The resulting w[t, e] equals |st <> e| whenever the replacement path is
+// "small" (|P| <= |se| + 2T, Lemma 10); for large paths it is still the
+// length of a genuine e-avoiding path, i.e. a safe upper bound.
+//
+// This phase is fully deterministic (no sampling), which is why
+// Config::exact — which makes every edge near and every replacement small —
+// turns the whole algorithm into an exact one.
+//
+// The class keeps the Dijkstra parents so Section 8.2.1 can reconstruct the
+// actual small replacement paths and enumerate the centers lying on them.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "spath/aux_graph.hpp"
+#include "spath/dijkstra.hpp"
+#include "tree/ancestry.hpp"
+
+namespace msrp {
+
+class NearSmall {
+ public:
+  /// `rs` is the source's rooted tree; both must outlive this object.
+  NearSmall(const Graph& g, const RootedTree& rs, const Params& params);
+
+  /// First near position on the canonical path to t (positions
+  /// [first_near_pos(t), dist(t) - 1] are near). Equals dist(t) when t is
+  /// unreachable (no positions).
+  std::uint32_t first_near_pos(Vertex t) const { return first_pos_[t]; }
+
+  bool is_near(Vertex t, std::uint32_t pos) const {
+    return pos >= first_pos_[t] && pos - first_pos_[t] < near_edges_[t].size();
+  }
+
+  /// w[t, e_pos]: Dijkstra distance to [t, e]; kInfDist when the position is
+  /// not near or no avoiding path was found.
+  Dist value(Vertex t, std::uint32_t pos) const;
+
+  /// Edge id and deeper endpoint of the near path edge of t at `pos`.
+  std::pair<EdgeId, Vertex> near_edge(Vertex t, std::uint32_t pos) const;
+
+  /// The actual replacement path (vertex sequence s..t) realizing
+  /// value(t, pos); empty when the value is kInfDist.
+  std::vector<Vertex> reconstruct_path(Vertex t, std::uint32_t pos) const;
+
+  std::size_t aux_nodes() const { return aux_.num_nodes(); }
+  std::size_t aux_arcs() const { return aux_.num_arcs(); }
+
+ private:
+  AuxNode handle(Vertex t, std::uint32_t pos) const {
+    return base_[t] + (pos - first_pos_[t]);
+  }
+
+  const Graph* g_;
+  const RootedTree* rs_;
+  std::vector<std::uint32_t> first_pos_;
+  std::vector<AuxNode> base_;  // first [t, e] handle per t
+  // near_edges_[t][pos - first_pos_[t]] = (edge id, deeper endpoint)
+  std::vector<std::vector<std::pair<EdgeId, Vertex>>> near_edges_;
+  std::vector<Vertex> node_vertex_;  // [t, e] handle - n -> t (path reconstruction)
+  AuxGraph aux_;
+  DijkstraResult dij_;
+};
+
+}  // namespace msrp

@@ -1,0 +1,114 @@
+#include "core/serialize.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace msrp {
+namespace {
+
+constexpr const char* kHeader = "msrp-result 1";
+
+void write_dist(std::ostream& os, Dist d) {
+  if (d == kInfDist) {
+    os << "inf";
+  } else {
+    os << d;
+  }
+}
+
+Dist parse_dist(const std::string& tok) {
+  if (tok == "inf") return kInfDist;
+  return static_cast<Dist>(std::stoul(tok));
+}
+
+}  // namespace
+
+void write_result(std::ostream& os, const MsrpResult& res) {
+  os << kHeader << '\n';
+  const Vertex n = res.tree(res.sources().front()).num_vertices();
+  os << n << ' ' << res.sources().size() << '\n';
+  for (const Vertex s : res.sources()) {
+    os << "source " << s << '\n';
+    for (Vertex t = 0; t < n; ++t) {
+      const Dist d = res.shortest(s, t);
+      if (d == kInfDist || t == s) continue;
+      os << t << ' ' << d;
+      for (const Dist rd : res.row(s, t)) {
+        os << ' ';
+        write_dist(os, rd);
+      }
+      os << '\n';
+    }
+  }
+}
+
+SerializedResult SerializedResult::read(std::istream& is) {
+  SerializedResult out;
+  std::string line;
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  MSRP_REQUIRE(next_line() && line == kHeader, "serialized result: bad header");
+  MSRP_REQUIRE(next_line(), "serialized result: missing dimensions");
+  {
+    std::istringstream dims(line);
+    std::uint64_t n = 0, sigma = 0;
+    MSRP_REQUIRE(static_cast<bool>(dims >> n >> sigma), "serialized result: bad dimensions");
+    out.n_ = static_cast<Vertex>(n);
+    out.sources_.reserve(sigma);
+  }
+
+  std::int32_t current = -1;
+  while (next_line()) {
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "source") {
+      std::uint64_t s = 0;
+      MSRP_REQUIRE(static_cast<bool>(ls >> s) && s < out.n_, "serialized result: bad source");
+      out.sources_.push_back(static_cast<Vertex>(s));
+      out.shortest_.emplace_back(out.n_, kInfDist);
+      out.rows_.emplace_back(out.n_);
+      current = static_cast<std::int32_t>(out.sources_.size() - 1);
+      out.shortest_[current][out.sources_.back()] = 0;
+      continue;
+    }
+    MSRP_REQUIRE(current >= 0, "serialized result: row before any source");
+    const auto t = static_cast<Vertex>(std::stoul(first));
+    MSRP_REQUIRE(t < out.n_, "serialized result: target out of range");
+    std::string tok;
+    MSRP_REQUIRE(static_cast<bool>(ls >> tok), "serialized result: missing distance");
+    const Dist d = parse_dist(tok);
+    out.shortest_[current][t] = d;
+    auto& row = out.rows_[current][t];
+    while (ls >> tok) row.push_back(parse_dist(tok));
+    MSRP_REQUIRE(d == kInfDist || row.size() == d,
+                 "serialized result: row length disagrees with distance");
+  }
+  return out;
+}
+
+std::uint32_t SerializedResult::source_index(Vertex s) const {
+  for (std::uint32_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i] == s) return i;
+  }
+  throw std::invalid_argument("not a source in the serialized result");
+}
+
+Dist SerializedResult::shortest(Vertex s, Vertex t) const {
+  MSRP_REQUIRE(t < n_, "target out of range");
+  return shortest_[source_index(s)][t];
+}
+
+std::span<const Dist> SerializedResult::row(Vertex s, Vertex t) const {
+  MSRP_REQUIRE(t < n_, "target out of range");
+  const auto& r = rows_[source_index(s)][t];
+  return {r.data(), r.size()};
+}
+
+}  // namespace msrp

@@ -1,0 +1,51 @@
+// Text serialization of solver output.
+//
+// Format (line-oriented, '#' comments allowed on load):
+//   msrp-result 1            header + version
+//   <n> <sigma>
+//   per source s:            "source <s>"
+//   per reachable target t:  "<t> <d(s,t)> <row...>"  ("inf" for kInfDist)
+//
+// The deserialized form is a plain lookup table (SerializedResult), not a
+// full MsrpResult — it answers the same row/avoiding queries but does not
+// retain the BFS trees. Intended for caching expensive solves and for
+// golden-file tests.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace msrp {
+
+/// Writes every row of `res`.
+void write_result(std::ostream& os, const MsrpResult& res);
+
+/// Deserialized replacement table.
+class SerializedResult {
+ public:
+  /// Parses the write_result format; throws std::invalid_argument on
+  /// malformed input.
+  static SerializedResult read(std::istream& is);
+
+  Vertex num_vertices() const { return n_; }
+  const std::vector<Vertex>& sources() const { return sources_; }
+
+  /// d(s, t); kInfDist if unreachable (or t == s: 0).
+  Dist shortest(Vertex s, Vertex t) const;
+
+  /// Replacement row for (s, t), positions along the canonical path.
+  std::span<const Dist> row(Vertex s, Vertex t) const;
+
+ private:
+  std::uint32_t source_index(Vertex s) const;
+
+  Vertex n_ = 0;
+  std::vector<Vertex> sources_;
+  // per source: per target: shortest + row
+  std::vector<std::vector<Dist>> shortest_;
+  std::vector<std::vector<std::vector<Dist>>> rows_;
+};
+
+}  // namespace msrp

@@ -1,0 +1,44 @@
+// Section 8.1: replacement paths from each source to each center.
+//
+// For source s, an auxiliary digraph is built with a node [c] per center and
+// nodes [c, e] for the first W(priority(c)) edges of the canonical cs path
+// (counted from c). Arc guards ensure every auxiliary path corresponds to a
+// genuine e-avoiding walk:
+//   [s]  -> [c]     weight |sc|                      (canonical prefix)
+//   [s]  -> [c, e]  weight w[c, e]                   (Section 7.1 small RP)
+//   [c'] -> [c, e]  weight |c'c|   if e not on sc' and not on c'c
+//   [c',e]->[c, e]  weight |c'c|   if e not on c'c   (same failing edge e)
+// Dijkstra from [s] then yields d(s, c, e) = dist([c, e]) (Lemma 20).
+//
+// Candidate arcs from [c'] are pruned to |c'c| <= 2 * 2^priority(c') * T:
+// the witnesses Lemma 19 guarantees all sit within half that radius, so the
+// prune never discards the path the correctness proof relies on.
+#pragma once
+
+#include "core/bk.hpp"
+#include "util/cuckoo_hash.hpp"
+
+namespace msrp {
+
+class SourceCenterTable {
+ public:
+  explicit SourceCenterTable(const BkContext& ctx);
+
+  /// Builds the auxiliary graph for source `si` and runs Dijkstra.
+  void build_source(std::uint32_t si, MsrpStats& stats);
+
+  /// d(s, c, e) for the tree edge of T_s with deeper endpoint `e_child`.
+  /// Returns |sc| when e is off the canonical sc path, kInfDist when e is
+  /// beyond the stored window (callers never need those values).
+  Dist avoiding(std::uint32_t si, Vertex c, Vertex e_child) const;
+
+ private:
+  static std::uint64_t key(std::uint32_t cidx, std::uint32_t pos_from_c) {
+    return (std::uint64_t{cidx} << 32) | pos_from_c;
+  }
+
+  const BkContext* ctx_;
+  std::vector<CuckooHash<Dist>> per_source_;  // (cidx, pos_from_c) -> distance
+};
+
+}  // namespace msrp

@@ -1,0 +1,81 @@
+#include "ftsub/ft_subgraph.hpp"
+
+#include <queue>
+
+#include "tree/ancestry.hpp"
+
+namespace msrp {
+namespace {
+
+/// BFS of G - skip_edge whose parent assignment prefers the parent the
+/// original tree used — the "diverge as late as possible" rule.
+void late_divergence_parents(const Graph& g, const BfsTree& ts, EdgeId skip_edge,
+                             std::vector<Dist>& dist, std::vector<EdgeId>& parent_edge) {
+  const Vertex n = g.num_vertices();
+  dist.assign(n, kInfDist);
+  parent_edge.assign(n, kNoEdge);
+  std::queue<Vertex> q;
+  dist[ts.root()] = 0;
+  q.push(ts.root());
+  while (!q.empty()) {
+    const Vertex u = q.front();
+    q.pop();
+    for (const Arc& a : g.neighbors(u)) {
+      if (a.edge == skip_edge) continue;
+      if (dist[a.to] == kInfDist) {
+        dist[a.to] = dist[u] + 1;
+        parent_edge[a.to] = a.edge;
+        q.push(a.to);
+      } else if (dist[a.to] == dist[u] + 1 && ts.parent_edge(a.to) == a.edge) {
+        // An equally short predecessor over the original tree edge: prefer
+        // it so the path follows T_s maximally.
+        parent_edge[a.to] = a.edge;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FtSubgraph build_ft_subgraph(const Graph& g, const std::vector<Vertex>& sources) {
+  MSRP_REQUIRE(!sources.empty(), "need at least one source");
+  std::vector<bool> keep(g.num_edges(), false);
+  FtSubgraph out;
+
+  std::vector<Dist> dist;
+  std::vector<EdgeId> parent_edge;
+  for (const Vertex s : sources) {
+    const BfsTree ts(g, s);
+    const AncestorIndex anc(ts);
+    // The BFS tree itself.
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (ts.parent_edge(v) != kNoEdge) keep[ts.parent_edge(v)] = true;
+    }
+    // Late-divergence replacement parents for every tree-edge failure.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto child = ts.tree_edge_child(g, e);
+      if (!child.has_value()) continue;
+      late_divergence_parents(g, ts, e, dist, parent_edge);
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        // Only vertices cut off by e (the subtree below it) need new edges;
+        // everyone else keeps their original T_s path.
+        if (!anc.is_ancestor(*child, v)) continue;
+        ++out.edges_considered;
+        if (parent_edge[v] != kNoEdge) keep[parent_edge[v]] = true;
+      }
+    }
+  }
+
+  GraphBuilder gb(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (keep[e]) {
+      const auto [u, v] = g.endpoints(e);
+      gb.add_edge(u, v);
+      out.kept_edges.push_back(e);
+    }
+  }
+  out.subgraph = gb.build();
+  return out;
+}
+
+}  // namespace msrp

@@ -1,0 +1,38 @@
+// Multi-source single-fault fault-tolerant BFS subgraph (Parter & Peleg,
+// ESA 2013 — reference [26] in the paper's related work).
+//
+// Goal: a sparse subgraph H of G such that for every source s in S, every
+// target t, and every single edge failure e,
+//
+//   d_H(s, t, e) = d_G(s, t, e).
+//
+// Parter–Peleg prove that taking, for every (s, t, e), a replacement path
+// that diverges from the BFS tree as LATE as possible yields |H| =
+// O(sqrt(sigma) n^{3/2}) edges, and that this is tight.
+//
+// Construction here: per source s and per tree edge e of T_s, run a BFS of
+// G - e whose parent choice prefers the original T_s parent (so shortest
+// paths hug the tree maximally — the late-divergence rule). Union the
+// parent edges of the vertices actually separated by e (the subtree below
+// e); vertices outside the subtree keep their T_s paths, which are already
+// in H. O(n m) time per source; the point of the module is the *size* of H
+// and the preserved distances, both of which tests and EXP-9 measure.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tree/bfs_tree.hpp"
+
+namespace msrp {
+
+struct FtSubgraph {
+  Graph subgraph;                  // H, on the same vertex set as G
+  std::vector<EdgeId> kept_edges;  // ids (into the ORIGINAL graph) kept in H
+  std::uint64_t edges_considered = 0;
+};
+
+/// Builds the single-fault FT-BFS subgraph for the given sources.
+FtSubgraph build_ft_subgraph(const Graph& g, const std::vector<Vertex>& sources);
+
+}  // namespace msrp

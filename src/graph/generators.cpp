@@ -1,0 +1,225 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace msrp::gen {
+namespace {
+
+/// Adds G(n,p) edges to `edges`, skipping pairs already in `present`.
+void add_gnp_edges(Vertex n, double p, Rng& rng,
+                   std::set<std::pair<Vertex, Vertex>>& present,
+                   std::vector<std::pair<Vertex, Vertex>>& edges) {
+  if (p <= 0.0 || n < 2) return;
+  if (p >= 1.0) {
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        if (present.emplace(u, v).second) edges.emplace_back(u, v);
+      }
+    }
+    return;
+  }
+  // Geometric skipping (Batagelj–Brandes): O(m) expected, exact G(n,p).
+  const double log1mp = std::log1p(-p);
+  std::int64_t v = 1, w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = rng.next_double();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) {
+      auto key = std::make_pair(static_cast<Vertex>(w), static_cast<Vertex>(v));
+      if (present.insert(key).second) edges.push_back(key);
+    }
+  }
+}
+
+}  // namespace
+
+Graph erdos_renyi(Vertex n, double p, Rng& rng) {
+  std::set<std::pair<Vertex, Vertex>> present;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  add_gnp_edges(n, p, rng, present, edges);
+  return Graph(n, edges);
+}
+
+Graph connected_gnp(Vertex n, double p, Rng& rng) {
+  MSRP_REQUIRE(n >= 1, "graph needs at least one vertex");
+  // Random Hamiltonian path backbone under a random permutation.
+  std::vector<Vertex> perm(n);
+  for (Vertex v = 0; v < n; ++v) perm[v] = v;
+  rng.shuffle(perm);
+
+  std::set<std::pair<Vertex, Vertex>> present;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex i = 0; i + 1 < n; ++i) {
+    Vertex u = perm[i], v = perm[i + 1];
+    if (u > v) std::swap(u, v);
+    present.emplace(u, v);
+    edges.emplace_back(u, v);
+  }
+  add_gnp_edges(n, p, rng, present, edges);
+  return Graph(n, edges);
+}
+
+Graph connected_avg_degree(Vertex n, double avg_deg, Rng& rng) {
+  MSRP_REQUIRE(n >= 2, "need at least two vertices");
+  const double p = std::min(1.0, avg_deg / static_cast<double>(n - 1));
+  return connected_gnp(n, p, rng);
+}
+
+Graph grid(Vertex rows, Vertex cols) {
+  MSRP_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  GraphBuilder b(rows * cols);
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      const Vertex v = r * cols + c;
+      if (c + 1 < cols) b.add_edge(v, v + 1);
+      if (r + 1 < rows) b.add_edge(v, v + cols);
+    }
+  }
+  return b.build();
+}
+
+Graph path(Vertex n) {
+  MSRP_REQUIRE(n >= 1, "path needs at least one vertex");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle(Vertex n) {
+  MSRP_REQUIRE(n >= 3, "cycle needs at least three vertices");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph path_with_chords(Vertex n, std::uint32_t chords, Rng& rng) {
+  MSRP_REQUIRE(n >= 2, "need at least two vertices");
+  std::set<std::pair<Vertex, Vertex>> present;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) {
+    present.emplace(v, v + 1);
+    edges.emplace_back(v, v + 1);
+  }
+  std::uint32_t added = 0, attempts = 0;
+  while (added < chords && attempts < 50 * chords + 100) {
+    ++attempts;
+    Vertex u = static_cast<Vertex>(rng.next_below(n));
+    Vertex v = static_cast<Vertex>(rng.next_below(n));
+    if (u > v) std::swap(u, v);
+    if (v - u < 2) continue;  // would duplicate a path edge or self-loop
+    if (present.emplace(u, v).second) {
+      edges.emplace_back(u, v);
+      ++added;
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph barbell(Vertex clique, Vertex bridge) {
+  MSRP_REQUIRE(clique >= 2, "cliques need at least two vertices");
+  const Vertex n = 2 * clique + bridge;
+  GraphBuilder b(n);
+  const auto add_clique = [&](Vertex base) {
+    for (Vertex i = 0; i < clique; ++i) {
+      for (Vertex j = i + 1; j < clique; ++j) b.add_edge(base + i, base + j);
+    }
+  };
+  add_clique(0);
+  add_clique(clique + bridge);
+  // Bridge path: last vertex of clique 1 — bridge vertices — first of clique 2.
+  Vertex prev = clique - 1;
+  for (Vertex i = 0; i < bridge; ++i) {
+    b.add_edge(prev, clique + i);
+    prev = clique + i;
+  }
+  b.add_edge(prev, clique + bridge);
+  return b.build();
+}
+
+Graph complete(Vertex n) {
+  MSRP_REQUIRE(n >= 1, "need at least one vertex");
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph star_of_paths(Vertex rays, Vertex ray_len) {
+  MSRP_REQUIRE(rays >= 1 && ray_len >= 1, "need at least one ray of length one");
+  GraphBuilder b(1 + rays * ray_len);
+  for (Vertex r = 0; r < rays; ++r) {
+    Vertex prev = 0;  // hub
+    for (Vertex i = 0; i < ray_len; ++i) {
+      const Vertex v = 1 + r * ray_len + i;
+      b.add_edge(prev, v);
+      prev = v;
+    }
+  }
+  return b.build();
+}
+
+Graph random_tree(Vertex n, Rng& rng) {
+  MSRP_REQUIRE(n >= 1, "tree needs at least one vertex");
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) {
+    b.add_edge(v, static_cast<Vertex>(rng.next_below(v)));
+  }
+  return b.build();
+}
+
+Graph hypercube(std::uint32_t dim) {
+  MSRP_REQUIRE(dim >= 1 && dim <= 24, "hypercube dimension must be in [1, 24]");
+  const Vertex n = Vertex{1} << dim;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t bit = 0; bit < dim; ++bit) {
+      const Vertex u = v ^ (Vertex{1} << bit);
+      if (v < u) b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+Graph random_regular(Vertex n, std::uint32_t d, Rng& rng) {
+  MSRP_REQUIRE(n >= d + 1, "degree too large for vertex count");
+  MSRP_REQUIRE((static_cast<std::uint64_t>(n) * d) % 2 == 0, "n * d must be even");
+  // Configuration model: pair up stubs uniformly; drop self-loops and
+  // duplicates (a vanishing fraction for constant d).
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  rng.shuffle(stubs);
+  std::set<std::pair<Vertex, Vertex>> present;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    Vertex u = stubs[i], v = stubs[i + 1];
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (present.emplace(u, v).second) edges.emplace_back(u, v);
+  }
+  return Graph(n, edges);
+}
+
+Graph random_bipartite(Vertex a, Vertex b, double p, Rng& rng) {
+  MSRP_REQUIRE(a >= 1 && b >= 1, "both parts must be non-empty");
+  GraphBuilder gb(a + b);
+  for (Vertex x = 0; x < a; ++x) {
+    for (Vertex y = 0; y < b; ++y) {
+      if (rng.next_bernoulli(p)) gb.add_edge(x, a + y);
+    }
+  }
+  return gb.build();
+}
+
+}  // namespace msrp::gen

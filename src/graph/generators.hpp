@@ -1,0 +1,74 @@
+// Synthetic graph generators.
+//
+// The paper is evaluated on abstract undirected unweighted graphs; these
+// families exercise the regimes its analysis distinguishes (see DESIGN.md,
+// "Substitutions"): dense/sparse random graphs, high-diameter grids and
+// paths (many far edges), chorded paths (long detours -> long SUFFIX(P)),
+// and the Section 9 BMM gadget.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace msrp::gen {
+
+/// Erdos–Renyi G(n, p). May be disconnected.
+Graph erdos_renyi(Vertex n, double p, Rng& rng);
+
+/// Erdos–Renyi with a random Hamiltonian-path backbone, guaranteeing
+/// connectivity while keeping edge density ~ p. This is the workhorse
+/// family for the benchmarks (replacement paths are only interesting when
+/// most of them exist).
+Graph connected_gnp(Vertex n, double p, Rng& rng);
+
+/// Random graph with expected average degree `avg_deg` plus backbone.
+Graph connected_avg_degree(Vertex n, double avg_deg, Rng& rng);
+
+/// rows x cols grid; vertex (r, c) is r*cols + c. Diameter rows+cols-2.
+Graph grid(Vertex rows, Vertex cols);
+
+/// Simple path 0-1-...-n-1.
+Graph path(Vertex n);
+
+/// Cycle 0-1-...-n-1-0.
+Graph cycle(Vertex n);
+
+/// Path 0..n-1 plus `chords` random long-range chords. High diameter with
+/// occasional shortcuts: produces replacement paths with very long suffixes
+/// (the far-edge / scaling-trick regime of Section 6).
+Graph path_with_chords(Vertex n, std::uint32_t chords, Rng& rng);
+
+/// Two cliques of size k joined by a path of length `bridge`. Every bridge
+/// edge is a cut edge: replacement paths across it do not exist
+/// (d = infinity), exercising unreachability handling.
+Graph barbell(Vertex clique, Vertex bridge);
+
+/// Complete graph K_n.
+Graph complete(Vertex n);
+
+/// Star with `rays` paths of length `ray_len` glued at a hub; replacement
+/// paths between rays must re-cross the hub.
+Graph star_of_paths(Vertex rays, Vertex ray_len);
+
+/// Uniform random spanning tree on n vertices (random parent attachment).
+Graph random_tree(Vertex n, Rng& rng);
+
+/// d-dimensional hypercube: 2^d vertices, adjacency = Hamming distance 1.
+/// Diameter d; every edge has exponentially many replacements — the
+/// best-case topology for replacement paths.
+Graph hypercube(std::uint32_t dim);
+
+/// Random d-regular-ish graph via the configuration model with rejection of
+/// self-loops/multi-edges (residual stubs may lower a few degrees by one).
+/// n * d must be even. Expander-like: constant diameter whp — the extreme
+/// "every edge is near" regime.
+Graph random_regular(Vertex n, std::uint32_t d, Rng& rng);
+
+/// Complete bipartite-ish random graph: parts of size a and b, each cross
+/// edge present with probability p. Bipartite, so replacement distances
+/// preserve parity (see property tests).
+Graph random_bipartite(Vertex a, Vertex b, double p, Rng& rng);
+
+}  // namespace msrp::gen

@@ -1,0 +1,54 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace msrp {
+
+Graph::Graph(Vertex n, const std::vector<std::pair<Vertex, Vertex>>& edges) : n_(n) {
+  endpoints_.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    MSRP_REQUIRE(u < n && v < n, "edge endpoint out of range");
+    MSRP_REQUIRE(u != v, "self-loops are not allowed");
+    if (u > v) std::swap(u, v);
+    endpoints_.emplace_back(u, v);
+  }
+  // Detect duplicates via a sorted copy (keeps EdgeId = input order).
+  {
+    auto sorted = endpoints_;
+    std::sort(sorted.begin(), sorted.end());
+    MSRP_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                 "parallel edges are not allowed");
+  }
+
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : endpoints_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (Vertex v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+
+  arcs_.resize(2 * endpoints_.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < endpoints_.size(); ++e) {
+    const auto [u, v] = endpoints_[e];
+    arcs_[cursor[u]++] = Arc{v, e};
+    arcs_[cursor[v]++] = Arc{u, e};
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    std::sort(arcs_.begin() + offsets_[v], arcs_.begin() + offsets_[v + 1],
+              [](const Arc& a, const Arc& b) {
+                return a.to != b.to ? a.to < b.to : a.edge < b.edge;
+              });
+  }
+}
+
+EdgeId Graph::find_edge(Vertex u, Vertex v) const {
+  MSRP_REQUIRE(u < n_ && v < n_, "vertex out of range");
+  const auto adj = neighbors(u);
+  const auto it = std::lower_bound(adj.begin(), adj.end(), v,
+                                   [](const Arc& a, Vertex x) { return a.to < x; });
+  if (it != adj.end() && it->to == v) return it->edge;
+  return kNoEdge;
+}
+
+}  // namespace msrp

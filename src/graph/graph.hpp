@@ -1,0 +1,110 @@
+// Immutable undirected, unweighted graph in CSR (compressed sparse row) form.
+//
+// This is the substrate every algorithm in the library runs on. Design
+// points that the rest of the code relies on:
+//
+//  * Vertices are 0..n-1 (Vertex = uint32_t). Edges have stable ids
+//    0..m-1 (EdgeId); both endpoints' adjacency entries carry the same id,
+//    so "remove edge e" and "is this tree edge e?" are O(1) id compares.
+//  * Neighbour lists are sorted by (neighbour, edge id). BFS visits them in
+//    that order, which makes shortest-path trees canonical: algorithm and
+//    brute-force oracle agree on *the* st path for every pair (the paper
+//    fixes a shortest-path tree T_s the same way).
+//  * Parallel edges and self-loops are rejected at build time: the paper's
+//    model is a simple graph and replacement paths around one of two
+//    parallel edges are degenerate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace msrp {
+
+using Vertex = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// One adjacency entry: the neighbour and the id of the connecting edge.
+struct Arc {
+  Vertex to;
+  EdgeId edge;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+class Graph {
+ public:
+  /// Builds a graph from an edge list. Duplicate edges (in either
+  /// orientation) and self-loops throw std::invalid_argument.
+  Graph(Vertex n, const std::vector<std::pair<Vertex, Vertex>>& edges);
+
+  /// Empty graph on n vertices.
+  explicit Graph(Vertex n = 0) : Graph(n, {}) {}
+
+  Vertex num_vertices() const { return n_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(endpoints_.size()); }
+
+  /// Sorted adjacency of v.
+  std::span<const Arc> neighbors(Vertex v) const {
+    MSRP_DCHECK(v < n_, "vertex out of range");
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t degree(Vertex v) const {
+    MSRP_DCHECK(v < n_, "vertex out of range");
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Endpoints of edge e as (min, max).
+  std::pair<Vertex, Vertex> endpoints(EdgeId e) const {
+    MSRP_DCHECK(e < num_edges(), "edge out of range");
+    return endpoints_[e];
+  }
+
+  /// Edge id joining u and v, or kNoEdge. O(log deg(u)).
+  EdgeId find_edge(Vertex u, Vertex v) const;
+
+  bool has_edge(Vertex u, Vertex v) const { return find_edge(u, v) != kNoEdge; }
+
+  /// All edges as (u, v) with u < v, indexed by EdgeId.
+  const std::vector<std::pair<Vertex, Vertex>>& edges() const { return endpoints_; }
+
+ private:
+  Vertex n_ = 0;
+  std::vector<std::uint32_t> offsets_;  // n_+1 entries
+  std::vector<Arc> arcs_;               // 2m entries
+  std::vector<std::pair<Vertex, Vertex>> endpoints_;
+};
+
+/// Incremental edge-list accumulator; produces a Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex n) : n_(n) {}
+
+  /// Adds undirected edge {u, v}; duplicates are detected at build().
+  GraphBuilder& add_edge(Vertex u, Vertex v) {
+    MSRP_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+    edges_.emplace_back(u, v);
+    return *this;
+  }
+
+  /// Appends a fresh vertex and returns its id.
+  Vertex add_vertex() { return n_++; }
+
+  Vertex num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  Graph build() const { return Graph(n_, edges_); }
+
+ private:
+  Vertex n_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+};
+
+}  // namespace msrp

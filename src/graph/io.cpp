@@ -1,0 +1,56 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace msrp::io {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edges()) os << u << ' ' << v << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  MSRP_REQUIRE(next_content_line(), "edge list: missing header line");
+  std::istringstream header(line);
+  std::uint64_t n = 0, m = 0;
+  MSRP_REQUIRE(static_cast<bool>(header >> n >> m), "edge list: malformed header");
+  MSRP_REQUIRE(n <= kNoVertex, "edge list: vertex count too large");
+
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    MSRP_REQUIRE(next_content_line(), "edge list: truncated edge section");
+    std::istringstream es(line);
+    std::uint64_t u = 0, v = 0;
+    MSRP_REQUIRE(static_cast<bool>(es >> u >> v), "edge list: malformed edge line");
+    MSRP_REQUIRE(u < n && v < n, "edge list: endpoint out of range");
+    edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return Graph(static_cast<Vertex>(n), edges);
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  write_edge_list(f, g);
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  return read_edge_list(f);
+}
+
+}  // namespace msrp::io

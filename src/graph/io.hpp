@@ -1,0 +1,25 @@
+// Plain-text edge-list serialization.
+//
+// Format: first line "n m", then m lines "u v". Lines starting with '#' are
+// comments. This is the common denominator for importing external graphs
+// into the benchmark harness and for golden-file tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace msrp::io {
+
+/// Writes the graph; inverse of read_edge_list.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses a graph; throws std::invalid_argument on malformed input.
+Graph read_edge_list(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace msrp::io

@@ -1,0 +1,121 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace msrp {
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint32_t> comp(n, static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (comp[s] != static_cast<std::uint32_t>(-1)) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.neighbors(v)) {
+        if (comp[a.to] == static_cast<std::uint32_t>(-1)) {
+          comp[a.to] = next;
+          stack.push_back(a.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::uint32_t num_components(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const auto comp = connected_components(g);
+  return *std::max_element(comp.begin(), comp.end()) + 1;
+}
+
+bool is_connected(const Graph& g) { return g.num_vertices() <= 1 || num_components(g) == 1; }
+
+Dist eccentricity(const Graph& g, Vertex v) {
+  const Vertex n = g.num_vertices();
+  MSRP_REQUIRE(v < n, "vertex out of range");
+  std::vector<Dist> dist(n, kInfDist);
+  std::queue<Vertex> q;
+  dist[v] = 0;
+  q.push(v);
+  Dist ecc = 0;
+  Vertex seen = 1;
+  while (!q.empty()) {
+    const Vertex u = q.front();
+    q.pop();
+    ecc = std::max(ecc, dist[u]);
+    for (const Arc& a : g.neighbors(u)) {
+      if (dist[a.to] == kInfDist) {
+        dist[a.to] = dist[u] + 1;
+        q.push(a.to);
+        ++seen;
+      }
+    }
+  }
+  return seen == n ? ecc : kInfDist;
+}
+
+Dist diameter(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) return 0;
+  Dist best = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const Dist e = eccentricity(g, v);
+    if (e == kInfDist) return kInfDist;
+    best = std::max(best, e);
+  }
+  return best;
+}
+
+std::vector<EdgeId> bridges(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<EdgeId> out;
+  std::vector<std::uint32_t> disc(n, 0), low(n, 0);
+  std::uint32_t timer = 0;
+
+  // Iterative DFS; each frame remembers the arc used to enter the vertex so
+  // we skip that single edge (not all parallel paths) when updating low.
+  struct Frame {
+    Vertex v;
+    EdgeId in_edge;
+    std::size_t next;  // index into neighbors(v)
+  };
+  std::vector<Frame> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (disc[s] != 0) continue;
+    disc[s] = low[s] = ++timer;
+    stack.push_back({s, kNoEdge, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto adj = g.neighbors(f.v);
+      if (f.next < adj.size()) {
+        const Arc a = adj[f.next++];
+        if (a.edge == f.in_edge) continue;
+        if (disc[a.to] == 0) {
+          disc[a.to] = low[a.to] = ++timer;
+          stack.push_back({a.to, a.edge, 0});
+        } else {
+          low[f.v] = std::min(low[f.v], disc[a.to]);
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          low[parent.v] = std::min(low[parent.v], low[done.v]);
+          if (low[done.v] > disc[parent.v]) out.push_back(done.in_edge);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace msrp

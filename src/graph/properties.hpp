@@ -1,0 +1,30 @@
+// Structural queries used by generators' tests and the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/distance.hpp"
+
+namespace msrp {
+
+/// Component id (0-based, in discovery order) per vertex.
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+std::uint32_t num_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter via BFS from every vertex; kInfDist if disconnected.
+/// O(nm) — intended for test/bench-sized graphs.
+Dist diameter(const Graph& g);
+
+/// Eccentricity of v (max BFS distance); kInfDist if some vertex unreachable.
+Dist eccentricity(const Graph& g, Vertex v);
+
+/// All bridge edges (cut edges) via Tarjan's low-link DFS. A replacement
+/// path avoiding a bridge never exists between its two sides.
+std::vector<EdgeId> bridges(const Graph& g);
+
+}  // namespace msrp

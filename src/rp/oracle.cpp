@@ -1,0 +1,26 @@
+#include "rp/oracle.hpp"
+
+namespace msrp {
+
+RpOracle::RpOracle(const Graph& g, Vertex s) : s_(s), ts_(g, s) {
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!ts_.is_tree_edge(g, e)) continue;
+    edge_slot_.put(e, static_cast<std::uint32_t>(dist_avoiding_.size()));
+    dist_avoiding_.push_back(BfsTree(g, s, e).dists());
+  }
+}
+
+Dist RpOracle::distance_avoiding(Vertex v, EdgeId e) const {
+  MSRP_REQUIRE(v < ts_.num_vertices(), "vertex out of range");
+  const std::uint32_t* slot = edge_slot_.find(e);
+  if (slot == nullptr) return ts_.dist(v);  // non-tree edge: paths unaffected
+  return dist_avoiding_[*slot][v];
+}
+
+std::vector<Dist> RpOracle::replacement_row(Vertex t) const {
+  std::vector<Dist> row;
+  for (const EdgeId e : ts_.path_edges(t)) row.push_back(distance_avoiding(t, e));
+  return row;
+}
+
+}  // namespace msrp

@@ -1,0 +1,41 @@
+// Brute-force replacement-path oracle: ground truth for tests and benches.
+//
+// For a source s, the canonical shortest-path tree T_s determines the st
+// path for every t. An edge e can lie on some canonical path only if it is
+// a tree edge of T_s, so the oracle runs one BFS in G - e per tree edge:
+// O(n * (m + n)) per source. Exact and deterministic.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tree/bfs_tree.hpp"
+#include "util/cuckoo_hash.hpp"
+#include "util/distance.hpp"
+
+namespace msrp {
+
+class RpOracle {
+ public:
+  /// Precomputes d(s, v, e) for every tree edge e of T_s and every v.
+  RpOracle(const Graph& g, Vertex s);
+
+  Vertex source() const { return s_; }
+  const BfsTree& tree() const { return ts_; }
+
+  /// Shortest s->v distance in G - e. `e` may be any edge id; for non-tree
+  /// edges the canonical distances are unchanged, so dist(v) is returned.
+  Dist distance_avoiding(Vertex v, EdgeId e) const;
+
+  /// |st <> e_i| for every edge e_i on the canonical s->t path, in order.
+  std::vector<Dist> replacement_row(Vertex t) const;
+
+ private:
+  Vertex s_;
+  BfsTree ts_;
+  // tree edge id -> index into dist_avoiding_
+  CuckooHash<std::uint32_t> edge_slot_;
+  std::vector<std::vector<Dist>> dist_avoiding_;
+};
+
+}  // namespace msrp

@@ -1,0 +1,105 @@
+#include "rp/single_pair.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace msrp {
+namespace {
+
+// f(v): index of the deepest ancestor of v (in T_s) that lies on the
+// canonical s->t path, where path vertices p_j have f = j. Because the path
+// is a tree path from the root, the on-path ancestors of any vertex form a
+// prefix p_0..p_{f(v)}; deleting path edge e_i = (p_i, p_{i+1}) leaves v in
+// the source component iff f(v) <= i.
+std::vector<std::uint32_t> divergence_index(const BfsTree& ts,
+                                            const std::vector<Vertex>& path) {
+  const Vertex n = ts.num_vertices();
+  constexpr auto kUnset = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> f(n, kUnset);
+  for (std::uint32_t j = 0; j < path.size(); ++j) f[path[j]] = j;
+  // BFS discovery order guarantees parents are resolved before children.
+  for (const Vertex v : ts.order()) {
+    if (f[v] != kUnset) continue;  // on-path vertex (or root)
+    const Vertex p = ts.parent(v);
+    f[v] = (p == kNoVertex) ? 0 : f[p];
+  }
+  return f;
+}
+
+}  // namespace
+
+SinglePairRp replacement_paths(const Graph& g, const BfsTree& ts, Vertex t) {
+  MSRP_REQUIRE(t < g.num_vertices(), "target out of range");
+  const BfsTree tt(g, t);
+  return replacement_paths(g, ts, tt);
+}
+
+SinglePairRp replacement_paths(const Graph& g, const BfsTree& ts, const BfsTree& tt) {
+  MSRP_REQUIRE(ts.num_vertices() == g.num_vertices(), "tree does not match graph");
+  MSRP_REQUIRE(tt.num_vertices() == g.num_vertices(), "target tree does not match graph");
+  const Vertex t = tt.root();
+
+  SinglePairRp out;
+  out.path = ts.path_to(t);
+  if (out.path.size() <= 1) return out;  // unreachable or s == t: no path edges
+  out.edges = ts.path_edges(t);
+  const auto num_fail = static_cast<std::uint32_t>(out.edges.size());
+  out.avoiding.assign(num_fail, kInfDist);
+
+  const auto f = divergence_index(ts, out.path);
+
+  // Each edge (x, y) with fmin = min(f(x), f(y)) < fmax = max(f(x), f(y))
+  // crosses the cut of every failed index i in [fmin, fmax - 1] and offers
+  // the candidate d_s(outside endpoint) + 1 + d_t(inside endpoint). The MMG
+  // theorem (see header) says the minimum candidate per index is exact.
+  struct Candidate {
+    std::uint32_t start, end;  // inclusive index interval
+    Dist value;
+  };
+  std::vector<Candidate> cand;
+  cand.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [x, y] = g.endpoints(e);
+    if (!ts.reachable(x) || !ts.reachable(y)) continue;
+    std::uint32_t fx = f[x], fy = f[y];
+    Vertex u = x, w = y;  // u outside (smaller f), w inside (larger f)
+    if (fx > fy) {
+      std::swap(fx, fy);
+      std::swap(u, w);
+    }
+    if (fx == fy) continue;  // never crosses any cut (includes non-path tree edges)
+    // Path edge e_j has interval [j, j] and is exactly the failed edge: skip.
+    if (fy == fx + 1 && u == out.path[fx] && w == out.path[fy]) continue;
+    const Dist value = sat_add(ts.dist(u), sat_add(1, tt.dist(w)));
+    if (value == kInfDist) continue;
+    cand.push_back(Candidate{fx, fy - 1, value});
+  }
+
+  // Sweep failed indices left to right with a lazy min-heap of live
+  // candidates: push at interval start, drop at the top when expired.
+  std::sort(cand.begin(), cand.end(),
+            [](const Candidate& a, const Candidate& b) { return a.start < b.start; });
+  struct HeapItem {
+    Dist value;
+    std::uint32_t end;
+    bool operator>(const HeapItem& o) const { return value > o.value; }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  std::size_t next = 0;
+  for (std::uint32_t i = 0; i < num_fail; ++i) {
+    while (next < cand.size() && cand[next].start == i) {
+      heap.push(HeapItem{cand[next].value, cand[next].end});
+      ++next;
+    }
+    while (!heap.empty() && heap.top().end < i) heap.pop();
+    if (!heap.empty()) out.avoiding[i] = heap.top().value;
+  }
+  return out;
+}
+
+SinglePairRp replacement_paths(const Graph& g, Vertex s, Vertex t) {
+  const BfsTree ts(g, s);
+  return replacement_paths(g, ts, t);
+}
+
+}  // namespace msrp

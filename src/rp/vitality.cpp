@@ -1,0 +1,28 @@
+#include "rp/vitality.hpp"
+
+#include <algorithm>
+
+namespace msrp {
+
+std::vector<VitalEdge> most_vital_edges(const Graph& g, Vertex s, Vertex t,
+                                        std::uint32_t k) {
+  const BfsTree ts(g, s);
+  const SinglePairRp rp = replacement_paths(g, ts, t);
+  const Dist base = ts.dist(t);
+
+  std::vector<VitalEdge> out;
+  out.reserve(rp.edges.size());
+  for (std::uint32_t i = 0; i < rp.edges.size(); ++i) {
+    const Dist repl = rp.avoiding[i];
+    out.push_back(VitalEdge{rp.edges[i], i, repl,
+                            repl == kInfDist ? kInfDist : repl - base});
+  }
+  std::sort(out.begin(), out.end(), [](const VitalEdge& a, const VitalEdge& b) {
+    if (a.vitality != b.vitality) return a.vitality > b.vitality;
+    return a.position < b.position;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace msrp

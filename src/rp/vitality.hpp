@@ -1,0 +1,28 @@
+// Most vital edges (Malik–Mittal–Gupta's original problem, the paper's
+// reference [21]): rank the edges of the canonical s->t shortest path by the
+// damage their failure causes, vitality(e) = d(s, t, e) - d(s, t).
+//
+// Bridges have infinite vitality. One O((m + n) log n) replacement-path run
+// answers all ranks.
+#pragma once
+
+#include <vector>
+
+#include "rp/single_pair.hpp"
+
+namespace msrp {
+
+struct VitalEdge {
+  EdgeId edge;
+  std::uint32_t position;  // index on the canonical path
+  Dist replacement;        // d(s, t, e); kInfDist for bridges
+  Dist vitality;           // replacement - d(s, t); kInfDist for bridges
+};
+
+/// The k most vital edges of the canonical s->t path (all of them if
+/// k >= path length), sorted by decreasing vitality; ties broken by path
+/// position (earlier first) for determinism.
+std::vector<VitalEdge> most_vital_edges(const Graph& g, Vertex s, Vertex t,
+                                        std::uint32_t k);
+
+}  // namespace msrp

@@ -1,0 +1,14 @@
+#include "sensitivity/sensitivity_oracle.hpp"
+
+namespace msrp {
+
+std::uint64_t SensitivityOracle::size_cells() const {
+  std::uint64_t cells = 0;
+  const Vertex n = result_.tree(result_.sources().front()).num_vertices();
+  for (const Vertex s : result_.sources()) {
+    for (Vertex t = 0; t < n; ++t) cells += result_.row(s, t).size();
+  }
+  return cells;
+}
+
+}  // namespace msrp

@@ -1,0 +1,43 @@
+// Multi-source single-edge-fault distance sensitivity oracle.
+//
+// The paper's related work traces this object through Demetrescu et al. and
+// Bernstein–Karger [4] (sigma = n, O~(n^2) space, O(1) query) and Bilo et
+// al. [6] / Gupta–Singh [19] (sigma sources). Building such an oracle is
+// exactly the MSRP problem plus a query layout: this class materializes the
+// solver's output as an O(1)-query structure
+//
+//   query(s, t, e) = d(s, t, e)   for any s in S, t in V, e in E,
+//
+// resolving arbitrary (even off-path) edges through the source tree's
+// ancestor index. Space is Theta(sum of path lengths) = O(sigma n^2) words
+// worst case — the output-size term of Theorem 26.
+#pragma once
+
+#include "core/msrp.hpp"
+
+namespace msrp {
+
+class SensitivityOracle {
+ public:
+  /// Builds the oracle by solving MSRP (O~(m sqrt(n sigma) + sigma n^2)).
+  SensitivityOracle(const Graph& g, std::vector<Vertex> sources, const Config& cfg = {})
+      : result_(solve_msrp(g, sources, cfg)) {}
+
+  /// O(1). Throws std::invalid_argument if s is not a source.
+  Dist query(Vertex s, Vertex t, EdgeId e) const { return result_.avoiding(s, t, e); }
+
+  /// O(1). Distance with no failure.
+  Dist distance(Vertex s, Vertex t) const { return result_.shortest(s, t); }
+
+  const std::vector<Vertex>& sources() const { return result_.sources(); }
+
+  /// Number of Dist cells stored (the paper's Omega(sigma n^2) output term).
+  std::uint64_t size_cells() const;
+
+  const MsrpResult& result() const { return result_; }
+
+ private:
+  MsrpResult result_;
+};
+
+}  // namespace msrp

@@ -1,0 +1,70 @@
+// Growable directed weighted graph for the paper's auxiliary constructions.
+//
+// Sections 7.1, 8.1, 8.2.2 and 8.3 each build a weighted digraph whose nodes
+// are tuples like [t], [t,e], [c,e], [s,r,i] and run Dijkstra from a source
+// node. AuxGraph is the shared container: nodes are dense uint32 handles
+// allocated by the caller (which keeps its own tuple -> handle maps), arcs
+// are stored in forward-star form built lazily before the Dijkstra run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/distance.hpp"
+
+namespace msrp {
+
+using AuxNode = std::uint32_t;
+
+class AuxGraph {
+ public:
+  AuxNode add_node() { return num_nodes_++; }
+
+  /// Allocates `count` consecutive nodes, returning the first handle.
+  AuxNode add_nodes(std::uint32_t count) {
+    const AuxNode first = num_nodes_;
+    num_nodes_ += count;
+    return first;
+  }
+
+  void add_arc(AuxNode from, AuxNode to, Dist weight) {
+    MSRP_DCHECK(from < num_nodes_ && to < num_nodes_, "aux arc endpoint out of range");
+    arcs_.push_back(ArcRec{from, to, weight});
+    csr_valid_ = false;
+  }
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  struct OutArc {
+    AuxNode to;
+    Dist weight;
+  };
+
+  /// Out-arcs of `v`; call finalize() (or let dijkstra do it) first.
+  std::span<const OutArc> out(AuxNode v) const {
+    MSRP_DCHECK(csr_valid_, "finalize() must run before traversal");
+    return {out_arcs_.data() + offsets_[v], out_arcs_.data() + offsets_[v + 1]};
+  }
+
+  /// Builds the forward-star index. Idempotent.
+  void finalize();
+
+  bool finalized() const { return csr_valid_; }
+
+ private:
+  struct ArcRec {
+    AuxNode from, to;
+    Dist weight;
+  };
+
+  std::uint32_t num_nodes_ = 0;
+  std::vector<ArcRec> arcs_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<OutArc> out_arcs_;
+  bool csr_valid_ = false;
+};
+
+}  // namespace msrp

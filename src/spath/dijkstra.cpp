@@ -1,0 +1,47 @@
+#include "spath/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace msrp {
+
+DijkstraResult dijkstra(AuxGraph& g, AuxNode source) {
+  MSRP_REQUIRE(source < g.num_nodes(), "dijkstra source out of range");
+  g.finalize();
+
+  DijkstraResult r;
+  r.dist.assign(g.num_nodes(), kInfDist);
+  r.parent.assign(g.num_nodes(), static_cast<AuxNode>(-1));
+
+  using Item = std::pair<Dist, AuxNode>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  r.dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d != r.dist[v]) continue;  // stale entry
+    for (const AuxGraph::OutArc& a : g.out(v)) {
+      const Dist nd = sat_add(d, a.weight);
+      if (nd < r.dist[a.to]) {
+        r.dist[a.to] = nd;
+        r.parent[a.to] = v;
+        pq.emplace(nd, a.to);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<AuxNode> extract_path(const DijkstraResult& r, AuxNode target) {
+  MSRP_REQUIRE(target < r.dist.size(), "target out of range");
+  if (r.dist[target] == kInfDist) return {};
+  std::vector<AuxNode> path;
+  for (AuxNode v = target; v != static_cast<AuxNode>(-1); v = r.parent[v]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace msrp

@@ -1,0 +1,29 @@
+// Dijkstra over an AuxGraph.
+//
+// Binary-heap implementation with lazy deletion; distances are Dist with
+// kInfDist = unreachable. The auxiliary graphs' weights are path lengths in
+// the base graph, so Dist arithmetic never overflows (sat_add guards anyway).
+// Also provides shortest-path-with-parents for callers that need to
+// enumerate the actual auxiliary path (Section 8.2.1 enumerates small
+// replacement paths to test which centers lie on them).
+#pragma once
+
+#include <vector>
+
+#include "spath/aux_graph.hpp"
+
+namespace msrp {
+
+struct DijkstraResult {
+  std::vector<Dist> dist;       // per aux node
+  std::vector<AuxNode> parent;  // predecessor on a shortest path; -1 if none
+};
+
+/// Runs Dijkstra from `source`; finalizes the graph if necessary.
+DijkstraResult dijkstra(AuxGraph& g, AuxNode source);
+
+/// Reconstructs the node sequence source -> target from a DijkstraResult;
+/// empty if target is unreachable.
+std::vector<AuxNode> extract_path(const DijkstraResult& r, AuxNode target);
+
+}  // namespace msrp

@@ -1,0 +1,35 @@
+#include "tree/ancestry.hpp"
+
+namespace msrp {
+
+AncestorIndex::AncestorIndex(const BfsTree& tree) {
+  const Vertex n = tree.num_vertices();
+  tin_.assign(n, kNoStamp);
+  tout_.assign(n, kNoStamp);
+
+  std::vector<std::vector<Vertex>> children(n);
+  for (const Vertex v : tree.order()) {
+    if (tree.parent(v) != kNoVertex) children[tree.parent(v)].push_back(v);
+  }
+
+  struct Frame {
+    Vertex v;
+    std::size_t next_child;
+  };
+  std::uint32_t stamp = 0;
+  std::vector<Frame> stack{{tree.root(), 0}};
+  tin_[tree.root()] = stamp++;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < children[f.v].size()) {
+      const Vertex c = children[f.v][f.next_child++];
+      tin_[c] = stamp++;
+      stack.push_back({c, 0});
+    } else {
+      tout_[f.v] = stamp++;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace msrp

@@ -1,0 +1,58 @@
+// Lightweight O(1) ancestor test over a BfsTree.
+//
+// The MSRP pipeline issues huge numbers of "is edge e on the canonical
+// root->v path?" queries against the trees of every landmark and center
+// (Algorithms 3/4, the auxiliary-graph edge guards of Sections 7.1, 8.1,
+// 8.2.2, 8.3). All of them reduce to subtree membership, which DFS entry/exit
+// stamps answer in O(1) with 8 bytes per vertex — an order of magnitude
+// lighter than the full Euler/RMQ Lca, which matters because we keep
+// O~(sqrt(n*sigma)) of these structures alive at once.
+#pragma once
+
+#include <vector>
+
+#include "tree/bfs_tree.hpp"
+
+namespace msrp {
+
+class AncestorIndex {
+ public:
+  explicit AncestorIndex(const BfsTree& tree);
+
+  /// True iff a lies on the canonical root->v path (a == v counts).
+  /// False if either vertex is unreachable from the root.
+  bool is_ancestor(Vertex a, Vertex v) const {
+    if (tin_[a] == kNoStamp || tin_[v] == kNoStamp) return false;
+    return tin_[a] <= tin_[v] && tout_[v] <= tout_[a];
+  }
+
+  /// For a tree edge whose deeper endpoint is `child`: true iff the edge lies
+  /// on the canonical root->t path.
+  bool edge_on_path(Vertex child, Vertex t) const { return is_ancestor(child, t); }
+
+ private:
+  static constexpr std::uint32_t kNoStamp = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> tin_, tout_;
+};
+
+/// A BFS tree bundled with its ancestor index: the per-root unit the engine
+/// keeps for every source, landmark, and center.
+struct RootedTree {
+  explicit RootedTree(const Graph& g, Vertex root) : tree(g, root), anc(tree) {}
+
+  BfsTree tree;
+  AncestorIndex anc;
+
+  Vertex root() const { return tree.root(); }
+  Dist dist(Vertex v) const { return tree.dist(v); }
+
+  /// True iff edge e (endpoints u, v) lies on the canonical root->t path.
+  /// O(1): e must be a tree edge and its deeper endpoint an ancestor of t.
+  bool edge_on_path_to(EdgeId e, Vertex u, Vertex v, Vertex t) const {
+    if (tree.parent_edge(u) == e) return anc.is_ancestor(u, t);
+    if (tree.parent_edge(v) == e) return anc.is_ancestor(v, t);
+    return false;
+  }
+};
+
+}  // namespace msrp

@@ -1,0 +1,95 @@
+#include "tree/lca.hpp"
+
+#include <algorithm>
+
+namespace msrp {
+
+Lca::Lca(const BfsTree& tree) : tree_(&tree) {
+  const Vertex n = tree.num_vertices();
+  tin_.assign(n, kNoStamp);
+  tout_.assign(n, kNoStamp);
+  first_occ_.assign(n, kNoStamp);
+
+  // Children lists from parent pointers, in BFS order so the tour is
+  // deterministic.
+  std::vector<std::vector<Vertex>> children(n);
+  for (const Vertex v : tree.order()) {
+    if (tree.parent(v) != kNoVertex) children[tree.parent(v)].push_back(v);
+  }
+
+  euler_vertex_.reserve(2 * n);
+  euler_depth_.reserve(2 * n);
+
+  // Iterative Euler tour of the root's component.
+  struct Frame {
+    Vertex v;
+    std::uint32_t depth;
+    std::size_t next_child;
+  };
+  std::uint32_t stamp = 0;
+  std::vector<Frame> stack{{tree.root(), 0, 0}};
+  tin_[tree.root()] = stamp++;
+  first_occ_[tree.root()] = 0;
+  euler_vertex_.push_back(tree.root());
+  euler_depth_.push_back(0);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < children[f.v].size()) {
+      const Vertex c = children[f.v][f.next_child++];
+      tin_[c] = stamp++;
+      first_occ_[c] = static_cast<std::uint32_t>(euler_vertex_.size());
+      euler_vertex_.push_back(c);
+      euler_depth_.push_back(f.depth + 1);
+      stack.push_back({c, f.depth + 1, 0});
+    } else {
+      tout_[f.v] = stamp++;
+      stack.pop_back();
+      if (!stack.empty()) {
+        // Returning to the parent: record another occurrence.
+        const Frame& p = stack.back();
+        euler_vertex_.push_back(p.v);
+        euler_depth_.push_back(p.depth);
+      }
+    }
+  }
+
+  // Sparse table over euler_depth_.
+  const auto len = static_cast<std::uint32_t>(euler_depth_.size());
+  log2_.assign(len + 1, 0);
+  for (std::uint32_t i = 2; i <= len; ++i) log2_[i] = log2_[i / 2] + 1;
+  const std::uint32_t levels = log2_[len] + 1;
+  sparse_.assign(levels, std::vector<std::uint32_t>(len));
+  for (std::uint32_t i = 0; i < len; ++i) sparse_[0][i] = i;
+  for (std::uint32_t j = 1; j < levels; ++j) {
+    const std::uint32_t half = 1u << (j - 1);
+    for (std::uint32_t i = 0; i + (1u << j) <= len; ++i) {
+      const std::uint32_t a = sparse_[j - 1][i];
+      const std::uint32_t b = sparse_[j - 1][i + half];
+      sparse_[j][i] = euler_depth_[a] <= euler_depth_[b] ? a : b;
+    }
+  }
+}
+
+std::uint32_t Lca::rmq(std::uint32_t l, std::uint32_t r) const {
+  MSRP_DCHECK(l <= r && r < euler_depth_.size(), "rmq range invalid");
+  const std::uint32_t j = log2_[r - l + 1];
+  const std::uint32_t a = sparse_[j][l];
+  const std::uint32_t b = sparse_[j][r - (1u << j) + 1];
+  return euler_depth_[a] <= euler_depth_[b] ? a : b;
+}
+
+Vertex Lca::lca(Vertex x, Vertex y) const {
+  MSRP_REQUIRE(x < tin_.size() && y < tin_.size(), "vertex out of range");
+  if (first_occ_[x] == kNoStamp || first_occ_[y] == kNoStamp) return kNoVertex;
+  std::uint32_t l = first_occ_[x], r = first_occ_[y];
+  if (l > r) std::swap(l, r);
+  return euler_vertex_[rmq(l, r)];
+}
+
+Dist Lca::tree_distance(Vertex x, Vertex y) const {
+  const Vertex a = lca(x, y);
+  if (a == kNoVertex) return kInfDist;
+  return tree_->dist(x) + tree_->dist(y) - 2 * tree_->dist(a);
+}
+
+}  // namespace msrp

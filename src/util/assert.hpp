@@ -1,0 +1,48 @@
+// Precondition / invariant checking for the msrp library.
+//
+// MSRP_REQUIRE  — public-API precondition; always on; throws std::invalid_argument.
+// MSRP_CHECK    — internal invariant; always on; throws std::logic_error.
+// MSRP_DCHECK   — debug-only invariant; compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace msrp::detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace msrp::detail
+
+#define MSRP_REQUIRE(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) ::msrp::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define MSRP_CHECK(expr, msg)                                          \
+  do {                                                                 \
+    if (!(expr)) ::msrp::detail::fail_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define MSRP_DCHECK(expr, msg) \
+  do {                         \
+  } while (false)
+#else
+#define MSRP_DCHECK(expr, msg) MSRP_CHECK(expr, msg)
+#endif

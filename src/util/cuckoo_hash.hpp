@@ -1,0 +1,199 @@
+// Cuckoo hash table (Pagh & Rodler, J. Algorithms 2004).
+//
+// The paper (Lemma 5) relies on a hash table with worst-case O(1) lookup and
+// expected O(1) insertion to store replacement-path lengths d(s,r,e) keyed by
+// (source, vertex, edge) tuples. This is that structure: two tables, two
+// independent hash functions, displacement ("cuckoo") insertion with a bounded
+// kick chain, and a full rehash with fresh hash seeds when a chain overflows.
+//
+// Keys are 64-bit (callers pack tuples with pack_key below); values are an
+// arbitrary trivially-copyable type. Deletion is supported (needed by tests
+// and by callers that rebuild incrementally).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace msrp {
+
+/// Packs up to three 21-bit fields into one 64-bit key. Sufficient for
+/// (vertex, vertex, edge-position) tuples up to 2M vertices.
+constexpr std::uint64_t pack_key(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0) {
+  return (a << 42) | (b << 21) | c;
+}
+
+template <typename V>
+class CuckooHash {
+ public:
+  explicit CuckooHash(std::size_t expected = 16, std::uint64_t seed = 0xC0FFEE123456789ULL)
+      : seed_(seed) {
+    std::size_t cap = 16;
+    while (cap < 2 * expected) cap <<= 1;
+    init_tables(cap);
+  }
+
+  /// Insert or overwrite. Expected O(1); worst case a rehash.
+  void put(std::uint64_t key, V value) {
+    // Overwrite in place if present (keeps at most one copy of a key).
+    if (Slot* s = find_slot(key)) {
+      s->value = std::move(value);
+      return;
+    }
+    if ((size_ + 1) * 10 > capacity_ * 9) grow();  // keep load factor under 0.45 per table
+    Entry e{key, std::move(value)};
+    while (!try_insert(std::move(e), &e)) rehash(capacity_);
+    ++size_;
+  }
+
+  /// Worst-case O(1): exactly two probes.
+  const V* find(std::uint64_t key) const {
+    if (const Slot* s = find_slot(key)) return &s->value;
+    return nullptr;
+  }
+
+  V* find(std::uint64_t key) {
+    if (Slot* s = find_slot(key)) return &s->value;
+    return nullptr;
+  }
+
+  bool contains(std::uint64_t key) const { return find_slot(key) != nullptr; }
+
+  /// Returns the stored value or `fallback` when absent.
+  V get_or(std::uint64_t key, V fallback) const {
+    const V* v = find(key);
+    return v ? *v : fallback;
+  }
+
+  /// Removes the key if present; returns whether it was removed.
+  bool erase(std::uint64_t key) {
+    if (Slot* s = find_slot(key)) {
+      s->occupied = false;
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Number of full-table rehashes triggered by kick-chain overflow (stats).
+  std::size_t rehash_count() const { return rehashes_; }
+
+  /// Visit every (key, value) pair; order unspecified.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& t : tables_) {
+      for (const auto& s : t) {
+        if (s.occupied) fn(s.key, s.value);
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    V value;
+  };
+  struct Slot {
+    std::uint64_t key = 0;
+    V value{};
+    bool occupied = false;
+  };
+
+  std::uint64_t hash(std::uint64_t key, int which) const {
+    // Two independent mixers derived from the table seed (xxhash-style avalanche).
+    std::uint64_t h = key + seed_ + (which ? 0x9E3779B97F4A7C15ULL : 0x517CC1B727220A95ULL);
+    h ^= h >> 33;
+    h *= which ? 0xFF51AFD7ED558CCDULL : 0xC4CEB9FE1A85EC53ULL;
+    h ^= h >> 29;
+    h *= which ? 0xC4CEB9FE1A85EC53ULL : 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 32;
+    return h & (capacity_ - 1);
+  }
+
+  Slot* find_slot(std::uint64_t key) {
+    for (int w = 0; w < 2; ++w) {
+      Slot& s = tables_[w][hash(key, w)];
+      if (s.occupied && s.key == key) return &s;
+    }
+    return nullptr;
+  }
+  const Slot* find_slot(std::uint64_t key) const {
+    return const_cast<CuckooHash*>(this)->find_slot(key);
+  }
+
+  /// Attempts cuckoo insertion; on kick-chain overflow returns false with the
+  /// homeless entry in *left_over.
+  bool try_insert(Entry e, Entry* left_over) {
+    int which = 0;
+    // Kick chain bounded by c*log(capacity); beyond it we declare a cycle.
+    const int max_kicks = 8 * (64 - __builtin_clzll(capacity_ | 1));
+    for (int kick = 0; kick < max_kicks; ++kick) {
+      Slot& s = tables_[which][hash(e.key, which)];
+      if (!s.occupied) {
+        s.key = e.key;
+        s.value = std::move(e.value);
+        s.occupied = true;
+        return true;
+      }
+      Entry displaced{s.key, std::move(s.value)};
+      s.key = e.key;
+      s.value = std::move(e.value);
+      e = std::move(displaced);
+      which = 1 - which;
+    }
+    *left_over = std::move(e);
+    return false;
+  }
+
+  void init_tables(std::size_t cap) {
+    capacity_ = cap;
+    tables_[0].assign(cap, Slot{});
+    tables_[1].assign(cap, Slot{});
+  }
+
+  void grow() { rehash(capacity_ * 2); }
+
+  void rehash(std::size_t new_cap) {
+    ++rehashes_;
+    std::vector<Entry> entries;
+    entries.reserve(size_);
+    for (auto& t : tables_) {
+      for (auto& s : t) {
+        if (s.occupied) entries.push_back(Entry{s.key, std::move(s.value)});
+      }
+    }
+    // Retry with a fresh hash seed (breaks the cycle that forced the rehash);
+    // if several seeds fail at this capacity, grow and try again.
+    int attempts_at_cap = 0;
+    while (true) {
+      seed_ = seed_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      init_tables(new_cap);
+      bool ok = true;
+      for (auto& e : entries) {
+        Entry spill{};
+        if (!try_insert(Entry{e.key, e.value}, &spill)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return;
+      if (++attempts_at_cap >= 3) {
+        new_cap *= 2;
+        attempts_at_cap = 0;
+      }
+    }
+  }
+
+  std::uint64_t seed_;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+  std::size_t rehashes_ = 0;
+  std::vector<Slot> tables_[2];
+};
+
+}  // namespace msrp

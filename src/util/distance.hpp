@@ -1,0 +1,30 @@
+// Distance type and saturating arithmetic.
+//
+// All shortest-path lengths in the library are Dist (uint32_t); kInfDist
+// means "unreachable". Additions go through sat_add so infinity propagates
+// without overflow, matching the paper's convention d(s,t,e) = infinity when
+// no replacement path exists.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace msrp {
+
+using Dist = std::uint32_t;
+
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+
+/// Saturating addition: inf + x == inf, and any overflow clamps to inf.
+constexpr Dist sat_add(Dist a, Dist b) {
+  if (a == kInfDist || b == kInfDist) return kInfDist;
+  const std::uint64_t s = std::uint64_t{a} + std::uint64_t{b};
+  return s >= kInfDist ? kInfDist : static_cast<Dist>(s);
+}
+
+constexpr Dist sat_add(Dist a, Dist b, Dist c) { return sat_add(sat_add(a, b), c); }
+
+/// True iff the distance denotes a reachable vertex.
+constexpr bool is_finite(Dist d) { return d != kInfDist; }
+
+}  // namespace msrp

@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace msrp {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& si : s_) si = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  MSRP_REQUIRE(bound > 0, "next_below bound must be positive");
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  while (true) {
+    const std::uint64_t x = next_u64();
+    const unsigned __int128 mul = static_cast<unsigned __int128>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(mul);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(mul >> 64);
+    }
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n, std::uint32_t k) {
+  MSRP_REQUIRE(k <= n, "cannot sample more elements than the population size");
+  // Floyd's algorithm: O(k) expected insertions, then sort for determinism.
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  std::vector<bool> taken(n, false);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(next_below(j + 1));
+    if (taken[t]) {
+      taken[j] = true;
+      out.push_back(j);
+    } else {
+      taken[t] = true;
+      out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  for (auto& si : child.s_) si = next_u64() | 1ULL;
+  return child;
+}
+
+}  // namespace msrp

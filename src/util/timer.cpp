@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only today; this TU anchors the component in the build so future
+// out-of-line additions (e.g. formatted reports) have a home.

@@ -1,0 +1,68 @@
+// Wall-clock timing helpers for the benchmark harness and per-phase
+// instrumentation (EXP-4 in DESIGN.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace msrp {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time since construction / last reset, in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase timings; used by Msrp to expose the cost
+/// breakdown the paper's analysis predicts (preprocessing, far edges,
+/// near-small, near-large, Section 8 sub-phases).
+class PhaseTimers {
+ public:
+  /// RAII scope that adds its lifetime to the named phase.
+  class Scope {
+   public:
+    Scope(PhaseTimers& owner, std::string name)
+        : owner_(owner), name_(std::move(name)) {}
+    ~Scope() { owner_.add(name_, t_.seconds()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseTimers& owner_;
+    std::string name_;
+    Timer t_;
+  };
+
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  void add(const std::string& name, double seconds) { totals_[name] += seconds; }
+
+  double total(const std::string& name) const {
+    auto it = totals_.find(name);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+  void clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+}  // namespace msrp

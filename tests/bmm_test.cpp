@@ -1,0 +1,180 @@
+// Boolean matrix multiplication: baselines against each other, and the
+// Section 9 reduction through MSRP against the baselines (Theorem 28).
+#include <gtest/gtest.h>
+
+#include "bmm/multiply.hpp"
+#include "bmm/reduction.hpp"
+#include "graph/properties.hpp"
+#include "tree/bfs_tree.hpp"
+
+namespace msrp::bmm {
+namespace {
+
+Config exact_cfg() {
+  Config cfg;
+  cfg.exact = true;  // deterministic readout, independent of sampling luck
+  return cfg;
+}
+
+// ----------------------------------------------------------------- matrix
+
+TEST(BoolMatrix, SetGetRoundTrip) {
+  BoolMatrix m(70);  // spans two words per row
+  m.set(0, 0);
+  m.set(0, 69);
+  m.set(69, 1);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(0, 69));
+  EXPECT_TRUE(m.get(69, 1));
+  EXPECT_FALSE(m.get(1, 1));
+  m.set(0, 69, false);
+  EXPECT_FALSE(m.get(0, 69));
+  EXPECT_EQ(m.popcount(), 2u);
+}
+
+TEST(BoolMatrix, RandomDensity) {
+  Rng rng(1);
+  const BoolMatrix m = BoolMatrix::random(100, 0.3, rng);
+  EXPECT_NEAR(static_cast<double>(m.popcount()), 3000.0, 450.0);
+}
+
+TEST(BoolMatrix, PaddedPreservesContent) {
+  Rng rng(2);
+  const BoolMatrix m = BoolMatrix::random(10, 0.5, rng);
+  const BoolMatrix p = m.padded(17);
+  for (std::uint32_t r = 0; r < 10; ++r) {
+    for (std::uint32_t c = 0; c < 10; ++c) EXPECT_EQ(p.get(r, c), m.get(r, c));
+  }
+  for (std::uint32_t r = 10; r < 17; ++r) {
+    for (std::uint32_t c = 0; c < 17; ++c) EXPECT_FALSE(p.get(r, c));
+  }
+  EXPECT_THROW(m.padded(5), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- baselines
+
+class MultiplyParamTest
+    : public testing::TestWithParam<std::tuple<std::uint32_t, double, std::uint64_t>> {};
+
+TEST_P(MultiplyParamTest, BitsetMatchesNaive) {
+  const auto [n, density, seed] = GetParam();
+  Rng rng(seed);
+  const BoolMatrix a = BoolMatrix::random(n, density, rng);
+  const BoolMatrix b = BoolMatrix::random(n, density, rng);
+  EXPECT_TRUE(multiply_bitset(a, b) == multiply_naive(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiplyParamTest,
+                         testing::Values(std::make_tuple(1u, 0.5, 1),
+                                         std::make_tuple(7u, 0.3, 2),
+                                         std::make_tuple(33u, 0.1, 3),
+                                         std::make_tuple(64u, 0.5, 4),
+                                         std::make_tuple(65u, 0.05, 5),
+                                         std::make_tuple(120u, 0.02, 6)));
+
+TEST(Multiply, IdentityIsNeutral) {
+  Rng rng(7);
+  const BoolMatrix a = BoolMatrix::random(50, 0.2, rng);
+  const BoolMatrix i = BoolMatrix::identity(50);
+  EXPECT_TRUE(multiply_bitset(a, i) == a);
+  EXPECT_TRUE(multiply_bitset(i, a) == a);
+}
+
+TEST(Multiply, DimensionMismatchThrows) {
+  EXPECT_THROW(multiply_naive(BoolMatrix(3), BoolMatrix(4)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- gadget
+
+TEST(ReductionGadget, StructuralInvariants) {
+  Rng rng(8);
+  const std::uint32_t sigma = 2, q = 3;
+  const std::uint32_t n = sigma * q * q;  // 18, exactly 1 gadget per row block
+  const BoolMatrix a = BoolMatrix::random(n, 0.3, rng);
+  const BoolMatrix b = BoolMatrix::random(n, 0.3, rng);
+  const ReductionGadget gd = build_reduction_gadget(a, b, 0, sigma, q);
+
+  EXPECT_EQ(gd.sources.size(), sigma);
+  EXPECT_EQ(gd.c_vertex.size(), n);
+  for (const auto& ce : gd.chunk_edges) EXPECT_EQ(ce.size(), q - 1);
+  // Core edges = nnz(A) + nnz(B); chunk edges = sigma (q - 1); pendant
+  // edges = sigma * sum_{p=1..q} (2(p-1) + 1) = sigma * q^2.
+  const auto expected_edges = a.popcount() + b.popcount() +
+                              std::uint64_t{sigma} * (q - 1) + std::uint64_t{sigma} * q * q;
+  EXPECT_EQ(gd.graph.num_edges(), expected_edges);
+  // Pendant distances: source v(q) to a(row of p) is q + p - 1.
+  const BfsTree ts(gd.graph, gd.sources[0]);
+  for (std::uint32_t p = 1; p <= q; ++p) {
+    const Vertex a_row = static_cast<Vertex>(gd.first_row + (p - 1));
+    EXPECT_LE(ts.dist(a_row), q + p - 1) << "p=" << p;
+  }
+}
+
+// -------------------------------------------------------------- reduction
+
+class ReductionParamTest
+    : public testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, double, int>> {};
+
+TEST_P(ReductionParamTest, MatchesBitsetBaseline) {
+  const auto [n, sigma, density, seed] = GetParam();
+  Rng rng(100 + seed);
+  const BoolMatrix a = BoolMatrix::random(n, density, rng);
+  const BoolMatrix b = BoolMatrix::random(n, density, rng);
+  const BoolMatrix want = multiply_bitset(a, b);
+  const BoolMatrix got = multiply_via_msrp(a, b, sigma, exact_cfg());
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      ASSERT_EQ(got.get(r, c), want.get(r, c))
+          << "n=" << n << " sigma=" << sigma << " r=" << r << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReductionParamTest,
+                         testing::Values(std::make_tuple(4u, 1u, 0.5, 1),
+                                         std::make_tuple(9u, 1u, 0.3, 2),
+                                         std::make_tuple(16u, 4u, 0.25, 3),
+                                         std::make_tuple(18u, 2u, 0.2, 4),
+                                         std::make_tuple(20u, 5u, 0.3, 5),
+                                         std::make_tuple(25u, 1u, 0.15, 6),
+                                         std::make_tuple(32u, 2u, 0.1, 7),
+                                         std::make_tuple(36u, 4u, 0.2, 8)));
+
+TEST(Reduction, RandomizedMsrpAlsoDecodesCorrectly) {
+  // The reduction should survive the Monte Carlo solver too (oversampled).
+  Rng rng(200);
+  const BoolMatrix a = BoolMatrix::random(18, 0.3, rng);
+  const BoolMatrix b = BoolMatrix::random(18, 0.3, rng);
+  Config cfg;
+  cfg.oversample = 3.0;
+  cfg.seed = 11;
+  EXPECT_TRUE(multiply_via_msrp(a, b, 2, cfg) == multiply_bitset(a, b));
+}
+
+TEST(Reduction, ZeroAndDenseMatrices) {
+  const std::uint32_t n = 16;
+  const BoolMatrix zero(n);
+  BoolMatrix dense(n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) dense.set(r, c);
+  }
+  EXPECT_TRUE(multiply_via_msrp(zero, dense, 4, exact_cfg()) == zero);
+  EXPECT_TRUE(multiply_via_msrp(dense, zero, 4, exact_cfg()) == zero);
+  EXPECT_TRUE(multiply_via_msrp(dense, dense, 4, exact_cfg()) == dense);
+}
+
+TEST(Reduction, PermutationMatrixComposition) {
+  // Permutation matrices compose exactly; a sharp structural test.
+  const std::uint32_t n = 16;
+  BoolMatrix p1(n), p2(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    p1.set(i, (i + 3) % n);
+    p2.set(i, (i * 5 + 1) % n);  // 5 coprime to 16
+  }
+  const BoolMatrix want = multiply_naive(p1, p2);
+  EXPECT_TRUE(multiply_via_msrp(p1, p2, 1, exact_cfg()) == want);
+  EXPECT_TRUE(multiply_via_msrp(p1, p2, 4, exact_cfg()) == want);
+}
+
+}  // namespace
+}  // namespace msrp::bmm

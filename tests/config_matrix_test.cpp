@@ -1,0 +1,106 @@
+// Configuration-matrix sweep: the solver must stay exact (vs the brute
+// oracle) across the cross product of graph family x sigma x landmark
+// method x constant regime. This is the widest single correctness net in
+// the suite; each combination runs on its own fixed seed.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/baselines.hpp"
+#include "core/msrp.hpp"
+#include "graph/generators.hpp"
+
+namespace msrp {
+namespace {
+
+enum class Family : int { kGnp = 0, kGrid, kChords, kBarbell, kTree, kDense };
+enum class Regime : int { kDefault = 0, kPaperConstants, kExact, kTightNear };
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kGnp: return "gnp";
+    case Family::kGrid: return "grid";
+    case Family::kChords: return "chords";
+    case Family::kBarbell: return "barbell";
+    case Family::kTree: return "tree";
+    default: return "dense";
+  }
+}
+
+Graph make_family(Family f, Rng& rng) {
+  switch (f) {
+    case Family::kGnp: return gen::connected_gnp(56, 0.09, rng);
+    case Family::kGrid: return gen::grid(7, 8);
+    case Family::kChords: return gen::path_with_chords(56, 14, rng);
+    case Family::kBarbell: return gen::barbell(7, 5);
+    case Family::kTree: return gen::random_tree(48, rng);
+    default: return gen::connected_gnp(36, 0.35, rng);
+  }
+}
+
+Config make_config(Regime r, LandmarkRpMethod method, std::uint64_t seed) {
+  Config cfg;
+  cfg.seed = seed;
+  cfg.landmark_rp = method;
+  switch (r) {
+    case Regime::kDefault:
+      cfg.oversample = 3.0;
+      break;
+    case Regime::kPaperConstants:
+      cfg.paper_constants = true;
+      cfg.oversample = 2.0;
+      break;
+    case Regime::kExact:
+      cfg.exact = true;
+      break;
+    case Regime::kTightNear:
+      cfg.near_scale = 1.0;
+      cfg.oversample = 4.0;
+      break;
+  }
+  return cfg;
+}
+
+using Combo = std::tuple<int /*Family*/, int /*sigma*/, int /*method*/, int /*Regime*/>;
+
+class ConfigMatrixTest : public testing::TestWithParam<Combo> {};
+
+TEST_P(ConfigMatrixTest, ExactAgainstOracle) {
+  const auto [fam_i, sigma, method_i, regime_i] = GetParam();
+  const auto fam = static_cast<Family>(fam_i);
+  const auto method =
+      method_i == 0 ? LandmarkRpMethod::kMmgPerPair : LandmarkRpMethod::kBkAuxGraphs;
+  const auto regime = static_cast<Regime>(regime_i);
+
+  const std::uint64_t seed =
+      1000 * static_cast<std::uint64_t>(fam_i) + 100 * sigma + 10 * method_i + regime_i;
+  Rng rng(seed);
+  const Graph g = make_family(fam, rng);
+  const auto picks =
+      rng.sample_without_replacement(g.num_vertices(), static_cast<std::uint32_t>(sigma));
+  const std::vector<Vertex> sources(picks.begin(), picks.end());
+
+  const MsrpResult got = solve_msrp(g, sources, make_config(regime, method, seed));
+  const MsrpResult want = solve_msrp_brute_force(g, sources);
+  for (const Vertex s : sources) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      const auto wrow = want.row(s, t);
+      const auto grow = got.row(s, t);
+      ASSERT_EQ(grow.size(), wrow.size());
+      for (std::size_t i = 0; i < wrow.size(); ++i) {
+        ASSERT_EQ(grow[i], wrow[i])
+            << family_name(fam) << " sigma=" << sigma << " method=" << method_i
+            << " regime=" << regime_i << " s=" << s << " t=" << t << " pos=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ConfigMatrixTest,
+                         testing::Combine(testing::Range(0, 6),        // family
+                                          testing::Values(1, 3, 6),    // sigma
+                                          testing::Values(0, 1),       // method
+                                          testing::Range(0, 4)));      // regime
+
+}  // namespace
+}  // namespace msrp

@@ -1,0 +1,256 @@
+// CONGEST simulator and protocols: semantics against centralized BFS, model
+// enforcement (message budget, one message per edge per direction), and
+// round-complexity bounds.
+#include <gtest/gtest.h>
+
+#include "congest/bfs.hpp"
+#include "congest/landmark_sketch.hpp"
+#include "congest/replacement.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "rp/oracle.hpp"
+
+namespace msrp::congest {
+namespace {
+
+// --------------------------------------------------------------- simulator
+
+TEST(Simulator, MessageBudgetEnforced) {
+  const Graph g = gen::path(4);
+  CongestSimulator sim(g, 4);  // 4-bit payloads
+  EXPECT_EQ(sim.message_bits(), 4u);
+  sim.run(
+      [&](Vertex v, std::span<const Inbound>, CongestSimulator::Outbox& ob) {
+        if (v == 0 && sim.total_rounds() == 0) {
+          EXPECT_THROW(ob.send(g.neighbors(0)[0], 16), std::invalid_argument);
+          ob.send(g.neighbors(0)[0], 15);  // fits
+        }
+      },
+      3);
+  EXPECT_EQ(sim.total_messages(), 1u);
+}
+
+TEST(Simulator, OneMessagePerEdgePerDirection) {
+  const Graph g = gen::path(3);
+  CongestSimulator sim(g);
+  sim.run(
+      [&](Vertex v, std::span<const Inbound>, CongestSimulator::Outbox& ob) {
+        if (v == 1 && sim.total_rounds() == 0) {
+          const Arc left = g.neighbors(1)[0];
+          ob.send(left, 1);
+          EXPECT_THROW(ob.send(left, 2), std::invalid_argument);  // same arc
+          ob.send(g.neighbors(1)[1], 3);                          // other arc ok
+        }
+      },
+      3);
+}
+
+TEST(Simulator, DeliveryIsNextRound) {
+  const Graph g = gen::path(2);
+  CongestSimulator sim(g);
+  std::vector<std::uint32_t> heard_at(2, 0);
+  std::uint32_t round = 0;
+  sim.run(
+      [&](Vertex v, std::span<const Inbound> inbox, CongestSimulator::Outbox& ob) {
+        if (v == 0 && round == 0) ob.send(g.neighbors(0)[0], 7);
+        if (v == 1 && !inbox.empty()) {
+          EXPECT_EQ(inbox[0].payload, 7u);
+          EXPECT_EQ(inbox[0].from, 0u);
+          heard_at[1] = round;
+        }
+        if (v == 1) round += (v == 1);  // count rounds once per round
+      },
+      5);
+  EXPECT_EQ(heard_at[1], 1u);
+}
+
+TEST(Simulator, FailedEdgeDropsMessages) {
+  const Graph g = gen::path(2);
+  CongestSimulator sim(g);
+  sim.fail_edge(0);
+  bool heard = false;
+  sim.run(
+      [&](Vertex v, std::span<const Inbound> inbox, CongestSimulator::Outbox& ob) {
+        if (v == 0 && sim.total_rounds() == 0) ob.send(g.neighbors(0)[0], 1);
+        if (v == 1 && !inbox.empty()) heard = true;
+      },
+      4);
+  EXPECT_FALSE(heard);
+  sim.restore_edges();
+}
+
+TEST(Simulator, TerminatesOnSilence) {
+  const Graph g = gen::path(3);
+  CongestSimulator sim(g);
+  const std::uint32_t rounds = sim.run(
+      [](Vertex, std::span<const Inbound>, CongestSimulator::Outbox&) {}, 100);
+  EXPECT_EQ(rounds, 0u);
+}
+
+// --------------------------------------------------------------- bfs
+
+class CongestBfsTest : public testing::TestWithParam<int> {};
+
+TEST_P(CongestBfsTest, MatchesCentralizedBfs) {
+  Rng rng(40 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::connected_gnp(60, 0.08, rng));
+  graphs.push_back(gen::grid(6, 8));
+  graphs.push_back(gen::path(40));
+  graphs.push_back(gen::star_of_paths(3, 7));
+  for (const Graph& g : graphs) {
+    const auto root = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    const BfsOutcome out = distributed_bfs(g, root);
+    const BfsTree want(g, root);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(out.dist[v], want.dist(v)) << "root=" << root << " v=" << v;
+    }
+    // Flooding completes in eccentricity + 1 rounds, <= 2 messages/edge.
+    EXPECT_LE(out.rounds, eccentricity(g, root) + 1);
+    EXPECT_LE(out.messages, 2ull * g.num_edges());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CongestBfsTest, testing::Range(0, 3));
+
+TEST(CongestBfs, DisconnectedStaysInfinite) {
+  Graph g(5, {{0, 1}, {2, 3}});
+  const BfsOutcome out = distributed_bfs(g, 0);
+  EXPECT_EQ(out.dist[1], 1u);
+  EXPECT_EQ(out.dist[2], kInfDist);
+  EXPECT_EQ(out.dist[4], kInfDist);
+}
+
+TEST(CongestBfs, FailedEdgeMatchesDeletion) {
+  const Graph g = gen::cycle(8);
+  const EdgeId e = g.find_edge(0, 1);
+  const BfsOutcome out = distributed_bfs(g, 0, e);
+  const BfsTree want(g, 0, e);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(out.dist[v], want.dist(v));
+}
+
+// ------------------------------------------------------- multi-source bfs
+
+TEST(CongestMultiSource, NearestSourceSemantics) {
+  Rng rng(55);
+  const Graph g = gen::connected_gnp(70, 0.07, rng);
+  const std::vector<Vertex> sources{3, 31, 55};
+  const MultiSourceBfsOutcome out = distributed_multi_source_bfs(g, sources);
+  std::vector<BfsTree> trees;
+  for (const Vertex s : sources) trees.emplace_back(g, s);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    Dist best = kInfDist;
+    for (const auto& t : trees) best = std::min(best, t.dist(v));
+    EXPECT_EQ(out.dist[v], best);
+    if (best != kInfDist) {
+      ASSERT_LT(out.nearest[v], sources.size());
+      EXPECT_EQ(trees[out.nearest[v]].dist(v), best);
+      // Tie-break: the smallest source index among minimizers.
+      for (std::uint32_t i = 0; i < out.nearest[v]; ++i) {
+        EXPECT_GT(trees[i].dist(v), best);
+      }
+    }
+  }
+}
+
+TEST(CongestMultiSource, AllSourcesZero) {
+  const Graph g = gen::grid(4, 4);
+  std::vector<Vertex> all;
+  for (Vertex v = 0; v < 16; ++v) all.push_back(v);
+  const MultiSourceBfsOutcome out = distributed_multi_source_bfs(g, all);
+  for (Vertex v = 0; v < 16; ++v) {
+    EXPECT_EQ(out.dist[v], 0u);
+    EXPECT_EQ(out.nearest[v], v);
+  }
+  EXPECT_LE(out.rounds, 2u);
+}
+
+// ------------------------------------------------------- replacement paths
+
+TEST(CongestReplacement, MatchesOracle) {
+  Rng rng(66);
+  const Graph g = gen::path_with_chords(40, 10, rng);
+  const Vertex s = 0;
+  const RpOracle oracle(g, s);
+  for (const Vertex t : {static_cast<Vertex>(20), static_cast<Vertex>(39)}) {
+    const ReplacementOutcome out = distributed_replacement_paths(g, s, t);
+    const auto want = oracle.replacement_row(t);
+    ASSERT_EQ(out.avoiding.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(out.avoiding[i], want[i]);
+    EXPECT_GT(out.total_rounds, 0u);
+  }
+}
+
+TEST(CongestReplacement, RoundsScaleWithPathLength) {
+  const Graph g = gen::cycle(24);
+  const ReplacementOutcome out = distributed_replacement_paths(g, 0, 12);
+  ASSERT_EQ(out.path_edges.size(), 12u);
+  // One base BFS + 12 avoidance BFS runs, each <= n rounds.
+  EXPECT_LE(out.total_rounds, 13u * 24u);
+  EXPECT_GE(out.total_rounds, 12u);
+  for (const Dist d : out.avoiding) EXPECT_EQ(d, 12u);  // the other arc
+}
+
+TEST(CongestReplacement, UnreachableTarget) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  const ReplacementOutcome out = distributed_replacement_paths(g, 0, 3);
+  EXPECT_TRUE(out.path_edges.empty());
+  EXPECT_TRUE(out.avoiding.empty());
+}
+
+// ------------------------------------------------------ landmark sketch
+
+class LandmarkSketchTest : public testing::TestWithParam<int> {};
+
+TEST_P(LandmarkSketchTest, ExactDistancesToEveryLandmark) {
+  Rng rng(70 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::connected_gnp(80, 0.06, rng));
+  graphs.push_back(gen::grid(7, 9));
+  graphs.push_back(gen::path_with_chords(64, 12, rng));
+  for (const Graph& g : graphs) {
+    const auto picks = rng.sample_without_replacement(g.num_vertices(), 6);
+    const std::vector<Vertex> landmarks(picks.begin(), picks.end());
+    const LandmarkSketchOutcome out = distributed_landmark_sketch(g, landmarks);
+    for (std::uint32_t li = 0; li < landmarks.size(); ++li) {
+      const BfsTree want(g, landmarks[li]);
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_EQ(out.at(li, v, g.num_vertices()), want.dist(v))
+            << "li=" << li << " v=" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LandmarkSketchTest, testing::Range(0, 3));
+
+TEST(LandmarkSketch, PipeliningBeatsSequentialFloods) {
+  // Concurrent floods must finish well under |L| separate BFS runs:
+  // rounds = O(|L| + D), not O(|L| * D).
+  const Graph g = gen::grid(16, 16);  // D = 30
+  std::vector<Vertex> landmarks;
+  for (Vertex i = 0; i < 16; ++i) landmarks.push_back(i * 17);  // diagonal
+  const LandmarkSketchOutcome out = distributed_landmark_sketch(g, landmarks);
+  const std::uint32_t sequential = 16 * (30 + 1);
+  EXPECT_LT(out.rounds, sequential / 2);
+  EXPECT_GE(out.rounds, 30u);  // can't beat the diameter
+}
+
+TEST(LandmarkSketch, SingleLandmarkEqualsBfs) {
+  const Graph g = gen::cycle(20);
+  const LandmarkSketchOutcome out = distributed_landmark_sketch(g, {5});
+  const BfsOutcome bfs = distributed_bfs(g, 5);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(out.at(0, v, 20), bfs.dist[v]);
+}
+
+TEST(LandmarkSketch, DisconnectedStaysInfinite) {
+  Graph g(6, {{0, 1}, {1, 2}, {3, 4}});
+  const LandmarkSketchOutcome out = distributed_landmark_sketch(g, {0, 3});
+  EXPECT_EQ(out.at(0, 4, 6), kInfDist);
+  EXPECT_EQ(out.at(1, 4, 6), 1u);
+  EXPECT_EQ(out.at(0, 5, 6), kInfDist);
+  EXPECT_EQ(out.at(1, 5, 6), kInfDist);
+}
+
+}  // namespace
+}  // namespace msrp::congest

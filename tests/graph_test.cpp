@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+
+namespace msrp {
+namespace {
+
+// ------------------------------------------------------------------- graph
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Graph, TriangleAdjacency) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  ASSERT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 1u);
+  EXPECT_EQ(g.neighbors(0)[1].to, 2u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(6, {{0, 5}, {0, 2}, {0, 4}, {0, 1}});
+  const auto adj = g.neighbors(0);
+  for (std::size_t i = 1; i < adj.size(); ++i) EXPECT_LT(adj[i - 1].to, adj[i].to);
+}
+
+TEST(Graph, EdgeIdsSharedBetweenEndpoints) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    EXPECT_EQ(g.find_edge(u, v), e);
+    EXPECT_EQ(g.find_edge(v, u), e);
+  }
+}
+
+TEST(Graph, EndpointsNormalized) {
+  Graph g(3, {{2, 0}});
+  const auto [u, v] = g.endpoints(0);
+  EXPECT_EQ(u, 0u);
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(Graph, FindMissingEdge) {
+  Graph g(3, {{0, 1}});
+  EXPECT_EQ(g.find_edge(0, 2), kNoEdge);
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsParallelEdges) {
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{0, 1}, {0, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  EXPECT_THROW(Graph(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(GraphBuilder, AddVertexGrows) {
+  GraphBuilder b(2);
+  const Vertex v = b.add_vertex();
+  EXPECT_EQ(v, 2u);
+  b.add_edge(0, v);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+// -------------------------------------------------------------- generators
+
+TEST(Generators, PathStructure) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, CycleStructure) {
+  const Graph g = gen::cycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Generators, GridStructure) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 5u);
+}
+
+TEST(Generators, CompleteStructure) {
+  const Graph g = gen::complete(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(Generators, ConnectedGnpIsConnected) {
+  Rng rng(3);
+  for (const Vertex n : {2u, 10u, 50u, 200u}) {
+    const Graph g = gen::connected_gnp(n, 2.0 / n, rng);
+    EXPECT_TRUE(is_connected(g)) << "n=" << n;
+    EXPECT_GE(g.num_edges(), n - 1);
+  }
+}
+
+TEST(Generators, ErdosRenyiDensity) {
+  Rng rng(5);
+  const Graph g = gen::erdos_renyi(200, 0.1, rng);
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_NEAR(g.num_edges(), expected, 0.25 * expected);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(5);
+  EXPECT_EQ(gen::erdos_renyi(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::erdos_renyi(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(Generators, PathWithChordsKeepsBackbone) {
+  Rng rng(7);
+  const Graph g = gen::path_with_chords(100, 20, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_edges(), 99u + 20u);
+  for (Vertex v = 0; v + 1 < 100; ++v) EXPECT_TRUE(g.has_edge(v, v + 1));
+}
+
+TEST(Generators, BarbellHasBridges) {
+  const Graph g = gen::barbell(4, 3);
+  EXPECT_TRUE(is_connected(g));
+  // The 4 path edges between the cliques are all bridges.
+  EXPECT_EQ(bridges(g).size(), 4u);
+}
+
+TEST(Generators, StarOfPaths) {
+  const Graph g = gen::star_of_paths(3, 4);
+  EXPECT_EQ(g.num_vertices(), 13u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(diameter(g), 8u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(11);
+  const Graph g = gen::random_tree(64, rng);
+  EXPECT_EQ(g.num_edges(), 63u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(bridges(g).size(), 63u);  // every tree edge is a bridge
+}
+
+TEST(Generators, AvgDegreeTarget) {
+  Rng rng(13);
+  const Graph g = gen::connected_avg_degree(500, 8.0, rng);
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_NEAR(avg, 8.0, 2.5);  // backbone inflates slightly
+  EXPECT_TRUE(is_connected(g));
+}
+
+// -------------------------------------------------------------- properties
+
+TEST(Properties, ComponentsOfDisjointUnion) {
+  Graph g(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(num_components(g), 3u);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[5]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Properties, DiameterDisconnectedIsInf) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(diameter(g), kInfDist);
+  EXPECT_EQ(eccentricity(g, 0), kInfDist);
+}
+
+TEST(Properties, EccentricityOfPathEnd) {
+  const Graph g = gen::path(7);
+  EXPECT_EQ(eccentricity(g, 0), 6u);
+  EXPECT_EQ(eccentricity(g, 3), 3u);
+}
+
+TEST(Properties, BridgesOfCycleEmpty) {
+  EXPECT_TRUE(bridges(gen::cycle(8)).empty());
+}
+
+TEST(Properties, BridgesOfPathAll) {
+  EXPECT_EQ(bridges(gen::path(10)).size(), 9u);
+}
+
+TEST(Properties, BridgeDetectionMixed) {
+  // Two triangles joined by one edge: only the joining edge is a bridge.
+  Graph g(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const auto b = bridges(g);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(g.endpoints(b[0]), std::make_pair(Vertex{2}, Vertex{3}));
+}
+
+// --------------------------------------------------------------------- i/o
+
+TEST(Io, RoundTrip) {
+  Rng rng(17);
+  const Graph g = gen::connected_gnp(40, 0.15, rng);
+  std::stringstream ss;
+  io::write_edge_list(ss, g);
+  const Graph h = io::read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(h.endpoints(e), g.endpoints(e));
+}
+
+TEST(Io, CommentsSkipped) {
+  std::stringstream ss("# a comment\n3 2\n# another\n0 1\n1 2\n");
+  const Graph g = io::read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, MalformedInputsThrow) {
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(io::read_edge_list(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("3 2\n0 1\n");  // truncated
+    EXPECT_THROW(io::read_edge_list(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("2 1\n0 5\n");  // endpoint out of range
+    EXPECT_THROW(io::read_edge_list(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("junk\n");
+    EXPECT_THROW(io::read_edge_list(ss), std::invalid_argument);
+  }
+}
+
+TEST(Io, FileRoundTrip) {
+  const Graph g = gen::grid(4, 5);
+  const std::string path = testing::TempDir() + "/msrp_io_test.txt";
+  io::save_edge_list(path, g);
+  const Graph h = io::load_edge_list(path);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(io::load_edge_list("/nonexistent/definitely/missing.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace msrp

@@ -1,0 +1,202 @@
+// Property-based suites: invariants of replacement distances that must hold
+// on every graph, checked over parameterized families of random instances.
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.hpp"
+#include "core/msrp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace msrp {
+namespace {
+
+struct Instance {
+  Graph g;
+  std::vector<Vertex> sources;
+};
+
+Instance random_instance(std::uint64_t seed, Vertex n, double p, std::uint32_t sigma) {
+  Rng rng(seed);
+  Graph g = gen::connected_gnp(n, p, rng);
+  const auto picks = rng.sample_without_replacement(n, sigma);
+  return {std::move(g), {picks.begin(), picks.end()}};
+}
+
+class PropertySeedTest : public testing::TestWithParam<int> {};
+
+// P1 — a replacement distance is never below the unconstrained distance,
+// for ANY seed and configuration (soundness of the Monte Carlo algorithm).
+TEST_P(PropertySeedTest, ReplacementNeverBeatsShortest) {
+  auto [g, sources] = random_instance(100 + GetParam(), 64, 0.08, 3);
+  Config cfg;
+  cfg.seed = GetParam();
+  cfg.oversample = 0.75;  // deliberately lean sampling
+  const MsrpResult res = solve_msrp(g, sources, cfg);
+  for (const Vertex s : sources) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      for (const Dist d : res.row(s, t)) EXPECT_GE(d, res.shortest(s, t));
+    }
+  }
+}
+
+// P2 — symmetry: d(s, t, e) == d(t, s, e) in an undirected graph.
+TEST_P(PropertySeedTest, ReplacementDistanceIsSymmetric) {
+  auto [g, sources] = random_instance(200 + GetParam(), 40, 0.12, 2);
+  const MsrpResult want = solve_msrp_brute_force(g, sources);
+  const Vertex a = sources[0], b = sources[1];
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(want.avoiding(a, b, e), want.avoiding(b, a, e)) << "e=" << e;
+  }
+}
+
+// P3 — parity: in a bipartite graph every s-t walk has the same parity, so
+// replacement distances keep the parity of d(s, t) (or are infinite).
+TEST_P(PropertySeedTest, BipartiteParityPreserved) {
+  const Graph g = gen::grid(5 + GetParam() % 3, 7);
+  const std::vector<Vertex> sources{0};
+  const MsrpResult res = solve_msrp_brute_force(g, sources);
+  for (Vertex t = 0; t < g.num_vertices(); ++t) {
+    const Dist d = res.shortest(0, t);
+    for (const Dist rd : res.row(0, t)) {
+      if (rd != kInfDist) {
+        EXPECT_EQ(rd % 2, d % 2) << "t=" << t;
+      }
+    }
+  }
+}
+
+// P4 — monotonicity: adding an edge can only lower replacement distances.
+TEST_P(PropertySeedTest, AddingEdgesOnlyHelps) {
+  Rng rng(300 + GetParam());
+  const Graph g = gen::connected_gnp(36, 0.1, rng);
+  // Add one absent edge.
+  Vertex u = 0, v = 0;
+  do {
+    u = static_cast<Vertex>(rng.next_below(36));
+    v = static_cast<Vertex>(rng.next_below(36));
+  } while (u == v || g.has_edge(u, v));
+  GraphBuilder gb(36);
+  std::vector<std::pair<Vertex, Vertex>> edges = g.edges();
+  edges.emplace_back(u, v);
+  const Graph g2(36, edges);
+
+  const std::vector<Vertex> sources{0, 18};
+  const MsrpResult before = solve_msrp_brute_force(g, sources);
+  const MsrpResult after = solve_msrp_brute_force(g2, sources);
+  for (const Vertex s : sources) {
+    for (Vertex t = 0; t < 36u; ++t) {
+      // Compare edge-by-edge of the ORIGINAL graph; ids are a prefix of g2's.
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        EXPECT_LE(after.avoiding(s, t, e), before.avoiding(s, t, e))
+            << "s=" << s << " t=" << t << " e=" << e;
+      }
+    }
+  }
+}
+
+// P5 — triangle inequality through a common source under the same failure.
+TEST_P(PropertySeedTest, TriangleInequalityUnderFailure) {
+  auto [g, sources] = random_instance(400 + GetParam(), 32, 0.15, 3);
+  const MsrpResult want = solve_msrp_brute_force(g, sources);
+  const Vertex a = sources[0], b = sources[1], c = sources[2];
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Dist ab = want.avoiding(a, b, e);
+    const Dist bc = want.avoiding(b, c, e);
+    const Dist ac = want.avoiding(a, c, e);
+    EXPECT_LE(ac, sat_add(ab, bc)) << "e=" << e;
+  }
+}
+
+// P6 — bridges are exactly the edges with infinite replacement distance
+// between their two sides.
+TEST_P(PropertySeedTest, BridgesAreExactlyTheInfiniteFailures) {
+  Rng rng(500 + GetParam());
+  const Graph g = gen::path_with_chords(48, 8, rng);
+  const std::vector<EdgeId> bridge_list = bridges(g);
+  std::vector<bool> is_bridge(g.num_edges(), false);
+  for (const EdgeId e : bridge_list) is_bridge[e] = true;
+
+  const Vertex s = 0;
+  const MsrpResult res = solve_msrp_brute_force(g, {s});
+  const BfsTree& ts = res.tree(s);
+  for (Vertex t = 0; t < g.num_vertices(); ++t) {
+    std::uint32_t pos = 0;
+    for (const EdgeId e : ts.path_edges(t)) {
+      const bool inf = res.row(s, t)[pos] == kInfDist;
+      // An on-path bridge separates s from t iff t is beyond it — and every
+      // on-path bridge IS beyond-separating for this t (the path crosses it).
+      EXPECT_EQ(inf, is_bridge[e]) << "t=" << t << " e=" << e;
+      ++pos;
+    }
+  }
+}
+
+// P7 — the solver's row values agree with literally deleting the edge and
+// re-running BFS (the definitional check), on lean sampling upper bounds.
+TEST_P(PropertySeedTest, UpperBoundsMatchSomeRealPath) {
+  auto [g, sources] = random_instance(600 + GetParam(), 48, 0.1, 2);
+  Config cfg;
+  cfg.seed = 77 + GetParam();
+  const MsrpResult res = solve_msrp(g, sources, cfg);
+  for (const Vertex s : sources) {
+    const BfsTree& ts = res.tree(s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      std::uint32_t pos = 0;
+      for (const EdgeId e : ts.path_edges(t)) {
+        const Dist claimed = res.row(s, t)[pos++];
+        if (claimed == kInfDist) continue;
+        // Any finite claim must be realizable in G - e.
+        const BfsTree avoid(g, s, e);
+        EXPECT_LE(avoid.dist(t), claimed) << "claim below is impossible";
+        EXPECT_GE(claimed, avoid.dist(t));  // == soundness direction
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeedTest, testing::Range(0, 6));
+
+// --------------------------------------------------- failure injection
+
+TEST(FailureInjection, TwoEdgeConnectedGraphsAlwaysRecover) {
+  // On a 2-edge-connected graph no single failure disconnects anything:
+  // every replacement distance must be finite.
+  const Graph g = gen::grid(6, 6);  // grids >= 2x2 are 2-edge-connected
+  ASSERT_TRUE(bridges(g).empty());
+  const std::vector<Vertex> sources{0, 35};
+  const MsrpResult res = solve_msrp(g, sources);
+  for (const Vertex s : sources) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      for (const Dist d : res.row(s, t)) EXPECT_NE(d, kInfDist);
+    }
+  }
+}
+
+TEST(FailureInjection, CascadingFailuresViaRebuild) {
+  // Repeatedly fail the worst edge and rebuild: distances must be monotone
+  // non-decreasing as the graph thins (a mini chaos test of the pipeline).
+  Rng rng(9);
+  Graph g = gen::connected_gnp(40, 0.2, rng);
+  const Vertex s = 0, t = 39;
+  Dist last = BfsTree(g, s).dist(t);
+  for (int round = 0; round < 4; ++round) {
+    const MsrpResult res = solve_msrp_brute_force(g, {s});
+    const BfsTree& ts = res.tree(s);
+    if (!ts.reachable(t) || ts.dist(t) == 0) break;
+    // Fail the first path edge.
+    const EdgeId worst = ts.path_edges(t).front();
+    EXPECT_GE(res.avoiding(s, t, worst), last);
+    last = res.avoiding(s, t, worst);
+    if (last == kInfDist) break;
+    // Rebuild the graph without that edge.
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (e != worst) edges.push_back(g.endpoints(e));
+    }
+    g = Graph(40, edges);
+    EXPECT_EQ(BfsTree(g, s).dist(t), last);  // rebuild agrees with avoidance
+  }
+}
+
+}  // namespace
+}  // namespace msrp

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "rp/oracle.hpp"
+#include "rp/single_pair.hpp"
+
+namespace msrp {
+namespace {
+
+// ------------------------------------------------------------------ oracle
+
+TEST(RpOracle, CycleReplacement) {
+  const Graph g = gen::cycle(6);
+  const RpOracle oracle(g, 0);
+  // Canonical path 0->1->2->3 (or via 5; BFS from 0 visits neighbour 1 first).
+  const auto row = oracle.replacement_row(3);
+  ASSERT_EQ(row.size(), 3u);
+  // Avoiding any edge of the 3-edge arc forces the other 3-edge arc.
+  for (const Dist d : row) EXPECT_EQ(d, 3u);
+}
+
+TEST(RpOracle, BridgeHasNoReplacement) {
+  const Graph g = gen::path(4);
+  const RpOracle oracle(g, 0);
+  const auto row = oracle.replacement_row(3);
+  ASSERT_EQ(row.size(), 3u);
+  for (const Dist d : row) EXPECT_EQ(d, kInfDist);
+}
+
+TEST(RpOracle, NonTreeEdgeLeavesDistanceUnchanged) {
+  const Graph g = gen::cycle(4);
+  const RpOracle oracle(g, 0);
+  // Find the non-tree edge.
+  const BfsTree t(g, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!t.is_tree_edge(g, e)) {
+      for (Vertex v = 0; v < 4; ++v) {
+        EXPECT_EQ(oracle.distance_avoiding(v, e), t.dist(v));
+      }
+    }
+  }
+}
+
+TEST(RpOracle, GridDetour) {
+  const Graph g = gen::grid(2, 3);  // vertices 0..5, 0-1-2 / 3-4-5
+  const RpOracle oracle(g, 0);
+  const auto row = oracle.replacement_row(2);  // path 0-1-2
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], 4u);  // avoid (0,1): 0-3-4-5-2 or 0-3-4-1-2
+  EXPECT_EQ(row[1], 4u);  // avoid (1,2): 0-1-4-5-2
+}
+
+// ------------------------------------------------- single-pair (MMG) vs oracle
+
+class SinglePairParamTest
+    : public testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {};
+
+TEST_P(SinglePairParamTest, MatchesOracleOnRandomGraphs) {
+  const auto [n, p, seed] = GetParam();
+  Rng rng(seed);
+  const Graph g = gen::connected_gnp(static_cast<Vertex>(n), p, rng);
+  const Vertex s = 0;
+  const RpOracle oracle(g, s);
+  const BfsTree& ts = oracle.tree();
+  for (Vertex t = 0; t < g.num_vertices(); ++t) {
+    const SinglePairRp rp = replacement_paths(g, ts, t);
+    const auto expect = oracle.replacement_row(t);
+    ASSERT_EQ(rp.avoiding.size(), expect.size()) << "t=" << t;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(rp.avoiding[i], expect[i]) << "t=" << t << " edge#" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SinglePairParamTest,
+    testing::Values(std::make_tuple(8, 0.4, 1), std::make_tuple(16, 0.3, 2),
+                    std::make_tuple(32, 0.15, 3), std::make_tuple(64, 0.08, 4),
+                    std::make_tuple(64, 0.2, 5), std::make_tuple(100, 0.05, 6),
+                    std::make_tuple(100, 0.5, 7), std::make_tuple(150, 0.03, 8)));
+
+class SinglePairFamilyTest : public testing::TestWithParam<int> {};
+
+TEST_P(SinglePairFamilyTest, MatchesOracleOnStructuredFamilies) {
+  Rng rng(97 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::grid(5, 8));
+  graphs.push_back(gen::cycle(17));
+  graphs.push_back(gen::barbell(5, 4));
+  graphs.push_back(gen::star_of_paths(4, 5));
+  graphs.push_back(gen::path_with_chords(60, 12, rng));
+  graphs.push_back(gen::random_tree(40, rng));
+  for (const Graph& g : graphs) {
+    const Vertex s = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    const RpOracle oracle(g, s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      const SinglePairRp rp = replacement_paths(g, oracle.tree(), t);
+      const auto expect = oracle.replacement_row(t);
+      ASSERT_EQ(rp.avoiding.size(), expect.size());
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(rp.avoiding[i], expect[i])
+            << "n=" << g.num_vertices() << " s=" << s << " t=" << t << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SinglePairFamilyTest, testing::Range(0, 5));
+
+// --------------------------------------------------------- edge cases
+
+TEST(SinglePair, SourceEqualsTarget) {
+  const Graph g = gen::cycle(5);
+  const SinglePairRp rp = replacement_paths(g, 2, 2);
+  EXPECT_EQ(rp.path.size(), 1u);
+  EXPECT_TRUE(rp.edges.empty());
+  EXPECT_TRUE(rp.avoiding.empty());
+}
+
+TEST(SinglePair, UnreachableTarget) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  const SinglePairRp rp = replacement_paths(g, 0, 3);
+  EXPECT_TRUE(rp.path.empty());
+  EXPECT_TRUE(rp.avoiding.empty());
+}
+
+TEST(SinglePair, AdjacentPair) {
+  const Graph g = gen::cycle(5);
+  const SinglePairRp rp = replacement_paths(g, 0, 1);
+  ASSERT_EQ(rp.avoiding.size(), 1u);
+  EXPECT_EQ(rp.avoiding[0], 4u);  // around the cycle
+}
+
+TEST(SinglePair, ReplacementNeverShorterThanShortest) {
+  Rng rng(41);
+  const Graph g = gen::connected_gnp(80, 0.06, rng);
+  const BfsTree ts(g, 0);
+  for (Vertex t = 0; t < g.num_vertices(); ++t) {
+    const SinglePairRp rp = replacement_paths(g, ts, t);
+    for (const Dist d : rp.avoiding) EXPECT_GE(d, ts.dist(t));
+  }
+}
+
+TEST(SinglePair, CompleteGraphReplacementsAreDetours) {
+  const Graph g = gen::complete(6);
+  const SinglePairRp rp = replacement_paths(g, 0, 5);
+  ASSERT_EQ(rp.avoiding.size(), 1u);
+  EXPECT_EQ(rp.avoiding[0], 2u);  // any 2-hop detour
+}
+
+}  // namespace
+}  // namespace msrp

@@ -1,0 +1,103 @@
+// Round-trip tests for the solver-output serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/msrp.hpp"
+#include "core/serialize.hpp"
+#include "graph/generators.hpp"
+
+namespace msrp {
+namespace {
+
+TEST(Serialize, RoundTripPreservesEveryCell) {
+  Rng rng(1);
+  const Graph g = gen::connected_gnp(50, 0.1, rng);
+  const std::vector<Vertex> sources{0, 25};
+  const MsrpResult res = solve_msrp(g, sources);
+
+  std::stringstream ss;
+  write_result(ss, res);
+  const SerializedResult loaded = SerializedResult::read(ss);
+
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.sources(), sources);
+  for (const Vertex s : sources) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      EXPECT_EQ(loaded.shortest(s, t), res.shortest(s, t)) << "s=" << s << " t=" << t;
+      const auto want = res.row(s, t);
+      const auto got = loaded.row(s, t);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+    }
+  }
+}
+
+TEST(Serialize, InfinityCellsSurvive) {
+  // Path: every replacement is infinite.
+  const Graph g = gen::path(6);
+  const MsrpResult res = solve_msrp(g, {0});
+  std::stringstream ss;
+  write_result(ss, res);
+  const SerializedResult loaded = SerializedResult::read(ss);
+  for (Vertex t = 1; t < 6; ++t) {
+    for (const Dist d : loaded.row(0, t)) EXPECT_EQ(d, kInfDist);
+  }
+}
+
+TEST(Serialize, UnreachableTargetsOmitted) {
+  Graph g(5, {{0, 1}, {3, 4}});
+  const MsrpResult res = solve_msrp(g, {0});
+  std::stringstream ss;
+  write_result(ss, res);
+  const SerializedResult loaded = SerializedResult::read(ss);
+  EXPECT_EQ(loaded.shortest(0, 3), kInfDist);
+  EXPECT_TRUE(loaded.row(0, 3).empty());
+  EXPECT_EQ(loaded.shortest(0, 0), 0u);  // self entry synthesized
+}
+
+TEST(Serialize, CommentsIgnoredOnLoad) {
+  const Graph g = gen::cycle(5);
+  const MsrpResult res = solve_msrp(g, {0});
+  std::stringstream ss;
+  write_result(ss, res);
+  std::stringstream with_comments("# produced by test\n" + ss.str());
+  const SerializedResult loaded = SerializedResult::read(with_comments);
+  EXPECT_EQ(loaded.shortest(0, 2), 2u);
+}
+
+TEST(Serialize, MalformedInputsThrow) {
+  {
+    std::stringstream ss("wrong header\n");
+    EXPECT_THROW(SerializedResult::read(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("msrp-result 1\n");
+    EXPECT_THROW(SerializedResult::read(ss), std::invalid_argument);  // no dims
+  }
+  {
+    std::stringstream ss("msrp-result 1\n5 1\n3 2 4\n");  // row before source
+    EXPECT_THROW(SerializedResult::read(ss), std::invalid_argument);
+  }
+  {
+    // Row length must equal the distance.
+    std::stringstream ss("msrp-result 1\n5 1\nsource 0\n3 2 7\n");
+    EXPECT_THROW(SerializedResult::read(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("msrp-result 1\n5 1\nsource 9\n");  // source out of range
+    EXPECT_THROW(SerializedResult::read(ss), std::invalid_argument);
+  }
+}
+
+TEST(Serialize, NonSourceQueryThrows) {
+  const Graph g = gen::cycle(4);
+  const MsrpResult res = solve_msrp(g, {0});
+  std::stringstream ss;
+  write_result(ss, res);
+  const SerializedResult loaded = SerializedResult::read(ss);
+  EXPECT_THROW(loaded.shortest(1, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msrp

@@ -1,0 +1,182 @@
+// AuxGraph + Dijkstra: the weighted-digraph substrate under the paper's
+// auxiliary constructions (Sections 7.1, 8.1, 8.2.2, 8.3).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spath/aux_graph.hpp"
+#include "spath/dijkstra.hpp"
+#include "tree/bfs_tree.hpp"
+
+namespace msrp {
+namespace {
+
+TEST(AuxGraph, NodeAllocation) {
+  AuxGraph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_nodes(3), 1u);
+  EXPECT_EQ(g.add_node(), 4u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(AuxGraph, ForwardStarGrouping) {
+  AuxGraph g;
+  g.add_nodes(4);
+  g.add_arc(0, 1, 5);
+  g.add_arc(2, 3, 7);
+  g.add_arc(0, 2, 1);
+  g.finalize();
+  EXPECT_EQ(g.out(0).size(), 2u);
+  EXPECT_EQ(g.out(1).size(), 0u);
+  EXPECT_EQ(g.out(2).size(), 1u);
+  EXPECT_EQ(g.out(2)[0].to, 3u);
+  EXPECT_EQ(g.out(2)[0].weight, 7u);
+}
+
+TEST(AuxGraph, FinalizeIdempotentAndLazy) {
+  AuxGraph g;
+  g.add_nodes(2);
+  g.add_arc(0, 1, 1);
+  EXPECT_FALSE(g.finalized());
+  g.finalize();
+  EXPECT_TRUE(g.finalized());
+  g.finalize();
+  EXPECT_TRUE(g.finalized());
+  g.add_arc(1, 0, 2);  // invalidates
+  EXPECT_FALSE(g.finalized());
+}
+
+TEST(Dijkstra, LineOfWeights) {
+  AuxGraph g;
+  g.add_nodes(4);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 2, 3);
+  g.add_arc(2, 3, 4);
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist[0], 0u);
+  EXPECT_EQ(r.dist[1], 2u);
+  EXPECT_EQ(r.dist[2], 5u);
+  EXPECT_EQ(r.dist[3], 9u);
+  const auto path = extract_path(r, 3);
+  EXPECT_EQ(path, (std::vector<AuxNode>{0, 1, 2, 3}));
+}
+
+TEST(Dijkstra, PrefersCheaperRoute) {
+  AuxGraph g;
+  g.add_nodes(3);
+  g.add_arc(0, 2, 10);
+  g.add_arc(0, 1, 3);
+  g.add_arc(1, 2, 4);
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist[2], 7u);
+  EXPECT_EQ(r.parent[2], 1u);
+}
+
+TEST(Dijkstra, UnreachableAndEmptyPath) {
+  AuxGraph g;
+  g.add_nodes(3);
+  g.add_arc(0, 1, 1);
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist[2], kInfDist);
+  EXPECT_TRUE(extract_path(r, 2).empty());
+  EXPECT_EQ(extract_path(r, 0), (std::vector<AuxNode>{0}));
+}
+
+TEST(Dijkstra, ZeroWeightArcs) {
+  AuxGraph g;
+  g.add_nodes(3);
+  g.add_arc(0, 1, 0);
+  g.add_arc(1, 2, 0);
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist[2], 0u);
+}
+
+TEST(Dijkstra, InfiniteArcStaysUnreachable) {
+  AuxGraph g;
+  g.add_nodes(2);
+  g.add_arc(0, 1, kInfDist);  // "no path" marker must not become reachable
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist[1], kInfDist);
+}
+
+TEST(Dijkstra, SourceOutOfRangeThrows) {
+  AuxGraph g;
+  g.add_nodes(1);
+  EXPECT_THROW(dijkstra(g, 5), std::invalid_argument);
+}
+
+TEST(Dijkstra, MatchesBfsOnUnitWeights) {
+  // On a unit-weight digraph mirroring an undirected graph, Dijkstra must
+  // agree with BFS.
+  Rng rng(3);
+  const Graph ug = gen::connected_gnp(120, 0.05, rng);
+  AuxGraph g;
+  g.add_nodes(ug.num_vertices());
+  for (EdgeId e = 0; e < ug.num_edges(); ++e) {
+    const auto [u, v] = ug.endpoints(e);
+    g.add_arc(u, v, 1);
+    g.add_arc(v, u, 1);
+  }
+  const DijkstraResult r = dijkstra(g, 7);
+  const BfsTree t(ug, 7);
+  for (Vertex v = 0; v < ug.num_vertices(); ++v) {
+    EXPECT_EQ(r.dist[v], t.dist(v)) << "v=" << v;
+  }
+}
+
+TEST(Dijkstra, RandomWeightedDigraphAgainstBellmanFord) {
+  Rng rng(9);
+  const std::uint32_t n = 60;
+  AuxGraph g;
+  g.add_nodes(n);
+  struct ArcRec {
+    AuxNode u, v;
+    Dist w;
+  };
+  std::vector<ArcRec> arcs;
+  for (int i = 0; i < 400; ++i) {
+    const auto u = static_cast<AuxNode>(rng.next_below(n));
+    const auto v = static_cast<AuxNode>(rng.next_below(n));
+    if (u == v) continue;
+    const auto w = static_cast<Dist>(rng.next_below(50));
+    g.add_arc(u, v, w);
+    arcs.push_back({u, v, w});
+  }
+  const DijkstraResult r = dijkstra(g, 0);
+  // Bellman–Ford reference.
+  std::vector<Dist> bf(n, kInfDist);
+  bf[0] = 0;
+  for (std::uint32_t round = 0; round < n; ++round) {
+    for (const auto& a : arcs) {
+      bf[a.v] = std::min(bf[a.v], sat_add(bf[a.u], a.w));
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) EXPECT_EQ(r.dist[v], bf[v]) << "v=" << v;
+}
+
+TEST(Dijkstra, ParentChainsAreConsistent) {
+  Rng rng(11);
+  AuxGraph g;
+  const std::uint32_t n = 40;
+  g.add_nodes(n);
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<AuxNode>(rng.next_below(n));
+    const auto v = static_cast<AuxNode>(rng.next_below(n));
+    if (u != v) g.add_arc(u, v, static_cast<Dist>(1 + rng.next_below(9)));
+  }
+  const DijkstraResult r = dijkstra(g, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (r.dist[v] == kInfDist || v == 0) continue;
+    const auto path = extract_path(r, v);
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), v);
+    // Distances strictly increase along the chain.
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      EXPECT_LT(r.dist[path[i - 1]], r.dist[path[i]] + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msrp

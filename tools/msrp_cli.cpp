@@ -1,0 +1,164 @@
+// msrp_cli — command-line front end for the library.
+//
+// Reads an edge list (see graph/io.hpp: "n m" header then "u v" lines, '#'
+// comments allowed), solves MSRP for the given sources, and prints either a
+// summary, full rows, or specific queries.
+//
+// Usage:
+//   msrp_cli <graph-file> --sources 0,5,9 [options]
+//   msrp_cli --demo                      (built-in random instance)
+//
+// Options:
+//   --sources a,b,c       source vertices (required unless --demo)
+//   --seed N              RNG seed (default 42)
+//   --oversample X        sampling multiplier (default 1.0)
+//   --exact               deterministic exact mode
+//   --bk                  use the Section 8 landmark-table machinery
+//   --rows                print every replacement row
+//   --query s,t,e         print a single d(s, t, e) (repeatable)
+//   --stats               print phase timings and structure sizes
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/msrp.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+using namespace msrp;
+
+namespace {
+
+std::vector<std::uint32_t> parse_list(const std::string& s) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(static_cast<std::uint32_t>(std::stoul(s.substr(pos, next - pos))));
+    pos = next + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: msrp_cli <graph-file> --sources a,b,c [--seed N] "
+               "[--oversample X]\n"
+               "                [--exact] [--bk] [--rows] [--query s,t,e]... "
+               "[--stats]\n"
+               "       msrp_cli --demo\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string graph_path;
+  std::vector<Vertex> sources;
+  std::vector<std::vector<std::uint32_t>> queries;
+  Config cfg;
+  cfg.seed = 42;
+  bool print_rows = false, print_stats = false, demo = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--sources") {
+      for (const auto v : parse_list(next())) sources.push_back(v);
+    } else if (arg == "--seed") {
+      cfg.seed = std::stoull(next());
+    } else if (arg == "--oversample") {
+      cfg.oversample = std::stod(next());
+    } else if (arg == "--exact") {
+      cfg.exact = true;
+    } else if (arg == "--bk") {
+      cfg.landmark_rp = LandmarkRpMethod::kBkAuxGraphs;
+    } else if (arg == "--rows") {
+      print_rows = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg == "--query") {
+      const auto q = parse_list(next());
+      if (q.size() != 3) usage();
+      queries.push_back(q);
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      graph_path = arg;
+    }
+  }
+
+  Graph g(0);
+  if (demo) {
+    Rng rng(cfg.seed);
+    g = gen::connected_avg_degree(200, 6.0, rng);
+    if (sources.empty()) sources = {0, 50, 100};
+    std::printf("# demo instance: n=%u m=%u sources=0,50,100\n", g.num_vertices(),
+                g.num_edges());
+  } else {
+    if (graph_path.empty() || sources.empty()) usage();
+    try {
+      g = io::load_edge_list(graph_path);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error loading %s: %s\n", graph_path.c_str(), ex.what());
+      return 1;
+    }
+  }
+
+  MsrpResult res = [&] {
+    try {
+      return solve_msrp(g, sources, cfg);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: %s\n", ex.what());
+      std::exit(1);
+    }
+  }();
+
+  std::printf("solved: n=%u m=%u sigma=%zu landmarks=%zu\n", g.num_vertices(),
+              g.num_edges(), sources.size(), res.stats().num_landmarks);
+
+  for (const auto& q : queries) {
+    const Dist d = res.avoiding(q[0], q[1], q[2]);
+    if (d == kInfDist) {
+      std::printf("d(%u, %u, e%u) = inf\n", q[0], q[1], q[2]);
+    } else {
+      std::printf("d(%u, %u, e%u) = %u\n", q[0], q[1], q[2], d);
+    }
+  }
+
+  if (print_rows) {
+    for (const Vertex s : sources) {
+      for (Vertex t = 0; t < g.num_vertices(); ++t) {
+        const auto row = res.row(s, t);
+        if (row.empty()) continue;
+        std::printf("%u %u %u :", s, t, res.shortest(s, t));
+        for (const Dist d : row) {
+          if (d == kInfDist) {
+            std::printf(" inf");
+          } else {
+            std::printf(" %u", d);
+          }
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  if (print_stats) {
+    const auto& st = res.stats();
+    std::printf("landmarks=%zu centers=%zu trees=%zu near_small_arcs=%zu\n",
+                st.num_landmarks, st.num_centers, st.num_trees, st.near_small_aux_arcs);
+    for (const auto& [phase, secs] : st.phase_seconds) {
+      std::printf("phase %-24s %8.3f ms\n", phase.c_str(), secs * 1e3);
+    }
+  }
+  return 0;
+}
