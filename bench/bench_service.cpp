@@ -1,0 +1,85 @@
+// EXP-service: batched query throughput of the service layer.
+//
+// Rows: queries/sec for a fixed 100k-query batch as the worker-thread count
+// grows (the tentpole scaling claim: >= 2x at 4 threads on multicore), plus
+// snapshot vs. text (de)serialization speed for the same oracle.
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/serialize.hpp"
+#include "service/query_service.hpp"
+
+namespace msrp {
+namespace {
+
+constexpr Vertex kN = 1000;
+constexpr std::uint32_t kSigma = 8;
+constexpr std::size_t kBatch = 100'000;
+
+const service::Snapshot& demo_oracle() {
+  static const service::Snapshot snap = [] {
+    const Graph g = benchutil::er_graph(kN, 8.0);
+    const MsrpResult res = solve_msrp(g, benchutil::spread_sources(g, kSigma));
+    return service::Snapshot::capture(res);
+  }();
+  return snap;
+}
+
+std::vector<service::Query> demo_batch(const service::Snapshot& oracle) {
+  Rng rng(99);
+  std::vector<service::Query> batch;
+  batch.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    batch.push_back({oracle.sources()[rng.next_below(oracle.num_sources())],
+                     static_cast<Vertex>(rng.next_below(oracle.num_vertices())),
+                     static_cast<EdgeId>(rng.next_below(oracle.num_edges()))});
+  }
+  return batch;
+}
+
+void BM_QueryBatch(benchmark::State& state) {
+  const service::Snapshot& oracle = demo_oracle();
+  const std::vector<service::Query> batch = demo_batch(oracle);
+  service::QueryService svc({.threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    auto answers = svc.query_batch(oracle, batch);
+    benchmark::DoNotOptimize(answers.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_QueryBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  const service::Snapshot& oracle = demo_oracle();
+  std::stringstream ss;
+  oracle.write(ss);
+  const std::string image = ss.str();
+  for (auto _ : state) {
+    std::stringstream in(image);
+    auto loaded = service::Snapshot::read(in);
+    benchmark::DoNotOptimize(loaded.num_vertices());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_SnapshotRoundTrip);
+
+void BM_TextRoundTrip(benchmark::State& state) {
+  const Graph g = benchutil::er_graph(kN, 8.0);
+  const MsrpResult res = solve_msrp(g, benchutil::spread_sources(g, kSigma));
+  std::stringstream ss;
+  write_result(ss, res);
+  const std::string image = ss.str();
+  for (auto _ : state) {
+    std::stringstream in(image);
+    auto loaded = SerializedResult::read(in);
+    benchmark::DoNotOptimize(loaded.num_vertices());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_TextRoundTrip);
+
+}  // namespace
+}  // namespace msrp

@@ -42,6 +42,9 @@ class MsrpResult {
   const std::vector<Vertex>& sources() const { return sources_; }
   std::uint32_t num_sources() const { return static_cast<std::uint32_t>(sources_.size()); }
 
+  /// The graph the result was solved on (outlives the result by contract).
+  const Graph& graph() const { return *g_; }
+
   /// Index of source vertex s; throws if s is not a source.
   std::uint32_t source_index(Vertex s) const;
 
@@ -63,6 +66,19 @@ class MsrpResult {
 
   MsrpStats& stats() { return stats_; }
   const MsrpStats& stats() const { return stats_; }
+
+  // ----- bulk read access (service snapshots copy rows wholesale) ---------
+
+  /// All rows of source index si as one flat array; row_offsets(si) indexes
+  /// it: row (si, t) occupies [offsets[t], offsets[t+1]).
+  std::span<const Dist> raw_rows(std::uint32_t si) const {
+    return {rows_[si].data(), rows_[si].size()};
+  }
+
+  /// n+1 prefix sums into raw_rows(si), indexed by target vertex.
+  std::span<const std::uint64_t> row_offsets(std::uint32_t si) const {
+    return {row_offset_[si].data(), row_offset_[si].size()};
+  }
 
   // ----- engine-facing mutation (rows are written once, then read-only) ----
 

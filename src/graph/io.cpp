@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/fnv.hpp"
+
 namespace msrp::io {
 
 void write_edge_list(std::ostream& os, const Graph& g) {
@@ -51,6 +53,14 @@ Graph load_edge_list(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open for reading: " + path);
   return read_edge_list(f);
+}
+
+std::uint64_t graph_digest(const Graph& g) {
+  std::uint64_t h = fnv::kOffset;
+  h = fnv::mix_u64(h, g.num_vertices());
+  h = fnv::mix_u64(h, g.num_edges());
+  for (const auto& [u, v] : g.edges()) h = fnv::mix_u64(h, (std::uint64_t{u} << 32) | v);
+  return h;
 }
 
 }  // namespace msrp::io

@@ -22,4 +22,10 @@ Graph read_edge_list(std::istream& is);
 void save_edge_list(const std::string& path, const Graph& g);
 Graph load_edge_list(const std::string& path);
 
+/// Stable 64-bit digest of the graph structure (n, m, edge list in id
+/// order). Two graphs digest equal iff they have identical vertex counts
+/// and identically-numbered edges — the identity key for the service
+/// layer's oracle cache.
+std::uint64_t graph_digest(const Graph& g);
+
 }  // namespace msrp::io

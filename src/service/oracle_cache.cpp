@@ -1,0 +1,96 @@
+#include "service/oracle_cache.hpp"
+
+#include <bit>
+#include <mutex>
+
+#include "util/assert.hpp"
+#include "util/fnv.hpp"
+
+namespace msrp::service {
+
+std::uint64_t config_fingerprint(const Config& cfg) {
+  std::uint64_t h = fnv::kOffset;
+  h = fnv::mix_u64(h, cfg.seed);
+  h = fnv::mix_u64(h, std::bit_cast<std::uint64_t>(cfg.oversample));
+  h = fnv::mix_u64(h, std::bit_cast<std::uint64_t>(cfg.near_scale));
+  h = fnv::mix_u64(h, std::bit_cast<std::uint64_t>(cfg.window_scale));
+  h = fnv::mix_u64(h, static_cast<std::uint64_t>(cfg.landmark_rp));
+  h = fnv::mix_u64(h, (std::uint64_t{cfg.paper_constants} << 1) | std::uint64_t{cfg.exact});
+  return h;
+}
+
+std::size_t OracleKeyHash::operator()(const OracleKey& k) const {
+  std::uint64_t h = fnv::kOffset;
+  h = fnv::mix_u64(h, k.graph_digest);
+  h = fnv::mix_u64(h, k.config_fingerprint);
+  h = fnv::mix_u64(h, k.sources.size());
+  for (const Vertex s : k.sources) h = fnv::mix_u64(h, s);
+  return static_cast<std::size_t>(h);
+}
+
+OracleCache::OracleCache(std::size_t capacity) : capacity_(capacity) {
+  MSRP_REQUIRE(capacity >= 1, "oracle cache capacity must be >= 1");
+}
+
+std::size_t OracleCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::shared_ptr<const Snapshot> OracleCache::find_locked(const OracleKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front, iterator stays valid
+  return it->second->second;
+}
+
+std::shared_ptr<const Snapshot> OracleCache::find(const OracleKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_locked(key);
+}
+
+void OracleCache::insert(const OracleKey& key, std::shared_ptr<const Snapshot> oracle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(oracle);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(oracle));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::shared_ptr<const Snapshot> OracleCache::get_or_build(
+    const OracleKey& key, const std::function<std::shared_ptr<const Snapshot>()>& build) {
+  if (auto hit = find(key)) return hit;
+  std::shared_ptr<const Snapshot> built = build();
+  insert(key, built);
+  return built;
+}
+
+std::uint64_t OracleCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t OracleCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t OracleCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace msrp::service

@@ -1,0 +1,88 @@
+// LRU cache of solved oracles, keyed by what determines the solve.
+//
+// A solve is a pure function of (graph, sources, Config) — the solver is
+// deterministic given its seed — so the cache key is (graph digest, source
+// list, config fingerprint). Values are shared_ptr<const Snapshot>: handing
+// out shared ownership means an oracle evicted mid-flight stays alive for
+// the batches still holding it, which is what makes eviction safe with a
+// lock-free read path.
+//
+// The cache itself is mutex-guarded (build/insert/evict are rare and
+// expensive next to a solve); the hot path never touches it — batches run
+// against the Snapshot reference they already hold.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "service/snapshot.hpp"
+
+namespace msrp::service {
+
+/// Stable 64-bit digest of every Config field that affects solver output.
+std::uint64_t config_fingerprint(const Config& cfg);
+
+/// Identity of one solved oracle.
+struct OracleKey {
+  std::uint64_t graph_digest = 0;
+  std::vector<Vertex> sources;
+  std::uint64_t config_fingerprint = 0;
+
+  friend bool operator==(const OracleKey&, const OracleKey&) = default;
+};
+
+struct OracleKeyHash {
+  std::size_t operator()(const OracleKey& k) const;
+};
+
+class OracleCache {
+ public:
+  /// Capacity is in oracles; must be >= 1.
+  explicit OracleCache(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+
+  /// Returns the cached oracle and marks it most-recently-used; nullptr on
+  /// miss.
+  std::shared_ptr<const Snapshot> find(const OracleKey& key);
+
+  /// Inserts (or replaces) an oracle, evicting the least-recently-used
+  /// entry when over capacity.
+  void insert(const OracleKey& key, std::shared_ptr<const Snapshot> oracle);
+
+  /// find(), falling back to build() + insert() on a miss. The builder runs
+  /// outside the cache lock: a long solve must not block readers of other
+  /// entries. Concurrent misses on the same key may both build; last insert
+  /// wins (both snapshots are identical by determinism).
+  std::shared_ptr<const Snapshot> get_or_build(
+      const OracleKey& key,
+      const std::function<std::shared_ptr<const Snapshot>()>& build);
+
+  // Counters (monotonic, for observability and the eviction tests).
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  // Most-recently-used at the front; the map points into the list.
+  using LruList = std::list<std::pair<OracleKey, std::shared_ptr<const Snapshot>>>;
+
+  std::shared_ptr<const Snapshot> find_locked(const OracleKey& key);
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;
+  std::unordered_map<OracleKey, LruList::iterator, OracleKeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace msrp::service

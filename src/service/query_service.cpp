@@ -1,0 +1,114 @@
+#include "service/query_service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/msrp.hpp"
+#include "graph/io.hpp"
+
+namespace msrp::service {
+
+QueryService::QueryService(Options opts)
+    : opts_(opts), pool_(opts.threads), cache_(opts.cache_capacity) {}
+
+std::shared_ptr<const Snapshot> QueryService::build(const Graph& g,
+                                                    const std::vector<Vertex>& sources,
+                                                    const Config& cfg) {
+  OracleKey key{io::graph_digest(g), sources, config_fingerprint(cfg)};
+  return cache_.get_or_build(key, [&] {
+    const MsrpResult res = solve_msrp(g, sources, cfg);
+    return std::make_shared<const Snapshot>(Snapshot::capture(res));
+  });
+}
+
+std::shared_ptr<const Snapshot> QueryService::load(const std::string& path) {
+  auto snap = std::make_shared<const Snapshot>(Snapshot::load(path));
+  // Snapshots carry no (graph, config) identity, so they are cached under
+  // their content digest; config_fingerprint 0 keeps the key space disjoint
+  // from built oracles (config_fingerprint() never returns 0 in practice).
+  OracleKey key{snap->content_digest(), snap->sources(), 0};
+  if (auto hit = cache_.find(key)) return hit;
+  cache_.insert(key, snap);
+  return snap;
+}
+
+std::vector<Dist> QueryService::query_batch(const Snapshot& oracle,
+                                            std::span<const Query> queries) {
+  const Vertex n = oracle.num_vertices();
+  const EdgeId m = oracle.num_edges();
+  const std::uint32_t sigma = oracle.num_sources();
+
+  // Validate everything before any worker sees the batch, and counting-sort
+  // the query indices by source while at it (the sharding axis). The flat
+  // `order` array keeps each source's shard contiguous with one allocation —
+  // this pass is the only serial work per batch, so it stays lean.
+  std::vector<std::uint32_t> si_of(queries.size());
+  std::vector<std::size_t> shard_begin(sigma + 1, 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    MSRP_REQUIRE(oracle.is_source(q.s), "query source is not an oracle source");
+    MSRP_REQUIRE(q.t < n, "query target out of range");
+    MSRP_REQUIRE(q.e < m, "query edge out of range");
+    si_of[i] = oracle.source_index(q.s);
+    ++shard_begin[si_of[i] + 1];
+  }
+  for (std::uint32_t si = 0; si < sigma; ++si) shard_begin[si + 1] += shard_begin[si];
+  std::vector<std::uint32_t> order(queries.size());
+  {
+    std::vector<std::size_t> fill(shard_begin.begin(), shard_begin.end() - 1);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      order[fill[si_of[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<Dist> out(queries.size());
+  auto answer_range = [&oracle, &queries, &out, &order](std::uint32_t si, std::size_t lo,
+                                                        std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const Query& q = queries[order[j]];
+      out[order[j]] = oracle.avoiding_at(si, q.t, q.e);
+    }
+  };
+
+  if (queries.size() < opts_.min_parallel_batch || pool_.size() <= 1) {
+    for (std::uint32_t si = 0; si < sigma; ++si) {
+      answer_range(si, shard_begin[si], shard_begin[si + 1]);
+    }
+  } else {
+    // One task per (source, chunk): sharding by source keeps each worker in
+    // one source's table; chunking caps shard size so a skewed batch (all
+    // queries on one source) still spreads across the pool. Completion is
+    // tracked per batch (not via the pool-wide wait_idle) so concurrent
+    // query_batch callers sharing the pool never observe each other's
+    // tasks or errors.
+    const std::size_t chunk =
+        std::max<std::size_t>(512, queries.size() / (std::size_t{pool_.size()} * 4));
+    struct BatchState {
+      std::mutex mu;
+      std::condition_variable done_cv;
+      std::size_t pending = 0;
+    };
+    BatchState batch;
+    for (std::uint32_t si = 0; si < sigma; ++si) {
+      for (std::size_t lo = shard_begin[si]; lo < shard_begin[si + 1]; lo += chunk) {
+        const std::size_t hi = std::min(shard_begin[si + 1], lo + chunk);
+        {
+          std::lock_guard<std::mutex> lock(batch.mu);
+          ++batch.pending;
+        }
+        pool_.submit([&answer_range, &batch, si, lo, hi] {
+          answer_range(si, lo, hi);  // touches only validated indices; nothrow
+          std::lock_guard<std::mutex> lock(batch.mu);
+          if (--batch.pending == 0) batch.done_cv.notify_all();
+        });
+      }
+    }
+    std::unique_lock<std::mutex> lock(batch.mu);
+    batch.done_cv.wait(lock, [&batch] { return batch.pending == 0; });
+  }
+  queries_served_.fetch_add(queries.size(), std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace msrp::service

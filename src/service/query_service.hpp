@@ -1,0 +1,89 @@
+// Batched replacement-path query serving.
+//
+// The solver's preprocessing is O~(m sqrt(n sigma) + sigma n^2); a point
+// query d(s, t, e) is O(1). A serving deployment therefore builds (or
+// snapshot-loads) an oracle once and amortizes it over millions of queries.
+// QueryService packages that split:
+//
+//   * build()/load() produce immutable Snapshot oracles through an LRU
+//     cache keyed by (graph digest, sources, config fingerprint) — a repeat
+//     build of the same instance is a cache hit, not a re-solve;
+//   * query_batch() answers a span of (s, t, e) queries on a fixed thread
+//     pool. The batch is sharded by source: every worker task reads one
+//     source's replacement table, so shards touch disjoint table slices and
+//     the read path takes no locks (the oracle is immutable; answer slots
+//     are disjoint by query index).
+//
+// Invalid queries are rejected up front in the calling thread — workers
+// only ever see validated indices.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "service/oracle_cache.hpp"
+#include "service/snapshot.hpp"
+#include "service/thread_pool.hpp"
+
+namespace msrp::service {
+
+/// One point query: length of the shortest s->t path avoiding edge e.
+struct Query {
+  Vertex s = 0;
+  Vertex t = 0;
+  EdgeId e = 0;
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+class QueryService {
+ public:
+  struct Options {
+    /// Worker threads; 0 = hardware concurrency.
+    unsigned threads = 0;
+    /// Oracle cache capacity, in oracles.
+    std::size_t cache_capacity = 4;
+    /// Batches smaller than this answer inline on the calling thread —
+    /// below it the fan-out overhead exceeds the O(1)-per-query work.
+    std::size_t min_parallel_batch = 2048;
+  };
+
+  QueryService() : QueryService(Options{}) {}
+  explicit QueryService(Options opts);
+
+  /// Solves MSRP for (g, sources, cfg) — or returns the cached oracle for
+  /// an identical instance — and hands back an immutable snapshot oracle.
+  std::shared_ptr<const Snapshot> build(const Graph& g, const std::vector<Vertex>& sources,
+                                        const Config& cfg = {});
+
+  /// Loads a snapshot from disk into the cache (keyed by its content
+  /// digest, so loading the same file twice hits).
+  std::shared_ptr<const Snapshot> load(const std::string& path);
+
+  /// Answers queries[i] into result[i]. Throws std::invalid_argument if any
+  /// query names a non-source s, or an out-of-range t or e; no partial
+  /// answers are produced in that case. Safe to call from several threads
+  /// concurrently: batches share the worker pool but track their own
+  /// completion.
+  std::vector<Dist> query_batch(const Snapshot& oracle, std::span<const Query> queries);
+
+  unsigned num_threads() const { return pool_.size(); }
+  const OracleCache& cache() const { return cache_; }
+
+  /// Total queries answered since construction (across all batches).
+  std::uint64_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options opts_;
+  ThreadPool pool_;
+  OracleCache cache_;
+  std::atomic<std::uint64_t> queries_served_{0};
+};
+
+}  // namespace msrp::service

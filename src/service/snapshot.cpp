@@ -1,0 +1,340 @@
+#include "service/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "tree/bfs_tree.hpp"
+#include "util/fnv.hpp"
+
+namespace msrp::service {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'R', 'P', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/// Bounds-checked varint reader over the in-memory image.
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size) : cur_(data), end_(data + size) {}
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    std::uint32_t shift = 0;
+    while (true) {
+      MSRP_REQUIRE(cur_ < end_, "snapshot: truncated varint");
+      MSRP_REQUIRE(shift < 64, "snapshot: varint overflow");
+      const std::uint8_t byte = *cur_++;
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if (!(byte & 0x80)) return v;
+      shift += 7;
+    }
+  }
+
+  std::uint64_t bounded(std::uint64_t limit, const char* what) {
+    const std::uint64_t v = varint();
+    MSRP_REQUIRE(v <= limit, what);
+    return v;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - cur_); }
+
+ private:
+  const std::uint8_t* cur_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace
+
+Snapshot Snapshot::capture(const MsrpResult& res) {
+  Snapshot snap;
+  snap.n_ = res.graph().num_vertices();
+  snap.m_ = res.graph().num_edges();
+  snap.sources_ = res.sources();
+  snap.tables_.resize(snap.sources_.size());
+
+  for (std::uint32_t si = 0; si < snap.sources_.size(); ++si) {
+    const Vertex s = snap.sources_[si];
+    const BfsTree& tree = res.tree(s);
+    SourceTable& tab = snap.tables_[si];
+    tab.root = s;
+    tab.dist.resize(snap.n_);
+    tab.parent.resize(snap.n_);
+    tab.parent_edge.resize(snap.n_);
+    for (Vertex v = 0; v < snap.n_; ++v) {
+      tab.dist[v] = tree.dist(v);
+      tab.parent[v] = tree.parent(v);
+      tab.parent_edge[v] = tree.parent_edge(v);
+    }
+    const auto offsets = res.row_offsets(si);
+    const auto cells = res.raw_rows(si);
+    tab.row_offset.assign(offsets.begin(), offsets.end());
+    tab.cells.assign(cells.begin(), cells.end());
+  }
+  snap.finalize();
+  return snap;
+}
+
+void Snapshot::finalize() {
+  MSRP_REQUIRE(!sources_.empty(), "snapshot: no sources");
+  source_index_.assign(n_, -1);
+  for (std::uint32_t si = 0; si < sources_.size(); ++si) {
+    const Vertex s = sources_[si];
+    MSRP_REQUIRE(s < n_, "snapshot: source out of range");
+    MSRP_REQUIRE(source_index_[s] < 0, "snapshot: duplicate source");
+    source_index_[s] = static_cast<std::int32_t>(si);
+  }
+
+  std::uint64_t digest = fnv::kOffset;
+  digest = fnv::mix_u64(digest, n_);
+  digest = fnv::mix_u64(digest, m_);
+  digest = fnv::mix_u64(digest, sources_.size());
+
+  for (SourceTable& tab : tables_) {
+    MSRP_REQUIRE(tab.dist[tab.root] == 0, "snapshot: root distance must be 0");
+    digest = fnv::mix_u64(digest, tab.root);
+
+    // Derived map: tree edge id -> deeper endpoint.
+    tab.edge_child.assign(m_, kNoVertex);
+    std::vector<std::vector<Vertex>> children(n_);
+    std::size_t reachable = 0;
+    for (Vertex v = 0; v < n_; ++v) {
+      const Dist d = tab.dist[v];
+      digest = fnv::mix_u64(digest, d);
+      if (d == kInfDist) {
+        MSRP_REQUIRE(tab.parent[v] == kNoVertex && tab.parent_edge[v] == kNoEdge,
+                     "snapshot: unreachable vertex with a parent");
+        continue;
+      }
+      ++reachable;
+      if (v == tab.root) {
+        MSRP_REQUIRE(tab.parent[v] == kNoVertex && tab.parent_edge[v] == kNoEdge,
+                     "snapshot: root with a parent");
+        continue;
+      }
+      const Vertex p = tab.parent[v];
+      const EdgeId pe = tab.parent_edge[v];
+      MSRP_REQUIRE(p < n_ && pe < m_, "snapshot: parent out of range");
+      MSRP_REQUIRE(tab.dist[p] != kInfDist && tab.dist[p] + 1 == d,
+                   "snapshot: parent distance mismatch");
+      MSRP_REQUIRE(tab.edge_child[pe] == kNoVertex, "snapshot: edge with two children");
+      tab.edge_child[pe] = v;
+      children[p].push_back(v);
+      digest = fnv::mix_u64(digest, p);
+      digest = fnv::mix_u64(digest, pe);
+    }
+    for (const Dist c : tab.cells) digest = fnv::mix_u64(digest, c);
+
+    // DFS entry/exit stamps for the O(1) ancestor test (see tree/ancestry.hpp).
+    tab.tin.assign(n_, kNoStamp);
+    tab.tout.assign(n_, kNoStamp);
+    std::uint32_t stamp = 0;
+    std::size_t visited = 0;
+    std::vector<std::pair<Vertex, std::uint32_t>> stack{{tab.root, 0}};
+    while (!stack.empty()) {
+      auto& [v, next_child] = stack.back();
+      if (next_child == 0) {
+        tab.tin[v] = stamp++;
+        ++visited;
+      }
+      if (next_child < children[v].size()) {
+        const Vertex c = children[v][next_child++];
+        stack.emplace_back(c, 0);
+      } else {
+        tab.tout[v] = stamp++;
+        stack.pop_back();
+      }
+    }
+    MSRP_REQUIRE(visited == reachable, "snapshot: tree is not connected to its root");
+  }
+  content_digest_ = digest;
+}
+
+std::vector<std::uint8_t> Snapshot::encode() const {
+  std::vector<std::uint8_t> out;
+  std::size_t cell_total = 0;
+  for (const SourceTable& tab : tables_) cell_total += tab.cells.size();
+  out.reserve(64 + static_cast<std::size_t>(n_) * sources_.size() * 4 + cell_total * 2);
+
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32_le(out, kVersion);
+  put_varint(out, n_);
+  put_varint(out, m_);
+  put_varint(out, sources_.size());
+  for (const SourceTable& tab : tables_) {
+    put_varint(out, tab.root);
+    for (Vertex v = 0; v < n_; ++v) {
+      const Dist d = tab.dist[v];
+      if (d == kInfDist) {
+        put_varint(out, 0);
+        continue;
+      }
+      put_varint(out, std::uint64_t{d} + 1);
+      if (v == tab.root) continue;
+      put_varint(out, tab.parent[v]);
+      put_varint(out, tab.parent_edge[v]);
+      const std::uint64_t off = tab.row_offset[v];
+      for (Dist i = 0; i < d; ++i) {
+        const Dist cell = tab.cells[off + i];
+        put_varint(out, cell == kInfDist ? 0 : std::uint64_t{cell} - d + 1);
+      }
+    }
+  }
+  const std::uint64_t checksum =
+      fnv::mix_bytes(fnv::kOffset, out.data() + sizeof(kMagic), out.size() - sizeof(kMagic));
+  put_u64_le(out, checksum);
+  encoded_size_ = out.size();
+  return out;
+}
+
+Snapshot Snapshot::decode(const std::uint8_t* data, std::size_t size) {
+  MSRP_REQUIRE(size >= sizeof(kMagic) + 4 + 8, "snapshot: file too small");
+  MSRP_REQUIRE(std::memcmp(data, kMagic, sizeof(kMagic)) == 0, "snapshot: bad magic");
+
+  const std::size_t body_end = size - 8;
+  std::uint64_t stored_checksum = 0;
+  for (int i = 7; i >= 0; --i) stored_checksum = (stored_checksum << 8) | data[body_end + i];
+  const std::uint64_t checksum =
+      fnv::mix_bytes(fnv::kOffset, data + sizeof(kMagic), body_end - sizeof(kMagic));
+  MSRP_REQUIRE(checksum == stored_checksum, "snapshot: checksum mismatch");
+
+  std::uint32_t version = 0;
+  for (int i = 3; i >= 0; --i) version = (version << 8) | data[sizeof(kMagic) + i];
+  MSRP_REQUIRE(version == kVersion, "snapshot: unsupported version");
+
+  Decoder dec(data + sizeof(kMagic) + 4, body_end - sizeof(kMagic) - 4);
+  Snapshot snap;
+  snap.n_ = static_cast<Vertex>(dec.bounded(kNoVertex, "snapshot: n too large"));
+  snap.m_ = static_cast<EdgeId>(dec.bounded(kNoEdge, "snapshot: m too large"));
+  const auto sigma = dec.bounded(snap.n_, "snapshot: more sources than vertices");
+  MSRP_REQUIRE(sigma > 0, "snapshot: no sources");
+  // Plausibility guards before any header-sized allocation: every vertex
+  // record costs at least one byte per source, and m is bounded by the
+  // simple-graph maximum — a tiny crafted file cannot claim huge tables.
+  MSRP_REQUIRE(dec.remaining() >= sigma * (std::uint64_t{snap.n_} + 1),
+               "snapshot: body too small for claimed dimensions");
+  MSRP_REQUIRE(std::uint64_t{snap.m_} <= std::uint64_t{snap.n_} * (snap.n_ - 1) / 2,
+               "snapshot: more edges than a simple graph allows");
+
+  snap.sources_.reserve(sigma);
+  snap.tables_.resize(sigma);
+  for (std::uint64_t si = 0; si < sigma; ++si) {
+    SourceTable& tab = snap.tables_[si];
+    tab.root = static_cast<Vertex>(dec.bounded(snap.n_ - 1, "snapshot: source out of range"));
+    snap.sources_.push_back(tab.root);
+    tab.dist.assign(snap.n_, kInfDist);
+    tab.parent.assign(snap.n_, kNoVertex);
+    tab.parent_edge.assign(snap.n_, kNoEdge);
+    tab.row_offset.assign(static_cast<std::size_t>(snap.n_) + 1, 0);
+    std::uint64_t cell_total = 0;
+    for (Vertex v = 0; v < snap.n_; ++v) {
+      const std::uint64_t enc = dec.bounded(std::uint64_t{kInfDist}, "snapshot: bad distance");
+      tab.row_offset[v + 1] = tab.row_offset[v];
+      if (enc == 0) continue;  // unreachable
+      const Dist d = static_cast<Dist>(enc - 1);
+      tab.dist[v] = d;
+      if (v == tab.root) {
+        MSRP_REQUIRE(d == 0, "snapshot: nonzero root distance");
+        continue;
+      }
+      MSRP_REQUIRE(d > 0, "snapshot: non-root vertex at distance 0");
+      tab.parent[v] =
+          static_cast<Vertex>(dec.bounded(snap.n_ - 1, "snapshot: parent out of range"));
+      MSRP_REQUIRE(snap.m_ > 0, "snapshot: tree edge but m == 0");
+      tab.parent_edge[v] =
+          static_cast<EdgeId>(dec.bounded(snap.m_ - 1, "snapshot: parent edge out of range"));
+      cell_total += d;
+      tab.row_offset[v + 1] = cell_total;
+      // Cells are delta-coded against d; the bound keeps cell - 1 + d below
+      // kInfDist without any unsigned wrap for out-of-range varints.
+      const std::uint64_t max_cell_enc = std::uint64_t{kInfDist} - d;
+      for (Dist i = 0; i < d; ++i) {
+        const std::uint64_t cell_enc =
+            dec.bounded(max_cell_enc, "snapshot: row cell overflows");
+        tab.cells.push_back(cell_enc == 0 ? kInfDist
+                                          : static_cast<Dist>(cell_enc - 1 + d));
+      }
+    }
+    MSRP_REQUIRE(tab.cells.size() == cell_total, "snapshot: row accounting mismatch");
+  }
+  MSRP_REQUIRE(dec.remaining() == 0, "snapshot: trailing bytes");
+  snap.finalize();
+  snap.encoded_size_ = size;
+  return snap;
+}
+
+void Snapshot::write(std::ostream& os) const {
+  const std::vector<std::uint8_t> buf = encode();
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
+}
+
+Snapshot Snapshot::read(std::istream& is) {
+  std::vector<std::uint8_t> buf(std::istreambuf_iterator<char>(is),
+                                std::istreambuf_iterator<char>{});
+  return decode(buf.data(), buf.size());
+}
+
+void Snapshot::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  const std::vector<std::uint8_t> buf = encode();
+  f.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+Snapshot Snapshot::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  f.seekg(0, std::ios::end);
+  const std::streamoff len = f.tellg();
+  f.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(len));
+  f.read(reinterpret_cast<char*>(buf.data()), len);
+  if (!f) throw std::runtime_error("read failed: " + path);
+  return decode(buf.data(), buf.size());
+}
+
+std::uint32_t Snapshot::source_index(Vertex s) const {
+  MSRP_REQUIRE(s < n_ && source_index_[s] >= 0, "not a source in the snapshot");
+  return static_cast<std::uint32_t>(source_index_[s]);
+}
+
+Dist Snapshot::shortest(Vertex s, Vertex t) const {
+  const std::uint32_t si = source_index(s);
+  MSRP_REQUIRE(t < n_, "target out of range");
+  return tables_[si].dist[t];
+}
+
+std::span<const Dist> Snapshot::row(Vertex s, Vertex t) const {
+  const std::uint32_t si = source_index(s);
+  MSRP_REQUIRE(t < n_, "target out of range");
+  const SourceTable& tab = tables_[si];
+  return {tab.cells.data() + tab.row_offset[t], tab.cells.data() + tab.row_offset[t + 1]};
+}
+
+Dist Snapshot::avoiding(Vertex s, Vertex t, EdgeId e) const {
+  const std::uint32_t si = source_index(s);
+  MSRP_REQUIRE(t < n_, "target out of range");
+  MSRP_REQUIRE(e < m_, "edge out of range");
+  return avoiding_at(si, t, e);
+}
+
+}  // namespace msrp::service

@@ -1,0 +1,136 @@
+// Binary snapshot of a solved MSRP oracle.
+//
+// The text format (core/serialize.hpp) is line-oriented and parses with
+// istream tokenization — fine for golden files, too slow for the serving
+// path where a multi-gigabyte replacement table must come back in one gulp.
+// The snapshot is the build-once/serve-many half of the service layer: a
+// versioned binary image that is written as one contiguous buffer and
+// decoded from memory with pointer arithmetic (bulk load, no line splits).
+//
+// Layout (all integers unsigned LEB128 varints unless noted):
+//
+//   8 bytes   magic "MSRPSNAP"
+//   4 bytes   version (little-endian u32, currently 1)
+//   varint    n, m, sigma
+//   sigma x   source section:
+//     varint  root vertex
+//     n x     vertex record, for v = 0..n-1:
+//       varint  0 if v unreachable, else dist(v)+1
+//       if reachable and v != root:
+//         varint  parent vertex
+//         varint  parent edge id
+//         dist(v) x varint row cell: 0 for infinity, else cell - dist(v) + 1
+//   8 bytes   FNV-1a checksum of everything between the magic and here
+//
+// Row cells are >= dist(v) (deleting an edge never shortens a path), so the
+// delta encoding keeps most cells in one byte. Unlike SerializedResult the
+// snapshot also stores the canonical trees, so a loaded snapshot answers
+// avoiding(s, t, e) for arbitrary edge ids in O(1) with no Graph in hand —
+// exactly the MsrpResult::avoiding contract the query service needs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace msrp::service {
+
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// Copies the replacement tables and canonical trees out of a solved
+  /// result into a self-contained, query-ready oracle.
+  static Snapshot capture(const MsrpResult& res);
+
+  /// Encodes into the binary format (one bulk write).
+  void write(std::ostream& os) const;
+
+  /// Decodes the binary format; throws std::invalid_argument on a bad
+  /// magic/version, truncation, checksum mismatch, or inconsistent tables.
+  static Snapshot read(std::istream& is);
+
+  /// File wrappers; throw std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+  static Snapshot load(const std::string& path);
+
+  Vertex num_vertices() const { return n_; }
+  EdgeId num_edges() const { return m_; }
+  const std::vector<Vertex>& sources() const { return sources_; }
+  std::uint32_t num_sources() const { return static_cast<std::uint32_t>(sources_.size()); }
+
+  bool is_source(Vertex s) const { return s < n_ && source_index_[s] >= 0; }
+
+  /// Index of source vertex s; throws if s is not a source.
+  std::uint32_t source_index(Vertex s) const;
+
+  /// d(s, t); kInfDist if t is unreachable from s.
+  Dist shortest(Vertex s, Vertex t) const;
+
+  /// Replacement row for (s, t): d(s, t, e_i) per canonical-path position i.
+  std::span<const Dist> row(Vertex s, Vertex t) const;
+
+  /// d(s, t, e) for an arbitrary edge id, O(1); same contract as
+  /// MsrpResult::avoiding.
+  Dist avoiding(Vertex s, Vertex t, EdgeId e) const;
+
+  /// avoiding() with the source-index lookup and bounds checks hoisted out;
+  /// the batched read path calls this once per query.
+  Dist avoiding_at(std::uint32_t si, Vertex t, EdgeId e) const {
+    const SourceTable& tab = tables_[si];
+    const Dist dt = tab.dist[t];
+    if (dt == kInfDist) return kInfDist;
+    const Vertex child = tab.edge_child[e];
+    if (child == kNoVertex || !is_ancestor(tab, child, t)) return dt;
+    return tab.cells[tab.row_offset[t] + tab.dist[child] - 1];
+  }
+
+  /// Digest of the semantic content (dimensions, sources, trees, cells);
+  /// identical for a captured snapshot and its round-tripped copy. Used as
+  /// the cache key for snapshots loaded from disk.
+  std::uint64_t content_digest() const { return content_digest_; }
+
+  /// Size of the encoded form in bytes (0 until written or read once).
+  std::size_t encoded_size() const { return encoded_size_; }
+
+ private:
+  struct SourceTable {
+    Vertex root = kNoVertex;
+    std::vector<Dist> dist;                // n; kInfDist = unreachable
+    std::vector<Vertex> parent;            // n; kNoVertex for root/unreachable
+    std::vector<EdgeId> parent_edge;       // n; kNoEdge for root/unreachable
+    std::vector<Vertex> edge_child;        // m; deeper endpoint of tree edge e
+    std::vector<std::uint32_t> tin, tout;  // DFS stamps (derived, not stored)
+    std::vector<std::uint64_t> row_offset; // n+1 prefix sums into cells
+    std::vector<Dist> cells;               // flat rows
+  };
+
+  static constexpr std::uint32_t kNoStamp = static_cast<std::uint32_t>(-1);
+
+  static bool is_ancestor(const SourceTable& tab, Vertex a, Vertex v) {
+    if (tab.tin[a] == kNoStamp || tab.tin[v] == kNoStamp) return false;
+    return tab.tin[a] <= tab.tin[v] && tab.tout[v] <= tab.tout[a];
+  }
+
+  /// Builds the derived members (edge_child, tin/tout, source_index_) and
+  /// validates tree consistency; shared by capture() and read().
+  void finalize();
+
+  std::vector<std::uint8_t> encode() const;
+  static Snapshot decode(const std::uint8_t* data, std::size_t size);
+
+  Vertex n_ = 0;
+  EdgeId m_ = 0;
+  std::vector<Vertex> sources_;
+  std::vector<std::int32_t> source_index_;  // n; -1 = not a source
+  std::vector<SourceTable> tables_;
+  std::uint64_t content_digest_ = 0;
+  mutable std::size_t encoded_size_ = 0;  // set by encode()/decode()
+};
+
+}  // namespace msrp::service

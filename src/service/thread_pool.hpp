@@ -1,0 +1,57 @@
+// Fixed-size worker pool for the query service.
+//
+// Deliberately minimal: tasks are fire-and-forget closures, and the only
+// synchronization point is wait_idle(), which blocks until every submitted
+// task has finished. That matches the batch-serving pattern (submit one
+// task per shard, wait, return answers) without futures or per-task
+// allocation beyond the closure itself. The first exception a task throws
+// is captured and rethrown from wait_idle() so worker errors surface in the
+// calling thread instead of terminating the process.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msrp::service {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Never blocks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running, then rethrows
+  /// the first exception any task threw since the last wait_idle().
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // wait_idle waits for quiescence
+  std::size_t in_flight_ = 0;         // queued + running
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace msrp::service

@@ -1,0 +1,30 @@
+// FNV-1a 64-bit hashing, shared by every digest in the library (graph
+// digest, snapshot content digest/checksum, oracle-cache keys) so the
+// constants and byte order are maintained in exactly one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msrp::fnv {
+
+inline constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+/// Folds `size` raw bytes into h.
+constexpr std::uint64_t mix_bytes(std::uint64_t h, const std::uint8_t* data,
+                                  std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) h = (h ^ data[i]) * kPrime;
+  return h;
+}
+
+/// Folds one 64-bit value into h, little-endian byte order.
+constexpr std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xff)) * kPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace msrp::fnv

@@ -1,0 +1,366 @@
+// Tests for the batched query service layer: snapshot round trips,
+// concurrent batches against the brute-force oracle, LRU cache eviction,
+// and the thread pool underneath it all.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "core/msrp.hpp"
+#include "core/serialize.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "rp/oracle.hpp"
+#include "service/query_service.hpp"
+
+namespace msrp {
+namespace {
+
+using service::OracleKey;
+using service::Query;
+using service::Snapshot;
+
+// ------------------------------------------------------------- snapshots ---
+
+TEST(Snapshot, RoundTripReproducesEveryAnswer) {
+  Rng rng(7);
+  const Graph g = gen::connected_gnp(60, 0.08, rng);
+  const std::vector<Vertex> sources{0, 17, 41};
+  const MsrpResult res = solve_msrp(g, sources);
+
+  const Snapshot snap = Snapshot::capture(res);
+  std::stringstream ss;
+  snap.write(ss);
+  const Snapshot loaded = Snapshot::read(ss);
+
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded.sources(), sources);
+  EXPECT_EQ(loaded.content_digest(), snap.content_digest());
+
+  for (const Vertex s : sources) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      EXPECT_EQ(loaded.shortest(s, t), res.shortest(s, t)) << "s=" << s << " t=" << t;
+      const auto want = res.row(s, t);
+      const auto got = loaded.row(s, t);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+      // avoiding() for every edge id, on-path and off-path alike.
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        ASSERT_EQ(loaded.avoiding(s, t, e), res.avoiding(s, t, e))
+            << "s=" << s << " t=" << t << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(Snapshot, AgreesWithTextSerialization) {
+  Rng rng(11);
+  const Graph g = gen::connected_gnp(40, 0.1, rng);
+  const std::vector<Vertex> sources{3, 29};
+  const MsrpResult res = solve_msrp(g, sources);
+
+  std::stringstream text;
+  write_result(text, res);
+  const SerializedResult ser = SerializedResult::read(text);
+
+  std::stringstream bin;
+  Snapshot::capture(res).write(bin);
+  const Snapshot snap = Snapshot::read(bin);
+
+  for (const Vertex s : sources) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      EXPECT_EQ(snap.shortest(s, t), ser.shortest(s, t));
+      const auto want = ser.row(s, t);
+      const auto got = snap.row(s, t);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+    }
+  }
+}
+
+TEST(Snapshot, InfinityAndUnreachableSurvive) {
+  // Barbell: bridge edges are cut edges (replacement = inf). Plus an
+  // isolated component for unreachable targets.
+  const Graph barbell = gen::barbell(5, 4);
+  const MsrpResult res = solve_msrp(barbell, {0});
+  std::stringstream ss;
+  Snapshot::capture(res).write(ss);
+  const Snapshot snap = Snapshot::read(ss);
+  for (Vertex t = 0; t < barbell.num_vertices(); ++t) {
+    for (EdgeId e = 0; e < barbell.num_edges(); ++e) {
+      EXPECT_EQ(snap.avoiding(0, t, e), res.avoiding(0, t, e));
+    }
+  }
+
+  Graph split(6, {{0, 1}, {1, 2}, {4, 5}});
+  const MsrpResult res2 = solve_msrp(split, {0});
+  std::stringstream ss2;
+  Snapshot::capture(res2).write(ss2);
+  const Snapshot snap2 = Snapshot::read(ss2);
+  EXPECT_EQ(snap2.shortest(0, 4), kInfDist);
+  EXPECT_TRUE(snap2.row(0, 4).empty());
+  EXPECT_EQ(snap2.avoiding(0, 4, 0), kInfDist);
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  Rng rng(3);
+  const Graph g = gen::connected_gnp(30, 0.15, rng);
+  const MsrpResult res = solve_msrp(g, {0, 15});
+  const Snapshot snap = Snapshot::capture(res);
+
+  const std::string path = testing::TempDir() + "/msrp_snapshot_test.bin";
+  snap.save(path);
+  const Snapshot loaded = Snapshot::load(path);
+  EXPECT_EQ(loaded.content_digest(), snap.content_digest());
+  EXPECT_GT(loaded.encoded_size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CorruptionIsDetected) {
+  const Graph g = gen::cycle(8);
+  const MsrpResult res = solve_msrp(g, {0});
+  std::stringstream ss;
+  Snapshot::capture(res).write(ss);
+  std::string image = ss.str();
+
+  {
+    std::stringstream truncated(image.substr(0, image.size() / 2));
+    EXPECT_THROW(Snapshot::read(truncated), std::invalid_argument);
+  }
+  {
+    std::string flipped = image;
+    flipped[flipped.size() / 2] ^= 0x40;  // body byte -> checksum mismatch
+    std::stringstream in(flipped);
+    EXPECT_THROW(Snapshot::read(in), std::invalid_argument);
+  }
+  {
+    std::string bad_magic = image;
+    bad_magic[0] = 'X';
+    std::stringstream in(bad_magic);
+    EXPECT_THROW(Snapshot::read(in), std::invalid_argument);
+  }
+}
+
+TEST(Snapshot, NonSourceAndOutOfRangeThrow) {
+  const Graph g = gen::cycle(6);
+  const MsrpResult res = solve_msrp(g, {0});
+  const Snapshot snap = Snapshot::capture(res);
+  EXPECT_THROW(snap.shortest(1, 2), std::invalid_argument);
+  EXPECT_THROW(snap.avoiding(0, 99, 0), std::invalid_argument);
+  EXPECT_THROW(snap.avoiding(0, 2, 99), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ thread pool ---
+
+TEST(ThreadPool, RunsEveryTask) {
+  service::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  service::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// ---------------------------------------------------------- query service ---
+
+TEST(QueryService, ConcurrentBatchMatchesBruteForceOracle) {
+  Rng rng(21);
+  const Graph g = gen::connected_gnp(80, 0.07, rng);
+  const std::vector<Vertex> sources{0, 5, 9, 17};
+
+  service::QueryService svc({.threads = 4, .cache_capacity = 2, .min_parallel_batch = 1});
+  const auto oracle = svc.build(g, sources);
+
+  // Every (s, t, e) triple: sigma * n * m queries, answered on 4 threads.
+  std::vector<Query> batch;
+  for (const Vertex s : sources) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      for (EdgeId e = 0; e < g.num_edges(); ++e) batch.push_back({s, t, e});
+    }
+  }
+  const std::vector<Dist> got = svc.query_batch(*oracle, batch);
+  ASSERT_EQ(got.size(), batch.size());
+
+  std::size_t i = 0;
+  for (const Vertex s : sources) {
+    const RpOracle truth(g, s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      for (EdgeId e = 0; e < g.num_edges(); ++e, ++i) {
+        ASSERT_EQ(got[i], truth.distance_avoiding(t, e))
+            << "s=" << s << " t=" << t << " e=" << e;
+      }
+    }
+  }
+  EXPECT_EQ(svc.queries_served(), batch.size());
+}
+
+TEST(QueryService, BatchAnswersMatchSerialAvoiding) {
+  Rng rng(5);
+  const Graph g = gen::connected_avg_degree(120, 5.0, rng);
+  const std::vector<Vertex> sources{2, 60, 90};
+  const MsrpResult res = solve_msrp(g, sources);
+
+  service::QueryService svc({.threads = 4, .min_parallel_batch = 1});
+  const auto oracle = svc.build(g, sources);
+
+  Rng qrng(77);
+  std::vector<Query> batch;
+  for (int i = 0; i < 20000; ++i) {
+    batch.push_back({sources[qrng.next_below(sources.size())],
+                     static_cast<Vertex>(qrng.next_below(g.num_vertices())),
+                     static_cast<EdgeId>(qrng.next_below(g.num_edges()))});
+  }
+  const std::vector<Dist> got = svc.query_batch(*oracle, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(got[i], res.avoiding(batch[i].s, batch[i].t, batch[i].e)) << "i=" << i;
+  }
+}
+
+TEST(QueryService, ConcurrentCallersShareThePool) {
+  Rng rng(31);
+  const Graph g = gen::connected_gnp(60, 0.1, rng);
+  const std::vector<Vertex> sources{0, 30};
+  const MsrpResult res = solve_msrp(g, sources);
+
+  service::QueryService svc({.threads = 4, .min_parallel_batch = 1});
+  const auto oracle = svc.build(g, sources);
+
+  Rng qrng(13);
+  std::vector<Query> batch;
+  for (int i = 0; i < 5000; ++i) {
+    batch.push_back({sources[qrng.next_below(2)],
+                     static_cast<Vertex>(qrng.next_below(g.num_vertices())),
+                     static_cast<EdgeId>(qrng.next_below(g.num_edges()))});
+  }
+  std::vector<Dist> want(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    want[i] = res.avoiding(batch[i].s, batch[i].t, batch[i].e);
+  }
+
+  // Several caller threads hammer the same service; every batch must come
+  // back complete and correct.
+  constexpr int kCallers = 4, kRounds = 10;
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        const std::vector<Dist> got = svc.query_batch(*oracle, batch);
+        if (got != want) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(svc.queries_served(), batch.size() * kCallers * kRounds);
+}
+
+TEST(QueryService, RejectsInvalidQueries) {
+  const Graph g = gen::cycle(10);
+  service::QueryService svc({.threads = 2});
+  const auto oracle = svc.build(g, {0});
+  EXPECT_THROW(svc.query_batch(*oracle, std::vector<Query>{{1, 2, 0}}),
+               std::invalid_argument);  // not a source
+  EXPECT_THROW(svc.query_batch(*oracle, std::vector<Query>{{0, 99, 0}}),
+               std::invalid_argument);  // target out of range
+  EXPECT_THROW(svc.query_batch(*oracle, std::vector<Query>{{0, 2, 99}}),
+               std::invalid_argument);  // edge out of range
+}
+
+TEST(QueryService, RepeatBuildHitsCache) {
+  Rng rng(9);
+  const Graph g = gen::connected_gnp(40, 0.1, rng);
+  service::QueryService svc({.threads = 1});
+  const auto first = svc.build(g, {0, 20});
+  const auto second = svc.build(g, {0, 20});
+  EXPECT_EQ(first.get(), second.get());  // same oracle object, no re-solve
+  EXPECT_EQ(svc.cache().hits(), 1u);
+
+  // Different sources or config -> different oracle.
+  const auto third = svc.build(g, {0, 21});
+  EXPECT_NE(first.get(), third.get());
+  Config exact;
+  exact.exact = true;
+  const auto fourth = svc.build(g, {0, 20}, exact);
+  EXPECT_NE(first.get(), fourth.get());
+}
+
+// ------------------------------------------------------------ oracle cache ---
+
+std::shared_ptr<const Snapshot> tiny_oracle(Vertex n) {
+  const Graph g = gen::cycle(n);
+  return std::make_shared<const Snapshot>(Snapshot::capture(solve_msrp(g, {0})));
+}
+
+TEST(OracleCache, EvictsLeastRecentlyUsed) {
+  service::OracleCache cache(2);
+  const OracleKey a{1, {0}, 0}, b{2, {0}, 0}, c{3, {0}, 0};
+  cache.insert(a, tiny_oracle(4));
+  cache.insert(b, tiny_oracle(5));
+  EXPECT_EQ(cache.size(), 2u);
+
+  EXPECT_NE(cache.find(a), nullptr);  // touch a: b becomes LRU
+  cache.insert(c, tiny_oracle(6));    // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(b), nullptr);
+  EXPECT_NE(cache.find(a), nullptr);
+  EXPECT_NE(cache.find(c), nullptr);
+}
+
+TEST(OracleCache, GetOrBuildBuildsOnce) {
+  service::OracleCache cache(2);
+  const OracleKey key{42, {0}, 7};
+  int builds = 0;
+  auto builder = [&builds] {
+    ++builds;
+    return tiny_oracle(4);
+  };
+  const auto first = cache.get_or_build(key, builder);
+  const auto second = cache.get_or_build(key, builder);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(OracleCache, EvictedOracleStaysAliveForHolders) {
+  service::OracleCache cache(1);
+  const OracleKey a{1, {0}, 0}, b{2, {0}, 0};
+  auto held = tiny_oracle(4);
+  cache.insert(a, held);
+  cache.insert(b, tiny_oracle(5));  // evicts a
+  EXPECT_EQ(cache.find(a), nullptr);
+  // The shared_ptr we kept still answers queries.
+  EXPECT_EQ(held->shortest(0, 2), 2u);
+}
+
+// ------------------------------------------------------------ graph digest ---
+
+TEST(GraphDigest, DistinguishesGraphsAndIsStable) {
+  const Graph a(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph b(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph c(4, {{0, 1}, {1, 2}, {1, 3}});
+  const Graph d(5, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(io::graph_digest(a), io::graph_digest(b));
+  EXPECT_NE(io::graph_digest(a), io::graph_digest(c));
+  EXPECT_NE(io::graph_digest(a), io::graph_digest(d));
+}
+
+}  // namespace
+}  // namespace msrp

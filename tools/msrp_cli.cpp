@@ -2,20 +2,24 @@
 //
 // Reads an edge list (see graph/io.hpp: "n m" header then "u v" lines, '#'
 // comments allowed), solves MSRP for the given sources, and prints either a
-// summary, full rows, or specific queries.
+// summary, full rows, or specific queries. A solved oracle can be saved as
+// a binary snapshot and reloaded later without re-solving.
 //
 // Usage:
 //   msrp_cli <graph-file> --sources 0,5,9 [options]
 //   msrp_cli --demo                      (built-in random instance)
+//   msrp_cli --load <snapshot>           (answer queries from a snapshot)
 //
 // Options:
-//   --sources a,b,c       source vertices (required unless --demo)
+//   --sources a,b,c       source vertices (required unless --demo/--load)
 //   --seed N              RNG seed (default 42)
 //   --oversample X        sampling multiplier (default 1.0)
 //   --exact               deterministic exact mode
 //   --bk                  use the Section 8 landmark-table machinery
 //   --rows                print every replacement row
 //   --query s,t,e         print a single d(s, t, e) (repeatable)
+//   --save <path>         write the solved oracle as a binary snapshot
+//   --load <path>         load a snapshot instead of solving
 //   --stats               print phase timings and structure sizes
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +30,7 @@
 #include "core/msrp.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "service/snapshot.hpp"
 
 using namespace msrp;
 
@@ -48,15 +53,58 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
                "usage: msrp_cli <graph-file> --sources a,b,c [--seed N] "
                "[--oversample X]\n"
                "                [--exact] [--bk] [--rows] [--query s,t,e]... "
-               "[--stats]\n"
-               "       msrp_cli --demo\n");
+               "[--save <path>] [--stats]\n"
+               "       msrp_cli --demo\n"
+               "       msrp_cli --load <snapshot> [--rows] [--query s,t,e]...\n");
   std::exit(2);
+}
+
+/// Rejects a query with ids outside the instance instead of letting the
+/// lookup throw (or, in release builds, index out of bounds).
+bool validate_query(const std::vector<std::uint32_t>& q, const std::vector<Vertex>& sources,
+                    Vertex n, EdgeId m) {
+  bool is_source = false;
+  for (const Vertex s : sources) is_source |= (s == q[0]);
+  if (!is_source) {
+    std::fprintf(stderr, "error: query source %u is not one of the sources\n", q[0]);
+    return false;
+  }
+  if (q[1] >= n) {
+    std::fprintf(stderr, "error: query target %u out of range (n=%u)\n", q[1], n);
+    return false;
+  }
+  if (q[2] >= m) {
+    std::fprintf(stderr, "error: query edge %u out of range (m=%u)\n", q[2], m);
+    return false;
+  }
+  return true;
+}
+
+void print_query(std::uint32_t s, std::uint32_t t, std::uint32_t e, Dist d) {
+  if (d == kInfDist) {
+    std::printf("d(%u, %u, e%u) = inf\n", s, t, e);
+  } else {
+    std::printf("d(%u, %u, e%u) = %u\n", s, t, e, d);
+  }
+}
+
+void print_row(Vertex s, Vertex t, Dist shortest, std::span<const Dist> row) {
+  if (row.empty()) return;
+  std::printf("%u %u %u :", s, t, shortest);
+  for (const Dist d : row) {
+    if (d == kInfDist) {
+      std::printf(" inf");
+    } else {
+      std::printf(" %u", d);
+    }
+  }
+  std::printf("\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string graph_path;
+  std::string graph_path, save_path, load_path;
   std::vector<Vertex> sources;
   std::vector<std::vector<std::uint32_t>> queries;
   Config cfg;
@@ -87,6 +135,10 @@ int main(int argc, char** argv) {
       const auto q = parse_list(next());
       if (q.size() != 3) usage();
       queries.push_back(q);
+    } else if (arg == "--save") {
+      save_path = next();
+    } else if (arg == "--load") {
+      load_path = next();
     } else if (arg == "--demo") {
       demo = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -96,6 +148,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ------------------------------------------------- snapshot-serving mode --
+  if (!load_path.empty()) {
+    if (demo || !graph_path.empty() || !save_path.empty()) usage();
+    try {
+      const service::Snapshot snap = service::Snapshot::load(load_path);
+      std::printf("loaded: n=%u m=%u sigma=%u\n", snap.num_vertices(), snap.num_edges(),
+                  snap.num_sources());
+      for (const auto& q : queries) {
+        if (!validate_query(q, snap.sources(), snap.num_vertices(), snap.num_edges()))
+          return 1;
+        print_query(q[0], q[1], q[2], snap.avoiding(q[0], q[1], q[2]));
+      }
+      if (print_rows) {
+        for (const Vertex s : snap.sources()) {
+          for (Vertex t = 0; t < snap.num_vertices(); ++t) {
+            print_row(s, t, snap.shortest(s, t), snap.row(s, t));
+          }
+        }
+      }
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: %s\n", ex.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  // ------------------------------------------------------------ solve mode --
   Graph g(0);
   if (demo) {
     Rng rng(cfg.seed);
@@ -113,6 +192,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  for (const Vertex s : sources) {
+    if (s >= g.num_vertices()) {
+      std::fprintf(stderr, "error: source %u out of range (n=%u)\n", s, g.num_vertices());
+      return 1;
+    }
+  }
+  for (const auto& q : queries) {
+    if (!validate_query(q, sources, g.num_vertices(), g.num_edges())) return 1;
+  }
+
   MsrpResult res = [&] {
     try {
       return solve_msrp(g, sources, cfg);
@@ -125,29 +214,26 @@ int main(int argc, char** argv) {
   std::printf("solved: n=%u m=%u sigma=%zu landmarks=%zu\n", g.num_vertices(),
               g.num_edges(), sources.size(), res.stats().num_landmarks);
 
-  for (const auto& q : queries) {
-    const Dist d = res.avoiding(q[0], q[1], q[2]);
-    if (d == kInfDist) {
-      std::printf("d(%u, %u, e%u) = inf\n", q[0], q[1], q[2]);
-    } else {
-      std::printf("d(%u, %u, e%u) = %u\n", q[0], q[1], q[2], d);
+  if (!save_path.empty()) {
+    try {
+      const service::Snapshot snap = service::Snapshot::capture(res);
+      snap.save(save_path);
+      std::printf("saved snapshot to %s (%zu bytes)\n", save_path.c_str(),
+                  snap.encoded_size());
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error saving snapshot: %s\n", ex.what());
+      return 1;
     }
+  }
+
+  for (const auto& q : queries) {
+    print_query(q[0], q[1], q[2], res.avoiding(q[0], q[1], q[2]));
   }
 
   if (print_rows) {
     for (const Vertex s : sources) {
       for (Vertex t = 0; t < g.num_vertices(); ++t) {
-        const auto row = res.row(s, t);
-        if (row.empty()) continue;
-        std::printf("%u %u %u :", s, t, res.shortest(s, t));
-        for (const Dist d : row) {
-          if (d == kInfDist) {
-            std::printf(" inf");
-          } else {
-            std::printf(" %u", d);
-          }
-        }
-        std::printf("\n");
+        print_row(s, t, res.shortest(s, t), res.row(s, t));
       }
     }
   }

@@ -1,0 +1,232 @@
+// msrp_serve — build-once/serve-many front end for the service layer.
+//
+// Builds an oracle (solving MSRP) or loads a binary snapshot, then answers
+// batched d(s, t, e) queries on a thread pool and reports throughput.
+//
+// Usage:
+//   msrp_serve --build <graph-file> --sources a,b,c [options]
+//   msrp_serve --demo [options]
+//   msrp_serve --load-snapshot <path> [options]
+//
+// Oracle options:
+//   --sources a,b,c        source vertices (required with --build)
+//   --seed N               solver RNG seed (default 42)
+//   --oversample X         sampling multiplier
+//   --exact                deterministic exact mode
+//   --bk                   Section 8 landmark-table machinery
+//   --save-snapshot <path> persist the oracle after building
+//
+// Serving options:
+//   --batch-file <path>    queries, one "s t e" per line ('#' comments)
+//   --random-queries N     generate N uniform random queries instead
+//   --threads N            worker threads (default: hardware concurrency)
+//   --repeat K             run the batch K times for throughput (default 1)
+//   --out <path>           write "s t e answer" lines for the batch
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "service/query_service.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace msrp;
+
+namespace {
+
+std::vector<std::uint32_t> parse_list(const std::string& s) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(static_cast<std::uint32_t>(std::stoul(s.substr(pos, next - pos))));
+    pos = next + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: msrp_serve --build <graph-file> --sources a,b,c [options]\n"
+               "       msrp_serve --demo [options]\n"
+               "       msrp_serve --load-snapshot <path> [options]\n"
+               "options: [--seed N] [--oversample X] [--exact] [--bk]\n"
+               "         [--save-snapshot <path>]\n"
+               "         [--batch-file <path> | --random-queries N]\n"
+               "         [--threads N] [--repeat K] [--out <path>]\n");
+  std::exit(2);
+}
+
+std::vector<service::Query> read_batch_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open batch file %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<service::Query> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t s = 0, t = 0, e = 0;
+    if (!(ls >> s >> t >> e)) {
+      std::fprintf(stderr, "error: %s:%zu: expected \"s t e\"\n", path.c_str(), lineno);
+      std::exit(1);
+    }
+    out.push_back({static_cast<Vertex>(s), static_cast<Vertex>(t),
+                   static_cast<EdgeId>(e)});
+  }
+  return out;
+}
+
+std::vector<service::Query> random_batch(const service::Snapshot& oracle, std::size_t count,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& sources = oracle.sources();
+  std::vector<service::Query> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({sources[rng.next_below(sources.size())],
+                   static_cast<Vertex>(rng.next_below(oracle.num_vertices())),
+                   static_cast<EdgeId>(rng.next_below(oracle.num_edges()))});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string graph_path, snapshot_path, save_path, batch_path, out_path;
+  std::vector<Vertex> sources;
+  Config cfg;
+  cfg.seed = 42;
+  bool demo = false;
+  std::size_t random_queries = 0;
+  unsigned threads = 0;
+  std::size_t repeat = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--build") {
+      graph_path = next();
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--load-snapshot") {
+      snapshot_path = next();
+    } else if (arg == "--sources") {
+      for (const auto v : parse_list(next())) sources.push_back(v);
+    } else if (arg == "--seed") {
+      cfg.seed = std::stoull(next());
+    } else if (arg == "--oversample") {
+      cfg.oversample = std::stod(next());
+    } else if (arg == "--exact") {
+      cfg.exact = true;
+    } else if (arg == "--bk") {
+      cfg.landmark_rp = LandmarkRpMethod::kBkAuxGraphs;
+    } else if (arg == "--save-snapshot") {
+      save_path = next();
+    } else if (arg == "--batch-file") {
+      batch_path = next();
+    } else if (arg == "--random-queries") {
+      random_queries = std::stoull(next());
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--repeat") {
+      repeat = std::stoull(next());
+      if (repeat == 0) repeat = 1;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      usage();
+    }
+  }
+
+  const int modes = int(!graph_path.empty()) + int(demo) + int(!snapshot_path.empty());
+  if (modes != 1) usage();
+
+  try {
+    service::QueryService svc({.threads = threads, .cache_capacity = 4});
+    std::shared_ptr<const service::Snapshot> oracle;
+
+    Timer build_timer;
+    if (!snapshot_path.empty()) {
+      oracle = svc.load(snapshot_path);
+      std::printf("loaded snapshot %s in %.1f ms (%zu bytes)\n", snapshot_path.c_str(),
+                  build_timer.millis(), oracle->encoded_size());
+    } else {
+      Graph g(0);
+      if (demo) {
+        Rng rng(cfg.seed);
+        g = gen::connected_avg_degree(200, 6.0, rng);
+        if (sources.empty()) sources = {0, 50, 100};
+        std::printf("# demo instance: n=%u m=%u\n", g.num_vertices(), g.num_edges());
+      } else {
+        g = io::load_edge_list(graph_path);
+        if (sources.empty()) usage();
+      }
+      oracle = svc.build(g, sources, cfg);
+      std::printf("built oracle in %.1f ms\n", build_timer.millis());
+    }
+    std::printf("oracle: n=%u m=%u sigma=%u threads=%u\n", oracle->num_vertices(),
+                oracle->num_edges(), oracle->num_sources(), svc.num_threads());
+
+    if (!save_path.empty()) {
+      Timer t;
+      oracle->save(save_path);
+      std::printf("saved snapshot to %s in %.1f ms (%zu bytes)\n", save_path.c_str(),
+                  t.millis(), oracle->encoded_size());
+    }
+
+    std::vector<service::Query> batch;
+    if (!batch_path.empty()) {
+      batch = read_batch_file(batch_path);
+    } else if (random_queries > 0) {
+      batch = random_batch(*oracle, random_queries, cfg.seed);
+    }
+    if (batch.empty()) return 0;
+
+    std::vector<Dist> answers;
+    Timer serve_timer;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      answers = svc.query_batch(*oracle, batch);
+    }
+    const double secs = serve_timer.seconds();
+    const double total = static_cast<double>(batch.size()) * static_cast<double>(repeat);
+    std::printf("answered %zu queries x%zu in %.1f ms  (%.0f queries/sec)\n", batch.size(),
+                repeat, secs * 1e3, secs > 0 ? total / secs : 0.0);
+
+    if (!out_path.empty()) {
+      std::ofstream f(out_path);
+      if (!f) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n", out_path.c_str());
+        return 1;
+      }
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        f << batch[i].s << ' ' << batch[i].t << ' ' << batch[i].e << ' ';
+        if (answers[i] == kInfDist) {
+          f << "inf\n";
+        } else {
+          f << answers[i] << '\n';
+        }
+      }
+      std::printf("wrote answers to %s\n", out_path.c_str());
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  return 0;
+}
