@@ -1,9 +1,17 @@
 // EXP-service: batched query throughput of the service layer.
 //
 // Rows: queries/sec for a fixed 100k-query batch as the worker-thread count
-// grows (the tentpole scaling claim: >= 2x at 4 threads on multicore), plus
-// snapshot vs. text (de)serialization speed for the same oracle.
+// grows (the tentpole scaling claim: >= 2x at 4 threads on multicore),
+// snapshot vs. text (de)serialization speed, cold-load-to-first-answer for
+// the v1 varint decoder vs. the v2 zero-copy mmap path on a high-diameter
+// grid (the largest cells payload per vertex), and sync vs. async batch
+// serving: submit_batch() latency on a cold cache plus end-to-end
+// throughput when batches overlap on the pool.
+#include <cstdio>
+#include <filesystem>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/serialize.hpp"
@@ -25,16 +33,21 @@ const service::Snapshot& demo_oracle() {
   return snap;
 }
 
-std::vector<service::Query> demo_batch(const service::Snapshot& oracle) {
-  Rng rng(99);
+std::vector<service::Query> make_batch(const service::Snapshot& oracle, std::size_t count,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
   std::vector<service::Query> batch;
-  batch.reserve(kBatch);
-  for (std::size_t i = 0; i < kBatch; ++i) {
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     batch.push_back({oracle.sources()[rng.next_below(oracle.num_sources())],
                      static_cast<Vertex>(rng.next_below(oracle.num_vertices())),
                      static_cast<EdgeId>(rng.next_below(oracle.num_edges()))});
   }
   return batch;
+}
+
+std::vector<service::Query> demo_batch(const service::Snapshot& oracle) {
+  return make_batch(oracle, kBatch, 99);
 }
 
 void BM_QueryBatch(benchmark::State& state) {
@@ -50,10 +63,139 @@ void BM_QueryBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
-void BM_SnapshotRoundTrip(benchmark::State& state) {
+// ------------------------------------------------------- cold-load latency ---
+
+// The cold-load rows use the highest-diameter workload: a square grid's
+// replacement table has ~n*sqrt(n) cells per source, so the v1 per-cell
+// varint decode dominates its load while the v2 path only touches the
+// O(n + m) metadata.
+struct ColdLoadFiles {
+  std::string v1_path;
+  std::string v2_path;
+  service::Query probe;  // one valid query for "to-first-answer"
+};
+
+const ColdLoadFiles& cold_load_files() {
+  static const ColdLoadFiles files = [] {
+    const Graph g = benchutil::grid_graph(3600);
+    const auto sources = benchutil::spread_sources(g, 4);
+    const MsrpResult res = solve_msrp(g, sources);
+    const service::Snapshot snap = service::Snapshot::capture(res);
+    const std::string dir = std::filesystem::temp_directory_path().string();
+    ColdLoadFiles f;
+    f.v1_path = dir + "/msrp_bench_cold.v1.snap";
+    f.v2_path = dir + "/msrp_bench_cold.v2.snap";
+    snap.save(f.v1_path, service::SnapshotFormat::kV1);
+    snap.save(f.v2_path, service::SnapshotFormat::kV2);
+    f.probe = {sources[0], g.num_vertices() - 1, 0};
+    std::printf("# cold-load files: v1=%zu bytes v2=%zu bytes\n",
+                std::filesystem::file_size(f.v1_path), std::filesystem::file_size(f.v2_path));
+    return f;
+  }();
+  return files;
+}
+
+void cold_load_iteration(benchmark::State& state, const std::string& path,
+                         const service::Snapshot::LoadOptions& opts) {
+  const service::Query probe = cold_load_files().probe;
+  for (auto _ : state) {
+    const service::Snapshot snap = service::Snapshot::load(path, opts);
+    benchmark::DoNotOptimize(snap.avoiding(probe.s, probe.t, probe.e));
+  }
+}
+
+void BM_ColdLoadToFirstAnswerV1(benchmark::State& state) {
+  cold_load_iteration(state, cold_load_files().v1_path, {});
+}
+BENCHMARK(BM_ColdLoadToFirstAnswerV1)->Unit(benchmark::kMillisecond);
+
+void BM_ColdLoadToFirstAnswerV2(benchmark::State& state) {
+  cold_load_iteration(state, cold_load_files().v2_path, {.verify_cells = true});
+}
+BENCHMARK(BM_ColdLoadToFirstAnswerV2)->Unit(benchmark::kMillisecond);
+
+void BM_ColdLoadToFirstAnswerV2Mmap(benchmark::State& state) {
+  cold_load_iteration(state, cold_load_files().v2_path,
+                      {.use_mmap = true, .verify_cells = false});
+}
+BENCHMARK(BM_ColdLoadToFirstAnswerV2Mmap)->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------------------------- async serving ---
+
+// Submit latency on a cold cache: the measured region is ONLY the
+// submit_batch() call — the MSRP solve it triggers runs on the pool and is
+// drained outside the timer. A fresh service per iteration keeps the cache
+// cold.
+void BM_AsyncSubmitColdCache(benchmark::State& state) {
+  const Graph g = benchutil::er_graph(400, 6.0, /*seed=*/1234);
+  const std::vector<Vertex> sources = benchutil::spread_sources(g, 4);
+  std::vector<service::Query> queries;
+  for (Vertex t = 0; t < g.num_vertices(); ++t) queries.push_back({sources[0], t, 0});
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      service::QueryService svc({.threads = 4});
+      state.ResumeTiming();
+      auto fut = svc.submit_batch(g, sources, Config{}, queries);
+      state.PauseTiming();
+      benchmark::DoNotOptimize(fut.get().answers.data());
+    }  // service teardown stays outside the timed region
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_AsyncSubmitColdCache)->Unit(benchmark::kMicrosecond)->Iterations(8);
+
+// Sync vs. async end-to-end throughput for a burst of batches: the sync
+// caller runs them lockstep; the async caller submits all of them and
+// drains, letting independent batches overlap on the pool.
+constexpr std::size_t kBurst = 8;
+constexpr std::size_t kBurstBatch = 25'000;
+
+void BM_BurstSync(benchmark::State& state) {
+  const service::Snapshot& oracle = demo_oracle();
+  service::QueryService svc({.threads = 4});
+  std::vector<std::vector<service::Query>> batches;
+  for (std::size_t b = 0; b < kBurst; ++b) {
+    batches.push_back(make_batch(oracle, kBurstBatch, 1000 + b));
+  }
+  for (auto _ : state) {
+    for (const auto& batch : batches) {
+      auto answers = svc.query_batch(oracle, batch);
+      benchmark::DoNotOptimize(answers.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBurst * kBurstBatch));
+}
+BENCHMARK(BM_BurstSync)->UseRealTime();
+
+void BM_BurstAsync(benchmark::State& state) {
+  service::QueryService svc({.threads = 4});
+  // Alias the static demo oracle (non-owning) so sync and async rows serve
+  // the exact same object instead of paying a second solve at startup.
+  std::shared_ptr<const service::Snapshot> oracle(std::shared_ptr<const void>{},
+                                                  &demo_oracle());
+  std::vector<std::vector<service::Query>> batches;
+  for (std::size_t b = 0; b < kBurst; ++b) {
+    batches.push_back(make_batch(*oracle, kBurstBatch, 1000 + b));
+  }
+  for (auto _ : state) {
+    std::vector<std::future<service::BatchResult>> futures;
+    futures.reserve(kBurst);
+    for (const auto& batch : batches) futures.push_back(svc.submit_batch(oracle, batch));
+    for (auto& fut : futures) benchmark::DoNotOptimize(fut.get().answers.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBurst * kBurstBatch));
+}
+BENCHMARK(BM_BurstAsync)->UseRealTime();
+
+// -------------------------------------------------------- (de)serialization ---
+
+void snapshot_round_trip(benchmark::State& state, service::SnapshotFormat format) {
   const service::Snapshot& oracle = demo_oracle();
   std::stringstream ss;
-  oracle.write(ss);
+  oracle.write(ss, format);
   const std::string image = ss.str();
   for (auto _ : state) {
     std::stringstream in(image);
@@ -63,7 +205,16 @@ void BM_SnapshotRoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(image.size()));
 }
-BENCHMARK(BM_SnapshotRoundTrip);
+
+void BM_SnapshotRoundTripV1(benchmark::State& state) {
+  snapshot_round_trip(state, service::SnapshotFormat::kV1);
+}
+BENCHMARK(BM_SnapshotRoundTripV1);
+
+void BM_SnapshotRoundTripV2(benchmark::State& state) {
+  snapshot_round_trip(state, service::SnapshotFormat::kV2);
+}
+BENCHMARK(BM_SnapshotRoundTripV2);
 
 void BM_TextRoundTrip(benchmark::State& state) {
   const Graph g = benchutil::er_graph(kN, 8.0);

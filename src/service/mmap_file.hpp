@@ -1,0 +1,50 @@
+// RAII read-only memory mapping of a file.
+//
+// The v2 snapshot format is laid out so that a mapped file can be served
+// directly: MmapFile owns the mapping, Snapshot keeps a shared_ptr to it,
+// and the table spans alias the mapped bytes. On platforms without POSIX
+// mmap the open() falls back to a buffered read — callers see identical
+// semantics (stable bytes for the wrapper's lifetime), just without the
+// lazy paging.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msrp::service {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+
+  /// Maps `path` read-only; throws std::runtime_error on open/stat/map
+  /// failure. Empty files map to a valid zero-length view.
+  static MmapFile open(const std::string& path);
+
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  /// True when the bytes come from an actual mmap (as opposed to the
+  /// buffered-read fallback); exposed for tests and diagnostics.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  /// Unmaps / frees and resets to the empty state.
+  void release() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::uint8_t> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace msrp::service

@@ -53,8 +53,7 @@ std::shared_ptr<const Snapshot> OracleCache::find(const OracleKey& key) {
   return find_locked(key);
 }
 
-void OracleCache::insert(const OracleKey& key, std::shared_ptr<const Snapshot> oracle) {
-  std::lock_guard<std::mutex> lock(mu_);
+void OracleCache::insert_locked(const OracleKey& key, std::shared_ptr<const Snapshot> oracle) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(oracle);
@@ -70,12 +69,53 @@ void OracleCache::insert(const OracleKey& key, std::shared_ptr<const Snapshot> o
   }
 }
 
+void OracleCache::insert(const OracleKey& key, std::shared_ptr<const Snapshot> oracle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_locked(key, std::move(oracle));
+}
+
 std::shared_ptr<const Snapshot> OracleCache::get_or_build(
     const OracleKey& key, const std::function<std::shared_ptr<const Snapshot>()>& build) {
-  if (auto hit = find(key)) return hit;
-  std::shared_ptr<const Snapshot> built = build();
-  insert(key, built);
+  std::promise<std::shared_ptr<const Snapshot>> mine;
+  PendingFuture watch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto hit = find_locked(key)) return hit;
+    auto pending = building_.find(key);
+    if (pending != building_.end()) {
+      watch = pending->second;  // someone else is building this key
+    } else {
+      building_.emplace(key, mine.get_future().share());
+    }
+  }
+  if (watch.valid()) return watch.get();  // rethrows if that build failed
+
+  // We own the build. The pending slot keeps concurrent misses parked and
+  // is immune to eviction; the local shared_ptr (and every waiter's future)
+  // pins the snapshot even if the LRU evicts it the moment it lands. The
+  // catch must release the slot on ANY failure — build or landing — or the
+  // key would be poisoned with a broken promise forever.
+  std::shared_ptr<const Snapshot> built;
+  try {
+    built = build();
+    std::lock_guard<std::mutex> lock(mu_);
+    insert_locked(key, built);
+    building_.erase(key);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      building_.erase(key);
+    }
+    mine.set_exception(std::current_exception());
+    throw;
+  }
+  mine.set_value(built);
   return built;
+}
+
+std::size_t OracleCache::pending_builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return building_.size();
 }
 
 std::uint64_t OracleCache::hits() const {

@@ -10,10 +10,18 @@
 // The cache itself is mutex-guarded (build/insert/evict are rare and
 // expensive next to a solve); the hot path never touches it — batches run
 // against the Snapshot reference they already hold.
+//
+// In-flight builds are single-flighted: the first miss on a key claims a
+// pending slot (a shared_future in a side map), concurrent misses wait on
+// it instead of duplicating the solve, and the slot is immune to LRU
+// eviction until the build lands. Together with the shared_ptr each waiter
+// receives, that guarantees an eviction racing an async build can never
+// drop an oracle a pending future still references.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -59,8 +67,9 @@ class OracleCache {
 
   /// find(), falling back to build() + insert() on a miss. The builder runs
   /// outside the cache lock: a long solve must not block readers of other
-  /// entries. Concurrent misses on the same key may both build; last insert
-  /// wins (both snapshots are identical by determinism).
+  /// entries. Concurrent misses on the same key are single-flighted: one
+  /// caller builds, the rest block on its result (and see its exception if
+  /// the build fails). The pending entry cannot be evicted mid-build.
   std::shared_ptr<const Snapshot> get_or_build(
       const OracleKey& key,
       const std::function<std::shared_ptr<const Snapshot>()>& build);
@@ -70,16 +79,23 @@ class OracleCache {
   std::uint64_t misses() const;
   std::uint64_t evictions() const;
 
+  /// Builds currently in flight (claimed but not yet landed).
+  std::size_t pending_builds() const;
+
  private:
   // Most-recently-used at the front; the map points into the list.
   using LruList = std::list<std::pair<OracleKey, std::shared_ptr<const Snapshot>>>;
+  using PendingFuture = std::shared_future<std::shared_ptr<const Snapshot>>;
 
   std::shared_ptr<const Snapshot> find_locked(const OracleKey& key);
+  void insert_locked(const OracleKey& key, std::shared_ptr<const Snapshot> oracle);
 
   std::size_t capacity_;
   mutable std::mutex mu_;
   LruList lru_;
   std::unordered_map<OracleKey, LruList::iterator, OracleKeyHash> index_;
+  // Single-flight slots for in-flight builds; never subject to eviction.
+  std::unordered_map<OracleKey, PendingFuture, OracleKeyHash> building_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

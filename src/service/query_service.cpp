@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <utility>
 
 #include "core/msrp.hpp"
 #include "graph/io.hpp"
@@ -10,7 +11,7 @@
 namespace msrp::service {
 
 QueryService::QueryService(Options opts)
-    : opts_(opts), pool_(opts.threads), cache_(opts.cache_capacity) {}
+    : opts_(opts), cache_(opts.cache_capacity), pool_(opts.threads) {}
 
 std::shared_ptr<const Snapshot> QueryService::build(const Graph& g,
                                                     const std::vector<Vertex>& sources,
@@ -22,8 +23,9 @@ std::shared_ptr<const Snapshot> QueryService::build(const Graph& g,
   });
 }
 
-std::shared_ptr<const Snapshot> QueryService::load(const std::string& path) {
-  auto snap = std::make_shared<const Snapshot>(Snapshot::load(path));
+std::shared_ptr<const Snapshot> QueryService::load(const std::string& path,
+                                                   const Snapshot::LoadOptions& opts) {
+  auto snap = std::make_shared<const Snapshot>(Snapshot::load(path, opts));
   // Snapshots carry no (graph, config) identity, so they are cached under
   // their content digest; config_fingerprint 0 keeps the key space disjoint
   // from built oracles (config_fingerprint() never returns 0 in practice).
@@ -33,8 +35,8 @@ std::shared_ptr<const Snapshot> QueryService::load(const std::string& path) {
   return snap;
 }
 
-std::vector<Dist> QueryService::query_batch(const Snapshot& oracle,
-                                            std::span<const Query> queries) {
+QueryService::ShardPlan QueryService::plan_shards(const Snapshot& oracle,
+                                                  std::span<const Query> queries) {
   const Vertex n = oracle.num_vertices();
   const EdgeId m = oracle.num_edges();
   const std::uint32_t sigma = oracle.num_sources();
@@ -43,37 +45,45 @@ std::vector<Dist> QueryService::query_batch(const Snapshot& oracle,
   // the query indices by source while at it (the sharding axis). The flat
   // `order` array keeps each source's shard contiguous with one allocation —
   // this pass is the only serial work per batch, so it stays lean.
+  ShardPlan plan;
   std::vector<std::uint32_t> si_of(queries.size());
-  std::vector<std::size_t> shard_begin(sigma + 1, 0);
+  plan.shard_begin.assign(sigma + 1, 0);
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const Query& q = queries[i];
     MSRP_REQUIRE(oracle.is_source(q.s), "query source is not an oracle source");
     MSRP_REQUIRE(q.t < n, "query target out of range");
     MSRP_REQUIRE(q.e < m, "query edge out of range");
     si_of[i] = oracle.source_index(q.s);
-    ++shard_begin[si_of[i] + 1];
+    ++plan.shard_begin[si_of[i] + 1];
   }
-  for (std::uint32_t si = 0; si < sigma; ++si) shard_begin[si + 1] += shard_begin[si];
-  std::vector<std::uint32_t> order(queries.size());
-  {
-    std::vector<std::size_t> fill(shard_begin.begin(), shard_begin.end() - 1);
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      order[fill[si_of[i]]++] = static_cast<std::uint32_t>(i);
-    }
+  for (std::uint32_t si = 0; si < sigma; ++si) plan.shard_begin[si + 1] += plan.shard_begin[si];
+  plan.order.resize(queries.size());
+  std::vector<std::size_t> fill(plan.shard_begin.begin(), plan.shard_begin.end() - 1);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    plan.order[fill[si_of[i]]++] = static_cast<std::uint32_t>(i);
   }
+  return plan;
+}
+
+void QueryService::answer_range(const Snapshot& oracle, std::span<const Query> queries,
+                                const ShardPlan& plan, std::span<Dist> out, std::uint32_t si,
+                                std::size_t lo, std::size_t hi) {
+  for (std::size_t j = lo; j < hi; ++j) {
+    const Query& q = queries[plan.order[j]];
+    out[plan.order[j]] = oracle.avoiding_at(si, q.t, q.e);
+  }
+}
+
+std::vector<Dist> QueryService::query_batch(const Snapshot& oracle,
+                                            std::span<const Query> queries) {
+  const std::uint32_t sigma = oracle.num_sources();
+  const ShardPlan plan = plan_shards(oracle, queries);
 
   std::vector<Dist> out(queries.size());
-  auto answer_range = [&oracle, &queries, &out, &order](std::uint32_t si, std::size_t lo,
-                                                        std::size_t hi) {
-    for (std::size_t j = lo; j < hi; ++j) {
-      const Query& q = queries[order[j]];
-      out[order[j]] = oracle.avoiding_at(si, q.t, q.e);
-    }
-  };
-
   if (queries.size() < opts_.min_parallel_batch || pool_.size() <= 1) {
     for (std::uint32_t si = 0; si < sigma; ++si) {
-      answer_range(si, shard_begin[si], shard_begin[si + 1]);
+      answer_range(oracle, queries, plan, out, si, plan.shard_begin[si],
+                   plan.shard_begin[si + 1]);
     }
   } else {
     // One task per (source, chunk): sharding by source keeps each worker in
@@ -91,14 +101,15 @@ std::vector<Dist> QueryService::query_batch(const Snapshot& oracle,
     };
     BatchState batch;
     for (std::uint32_t si = 0; si < sigma; ++si) {
-      for (std::size_t lo = shard_begin[si]; lo < shard_begin[si + 1]; lo += chunk) {
-        const std::size_t hi = std::min(shard_begin[si + 1], lo + chunk);
+      for (std::size_t lo = plan.shard_begin[si]; lo < plan.shard_begin[si + 1]; lo += chunk) {
+        const std::size_t hi = std::min(plan.shard_begin[si + 1], lo + chunk);
         {
           std::lock_guard<std::mutex> lock(batch.mu);
           ++batch.pending;
         }
-        pool_.submit([&answer_range, &batch, si, lo, hi] {
-          answer_range(si, lo, hi);  // touches only validated indices; nothrow
+        pool_.submit([&oracle, &queries, &plan, &out, &batch, si, lo, hi] {
+          // Touches only validated indices; nothrow.
+          answer_range(oracle, queries, plan, out, si, lo, hi);
           std::lock_guard<std::mutex> lock(batch.mu);
           if (--batch.pending == 0) batch.done_cv.notify_all();
         });
@@ -109,6 +120,143 @@ std::vector<Dist> QueryService::query_batch(const Snapshot& oracle,
   }
   queries_served_.fetch_add(queries.size(), std::memory_order_relaxed);
   return out;
+}
+
+// --------------------------------------------------------------- async API ---
+
+/// Shared state of one in-flight async batch. Lives until the promise or
+/// callback has fired; chunk tasks co-own it, so a caller that drops the
+/// future early cannot invalidate anything a worker still touches.
+struct QueryService::AsyncBatch {
+  std::vector<Query> queries;
+  ShardPlan plan;
+  std::vector<Dist> answers;
+  std::shared_ptr<const Snapshot> oracle;  // pins the oracle against eviction
+  std::atomic<std::size_t> pending{0};     // unfinished chunk tasks
+  std::promise<BatchResult> promise;
+  BatchCallback callback;  // non-null => callback flavour, promise unused
+  std::atomic<bool> done{false};           // exactly-once delivery latch
+
+  // The latch keeps the once-only contract even if the user callback itself
+  // throws mid-delivery: the orchestrator's catch block would otherwise
+  // report the batch a second time. A throwing callback's exception then
+  // propagates into the pool's fire-and-forget error slot instead.
+  void deliver(BatchResult&& result) {
+    if (done.exchange(true, std::memory_order_acq_rel)) return;
+    if (callback) {
+      callback(std::move(result));
+    } else {
+      promise.set_value(std::move(result));
+    }
+  }
+
+  void fail(std::exception_ptr err) {
+    if (done.exchange(true, std::memory_order_acq_rel)) return;
+    if (callback) {
+      callback(BatchResult{{}, nullptr, err});
+    } else {
+      promise.set_exception(err);
+    }
+  }
+};
+
+std::future<BatchResult> QueryService::submit_batch_impl(
+    std::function<std::shared_ptr<const Snapshot>()> resolve, std::vector<Query> queries,
+    BatchCallback done) {
+  auto state = std::make_shared<AsyncBatch>();
+  state->queries = std::move(queries);
+  state->callback = std::move(done);
+  std::future<BatchResult> fut;
+  if (!state->callback) fut = state->promise.get_future();
+
+  // Everything heavy — the oracle resolve (a cold-cache build is a full
+  // MSRP solve), validation, sharding, answering — happens inside pool
+  // tasks. This submit only enqueues one closure.
+  pool_.submit([this, state, resolve = std::move(resolve)] {
+    try {
+      state->oracle = resolve();
+      const Snapshot& oracle = *state->oracle;
+      state->plan = plan_shards(oracle, state->queries);
+      state->answers.resize(state->queries.size());
+
+      const std::uint32_t sigma = oracle.num_sources();
+      const std::size_t total = state->queries.size();
+      auto finish = [this, state] {
+        queries_served_.fetch_add(state->queries.size(), std::memory_order_relaxed);
+        state->deliver(BatchResult{std::move(state->answers), state->oracle, nullptr});
+      };
+
+      if (total == 0 || total < opts_.min_parallel_batch || pool_.size() <= 1) {
+        for (std::uint32_t si = 0; si < sigma; ++si) {
+          answer_range(oracle, state->queries, state->plan, state->answers, si,
+                       state->plan.shard_begin[si], state->plan.shard_begin[si + 1]);
+        }
+        finish();
+        return;
+      }
+
+      // Fan the shards out as chunk tasks. Nobody waits: the last chunk to
+      // finish fulfils the promise, so the pool stays deadlock-free no
+      // matter how many async batches are in flight.
+      const std::size_t chunk =
+          std::max<std::size_t>(512, total / (std::size_t{pool_.size()} * 4));
+      std::size_t num_chunks = 0;
+      for (std::uint32_t si = 0; si < sigma; ++si) {
+        const std::size_t len = state->plan.shard_begin[si + 1] - state->plan.shard_begin[si];
+        num_chunks += (len + chunk - 1) / chunk;
+      }
+      state->pending.store(num_chunks, std::memory_order_relaxed);
+      for (std::uint32_t si = 0; si < sigma; ++si) {
+        for (std::size_t lo = state->plan.shard_begin[si];
+             lo < state->plan.shard_begin[si + 1]; lo += chunk) {
+          const std::size_t hi = std::min(state->plan.shard_begin[si + 1], lo + chunk);
+          pool_.submit([state, finish, si, lo, hi] {
+            // Touches only validated indices; nothrow.
+            answer_range(*state->oracle, state->queries, state->plan, state->answers, si,
+                         lo, hi);
+            if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) finish();
+          });
+        }
+      }
+    } catch (...) {
+      state->fail(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+std::future<BatchResult> QueryService::submit_batch(std::shared_ptr<const Snapshot> oracle,
+                                                    std::vector<Query> queries) {
+  MSRP_REQUIRE(oracle != nullptr, "submit_batch: null oracle");
+  return submit_batch_impl([oracle = std::move(oracle)] { return oracle; },
+                           std::move(queries), nullptr);
+}
+
+std::future<BatchResult> QueryService::submit_batch(Graph g, std::vector<Vertex> sources,
+                                                    Config cfg, std::vector<Query> queries) {
+  return submit_batch_impl(
+      [this, g = std::move(g), sources = std::move(sources), cfg] {
+        return build(g, sources, cfg);
+      },
+      std::move(queries), nullptr);
+}
+
+void QueryService::submit_batch(std::shared_ptr<const Snapshot> oracle,
+                                std::vector<Query> queries, BatchCallback done) {
+  MSRP_REQUIRE(oracle != nullptr, "submit_batch: null oracle");
+  MSRP_REQUIRE(done != nullptr, "submit_batch: null callback");
+  submit_batch_impl([oracle = std::move(oracle)] { return oracle; }, std::move(queries),
+                    std::move(done));
+}
+
+void QueryService::submit_batch(Graph g, std::vector<Vertex> sources, Config cfg,
+                                std::vector<Query> queries, BatchCallback done) {
+  MSRP_REQUIRE(done != nullptr, "submit_batch: null callback");
+  submit_batch_impl(
+      [this, g = std::move(g), sources = std::move(sources), cfg] {
+        return build(g, sources, cfg);
+      },
+      std::move(queries), std::move(done));
 }
 
 }  // namespace msrp::service

@@ -12,13 +12,28 @@
 //     pool. The batch is sharded by source: every worker task reads one
 //     source's replacement table, so shards touch disjoint table slices and
 //     the read path takes no locks (the oracle is immutable; answer slots
-//     are disjoint by query index).
+//     are disjoint by query index);
+//   * submit_batch() is the asynchronous flavour: it returns a
+//     std::future<BatchResult> (or invokes a callback) and does everything
+//     — the oracle build on a cold cache included — on the pool, so the
+//     submitting thread gets its hands back in microseconds while the solve
+//     proceeds. The answering stage is counter-driven (the last finishing
+//     shard fulfils the promise), so no worker ever waits on shard tasks.
+//     The one place a worker does park is a cold submit whose oracle is
+//     already being built by another worker: the single-flight cache makes
+//     it wait for that solve instead of duplicating it. That wait is always
+//     on a build actively running on some worker — the slot only exists
+//     while its owner executes — so the pool makes progress even at size 1.
 //
-// Invalid queries are rejected up front in the calling thread — workers
-// only ever see validated indices.
+// Invalid queries are rejected up front — in the calling thread for
+// query_batch, through the future/callback error channel for submit_batch;
+// workers only ever see validated indices.
 #pragma once
 
 #include <atomic>
+#include <exception>
+#include <functional>
+#include <future>
 #include <memory>
 #include <span>
 #include <string>
@@ -40,6 +55,24 @@ struct Query {
   friend bool operator==(const Query&, const Query&) = default;
 };
 
+/// Outcome of one asynchronous batch.
+struct BatchResult {
+  /// answers[i] corresponds to queries[i]; empty when error is set.
+  std::vector<Dist> answers;
+  /// The oracle that answered (freshly built or cache-hit). Holding it here
+  /// pins it against cache eviction for as long as the result lives.
+  std::shared_ptr<const Snapshot> oracle;
+  /// Null on success; the build/validation failure otherwise (future-based
+  /// callers get the same exception rethrown from future::get instead).
+  std::exception_ptr error;
+};
+
+/// Invoked exactly once per callback-flavoured submit_batch, from a pool
+/// worker thread. Must not block on futures of the same service's pool, and
+/// should not throw — an escaping exception cannot trigger a second
+/// delivery, but it is lost to the pool's fire-and-forget error slot.
+using BatchCallback = std::function<void(BatchResult)>;
+
 class QueryService {
  public:
   struct Options {
@@ -57,12 +90,15 @@ class QueryService {
 
   /// Solves MSRP for (g, sources, cfg) — or returns the cached oracle for
   /// an identical instance — and hands back an immutable snapshot oracle.
+  /// Concurrent builds of the same instance are single-flighted.
   std::shared_ptr<const Snapshot> build(const Graph& g, const std::vector<Vertex>& sources,
                                         const Config& cfg = {});
 
   /// Loads a snapshot from disk into the cache (keyed by its content
-  /// digest, so loading the same file twice hits).
-  std::shared_ptr<const Snapshot> load(const std::string& path);
+  /// digest, so loading the same file twice hits). `opts` selects the
+  /// zero-copy mmap path for v2 files.
+  std::shared_ptr<const Snapshot> load(const std::string& path,
+                                       const Snapshot::LoadOptions& opts = {});
 
   /// Answers queries[i] into result[i]. Throws std::invalid_argument if any
   /// query names a non-source s, or an out-of-range t or e; no partial
@@ -70,6 +106,27 @@ class QueryService {
   /// concurrently: batches share the worker pool but track their own
   /// completion.
   std::vector<Dist> query_batch(const Snapshot& oracle, std::span<const Query> queries);
+
+  // ----- async API --------------------------------------------------------
+
+  /// Answers `queries` against an oracle the caller already holds. Returns
+  /// immediately; validation, sharding, and answering all run on the pool.
+  std::future<BatchResult> submit_batch(std::shared_ptr<const Snapshot> oracle,
+                                        std::vector<Query> queries);
+
+  /// Answers `queries` against the oracle for (g, sources, cfg), building
+  /// it on the pool first when the cache is cold — the submit itself
+  /// returns in microseconds either way.
+  std::future<BatchResult> submit_batch(Graph g, std::vector<Vertex> sources, Config cfg,
+                                        std::vector<Query> queries);
+
+  /// Callback flavours of the two overloads above; `done` runs on a pool
+  /// worker once the batch completes (or fails, with BatchResult::error
+  /// set).
+  void submit_batch(std::shared_ptr<const Snapshot> oracle, std::vector<Query> queries,
+                    BatchCallback done);
+  void submit_batch(Graph g, std::vector<Vertex> sources, Config cfg,
+                    std::vector<Query> queries, BatchCallback done);
 
   unsigned num_threads() const { return pool_.size(); }
   const OracleCache& cache() const { return cache_; }
@@ -80,10 +137,28 @@ class QueryService {
   }
 
  private:
+  struct AsyncBatch;
+
+  /// Validated counting-sort of a batch by source index (the sharding axis).
+  struct ShardPlan {
+    std::vector<std::uint32_t> order;      // query indices, grouped by source
+    std::vector<std::size_t> shard_begin;  // sigma+1 prefix bounds into order
+  };
+  static ShardPlan plan_shards(const Snapshot& oracle, std::span<const Query> queries);
+  static void answer_range(const Snapshot& oracle, std::span<const Query> queries,
+                           const ShardPlan& plan, std::span<Dist> out, std::uint32_t si,
+                           std::size_t lo, std::size_t hi);
+
+  std::future<BatchResult> submit_batch_impl(
+      std::function<std::shared_ptr<const Snapshot>()> resolve,
+      std::vector<Query> queries, BatchCallback done);
+
   Options opts_;
-  ThreadPool pool_;
   OracleCache cache_;
   std::atomic<std::uint64_t> queries_served_{0};
+  // Declared last so its destructor — which drains queued tasks — runs
+  // first: async tasks touch the cache and the counters above.
+  ThreadPool pool_;
 };
 
 }  // namespace msrp::service

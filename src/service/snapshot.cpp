@@ -1,18 +1,28 @@
 #include "service/snapshot.hpp"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
+#include "service/mmap_file.hpp"
 #include "tree/bfs_tree.hpp"
 #include "util/fnv.hpp"
 
 namespace msrp::service {
 namespace {
 
+// The v2 read path aliases file bytes as u32/u64 arrays in place.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot v2 serves little-endian fixed-width sections in place");
+static_assert(sizeof(Dist) == 4 && sizeof(Vertex) == 4 && sizeof(EdgeId) == 4,
+              "snapshot v2 row layout assumes 4-byte cells and ids");
+
 constexpr char kMagic[8] = {'M', 'S', 'R', 'P', 'S', 'N', 'A', 'P'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kV2HeaderBytes = 72;
+
+constexpr std::uint64_t pad8(std::uint64_t v) { return (v + 7) & ~std::uint64_t{7}; }
 
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
   while (v >= 0x80) {
@@ -30,7 +40,35 @@ void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-/// Bounds-checked varint reader over the in-memory image.
+void put_u32_span(std::vector<std::uint8_t>& out, std::span<const std::uint32_t> xs) {
+  const std::size_t at = out.size();
+  out.resize(at + xs.size() * 4);
+  if (!xs.empty()) std::memcpy(out.data() + at, xs.data(), xs.size() * 4);
+}
+
+void put_u64_span(std::vector<std::uint8_t>& out, std::span<const std::uint64_t> xs) {
+  const std::size_t at = out.size();
+  out.resize(at + xs.size() * 8);
+  if (!xs.empty()) std::memcpy(out.data() + at, xs.data(), xs.size() * 8);
+}
+
+void pad_to_8(std::vector<std::uint8_t>& out) { out.resize(pad8(out.size()), 0); }
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+
+/// Bounds-checked varint reader over the in-memory v1 image.
 class Decoder {
  public:
   Decoder(const std::uint8_t* data, std::size_t size) : cur_(data), end_(data + size) {}
@@ -63,6 +101,14 @@ class Decoder {
 
 }  // namespace
 
+void Snapshot::SourceTable::adopt_owned() {
+  dist = dist_store;
+  parent = parent_store;
+  parent_edge = parent_edge_store;
+  row_offset = row_offset_store;
+  cells = cells_store;
+}
+
 Snapshot Snapshot::capture(const MsrpResult& res) {
   Snapshot snap;
   snap.n_ = res.graph().num_vertices();
@@ -75,24 +121,26 @@ Snapshot Snapshot::capture(const MsrpResult& res) {
     const BfsTree& tree = res.tree(s);
     SourceTable& tab = snap.tables_[si];
     tab.root = s;
-    tab.dist.resize(snap.n_);
-    tab.parent.resize(snap.n_);
-    tab.parent_edge.resize(snap.n_);
+    tab.dist_store.resize(snap.n_);
+    tab.parent_store.resize(snap.n_);
+    tab.parent_edge_store.resize(snap.n_);
     for (Vertex v = 0; v < snap.n_; ++v) {
-      tab.dist[v] = tree.dist(v);
-      tab.parent[v] = tree.parent(v);
-      tab.parent_edge[v] = tree.parent_edge(v);
+      tab.dist_store[v] = tree.dist(v);
+      tab.parent_store[v] = tree.parent(v);
+      tab.parent_edge_store[v] = tree.parent_edge(v);
     }
     const auto offsets = res.row_offsets(si);
     const auto cells = res.raw_rows(si);
-    tab.row_offset.assign(offsets.begin(), offsets.end());
-    tab.cells.assign(cells.begin(), cells.end());
+    tab.row_offset_store.assign(offsets.begin(), offsets.end());
+    tab.cells_store.assign(cells.begin(), cells.end());
+    tab.adopt_owned();
   }
-  snap.finalize();
+  snap.build_derived();
+  snap.content_digest_ = snap.compute_content_digest();
   return snap;
 }
 
-void Snapshot::finalize() {
+void Snapshot::build_derived() {
   MSRP_REQUIRE(!sources_.empty(), "snapshot: no sources");
   source_index_.assign(n_, -1);
   for (std::uint32_t si = 0; si < sources_.size(); ++si) {
@@ -102,22 +150,26 @@ void Snapshot::finalize() {
     source_index_[s] = static_cast<std::int32_t>(si);
   }
 
-  std::uint64_t digest = fnv::kOffset;
-  digest = fnv::mix_u64(digest, n_);
-  digest = fnv::mix_u64(digest, m_);
-  digest = fnv::mix_u64(digest, sources_.size());
-
   for (SourceTable& tab : tables_) {
-    MSRP_REQUIRE(tab.dist[tab.root] == 0, "snapshot: root distance must be 0");
-    digest = fnv::mix_u64(digest, tab.root);
+    MSRP_REQUIRE(tab.root < n_ && tab.dist[tab.root] == 0,
+                 "snapshot: root distance must be 0");
+    MSRP_REQUIRE(tab.row_offset[0] == 0, "snapshot: row offsets must start at 0");
 
-    // Derived map: tree edge id -> deeper endpoint.
+    // Derived map: tree edge id -> deeper endpoint. Children lists are kept
+    // flat (counting sort by parent) — this runs on every cold v2 load, so
+    // it must not pay n small allocations per source.
     tab.edge_child.assign(m_, kNoVertex);
-    std::vector<std::vector<Vertex>> children(n_);
+    std::vector<std::uint32_t> child_off(std::size_t{n_} + 1, 0);
     std::size_t reachable = 0;
     for (Vertex v = 0; v < n_; ++v) {
       const Dist d = tab.dist[v];
-      digest = fnv::mix_u64(digest, d);
+      // Row accounting first: every avoiding_at() cell read is bounded by
+      // these offsets, so they are load-bearing for memory safety.
+      const std::uint64_t row_len =
+          (d == kInfDist || v == tab.root) ? 0 : std::uint64_t{d};
+      MSRP_REQUIRE(tab.row_offset[v + 1] >= tab.row_offset[v] &&
+                       tab.row_offset[v + 1] - tab.row_offset[v] == row_len,
+                   "snapshot: row length must equal the distance");
       if (d == kInfDist) {
         MSRP_REQUIRE(tab.parent[v] == kNoVertex && tab.parent_edge[v] == kNoEdge,
                      "snapshot: unreachable vertex with a parent");
@@ -136,27 +188,37 @@ void Snapshot::finalize() {
                    "snapshot: parent distance mismatch");
       MSRP_REQUIRE(tab.edge_child[pe] == kNoVertex, "snapshot: edge with two children");
       tab.edge_child[pe] = v;
-      children[p].push_back(v);
-      digest = fnv::mix_u64(digest, p);
-      digest = fnv::mix_u64(digest, pe);
+      ++child_off[std::size_t{p} + 1];
     }
-    for (const Dist c : tab.cells) digest = fnv::mix_u64(digest, c);
+    MSRP_REQUIRE(tab.row_offset[n_] == tab.cells.size(),
+                 "snapshot: row accounting mismatch");
+
+    for (Vertex v = 0; v < n_; ++v) child_off[v + 1] += child_off[v];
+    std::vector<Vertex> child_buf(child_off[n_]);
+    {
+      std::vector<std::uint32_t> fill(child_off.begin(), child_off.end() - 1);
+      for (Vertex v = 0; v < n_; ++v) {
+        if (v == tab.root || tab.dist[v] == kInfDist) continue;
+        child_buf[fill[tab.parent[v]]++] = v;
+      }
+    }
 
     // DFS entry/exit stamps for the O(1) ancestor test (see tree/ancestry.hpp).
     tab.tin.assign(n_, kNoStamp);
     tab.tout.assign(n_, kNoStamp);
     std::uint32_t stamp = 0;
     std::size_t visited = 0;
-    std::vector<std::pair<Vertex, std::uint32_t>> stack{{tab.root, 0}};
+    std::vector<std::uint32_t> next(child_off.begin(), child_off.end() - 1);
+    std::vector<Vertex> stack{tab.root};
+    tab.tin[tab.root] = stamp++;
+    ++visited;
     while (!stack.empty()) {
-      auto& [v, next_child] = stack.back();
-      if (next_child == 0) {
-        tab.tin[v] = stamp++;
+      const Vertex v = stack.back();
+      if (next[v] < child_off[std::size_t{v} + 1]) {
+        const Vertex c = child_buf[next[v]++];
+        tab.tin[c] = stamp++;
         ++visited;
-      }
-      if (next_child < children[v].size()) {
-        const Vertex c = children[v][next_child++];
-        stack.emplace_back(c, 0);
+        stack.push_back(c);
       } else {
         tab.tout[v] = stamp++;
         stack.pop_back();
@@ -164,17 +226,37 @@ void Snapshot::finalize() {
     }
     MSRP_REQUIRE(visited == reachable, "snapshot: tree is not connected to its root");
   }
-  content_digest_ = digest;
 }
 
-std::vector<std::uint8_t> Snapshot::encode() const {
+std::uint64_t Snapshot::compute_content_digest() const {
+  std::uint64_t digest = fnv::kOffset;
+  digest = fnv::mix_u64(digest, n_);
+  digest = fnv::mix_u64(digest, m_);
+  digest = fnv::mix_u64(digest, sources_.size());
+  for (const SourceTable& tab : tables_) {
+    digest = fnv::mix_u64(digest, tab.root);
+    for (Vertex v = 0; v < n_; ++v) {
+      const Dist d = tab.dist[v];
+      digest = fnv::mix_u64(digest, d);
+      if (d == kInfDist || v == tab.root) continue;
+      digest = fnv::mix_u64(digest, tab.parent[v]);
+      digest = fnv::mix_u64(digest, tab.parent_edge[v]);
+    }
+    for (const Dist c : tab.cells) digest = fnv::mix_u64(digest, c);
+  }
+  return digest;
+}
+
+// ------------------------------------------------------------- format v1 ---
+
+std::vector<std::uint8_t> Snapshot::encode_v1() const {
   std::vector<std::uint8_t> out;
   std::size_t cell_total = 0;
   for (const SourceTable& tab : tables_) cell_total += tab.cells.size();
   out.reserve(64 + static_cast<std::size_t>(n_) * sources_.size() * 4 + cell_total * 2);
 
   for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
-  put_u32_le(out, kVersion);
+  put_u32_le(out, 1);
   put_varint(out, n_);
   put_varint(out, m_);
   put_varint(out, sources_.size());
@@ -204,20 +286,14 @@ std::vector<std::uint8_t> Snapshot::encode() const {
   return out;
 }
 
-Snapshot Snapshot::decode(const std::uint8_t* data, std::size_t size) {
+Snapshot Snapshot::decode_v1(const std::uint8_t* data, std::size_t size) {
   MSRP_REQUIRE(size >= sizeof(kMagic) + 4 + 8, "snapshot: file too small");
-  MSRP_REQUIRE(std::memcmp(data, kMagic, sizeof(kMagic)) == 0, "snapshot: bad magic");
 
   const std::size_t body_end = size - 8;
-  std::uint64_t stored_checksum = 0;
-  for (int i = 7; i >= 0; --i) stored_checksum = (stored_checksum << 8) | data[body_end + i];
+  const std::uint64_t stored_checksum = load_u64(data + body_end);
   const std::uint64_t checksum =
       fnv::mix_bytes(fnv::kOffset, data + sizeof(kMagic), body_end - sizeof(kMagic));
   MSRP_REQUIRE(checksum == stored_checksum, "snapshot: checksum mismatch");
-
-  std::uint32_t version = 0;
-  for (int i = 3; i >= 0; --i) version = (version << 8) | data[sizeof(kMagic) + i];
-  MSRP_REQUIRE(version == kVersion, "snapshot: unsupported version");
 
   Decoder dec(data + sizeof(kMagic) + 4, body_end - sizeof(kMagic) - 4);
   Snapshot snap;
@@ -228,7 +304,7 @@ Snapshot Snapshot::decode(const std::uint8_t* data, std::size_t size) {
   // Plausibility guards before any header-sized allocation: every vertex
   // record costs at least one byte per source, and m is bounded by the
   // simple-graph maximum — a tiny crafted file cannot claim huge tables.
-  MSRP_REQUIRE(dec.remaining() >= sigma * (std::uint64_t{snap.n_} + 1),
+  MSRP_REQUIRE(dec.remaining() / (std::uint64_t{snap.n_} + 1) >= sigma,
                "snapshot: body too small for claimed dimensions");
   MSRP_REQUIRE(std::uint64_t{snap.m_} <= std::uint64_t{snap.n_} * (snap.n_ - 1) / 2,
                "snapshot: more edges than a simple graph allows");
@@ -239,78 +315,235 @@ Snapshot Snapshot::decode(const std::uint8_t* data, std::size_t size) {
     SourceTable& tab = snap.tables_[si];
     tab.root = static_cast<Vertex>(dec.bounded(snap.n_ - 1, "snapshot: source out of range"));
     snap.sources_.push_back(tab.root);
-    tab.dist.assign(snap.n_, kInfDist);
-    tab.parent.assign(snap.n_, kNoVertex);
-    tab.parent_edge.assign(snap.n_, kNoEdge);
-    tab.row_offset.assign(static_cast<std::size_t>(snap.n_) + 1, 0);
+    tab.dist_store.assign(snap.n_, kInfDist);
+    tab.parent_store.assign(snap.n_, kNoVertex);
+    tab.parent_edge_store.assign(snap.n_, kNoEdge);
+    tab.row_offset_store.assign(static_cast<std::size_t>(snap.n_) + 1, 0);
     std::uint64_t cell_total = 0;
     for (Vertex v = 0; v < snap.n_; ++v) {
       const std::uint64_t enc = dec.bounded(std::uint64_t{kInfDist}, "snapshot: bad distance");
-      tab.row_offset[v + 1] = tab.row_offset[v];
+      tab.row_offset_store[v + 1] = tab.row_offset_store[v];
       if (enc == 0) continue;  // unreachable
       const Dist d = static_cast<Dist>(enc - 1);
-      tab.dist[v] = d;
+      tab.dist_store[v] = d;
       if (v == tab.root) {
         MSRP_REQUIRE(d == 0, "snapshot: nonzero root distance");
         continue;
       }
       MSRP_REQUIRE(d > 0, "snapshot: non-root vertex at distance 0");
-      tab.parent[v] =
+      tab.parent_store[v] =
           static_cast<Vertex>(dec.bounded(snap.n_ - 1, "snapshot: parent out of range"));
       MSRP_REQUIRE(snap.m_ > 0, "snapshot: tree edge but m == 0");
-      tab.parent_edge[v] =
+      tab.parent_edge_store[v] =
           static_cast<EdgeId>(dec.bounded(snap.m_ - 1, "snapshot: parent edge out of range"));
       cell_total += d;
-      tab.row_offset[v + 1] = cell_total;
+      tab.row_offset_store[v + 1] = cell_total;
       // Cells are delta-coded against d; the bound keeps cell - 1 + d below
       // kInfDist without any unsigned wrap for out-of-range varints.
       const std::uint64_t max_cell_enc = std::uint64_t{kInfDist} - d;
       for (Dist i = 0; i < d; ++i) {
         const std::uint64_t cell_enc =
             dec.bounded(max_cell_enc, "snapshot: row cell overflows");
-        tab.cells.push_back(cell_enc == 0 ? kInfDist
-                                          : static_cast<Dist>(cell_enc - 1 + d));
+        tab.cells_store.push_back(cell_enc == 0 ? kInfDist
+                                                : static_cast<Dist>(cell_enc - 1 + d));
       }
     }
-    MSRP_REQUIRE(tab.cells.size() == cell_total, "snapshot: row accounting mismatch");
+    MSRP_REQUIRE(tab.cells_store.size() == cell_total, "snapshot: row accounting mismatch");
+    tab.adopt_owned();
   }
   MSRP_REQUIRE(dec.remaining() == 0, "snapshot: trailing bytes");
-  snap.finalize();
+  snap.build_derived();
+  snap.content_digest_ = snap.compute_content_digest();
   snap.encoded_size_ = size;
   return snap;
 }
 
-void Snapshot::write(std::ostream& os) const {
-  const std::vector<std::uint8_t> buf = encode();
+// ------------------------------------------------------------- format v2 ---
+
+std::vector<std::uint8_t> Snapshot::encode_v2() const {
+  std::uint64_t total_cells = 0;
+  for (const SourceTable& tab : tables_) total_cells += tab.cells.size();
+
+  const std::uint64_t meta_bytes =
+      kV2HeaderBytes + pad8(std::uint64_t{4} * sources_.size()) +
+      sources_.size() * (3 * pad8(std::uint64_t{4} * n_) + 8 * (std::uint64_t{n_} + 1));
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(meta_bytes + 4 * total_cells));
+
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32_le(out, 2);
+  put_u32_le(out, kV2HeaderBytes);
+  put_u64_le(out, n_);
+  put_u64_le(out, m_);
+  put_u64_le(out, sources_.size());
+  put_u64_le(out, total_cells);
+  put_u64_le(out, content_digest_);
+  put_u64_le(out, 0);  // meta checksum, patched below
+  put_u64_le(out, 0);  // cells checksum, patched below
+
+  put_u32_span(out, sources_);
+  pad_to_8(out);
+  for (const SourceTable& tab : tables_) {
+    put_u32_span(out, tab.dist);
+    pad_to_8(out);
+    put_u32_span(out, tab.parent);
+    pad_to_8(out);
+    put_u32_span(out, tab.parent_edge);
+    pad_to_8(out);
+    put_u64_span(out, tab.row_offset);
+  }
+  const std::size_t cells_off = out.size();
+  MSRP_CHECK(cells_off == meta_bytes, "snapshot: v2 layout accounting mismatch");
+  for (const SourceTable& tab : tables_) put_u32_span(out, tab.cells);
+
+  const std::uint64_t cells_ck =
+      fnv::mix_bytes(fnv::kOffset, out.data() + cells_off, out.size() - cells_off);
+  store_u64(out.data() + 64, cells_ck);
+  std::uint64_t meta_ck = fnv::mix_bytes(fnv::kOffset, out.data() + 16, 40);
+  meta_ck = fnv::mix_bytes(meta_ck, out.data() + 64, 8);
+  meta_ck = fnv::mix_bytes(meta_ck, out.data() + kV2HeaderBytes, cells_off - kV2HeaderBytes);
+  store_u64(out.data() + 56, meta_ck);
+
+  encoded_size_ = out.size();
+  return out;
+}
+
+Snapshot Snapshot::attach_v2(const std::uint8_t* data, std::size_t size,
+                             std::shared_ptr<const void> anchor, bool verify_cells,
+                             bool mapped) {
+  MSRP_REQUIRE(size >= kV2HeaderBytes, "snapshot: file too small");
+  MSRP_REQUIRE(load_u32(data + 12) == kV2HeaderBytes, "snapshot: bad v2 header size");
+  const std::uint64_t n64 = load_u64(data + 16);
+  const std::uint64_t m64 = load_u64(data + 24);
+  const std::uint64_t sigma = load_u64(data + 32);
+  const std::uint64_t total_cells = load_u64(data + 40);
+  const std::uint64_t digest = load_u64(data + 48);
+  const std::uint64_t meta_ck = load_u64(data + 56);
+  const std::uint64_t cells_ck = load_u64(data + 64);
+
+  MSRP_REQUIRE(n64 > 0 && n64 < kNoVertex, "snapshot: n out of range");
+  MSRP_REQUIRE(m64 < kNoEdge, "snapshot: m out of range");
+  MSRP_REQUIRE(sigma > 0 && sigma <= n64, "snapshot: bad source count");
+  MSRP_REQUIRE(m64 <= n64 * (n64 - 1) / 2, "snapshot: more edges than a simple graph allows");
+
+  // Overflow-safe layout check: every section must fit inside the file, so
+  // divide by the per-table footprint rather than multiplying by sigma.
+  const std::uint64_t src_bytes = pad8(4 * sigma);
+  const std::uint64_t table_bytes = 3 * pad8(4 * n64) + 8 * (n64 + 1);
+  MSRP_REQUIRE(size >= kV2HeaderBytes + src_bytes &&
+                   (size - kV2HeaderBytes - src_bytes) / table_bytes >= sigma,
+               "snapshot: body too small for claimed dimensions");
+  const std::uint64_t cells_off = kV2HeaderBytes + src_bytes + sigma * table_bytes;
+  MSRP_REQUIRE(total_cells <= (size - cells_off) / 4 &&
+                   cells_off + 4 * total_cells == size,
+               "snapshot: file size does not match claimed dimensions");
+
+  std::uint64_t want_meta = fnv::mix_bytes(fnv::kOffset, data + 16, 40);
+  want_meta = fnv::mix_bytes(want_meta, data + 64, 8);
+  want_meta = fnv::mix_bytes(want_meta, data + kV2HeaderBytes, cells_off - kV2HeaderBytes);
+  MSRP_REQUIRE(want_meta == meta_ck, "snapshot: metadata checksum mismatch");
+  if (verify_cells) {
+    const std::uint64_t want_cells =
+        fnv::mix_bytes(fnv::kOffset, data + cells_off, static_cast<std::size_t>(4 * total_cells));
+    MSRP_REQUIRE(want_cells == cells_ck, "snapshot: cells checksum mismatch");
+  }
+
+  Snapshot snap;
+  snap.n_ = static_cast<Vertex>(n64);
+  snap.m_ = static_cast<EdgeId>(m64);
+  const auto* src_ptr = reinterpret_cast<const Vertex*>(data + kV2HeaderBytes);
+  snap.sources_.assign(src_ptr, src_ptr + sigma);
+  snap.tables_.resize(sigma);
+
+  std::uint64_t off = kV2HeaderBytes + src_bytes;
+  std::uint64_t cell_base = 0;
+  const auto* cells_ptr = reinterpret_cast<const Dist*>(data + cells_off);
+  for (std::uint64_t si = 0; si < sigma; ++si) {
+    SourceTable& tab = snap.tables_[si];
+    tab.root = snap.sources_[si];
+    tab.dist = {reinterpret_cast<const Dist*>(data + off), n64};
+    off += pad8(4 * n64);
+    tab.parent = {reinterpret_cast<const Vertex*>(data + off), n64};
+    off += pad8(4 * n64);
+    tab.parent_edge = {reinterpret_cast<const EdgeId*>(data + off), n64};
+    off += pad8(4 * n64);
+    tab.row_offset = {reinterpret_cast<const std::uint64_t*>(data + off), n64 + 1};
+    off += 8 * (n64 + 1);
+    const std::uint64_t declared = tab.row_offset[n64];
+    MSRP_REQUIRE(declared <= total_cells - cell_base,
+                 "snapshot: per-source cell counts exceed the cells section");
+    tab.cells = {cells_ptr + cell_base, declared};
+    cell_base += declared;
+  }
+  MSRP_REQUIRE(cell_base == total_cells, "snapshot: per-source cell counts mismatch");
+
+  snap.build_derived();
+  snap.content_digest_ = digest;
+  snap.encoded_size_ = size;
+  snap.mapped_ = mapped;
+  snap.anchor_ = std::move(anchor);
+  return snap;
+}
+
+// ----------------------------------------------------------- entry points ---
+
+Snapshot Snapshot::from_image(const std::uint8_t* data, std::size_t size,
+                              std::shared_ptr<const void> anchor, const LoadOptions& opts,
+                              bool mapped) {
+  MSRP_REQUIRE(size >= sizeof(kMagic) + 4, "snapshot: file too small");
+  MSRP_REQUIRE(std::memcmp(data, kMagic, sizeof(kMagic)) == 0, "snapshot: bad magic");
+  const std::uint32_t version = load_u32(data + sizeof(kMagic));
+  if (version == 1) return decode_v1(data, size);  // decoded copy; anchor not needed
+  MSRP_REQUIRE(version == 2, "snapshot: unsupported version");
+  return attach_v2(data, size, std::move(anchor), opts.verify_cells, mapped);
+}
+
+void Snapshot::write(std::ostream& os, SnapshotFormat format) const {
+  const std::vector<std::uint8_t> buf =
+      format == SnapshotFormat::kV1 ? encode_v1() : encode_v2();
   os.write(reinterpret_cast<const char*>(buf.data()),
            static_cast<std::streamsize>(buf.size()));
 }
 
 Snapshot Snapshot::read(std::istream& is) {
-  std::vector<std::uint8_t> buf(std::istreambuf_iterator<char>(is),
-                                std::istreambuf_iterator<char>{});
-  return decode(buf.data(), buf.size());
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(
+      std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>{});
+  const std::uint8_t* data = buf->data();
+  const std::size_t size = buf->size();
+  return from_image(data, size, buf, LoadOptions{}, /*mapped=*/false);
 }
 
-void Snapshot::save(const std::string& path) const {
+void Snapshot::save(const std::string& path, SnapshotFormat format) const {
   std::ofstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open for writing: " + path);
-  const std::vector<std::uint8_t> buf = encode();
+  const std::vector<std::uint8_t> buf =
+      format == SnapshotFormat::kV1 ? encode_v1() : encode_v2();
   f.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
   if (!f) throw std::runtime_error("write failed: " + path);
 }
 
-Snapshot Snapshot::load(const std::string& path) {
+Snapshot Snapshot::load(const std::string& path, const LoadOptions& opts) {
+  if (opts.use_mmap) {
+    auto map = std::make_shared<MmapFile>(MmapFile::open(path));
+    const std::uint8_t* data = map->data();
+    const std::size_t size = map->size();
+    const bool mapped = map->is_mapped();  // false on the buffered fallback
+    return from_image(data, size, map, opts, mapped);
+  }
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open for reading: " + path);
   f.seekg(0, std::ios::end);
   const std::streamoff len = f.tellg();
   f.seekg(0, std::ios::beg);
-  std::vector<std::uint8_t> buf(static_cast<std::size_t>(len));
-  f.read(reinterpret_cast<char*>(buf.data()), len);
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(static_cast<std::size_t>(len));
+  f.read(reinterpret_cast<char*>(buf->data()), len);
   if (!f) throw std::runtime_error("read failed: " + path);
-  return decode(buf.data(), buf.size());
+  const std::uint8_t* data = buf->data();
+  const std::size_t size = buf->size();
+  return from_image(data, size, buf, opts, /*mapped=*/false);
 }
+
+// ------------------------------------------------------------ point reads ---
 
 std::uint32_t Snapshot::source_index(Vertex s) const {
   MSRP_REQUIRE(s < n_ && source_index_[s] >= 0, "not a source in the snapshot");

@@ -4,13 +4,14 @@
 // istream tokenization — fine for golden files, too slow for the serving
 // path where a multi-gigabyte replacement table must come back in one gulp.
 // The snapshot is the build-once/serve-many half of the service layer: a
-// versioned binary image that is written as one contiguous buffer and
-// decoded from memory with pointer arithmetic (bulk load, no line splits).
+// versioned binary image decoded from memory with pointer arithmetic.
 //
-// Layout (all integers unsigned LEB128 varints unless noted):
+// Two on-disk formats share the magic and the version field:
+//
+// Format v1 — compact varints (all integers unsigned LEB128 unless noted):
 //
 //   8 bytes   magic "MSRPSNAP"
-//   4 bytes   version (little-endian u32, currently 1)
+//   4 bytes   version (little-endian u32, 1)
 //   varint    n, m, sigma
 //   sigma x   source section:
 //     varint  root vertex
@@ -23,10 +24,45 @@
 //   8 bytes   FNV-1a checksum of everything between the magic and here
 //
 // Row cells are >= dist(v) (deleting an edge never shortens a path), so the
-// delta encoding keeps most cells in one byte. Unlike SerializedResult the
-// snapshot also stores the canonical trees, so a loaded snapshot answers
-// avoiding(s, t, e) for arbitrary edge ids in O(1) with no Graph in hand —
-// exactly the MsrpResult::avoiding contract the query service needs.
+// delta encoding keeps most cells in one byte — v1 is the smallest file,
+// but load cost is proportional to the cell count.
+//
+// Format v2 — fixed-width, 8-byte-aligned sections, built for mmap serving
+// (all integers little-endian; every section starts 8-byte aligned, u32
+// arrays zero-padded to the next 8-byte boundary):
+//
+//   offset  0  8 bytes  magic "MSRPSNAP"
+//   offset  8  u32      version (2)
+//   offset 12  u32      header bytes (72)
+//   offset 16  u64      n, m, sigma, total cell count
+//   offset 48  u64      content digest (as computed by capture())
+//   offset 56  u64      metadata checksum: FNV-1a over header bytes
+//                       [16, 56), bytes [64, 72), and every section except
+//                       the cells
+//   offset 64  u64      cells checksum: FNV-1a over the cells section
+//   offset 72  u32 x sigma       source vertices
+//   sigma x   table section:
+//     u32 x n    dist   (0xffffffff = unreachable)
+//     u32 x n    parent (0xffffffff = root/unreachable)
+//     u32 x n    parent edge id (0xffffffff = root/unreachable)
+//     u64 x n+1  row-offset prefix sums (per source, 0-based)
+//   u32 x total  cells, all sources concatenated in source order
+//
+// A v2 load maps (or bulk-reads) the file, verifies the metadata checksum
+// and the tree/row-offset invariants in O(n + m) per source, and then
+// serves straight out of the image — the dominant cells payload is never
+// decoded, copied, or (with LoadOptions::verify_cells off) even touched.
+// The derived ancestry index (edge_child, DFS stamps) is recomputed from
+// the parent arrays on every load path, which is what makes a validated
+// snapshot memory-safe to query even if the cells are garbage: every
+// avoiding() read is bounded by the validated row-offset table. The stored
+// content digest is trusted under the metadata checksum; only v1 loads and
+// capture() recompute it from the cells.
+//
+// Unlike SerializedResult the snapshot also stores the canonical trees, so
+// a loaded snapshot answers avoiding(s, t, e) for arbitrary edge ids in
+// O(1) with no Graph in hand — exactly the MsrpResult::avoiding contract
+// the query service needs.
 #pragma once
 
 #include <cstdint>
@@ -40,24 +76,48 @@
 
 namespace msrp::service {
 
+enum class SnapshotFormat : std::uint32_t { kV1 = 1, kV2 = 2 };
+
+struct SnapshotLoadOptions {
+  /// Serve a v2 file straight out of a memory mapping instead of bulk-
+  /// reading it (v1 files fall back to the buffered decoder either way).
+  bool use_mmap = false;
+  /// Verify the v2 cells checksum at load time. Off is the zero-copy
+  /// fast path: corrupt cells then yield wrong answers, never unsafe
+  /// reads (the row-offset table is always validated).
+  bool verify_cells = true;
+};
+
 class Snapshot {
  public:
+  using LoadOptions = SnapshotLoadOptions;
+
   Snapshot() = default;
+
+  // The tables alias either owned storage or a mapped file; both survive a
+  // move (vector moves keep their heap buffers, the anchor is shared), but
+  // a memberwise copy would alias the source object's buffers.
+  Snapshot(Snapshot&&) noexcept = default;
+  Snapshot& operator=(Snapshot&&) noexcept = default;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
 
   /// Copies the replacement tables and canonical trees out of a solved
   /// result into a self-contained, query-ready oracle.
   static Snapshot capture(const MsrpResult& res);
 
-  /// Encodes into the binary format (one bulk write).
-  void write(std::ostream& os) const;
+  /// Encodes into the requested on-disk format (one bulk write).
+  void write(std::ostream& os, SnapshotFormat format = SnapshotFormat::kV2) const;
 
-  /// Decodes the binary format; throws std::invalid_argument on a bad
-  /// magic/version, truncation, checksum mismatch, or inconsistent tables.
+  /// Decodes either format (sniffed from the version field); throws
+  /// std::invalid_argument on a bad magic/version, truncation, checksum
+  /// mismatch, or inconsistent tables.
   static Snapshot read(std::istream& is);
 
-  /// File wrappers; throw std::runtime_error on I/O failure.
-  void save(const std::string& path) const;
-  static Snapshot load(const std::string& path);
+  /// File wrappers; throw std::runtime_error on I/O failure and
+  /// std::invalid_argument on a malformed image.
+  void save(const std::string& path, SnapshotFormat format = SnapshotFormat::kV2) const;
+  static Snapshot load(const std::string& path, const LoadOptions& opts = {});
 
   Vertex num_vertices() const { return n_; }
   EdgeId num_edges() const { return m_; }
@@ -92,22 +152,39 @@ class Snapshot {
 
   /// Digest of the semantic content (dimensions, sources, trees, cells);
   /// identical for a captured snapshot and its round-tripped copy. Used as
-  /// the cache key for snapshots loaded from disk.
+  /// the cache key for snapshots loaded from disk. A v2 load trusts the
+  /// digest stored in the (checksummed) header instead of re-reading the
+  /// cells.
   std::uint64_t content_digest() const { return content_digest_; }
 
   /// Size of the encoded form in bytes (0 until written or read once).
   std::size_t encoded_size() const { return encoded_size_; }
 
+  /// True when the tables alias a live memory mapping of the source file.
+  bool is_mapped() const { return mapped_; }
+
  private:
   struct SourceTable {
     Vertex root = kNoVertex;
-    std::vector<Dist> dist;                // n; kInfDist = unreachable
-    std::vector<Vertex> parent;            // n; kNoVertex for root/unreachable
-    std::vector<EdgeId> parent_edge;       // n; kNoEdge for root/unreachable
-    std::vector<Vertex> edge_child;        // m; deeper endpoint of tree edge e
-    std::vector<std::uint32_t> tin, tout;  // DFS stamps (derived, not stored)
-    std::vector<std::uint64_t> row_offset; // n+1 prefix sums into cells
-    std::vector<Dist> cells;               // flat rows
+    // Views over the primary arrays; alias the owned *_store vectors for
+    // captured/v1/bulk-read snapshots, or the file image for v2 loads.
+    std::span<const Dist> dist;                // n; kInfDist = unreachable
+    std::span<const Vertex> parent;            // n; kNoVertex for root/unreachable
+    std::span<const EdgeId> parent_edge;       // n; kNoEdge for root/unreachable
+    std::span<const std::uint64_t> row_offset; // n+1 prefix sums into cells
+    std::span<const Dist> cells;               // flat rows
+    // Owned storage (empty when the views alias a file image).
+    std::vector<Dist> dist_store;
+    std::vector<Vertex> parent_store;
+    std::vector<EdgeId> parent_edge_store;
+    std::vector<std::uint64_t> row_offset_store;
+    std::vector<Dist> cells_store;
+    // Derived ancestry index; always recomputed on load, never stored.
+    std::vector<Vertex> edge_child;            // m; deeper endpoint of tree edge e
+    std::vector<std::uint32_t> tin, tout;      // DFS stamps
+
+    /// Points the views at the owned storage (after the vectors are final).
+    void adopt_owned();
   };
 
   static constexpr std::uint32_t kNoStamp = static_cast<std::uint32_t>(-1);
@@ -117,12 +194,26 @@ class Snapshot {
     return tab.tin[a] <= tab.tin[v] && tab.tout[v] <= tab.tout[a];
   }
 
-  /// Builds the derived members (edge_child, tin/tout, source_index_) and
-  /// validates tree consistency; shared by capture() and read().
-  void finalize();
+  /// Builds source_index_ and, per table, the derived ancestry index while
+  /// validating every invariant avoiding_at() relies on for memory safety
+  /// (parent/edge ranges, distance consistency, connectivity, row-offset
+  /// accounting). O(sigma * (n + m)); never touches the cells.
+  void build_derived();
 
-  std::vector<std::uint8_t> encode() const;
-  static Snapshot decode(const std::uint8_t* data, std::size_t size);
+  /// Folds the full semantic content — cells included — into a digest.
+  std::uint64_t compute_content_digest() const;
+
+  std::vector<std::uint8_t> encode_v1() const;
+  std::vector<std::uint8_t> encode_v2() const;
+  static Snapshot decode_v1(const std::uint8_t* data, std::size_t size);
+  /// Builds a snapshot whose tables alias `data`; `anchor` keeps the bytes
+  /// alive (a mapping or an owned buffer).
+  static Snapshot attach_v2(const std::uint8_t* data, std::size_t size,
+                            std::shared_ptr<const void> anchor, bool verify_cells,
+                            bool mapped);
+  static Snapshot from_image(const std::uint8_t* data, std::size_t size,
+                             std::shared_ptr<const void> anchor, const LoadOptions& opts,
+                             bool mapped);
 
   Vertex n_ = 0;
   EdgeId m_ = 0;
@@ -130,7 +221,9 @@ class Snapshot {
   std::vector<std::int32_t> source_index_;  // n; -1 = not a source
   std::vector<SourceTable> tables_;
   std::uint64_t content_digest_ = 0;
-  mutable std::size_t encoded_size_ = 0;  // set by encode()/decode()
+  mutable std::size_t encoded_size_ = 0;  // set by encode/load
+  bool mapped_ = false;
+  std::shared_ptr<const void> anchor_;  // mapping or buffer the views alias
 };
 
 }  // namespace msrp::service

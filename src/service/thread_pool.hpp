@@ -1,12 +1,22 @@
 // Fixed-size worker pool for the query service.
 //
-// Deliberately minimal: tasks are fire-and-forget closures, and the only
-// synchronization point is wait_idle(), which blocks until every submitted
-// task has finished. That matches the batch-serving pattern (submit one
-// task per shard, wait, return answers) without futures or per-task
-// allocation beyond the closure itself. The first exception a task throws
-// is captured and rethrown from wait_idle() so worker errors surface in the
-// calling thread instead of terminating the process.
+// Tasks come in two flavours:
+//
+//   * submit() — fire-and-forget closures; the only synchronization point
+//     is wait_idle(), which blocks until every submitted task has finished
+//     and rethrows the first exception any of them threw. That matches the
+//     synchronous batch-serving pattern (submit one task per shard, wait,
+//     return answers).
+//   * submit_task() — returns a std::future for the closure's result, for
+//     callers that want one task's value or error back without touching the
+//     pool-wide wait_idle() channel. (The async batch path in
+//     query_service.cpp manages its own completion counter instead: one
+//     future per *batch*, not per shard task.)
+//
+// Tasks must never block on other tasks of the same pool (the async batch
+// path is written completion-driven for exactly this reason): with every
+// worker parked in a wait there is nobody left to run the task being
+// waited for.
 #pragma once
 
 #include <condition_variable>
@@ -14,8 +24,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace msrp::service {
@@ -36,6 +49,18 @@ class ThreadPool {
 
   /// Enqueues a task. Never blocks.
   void submit(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result. Exceptions the
+  /// task throws surface through the future (and never through
+  /// wait_idle()'s first-error channel).
+  template <typename F>
+  auto submit_task(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    submit([task] { (*task)(); });  // packaged_task captures any exception
+    return fut;
+  }
 
   /// Blocks until the queue is empty and no task is running, then rethrows
   /// the first exception any task threw since the last wait_idle().

@@ -1,0 +1,137 @@
+// Differential fuzz harness for the serving stack.
+//
+// Every iteration draws a random instance (graph family, size, density,
+// source count, solver seed), solves it, and then answers the same query
+// batch through every serving path the service layer offers:
+//
+//   1. sync  — QueryService::query_batch against the built oracle
+//   2. async — QueryService::submit_batch future against the same oracle
+//   3. v1    — snapshot saved as format v1, reloaded via the varint decoder
+//   4. v2    — snapshot saved as format v2, reloaded zero-copy through mmap
+//
+// All four must agree bit-for-bit with the O(sigma n m) brute-force oracle.
+// On any mismatch the failure message carries the iteration seed; rerun
+// with MSRP_FUZZ_SEED=<seed> MSRP_FUZZ_GRAPHS=1 to reproduce exactly that
+// instance. MSRP_FUZZ_GRAPHS raises the default 200-instance budget for
+// soak runs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baseline/baselines.hpp"
+#include "core/msrp.hpp"
+#include "graph/generators.hpp"
+#include "service/query_service.hpp"
+
+namespace msrp {
+namespace {
+
+using service::Query;
+using service::Snapshot;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr ? std::strtoull(raw, nullptr, 10) : fallback;
+}
+
+Graph random_instance(Rng& rng) {
+  const Vertex n = static_cast<Vertex>(6 + rng.next_below(30));
+  const double p = 0.05 + 0.4 * rng.next_double();
+  switch (rng.next_below(5)) {
+    case 0: return gen::erdos_renyi(n, p, rng);  // may be disconnected
+    case 1: return gen::connected_gnp(n, p, rng);
+    case 2: return gen::random_tree(n, rng);  // every tree edge is a cut edge
+    case 3: return gen::path_with_chords(n, 1 + static_cast<std::uint32_t>(n / 4), rng);
+    default: return gen::barbell(3 + static_cast<Vertex>(rng.next_below(4)),
+                                 2 + static_cast<Vertex>(rng.next_below(4)));
+  }
+}
+
+TEST(ServiceFuzz, AllServingPathsMatchBruteForce) {
+  const std::uint64_t base_seed = env_u64("MSRP_FUZZ_SEED", 0xF0225EEDULL);
+  const std::uint64_t num_graphs = env_u64("MSRP_FUZZ_GRAPHS", 200);
+  const std::string dir = testing::TempDir();
+
+  service::QueryService svc(
+      {.threads = 4, .cache_capacity = 2, .min_parallel_batch = 64});
+
+  for (std::uint64_t iter = 0; iter < num_graphs; ++iter) {
+    const std::uint64_t seed = base_seed + iter;
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed) +
+                 " (rerun: MSRP_FUZZ_SEED=" + std::to_string(seed) +
+                 " MSRP_FUZZ_GRAPHS=1)");
+    Rng rng(seed);
+
+    const Graph g = random_instance(rng);
+    const Vertex n = g.num_vertices();
+    const EdgeId m = g.num_edges();
+    if (m == 0) continue;  // no edges -> no valid (s, t, e) queries
+
+    const std::uint32_t sigma =
+        1 + static_cast<std::uint32_t>(rng.next_below(std::min<Vertex>(4, n)));
+    const auto picks = rng.sample_without_replacement(n, sigma);
+    const std::vector<Vertex> sources(picks.begin(), picks.end());
+
+    Config cfg;
+    cfg.seed = rng.next_u64();
+    cfg.exact = rng.next_bernoulli(0.25);
+
+    const MsrpResult truth = solve_msrp_brute_force(g, sources);
+    const auto oracle = svc.build(g, sources, cfg);
+
+    // Exhaustive queries when the instance is small, random sample otherwise.
+    std::vector<Query> queries;
+    const std::uint64_t universe = std::uint64_t{sigma} * n * m;
+    if (universe <= 4096) {
+      for (const Vertex s : sources) {
+        for (Vertex t = 0; t < n; ++t) {
+          for (EdgeId e = 0; e < m; ++e) queries.push_back({s, t, e});
+        }
+      }
+    } else {
+      for (int i = 0; i < 1500; ++i) {
+        queries.push_back({sources[rng.next_below(sigma)],
+                           static_cast<Vertex>(rng.next_below(n)),
+                           static_cast<EdgeId>(rng.next_below(m))});
+      }
+    }
+    std::vector<Dist> want(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      want[i] = truth.avoiding(queries[i].s, queries[i].t, queries[i].e);
+    }
+
+    // Path 1: sync batch.
+    const std::vector<Dist> sync_got = svc.query_batch(*oracle, queries);
+    ASSERT_EQ(sync_got, want) << "sync path diverged, seed=" << seed;
+
+    // Path 2: async future against the same oracle handle.
+    service::BatchResult async_res = svc.submit_batch(oracle, queries).get();
+    ASSERT_EQ(async_res.error, nullptr) << "async path failed, seed=" << seed;
+    ASSERT_EQ(async_res.answers, want) << "async path diverged, seed=" << seed;
+
+    // Paths 3 + 4: the two on-disk formats, v2 through the mmap fast path.
+    const std::string v1_path = dir + "/msrp_fuzz_" + std::to_string(seed) + ".v1.snap";
+    const std::string v2_path = dir + "/msrp_fuzz_" + std::to_string(seed) + ".v2.snap";
+    oracle->save(v1_path, service::SnapshotFormat::kV1);
+    oracle->save(v2_path, service::SnapshotFormat::kV2);
+    {
+      const Snapshot v1 = Snapshot::load(v1_path);
+      ASSERT_FALSE(v1.is_mapped());
+      ASSERT_EQ(v1.content_digest(), oracle->content_digest()) << "seed=" << seed;
+      ASSERT_EQ(svc.query_batch(v1, queries), want) << "v1 path diverged, seed=" << seed;
+
+      const Snapshot v2 =
+          Snapshot::load(v2_path, {.use_mmap = true, .verify_cells = true});
+      ASSERT_EQ(v2.content_digest(), oracle->content_digest()) << "seed=" << seed;
+      ASSERT_EQ(svc.query_batch(v2, queries), want) << "v2 mmap path diverged, seed=" << seed;
+    }
+    std::remove(v1_path.c_str());
+    std::remove(v2_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace msrp

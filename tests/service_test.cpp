@@ -1,9 +1,13 @@
-// Tests for the batched query service layer: snapshot round trips,
-// concurrent batches against the brute-force oracle, LRU cache eviction,
-// and the thread pool underneath it all.
+// Tests for the batched query service layer: snapshot round trips (both
+// binary formats, including the v2 mmap path), sync and async batches
+// against the brute-force oracle, single-flighted LRU cache builds racing
+// eviction, and the thread pool underneath it all. The concurrency tests
+// double as the TSan workload in CI.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <sstream>
 #include <thread>
 
@@ -143,6 +147,42 @@ TEST(Snapshot, CorruptionIsDetected) {
   }
 }
 
+TEST(Snapshot, FormatsAgreeAndV2ServesFromTheMapping) {
+  Rng rng(13);
+  const Graph g = gen::connected_gnp(50, 0.1, rng);
+  const std::vector<Vertex> sources{0, 25, 49};
+  const MsrpResult res = solve_msrp(g, sources);
+  const Snapshot snap = Snapshot::capture(res);
+
+  const std::string v1_path = testing::TempDir() + "/msrp_fmt_test.v1.snap";
+  const std::string v2_path = testing::TempDir() + "/msrp_fmt_test.v2.snap";
+  snap.save(v1_path, service::SnapshotFormat::kV1);
+  snap.save(v2_path, service::SnapshotFormat::kV2);
+
+  const Snapshot v1 = Snapshot::load(v1_path);
+  const Snapshot v2 = Snapshot::load(v2_path);
+  const Snapshot v2m = Snapshot::load(v2_path, {.use_mmap = true, .verify_cells = false});
+  EXPECT_FALSE(v1.is_mapped());
+  EXPECT_FALSE(v2.is_mapped());
+  EXPECT_TRUE(v2m.is_mapped());
+  EXPECT_EQ(v1.content_digest(), snap.content_digest());
+  EXPECT_EQ(v2.content_digest(), snap.content_digest());
+  EXPECT_EQ(v2m.content_digest(), snap.content_digest());
+
+  for (const Vertex s : sources) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const Dist want = res.avoiding(s, t, e);
+        ASSERT_EQ(v1.avoiding(s, t, e), want) << "s=" << s << " t=" << t << " e=" << e;
+        ASSERT_EQ(v2.avoiding(s, t, e), want) << "s=" << s << " t=" << t << " e=" << e;
+        ASSERT_EQ(v2m.avoiding(s, t, e), want) << "s=" << s << " t=" << t << " e=" << e;
+      }
+    }
+  }
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
 TEST(Snapshot, NonSourceAndOutOfRangeThrow) {
   const Graph g = gen::cycle(6);
   const MsrpResult res = solve_msrp(g, {0});
@@ -174,6 +214,28 @@ TEST(ThreadPool, PropagatesTaskException) {
   pool.submit([&counter] { ++counter; });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SubmitTaskDeliversValuesAndExceptionsThroughTheFuture) {
+  service::ThreadPool pool(2);
+  std::future<int> value = pool.submit_task([] { return 6 * 7; });
+  EXPECT_EQ(value.get(), 42);
+
+  std::future<int> error =
+      pool.submit_task([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(error.get(), std::runtime_error);
+  // The exception travelled through the future, not the wait_idle channel.
+  EXPECT_NO_THROW(pool.wait_idle());
+
+  // Futures compose with fire-and-forget tasks on the same pool.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  std::future<std::string> tail = pool.submit_task([] { return std::string("done"); });
+  EXPECT_EQ(tail.get(), "done");
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
 }
 
 // ---------------------------------------------------------- query service ---
@@ -300,6 +362,149 @@ TEST(QueryService, RepeatBuildHitsCache) {
   EXPECT_NE(first.get(), fourth.get());
 }
 
+// --------------------------------------------------------------- async API ---
+
+TEST(QueryService, AsyncBatchMatchesSync) {
+  Rng rng(61);
+  const Graph g = gen::connected_avg_degree(100, 5.0, rng);
+  const std::vector<Vertex> sources{0, 40, 80};
+  service::QueryService svc({.threads = 4, .min_parallel_batch = 1});
+  const auto oracle = svc.build(g, sources);
+
+  Rng qrng(62);
+  std::vector<Query> batch;
+  for (int i = 0; i < 20000; ++i) {
+    batch.push_back({sources[qrng.next_below(sources.size())],
+                     static_cast<Vertex>(qrng.next_below(g.num_vertices())),
+                     static_cast<EdgeId>(qrng.next_below(g.num_edges()))});
+  }
+  const std::vector<Dist> want = svc.query_batch(*oracle, batch);
+
+  service::BatchResult res = svc.submit_batch(oracle, batch).get();
+  EXPECT_EQ(res.error, nullptr);
+  EXPECT_EQ(res.oracle.get(), oracle.get());
+  EXPECT_EQ(res.answers, want);
+}
+
+TEST(QueryService, AsyncColdCacheSubmitReturnsBeforeTheBuildFinishes) {
+  Rng rng(63);
+  const Graph g = gen::connected_avg_degree(500, 8.0, rng);
+  const std::vector<Vertex> sources{1, 100, 200, 300};
+  service::QueryService svc({.threads = 2});
+
+  std::vector<Query> queries{{1, 5, 0}, {100, 499, 3}};
+  auto fut = svc.submit_batch(g, sources, Config{}, queries);
+  // The solve runs on the pool; the future cannot be ready the instant the
+  // submit call returns (the build takes orders of magnitude longer than
+  // the enqueue).
+  EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(0)), std::future_status::timeout);
+
+  service::BatchResult res = fut.get();
+  ASSERT_EQ(res.answers.size(), queries.size());
+  ASSERT_NE(res.oracle, nullptr);
+  // The async build landed in the cache: a sync build of the same instance
+  // is now a hit and must agree.
+  const auto oracle = svc.build(g, sources);
+  EXPECT_EQ(oracle.get(), res.oracle.get());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(res.answers[i], oracle->avoiding(queries[i].s, queries[i].t, queries[i].e));
+  }
+}
+
+TEST(QueryService, AsyncCallbackDeliversOnAPoolThread) {
+  Rng rng(64);
+  const Graph g = gen::connected_gnp(40, 0.15, rng);
+  const std::vector<Vertex> sources{0, 20};
+  service::QueryService svc({.threads = 2, .min_parallel_batch = 1});
+  const auto oracle = svc.build(g, sources);
+
+  std::vector<Query> batch;
+  for (Vertex t = 0; t < g.num_vertices(); ++t) batch.push_back({0, t, 0});
+  const std::vector<Dist> want = svc.query_batch(*oracle, batch);
+
+  std::promise<service::BatchResult> delivered;
+  svc.submit_batch(oracle, batch, [&delivered](service::BatchResult r) {
+    delivered.set_value(std::move(r));
+  });
+  service::BatchResult res = delivered.get_future().get();
+  EXPECT_EQ(res.error, nullptr);
+  EXPECT_EQ(res.answers, want);
+}
+
+TEST(QueryService, AsyncValidationErrorsSurfaceThroughBothChannels) {
+  const Graph g = gen::cycle(10);
+  service::QueryService svc({.threads = 2});
+  const auto oracle = svc.build(g, {0});
+
+  // Future flavour: get() rethrows.
+  auto fut = svc.submit_batch(oracle, std::vector<Query>{{1, 2, 0}});  // not a source
+  EXPECT_THROW(fut.get(), std::invalid_argument);
+
+  // Callback flavour: error lands in BatchResult::error.
+  std::promise<service::BatchResult> delivered;
+  svc.submit_batch(oracle, std::vector<Query>{{0, 99, 0}},  // target out of range
+                   [&delivered](service::BatchResult r) { delivered.set_value(std::move(r)); });
+  service::BatchResult res = delivered.get_future().get();
+  ASSERT_NE(res.error, nullptr);
+  EXPECT_TRUE(res.answers.empty());
+  EXPECT_THROW(std::rethrow_exception(res.error), std::invalid_argument);
+}
+
+TEST(QueryService, StressConcurrentAsyncSubmitsRacingCacheEviction) {
+  // Three distinct instances thrash a capacity-1 cache while six caller
+  // threads submit async builds concurrently: every answer must still be
+  // exact, every future must complete, and (under TSan) the pool, cache,
+  // and completion paths must be race-free.
+  constexpr int kInstances = 3, kCallers = 6, kRounds = 5;
+  std::vector<Graph> graphs;
+  std::vector<std::vector<Vertex>> sources;
+  std::vector<MsrpResult> truths;
+  // MsrpResult keeps a pointer to the graph it was solved on; reserve so
+  // the push_backs below never reallocate the graphs out from under it.
+  graphs.reserve(kInstances);
+  truths.reserve(kInstances);
+  for (int i = 0; i < kInstances; ++i) {
+    Rng rng(70 + i);
+    graphs.push_back(gen::connected_gnp(40 + 5 * i, 0.12, rng));
+    sources.push_back({0, static_cast<Vertex>(10 + i), static_cast<Vertex>(30 + i)});
+    truths.push_back(solve_msrp(graphs.back(), sources.back()));
+  }
+
+  service::QueryService svc(
+      {.threads = 4, .cache_capacity = 1, .min_parallel_batch = 16});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      Rng rng(900 + c);
+      for (int r = 0; r < kRounds; ++r) {
+        const int i = static_cast<int>(rng.next_below(kInstances));
+        const Graph& g = graphs[i];
+        std::vector<Query> batch;
+        for (int q = 0; q < 400; ++q) {
+          batch.push_back({sources[i][rng.next_below(sources[i].size())],
+                           static_cast<Vertex>(rng.next_below(g.num_vertices())),
+                           static_cast<EdgeId>(rng.next_below(g.num_edges()))});
+        }
+        service::BatchResult res = svc.submit_batch(g, sources[i], Config{}, batch).get();
+        if (res.error != nullptr || res.answers.size() != batch.size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (std::size_t q = 0; q < batch.size(); ++q) {
+          if (res.answers[q] != truths[i].avoiding(batch[q].s, batch[q].t, batch[q].e)) {
+            failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(svc.cache().pending_builds(), 0u);
+}
+
 // ------------------------------------------------------------ oracle cache ---
 
 std::shared_ptr<const Snapshot> tiny_oracle(Vertex n) {
@@ -337,6 +542,84 @@ TEST(OracleCache, GetOrBuildBuildsOnce) {
   EXPECT_EQ(first.get(), second.get());
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(OracleCache, ConcurrentGetOrBuildSingleFlights) {
+  service::OracleCache cache(2);
+  const OracleKey key{77, {0}, 1};
+  std::atomic<int> builds{0};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const Snapshot>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      got[i] = cache.get_or_build(key, [&] {
+        builds.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return tiny_oracle(5);
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1) << "concurrent misses must share one build";
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(got[i].get(), got[0].get());
+  EXPECT_EQ(cache.pending_builds(), 0u);
+}
+
+TEST(OracleCache, EvictionRacingInFlightBuildKeepsPendingOracle) {
+  service::OracleCache cache(1);
+  const OracleKey slow_key{10, {0}, 0};
+  std::promise<void> build_started;
+  std::promise<void> release_build;
+  std::shared_future<void> release = release_build.get_future().share();
+
+  std::thread builder([&] {
+    auto oracle = cache.get_or_build(slow_key, [&] {
+      build_started.set_value();
+      release.wait();  // hold the build in flight
+      return tiny_oracle(6);
+    });
+    ASSERT_NE(oracle, nullptr);
+    EXPECT_EQ(oracle->num_vertices(), 6u);
+  });
+  build_started.get_future().wait();
+  EXPECT_EQ(cache.pending_builds(), 1u);
+
+  // Churn the capacity-1 cache while the build is in flight: the pending
+  // slot must survive the evictions.
+  cache.insert(OracleKey{11, {0}, 0}, tiny_oracle(4));
+  cache.insert(OracleKey{12, {0}, 0}, tiny_oracle(5));
+  EXPECT_GE(cache.evictions(), 1u);
+
+  // A second caller for the same key parks on the single-flight slot and
+  // must receive the original build, not run its own.
+  std::thread waiter([&] {
+    auto oracle = cache.get_or_build(slow_key, [&]() -> std::shared_ptr<const Snapshot> {
+      ADD_FAILURE() << "waiter must not rebuild a key that is in flight";
+      return tiny_oracle(6);
+    });
+    ASSERT_NE(oracle, nullptr);
+    EXPECT_EQ(oracle->num_vertices(), 6u);
+  });
+
+  release_build.set_value();
+  builder.join();
+  waiter.join();
+  EXPECT_EQ(cache.pending_builds(), 0u);
+}
+
+TEST(OracleCache, FailedBuildPropagatesAndAllowsRetry) {
+  service::OracleCache cache(2);
+  const OracleKey key{55, {0}, 3};
+  EXPECT_THROW(cache.get_or_build(key,
+                                  []() -> std::shared_ptr<const Snapshot> {
+                                    throw std::runtime_error("solve failed");
+                                  }),
+               std::runtime_error);
+  EXPECT_EQ(cache.pending_builds(), 0u);
+  // The failed slot was released: a retry builds fresh and succeeds.
+  auto ok = cache.get_or_build(key, [] { return tiny_oracle(4); });
+  EXPECT_NE(ok, nullptr);
 }
 
 TEST(OracleCache, EvictedOracleStaysAliveForHolders) {

@@ -15,12 +15,17 @@
 //   --exact                deterministic exact mode
 //   --bk                   Section 8 landmark-table machinery
 //   --save-snapshot <path> persist the oracle after building
+//   --format v1|v2         snapshot format for --save-snapshot (default v2)
+//   --mmap                 serve --load-snapshot v2 files zero-copy from a
+//                          memory mapping (skips the cells checksum)
 //
 // Serving options:
 //   --batch-file <path>    queries, one "s t e" per line ('#' comments)
 //   --random-queries N     generate N uniform random queries instead
 //   --threads N            worker threads (default: hardware concurrency)
 //   --repeat K             run the batch K times for throughput (default 1)
+//   --async                use submit_batch() futures; reports submit
+//                          latency separately from completion
 //   --out <path>           write "s t e answer" lines for the batch
 #include <cstdio>
 #include <cstdlib>
@@ -58,9 +63,9 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
                "       msrp_serve --demo [options]\n"
                "       msrp_serve --load-snapshot <path> [options]\n"
                "options: [--seed N] [--oversample X] [--exact] [--bk]\n"
-               "         [--save-snapshot <path>]\n"
+               "         [--save-snapshot <path>] [--format v1|v2] [--mmap]\n"
                "         [--batch-file <path> | --random-queries N]\n"
-               "         [--threads N] [--repeat K] [--out <path>]\n");
+               "         [--threads N] [--repeat K] [--async] [--out <path>]\n");
   std::exit(2);
 }
 
@@ -113,6 +118,9 @@ int main(int argc, char** argv) {
   std::size_t random_queries = 0;
   unsigned threads = 0;
   std::size_t repeat = 1;
+  bool use_mmap = false;
+  bool use_async = false;
+  service::SnapshotFormat save_format = service::SnapshotFormat::kV2;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,6 +146,19 @@ int main(int argc, char** argv) {
       cfg.landmark_rp = LandmarkRpMethod::kBkAuxGraphs;
     } else if (arg == "--save-snapshot") {
       save_path = next();
+    } else if (arg == "--format") {
+      const std::string fmt = next();
+      if (fmt == "v1") {
+        save_format = service::SnapshotFormat::kV1;
+      } else if (fmt == "v2") {
+        save_format = service::SnapshotFormat::kV2;
+      } else {
+        usage();
+      }
+    } else if (arg == "--mmap") {
+      use_mmap = true;
+    } else if (arg == "--async") {
+      use_async = true;
     } else if (arg == "--batch-file") {
       batch_path = next();
     } else if (arg == "--random-queries") {
@@ -163,9 +184,13 @@ int main(int argc, char** argv) {
 
     Timer build_timer;
     if (!snapshot_path.empty()) {
-      oracle = svc.load(snapshot_path);
-      std::printf("loaded snapshot %s in %.1f ms (%zu bytes)\n", snapshot_path.c_str(),
-                  build_timer.millis(), oracle->encoded_size());
+      // --mmap is the zero-copy serving path: the v2 cells payload stays on
+      // disk and pages in on demand, so skip its checksum at load time.
+      oracle = svc.load(snapshot_path,
+                        {.use_mmap = use_mmap, .verify_cells = !use_mmap});
+      std::printf("loaded snapshot %s in %.3f ms (%zu bytes%s)\n", snapshot_path.c_str(),
+                  build_timer.millis(), oracle->encoded_size(),
+                  oracle->is_mapped() ? ", mmap" : "");
     } else {
       Graph g(0);
       if (demo) {
@@ -185,9 +210,10 @@ int main(int argc, char** argv) {
 
     if (!save_path.empty()) {
       Timer t;
-      oracle->save(save_path);
-      std::printf("saved snapshot to %s in %.1f ms (%zu bytes)\n", save_path.c_str(),
-                  t.millis(), oracle->encoded_size());
+      oracle->save(save_path, save_format);
+      std::printf("saved %s snapshot to %s in %.1f ms (%zu bytes)\n",
+                  save_format == service::SnapshotFormat::kV1 ? "v1" : "v2",
+                  save_path.c_str(), t.millis(), oracle->encoded_size());
     }
 
     std::vector<service::Query> batch;
@@ -200,13 +226,31 @@ int main(int argc, char** argv) {
 
     std::vector<Dist> answers;
     Timer serve_timer;
-    for (std::size_t r = 0; r < repeat; ++r) {
-      answers = svc.query_batch(*oracle, batch);
+    if (use_async) {
+      // Submit every repeat up front, then drain: batches overlap on the
+      // pool instead of running lockstep.
+      double submit_ms = 0.0;
+      std::vector<std::future<service::BatchResult>> futures;
+      futures.reserve(repeat);
+      {
+        Timer submit_timer;
+        for (std::size_t r = 0; r < repeat; ++r) {
+          futures.push_back(svc.submit_batch(oracle, batch));
+        }
+        submit_ms = submit_timer.millis();
+      }
+      for (auto& fut : futures) answers = std::move(fut.get().answers);
+      std::printf("submitted %zu async batches in %.3f ms\n", repeat, submit_ms);
+    } else {
+      for (std::size_t r = 0; r < repeat; ++r) {
+        answers = svc.query_batch(*oracle, batch);
+      }
     }
     const double secs = serve_timer.seconds();
     const double total = static_cast<double>(batch.size()) * static_cast<double>(repeat);
-    std::printf("answered %zu queries x%zu in %.1f ms  (%.0f queries/sec)\n", batch.size(),
-                repeat, secs * 1e3, secs > 0 ? total / secs : 0.0);
+    std::printf("answered %zu queries x%zu in %.1f ms  (%.0f queries/sec%s)\n", batch.size(),
+                repeat, secs * 1e3, secs > 0 ? total / secs : 0.0,
+                use_async ? ", async" : "");
 
     if (!out_path.empty()) {
       std::ofstream f(out_path);
