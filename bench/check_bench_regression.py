@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Coarse benchmark regression guard for CI.
+
+Compares a fresh google-benchmark JSON report against a checked-in baseline
+and fails when any row shared by both regresses by more than --max-ratio
+(default 2x). The threshold is deliberately loose: CI machines differ from
+the machine that recorded the baseline, so this only catches catastrophic
+regressions (an accidental O(n) -> O(n^2), a build that went sequential),
+not few-percent drift.
+
+Usage: check_bench_regression.py --baseline bench/baseline_build.json \
+           --current BENCH_build.json [--max-ratio 2.0]
+"""
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        report = json.load(f)
+    rows = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregates
+        rows[b["name"]] = float(b["real_time"])
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--max-ratio", type=float, default=2.0)
+    args = ap.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: no benchmark rows shared between baseline and current", file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in shared:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else float("inf")
+        status = "OK " if ratio <= args.max_ratio else "FAIL"
+        if ratio > args.max_ratio:
+            failed = True
+        print(f"{status} {name}: baseline={baseline[name]:.1f} current={current[name]:.1f} "
+              f"ratio={ratio:.2f} (limit {args.max_ratio:.2f})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the machine-readable benchmark suite and writes the JSON trajectories
+# the repo tracks across PRs:
+#
+#   BENCH_build.json    — oracle construction cost vs. thread count
+#   BENCH_service.json  — serving-layer throughput / latency rows
+#
+# Usage:  bench/run_benchmarks.sh [build_dir] [extra google-benchmark args...]
+#
+# The build dir must contain the bench binaries (configure with
+# google-benchmark installed; see CMakeLists.txt). Also available as the
+# `bench_json` CMake target. Extra args are forwarded to both binaries —
+# e.g. --benchmark_filter=BM_BuildGridSmall for a quick pass.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [[ $# -gt 0 && $1 != -* ]]; then  # a leading flag is an extra arg, not a dir
+  build_dir="$1"
+  shift
+fi
+
+for bin in bench_build bench_service; do
+  if [[ ! -x "$build_dir/$bin" ]]; then
+    echo "error: $build_dir/$bin not found; configure with google-benchmark installed" >&2
+    exit 1
+  fi
+done
+
+echo "== bench_build -> BENCH_build.json"
+"$build_dir/bench_build" \
+  --benchmark_out="$repo_root/BENCH_build.json" --benchmark_out_format=json "$@"
+
+echo "== bench_service -> BENCH_service.json"
+"$build_dir/bench_service" \
+  --benchmark_out="$repo_root/BENCH_service.json" --benchmark_out_format=json "$@"
+
+echo "wrote $repo_root/BENCH_build.json and $repo_root/BENCH_service.json"

@@ -10,24 +10,59 @@ struct PathEdge {
   Vertex child;  // deeper endpoint (position pos means dist(child) == pos + 1)
 };
 
-/// Landmark candidates for one (t, level) pair: members of L_k whose true
-/// distance to t is within the Algorithm 3 / 4 radius.
-struct FilteredLevel {
-  std::vector<std::pair<std::uint32_t, Dist>> items;  // (landmark index, d(r, t))
+/// Everything the inner candidate loops need about one landmark r of a
+/// level, precomputed once per (source, target-range) call: the tree T_r,
+/// r's DFS stamps in T_s (so the per-candidate "is e on the sr path?" test
+/// is two integer compares against the hoisted stamps of e's child), the
+/// canonical |sr|, and the raw d(s, r, *) row.
+struct LevelItem {
+  const RootedTree* tree;        // T_r
+  std::uint32_t tin_r, tout_r;   // r's stamps in T_s; tin_r == 0 never matches
+  Dist dist_sr;                  // d(s, r); kInfDist if unreachable
+  const Dist* row;               // dsr row (si, li), indexed by path position
+};
+
+/// Level members filtered by distance to the current target.
+struct Filtered {
+  const LevelItem* item;
+  Dist drt;  // d(r, t)
 };
 
 }  // namespace
 
 void assemble_source_rows(const Graph& g, std::uint32_t si, const RootedTree& rs,
-                          const LevelSets& landmarks, TreePool& pool,
+                          const LevelSets& landmarks, const TreePool& pool,
                           const LandmarkRpTable& dsr, const NearSmall& near_small,
-                          const Params& params, MsrpResult& result) {
-  const Vertex n = g.num_vertices();
+                          const Params& params, MsrpResult& result, Vertex t_begin,
+                          Vertex t_end) {
   const BfsTree& ts = rs.tree;
   const Dist t_thresh = params.near_threshold();
 
+  // Hoist the per-landmark invariants out of the per-target loops. If r is
+  // unreachable from s its row is empty and must never be read: tin_r = 0
+  // can only match a child with tin 0, i.e. the root — which is never the
+  // deeper endpoint of a path edge. (r == s lands on the same sentinel and
+  // the same correct answer: no edge of the st path lies on the empty ss
+  // path, so the candidate falls back to dist_sr = 0.)
+  std::vector<std::vector<LevelItem>> level_items(params.num_levels() + 1);
+  for (std::uint32_t k = 0; k <= params.num_levels(); ++k) {
+    level_items[k].reserve(landmarks.level(k).size());
+    for (const Vertex r : landmarks.level(k)) {
+      const bool reach = ts.reachable(r);
+      const auto li = static_cast<std::uint32_t>(dsr.landmark_index(r));
+      level_items[k].push_back(LevelItem{
+          &pool.existing(r),
+          reach ? rs.anc.tin(r) : 0,
+          reach ? rs.anc.tout(r) : 0,
+          ts.dist(r),
+          dsr.row(si, li).data(),
+      });
+    }
+  }
+
   std::vector<PathEdge> path_edges;  // reused per target
-  for (Vertex t = 0; t < n; ++t) {
+  std::vector<Filtered> items;       // reused per target / bucket
+  for (Vertex t = t_begin; t < t_end; ++t) {
     const Dist depth = ts.dist(t);
     if (depth == kInfDist || depth == 0) continue;
     auto row = result.mutable_row(si, t);
@@ -47,22 +82,26 @@ void assemble_source_rows(const Graph& g, std::uint32_t si, const RootedTree& rs
     // ---- near edges: small values + Algorithm 4 over L_0 ----------------
     if (first_near < depth) {
       // Filter L_0 once per t: Lemma 12's witness satisfies d(r, t) <= T.
-      FilteredLevel f0;
-      for (const Vertex r : landmarks.level(0)) {
-        const Dist drt = pool.existing(r).dist(t);
-        if (drt <= t_thresh) {
-          f0.items.emplace_back(static_cast<std::uint32_t>(dsr.landmark_index(r)), drt);
-        }
+      items.clear();
+      for (const LevelItem& it : level_items[0]) {
+        const Dist drt = it.tree->dist(t);
+        if (drt <= t_thresh) items.push_back({&it, drt});
       }
       for (std::uint32_t pos = first_near; pos < depth; ++pos) {
         Dist best = near_small.value(t, pos);
         const auto [eid, child] = path_edges[pos];
         const auto [eu, ev] = g.endpoints(eid);
-        for (const auto& [li, drt] : f0.items) {
-          const Vertex r = dsr.landmarks()[li];
+        const std::uint32_t tin_c = rs.anc.tin(child);
+        const std::uint32_t tout_c = rs.anc.tout(child);
+        for (const auto& [it, drt] : items) {
           // Algorithm 4's guard: e must avoid the canonical rt path.
-          if (pool.existing(r).edge_on_path_to(eid, eu, ev, t)) continue;
-          best = std::min(best, sat_add(dsr.avoiding(si, li, child, pos), drt));
+          if (it->tree->edge_on_path_to(eid, eu, ev, t)) continue;
+          // d(s, r, e): the stored row cell when e lies on the canonical sr
+          // path (ancestor test against the hoisted stamps), |sr| otherwise.
+          const Dist avoid = (tin_c <= it->tin_r && it->tout_r <= tout_c)
+                                 ? it->row[pos]
+                                 : it->dist_sr;
+          best = std::min(best, sat_add(avoid, drt));
         }
         row[pos] = std::min(row[pos], best);
       }
@@ -79,27 +118,29 @@ void assemble_source_rows(const Graph& g, std::uint32_t si, const RootedTree& rs
         // The top bucket absorbs everything beyond the sampled levels.
         const std::uint64_t upper_et =
             (k == params.num_levels()) ? std::uint64_t{kInfDist} : std::uint64_t{4} * radius;
-        FilteredLevel fk;
+        items.clear();
         bool filtered = false;
         for (; pos >= 0; --pos) {
           const Dist et = depth - static_cast<Dist>(pos) - 1;
           if (et >= upper_et) break;  // next bucket
           if (!filtered) {
             filtered = true;
-            for (const Vertex r : landmarks.level(k)) {
-              const Dist drt = pool.existing(r).dist(t);
-              if (drt <= radius) {
-                fk.items.emplace_back(static_cast<std::uint32_t>(dsr.landmark_index(r)), drt);
-              }
+            for (const LevelItem& it : level_items[k]) {
+              const Dist drt = it.tree->dist(t);
+              if (drt <= radius) items.push_back({&it, drt});
             }
           }
-          const auto [eid, child] = path_edges[pos];
-          (void)eid;
+          const Vertex child = path_edges[pos].child;
+          const std::uint32_t tin_c = rs.anc.tin(child);
+          const std::uint32_t tout_c = rs.anc.tout(child);
           Dist best = row[pos];
-          for (const auto& [li, drt] : fk.items) {
+          for (const auto& [it, drt] : items) {
             // No on-path check needed: d(r, t) <= 2^k T < 2^{k+1} T <= |et|,
             // so no shortest rt path can cross e (Section 6).
-            best = std::min(best, sat_add(dsr.avoiding(si, li, child, pos), drt));
+            const Dist avoid = (tin_c <= it->tin_r && it->tout_r <= tout_c)
+                                   ? it->row[static_cast<std::uint32_t>(pos)]
+                                   : it->dist_sr;
+            best = std::min(best, sat_add(avoid, drt));
           }
           row[pos] = best;
         }

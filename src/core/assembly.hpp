@@ -26,10 +26,14 @@
 
 namespace msrp {
 
-/// Fills result rows for source index `si` from all three candidate classes.
+/// Fills result rows for source index `si`, targets [t_begin, t_end), from
+/// all three candidate classes. Each target's row is independent, so the
+/// engine splits a source's targets into chunks and assembles them in
+/// parallel — any chunking produces the same rows.
 void assemble_source_rows(const Graph& g, std::uint32_t si, const RootedTree& rs,
-                          const LevelSets& landmarks, TreePool& pool,
+                          const LevelSets& landmarks, const TreePool& pool,
                           const LandmarkRpTable& dsr, const NearSmall& near_small,
-                          const Params& params, MsrpResult& result);
+                          const Params& params, MsrpResult& result, Vertex t_begin,
+                          Vertex t_end);
 
 }  // namespace msrp

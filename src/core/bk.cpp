@@ -3,7 +3,9 @@
 #include "core/bottleneck.hpp"
 #include "core/center_landmark.hpp"
 #include "core/intervals.hpp"
+#include "core/scratch.hpp"
 #include "core/source_center.hpp"
+#include "util/thread_pool.hpp"
 
 namespace msrp {
 
@@ -27,34 +29,70 @@ BkContext::BkContext(const Graph& g_in, const Params& params_in, TreePool& pool_
 }
 
 void fill_landmark_rp_bk(BkContext& ctx, LandmarkRpTable& dsr, MsrpStats& stats,
-                         PhaseTimers& timers) {
+                         PhaseTimers& timers, ThreadPool* pool, ScratchPool& scratches) {
   const auto num_sources = static_cast<std::uint32_t>(ctx.source_trees.size());
+
+  // Every phase below fans its item loop out with maybe_parallel_for: items
+  // write item-private tables/rows only, so the dynamic item-to-thread
+  // assignment cannot change any value — only the per-thread counters,
+  // which are merged (summed) deterministically after the build.
 
   // 8.1 — source -> center tables.
   SourceCenterTable dsc(ctx);
   {
     auto t = timers.scope("bk_source_center");
-    for (std::uint32_t si = 0; si < num_sources; ++si) dsc.build_source(si, stats);
+    maybe_parallel_for(pool, num_sources, [&](std::size_t si, std::size_t slot) {
+      dsc.build_source(static_cast<std::uint32_t>(si), scratches.slot(slot));
+    });
   }
 
-  // 8.2.1 — enumerate small replacement paths; 8.2.2 — center -> landmark.
+  // 8.2.1 — enumerate small replacement paths. The enumeration (path
+  // reconstruction per near edge, the expensive half) runs per source in
+  // parallel; the min-merge into the shared per-center tables is serial and
+  // order-independent (min is commutative).
   CenterLandmarkTable dcr(ctx, dsr);
   {
     auto t = timers.scope("bk_small_enumeration");
-    for (std::uint32_t si = 0; si < num_sources; ++si) dcr.accumulate_small_via(si);
+    if (pool == nullptr || pool->size() <= 1) {
+      // Sequential: stream one source at a time so peak memory stays at a
+      // single source's enumeration, as before the collect/merge split.
+      std::vector<CenterLandmarkTable::SmallVia> items;
+      for (std::uint32_t si = 0; si < num_sources; ++si) {
+        dcr.collect_small_via(si, items);
+        dcr.merge_small_via(items);
+      }
+    } else {
+      // Parallel: all sources' enumerations coexist until merged (the
+      // price of the fan-out); each is freed the moment it lands.
+      std::vector<std::vector<CenterLandmarkTable::SmallVia>> collected(num_sources);
+      maybe_parallel_for(pool, num_sources, [&](std::size_t si, std::size_t) {
+        dcr.collect_small_via(static_cast<std::uint32_t>(si), collected[si]);
+      });
+      for (auto& items : collected) {
+        dcr.merge_small_via(items);
+        items = {};
+      }
+    }
   }
+
+  // 8.2.2 — center -> landmark tables, one auxiliary Dijkstra per center.
   {
     auto t = timers.scope("bk_center_landmark");
-    for (std::uint32_t ci = 0; ci < ctx.num_centers(); ++ci) dcr.build_center(ci, stats);
+    maybe_parallel_for(pool, ctx.num_centers(), [&](std::size_t ci, std::size_t slot) {
+      dcr.build_center(static_cast<std::uint32_t>(ci), scratches.slot(slot));
+    });
   }
 
   // 8.3 — intervals, MTC, bottlenecks; writes the final d(s, r, e) rows.
   {
     auto t = timers.scope("bk_bottleneck");
-    for (std::uint32_t si = 0; si < num_sources; ++si) {
-      fill_source_rows_bk(ctx, si, dsc, dcr, dsr, stats);
-    }
+    maybe_parallel_for(pool, num_sources, [&](std::size_t si, std::size_t slot) {
+      fill_source_rows_bk(ctx, static_cast<std::uint32_t>(si), dsc, dcr, dsr,
+                          scratches.slot(slot));
+    });
   }
+
+  scratches.merge_stats_into(stats);
 }
 
 }  // namespace msrp

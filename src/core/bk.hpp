@@ -30,6 +30,9 @@
 
 namespace msrp {
 
+class ThreadPool;   // util/thread_pool.hpp
+class ScratchPool;  // core/scratch.hpp
+
 /// Everything the Section 8 phases share.
 struct BkContext {
   const Graph& g;
@@ -64,8 +67,11 @@ struct BkContext {
 };
 
 /// Runs all Section 8 phases and fills `dsr`. Phase timings and auxiliary
-/// sizes are accumulated into `stats`.
+/// sizes are accumulated into `stats`. When `pool` is non-null the
+/// per-source and per-center loops of every phase run on it, each item on a
+/// private scratch from `scratches` (which must have one slot per pool
+/// participant); results are bit-identical to the sequential build.
 void fill_landmark_rp_bk(BkContext& ctx, LandmarkRpTable& dsr, MsrpStats& stats,
-                         PhaseTimers& timers);
+                         PhaseTimers& timers, ThreadPool* pool, ScratchPool& scratches);
 
 }  // namespace msrp

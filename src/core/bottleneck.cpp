@@ -2,13 +2,24 @@
 
 #include <algorithm>
 
+#include "core/scratch.hpp"
 #include "spath/dijkstra.hpp"
 
 namespace msrp {
+namespace {
+
+/// path_to into a reused buffer (root first, target last).
+void path_into(const BfsTree& t, Vertex target, std::vector<Vertex>& buf) {
+  buf.clear();
+  for (Vertex v = target; v != kNoVertex; v = t.parent(v)) buf.push_back(v);
+  std::reverse(buf.begin(), buf.end());
+}
+
+}  // namespace
 
 void fill_source_rows_bk(const BkContext& ctx, std::uint32_t si,
                          const SourceCenterTable& dsc, const CenterLandmarkTable& dcr,
-                         LandmarkRpTable& dsr, MsrpStats& stats) {
+                         LandmarkRpTable& dsr, BuildScratch& s) {
   const Graph& g = ctx.g;
   const RootedTree& rs = *ctx.source_trees[si];
   const NearSmall& ns = *ctx.near_small[si];
@@ -21,12 +32,14 @@ void fill_source_rows_bk(const BkContext& ctx, std::uint32_t si,
     const Vertex r = dsr.landmarks()[li];
     const Dist depth = rs.dist(r);
     if (depth == kInfDist || depth == 0) continue;
-    decomp[li] = decompose_sr_path(ctx, si, rs.tree.path_to(r), dsc, dcr);
+    path_into(rs.tree, r, s.path);
+    decomp[li] = decompose_sr_path(ctx, si, s.path, dsc, dcr);
     active[li] = true;
   }
 
   // ---- auxiliary graph -----------------------------------------------------
-  AuxGraph aux;
+  AuxGraph& aux = s.aux;
+  aux.reset();
   const AuxNode src = aux.add_node();  // [s]
   const AuxNode first_r = aux.add_nodes(num_l);
   std::vector<AuxNode> base(num_l, 0);
@@ -43,12 +56,24 @@ void fill_source_rows_bk(const BkContext& ctx, std::uint32_t si,
     if (!active[li]) continue;
     const Vertex r = dsr.landmarks()[li];
     const SrDecomposition& dec = decomp[li];
-    const std::vector<Vertex> path = rs.tree.path_to(r);
+    path_into(rs.tree, r, s.path);
+    // Landmark detour candidates for r: tree lookup, distance, and prune
+    // test depend only on (r', r) — hoisted out of the interval loop.
+    s.eligible.clear();
+    for (std::uint32_t lj = 0; lj < num_l; ++lj) {
+      if (lj == li || !active[lj]) continue;
+      const Vertex r2 = dsr.landmarks()[lj];
+      const RootedTree& rr2 = ctx.pool.existing(r2);
+      const Dist drr = rr2.dist(r);
+      const auto prio2 = static_cast<std::uint32_t>(ctx.landmarks.priority(r2));
+      if (drr > ctx.prune_radius(prio2)) continue;
+      s.eligible.push_back({lj, r2, drr, &rr2});
+    }
     for (std::uint32_t iv = 0; iv < dec.num_intervals(); ++iv) {
       const AuxNode target = base[li] + iv;
       const std::uint32_t bpos = dec.bottleneck_pos[iv];
       // Identify B = B[s, r, iv].
-      const Vertex child = path[bpos + 1];
+      const Vertex child = s.path[bpos + 1];
       const EdgeId eid = rs.tree.parent_edge(child);
       const auto [eu, ev] = g.endpoints(eid);
 
@@ -58,31 +83,25 @@ void fill_source_rows_bk(const BkContext& ctx, std::uint32_t si,
       if (dec.mtc[bpos] != kInfDist) aux.add_arc(src, target, dec.mtc[bpos]);
 
       // Landmark detours.
-      for (std::uint32_t lj = 0; lj < num_l; ++lj) {
-        if (lj == li || !active[lj]) continue;
-        const Vertex r2 = dsr.landmarks()[lj];
-        const RootedTree& rr2 = ctx.pool.existing(r2);
-        const Dist drr = rr2.dist(r);
-        const auto prio2 = static_cast<std::uint32_t>(ctx.landmarks.priority(r2));
-        if (drr > ctx.prune_radius(prio2)) continue;
-        if (rr2.edge_on_path_to(eid, eu, ev, r)) continue;  // B on r'r
-        if (!rs.anc.is_ancestor(child, r2)) {
+      for (const auto& cand : s.eligible) {
+        if (cand.tree->edge_on_path_to(eid, eu, ev, r)) continue;  // B on r'r
+        if (!rs.anc.is_ancestor(child, cand.v)) {
           // B off sr': the canonical prefix + suffix path.
-          aux.add_arc(first_r + lj, target, drr);
+          aux.add_arc(first_r + cand.idx, target, cand.dist);
         } else {
           // B on sr' at the same position (same tree edge of T_s).
-          const std::uint32_t j2 = decomp[lj].interval_of[bpos];
-          aux.add_arc(base[lj] + j2, target, drr);
-          if (decomp[lj].mtc[bpos] != kInfDist) {
-            aux.add_arc(src, target, sat_add(decomp[lj].mtc[bpos], drr));
+          const std::uint32_t j2 = decomp[cand.idx].interval_of[bpos];
+          aux.add_arc(base[cand.idx] + j2, target, cand.dist);
+          if (decomp[cand.idx].mtc[bpos] != kInfDist) {
+            aux.add_arc(src, target, sat_add(decomp[cand.idx].mtc[bpos], cand.dist));
           }
         }
       }
     }
   }
 
-  stats.bk_bottleneck_aux_arcs += aux.num_arcs();
-  const DijkstraResult dij = dijkstra(aux, src);
+  s.stats.bk_bottleneck_aux_arcs += aux.num_arcs();
+  dijkstra(aux, src, s.dij);
 
   // ---- assemble d(s, r, e) per Lemma 24 ------------------------------------
   for (std::uint32_t li = 0; li < num_l; ++li) {
@@ -91,7 +110,7 @@ void fill_source_rows_bk(const BkContext& ctx, std::uint32_t si,
     const SrDecomposition& dec = decomp[li];
     auto& row = dsr.mutable_row(si, li);
     for (std::uint32_t pos = 0; pos < row.size(); ++pos) {
-      const Dist via_bottleneck = dij.dist[base[li] + dec.interval_of[pos]];
+      const Dist via_bottleneck = s.dij.dist(base[li] + dec.interval_of[pos]);
       row[pos] = std::min({row[pos], dec.mtc[pos], via_bottleneck, ns.value(r, pos)});
     }
   }

@@ -21,10 +21,14 @@
 
 namespace msrp {
 
+struct BuildScratch;  // core/scratch.hpp
+
 /// Runs the bottleneck phase for source `si` and fills that source's rows of
 /// `dsr` (positions covered by Section 8's guarantees; rows are min-merged).
+/// Independent across sources (each writes only its own dsr rows); all
+/// temporaries live in `scratch` (counters included).
 void fill_source_rows_bk(const BkContext& ctx, std::uint32_t si,
                          const SourceCenterTable& dsc, const CenterLandmarkTable& dcr,
-                         LandmarkRpTable& dsr, MsrpStats& stats);
+                         LandmarkRpTable& dsr, BuildScratch& scratch);
 
 }  // namespace msrp

@@ -1,27 +1,21 @@
 #include "core/center_landmark.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "core/scratch.hpp"
 #include "spath/dijkstra.hpp"
 
 namespace msrp {
-namespace {
-
-struct WindowEdge {
-  EdgeId id;
-  Vertex child;  // deeper endpoint in T_c
-};
-
-}  // namespace
 
 CenterLandmarkTable::CenterLandmarkTable(const BkContext& ctx, const LandmarkRpTable& dsr)
     : ctx_(&ctx), dsr_(&dsr), small_via_(ctx.num_centers()), dcr_(ctx.num_centers()) {}
 
-void CenterLandmarkTable::accumulate_small_via(std::uint32_t si) {
+void CenterLandmarkTable::collect_small_via(std::uint32_t si,
+                                            std::vector<SmallVia>& out) const {
   const BkContext& ctx = *ctx_;
   const NearSmall& ns = *ctx.near_small[si];
   const RootedTree& rs = *ctx.source_trees[si];
+  out.clear();
 
   for (std::uint32_t li = 0; li < dsr_->num_landmarks(); ++li) {
     const Vertex r = dsr_->landmarks()[li];
@@ -37,21 +31,26 @@ void CenterLandmarkTable::accumulate_small_via(std::uint32_t si) {
       for (std::uint32_t ix = 0; ix < path.size(); ++ix) {
         const std::int32_t cidx = ctx.center_index[path[ix]];
         if (cidx < 0) continue;
-        const Dist suffix = total - ix;
-        auto& table = small_via_[cidx];
-        const std::uint64_t k = small_key(li, eid);
-        Dist* cur = table.find(k);
-        if (cur == nullptr) {
-          table.put(k, suffix);
-        } else if (suffix < *cur) {
-          *cur = suffix;
-        }
+        out.push_back(SmallVia{static_cast<std::uint32_t>(cidx), small_key(li, eid),
+                               total - ix});
       }
     }
   }
 }
 
-void CenterLandmarkTable::build_center(std::uint32_t cidx, MsrpStats& stats) {
+void CenterLandmarkTable::merge_small_via(const std::vector<SmallVia>& items) {
+  for (const SmallVia& item : items) {
+    auto& table = small_via_[item.cidx];
+    Dist* cur = table.find(item.key);
+    if (cur == nullptr) {
+      table.put(item.key, item.suffix);
+    } else if (item.suffix < *cur) {
+      *cur = item.suffix;
+    }
+  }
+}
+
+void CenterLandmarkTable::build_center(std::uint32_t cidx, BuildScratch& s) {
   const BkContext& ctx = *ctx_;
   const Graph& g = ctx.g;
   const Vertex c = ctx.center_list[cidx];
@@ -60,37 +59,37 @@ void CenterLandmarkTable::build_center(std::uint32_t cidx, MsrpStats& stats) {
   const Dist wcap = ctx.params.window(ctx.priority(c));
 
   // ---- window edge lists: first W(k) edges of each cr path ---------------
-  std::vector<std::vector<WindowEdge>> window(num_l);
+  // Flattened into scratch: landmark li's entries occupy
+  // window[window_base[li] .. window_base[li+1]).
+  s.window.clear();
+  s.window_owner.clear();
+  s.window_base.resize(num_l + 1);
   for (std::uint32_t li = 0; li < num_l; ++li) {
+    s.window_base[li] = static_cast<std::uint32_t>(s.window.size());
     const Vertex r = dsr_->landmarks()[li];
     const Dist depth = rc.dist(r);
     if (depth == kInfDist || depth == 0 || r == c) continue;
     const Dist wlen = std::min<Dist>(depth, wcap);
-    // Walking up from r yields positions depth-1 .. 0; we need 0 .. wlen-1,
-    // i.e. the edges nearest to c (the top of the tree path).
-    const std::vector<Vertex> path = rc.tree.path_to(r);
-    auto& edges = window[li];
-    edges.resize(wlen);
+    // Walking up from r yields the path reversed (r first, c last); the
+    // window needs positions 0 .. wlen-1, the edges nearest to c (the top
+    // of the tree path): position j's deeper endpoint is path[depth-j-1].
+    s.path.clear();
+    for (Vertex v = r; v != kNoVertex; v = rc.tree.parent(v)) s.path.push_back(v);
     for (std::uint32_t j = 0; j < wlen; ++j) {
-      edges[j] = {rc.tree.parent_edge(path[j + 1]), path[j + 1]};
+      const Vertex child = s.path[depth - j - 1];
+      s.window.push_back({rc.tree.parent_edge(child), child});
+      s.window_owner.push_back(li);
     }
   }
+  const auto num_window = static_cast<std::uint32_t>(s.window.size());
+  s.window_base[num_l] = num_window;
 
-  std::unordered_map<EdgeId, std::vector<std::pair<std::uint32_t, std::uint32_t>>> by_edge;
-  for (std::uint32_t li = 0; li < num_l; ++li) {
-    for (std::uint32_t j = 0; j < window[li].size(); ++j) {
-      by_edge[window[li][j].id].emplace_back(li, j);
-    }
-  }
-
-  // ---- nodes: [r] = li, [r, e] follow -------------------------------------
-  AuxGraph aux;
+  // ---- nodes: [r] = li, [c], then [r, e] in flat window order -------------
+  AuxGraph& aux = s.aux;
+  aux.reset();
   aux.add_nodes(num_l);
   const AuxNode src = aux.add_node();  // [c]
-  std::vector<AuxNode> base(num_l, 0);
-  for (std::uint32_t li = 0; li < num_l; ++li) {
-    base[li] = aux.add_nodes(static_cast<std::uint32_t>(window[li].size()));
-  }
+  const AuxNode first_window = aux.add_nodes(num_window);  // entry i = first_window + i
 
   // ---- arcs ----------------------------------------------------------------
   for (std::uint32_t li = 0; li < num_l; ++li) {
@@ -99,50 +98,62 @@ void CenterLandmarkTable::build_center(std::uint32_t cidx, MsrpStats& stats) {
   }
   const auto& small_table = small_via_[cidx];
   for (std::uint32_t li = 0; li < num_l; ++li) {
+    if (s.window_base[li] == s.window_base[li + 1]) continue;
     const Vertex r = dsr_->landmarks()[li];
-    for (std::uint32_t j = 0; j < window[li].size(); ++j) {
-      const auto [eid, child] = window[li][j];
+    // Landmark detour candidates for r: tree lookup, distance, and prune
+    // test depend only on (r', r) — hoisted out of the window-entry loop.
+    s.eligible.clear();
+    for (std::uint32_t lj = 0; lj < num_l; ++lj) {
+      if (lj == li) continue;
+      const Vertex r2 = dsr_->landmarks()[lj];
+      const RootedTree& rr2 = ctx.pool.existing(r2);
+      const Dist drr = rr2.dist(r);
+      const auto prio2 = static_cast<std::uint32_t>(ctx.landmarks.priority(r2));
+      if (drr > ctx.prune_radius(prio2)) continue;
+      s.eligible.push_back({lj, r2, drr, &rr2});
+    }
+    for (std::uint32_t i = s.window_base[li]; i < s.window_base[li + 1]; ++i) {
+      const auto [eid, child] = s.window[i];
       const auto [eu, ev] = g.endpoints(eid);
-      const AuxNode target = base[li] + j;
+      const AuxNode target = first_window + i;
       // 8.2.1 small replacement path through c.
       if (const Dist* w = small_table.find(small_key(li, eid))) {
         aux.add_arc(src, target, *w);
       }
       // Landmark detours [r'] -> [r, e].
-      for (std::uint32_t lj = 0; lj < num_l; ++lj) {
-        if (lj == li) continue;
-        const Vertex r2 = dsr_->landmarks()[lj];
-        const RootedTree& rr2 = ctx.pool.existing(r2);
-        const Dist drr = rr2.dist(r);
-        const auto prio2 = static_cast<std::uint32_t>(ctx.landmarks.priority(r2));
-        if (drr > ctx.prune_radius(prio2)) continue;
-        if (rr2.edge_on_path_to(eid, eu, ev, r)) continue;  // e on r'r
-        if (!rc.anc.is_ancestor(child, r2)) {               // e not on cr'
-          aux.add_arc(lj, target, drr);
+      for (const auto& cand : s.eligible) {
+        if (cand.tree->edge_on_path_to(eid, eu, ev, r)) continue;  // e on r'r
+        if (!rc.anc.is_ancestor(child, cand.v)) {                  // e not on cr'
+          aux.add_arc(cand.idx, target, cand.dist);
         }
-      }
-      // Same-edge chains [r', e] -> [r, e].
-      for (const auto& [lj, j2] : by_edge[eid]) {
-        if (lj == li) continue;
-        const Vertex r2 = dsr_->landmarks()[lj];
-        const RootedTree& rr2 = ctx.pool.existing(r2);
-        const Dist drr = rr2.dist(r);
-        const auto prio2 = static_cast<std::uint32_t>(ctx.landmarks.priority(r2));
-        if (drr > ctx.prune_radius(prio2)) continue;
-        if (rr2.edge_on_path_to(eid, eu, ev, r)) continue;
-        aux.add_arc(base[lj] + j2, target, drr);
       }
     }
   }
+  // Same-edge chains [r', e] -> [r, e]: all ordered pairs sharing an edge.
+  for_each_same_edge_pair(s, [&](std::uint32_t pi, std::uint32_t ti) {
+    const std::uint32_t li = s.window_owner[ti];
+    const std::uint32_t lj = s.window_owner[pi];
+    if (lj == li) return;
+    const Vertex r = dsr_->landmarks()[li];
+    const Vertex r2 = dsr_->landmarks()[lj];
+    const RootedTree& rr2 = ctx.pool.existing(r2);
+    const Dist drr = rr2.dist(r);
+    const auto prio2 = static_cast<std::uint32_t>(ctx.landmarks.priority(r2));
+    if (drr > ctx.prune_radius(prio2)) return;
+    const EdgeId eid = s.window[ti].id;
+    const auto [eu, ev] = g.endpoints(eid);
+    if (rr2.edge_on_path_to(eid, eu, ev, r)) return;
+    aux.add_arc(first_window + pi, first_window + ti, drr);
+  });
 
-  stats.bk_center_landmark_aux_arcs += aux.num_arcs();
-  const DijkstraResult dij = dijkstra(aux, src);
+  s.stats.bk_center_landmark_aux_arcs += aux.num_arcs();
+  dijkstra(aux, src, s.dij);
 
   auto& table = dcr_[cidx];
   for (std::uint32_t li = 0; li < num_l; ++li) {
-    for (std::uint32_t j = 0; j < window[li].size(); ++j) {
-      const Dist d = dij.dist[base[li] + j];
-      if (d != kInfDist) table.put(dcr_key(li, j), d);
+    for (std::uint32_t i = s.window_base[li]; i < s.window_base[li + 1]; ++i) {
+      const Dist d = s.dij.dist(first_window + i);
+      if (d != kInfDist) table.put(dcr_key(li, i - s.window_base[li]), d);
     }
   }
 }

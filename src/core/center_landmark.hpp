@@ -21,16 +21,41 @@
 
 namespace msrp {
 
+struct BuildScratch;  // core/scratch.hpp
+
 class CenterLandmarkTable {
  public:
+  /// One center pass-through observed on a small replacement path (8.2.1):
+  /// the c..r suffix length for (center, landmark, failing edge).
+  struct SmallVia {
+    std::uint32_t cidx;
+    std::uint64_t key;  // small_key(landmark index, edge)
+    Dist suffix;
+  };
+
   CenterLandmarkTable(const BkContext& ctx, const LandmarkRpTable& dsr);
 
-  /// 8.2.1: enumerate the small replacement paths of source `si` and record
-  /// center pass-throughs.
-  void accumulate_small_via(std::uint32_t si);
+  /// 8.2.1, gather half: enumerate the small replacement paths of source
+  /// `si` into `out` (cleared first). Const — safe to run per source in
+  /// parallel; merge_small_via folds the results in afterwards.
+  void collect_small_via(std::uint32_t si, std::vector<SmallVia>& out) const;
 
-  /// 8.2.2: build center c's auxiliary graph and run Dijkstra.
-  void build_center(std::uint32_t cidx, MsrpStats& stats);
+  /// 8.2.1, merge half: min-merges collected pass-throughs into the
+  /// per-center tables. The merge is a min, so the final tables do not
+  /// depend on the order sources are merged in.
+  void merge_small_via(const std::vector<SmallVia>& items);
+
+  /// Sequential convenience: collect_small_via + merge_small_via for one
+  /// source (kept for unit tests and single-threaded callers).
+  void accumulate_small_via(std::uint32_t si) {
+    std::vector<SmallVia> items;
+    collect_small_via(si, items);
+    merge_small_via(items);
+  }
+
+  /// 8.2.2: build center c's auxiliary graph and run Dijkstra. Independent
+  /// across centers; all temporaries live in `scratch` (counters included).
+  void build_center(std::uint32_t cidx, BuildScratch& scratch);
 
   /// d(c, r, e) for edge e with endpoints (eu, ev). Returns |cr| when e is
   /// off the canonical cr path, kInfDist beyond the stored window.

@@ -1,5 +1,8 @@
 #include "core/landmark_rp.hpp"
 
+#include "core/scratch.hpp"
+#include "util/thread_pool.hpp"
+
 namespace msrp {
 
 LandmarkRpTable::LandmarkRpTable(const Graph& g, std::vector<const RootedTree*> source_trees,
@@ -20,19 +23,34 @@ LandmarkRpTable::LandmarkRpTable(const Graph& g, std::vector<const RootedTree*> 
   }
 }
 
-void LandmarkRpTable::fill_mmg(const Graph& g, TreePool* pool) {
-  for (std::uint32_t si = 0; si < source_trees_.size(); ++si) {
+void LandmarkRpTable::fill_mmg(const Graph& g, TreePool* pool, ThreadPool* exec,
+                               ScratchPool* scratches) {
+  MSRP_REQUIRE(exec == nullptr || scratches != nullptr,
+               "parallel fill_mmg needs a scratch pool");
+  // Build any missing landmark trees up front (in parallel if possible):
+  // the pair loop below must only ever read the tree pool.
+  if (pool != nullptr) pool->ensure(landmarks_, exec);
+
+  const auto num_l = static_cast<std::uint32_t>(landmarks_.size());
+  const auto num_pairs = static_cast<std::size_t>(source_trees_.size()) * num_l;
+  maybe_parallel_for(exec, num_pairs, [&](std::size_t p, std::size_t slot) {
+    const auto si = static_cast<std::uint32_t>(p / num_l);
+    const auto li = static_cast<std::uint32_t>(p % num_l);
     const BfsTree& ts = source_trees_[si]->tree;
-    for (std::uint32_t li = 0; li < landmarks_.size(); ++li) {
-      const Vertex r = landmarks_[li];
-      if (!ts.reachable(r) || r == ts.root()) continue;
-      if (pool != nullptr) {
-        mutable_row(si, li) = replacement_paths(g, ts, pool->at(r).tree).avoiding;
+    const Vertex r = landmarks_[li];
+    if (!ts.reachable(r) || r == ts.root()) return;
+    if (pool != nullptr) {
+      if (scratches != nullptr) {
+        mutable_row(si, li) =
+            replacement_paths(g, ts, pool->existing(r).tree, scratches->slot(slot).rp)
+                .avoiding;
       } else {
-        mutable_row(si, li) = replacement_paths(g, ts, r).avoiding;
+        mutable_row(si, li) = replacement_paths(g, ts, pool->existing(r).tree).avoiding;
       }
+    } else {
+      mutable_row(si, li) = replacement_paths(g, ts, r).avoiding;
     }
-  }
+  });
 }
 
 }  // namespace msrp

@@ -18,6 +18,9 @@
 
 namespace msrp {
 
+class ThreadPool;   // util/thread_pool.hpp
+class ScratchPool;  // core/scratch.hpp
+
 class LandmarkRpTable {
  public:
   /// `source_trees[si]` must outlive the table.
@@ -53,8 +56,13 @@ class LandmarkRpTable {
 
   /// Fills every row with the MMG single-pair algorithm. When `pool` is
   /// given, the per-landmark BFS trees it holds are reused instead of
-  /// re-running a BFS from each landmark per pair.
-  void fill_mmg(const Graph& g, TreePool* pool = nullptr);
+  /// re-running a BFS from each landmark per pair. When `exec` is given the
+  /// (source, landmark) pairs run on it in parallel — each pair writes only
+  /// its own row, so the table is bit-identical to the sequential fill;
+  /// `scratches` (required with `exec`, one slot per participant) carries
+  /// the per-thread MMG buffers.
+  void fill_mmg(const Graph& g, TreePool* pool = nullptr, ThreadPool* exec = nullptr,
+                ScratchPool* scratches = nullptr);
 
  private:
   std::vector<const RootedTree*> source_trees_;

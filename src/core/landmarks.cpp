@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hpp"
+
 namespace msrp {
 
 LevelSets::LevelSets(const Params& params, const std::vector<Vertex>& forced, Rng& rng) {
@@ -48,8 +50,21 @@ const RootedTree& TreePool::existing(Vertex v) const {
   return *trees_[slot_[v]];
 }
 
-void TreePool::ensure(const std::vector<Vertex>& roots) {
-  for (const Vertex v : roots) at(v);
+void TreePool::ensure(const std::vector<Vertex>& roots, ThreadPool* pool) {
+  // Claim slots sequentially (deterministic pool layout), then build the
+  // missing trees — each an independent BFS + DFS-stamp pass — in parallel.
+  std::vector<std::pair<Vertex, std::uint32_t>> missing;
+  for (const Vertex v : roots) {
+    MSRP_REQUIRE(v < slot_.size(), "root out of range");
+    if (slot_[v] != kNoSlot) continue;
+    slot_[v] = static_cast<std::uint32_t>(trees_.size());
+    trees_.emplace_back();  // filled below
+    missing.emplace_back(v, slot_[v]);
+  }
+  maybe_parallel_for(pool, missing.size(), [&](std::size_t i, std::size_t) {
+    const auto [v, slot] = missing[i];
+    trees_[slot] = std::make_unique<RootedTree>(*g_, v);
+  });
 }
 
 }  // namespace msrp

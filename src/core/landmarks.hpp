@@ -21,6 +21,8 @@
 
 namespace msrp {
 
+class ThreadPool;  // util/thread_pool.hpp
+
 /// One sampled hierarchy (used for both landmarks and centers).
 class LevelSets {
  public:
@@ -58,8 +60,11 @@ class TreePool {
   /// Returns the tree rooted at v, which must already exist.
   const RootedTree& existing(Vertex v) const;
 
-  /// Builds trees for every vertex in `roots`.
-  void ensure(const std::vector<Vertex>& roots);
+  /// Builds trees for every vertex in `roots`. With a pool, the (fully
+  /// independent) BFS+ancestry builds run in parallel; slot indices are
+  /// assigned sequentially first, so the pool's layout — and every tree —
+  /// is identical to the sequential build.
+  void ensure(const std::vector<Vertex>& roots, ThreadPool* pool = nullptr);
 
   std::size_t size() const { return trees_.size(); }
 

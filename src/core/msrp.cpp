@@ -1,12 +1,23 @@
 #include "core/msrp.hpp"
 
+#include <memory>
+
 #include "core/assembly.hpp"
 #include "core/bk.hpp"
 #include "core/landmark_rp.hpp"
 #include "core/near_small.hpp"
+#include "core/scratch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace msrp {
 namespace {
+
+/// Targets per assembly chunk: small enough to spread one source's targets
+/// across every worker, large enough to amortize the task claim. Fixed (not
+/// derived from the thread count) so the chunking is identical however many
+/// threads run — chunks are independent anyway, this just keeps the
+/// execution shape easy to reason about.
+constexpr Vertex kAssemblyChunk = 1024;
 
 class MsrpEngine {
  public:
@@ -19,6 +30,19 @@ class MsrpEngine {
 
   MsrpResult run() {
     PhaseTimers timers;
+
+    // ---- execution resources ---------------------------------------------
+    // The parallel build is bit-identical to the sequential one: every
+    // parallel item writes item-private rows/tables/slots, and the only
+    // shared accumulations are commutative sums merged in a fixed order.
+    ThreadPool* exec = cfg_.build_pool;
+    std::unique_ptr<ThreadPool> owned_pool;
+    if (exec == nullptr && cfg_.build_threads != 1) {
+      owned_pool = std::make_unique<ThreadPool>(cfg_.build_threads);
+      exec = owned_pool.get();
+    }
+    if (exec != nullptr && exec->size() <= 1) exec = nullptr;  // sequential anyway
+    ScratchPool scratches(exec != nullptr ? exec->max_parallelism() : 1);
 
     // ---- sampling (Definition 3) + preprocessing BFS trees ---------------
     Rng rng(cfg_.seed);
@@ -34,9 +58,9 @@ class MsrpEngine {
                             landmarks_->members().end());
       centers_.emplace(params_, forced_centers, center_rng);
 
-      pool_.ensure(landmarks_->members());
+      pool_.ensure(landmarks_->members(), exec);
       if (cfg_.landmark_rp == LandmarkRpMethod::kBkAuxGraphs) {
-        pool_.ensure(centers_->members());
+        pool_.ensure(centers_->members(), exec);
       }
     }
 
@@ -48,19 +72,24 @@ class MsrpEngine {
     std::vector<std::unique_ptr<NearSmall>> near_small(result_.num_sources());
     if (cfg_.landmark_rp == LandmarkRpMethod::kMmgPerPair) {
       auto t = timers.scope("landmark_rp_mmg");
-      dsr.fill_mmg(g_, &pool_);
+      dsr.fill_mmg(g_, &pool_, exec, &scratches);
     } else {
       {
         auto t = timers.scope("near_small_dijkstra");
-        build_near_small(source_trees, near_small);
+        build_near_small(source_trees, near_small, exec);
       }
       std::vector<const NearSmall*> ns_view;
       for (const auto& p : near_small) ns_view.push_back(p.get());
       BkContext ctx(g_, params_, pool_, *landmarks_, *centers_, source_trees, ns_view);
-      fill_landmark_rp_bk(ctx, dsr, result_.stats(), timers);
+      fill_landmark_rp_bk(ctx, dsr, result_.stats(), timers, exec, scratches);
     }
 
     // ---- Sections 6 + 7: per-target assembly ------------------------------
+    // Sources stay sequential (the mmg path frees each NearSmall as soon as
+    // its source is assembled, bounding peak memory); the per-target rows
+    // within a source are chunked across the pool.
+    const Vertex n = g_.num_vertices();
+    const std::size_t chunks_per_source = (n + kAssemblyChunk - 1) / kAssemblyChunk;
     for (std::uint32_t si = 0; si < result_.num_sources(); ++si) {
       if (!near_small[si]) {
         auto t = timers.scope("near_small_dijkstra");
@@ -69,8 +98,12 @@ class MsrpEngine {
         result_.stats().near_small_aux_arcs += near_small[si]->aux_arcs();
       }
       auto t = timers.scope("assembly");
-      assemble_source_rows(g_, si, *source_trees[si], *landmarks_, pool_, dsr,
-                           *near_small[si], params_, result_);
+      maybe_parallel_for(exec, chunks_per_source, [&](std::size_t c, std::size_t) {
+        const auto t_begin = static_cast<Vertex>(c * kAssemblyChunk);
+        const Vertex t_end = std::min<Vertex>(n, t_begin + kAssemblyChunk);
+        assemble_source_rows(g_, si, *source_trees[si], *landmarks_, pool_, dsr,
+                             *near_small[si], params_, result_, t_begin, t_end);
+      });
       near_small[si].reset();  // free the per-source auxiliary graph early
     }
 
@@ -89,9 +122,13 @@ class MsrpEngine {
 
  private:
   void build_near_small(const std::vector<const RootedTree*>& source_trees,
-                        std::vector<std::unique_ptr<NearSmall>>& out) {
-    for (std::uint32_t si = 0; si < out.size(); ++si) {
+                        std::vector<std::unique_ptr<NearSmall>>& out, ThreadPool* exec) {
+    // Each NearSmall is one independent auxiliary-graph build + Dijkstra;
+    // the counters are summed in source order afterwards.
+    maybe_parallel_for(exec, out.size(), [&](std::size_t si, std::size_t) {
       out[si] = std::make_unique<NearSmall>(g_, *source_trees[si], params_);
+    });
+    for (std::uint32_t si = 0; si < out.size(); ++si) {
       result_.stats().near_small_aux_nodes += out[si]->aux_nodes();
       result_.stats().near_small_aux_arcs += out[si]->aux_arcs();
     }

@@ -1,114 +1,115 @@
 #include "core/source_center.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "core/scratch.hpp"
 #include "spath/dijkstra.hpp"
 
 namespace msrp {
-namespace {
-
-struct WindowEdge {
-  EdgeId id;
-  Vertex child;  // deeper endpoint in T_s
-};
-
-}  // namespace
 
 SourceCenterTable::SourceCenterTable(const BkContext& ctx)
     : ctx_(&ctx), per_source_(ctx.source_trees.size()) {}
 
-void SourceCenterTable::build_source(std::uint32_t si, MsrpStats& stats) {
+void SourceCenterTable::build_source(std::uint32_t si, BuildScratch& s) {
   const BkContext& ctx = *ctx_;
   const Graph& g = ctx.g;
   const RootedTree& rs = *ctx.source_trees[si];
   const NearSmall& ns = *ctx.near_small[si];
-  const Vertex s = rs.root();
+  const Vertex src_vertex = rs.root();
   const std::uint32_t num_c = ctx.num_centers();
 
   // ---- window edge lists: first W(priority(c)) edges of each cs path -----
-  std::vector<std::vector<WindowEdge>> window(num_c);
+  // Flattened into scratch: center ci's entries occupy
+  // window[window_base[ci] .. window_base[ci+1]).
+  s.window.clear();
+  s.window_owner.clear();
+  s.window_base.resize(num_c + 1);
   for (std::uint32_t ci = 0; ci < num_c; ++ci) {
+    s.window_base[ci] = static_cast<std::uint32_t>(s.window.size());
     const Vertex c = ctx.center_list[ci];
     const Dist depth = rs.dist(c);
     if (depth == kInfDist || depth == 0) continue;
     const Dist wlen = std::min<Dist>(depth, ctx.params.window(ctx.priority(c)));
-    auto& edges = window[ci];
-    edges.resize(wlen);
     Vertex v = c;
     // pos_from_c of the edge above v equals dist(c) - dist(v).
     for (std::uint32_t j = 0; j < wlen; ++j) {
-      edges[j] = {rs.tree.parent_edge(v), v};
+      s.window.push_back({rs.tree.parent_edge(v), v});
+      s.window_owner.push_back(ci);
       v = rs.tree.parent(v);
     }
   }
-
-  // Edge id -> auxiliary [c, e] nodes that mention it (for [c',e] -> [c,e]).
-  std::unordered_map<EdgeId, std::vector<std::pair<std::uint32_t, std::uint32_t>>> by_edge;
-  for (std::uint32_t ci = 0; ci < num_c; ++ci) {
-    for (std::uint32_t j = 0; j < window[ci].size(); ++j) {
-      by_edge[window[ci][j].id].emplace_back(ci, j);
-    }
-  }
+  const auto num_window = static_cast<std::uint32_t>(s.window.size());
+  s.window_base[num_c] = num_window;
 
   // ---- nodes --------------------------------------------------------------
-  AuxGraph aux;
+  AuxGraph& aux = s.aux;
+  aux.reset();
   aux.add_nodes(num_c);  // [c] nodes use their center index as handle
-  std::vector<AuxNode> base(num_c, 0);
-  for (std::uint32_t ci = 0; ci < num_c; ++ci) {
-    base[ci] = aux.add_nodes(static_cast<std::uint32_t>(window[ci].size()));
-  }
-  const AuxNode src = static_cast<AuxNode>(ctx.center_index[s]);
+  const AuxNode first_window = aux.add_nodes(num_window);  // entry i = first_window + i
+  const AuxNode src = static_cast<AuxNode>(ctx.center_index[src_vertex]);
 
   // ---- arcs ---------------------------------------------------------------
   for (std::uint32_t ci = 0; ci < num_c; ++ci) {
     const Vertex c = ctx.center_list[ci];
-    if (c != s && rs.tree.reachable(c)) aux.add_arc(src, ci, rs.dist(c));
+    if (c != src_vertex && rs.tree.reachable(c)) aux.add_arc(src, ci, rs.dist(c));
   }
   for (std::uint32_t ci = 0; ci < num_c; ++ci) {
+    if (s.window_base[ci] == s.window_base[ci + 1]) continue;
     const Vertex c = ctx.center_list[ci];
     const Dist depth = rs.dist(c);
-    for (std::uint32_t j = 0; j < window[ci].size(); ++j) {
-      const auto [eid, child] = window[ci][j];
+    // Center detour candidates for c: tree lookup, distance, and prune test
+    // depend only on (c', c) — hoisted out of the window-entry loop.
+    s.eligible.clear();
+    for (std::uint32_t cj = 0; cj < num_c; ++cj) {
+      if (cj == ci) continue;
+      const Vertex c2 = ctx.center_list[cj];
+      const RootedTree& rc2 = ctx.pool.existing(c2);
+      const Dist dcc = rc2.dist(c);
+      if (dcc > ctx.prune_radius(ctx.priority(c2))) continue;
+      s.eligible.push_back({cj, c2, dcc, &rc2});
+    }
+    for (std::uint32_t i = s.window_base[ci]; i < s.window_base[ci + 1]; ++i) {
+      const auto [eid, child] = s.window[i];
       const auto [eu, ev] = g.endpoints(eid);
-      const AuxNode target = base[ci] + j;
+      const AuxNode target = first_window + i;
+      const std::uint32_t j = i - s.window_base[ci];
       // Small near-edge replacement path from Section 7.1 (t = c).
       const std::uint32_t pos_from_s = depth - 1 - j;
       const Dist small = ns.value(c, pos_from_s);
       if (small != kInfDist) aux.add_arc(src, target, small);
       // Center detours [c'] -> [c, e].
-      for (std::uint32_t cj = 0; cj < num_c; ++cj) {
-        if (cj == ci) continue;
-        const Vertex c2 = ctx.center_list[cj];
-        const RootedTree& rc2 = ctx.pool.existing(c2);
-        const Dist dcc = rc2.dist(c);
-        if (dcc > ctx.prune_radius(ctx.priority(c2))) continue;
-        if (rc2.edge_on_path_to(eid, eu, ev, c)) continue;  // e on c'c
-        if (!rs.anc.is_ancestor(child, c2)) {               // e not on sc'
-          aux.add_arc(cj, target, dcc);
+      for (const auto& cand : s.eligible) {
+        if (cand.tree->edge_on_path_to(eid, eu, ev, c)) continue;  // e on c'c
+        if (!rs.anc.is_ancestor(child, cand.v)) {                  // e not on sc'
+          aux.add_arc(cand.idx, target, cand.dist);
         }
-      }
-      // Same-edge chains [c', e] -> [c, e].
-      for (const auto& [cj, j2] : by_edge[eid]) {
-        if (cj == ci) continue;
-        const Vertex c2 = ctx.center_list[cj];
-        const RootedTree& rc2 = ctx.pool.existing(c2);
-        const Dist dcc = rc2.dist(c);
-        if (dcc > ctx.prune_radius(ctx.priority(c2))) continue;
-        if (rc2.edge_on_path_to(eid, eu, ev, c)) continue;
-        aux.add_arc(base[cj] + j2, target, dcc);
       }
     }
   }
+  // Same-edge chains [c', e] -> [c, e]: all ordered pairs sharing an edge.
+  for_each_same_edge_pair(s, [&](std::uint32_t pi, std::uint32_t ti) {
+    const std::uint32_t ci = s.window_owner[ti];
+    const std::uint32_t cj = s.window_owner[pi];
+    if (cj == ci) return;
+    const Vertex c = ctx.center_list[ci];
+    const Vertex c2 = ctx.center_list[cj];
+    const RootedTree& rc2 = ctx.pool.existing(c2);
+    const Dist dcc = rc2.dist(c);
+    if (dcc > ctx.prune_radius(ctx.priority(c2))) return;
+    const EdgeId eid = s.window[ti].id;
+    const auto [eu, ev] = g.endpoints(eid);
+    if (rc2.edge_on_path_to(eid, eu, ev, c)) return;
+    aux.add_arc(first_window + pi, first_window + ti, dcc);
+  });
 
-  stats.bk_source_center_aux_arcs += aux.num_arcs();
-  const DijkstraResult dij = dijkstra(aux, src);
+  s.stats.bk_source_center_aux_arcs += aux.num_arcs();
+  dijkstra(aux, src, s.dij);
 
   auto& table = per_source_[si];
   for (std::uint32_t ci = 0; ci < num_c; ++ci) {
-    for (std::uint32_t j = 0; j < window[ci].size(); ++j) {
-      const Dist d = dij.dist[base[ci] + j];
-      if (d != kInfDist) table.put(key(ci, j), d);
+    for (std::uint32_t i = s.window_base[ci]; i < s.window_base[ci + 1]; ++i) {
+      const Dist d = s.dij.dist(first_window + i);
+      if (d != kInfDist) table.put(key(ci, i - s.window_base[ci]), d);
     }
   }
 }

@@ -20,12 +20,16 @@
 
 namespace msrp {
 
+struct BuildScratch;  // core/scratch.hpp
+
 class SourceCenterTable {
  public:
   explicit SourceCenterTable(const BkContext& ctx);
 
   /// Builds the auxiliary graph for source `si` and runs Dijkstra.
-  void build_source(std::uint32_t si, MsrpStats& stats);
+  /// Independent across sources; all temporaries live in `scratch`
+  /// (counters included).
+  void build_source(std::uint32_t si, BuildScratch& scratch);
 
   /// d(s, c, e) for the tree edge of T_s with deeper endpoint `e_child`.
   /// Returns |sc| when e is off the canonical sc path, kInfDist when e is

@@ -1,35 +1,61 @@
 #include "ftsub/ft_subgraph.hpp"
 
-#include <queue>
+#include <algorithm>
 
 #include "tree/ancestry.hpp"
 
 namespace msrp {
 namespace {
 
+/// Reusable buffers for the per-edge late-divergence BFS. Entries are valid
+/// only when their stamp matches the current epoch, so starting a fresh BFS
+/// is O(1) instead of two n-sized re-initializations — the builder runs one
+/// BFS per tree edge, m of them per source.
+struct LateDivergenceScratch {
+  std::vector<Dist> dist;
+  std::vector<EdgeId> parent_edge;
+  std::vector<std::uint32_t> stamp;
+  std::vector<Vertex> queue;  // flat BFS queue, reused
+  std::uint32_t epoch = 0;
+
+  void begin(Vertex n) {
+    if (stamp.size() < n) {
+      stamp.resize(n, 0);
+      dist.resize(n);
+      parent_edge.resize(n);
+    }
+    if (++epoch == 0) {
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      epoch = 1;
+    }
+    queue.clear();
+  }
+
+  bool visited(Vertex v) const { return stamp[v] == epoch; }
+};
+
 /// BFS of G - skip_edge whose parent assignment prefers the parent the
 /// original tree used — the "diverge as late as possible" rule.
 void late_divergence_parents(const Graph& g, const BfsTree& ts, EdgeId skip_edge,
-                             std::vector<Dist>& dist, std::vector<EdgeId>& parent_edge) {
-  const Vertex n = g.num_vertices();
-  dist.assign(n, kInfDist);
-  parent_edge.assign(n, kNoEdge);
-  std::queue<Vertex> q;
-  dist[ts.root()] = 0;
-  q.push(ts.root());
-  while (!q.empty()) {
-    const Vertex u = q.front();
-    q.pop();
+                             LateDivergenceScratch& s) {
+  s.begin(g.num_vertices());
+  s.stamp[ts.root()] = s.epoch;
+  s.dist[ts.root()] = 0;
+  s.parent_edge[ts.root()] = kNoEdge;
+  s.queue.push_back(ts.root());
+  for (std::size_t head = 0; head < s.queue.size(); ++head) {
+    const Vertex u = s.queue[head];
     for (const Arc& a : g.neighbors(u)) {
       if (a.edge == skip_edge) continue;
-      if (dist[a.to] == kInfDist) {
-        dist[a.to] = dist[u] + 1;
-        parent_edge[a.to] = a.edge;
-        q.push(a.to);
-      } else if (dist[a.to] == dist[u] + 1 && ts.parent_edge(a.to) == a.edge) {
+      if (!s.visited(a.to)) {
+        s.stamp[a.to] = s.epoch;
+        s.dist[a.to] = s.dist[u] + 1;
+        s.parent_edge[a.to] = a.edge;
+        s.queue.push_back(a.to);
+      } else if (s.dist[a.to] == s.dist[u] + 1 && ts.parent_edge(a.to) == a.edge) {
         // An equally short predecessor over the original tree edge: prefer
         // it so the path follows T_s maximally.
-        parent_edge[a.to] = a.edge;
+        s.parent_edge[a.to] = a.edge;
       }
     }
   }
@@ -42,8 +68,7 @@ FtSubgraph build_ft_subgraph(const Graph& g, const std::vector<Vertex>& sources)
   std::vector<bool> keep(g.num_edges(), false);
   FtSubgraph out;
 
-  std::vector<Dist> dist;
-  std::vector<EdgeId> parent_edge;
+  LateDivergenceScratch scratch;
   for (const Vertex s : sources) {
     const BfsTree ts(g, s);
     const AncestorIndex anc(ts);
@@ -55,13 +80,15 @@ FtSubgraph build_ft_subgraph(const Graph& g, const std::vector<Vertex>& sources)
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
       const auto child = ts.tree_edge_child(g, e);
       if (!child.has_value()) continue;
-      late_divergence_parents(g, ts, e, dist, parent_edge);
+      late_divergence_parents(g, ts, e, scratch);
       for (Vertex v = 0; v < g.num_vertices(); ++v) {
         // Only vertices cut off by e (the subtree below it) need new edges;
         // everyone else keeps their original T_s path.
         if (!anc.is_ancestor(*child, v)) continue;
         ++out.edges_considered;
-        if (parent_edge[v] != kNoEdge) keep[parent_edge[v]] = true;
+        if (scratch.visited(v) && scratch.parent_edge[v] != kNoEdge) {
+          keep[scratch.parent_edge[v]] = true;
+        }
       }
     }
   }

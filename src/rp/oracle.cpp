@@ -3,10 +3,14 @@
 namespace msrp {
 
 RpOracle::RpOracle(const Graph& g, Vertex s) : s_(s), ts_(g, s) {
+  // One scratch tree rebuilt per tree edge: rebuild() reuses capacity and
+  // re-initializes only the vertices the previous BFS touched.
+  BfsTree scratch;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (!ts_.is_tree_edge(g, e)) continue;
     edge_slot_.put(e, static_cast<std::uint32_t>(dist_avoiding_.size()));
-    dist_avoiding_.push_back(BfsTree(g, s, e).dists());
+    scratch.rebuild(g, s, e);
+    dist_avoiding_.push_back(scratch.dists());
   }
 }
 

@@ -1,7 +1,6 @@
 #include "rp/single_pair.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace msrp {
 namespace {
@@ -11,11 +10,11 @@ namespace {
 // is a tree path from the root, the on-path ancestors of any vertex form a
 // prefix p_0..p_{f(v)}; deleting path edge e_i = (p_i, p_{i+1}) leaves v in
 // the source component iff f(v) <= i.
-std::vector<std::uint32_t> divergence_index(const BfsTree& ts,
-                                            const std::vector<Vertex>& path) {
+void divergence_index(const BfsTree& ts, const std::vector<Vertex>& path,
+                      std::vector<std::uint32_t>& f) {
   const Vertex n = ts.num_vertices();
   constexpr auto kUnset = static_cast<std::uint32_t>(-1);
-  std::vector<std::uint32_t> f(n, kUnset);
+  f.assign(n, kUnset);
   for (std::uint32_t j = 0; j < path.size(); ++j) f[path[j]] = j;
   // BFS discovery order guarantees parents are resolved before children.
   for (const Vertex v : ts.order()) {
@@ -23,7 +22,6 @@ std::vector<std::uint32_t> divergence_index(const BfsTree& ts,
     const Vertex p = ts.parent(v);
     f[v] = (p == kNoVertex) ? 0 : f[p];
   }
-  return f;
 }
 
 }  // namespace
@@ -35,6 +33,12 @@ SinglePairRp replacement_paths(const Graph& g, const BfsTree& ts, Vertex t) {
 }
 
 SinglePairRp replacement_paths(const Graph& g, const BfsTree& ts, const BfsTree& tt) {
+  SinglePairScratch scratch;
+  return replacement_paths(g, ts, tt, scratch);
+}
+
+SinglePairRp replacement_paths(const Graph& g, const BfsTree& ts, const BfsTree& tt,
+                               SinglePairScratch& s) {
   MSRP_REQUIRE(ts.num_vertices() == g.num_vertices(), "tree does not match graph");
   MSRP_REQUIRE(tt.num_vertices() == g.num_vertices(), "target tree does not match graph");
   const Vertex t = tt.root();
@@ -46,18 +50,16 @@ SinglePairRp replacement_paths(const Graph& g, const BfsTree& ts, const BfsTree&
   const auto num_fail = static_cast<std::uint32_t>(out.edges.size());
   out.avoiding.assign(num_fail, kInfDist);
 
-  const auto f = divergence_index(ts, out.path);
+  divergence_index(ts, out.path, s.f);
+  const auto& f = s.f;
 
   // Each edge (x, y) with fmin = min(f(x), f(y)) < fmax = max(f(x), f(y))
   // crosses the cut of every failed index i in [fmin, fmax - 1] and offers
   // the candidate d_s(outside endpoint) + 1 + d_t(inside endpoint). The MMG
   // theorem (see header) says the minimum candidate per index is exact.
-  struct Candidate {
-    std::uint32_t start, end;  // inclusive index interval
-    Dist value;
-  };
-  std::vector<Candidate> cand;
-  cand.reserve(g.num_edges());
+  auto& cand = s.cand;
+  cand.clear();
+  Dist max_value = 0;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto [x, y] = g.endpoints(e);
     if (!ts.reachable(x) || !ts.reachable(y)) continue;
@@ -72,27 +74,38 @@ SinglePairRp replacement_paths(const Graph& g, const BfsTree& ts, const BfsTree&
     if (fy == fx + 1 && u == out.path[fx] && w == out.path[fy]) continue;
     const Dist value = sat_add(ts.dist(u), sat_add(1, tt.dist(w)));
     if (value == kInfDist) continue;
-    cand.push_back(Candidate{fx, fy - 1, value});
+    cand.push_back({fx, fy - 1, value});
+    max_value = std::max(max_value, value);
   }
 
-  // Sweep failed indices left to right with a lazy min-heap of live
-  // candidates: push at interval start, drop at the top when expired.
-  std::sort(cand.begin(), cand.end(),
-            [](const Candidate& a, const Candidate& b) { return a.start < b.start; });
-  struct HeapItem {
-    Dist value;
-    std::uint32_t end;
-    bool operator>(const HeapItem& o) const { return value > o.value; }
-  };
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-  std::size_t next = 0;
-  for (std::uint32_t i = 0; i < num_fail; ++i) {
-    while (next < cand.size() && cand[next].start == i) {
-      heap.push(HeapItem{cand[next].value, cand[next].end});
-      ++next;
+  // Counting-sort the candidates by value (values are path lengths < 2n),
+  // then paint intervals in ascending value order onto the still-unanswered
+  // indices: next[i] is the union-find "next unpainted index >= i" pointer,
+  // so every index is written exactly once — by its minimum covering value.
+  s.histo.assign(static_cast<std::size_t>(max_value) + 2, 0);
+  for (const auto& c : cand) ++s.histo[c.value + 1];
+  for (std::size_t v = 1; v < s.histo.size(); ++v) s.histo[v] += s.histo[v - 1];
+  s.order.resize(cand.size());
+  for (std::uint32_t i = 0; i < cand.size(); ++i) s.order[s.histo[cand[i].value]++] = i;
+
+  s.next.resize(num_fail + 1);
+  for (std::uint32_t i = 0; i <= num_fail; ++i) s.next[i] = i;
+  auto find = [&](std::uint32_t i) {
+    std::uint32_t root = i;
+    while (s.next[root] != root) root = s.next[root];
+    while (s.next[i] != root) {  // path compression
+      const std::uint32_t up = s.next[i];
+      s.next[i] = root;
+      i = up;
     }
-    while (!heap.empty() && heap.top().end < i) heap.pop();
-    if (!heap.empty()) out.avoiding[i] = heap.top().value;
+    return root;
+  };
+  for (const std::uint32_t ci : s.order) {
+    const auto& c = cand[ci];
+    for (std::uint32_t i = find(c.start); i <= c.end; i = find(i + 1)) {
+      out.avoiding[i] = c.value;
+      s.next[i] = i + 1;
+    }
   }
   return out;
 }

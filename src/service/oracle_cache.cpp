@@ -9,6 +9,10 @@
 namespace msrp::service {
 
 std::uint64_t config_fingerprint(const Config& cfg) {
+  // Only fields that affect solver OUTPUT enter the fingerprint. The
+  // execution knobs (build_threads, build_pool) are deliberately excluded:
+  // the parallel build is bit-identical to the sequential one, so oracles
+  // built at different thread counts are interchangeable cache entries.
   std::uint64_t h = fnv::kOffset;
   h = fnv::mix_u64(h, cfg.seed);
   h = fnv::mix_u64(h, std::bit_cast<std::uint64_t>(cfg.oversample));
@@ -28,13 +32,19 @@ std::size_t OracleKeyHash::operator()(const OracleKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
-OracleCache::OracleCache(std::size_t capacity) : capacity_(capacity) {
+OracleCache::OracleCache(std::size_t capacity, std::size_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes) {
   MSRP_REQUIRE(capacity >= 1, "oracle cache capacity must be >= 1");
 }
 
 std::size_t OracleCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+std::size_t OracleCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 std::shared_ptr<const Snapshot> OracleCache::find_locked(const OracleKey& key) {
@@ -45,7 +55,7 @@ std::shared_ptr<const Snapshot> OracleCache::find_locked(const OracleKey& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front, iterator stays valid
-  return it->second->second;
+  return it->second->oracle;
 }
 
 std::shared_ptr<const Snapshot> OracleCache::find(const OracleKey& key) {
@@ -54,16 +64,30 @@ std::shared_ptr<const Snapshot> OracleCache::find(const OracleKey& key) {
 }
 
 void OracleCache::insert_locked(const OracleKey& key, std::shared_ptr<const Snapshot> oracle) {
+  const std::size_t footprint = oracle ? oracle->footprint_bytes() : 0;
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(oracle);
+    bytes_ -= it->second->bytes;
+    it->second->oracle = std::move(oracle);
+    it->second->bytes = footprint;
+    bytes_ += footprint;
     lru_.splice(lru_.begin(), lru_, it->second);
+    evict_over_budget_locked();
     return;
   }
-  lru_.emplace_front(key, std::move(oracle));
+  lru_.push_front(Entry{key, std::move(oracle), footprint});
   index_.emplace(key, lru_.begin());
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+  bytes_ += footprint;
+  evict_over_budget_locked();
+}
+
+void OracleCache::evict_over_budget_locked() {
+  // Entry-count cap first, then the byte budget; never evict the entry
+  // just touched (the front), so a single over-budget oracle still serves.
+  while (lru_.size() > 1 &&
+         (lru_.size() > capacity_ || (max_bytes_ != 0 && bytes_ > max_bytes_))) {
+    bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
   }

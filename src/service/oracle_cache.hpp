@@ -51,11 +51,21 @@ struct OracleKeyHash {
 
 class OracleCache {
  public:
-  /// Capacity is in oracles; must be >= 1.
-  explicit OracleCache(std::size_t capacity);
+  /// `capacity` is in oracles and must be >= 1. `max_bytes` is an
+  /// additional budget on the summed Snapshot::footprint_bytes() of the
+  /// resident oracles (0 = unlimited): when inserting pushes the total
+  /// over, least-recently-used entries are evicted until it fits — so one
+  /// large oracle can displace several small ones. The most recent insert
+  /// itself is never evicted, even when it alone exceeds the budget
+  /// (callers hold a shared_ptr anyway; caching it costs nothing extra).
+  explicit OracleCache(std::size_t capacity, std::size_t max_bytes = 0);
 
   std::size_t capacity() const { return capacity_; }
+  std::size_t max_bytes() const { return max_bytes_; }
   std::size_t size() const;
+
+  /// Summed footprint of the resident oracles.
+  std::size_t size_bytes() const;
 
   /// Returns the cached oracle and marks it most-recently-used; nullptr on
   /// miss.
@@ -83,14 +93,22 @@ class OracleCache {
   std::size_t pending_builds() const;
 
  private:
+  struct Entry {
+    OracleKey key;
+    std::shared_ptr<const Snapshot> oracle;
+    std::size_t bytes = 0;  // footprint at insert time (snapshots are immutable)
+  };
   // Most-recently-used at the front; the map points into the list.
-  using LruList = std::list<std::pair<OracleKey, std::shared_ptr<const Snapshot>>>;
+  using LruList = std::list<Entry>;
   using PendingFuture = std::shared_future<std::shared_ptr<const Snapshot>>;
 
   std::shared_ptr<const Snapshot> find_locked(const OracleKey& key);
   void insert_locked(const OracleKey& key, std::shared_ptr<const Snapshot> oracle);
+  void evict_over_budget_locked();
 
   std::size_t capacity_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
   mutable std::mutex mu_;
   LruList lru_;
   std::unordered_map<OracleKey, LruList::iterator, OracleKeyHash> index_;

@@ -11,14 +11,21 @@
 namespace msrp::service {
 
 QueryService::QueryService(Options opts)
-    : opts_(opts), cache_(opts.cache_capacity), pool_(opts.threads) {}
+    : opts_(opts), cache_(opts.cache_capacity, opts.cache_max_bytes), pool_(opts.threads) {}
 
 std::shared_ptr<const Snapshot> QueryService::build(const Graph& g,
                                                     const std::vector<Vertex>& sources,
                                                     const Config& cfg) {
   OracleKey key{io::graph_digest(g), sources, config_fingerprint(cfg)};
   return cache_.get_or_build(key, [&] {
-    const MsrpResult res = solve_msrp(g, sources, cfg);
+    // Cold builds run on the serving pool: the solver's phase loops fan out
+    // with caller participation (ThreadPool::parallel_for), so this is safe
+    // even when the build itself is executing on a pool worker (async
+    // submit_batch) and every other worker is busy. The pool never enters
+    // the cache key — parallel builds are bit-identical to sequential ones.
+    Config build_cfg = cfg;
+    build_cfg.build_pool = &pool_;
+    const MsrpResult res = solve_msrp(g, sources, build_cfg);
     return std::make_shared<const Snapshot>(Snapshot::capture(res));
   });
 }

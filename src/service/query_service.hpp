@@ -76,10 +76,13 @@ using BatchCallback = std::function<void(BatchResult)>;
 class QueryService {
  public:
   struct Options {
-    /// Worker threads; 0 = hardware concurrency.
+    /// Worker threads; 0 = hardware concurrency. Cold-cache oracle builds
+    /// run their phase loops on this same pool.
     unsigned threads = 0;
     /// Oracle cache capacity, in oracles.
     std::size_t cache_capacity = 4;
+    /// Oracle cache byte budget (summed Snapshot footprints; 0 = unlimited).
+    std::size_t cache_max_bytes = 0;
     /// Batches smaller than this answer inline on the calling thread —
     /// below it the fan-out overhead exceeds the O(1)-per-query work.
     std::size_t min_parallel_batch = 2048;

@@ -543,6 +543,20 @@ Snapshot Snapshot::load(const std::string& path, const LoadOptions& opts) {
   return from_image(data, size, buf, opts, /*mapped=*/false);
 }
 
+std::size_t Snapshot::footprint_bytes() const {
+  std::size_t bytes = sizeof(Snapshot) + sources_.capacity() * sizeof(Vertex) +
+                      source_index_.capacity() * sizeof(std::int32_t);
+  for (const SourceTable& tab : tables_) {
+    bytes += tab.dist.size() * sizeof(Dist) + tab.parent.size() * sizeof(Vertex) +
+             tab.parent_edge.size() * sizeof(EdgeId) +
+             tab.row_offset.size() * sizeof(std::uint64_t) +
+             tab.cells.size() * sizeof(Dist);
+    bytes += tab.edge_child.size() * sizeof(Vertex) +
+             (tab.tin.size() + tab.tout.size()) * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
 // ------------------------------------------------------------ point reads ---
 
 std::uint32_t Snapshot::source_index(Vertex s) const {

@@ -160,6 +160,11 @@ class Snapshot {
   /// Size of the encoded form in bytes (0 until written or read once).
   std::size_t encoded_size() const { return encoded_size_; }
 
+  /// Approximate resident size: the primary table sections (cells, trees,
+  /// row offsets — owned or mapped alike) plus the derived ancestry index.
+  /// The oracle cache's byte budget evicts against this.
+  std::size_t footprint_bytes() const;
+
   /// True when the tables alias a live memory mapping of the source file.
   bool is_mapped() const { return mapped_; }
 

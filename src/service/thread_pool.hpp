@@ -1,82 +1,13 @@
-// Fixed-size worker pool for the query service.
-//
-// Tasks come in two flavours:
-//
-//   * submit() — fire-and-forget closures; the only synchronization point
-//     is wait_idle(), which blocks until every submitted task has finished
-//     and rethrows the first exception any of them threw. That matches the
-//     synchronous batch-serving pattern (submit one task per shard, wait,
-//     return answers).
-//   * submit_task() — returns a std::future for the closure's result, for
-//     callers that want one task's value or error back without touching the
-//     pool-wide wait_idle() channel. (The async batch path in
-//     query_service.cpp manages its own completion counter instead: one
-//     future per *batch*, not per shard task.)
-//
-// Tasks must never block on other tasks of the same pool (the async batch
-// path is written completion-driven for exactly this reason): with every
-// worker parked in a wait there is nobody left to run the task being
-// waited for.
+// The worker pool moved to util/thread_pool.hpp when the oracle *build*
+// became a pool consumer too (core code cannot depend on the service
+// layer). This shim keeps the historical msrp::service::ThreadPool name
+// for the serving-side includes and tests.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <exception>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <type_traits>
-#include <vector>
+#include "util/thread_pool.hpp"
 
 namespace msrp::service {
 
-class ThreadPool {
- public:
-  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
-  /// (at least 1).
-  explicit ThreadPool(unsigned num_threads = 0);
-
-  /// Joins all workers; pending tasks are still executed first.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
-
-  /// Enqueues a task. Never blocks.
-  void submit(std::function<void()> task);
-
-  /// Enqueues a task and returns a future for its result. Exceptions the
-  /// task throws surface through the future (and never through
-  /// wait_idle()'s first-error channel).
-  template <typename F>
-  auto submit_task(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
-    using R = std::invoke_result_t<std::decay_t<F>>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> fut = task->get_future();
-    submit([task] { (*task)(); });  // packaged_task captures any exception
-    return fut;
-  }
-
-  /// Blocks until the queue is empty and no task is running, then rethrows
-  /// the first exception any task threw since the last wait_idle().
-  void wait_idle();
-
- private:
-  void worker_loop();
-
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for tasks
-  std::condition_variable idle_cv_;   // wait_idle waits for quiescence
-  std::size_t in_flight_ = 0;         // queued + running
-  std::exception_ptr first_error_;
-  bool stop_ = false;
-};
+using msrp::ThreadPool;
 
 }  // namespace msrp::service

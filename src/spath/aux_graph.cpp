@@ -1,15 +1,19 @@
 #include "spath/aux_graph.hpp"
 
+#include <algorithm>
+
 namespace msrp {
 
 void AuxGraph::finalize() {
   if (csr_valid_) return;
-  offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  // resize+fill instead of assign so a reset() graph reuses its capacity.
+  offsets_.resize(static_cast<std::size_t>(num_nodes_) + 1);
+  std::fill(offsets_.begin(), offsets_.end(), 0u);
   for (const ArcRec& a : arcs_) ++offsets_[a.from + 1];
   for (std::uint32_t v = 0; v < num_nodes_; ++v) offsets_[v + 1] += offsets_[v];
   out_arcs_.resize(arcs_.size());
-  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (const ArcRec& a : arcs_) out_arcs_[cursor[a.from]++] = OutArc{a.to, a.weight};
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (const ArcRec& a : arcs_) out_arcs_[cursor_[a.from]++] = OutArc{a.to, a.weight};
   csr_valid_ = true;
 }
 

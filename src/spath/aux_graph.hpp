@@ -20,6 +20,15 @@ using AuxNode = std::uint32_t;
 
 class AuxGraph {
  public:
+  /// Back to the empty graph, keeping all storage capacity — the per-phase
+  /// builders construct thousands of auxiliary graphs per solve and reuse
+  /// one AuxGraph per thread through BuildScratch.
+  void reset() {
+    num_nodes_ = 0;
+    arcs_.clear();
+    csr_valid_ = false;
+  }
+
   AuxNode add_node() { return num_nodes_++; }
 
   /// Allocates `count` consecutive nodes, returning the first handle.
@@ -63,6 +72,7 @@ class AuxGraph {
   std::uint32_t num_nodes_ = 0;
   std::vector<ArcRec> arcs_;
   std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> cursor_;  // finalize() workspace, kept for reuse
   std::vector<OutArc> out_arcs_;
   bool csr_valid_ = false;
 };

@@ -1,0 +1,69 @@
+// Monotone integer priority queue (Dial 1969) for the auxiliary Dijkstras.
+//
+// Every distance the solver's Dijkstras handle is a path length in the
+// unweighted base graph — a small integer — so a flat array of buckets
+// indexed by distance beats a binary heap: push is an O(1) vector append,
+// pop scans forward from a cursor that never moves backwards (Dijkstra
+// settles nodes in non-decreasing distance order, so once bucket d is
+// drained nothing smaller is ever pushed again).
+//
+// The bucket array grows on demand to max pushed distance + 1 and keeps its
+// capacity across clear(), which is what makes a scratch-arena Dijkstra
+// allocation-free in the steady state: after the first few runs every push
+// lands in existing storage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/distance.hpp"
+
+namespace msrp {
+
+class BucketQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+
+  /// Pushes value `v` with priority `d`. `d` must be finite, and — the
+  /// monotonicity contract — not smaller than the last popped priority.
+  void push(Dist d, std::uint32_t v) {
+    MSRP_DCHECK(d != kInfDist, "bucket queue priorities must be finite");
+    MSRP_DCHECK(d >= cursor_, "monotone queue: push below the popped frontier");
+    if (d >= buckets_.size()) buckets_.resize(d + 1);
+    buckets_[d].push_back(v);
+    ++size_;
+  }
+
+  /// Pops a value with the minimum priority; empty() must be false.
+  /// Within one bucket, values pop in LIFO order — callers (Dijkstra with a
+  /// stale-entry guard) must not depend on tie order.
+  std::pair<Dist, std::uint32_t> pop() {
+    MSRP_DCHECK(size_ > 0, "pop from empty bucket queue");
+    while (buckets_[cursor_].empty()) ++cursor_;
+    const std::uint32_t v = buckets_[cursor_].back();
+    buckets_[cursor_].pop_back();
+    --size_;
+    return {cursor_, v};
+  }
+
+  /// Resets to empty, keeping bucket capacity. O(1) after a fully drained
+  /// run; O(touched buckets) otherwise.
+  void clear() {
+    if (size_ != 0) {
+      for (std::size_t d = cursor_; d < buckets_.size() && size_ != 0; ++d) {
+        size_ -= buckets_[d].size();
+        buckets_[d].clear();
+      }
+    }
+    size_ = 0;
+    cursor_ = 0;
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::size_t size_ = 0;
+  Dist cursor_ = 0;
+};
+
+}  // namespace msrp

@@ -1,34 +1,38 @@
 #include "spath/dijkstra.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace msrp {
 
-DijkstraResult dijkstra(AuxGraph& g, AuxNode source) {
+void dijkstra(AuxGraph& g, AuxNode source, DijkstraScratch& s) {
   MSRP_REQUIRE(source < g.num_nodes(), "dijkstra source out of range");
   g.finalize();
 
-  DijkstraResult r;
-  r.dist.assign(g.num_nodes(), kInfDist);
-  r.parent.assign(g.num_nodes(), static_cast<AuxNode>(-1));
-
-  using Item = std::pair<Dist, AuxNode>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  r.dist[source] = 0;
-  pq.emplace(0, source);
-  while (!pq.empty()) {
-    const auto [d, v] = pq.top();
-    pq.pop();
-    if (d != r.dist[v]) continue;  // stale entry
+  s.begin(g.num_nodes());
+  s.settle(source, 0, static_cast<AuxNode>(-1));
+  s.queue_.push(0, source);
+  while (!s.queue_.empty()) {
+    const auto [d, v] = s.queue_.pop();
+    if (d != s.dist_[v] || s.stamp_[v] != s.epoch_) continue;  // stale entry
     for (const AuxGraph::OutArc& a : g.out(v)) {
       const Dist nd = sat_add(d, a.weight);
-      if (nd < r.dist[a.to]) {
-        r.dist[a.to] = nd;
-        r.parent[a.to] = v;
-        pq.emplace(nd, a.to);
+      if (nd < s.dist(a.to)) {
+        s.settle(a.to, nd, v);
+        s.queue_.push(nd, a.to);
       }
     }
+  }
+}
+
+DijkstraResult dijkstra(AuxGraph& g, AuxNode source) {
+  DijkstraScratch s;
+  dijkstra(g, source, s);
+  DijkstraResult r;
+  r.dist.resize(g.num_nodes());
+  r.parent.resize(g.num_nodes());
+  for (AuxNode v = 0; v < g.num_nodes(); ++v) {
+    r.dist[v] = s.dist(v);
+    r.parent[v] = s.parent(v);
   }
   return r;
 }

@@ -1,16 +1,29 @@
 // Dijkstra over an AuxGraph.
 //
-// Binary-heap implementation with lazy deletion; distances are Dist with
-// kInfDist = unreachable. The auxiliary graphs' weights are path lengths in
-// the base graph, so Dist arithmetic never overflows (sat_add guards anyway).
-// Also provides shortest-path-with-parents for callers that need to
-// enumerate the actual auxiliary path (Section 8.2.1 enumerates small
-// replacement paths to test which centers lie on them).
+// Two entry points share one engine:
+//
+//   * dijkstra(g, source) — allocates a fresh DijkstraResult (dist/parent
+//     per node). Used where the result object is long-lived (NearSmall keeps
+//     the parents for Section 8.2.1's path reconstruction).
+//   * dijkstra(g, source, scratch) — runs into a reusable DijkstraScratch:
+//     distances and parents live in arrays that are never re-initialized
+//     between runs. A per-run epoch stamp marks which entries are current,
+//     so "clearing" the arrays is O(1) and a run touches only the nodes it
+//     actually reaches. The per-phase auxiliary Dijkstras of Sections 8.1 /
+//     8.2.2 / 8.3 run thousands of times per build; this is what makes them
+//     allocation-free in the steady state.
+//
+// The queue is a monotone bucket queue (Dial) rather than a binary heap —
+// auxiliary weights are path lengths in the unweighted base graph, so
+// priorities are small integers (see bucket_queue.hpp). Stale entries are
+// skipped on pop exactly as with the lazy-deletion heap, which keeps
+// results independent of tie order inside a bucket.
 #pragma once
 
 #include <vector>
 
 #include "spath/aux_graph.hpp"
+#include "spath/bucket_queue.hpp"
 
 namespace msrp {
 
@@ -19,7 +32,57 @@ struct DijkstraResult {
   std::vector<AuxNode> parent;  // predecessor on a shortest path; -1 if none
 };
 
-/// Runs Dijkstra from `source`; finalizes the graph if necessary.
+/// Reusable state for repeated Dijkstra runs. Grows to the largest graph it
+/// has seen and is only ever logically cleared (by bumping the epoch), never
+/// physically. Read results through dist()/parent() — raw array entries from
+/// older epochs are garbage by design.
+class DijkstraScratch {
+ public:
+  /// Distance of `v` in the most recent run; kInfDist if unreached.
+  Dist dist(AuxNode v) const { return stamp_[v] == epoch_ ? dist_[v] : kInfDist; }
+
+  /// Predecessor of `v` in the most recent run; -1 for the source and
+  /// unreached nodes.
+  AuxNode parent(AuxNode v) const {
+    return stamp_[v] == epoch_ ? parent_[v] : static_cast<AuxNode>(-1);
+  }
+
+ private:
+  friend void dijkstra(AuxGraph& g, AuxNode source, DijkstraScratch& scratch);
+
+  /// Starts a new run over `num_nodes` nodes: grows the arrays if needed and
+  /// invalidates every previous entry by bumping the epoch.
+  void begin(std::uint32_t num_nodes) {
+    if (stamp_.size() < num_nodes) {
+      stamp_.resize(num_nodes, 0);
+      dist_.resize(num_nodes);
+      parent_.resize(num_nodes);
+    }
+    if (++epoch_ == 0) {  // epoch wrapped: re-zero once every 2^32 runs
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+    queue_.clear();
+  }
+
+  void settle(AuxNode v, Dist d, AuxNode from) {
+    stamp_[v] = epoch_;
+    dist_[v] = d;
+    parent_[v] = from;
+  }
+
+  std::vector<Dist> dist_;
+  std::vector<AuxNode> parent_;
+  std::vector<std::uint32_t> stamp_;  // entry valid iff stamp == epoch
+  std::uint32_t epoch_ = 0;
+  BucketQueue queue_;
+};
+
+/// Runs Dijkstra from `source` into `scratch`; finalizes the graph if
+/// necessary. Afterwards scratch.dist()/parent() describe this run.
+void dijkstra(AuxGraph& g, AuxNode source, DijkstraScratch& scratch);
+
+/// Allocating flavour for callers that keep the result object around.
 DijkstraResult dijkstra(AuxGraph& g, AuxNode source);
 
 /// Reconstructs the node sequence source -> target from a DijkstraResult;

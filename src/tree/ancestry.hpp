@@ -30,8 +30,15 @@ class AncestorIndex {
   /// on the canonical root->t path.
   bool edge_on_path(Vertex child, Vertex t) const { return is_ancestor(child, t); }
 
- private:
+  /// Raw DFS stamps, for callers that hoist one side of is_ancestor out of
+  /// a hot loop (assembly caches each landmark's stamps once per source).
+  /// kNoStamp marks unreachable vertices; the root's tin is 0.
+  std::uint32_t tin(Vertex v) const { return tin_[v]; }
+  std::uint32_t tout(Vertex v) const { return tout_[v]; }
+
   static constexpr std::uint32_t kNoStamp = static_cast<std::uint32_t>(-1);
+
+ private:
   std::vector<std::uint32_t> tin_, tout_;
 };
 

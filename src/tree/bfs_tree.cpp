@@ -4,14 +4,30 @@
 
 namespace msrp {
 
-BfsTree::BfsTree(const Graph& g, Vertex root, EdgeId skip_edge) : root_(root) {
+BfsTree::BfsTree(const Graph& g, Vertex root, EdgeId skip_edge) {
+  rebuild(g, root, skip_edge);
+}
+
+void BfsTree::rebuild(const Graph& g, Vertex root, EdgeId skip_edge) {
   const Vertex n = g.num_vertices();
   MSRP_REQUIRE(root < n, "BFS root out of range");
-  dist_.assign(n, kInfDist);
-  parent_.assign(n, kNoVertex);
-  parent_edge_.assign(n, kNoEdge);
+  root_ = root;
+  if (dist_.size() != n) {
+    // First build (or a different graph size): full initialization.
+    dist_.assign(n, kInfDist);
+    parent_.assign(n, kNoVertex);
+    parent_edge_.assign(n, kNoEdge);
+    order_.reserve(n);
+  } else {
+    // Same-size rebuild: the previous order_ lists exactly the vertices with
+    // non-default entries, so resetting those is O(touched), not O(n).
+    for (const Vertex v : order_) {
+      dist_[v] = kInfDist;
+      parent_[v] = kNoVertex;
+      parent_edge_[v] = kNoEdge;
+    }
+  }
   order_.clear();
-  order_.reserve(n);
 
   dist_[root] = 0;
   order_.push_back(root);

@@ -27,6 +27,17 @@ class BfsTree {
   /// treated as deleted (used by the brute-force replacement oracle).
   BfsTree(const Graph& g, Vertex root, EdgeId skip_edge = kNoEdge);
 
+  /// Empty tree; rebuild() before use.
+  BfsTree() = default;
+
+  /// Re-runs BFS in place, reusing the vectors' capacity. Only the vertices
+  /// the *previous* run discovered are re-initialized (they are exactly the
+  /// entries of order()), so a rebuild on the same graph costs O(touched)
+  /// setup instead of four fresh n-sized allocations — the skip-edge loops
+  /// of the brute-force oracle and the FT-subgraph builder rebuild m times
+  /// per source.
+  void rebuild(const Graph& g, Vertex root, EdgeId skip_edge = kNoEdge);
+
   Vertex root() const { return root_; }
   Vertex num_vertices() const { return static_cast<Vertex>(dist_.size()); }
 
@@ -60,7 +71,7 @@ class BfsTree {
   std::optional<Vertex> tree_edge_child(const Graph& g, EdgeId e) const;
 
  private:
-  Vertex root_;
+  Vertex root_ = kNoVertex;
   std::vector<Dist> dist_;
   std::vector<Vertex> parent_;
   std::vector<EdgeId> parent_edge_;

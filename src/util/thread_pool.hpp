@@ -1,0 +1,125 @@
+// Fixed-size worker pool shared by the query service and the parallel
+// oracle build (Config::build_pool).
+//
+// Tasks come in three flavours:
+//
+//   * submit() — fire-and-forget closures; the only synchronization point
+//     is wait_idle(), which blocks until every submitted task has finished
+//     and rethrows the first exception any of them threw. That matches the
+//     synchronous batch-serving pattern (submit one task per shard, wait,
+//     return answers).
+//   * submit_task() — returns a std::future for the closure's result, for
+//     callers that want one task's value or error back without touching the
+//     pool-wide wait_idle() channel. (The async batch path in
+//     query_service.cpp manages its own completion counter instead: one
+//     future per *batch*, not per shard task.)
+//   * parallel_for() — a blocking parallel loop in which the CALLING thread
+//     participates: items are claimed from a shared atomic cursor by the
+//     caller and by helper tasks on the pool, so the loop completes even
+//     when every worker is busy (or when the caller itself *is* a pool
+//     worker, as in a cold-cache oracle build running on the service pool).
+//     This is the one sanctioned way for a pool task to fan out onto its
+//     own pool without deadlocking.
+//
+// Tasks must never block on other tasks of the same pool (the async batch
+// path is written completion-driven for exactly this reason): with every
+// worker parked in a wait there is nobody left to run the task being
+// waited for. parallel_for is safe because the waiter drains the loop
+// itself.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace msrp {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Never blocks.
+  void submit(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result. Exceptions the
+  /// task throws surface through the future (and never through
+  /// wait_idle()'s first-error channel).
+  template <typename F>
+  auto submit_task(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    submit([task] { (*task)(); });  // packaged_task captures any exception
+    return fut;
+  }
+
+  /// Blocks until the queue is empty and no task is running, then rethrows
+  /// the first exception any task threw since the last wait_idle().
+  void wait_idle();
+
+  /// Runs body(i, slot) for every i in [0, n), spreading items across the
+  /// pool's workers AND the calling thread, then returns once all n items
+  /// have finished. `slot` identifies the participant (0 = the caller,
+  /// 1..size() = pool helpers) and is stable for that thread across the
+  /// whole loop — bodies use it to pick a private scratch arena. Items are
+  /// claimed dynamically from an atomic cursor — which partition each
+  /// thread ends up with is scheduling-dependent, so bodies must only
+  /// write item-private state or accumulate through commutative operations
+  /// (sums, mins) for the overall result to be deterministic. Every item
+  /// runs exactly once even if some throw; the recorded exception of the
+  /// smallest-index failure is rethrown in the caller. Deadlock-free from
+  /// inside pool tasks: the caller drains the loop itself if no worker is
+  /// free.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Participant count parallel_for may use: the caller plus every worker.
+  std::size_t max_parallelism() const { return workers_.size() + 1; }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // wait_idle waits for quiescence
+  std::size_t in_flight_ = 0;         // queued + running
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+/// parallel_for through an optional pool: runs sequentially (slot 0) when
+/// `pool` is null, has a single worker, or the loop is trivially small. The
+/// solver's phase loops all funnel through this so a Config with no pool
+/// costs nothing over the pre-parallel code path.
+template <typename F>
+void maybe_parallel_for(ThreadPool* pool, std::size_t n, F&& body) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i, std::size_t{0});
+    return;
+  }
+  pool->parallel_for(
+      n, std::function<void(std::size_t, std::size_t)>(std::forward<F>(body)));
+}
+
+}  // namespace msrp

@@ -14,6 +14,7 @@
 #include "core/landmark_rp.hpp"
 #include "core/landmarks.hpp"
 #include "core/near_small.hpp"
+#include "core/scratch.hpp"
 #include "core/source_center.hpp"
 #include "graph/generators.hpp"
 #include "rp/oracle.hpp"
@@ -298,8 +299,8 @@ TEST(Intervals, BoundariesBracketPathAndCoverEdges) {
   Graph g = gen::path_with_chords(70, 12, rng);
   BkFixture fx(std::move(g), {0, 35}, rng);
   SourceCenterTable dsc(*fx.ctx);
-  MsrpStats stats;
-  dsc.build_source(0, stats);
+  BuildScratch scratch;
+  dsc.build_source(0, scratch);
   LandmarkRpTable dsr(fx.g, fx.source_trees, fx.landmarks.members());
   CenterLandmarkTable dcr(*fx.ctx, dsr);
 
@@ -342,8 +343,8 @@ TEST(Intervals, StaircasePrioritiesRiseThenFall) {
   Graph g = gen::path_with_chords(90, 15, rng);
   BkFixture fx(std::move(g), {0}, rng);
   SourceCenterTable dsc(*fx.ctx);
-  MsrpStats stats;
-  dsc.build_source(0, stats);
+  BuildScratch scratch;
+  dsc.build_source(0, scratch);
   LandmarkRpTable dsr(fx.g, fx.source_trees, fx.landmarks.members());
   CenterLandmarkTable dcr(*fx.ctx, dsr);
 
@@ -365,9 +366,9 @@ TEST(SourceCenter, MatchesOracleWithinWindows) {
   Graph g = gen::connected_gnp(48, 0.1, rng);
   BkFixture fx(std::move(g), {0, 5}, rng);
   SourceCenterTable dsc(*fx.ctx);
-  MsrpStats stats;
-  dsc.build_source(0, stats);
-  dsc.build_source(1, stats);
+  BuildScratch scratch;
+  dsc.build_source(0, scratch);
+  dsc.build_source(1, scratch);
 
   for (std::uint32_t si = 0; si < 2; ++si) {
     const RootedTree& rs = *fx.source_trees[si];
@@ -394,12 +395,12 @@ TEST(CenterLandmark, MatchesOracleWithinWindows) {
   Graph g = gen::connected_gnp(40, 0.12, rng);
   BkFixture fx(std::move(g), {0}, rng);
   SourceCenterTable dsc(*fx.ctx);
-  MsrpStats stats;
-  dsc.build_source(0, stats);
+  BuildScratch scratch;
+  dsc.build_source(0, scratch);
   LandmarkRpTable dsr(fx.g, fx.source_trees, fx.landmarks.members());
   CenterLandmarkTable dcr(*fx.ctx, dsr);
   dcr.accumulate_small_via(0);
-  for (std::uint32_t ci = 0; ci < fx.ctx->num_centers(); ++ci) dcr.build_center(ci, stats);
+  for (std::uint32_t ci = 0; ci < fx.ctx->num_centers(); ++ci) dcr.build_center(ci, scratch);
 
   for (const Vertex c : fx.ctx->center_list) {
     const RootedTree& rc = fx.pool.existing(c);

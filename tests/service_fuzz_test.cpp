@@ -78,9 +78,17 @@ TEST(ServiceFuzz, AllServingPathsMatchBruteForce) {
     Config cfg;
     cfg.seed = rng.next_u64();
     cfg.exact = rng.next_bernoulli(0.25);
+    // Randomize the build thread count. The service itself always builds on
+    // its own pool (ignoring build_threads), so the direct solve below
+    // cross-checks bit-identity between a build at this thread count and
+    // the pool build — content digests cover trees and every row cell.
+    cfg.build_threads = 1 + static_cast<unsigned>(rng.next_below(4));
 
     const MsrpResult truth = solve_msrp_brute_force(g, sources);
     const auto oracle = svc.build(g, sources, cfg);
+    ASSERT_EQ(Snapshot::capture(solve_msrp(g, sources, cfg)).content_digest(),
+              oracle->content_digest())
+        << "threads=" << cfg.build_threads << " diverged from pool build, seed=" << seed;
 
     // Exhaustive queries when the instance is small, random sample otherwise.
     std::vector<Query> queries;

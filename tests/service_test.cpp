@@ -528,6 +528,45 @@ TEST(OracleCache, EvictsLeastRecentlyUsed) {
   EXPECT_NE(cache.find(c), nullptr);
 }
 
+TEST(OracleCache, ByteBudgetEvictsSeveralSmallOraclesForOneLarge) {
+  // Budget sized to hold four small oracles (4s < s + L since L > 3s) but
+  // not four plus the large one: inserting the large one must evict small
+  // entries in LRU order until the sum fits, even though the entry-count
+  // cap alone would keep them all.
+  const auto small = tiny_oracle(6);
+  const auto large = tiny_oracle(200);
+  ASSERT_GT(large->footprint_bytes(), 3 * small->footprint_bytes());
+
+  service::OracleCache cache(
+      /*capacity=*/16,
+      /*max_bytes=*/small->footprint_bytes() + large->footprint_bytes());
+  const OracleKey k1{1, {0}, 0}, k2{2, {0}, 0}, k3{3, {0}, 0}, k4{4, {0}, 0};
+  cache.insert(k1, tiny_oracle(6));
+  cache.insert(k2, tiny_oracle(6));
+  cache.insert(k3, tiny_oracle(6));
+  cache.insert(k4, tiny_oracle(6));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 0u);  // four small ones fit together
+
+  cache.insert(OracleKey{5, {0}, 0}, large);
+  EXPECT_LE(cache.size_bytes(), cache.max_bytes());
+  EXPECT_NE(cache.find(OracleKey{5, {0}, 0}), nullptr);  // newest survives
+  EXPECT_GE(cache.evictions(), 3u);  // several small entries had to go
+  EXPECT_EQ(cache.find(k1), nullptr);  // LRU evicted first
+}
+
+TEST(OracleCache, SingleOracleOverBudgetStillServes) {
+  const auto large = tiny_oracle(64);
+  service::OracleCache cache(/*capacity=*/4, /*max_bytes=*/1);  // absurdly tight
+  const OracleKey key{9, {0}, 0};
+  cache.insert(key, large);
+  EXPECT_EQ(cache.size(), 1u);  // never evict the entry just inserted
+  EXPECT_NE(cache.find(key), nullptr);
+  cache.insert(OracleKey{10, {0}, 0}, tiny_oracle(32));
+  EXPECT_EQ(cache.size(), 1u);  // the older one is evicted to chase the budget
+  EXPECT_EQ(cache.find(key), nullptr);
+}
+
 TEST(OracleCache, GetOrBuildBuildsOnce) {
   service::OracleCache cache(2);
   const OracleKey key{42, {0}, 7};

@@ -4,11 +4,59 @@
 
 #include "graph/generators.hpp"
 #include "spath/aux_graph.hpp"
+#include "spath/bucket_queue.hpp"
 #include "spath/dijkstra.hpp"
 #include "tree/bfs_tree.hpp"
+#include "util/rng.hpp"
 
 namespace msrp {
 namespace {
+
+TEST(BucketQueue, PopsInPriorityOrderUnderMonotonePushes) {
+  BucketQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(3, 30);
+  q.push(1, 10);
+  q.push(3, 31);
+  auto [d1, v1] = q.pop();
+  EXPECT_EQ(d1, 1u);
+  EXPECT_EQ(v1, 10u);
+  q.push(2, 20);  // >= last popped priority: allowed
+  auto [d2, v2] = q.pop();
+  EXPECT_EQ(d2, 2u);
+  EXPECT_EQ(v2, 20u);
+  EXPECT_EQ(q.pop().first, 3u);
+  EXPECT_EQ(q.pop().first, 3u);
+  EXPECT_TRUE(q.empty());
+  q.clear();
+  q.push(0, 1);  // cursor reset by clear()
+  EXPECT_EQ(q.pop().second, 1u);
+}
+
+TEST(Dijkstra, ScratchReuseAcrossGraphsOfDifferentSizes) {
+  // One scratch across many runs (shrinking and growing the node count):
+  // every run must agree with the allocating entry point. This is the
+  // epoch-stamp invariant the per-thread build arenas rely on.
+  DijkstraScratch scratch;
+  Rng rng(123);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.next_below(40));
+    AuxGraph g;
+    g.add_nodes(n);
+    const std::size_t arcs = rng.next_below(4 * n);
+    for (std::size_t a = 0; a < arcs; ++a) {
+      g.add_arc(static_cast<AuxNode>(rng.next_below(n)),
+                static_cast<AuxNode>(rng.next_below(n)),
+                static_cast<Dist>(rng.next_below(50)));
+    }
+    const DijkstraResult fresh = dijkstra(g, 0);
+    dijkstra(g, 0, scratch);
+    for (AuxNode v = 0; v < n; ++v) {
+      ASSERT_EQ(scratch.dist(v), fresh.dist[v]) << "iter=" << iter << " v=" << v;
+      ASSERT_EQ(scratch.parent(v), fresh.parent[v]) << "iter=" << iter << " v=" << v;
+    }
+  }
+}
 
 TEST(AuxGraph, NodeAllocation) {
   AuxGraph g;
