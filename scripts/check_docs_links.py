@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown docs.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and validates every *relative* target — the file (or
+directory) must exist, relative to the linking document. External links
+(http/https/mailto) and pure in-page anchors (#...) are skipped; an
+anchor suffix on a relative link is stripped before the existence check
+(anchor contents are not validated). Exits 1 listing every broken link.
+
+Usage: scripts/check_docs_links.py [file.md ...]
+
+Run by the CI docs-check job; see docs/OPERATIONS.md.
+"""
+import glob
+import os
+import re
+import sys
+
+# Inline markdown links/images: [text](target) — stops at the first ')'
+# not preceded by an escape; title suffixes ("... \"title\"") are split off.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(md_path):
+    broken = []
+    base = os.path.dirname(os.path.abspath(md_path))
+    with open(md_path, encoding="utf-8") as f:
+        in_code_fence = False
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, path))
+                if not os.path.exists(resolved):
+                    broken.append((md_path, lineno, target))
+    return broken
+
+
+def main():
+    files = sys.argv[1:]
+    if not files:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        files = [os.path.join(repo_root, "README.md")] + sorted(
+            glob.glob(os.path.join(repo_root, "docs", "*.md"))
+        )
+    broken = []
+    for md in files:
+        if not os.path.exists(md):
+            broken.append((md, 0, "<file missing>"))
+            continue
+        broken.extend(check_file(md))
+    if broken:
+        for md, lineno, target in broken:
+            print(f"{md}:{lineno}: broken relative link -> {target}", file=sys.stderr)
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,22 +1,23 @@
-// LRU cache of solved oracles, keyed by what determines the solve.
-//
-// A solve is a pure function of (graph, sources, Config) — the solver is
-// deterministic given its seed — so the cache key is (graph digest, source
-// list, config fingerprint). Values are shared_ptr<const Snapshot>: handing
-// out shared ownership means an oracle evicted mid-flight stays alive for
-// the batches still holding it, which is what makes eviction safe with a
-// lock-free read path.
-//
-// The cache itself is mutex-guarded (build/insert/evict are rare and
-// expensive next to a solve); the hot path never touches it — batches run
-// against the Snapshot reference they already hold.
-//
-// In-flight builds are single-flighted: the first miss on a key claims a
-// pending slot (a shared_future in a side map), concurrent misses wait on
-// it instead of duplicating the solve, and the slot is immune to LRU
-// eviction until the build lands. Together with the shared_ptr each waiter
-// receives, that guarantees an eviction racing an async build can never
-// drop an oracle a pending future still references.
+/// \file
+/// LRU cache of solved oracles, keyed by what determines the solve.
+///
+/// A solve is a pure function of (graph, sources, Config) — the solver is
+/// deterministic given its seed — so the cache key is (graph digest,
+/// source list, config fingerprint). Values are shared_ptr<const
+/// Snapshot>: handing out shared ownership means an oracle evicted
+/// mid-flight stays alive for the batches still holding it, which is what
+/// makes eviction safe with a lock-free read path.
+///
+/// The cache itself is mutex-guarded (build/insert/evict are rare and
+/// expensive next to a solve); the hot path never touches it — batches run
+/// against the Snapshot reference they already hold.
+///
+/// In-flight builds are single-flighted: the first miss on a key claims a
+/// pending slot (a shared_future in a side map), concurrent misses wait on
+/// it instead of duplicating the solve, and the slot is immune to LRU
+/// eviction until the build lands. Together with the shared_ptr each
+/// waiter receives, that guarantees an eviction racing an async build can
+/// never drop an oracle a pending future still references.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,23 @@
+/// \file
+/// The point-query type shared by every serving surface.
+///
+/// Lives in its own header so the shard router and the in-process
+/// QueryService (which delegates to the router when sharding is on) can
+/// both name it without depending on each other.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/distance.hpp"
+
+namespace msrp::service {
+
+/// One point query: length of the shortest s->t path avoiding edge e.
+struct Query {
+  Vertex s = 0;
+  Vertex t = 0;
+  EdgeId e = 0;
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+}  // namespace msrp::service

@@ -7,11 +7,17 @@
 
 #include "core/msrp.hpp"
 #include "graph/io.hpp"
+#include "service/shard_router.hpp"
 
 namespace msrp::service {
 
+/// Worker-process routers a service keeps alive at once; least recently
+/// used beyond this are torn down (stopping their workers, unlinking shm).
+static constexpr std::size_t kMaxRouters = 4;
+
 QueryService::QueryService(Options opts)
-    : opts_(opts), cache_(opts.cache_capacity, opts.cache_max_bytes), pool_(opts.threads) {}
+    : opts_(std::move(opts)), cache_(opts_.cache_capacity, opts_.cache_max_bytes),
+      pool_(opts_.threads) {}
 
 std::shared_ptr<const Snapshot> QueryService::build(const Graph& g,
                                                     const std::vector<Vertex>& sources,
@@ -42,7 +48,50 @@ std::shared_ptr<const Snapshot> QueryService::load(const std::string& path,
   return snap;
 }
 
-QueryService::ShardPlan QueryService::plan_shards(const Snapshot& oracle,
+std::shared_ptr<ShardRouter> QueryService::router_for(const Snapshot& oracle) {
+  const std::uint64_t key = oracle.content_digest();
+  // Evicted routers are destroyed AFTER the lock drops: a router teardown
+  // stops and reaps worker processes (seconds in the worst case), which
+  // must not stall other oracles' batches or the stats accessor.
+  std::vector<std::shared_ptr<ShardRouter>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(routers_mu_);
+    for (auto it = routers_.begin(); it != routers_.end(); ++it) {
+      if (it->first == key) {
+        routers_.splice(routers_.begin(), routers_, it);  // mark MRU
+        return routers_.front().second;
+      }
+    }
+    // First batch against this oracle: shard it and spawn the workers.
+    // Deliberately under the lock so concurrent cold batches share one
+    // placement (single flight); routing itself never takes this lock
+    // again. The cost is that a cold router on oracle A briefly blocks a
+    // cold router on oracle B — acceptable until a workload actually
+    // interleaves many distinct sharded oracles.
+    ShardRouterOptions router_opts;
+    router_opts.shards = opts_.shards;
+    router_opts.worker_argv = opts_.shard_worker_argv;
+    auto router = std::make_shared<ShardRouter>(oracle, router_opts);
+    routers_.emplace_front(key, router);
+    while (routers_.size() > kMaxRouters) {
+      evicted.push_back(std::move(routers_.back().second));
+      routers_.pop_back();
+    }
+    return router;
+  }
+}
+
+std::shared_ptr<const ShardRouter> QueryService::router(const Snapshot& oracle) {
+  if (!sharding()) return nullptr;
+  const std::uint64_t key = oracle.content_digest();
+  std::lock_guard<std::mutex> lock(routers_mu_);
+  for (const auto& [digest, router] : routers_) {
+    if (digest == key) return router;
+  }
+  return nullptr;
+}
+
+QueryService::BatchPlan QueryService::plan_shards(const Snapshot& oracle,
                                                   std::span<const Query> queries) {
   const Vertex n = oracle.num_vertices();
   const EdgeId m = oracle.num_edges();
@@ -52,7 +101,7 @@ QueryService::ShardPlan QueryService::plan_shards(const Snapshot& oracle,
   // the query indices by source while at it (the sharding axis). The flat
   // `order` array keeps each source's shard contiguous with one allocation —
   // this pass is the only serial work per batch, so it stays lean.
-  ShardPlan plan;
+  BatchPlan plan;
   std::vector<std::uint32_t> si_of(queries.size());
   plan.shard_begin.assign(sigma + 1, 0);
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -73,7 +122,7 @@ QueryService::ShardPlan QueryService::plan_shards(const Snapshot& oracle,
 }
 
 void QueryService::answer_range(const Snapshot& oracle, std::span<const Query> queries,
-                                const ShardPlan& plan, std::span<Dist> out, std::uint32_t si,
+                                const BatchPlan& plan, std::span<Dist> out, std::uint32_t si,
                                 std::size_t lo, std::size_t hi) {
   for (std::size_t j = lo; j < hi; ++j) {
     const Query& q = queries[plan.order[j]];
@@ -83,8 +132,16 @@ void QueryService::answer_range(const Snapshot& oracle, std::span<const Query> q
 
 std::vector<Dist> QueryService::query_batch(const Snapshot& oracle,
                                             std::span<const Query> queries) {
+  if (sharding()) {
+    // Multi-process path: the router validates, routes each query to the
+    // worker owning its source, and merges in batch order — bit-identical
+    // to the in-process path below.
+    std::vector<Dist> out = router_for(oracle)->query_batch(queries);
+    queries_served_.fetch_add(queries.size(), std::memory_order_relaxed);
+    return out;
+  }
   const std::uint32_t sigma = oracle.num_sources();
-  const ShardPlan plan = plan_shards(oracle, queries);
+  const BatchPlan plan = plan_shards(oracle, queries);
 
   std::vector<Dist> out(queries.size());
   if (queries.size() < opts_.min_parallel_batch || pool_.size() <= 1) {
@@ -136,7 +193,7 @@ std::vector<Dist> QueryService::query_batch(const Snapshot& oracle,
 /// future early cannot invalidate anything a worker still touches.
 struct QueryService::AsyncBatch {
   std::vector<Query> queries;
-  ShardPlan plan;
+  BatchPlan plan;
   std::vector<Dist> answers;
   std::shared_ptr<const Snapshot> oracle;  // pins the oracle against eviction
   std::atomic<std::size_t> pending{0};     // unfinished chunk tasks
@@ -183,6 +240,15 @@ std::future<BatchResult> QueryService::submit_batch_impl(
     try {
       state->oracle = resolve();
       const Snapshot& oracle = *state->oracle;
+      if (sharding()) {
+        // The worker processes are the parallelism; routing occupies just
+        // this one pool task (and never blocks on other pool tasks, so the
+        // no-worker-waits-on-workers pool invariant holds).
+        state->answers = router_for(oracle)->query_batch(state->queries);
+        queries_served_.fetch_add(state->queries.size(), std::memory_order_relaxed);
+        state->deliver(BatchResult{std::move(state->answers), state->oracle, nullptr});
+        return;
+      }
       state->plan = plan_shards(oracle, state->queries);
       state->answers.resize(state->queries.size());
 

@@ -1,59 +1,65 @@
-// Batched replacement-path query serving.
-//
-// The solver's preprocessing is O~(m sqrt(n sigma) + sigma n^2); a point
-// query d(s, t, e) is O(1). A serving deployment therefore builds (or
-// snapshot-loads) an oracle once and amortizes it over millions of queries.
-// QueryService packages that split:
-//
-//   * build()/load() produce immutable Snapshot oracles through an LRU
-//     cache keyed by (graph digest, sources, config fingerprint) — a repeat
-//     build of the same instance is a cache hit, not a re-solve;
-//   * query_batch() answers a span of (s, t, e) queries on a fixed thread
-//     pool. The batch is sharded by source: every worker task reads one
-//     source's replacement table, so shards touch disjoint table slices and
-//     the read path takes no locks (the oracle is immutable; answer slots
-//     are disjoint by query index);
-//   * submit_batch() is the asynchronous flavour: it returns a
-//     std::future<BatchResult> (or invokes a callback) and does everything
-//     — the oracle build on a cold cache included — on the pool, so the
-//     submitting thread gets its hands back in microseconds while the solve
-//     proceeds. The answering stage is counter-driven (the last finishing
-//     shard fulfils the promise), so no worker ever waits on shard tasks.
-//     The one place a worker does park is a cold submit whose oracle is
-//     already being built by another worker: the single-flight cache makes
-//     it wait for that solve instead of duplicating it. That wait is always
-//     on a build actively running on some worker — the slot only exists
-//     while its owner executes — so the pool makes progress even at size 1.
-//
-// Invalid queries are rejected up front — in the calling thread for
-// query_batch, through the future/callback error channel for submit_batch;
-// workers only ever see validated indices.
+/// \file
+/// Batched replacement-path query serving.
+///
+/// The solver's preprocessing is O~(m sqrt(n sigma) + sigma n^2); a point
+/// query d(s, t, e) is O(1). A serving deployment therefore builds (or
+/// snapshot-loads) an oracle once and amortizes it over millions of
+/// queries. QueryService packages that split:
+///
+///   * build()/load() produce immutable Snapshot oracles through an LRU
+///     cache keyed by (graph digest, sources, config fingerprint) — a
+///     repeat build of the same instance is a cache hit, not a re-solve;
+///   * query_batch() answers a span of (s, t, e) queries on a fixed thread
+///     pool. The batch is sharded by source: every worker task reads one
+///     source's replacement table, so shards touch disjoint table slices
+///     and the read path takes no locks (the oracle is immutable; answer
+///     slots are disjoint by query index);
+///   * submit_batch() is the asynchronous flavour: it returns a
+///     std::future<BatchResult> (or invokes a callback) and does everything
+///     — the oracle build on a cold cache included — on the pool, so the
+///     submitting thread gets its hands back in microseconds while the
+///     solve proceeds. The answering stage is counter-driven (the last
+///     finishing shard fulfils the promise), so no worker ever waits on
+///     shard tasks. The one place a worker does park is a cold submit whose
+///     oracle is already being built by another worker: the single-flight
+///     cache makes it wait for that solve instead of duplicating it. That
+///     wait is always on a build actively running on some worker — the slot
+///     only exists while its owner executes — so the pool makes progress
+///     even at size 1.
+///   * Options::shards > 1 moves the serving out of this process entirely:
+///     batches delegate to a ShardRouter (shard_router.hpp) that routes
+///     each query to one of K forked worker processes over shared-memory
+///     snapshot segments, bit-identical to the in-process path. Routers are
+///     created per oracle on first use and kept in a small MRU list.
+///
+/// Invalid queries are rejected up front — in the calling thread for
+/// query_batch, through the future/callback error channel for
+/// submit_batch; workers only ever see validated indices.
+///
+/// docs/ARCHITECTURE.md traces a query's life through every path.
 #pragma once
 
 #include <atomic>
 #include <exception>
 #include <functional>
 #include <future>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
 #include "service/oracle_cache.hpp"
+#include "service/query.hpp"
 #include "service/snapshot.hpp"
 #include "service/thread_pool.hpp"
 
 namespace msrp::service {
 
-/// One point query: length of the shortest s->t path avoiding edge e.
-struct Query {
-  Vertex s = 0;
-  Vertex t = 0;
-  EdgeId e = 0;
-
-  friend bool operator==(const Query&, const Query&) = default;
-};
+class ShardRouter;
 
 /// Outcome of one asynchronous batch.
 struct BatchResult {
@@ -86,6 +92,17 @@ class QueryService {
     /// Batches smaller than this answer inline on the calling thread —
     /// below it the fan-out overhead exceeds the O(1)-per-query work.
     std::size_t min_parallel_batch = 2048;
+    /// >= 1: serve through the multi-process shard router
+    /// (shard_router.hpp) instead of in-process table reads. Each oracle
+    /// is sharded across `shards` worker processes over shared-memory v2
+    /// snapshot segments (1 = a single worker process — still out of
+    /// process); answers are bit-identical to the in-process path. 0
+    /// (default) keeps everything in this process.
+    unsigned shards = 0;
+    /// argv to exec for each shard worker (e.g. {"/path/to/msrp_serve"};
+    /// the router appends "--shard-worker <base>:<k>"). Empty = plain fork
+    /// without exec. Only meaningful when sharding (shards >= 1).
+    std::vector<std::string> shard_worker_argv = {};
   };
 
   QueryService() : QueryService(Options{}) {}
@@ -139,28 +156,45 @@ class QueryService {
     return queries_served_.load(std::memory_order_relaxed);
   }
 
+  /// Router stats for the oracle (nullptr when not sharding or the oracle
+  /// has no router yet). Tests use this to assert zero-copy placement.
+  std::shared_ptr<const ShardRouter> router(const Snapshot& oracle);
+
+  bool sharding() const { return opts_.shards >= 1; }
+
  private:
   struct AsyncBatch;
 
-  /// Validated counting-sort of a batch by source index (the sharding axis).
-  struct ShardPlan {
+  /// Validated counting-sort of a batch by source index (the in-process
+  /// fan-out axis; distinct from the multi-process ShardPlan).
+  struct BatchPlan {
     std::vector<std::uint32_t> order;      // query indices, grouped by source
     std::vector<std::size_t> shard_begin;  // sigma+1 prefix bounds into order
   };
-  static ShardPlan plan_shards(const Snapshot& oracle, std::span<const Query> queries);
+  static BatchPlan plan_shards(const Snapshot& oracle, std::span<const Query> queries);
   static void answer_range(const Snapshot& oracle, std::span<const Query> queries,
-                           const ShardPlan& plan, std::span<Dist> out, std::uint32_t si,
+                           const BatchPlan& plan, std::span<Dist> out, std::uint32_t si,
                            std::size_t lo, std::size_t hi);
 
   std::future<BatchResult> submit_batch_impl(
       std::function<std::shared_ptr<const Snapshot>()> resolve,
       std::vector<Query> queries, BatchCallback done);
 
+  /// Returns (creating on first use) the shard router serving `oracle`,
+  /// keyed by content digest. Routers are kept in a small LRU so a stream
+  /// of distinct oracles cannot accumulate worker processes without bound.
+  std::shared_ptr<ShardRouter> router_for(const Snapshot& oracle);
+
   Options opts_;
   OracleCache cache_;
+  // Multi-process shard routers by oracle content digest, MRU first.
+  // Declared before pool_: pool tasks route through these, and the pool's
+  // destructor drains its queue before the routers shut their workers down.
+  std::mutex routers_mu_;
+  std::list<std::pair<std::uint64_t, std::shared_ptr<ShardRouter>>> routers_;
   std::atomic<std::uint64_t> queries_served_{0};
   // Declared last so its destructor — which drains queued tasks — runs
-  // first: async tasks touch the cache and the counters above.
+  // first: async tasks touch the cache, routers, and counters above.
   ThreadPool pool_;
 };
 

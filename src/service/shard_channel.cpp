@@ -1,0 +1,38 @@
+#include "service/shard_channel.hpp"
+
+#include <bit>
+#include <new>
+
+#include "util/assert.hpp"
+
+namespace msrp::service {
+
+ShardChannel* ShardChannel::init(void* mem, std::uint32_t capacity,
+                                 std::uint32_t shard_index) {
+  MSRP_REQUIRE(capacity >= 2 && std::has_single_bit(capacity),
+               "shard channel: capacity must be a power of two >= 2");
+  // The segment arrives zero-filled from ftruncate; construct the control
+  // block in place and stamp the magic last so a concurrently-attaching
+  // worker can never adopt a half-initialized channel.
+  auto* ch = new (mem) ShardChannel();
+  ch->capacity_ = capacity;
+  ch->shard_index_ = shard_index;
+  ch->worker_state_.store(kStarting, std::memory_order_relaxed);
+  ch->stop_flag_.store(0, std::memory_order_relaxed);
+  ch->generation_.store(0, std::memory_order_relaxed);
+  ch->reset_rings();
+  ch->magic_ = kMagic;
+  return ch;
+}
+
+ShardChannel* ShardChannel::adopt(void* mem, std::size_t bytes) {
+  MSRP_REQUIRE(bytes >= sizeof(ShardChannel), "shard channel: segment too small");
+  auto* ch = static_cast<ShardChannel*>(mem);
+  MSRP_REQUIRE(ch->magic_ == kMagic, "shard channel: bad magic");
+  MSRP_REQUIRE(ch->capacity_ >= 2 && std::has_single_bit(ch->capacity_),
+               "shard channel: corrupt capacity");
+  MSRP_REQUIRE(bytes >= bytes_for(ch->capacity_), "shard channel: truncated segment");
+  return ch;
+}
+
+}  // namespace msrp::service

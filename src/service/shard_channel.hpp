@@ -1,0 +1,167 @@
+/// \file
+/// Lock-free SPSC query transport between the shard router and one worker.
+///
+/// Each shard gets one shared-memory segment holding a ShardChannel: a
+/// control block plus two single-producer/single-consumer rings of
+/// fixed-width slots — requests flowing supervisor -> worker, responses
+/// flowing back. SPSC is guaranteed structurally: the router serializes its
+/// batches (one producer), and each worker is a single-threaded loop (one
+/// consumer). Under that discipline a ring needs nothing beyond one
+/// acquire/release cursor pair per direction — no CAS, no futex, no
+/// syscalls on the hot path; an idle worker backs off to short sleeps.
+///
+/// Every request carries the caller's query index as a tag and every
+/// response echoes it, so the router can merge answers back into batch
+/// order no matter how shards interleave, and can requeue precisely the
+/// unanswered tags when a worker dies mid-batch (the supervisor then
+/// reset()s the rings before the respawned worker attaches).
+///
+/// The slots and cursors are plain trivially-copyable data + lock-free
+/// std::atomic, so the struct can live in zero-initialized shared memory
+/// mapped by unrelated processes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "graph/graph.hpp"
+#include "util/distance.hpp"
+
+namespace msrp::service {
+
+/// One routed point query; `tag` is the index in the caller's batch.
+struct ShardRequest {
+  std::uint64_t tag = 0;
+  std::uint32_t si = 0;  // source index LOCAL to the shard's sub-snapshot
+  Vertex t = 0;
+  EdgeId e = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(ShardRequest) == 24 && std::is_trivially_copyable_v<ShardRequest>);
+
+/// One answer; echoes the request's tag.
+struct ShardResponse {
+  std::uint64_t tag = 0;
+  Dist answer = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(ShardResponse) == 16 && std::is_trivially_copyable_v<ShardResponse>);
+
+/// A ring cursor on its own cache line (producer and consumer each own one,
+/// so neither write ping-pongs the other's line).
+struct alignas(64) ShardCursor {
+  std::atomic<std::uint64_t> pos;
+  char pad_[64 - sizeof(std::atomic<std::uint64_t>)];
+};
+static_assert(sizeof(ShardCursor) == 64);
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free,
+              "shard channel atomics must be address-free for cross-process use");
+
+class ShardChannel {
+ public:
+  static constexpr std::uint64_t kMagic = 0x524148'53505253ull;  // "SRPSHAR"
+
+  enum WorkerState : std::uint32_t {
+    kStarting = 0,  ///< forked, not yet attached/validated
+    kReady = 1,     ///< serving
+    kExited = 2,    ///< clean worker exit
+  };
+
+  /// Segment size for a channel with `capacity` slots per ring.
+  static std::size_t bytes_for(std::uint32_t capacity) {
+    return sizeof(ShardChannel) +
+           std::size_t{capacity} * (sizeof(ShardRequest) + sizeof(ShardResponse));
+  }
+
+  /// Formats a zero-initialized segment as a channel (supervisor side, once).
+  static ShardChannel* init(void* mem, std::uint32_t capacity, std::uint32_t shard_index);
+
+  /// Validates a mapped segment's magic/capacity (worker side).
+  static ShardChannel* adopt(void* mem, std::size_t bytes);
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t shard_index() const { return shard_index_; }
+
+  // ----- control block ----------------------------------------------------
+
+  std::atomic<std::uint32_t>& worker_state() { return worker_state_; }
+  std::atomic<std::uint32_t>& stop_flag() { return stop_flag_; }
+  /// Bumped by the supervisor on every respawn (observability/tests).
+  std::atomic<std::uint32_t>& generation() { return generation_; }
+
+  // ----- rings ------------------------------------------------------------
+
+  bool try_push_request(const ShardRequest& req) {
+    return push(req_head_, req_tail_, req_slots(), req);
+  }
+  bool try_pop_request(ShardRequest& out) {
+    return pop(req_head_, req_tail_, req_slots(), out);
+  }
+  bool try_push_response(const ShardResponse& resp) {
+    return push(resp_head_, resp_tail_, resp_slots(), resp);
+  }
+  bool try_pop_response(ShardResponse& out) {
+    return pop(resp_head_, resp_tail_, resp_slots(), out);
+  }
+
+  /// Requests sitting in the ring, not yet popped by the worker.
+  std::uint64_t requests_pending() const {
+    return req_head_.pos.load(std::memory_order_acquire) -
+           req_tail_.pos.load(std::memory_order_acquire);
+  }
+
+  /// Empties both rings. Supervisor-only, and only while no worker is
+  /// attached (respawn path: the previous worker is dead, the next one has
+  /// not been forked yet).
+  void reset_rings() {
+    req_head_.pos.store(0, std::memory_order_relaxed);
+    req_tail_.pos.store(0, std::memory_order_relaxed);
+    resp_head_.pos.store(0, std::memory_order_relaxed);
+    resp_tail_.pos.store(0, std::memory_order_release);
+  }
+
+ private:
+  template <typename Slot>
+  bool push(ShardCursor& head, const ShardCursor& tail, Slot* slots, const Slot& value) {
+    const std::uint64_t h = head.pos.load(std::memory_order_relaxed);
+    if (h - tail.pos.load(std::memory_order_acquire) >= capacity_) return false;  // full
+    slots[h & (capacity_ - 1)] = value;
+    head.pos.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  template <typename Slot>
+  bool pop(const ShardCursor& head, ShardCursor& tail, const Slot* slots, Slot& out) {
+    const std::uint64_t t = tail.pos.load(std::memory_order_relaxed);
+    if (t == head.pos.load(std::memory_order_acquire)) return false;  // empty
+    out = slots[t & (capacity_ - 1)];
+    tail.pos.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  ShardRequest* req_slots() {
+    return reinterpret_cast<ShardRequest*>(reinterpret_cast<std::uint8_t*>(this) +
+                                           sizeof(ShardChannel));
+  }
+  ShardResponse* resp_slots() {
+    return reinterpret_cast<ShardResponse*>(req_slots() + capacity_);
+  }
+
+  std::uint64_t magic_ = 0;
+  std::uint32_t capacity_ = 0;     // slots per ring; power of two
+  std::uint32_t shard_index_ = 0;
+  std::atomic<std::uint32_t> worker_state_;
+  std::atomic<std::uint32_t> stop_flag_;
+  std::atomic<std::uint32_t> generation_;
+  std::uint32_t pad_ = 0;
+  ShardCursor req_head_, req_tail_;    // producer: supervisor / consumer: worker
+  ShardCursor resp_head_, resp_tail_;  // producer: worker / consumer: supervisor
+  // Followed in the segment by ShardRequest[capacity], ShardResponse[capacity].
+};
+static_assert(std::is_trivially_destructible_v<ShardChannel>,
+              "shard channels are abandoned in shared memory, never destroyed");
+
+}  // namespace msrp::service

@@ -1,0 +1,56 @@
+/// \file
+/// Contiguous partition of an oracle's sources across serving shards.
+///
+/// The multi-process serving transport (shard_router.hpp) carves the
+/// snapshot's sigma sources into K contiguous runs of source indices, one
+/// per worker process. Contiguity matters twice: each shard's sub-snapshot
+/// is then a contiguous slice of the source-major v2 sections, and a query
+/// routes with one array lookup (source index -> owning shard). The split
+/// is weighted by each source's replacement-table cell count — the quantity
+/// that dominates both a shard's memory image and its expected query cost —
+/// so a skewed oracle (one high-diameter source with a huge table) does not
+/// leave K-1 idle workers behind one hot one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/snapshot.hpp"
+
+namespace msrp::service {
+
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+
+  /// Partitions `oracle`'s sources into min(shards, sigma) non-empty
+  /// contiguous shards, balancing per-source cell counts greedily.
+  /// \param oracle  the full snapshot being sharded
+  /// \param shards  requested shard count (>= 1; clamped to sigma)
+  static ShardPlan build(const Snapshot& oracle, unsigned shards);
+
+  /// Number of shards actually planned (<= requested).
+  unsigned num_shards() const { return static_cast<unsigned>(begin_.size()) - 1; }
+
+  /// Source indices [begin(k), end(k)) owned by shard k.
+  std::uint32_t begin(unsigned k) const { return begin_[k]; }
+  std::uint32_t end(unsigned k) const { return begin_[k + 1]; }
+
+  /// Owning shard of a (global) source index; O(1).
+  unsigned shard_of(std::uint32_t source_index) const { return owner_[source_index]; }
+
+  /// A shard worker indexes its sub-snapshot by local source index.
+  std::uint32_t local_index(std::uint32_t source_index) const {
+    return source_index - begin_[owner_[source_index]];
+  }
+
+  /// Summed replacement-table cells owned by shard k (balance diagnostics).
+  std::uint64_t shard_cells(unsigned k) const { return cells_[k]; }
+
+ private:
+  std::vector<std::uint32_t> begin_;   // num_shards()+1 prefix over source indices
+  std::vector<std::uint32_t> owner_;   // sigma; source index -> shard
+  std::vector<std::uint64_t> cells_;   // num_shards(); weight actually assigned
+};
+
+}  // namespace msrp::service

@@ -1,0 +1,148 @@
+#include "service/shard_process.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "service/shard_channel.hpp"
+#include "service/snapshot.hpp"
+#include "util/shm.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <sys/prctl.h>
+#include <csignal>
+#endif
+
+namespace msrp::service {
+
+std::string shard_channel_name(const std::string& base, std::uint32_t k) {
+  return base + ".c" + std::to_string(k);
+}
+
+std::string shard_snapshot_name(const std::string& base, std::uint32_t k) {
+  return base + ".s" + std::to_string(k);
+}
+
+namespace {
+
+/// Orphan watch: a worker must not outlive its supervisor (it would pin the
+/// shm segments forever). On Linux the kernel delivers SIGTERM on parent
+/// death; the getppid() poll below is the portable fallback.
+void arm_parent_death_signal() {
+#if defined(__linux__)
+  ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+#endif
+}
+
+bool parent_alive(long original_ppid) {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<long>(::getppid()) == original_ppid;
+#else
+  (void)original_ppid;
+  return true;
+#endif
+}
+
+}  // namespace
+
+int run_shard_worker(const ShardWorkerConfig& cfg) {
+  try {
+    arm_parent_death_signal();
+#if defined(__unix__) || defined(__APPLE__)
+    const long original_ppid = static_cast<long>(::getppid());
+#else
+    const long original_ppid = 0;
+#endif
+
+    ShmSegment chan_seg =
+        ShmSegment::open(shard_channel_name(cfg.base_name, cfg.shard_index),
+                         /*writable=*/true);
+    ShardChannel* ch = ShardChannel::adopt(chan_seg.data(), chan_seg.size());
+
+    // The snapshot image is attached zero-copy: the oracle's table spans
+    // alias the read-only segment, so every worker serves the one copy the
+    // supervisor placed.
+    auto snap_seg = std::make_shared<ShmSegment>(
+        ShmSegment::open(shard_snapshot_name(cfg.base_name, cfg.shard_index)));
+    const Snapshot oracle = Snapshot::attach(snap_seg->data(), snap_seg->size(), snap_seg,
+                                             {.verify_cells = false});
+    const Vertex n = oracle.num_vertices();
+    const EdgeId m = oracle.num_edges();
+    const std::uint32_t sigma = oracle.num_sources();
+
+    ch->worker_state().store(ShardChannel::kReady, std::memory_order_release);
+
+    std::uint64_t idle_spins = 0;
+    while (true) {
+      bool worked = false;
+      ShardRequest req;
+      while (ch->try_pop_request(req)) {
+        worked = true;
+        // The router validates queries against the full oracle before
+        // routing; re-clamp here anyway so a corrupted ring can only yield
+        // a wrong answer, never an out-of-bounds read.
+        const Dist answer = (req.si < sigma && req.t < n && req.e < m)
+                                ? oracle.avoiding_at(req.si, req.t, req.e)
+                                : kInfDist;
+        ShardResponse resp{req.tag, answer, 0};
+        std::uint64_t full_spins = 0;
+        while (!ch->try_push_response(resp)) {
+          // Response ring full: the supervisor is not draining. Transient
+          // while a batch is in flight — but also exactly the state a
+          // crashed supervisor leaves behind, so the orphan check must run
+          // here too, not just in the idle loop.
+          if (ch->stop_flag().load(std::memory_order_acquire) != 0 ||
+              ((++full_spins & 1023) == 0 && !parent_alive(original_ppid))) {
+            ch->worker_state().store(ShardChannel::kExited, std::memory_order_release);
+            return 0;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(10));
+        }
+      }
+      if (ch->stop_flag().load(std::memory_order_acquire) != 0) break;
+      if (worked) {
+        idle_spins = 0;
+        continue;
+      }
+      // Idle backoff: spin briefly for latency, then sleep; check for an
+      // orphaned supervisor every ~1024 sleeps (~50 ms).
+      if (++idle_spins > 64) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        if ((idle_spins & 1023) == 0 && !parent_alive(original_ppid)) break;
+      }
+    }
+    ch->worker_state().store(ShardChannel::kExited, std::memory_order_release);
+    return 0;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "shard worker %s.%u: %s\n", cfg.base_name.c_str(),
+                 cfg.shard_index, ex.what());
+    return 1;
+  } catch (...) {
+    return 1;
+  }
+}
+
+int shard_worker_main(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) {
+    std::fprintf(stderr, "shard worker: bad spec \"%s\" (want <base>:<index>)\n",
+                 spec.c_str());
+    return 2;
+  }
+  ShardWorkerConfig cfg;
+  cfg.base_name = spec.substr(0, colon);
+  try {
+    cfg.shard_index = static_cast<std::uint32_t>(std::stoul(spec.substr(colon + 1)));
+  } catch (...) {
+    std::fprintf(stderr, "shard worker: bad shard index in \"%s\"\n", spec.c_str());
+    return 2;
+  }
+  return run_shard_worker(cfg);
+}
+
+}  // namespace msrp::service

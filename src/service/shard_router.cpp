@@ -1,0 +1,390 @@
+#include "service/shard_router.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+
+#include "util/assert.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MSRP_HAVE_FORK 1
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define MSRP_HAVE_FORK 0
+#endif
+
+namespace msrp::service {
+
+namespace {
+
+/// Death checks run every 512 no-progress rounds (~10 ms each once the
+/// router reaches its sleep backoff); after this many consecutive checks
+/// with zero progress (~30 s), a stalled shard is respawned even if its
+/// pid probes alive — the safety net against pid reuse and wedged workers.
+constexpr std::size_t kStallChecksBeforeForcedRespawn = 3000;
+
+/// Distinct base names even when two routers are built in the same process
+/// at the same time (the fuzz suite does exactly that).
+std::string make_base_name() {
+  static std::atomic<std::uint64_t> counter{0};
+#if MSRP_HAVE_FORK
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return "/msrp." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+bool ShardRouter::supported() {
+#if MSRP_HAVE_FORK
+  return ShmSegment::supported();
+#else
+  return false;
+#endif
+}
+
+ShardRouter::ShardRouter(const Snapshot& oracle, const ShardRouterOptions& opts)
+    : opts_(opts), base_name_(make_base_name()) {
+  if (!supported()) {
+    throw std::runtime_error(
+        "shard router: multi-process sharding needs POSIX fork + shared memory");
+  }
+  MSRP_REQUIRE(opts_.shards >= 1, "shard router: need at least one shard");
+  MSRP_REQUIRE(opts_.ring_capacity >= 2 && std::has_single_bit(opts_.ring_capacity),
+               "shard router: ring capacity must be a power of two >= 2");
+
+  plan_ = ShardPlan::build(oracle, opts_.shards);
+  n_ = oracle.num_vertices();
+  m_ = oracle.num_edges();
+  source_index_.assign(n_, -1);
+  for (std::uint32_t si = 0; si < oracle.num_sources(); ++si) {
+    source_index_[oracle.sources()[si]] = static_cast<std::int32_t>(si);
+  }
+
+  shards_.resize(plan_.num_shards());
+  try {
+    for (unsigned k = 0; k < plan_.num_shards(); ++k) place_shard(oracle, k);
+    for (unsigned k = 0; k < plan_.num_shards(); ++k) spawn_worker(k);
+    for (unsigned k = 0; k < plan_.num_shards(); ++k) wait_worker_ready(k);
+  } catch (...) {
+    stop_all_workers();  // segments unlink via ~ShmSegment
+    throw;
+  }
+}
+
+ShardRouter::~ShardRouter() { stop_all_workers(); }
+
+void ShardRouter::place_shard(const Snapshot& oracle, unsigned k) {
+  Shard& sh = shards_[k];
+
+  // Slice the owned sources out of the full oracle (one transient heap
+  // copy of this shard's tables) and encode the v2 image straight into the
+  // shared-memory segment — no second heap image of the encoded bytes.
+  // Workers (including every respawn) attach the segment zero-copy; after
+  // this function the segment holds the only long-lived copy.
+  std::vector<std::uint32_t> owned(plan_.end(k) - plan_.begin(k));
+  for (std::uint32_t i = 0; i < owned.size(); ++i) owned[i] = plan_.begin(k) + i;
+  const Snapshot sliced = oracle.slice(owned);
+
+  sh.snap_seg = ShmSegment::create(shard_snapshot_name(base_name_, k),
+                                   sliced.v2_encoded_size());
+  sliced.encode_v2_into({sh.snap_seg.data(), sh.snap_seg.size()});
+
+  sh.chan_seg = ShmSegment::create(shard_channel_name(base_name_, k),
+                                   ShardChannel::bytes_for(opts_.ring_capacity));
+  sh.ch = ShardChannel::init(sh.chan_seg.data(), opts_.ring_capacity, k);
+
+  stats_.segments_placed += 1;
+  stats_.bytes_placed += sh.snap_seg.size();
+}
+
+void ShardRouter::spawn_worker(unsigned k) {
+#if MSRP_HAVE_FORK
+  Shard& sh = shards_[k];
+  sh.ch->worker_state().store(ShardChannel::kStarting, std::memory_order_release);
+  sh.ch->stop_flag().store(0, std::memory_order_release);
+
+  const ::pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("shard router: fork failed");
+  if (pid == 0) {
+    // Child. Either exec the configured worker binary or serve from the
+    // inherited image directly. _exit (not exit) so the parent's atexit
+    // hooks and static destructors never run twice.
+    if (!opts_.worker_argv.empty()) {
+      const std::string spec = base_name_ + ":" + std::to_string(k);
+      std::vector<char*> argv;
+      argv.reserve(opts_.worker_argv.size() + 3);
+      for (const std::string& a : opts_.worker_argv) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      const std::string flag = "--shard-worker";
+      argv.push_back(const_cast<char*>(flag.c_str()));
+      argv.push_back(const_cast<char*>(spec.c_str()));
+      argv.push_back(nullptr);
+      ::execvp(argv[0], argv.data());  // execvp: argv[0] may be PATH-relative
+      std::fprintf(stderr, "shard router: exec %s failed\n", argv[0]);
+      ::_exit(127);
+    }
+    ::_exit(run_shard_worker({base_name_, k}));
+  }
+  sh.pid = static_cast<long>(pid);
+#else
+  (void)k;
+  throw std::runtime_error("shard router: fork unavailable");
+#endif
+}
+
+void ShardRouter::wait_worker_ready(unsigned k) {
+  Shard& sh = shards_[k];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.ready_timeout_ms);
+  while (sh.ch->worker_state().load(std::memory_order_acquire) != ShardChannel::kReady) {
+    if (worker_dead(k)) {
+      throw std::runtime_error("shard router: worker " + std::to_string(k) +
+                               " exited during startup");
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw std::runtime_error("shard router: worker " + std::to_string(k) +
+                               " not ready in time");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+bool ShardRouter::worker_dead(unsigned k) {
+#if MSRP_HAVE_FORK
+  Shard& sh = shards_[k];
+  if (sh.pid < 0) return true;
+  int status = 0;
+  const ::pid_t r = ::waitpid(static_cast<::pid_t>(sh.pid), &status, WNOHANG);
+  if (r == 0) return false;  // still running
+  if (r < 0 && errno == ECHILD) {
+    // Someone else reaped our children (an embedder's SIGCHLD handler, or
+    // SIG_IGN auto-reaping). Probe liveness directly — declaring a live
+    // worker dead would put two consumers on one SPSC ring.
+    if (::kill(static_cast<::pid_t>(sh.pid), 0) == 0) return false;
+  }
+  sh.pid = -1;  // exited and reaped (by us or by the embedder)
+  return true;
+#else
+  (void)k;
+  return true;
+#endif
+}
+
+void ShardRouter::respawn_worker(unsigned k) {
+  Shard& sh = shards_[k];
+  // Single-flight by construction: callers hold route_mu_, and worker_dead
+  // usually reaped the old pid already. The forced-respawn path (stall
+  // deadline, pid-probe fooled by reuse) arrives with pid still set — make
+  // sure no old incarnation can touch the rings we are about to reset.
+#if MSRP_HAVE_FORK
+  if (sh.pid >= 0) {
+    ::kill(static_cast<::pid_t>(sh.pid), SIGKILL);
+    int status = 0;
+    ::waitpid(static_cast<::pid_t>(sh.pid), &status, 0);
+    sh.pid = -1;
+  }
+#endif
+  sh.ch->generation().fetch_add(1, std::memory_order_acq_rel);
+  sh.ch->reset_rings();
+  spawn_worker(k);
+  wait_worker_ready(k);
+  stats_.respawns += 1;
+}
+
+void ShardRouter::stop_all_workers() noexcept {
+#if MSRP_HAVE_FORK
+  for (Shard& sh : shards_) {
+    if (sh.ch != nullptr) sh.ch->stop_flag().store(1, std::memory_order_release);
+  }
+  for (Shard& sh : shards_) {
+    if (sh.pid < 0) continue;
+    // Give the worker ~2s to notice the stop flag, then force it.
+    int status = 0;
+    bool reaped = false;
+    for (int i = 0; i < 200; ++i) {
+      if (::waitpid(static_cast<::pid_t>(sh.pid), &status, WNOHANG) != 0) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!reaped) {
+      ::kill(static_cast<::pid_t>(sh.pid), SIGKILL);
+      ::waitpid(static_cast<::pid_t>(sh.pid), &status, 0);
+    }
+    sh.pid = -1;
+  }
+#endif
+  // ~ShmSegment unmaps and unlinks each owned segment when shards_ dies.
+}
+
+std::vector<Dist> ShardRouter::query_batch(std::span<const Query> queries) {
+  const unsigned num_shards = plan_.num_shards();
+
+  // Validate and bucket by owning shard before touching any ring. Buckets
+  // keep batch order within a shard; tags are batch indices, so the merge
+  // is a plain indexed store.
+  std::vector<std::deque<std::uint32_t>> pending(num_shards);
+  std::vector<std::uint32_t> local_si(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    MSRP_REQUIRE(q.s < n_ && source_index_[q.s] >= 0,
+                 "query source is not an oracle source");
+    MSRP_REQUIRE(q.t < n_, "query target out of range");
+    MSRP_REQUIRE(q.e < m_, "query edge out of range");
+    const auto si = static_cast<std::uint32_t>(source_index_[q.s]);
+    pending[plan_.shard_of(si)].push_back(static_cast<std::uint32_t>(i));
+    local_si[i] = plan_.local_index(si);
+  }
+
+  std::vector<Dist> out(queries.size());
+  std::size_t remaining = queries.size();
+
+  std::lock_guard<std::mutex> route_lock(route_mu_);
+  if (poisoned_) {
+    throw std::runtime_error(
+        "shard router: poisoned by an earlier unrecoverable worker failure; "
+        "destroy and recreate it");
+  }
+  // Tags pushed to shard k's ring and not yet answered, oldest first. The
+  // worker answers in FIFO order, but requeue-after-respawn makes strict
+  // FIFO matching too brittle to assert — the merge is tag-indexed anyway.
+  std::vector<std::deque<std::uint32_t>> inflight(num_shards);
+
+  try {
+    std::size_t idle_rounds = 0;
+    std::size_t stalled_checks = 0;  // consecutive death checks with no progress
+    while (remaining > 0) {
+      bool progress = false;
+      for (unsigned k = 0; k < num_shards; ++k) {
+        Shard& sh = shards_[k];
+        ShardResponse resp;
+        while (sh.ch->try_pop_response(resp)) {
+          const auto qi = static_cast<std::uint32_t>(resp.tag);
+          MSRP_CHECK(qi < out.size(), "shard router: response tag out of range");
+          out[qi] = resp.answer;
+          --remaining;
+          progress = true;
+          auto& fl = inflight[k];
+          if (!fl.empty() && fl.front() == qi) {
+            fl.pop_front();
+          } else {
+            const auto it = std::find(fl.begin(), fl.end(), qi);
+            MSRP_CHECK(it != fl.end(), "shard router: response for unknown tag");
+            fl.erase(it);
+          }
+        }
+        while (!pending[k].empty()) {
+          const std::uint32_t qi = pending[k].front();
+          const Query& q = queries[qi];
+          if (!sh.ch->try_push_request({qi, local_si[qi], q.t, q.e, 0})) break;
+          pending[k].pop_front();
+          inflight[k].push_back(qi);
+          progress = true;
+        }
+      }
+      if (progress) {
+        idle_rounds = 0;
+        stalled_checks = 0;
+        continue;
+      }
+      // No progress: spin briefly for latency, then yield, and periodically
+      // check whether a stalled shard's worker died under us. A shard that
+      // answers nothing for the whole stall deadline is respawned even if
+      // the pid still looks alive — waitpid/kill(pid, 0) can be fooled by
+      // an embedder auto-reaping children plus pid reuse, and a wedged
+      // worker is as gone as a dead one (respawn SIGKILLs the pid first).
+      ++idle_rounds;
+      if (idle_rounds % 512 == 0) {
+        ++stalled_checks;
+        for (unsigned k = 0; k < num_shards; ++k) {
+          if (inflight[k].empty() && pending[k].empty()) continue;
+          if (!worker_dead(k) && stalled_checks < kStallChecksBeforeForcedRespawn) {
+            continue;
+          }
+          // Requeue everything the dead worker still owed us (front of the
+          // line, preserving order), reset the rings, and bring up a fresh
+          // worker against the already-placed snapshot segment.
+          auto& fl = inflight[k];
+          for (auto it = fl.rbegin(); it != fl.rend(); ++it) pending[k].push_front(*it);
+          fl.clear();
+          respawn_worker(k);
+          stalled_checks = 0;
+        }
+      }
+      if (idle_rounds > 64) {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+  } catch (...) {
+    // An escaping exception (respawn failure, ring-invariant breach) would
+    // otherwise strand this batch's requests/responses in the rings and
+    // poison every later batch with stale tags. Restore the rings to empty
+    // with fresh workers; if that fails too, flag the router unusable.
+    recover_after_error();
+    throw;
+  }
+
+  stats_.queries_routed += queries.size();
+  return out;
+}
+
+void ShardRouter::recover_after_error() noexcept {
+#if MSRP_HAVE_FORK
+  for (unsigned k = 0; k < shards_.size(); ++k) {
+    Shard& sh = shards_[k];
+    try {
+      if (sh.pid >= 0) {
+        ::kill(static_cast<::pid_t>(sh.pid), SIGKILL);
+        int status = 0;
+        ::waitpid(static_cast<::pid_t>(sh.pid), &status, 0);
+        sh.pid = -1;
+      }
+      sh.ch->generation().fetch_add(1, std::memory_order_acq_rel);
+      sh.ch->reset_rings();
+      spawn_worker(k);
+      wait_worker_ready(k);
+    } catch (...) {
+      poisoned_ = true;
+    }
+  }
+#else
+  poisoned_ = true;
+#endif
+}
+
+ShardRouterStats ShardRouter::stats() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return stats_;
+}
+
+long ShardRouter::worker_pid(unsigned k) const {
+  MSRP_REQUIRE(k < shards_.size(), "shard router: shard index out of range");
+  return shards_[k].pid;
+}
+
+std::vector<std::string> ShardRouter::segment_names() const {
+  std::vector<std::string> names;
+  names.reserve(2 * shards_.size());
+  for (unsigned k = 0; k < shards_.size(); ++k) {
+    names.push_back(shard_snapshot_name(base_name_, k));
+    names.push_back(shard_channel_name(base_name_, k));
+  }
+  return names;
+}
+
+}  // namespace msrp::service

@@ -1,0 +1,151 @@
+/// \file
+/// Multi-process sharded serving: supervisor side.
+///
+/// A ShardRouter scales one oracle past a single process. Construction
+/// does all the placement work exactly once:
+///
+///   1. ShardPlan::build partitions the oracle's sources into K contiguous
+///      shards, balanced by replacement-table cells;
+///   2. for each shard, Snapshot::slice + encode produce a self-contained
+///      v2 image of just that shard's sources, written into a named POSIX
+///      shared-memory segment (util/shm.hpp) — the only time table bytes
+///      are copied;
+///   3. a second segment per shard carries the SPSC request/response rings
+///      (shard_channel.hpp);
+///   4. one worker process per shard is forked (optionally exec'ing
+///      ShardRouterOptions::worker_argv, e.g. `msrp_serve --shard-worker`),
+///      attaches both segments, serves the image zero-copy via
+///      Snapshot::attach, and flags itself ready.
+///
+/// query_batch() then routes each (s, t, e) to the shard owning s, tags
+/// every request with its batch index, and merges responses back in batch
+/// order — results are bit-identical to the in-process QueryService, it is
+/// only the work that moves. Batches are serialized through an internal
+/// mutex (the rings are strictly SPSC); concurrency comes from the K
+/// workers draining their rings in parallel, not from concurrent routers.
+///
+/// Worker death is detected by waitpid polling whenever a batch stops
+/// making progress. A dead shard is respawned single-flight (one respawn
+/// per observed death, guarded by the routing mutex + a generation
+/// counter), its rings are reset, and the unanswered tags are requeued, so
+/// a batch survives a worker crash with no lost or duplicated answers.
+/// The destructor stops the workers, reaps them, and unlinks every
+/// segment; ~ShmSegment unlinks even on exception paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/query.hpp"
+#include "service/shard_channel.hpp"
+#include "service/shard_plan.hpp"
+#include "service/shard_process.hpp"
+#include "service/snapshot.hpp"
+#include "util/shm.hpp"
+
+namespace msrp::service {
+
+struct ShardRouterOptions {
+  /// Worker processes; clamped to the oracle's source count.
+  unsigned shards = 2;
+  /// Slots per ring direction (power of two). Also the per-shard cap on
+  /// in-flight queries.
+  std::uint32_t ring_capacity = 1024;
+  /// Non-empty: fork + exec this argv with "--shard-worker <base>:<k>"
+  /// appended (production deployment; the child gets a fresh address
+  /// space). Empty: plain fork — the child runs run_shard_worker() in the
+  /// parent's image. Fork-without-exec from a multithreaded process relies
+  /// on the C library making malloc fork-safe (glibc and macOS quiesce the
+  /// allocator around fork; both are covered by CI) — embedders whose
+  /// processes hold other locks across calls should prefer exec mode.
+  std::vector<std::string> worker_argv = {};
+  /// How long to wait for a forked worker to flag itself ready.
+  unsigned ready_timeout_ms = 30000;
+};
+
+/// Monotonic counters; see ShardRouter::stats(). `segments_placed` staying
+/// at num_shards() across a workload is the "placed once, served
+/// zero-copy" guarantee the tests pin down.
+struct ShardRouterStats {
+  std::uint64_t segments_placed = 0;  ///< snapshot images written to shm
+  std::uint64_t bytes_placed = 0;     ///< summed size of those images
+  std::uint64_t queries_routed = 0;   ///< answers merged across all batches
+  std::uint64_t respawns = 0;         ///< dead workers replaced
+};
+
+class ShardRouter {
+ public:
+  /// Shards `oracle` and spawns the workers; throws std::runtime_error if a
+  /// worker cannot be spawned or does not come up ready in time. The oracle
+  /// is only read during construction (sliced into the segments); the
+  /// router keeps its own copies of the routing metadata.
+  explicit ShardRouter(const Snapshot& oracle, const ShardRouterOptions& opts = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Answers queries[i] into result[i], routing each query to the shard
+  /// owning its source and merging in batch order. Validates every query
+  /// up front (same contract as QueryService::query_batch). Thread-safe;
+  /// concurrent batches are serialized.
+  std::vector<Dist> query_batch(std::span<const Query> queries);
+
+  unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
+  const ShardPlan& plan() const { return plan_; }
+  const std::string& base_name() const { return base_name_; }
+  ShardRouterStats stats() const;
+
+  /// OS pid of shard k's worker (tests, diagnostics; -1 if never spawned).
+  long worker_pid(unsigned k) const;
+
+  /// Shared-memory names this router owns (tests assert they vanish on
+  /// destruction).
+  std::vector<std::string> segment_names() const;
+
+  /// Whether this platform can run the multi-process transport at all.
+  static bool supported();
+
+ private:
+  struct Shard {
+    ShmSegment snap_seg;
+    ShmSegment chan_seg;
+    ShardChannel* ch = nullptr;
+    long pid = -1;
+  };
+
+  void place_shard(const Snapshot& oracle, unsigned k);
+  void spawn_worker(unsigned k);
+  void wait_worker_ready(unsigned k);
+  /// True if shard k's worker has exited (reaps it as a side effect).
+  bool worker_dead(unsigned k);
+  /// Replaces a dead worker; caller holds route_mu_. Bumps the channel
+  /// generation so late observers of the old incarnation can tell.
+  void respawn_worker(unsigned k);
+  /// After an exception escaped mid-batch: kill + respawn every worker and
+  /// empty the rings so stranded tags cannot leak into later batches; sets
+  /// poisoned_ when even that fails. Caller holds route_mu_.
+  void recover_after_error() noexcept;
+  void stop_all_workers() noexcept;
+
+  ShardRouterOptions opts_;
+  std::string base_name_;
+  ShardPlan plan_;
+  // Routing metadata copied out of the oracle at construction.
+  Vertex n_ = 0;
+  EdgeId m_ = 0;
+  std::vector<std::int32_t> source_index_;  // n; -1 = not a source
+  std::vector<Shard> shards_;
+
+  mutable std::mutex route_mu_;  // serializes batches => rings stay SPSC
+  ShardRouterStats stats_;
+  // Set when post-exception recovery could not restore clean rings +
+  // workers; every later batch then fails fast instead of mis-merging.
+  bool poisoned_ = false;
+};
+
+}  // namespace msrp::service

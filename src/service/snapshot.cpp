@@ -40,20 +40,6 @@ void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-void put_u32_span(std::vector<std::uint8_t>& out, std::span<const std::uint32_t> xs) {
-  const std::size_t at = out.size();
-  out.resize(at + xs.size() * 4);
-  if (!xs.empty()) std::memcpy(out.data() + at, xs.data(), xs.size() * 4);
-}
-
-void put_u64_span(std::vector<std::uint8_t>& out, std::span<const std::uint64_t> xs) {
-  const std::size_t at = out.size();
-  out.resize(at + xs.size() * 8);
-  if (!xs.empty()) std::memcpy(out.data() + at, xs.data(), xs.size() * 8);
-}
-
-void pad_to_8(std::vector<std::uint8_t>& out) { out.resize(pad8(out.size()), 0); }
-
 std::uint32_t load_u32(const std::uint8_t* p) {
   std::uint32_t v;
   std::memcpy(&v, p, 4);
@@ -66,6 +52,7 @@ std::uint64_t load_u64(const std::uint8_t* p) {
   return v;
 }
 
+void store_u32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
 void store_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
 
 /// Bounds-checked varint reader over the in-memory v1 image.
@@ -138,6 +125,32 @@ Snapshot Snapshot::capture(const MsrpResult& res) {
   snap.build_derived();
   snap.content_digest_ = snap.compute_content_digest();
   return snap;
+}
+
+Snapshot Snapshot::slice(std::span<const std::uint32_t> source_indices) const {
+  MSRP_REQUIRE(!source_indices.empty(), "snapshot slice: no sources");
+  Snapshot out;
+  out.n_ = n_;
+  out.m_ = m_;
+  out.sources_.reserve(source_indices.size());
+  out.tables_.resize(source_indices.size());
+  for (std::size_t i = 0; i < source_indices.size(); ++i) {
+    const std::uint32_t si = source_indices[i];
+    MSRP_REQUIRE(si < tables_.size(), "snapshot slice: source index out of range");
+    const SourceTable& src = tables_[si];
+    SourceTable& tab = out.tables_[i];
+    out.sources_.push_back(sources_[si]);
+    tab.root = src.root;
+    tab.dist_store.assign(src.dist.begin(), src.dist.end());
+    tab.parent_store.assign(src.parent.begin(), src.parent.end());
+    tab.parent_edge_store.assign(src.parent_edge.begin(), src.parent_edge.end());
+    tab.row_offset_store.assign(src.row_offset.begin(), src.row_offset.end());
+    tab.cells_store.assign(src.cells.begin(), src.cells.end());
+    tab.adopt_owned();
+  }
+  out.build_derived();
+  out.content_digest_ = out.compute_content_digest();
+  return out;
 }
 
 void Snapshot::build_derived() {
@@ -360,51 +373,69 @@ Snapshot Snapshot::decode_v1(const std::uint8_t* data, std::size_t size) {
 
 // ------------------------------------------------------------- format v2 ---
 
-std::vector<std::uint8_t> Snapshot::encode_v2() const {
+std::size_t Snapshot::v2_encoded_size() const {
   std::uint64_t total_cells = 0;
   for (const SourceTable& tab : tables_) total_cells += tab.cells.size();
-
   const std::uint64_t meta_bytes =
       kV2HeaderBytes + pad8(std::uint64_t{4} * sources_.size()) +
       sources_.size() * (3 * pad8(std::uint64_t{4} * n_) + 8 * (std::uint64_t{n_} + 1));
-  std::vector<std::uint8_t> out;
-  out.reserve(static_cast<std::size_t>(meta_bytes + 4 * total_cells));
+  return static_cast<std::size_t>(meta_bytes + 4 * total_cells);
+}
 
-  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
-  put_u32_le(out, 2);
-  put_u32_le(out, kV2HeaderBytes);
-  put_u64_le(out, n_);
-  put_u64_le(out, m_);
-  put_u64_le(out, sources_.size());
-  put_u64_le(out, total_cells);
-  put_u64_le(out, content_digest_);
-  put_u64_le(out, 0);  // meta checksum, patched below
-  put_u64_le(out, 0);  // cells checksum, patched below
+void Snapshot::encode_v2_into(std::span<std::uint8_t> out) const {
+  MSRP_REQUIRE(out.size() == v2_encoded_size(), "snapshot: v2 buffer size mismatch");
+  std::uint64_t total_cells = 0;
+  for (const SourceTable& tab : tables_) total_cells += tab.cells.size();
 
-  put_u32_span(out, sources_);
-  pad_to_8(out);
+  // Fixed-width sections at known offsets: zero the image (padding bytes
+  // must be zero), then memcpy each section into place.
+  std::uint8_t* p = out.data();
+  std::memset(p, 0, out.size());
+  std::memcpy(p, kMagic, sizeof(kMagic));
+  store_u32(p + 8, 2);
+  store_u32(p + 12, kV2HeaderBytes);
+  store_u64(p + 16, n_);
+  store_u64(p + 24, m_);
+  store_u64(p + 32, sources_.size());
+  store_u64(p + 40, total_cells);
+  store_u64(p + 48, content_digest_);
+  // Offsets 56 (meta checksum) and 64 (cells checksum) are patched below.
+
+  std::size_t off = kV2HeaderBytes;
+  std::memcpy(p + off, sources_.data(), sources_.size() * 4);
+  off += pad8(std::uint64_t{4} * sources_.size());
   for (const SourceTable& tab : tables_) {
-    put_u32_span(out, tab.dist);
-    pad_to_8(out);
-    put_u32_span(out, tab.parent);
-    pad_to_8(out);
-    put_u32_span(out, tab.parent_edge);
-    pad_to_8(out);
-    put_u64_span(out, tab.row_offset);
+    std::memcpy(p + off, tab.dist.data(), std::size_t{n_} * 4);
+    off += pad8(std::uint64_t{4} * n_);
+    std::memcpy(p + off, tab.parent.data(), std::size_t{n_} * 4);
+    off += pad8(std::uint64_t{4} * n_);
+    std::memcpy(p + off, tab.parent_edge.data(), std::size_t{n_} * 4);
+    off += pad8(std::uint64_t{4} * n_);
+    std::memcpy(p + off, tab.row_offset.data(), (std::size_t{n_} + 1) * 8);
+    off += (std::uint64_t{n_} + 1) * 8;
   }
-  const std::size_t cells_off = out.size();
-  MSRP_CHECK(cells_off == meta_bytes, "snapshot: v2 layout accounting mismatch");
-  for (const SourceTable& tab : tables_) put_u32_span(out, tab.cells);
+  const std::size_t cells_off = off;
+  for (const SourceTable& tab : tables_) {
+    if (tab.cells.empty()) continue;
+    std::memcpy(p + off, tab.cells.data(), tab.cells.size() * 4);
+    off += tab.cells.size() * 4;
+  }
+  MSRP_CHECK(off == out.size(), "snapshot: v2 layout accounting mismatch");
 
   const std::uint64_t cells_ck =
-      fnv::mix_bytes(fnv::kOffset, out.data() + cells_off, out.size() - cells_off);
-  store_u64(out.data() + 64, cells_ck);
-  std::uint64_t meta_ck = fnv::mix_bytes(fnv::kOffset, out.data() + 16, 40);
-  meta_ck = fnv::mix_bytes(meta_ck, out.data() + 64, 8);
-  meta_ck = fnv::mix_bytes(meta_ck, out.data() + kV2HeaderBytes, cells_off - kV2HeaderBytes);
-  store_u64(out.data() + 56, meta_ck);
+      fnv::mix_bytes(fnv::kOffset, p + cells_off, out.size() - cells_off);
+  store_u64(p + 64, cells_ck);
+  std::uint64_t meta_ck = fnv::mix_bytes(fnv::kOffset, p + 16, 40);
+  meta_ck = fnv::mix_bytes(meta_ck, p + 64, 8);
+  meta_ck = fnv::mix_bytes(meta_ck, p + kV2HeaderBytes, cells_off - kV2HeaderBytes);
+  store_u64(p + 56, meta_ck);
 
   encoded_size_ = out.size();
+}
+
+std::vector<std::uint8_t> Snapshot::encode_v2() const {
+  std::vector<std::uint8_t> out(v2_encoded_size());
+  encode_v2_into(out);
   return out;
 }
 
@@ -498,9 +529,17 @@ Snapshot Snapshot::from_image(const std::uint8_t* data, std::size_t size,
   return attach_v2(data, size, std::move(anchor), opts.verify_cells, mapped);
 }
 
+std::vector<std::uint8_t> Snapshot::encode(SnapshotFormat format) const {
+  return format == SnapshotFormat::kV1 ? encode_v1() : encode_v2();
+}
+
+Snapshot Snapshot::attach(const std::uint8_t* data, std::size_t size,
+                          std::shared_ptr<const void> anchor, const LoadOptions& opts) {
+  return from_image(data, size, std::move(anchor), opts, /*mapped=*/true);
+}
+
 void Snapshot::write(std::ostream& os, SnapshotFormat format) const {
-  const std::vector<std::uint8_t> buf =
-      format == SnapshotFormat::kV1 ? encode_v1() : encode_v2();
+  const std::vector<std::uint8_t> buf = encode(format);
   os.write(reinterpret_cast<const char*>(buf.data()),
            static_cast<std::streamsize>(buf.size()));
 }
@@ -516,8 +555,7 @@ Snapshot Snapshot::read(std::istream& is) {
 void Snapshot::save(const std::string& path, SnapshotFormat format) const {
   std::ofstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open for writing: " + path);
-  const std::vector<std::uint8_t> buf =
-      format == SnapshotFormat::kV1 ? encode_v1() : encode_v2();
+  const std::vector<std::uint8_t> buf = encode(format);
   f.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
   if (!f) throw std::runtime_error("write failed: " + path);
 }

@@ -1,68 +1,41 @@
-// Binary snapshot of a solved MSRP oracle.
-//
-// The text format (core/serialize.hpp) is line-oriented and parses with
-// istream tokenization — fine for golden files, too slow for the serving
-// path where a multi-gigabyte replacement table must come back in one gulp.
-// The snapshot is the build-once/serve-many half of the service layer: a
-// versioned binary image decoded from memory with pointer arithmetic.
-//
-// Two on-disk formats share the magic and the version field:
-//
-// Format v1 — compact varints (all integers unsigned LEB128 unless noted):
-//
-//   8 bytes   magic "MSRPSNAP"
-//   4 bytes   version (little-endian u32, 1)
-//   varint    n, m, sigma
-//   sigma x   source section:
-//     varint  root vertex
-//     n x     vertex record, for v = 0..n-1:
-//       varint  0 if v unreachable, else dist(v)+1
-//       if reachable and v != root:
-//         varint  parent vertex
-//         varint  parent edge id
-//         dist(v) x varint row cell: 0 for infinity, else cell - dist(v) + 1
-//   8 bytes   FNV-1a checksum of everything between the magic and here
-//
-// Row cells are >= dist(v) (deleting an edge never shortens a path), so the
-// delta encoding keeps most cells in one byte — v1 is the smallest file,
-// but load cost is proportional to the cell count.
-//
-// Format v2 — fixed-width, 8-byte-aligned sections, built for mmap serving
-// (all integers little-endian; every section starts 8-byte aligned, u32
-// arrays zero-padded to the next 8-byte boundary):
-//
-//   offset  0  8 bytes  magic "MSRPSNAP"
-//   offset  8  u32      version (2)
-//   offset 12  u32      header bytes (72)
-//   offset 16  u64      n, m, sigma, total cell count
-//   offset 48  u64      content digest (as computed by capture())
-//   offset 56  u64      metadata checksum: FNV-1a over header bytes
-//                       [16, 56), bytes [64, 72), and every section except
-//                       the cells
-//   offset 64  u64      cells checksum: FNV-1a over the cells section
-//   offset 72  u32 x sigma       source vertices
-//   sigma x   table section:
-//     u32 x n    dist   (0xffffffff = unreachable)
-//     u32 x n    parent (0xffffffff = root/unreachable)
-//     u32 x n    parent edge id (0xffffffff = root/unreachable)
-//     u64 x n+1  row-offset prefix sums (per source, 0-based)
-//   u32 x total  cells, all sources concatenated in source order
-//
-// A v2 load maps (or bulk-reads) the file, verifies the metadata checksum
-// and the tree/row-offset invariants in O(n + m) per source, and then
-// serves straight out of the image — the dominant cells payload is never
-// decoded, copied, or (with LoadOptions::verify_cells off) even touched.
-// The derived ancestry index (edge_child, DFS stamps) is recomputed from
-// the parent arrays on every load path, which is what makes a validated
-// snapshot memory-safe to query even if the cells are garbage: every
-// avoiding() read is bounded by the validated row-offset table. The stored
-// content digest is trusted under the metadata checksum; only v1 loads and
-// capture() recompute it from the cells.
-//
-// Unlike SerializedResult the snapshot also stores the canonical trees, so
-// a loaded snapshot answers avoiding(s, t, e) for arbitrary edge ids in
-// O(1) with no Graph in hand — exactly the MsrpResult::avoiding contract
-// the query service needs.
+/// \file
+/// Binary snapshot of a solved MSRP oracle.
+///
+/// The text format (core/serialize.hpp) is line-oriented and parses with
+/// istream tokenization — fine for golden files, too slow for the serving
+/// path where a multi-gigabyte replacement table must come back in one
+/// gulp. The snapshot is the build-once/serve-many half of the service
+/// layer: a versioned binary image decoded from memory with pointer
+/// arithmetic.
+///
+/// Two on-disk formats share the magic and the version field; the
+/// byte-exact layouts, checksum coverage, and validation rules are
+/// specified in docs/SNAPSHOT_FORMAT.md. In short:
+///
+///   * v1 — compact LEB128 varints with delta-coded row cells under one
+///     trailing FNV-1a checksum. Smallest file; load cost proportional to
+///     the cell count (every cell decodes into owned tables).
+///   * v2 — fixed-width little-endian sections, 8-byte aligned, under a
+///     72-byte checksummed header. Built for zero-copy serving: a load
+///     maps (or bulk-reads) the image, verifies the metadata checksum and
+///     the tree/row-offset invariants in O(n + m) per source, and serves
+///     straight out of the image — the dominant cells payload is never
+///     decoded, copied, or (with LoadOptions::verify_cells off) even
+///     touched.
+///
+/// The derived ancestry index (edge_child, DFS stamps) is recomputed from
+/// the parent arrays on every load path, which is what makes a validated
+/// snapshot memory-safe to query even if the cells are garbage: every
+/// avoiding() read is bounded by the validated row-offset table. The
+/// stored content digest is trusted under the metadata checksum; only v1
+/// loads and capture() recompute it from the cells.
+///
+/// Unlike SerializedResult the snapshot also stores the canonical trees,
+/// so a loaded snapshot answers avoiding(s, t, e) for arbitrary edge ids
+/// in O(1) with no Graph in hand — exactly the MsrpResult::avoiding
+/// contract the query service needs. The same v2 bytes serve from a file,
+/// an owned buffer (encode()/attach()), or a shared-memory segment (the
+/// multi-process shard transport; see shard_router.hpp).
 #pragma once
 
 #include <cstdint>
@@ -106,6 +79,36 @@ class Snapshot {
   /// result into a self-contained, query-ready oracle.
   static Snapshot capture(const MsrpResult& res);
 
+  /// Copies the tables of the given source indices (in the given order)
+  /// into a self-contained sub-oracle over the same graph. The slice
+  /// answers exactly the queries whose source is in the subset; its content
+  /// digest is recomputed over the reduced source set. This is how the
+  /// shard router carves one snapshot into per-worker shared-memory images.
+  Snapshot slice(std::span<const std::uint32_t> source_indices) const;
+
+  /// Encodes into the requested format and returns the raw image — the
+  /// same bytes write() streams to disk, for callers that place snapshots
+  /// somewhere other than a file.
+  std::vector<std::uint8_t> encode(SnapshotFormat format = SnapshotFormat::kV2) const;
+
+  /// Exact byte size of this snapshot's v2 image (what encode(kV2) would
+  /// return), computable without encoding.
+  std::size_t v2_encoded_size() const;
+
+  /// Encodes the v2 image directly into `out`, which must be exactly
+  /// v2_encoded_size() bytes — how the shard router writes each shard's
+  /// image straight into its shared-memory segment with no intermediate
+  /// heap buffer.
+  void encode_v2_into(std::span<std::uint8_t> out) const;
+
+  /// Serves a snapshot straight out of caller-provided bytes (a v2 image
+  /// in shared memory, an embedded blob, ...). The tables alias `data`;
+  /// `anchor` keeps the bytes alive for the snapshot's lifetime. Runs the
+  /// same validation as load(); is_mapped() is true for the result. v1
+  /// images are decoded into owned storage instead (anchor unused).
+  static Snapshot attach(const std::uint8_t* data, std::size_t size,
+                         std::shared_ptr<const void> anchor, const LoadOptions& opts = {});
+
   /// Encodes into the requested on-disk format (one bulk write).
   void write(std::ostream& os, SnapshotFormat format = SnapshotFormat::kV2) const;
 
@@ -134,6 +137,12 @@ class Snapshot {
 
   /// Replacement row for (s, t): d(s, t, e_i) per canonical-path position i.
   std::span<const Dist> row(Vertex s, Vertex t) const;
+
+  /// Total replacement-table cells of source index si (the weight the shard
+  /// planner balances on).
+  std::uint64_t cells_for_source(std::uint32_t si) const {
+    return tables_[si].cells.size();
+  }
 
   /// d(s, t, e) for an arbitrary edge id, O(1); same contract as
   /// MsrpResult::avoiding.

@@ -8,16 +8,21 @@
 //   2. async — QueryService::submit_batch future against the same oracle
 //   3. v1    — snapshot saved as format v1, reloaded via the varint decoder
 //   4. v2    — snapshot saved as format v2, reloaded zero-copy through mmap
+//   5. shm   — (MSRP_FUZZ_SHARDS=K > 0 only) a QueryService routing through
+//              K forked worker processes over shared-memory snapshot
+//              segments; off by default because the sanitizer jobs run this
+//              suite and fork under TSan is unsupported
 //
-// All four must agree bit-for-bit with the O(sigma n m) brute-force oracle.
-// On any mismatch the failure message carries the iteration seed; rerun
-// with MSRP_FUZZ_SEED=<seed> MSRP_FUZZ_GRAPHS=1 to reproduce exactly that
-// instance. MSRP_FUZZ_GRAPHS raises the default 200-instance budget for
-// soak runs.
+// All paths must agree bit-for-bit with the O(sigma n m) brute-force
+// oracle. On any mismatch the failure message carries the iteration seed;
+// rerun with MSRP_FUZZ_SEED=<seed> MSRP_FUZZ_GRAPHS=1 to reproduce exactly
+// that instance. MSRP_FUZZ_GRAPHS raises the default 200-instance budget
+// for soak runs.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,10 +58,20 @@ Graph random_instance(Rng& rng) {
 TEST(ServiceFuzz, AllServingPathsMatchBruteForce) {
   const std::uint64_t base_seed = env_u64("MSRP_FUZZ_SEED", 0xF0225EEDULL);
   const std::uint64_t num_graphs = env_u64("MSRP_FUZZ_GRAPHS", 200);
+  const std::uint64_t shards = env_u64("MSRP_FUZZ_SHARDS", 0);
   const std::string dir = testing::TempDir();
 
   service::QueryService svc(
       {.threads = 4, .cache_capacity = 2, .min_parallel_batch = 64});
+  std::unique_ptr<service::QueryService> sharded_svc;
+  if (shards > 0) {
+    service::QueryService::Options opts;
+    opts.threads = 2;
+    opts.cache_capacity = 2;
+    opts.min_parallel_batch = 64;
+    opts.shards = static_cast<unsigned>(shards);
+    sharded_svc = std::make_unique<service::QueryService>(opts);
+  }
 
   for (std::uint64_t iter = 0; iter < num_graphs; ++iter) {
     const std::uint64_t seed = base_seed + iter;
@@ -119,6 +134,13 @@ TEST(ServiceFuzz, AllServingPathsMatchBruteForce) {
     service::BatchResult async_res = svc.submit_batch(oracle, queries).get();
     ASSERT_EQ(async_res.error, nullptr) << "async path failed, seed=" << seed;
     ASSERT_EQ(async_res.answers, want) << "async path diverged, seed=" << seed;
+
+    // Path 5 (opt-in): route the same batch through forked shard workers
+    // over shared-memory segments.
+    if (sharded_svc != nullptr) {
+      ASSERT_EQ(sharded_svc->query_batch(*oracle, queries), want)
+          << "sharded path diverged, seed=" << seed;
+    }
 
     // Paths 3 + 4: the two on-disk formats, v2 through the mmap fast path.
     const std::string v1_path = dir + "/msrp_fuzz_" + std::to_string(seed) + ".v1.snap";

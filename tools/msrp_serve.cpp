@@ -26,7 +26,17 @@
 //   --repeat K             run the batch K times for throughput (default 1)
 //   --async                use submit_batch() futures; reports submit
 //                          latency separately from completion
+//   --shards N             serve through N worker processes: the oracle is
+//                          partitioned by source into N shared-memory v2
+//                          segments, each served zero-copy by a forked
+//                          msrp_serve worker; answers are bit-identical to
+//                          the in-process path (see docs/OPERATIONS.md)
 //   --out <path>           write "s t e answer" lines for the batch
+//
+// Internal:
+//   --shard-worker <base>:<k>   run as shard worker k of the supervisor
+//                               that owns shm prefix <base>; never invoked
+//                               by hand (the router passes it to exec)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -38,6 +48,8 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "service/query_service.hpp"
+#include "service/shard_process.hpp"
+#include "service/shard_router.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -65,7 +77,8 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
                "options: [--seed N] [--oversample X] [--exact] [--bk]\n"
                "         [--save-snapshot <path>] [--format v1|v2] [--mmap]\n"
                "         [--batch-file <path> | --random-queries N]\n"
-               "         [--threads N] [--repeat K] [--async] [--out <path>]\n");
+               "         [--threads N] [--repeat K] [--async] [--shards N]\n"
+               "         [--out <path>]\n");
   std::exit(2);
 }
 
@@ -110,6 +123,15 @@ std::vector<service::Query> random_batch(const service::Snapshot& oracle, std::s
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Shard-worker mode first: the supervisor execs this binary with only the
+  // worker spec, and the worker must never parse (or require) serving flags.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--shard-worker") {
+      if (i + 1 >= argc) usage();
+      return service::shard_worker_main(argv[i + 1]);
+    }
+  }
+
   std::string graph_path, snapshot_path, save_path, batch_path, out_path;
   std::vector<Vertex> sources;
   Config cfg;
@@ -118,6 +140,7 @@ int main(int argc, char** argv) {
   std::size_t random_queries = 0;
   unsigned threads = 0;
   std::size_t repeat = 1;
+  unsigned shards = 0;
   bool use_mmap = false;
   bool use_async = false;
   service::SnapshotFormat save_format = service::SnapshotFormat::kV2;
@@ -165,6 +188,8 @@ int main(int argc, char** argv) {
       random_queries = std::stoull(next());
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--shards") {
+      shards = static_cast<unsigned>(std::stoul(next()));
     } else if (arg == "--repeat") {
       repeat = std::stoull(next());
       if (repeat == 0) repeat = 1;
@@ -179,7 +204,18 @@ int main(int argc, char** argv) {
   if (modes != 1) usage();
 
   try {
-    service::QueryService svc({.threads = threads, .cache_capacity = 4});
+    service::QueryService::Options svc_opts;
+    svc_opts.threads = threads;
+    svc_opts.cache_capacity = 4;
+    if (shards >= 1) {
+      if (!service::ShardRouter::supported()) {
+        std::fprintf(stderr, "error: --shards needs POSIX fork + shared memory\n");
+        return 1;
+      }
+      svc_opts.shards = shards;
+      svc_opts.shard_worker_argv = {argv[0]};  // workers exec this binary
+    }
+    service::QueryService svc(svc_opts);
     std::shared_ptr<const service::Snapshot> oracle;
 
     Timer build_timer;
@@ -251,6 +287,18 @@ int main(int argc, char** argv) {
     std::printf("answered %zu queries x%zu in %.1f ms  (%.0f queries/sec%s)\n", batch.size(),
                 repeat, secs * 1e3, secs > 0 ? total / secs : 0.0,
                 use_async ? ", async" : "");
+    if (shards >= 1) {
+      if (const auto router = svc.router(*oracle)) {
+        const service::ShardRouterStats st = router->stats();
+        std::printf(
+            "sharding: %u workers, %llu shm segments placed once (%.2f MiB), "
+            "%llu queries routed, %llu respawns\n",
+            router->num_shards(), static_cast<unsigned long long>(st.segments_placed),
+            static_cast<double>(st.bytes_placed) / (1024.0 * 1024.0),
+            static_cast<unsigned long long>(st.queries_routed),
+            static_cast<unsigned long long>(st.respawns));
+      }
+    }
 
     if (!out_path.empty()) {
       std::ofstream f(out_path);
