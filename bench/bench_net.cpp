@@ -1,0 +1,110 @@
+// EXP-net: loopback throughput and latency of the TCP serving layer.
+//
+// Rows (merged into BENCH_service.json by bench/run_benchmarks.sh so the
+// remote-serving numbers sit next to the in-process ones they wrap):
+//
+//   * BM_NetRoundTrip/B — synchronous round trip of a B-query batch over
+//     loopback: one frame out, one frame back. items/sec is queries/sec;
+//     at B=1 real_time is the full request latency floor (frame encode,
+//     syscalls, epoll dispatch, pool hop, reply).
+//   * BM_NetPipelined/K — the same 512-query batches with K kept in
+//     flight: measures how much the request ids + completion-order replies
+//     recover the syscall/latency overhead.
+//
+// The deltas against BM_QueryBatch (same service, no socket) price the
+// network layer itself.
+#include <thread>
+
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/query_gen.hpp"
+#include "service/query_service.hpp"
+
+namespace msrp {
+namespace {
+
+constexpr Vertex kN = 1000;
+constexpr std::uint32_t kSigma = 8;
+
+service::QueryService& net_service() {
+  static service::QueryService svc({.threads = 2});
+  return svc;
+}
+
+const std::shared_ptr<const service::Snapshot>& net_oracle() {
+  static const std::shared_ptr<const service::Snapshot> snap = [] {
+    const Graph g = benchutil::er_graph(kN, 8.0);
+    return net_service().build(g, benchutil::spread_sources(g, kSigma));
+  }();
+  return snap;
+}
+
+std::vector<service::Query> make_batch(std::size_t count, std::uint64_t seed) {
+  const service::Snapshot& oracle = *net_oracle();
+  Rng rng(seed);
+  return service::random_query_batch(oracle.sources(), oracle.num_vertices(),
+                                     oracle.num_edges(), count, rng);
+}
+
+/// Loopback server shared by all rows; spawned on first use, reaped at
+/// process exit by the static destructor ordering (server after service).
+struct LoopbackServer {
+  net::Server server;
+  std::thread thread;
+
+  LoopbackServer() : server(net_service(), net_oracle()) {
+    thread = std::thread([this] { server.run(); });
+  }
+  ~LoopbackServer() {
+    server.shutdown();
+    thread.join();
+  }
+};
+
+net::ClientOptions loopback_options() {
+  static LoopbackServer loopback;
+  net::ClientOptions copts;
+  copts.port = loopback.server.port();
+  copts.connect_retries = 10;
+  return copts;
+}
+
+void BM_NetRoundTrip(benchmark::State& state) {
+  if (!net::Server::supported()) {
+    state.SkipWithError("epoll serving unsupported on this platform");
+    return;
+  }
+  net::Client client(loopback_options());
+  const auto batch = make_batch(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto answers = client.query_batch(batch);
+    benchmark::DoNotOptimize(answers.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_NetRoundTrip)->Arg(1)->Arg(64)->Arg(1024)->Arg(16384)->UseRealTime();
+
+void BM_NetPipelined(benchmark::State& state) {
+  if (!net::Server::supported()) {
+    state.SkipWithError("epoll serving unsupported on this platform");
+    return;
+  }
+  const std::size_t inflight = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatchSize = 512;
+  net::Client client(loopback_options());
+  const auto batch = make_batch(kBatchSize, 8);
+  for (auto _ : state) {
+    while (client.inflight() < inflight) client.send(batch);
+    auto got = client.wait_any();  // one completion per iteration
+    benchmark::DoNotOptimize(got.answers.data());
+  }
+  while (client.inflight() > 0) client.wait_any();  // drain outside the timer
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchSize));
+}
+BENCHMARK(BM_NetPipelined)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+}  // namespace
+}  // namespace msrp

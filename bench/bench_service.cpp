@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "core/serialize.hpp"
+#include "service/query_gen.hpp"
 #include "service/query_service.hpp"
 #include "service/shard_router.hpp"
 
@@ -37,14 +38,8 @@ const service::Snapshot& demo_oracle() {
 std::vector<service::Query> make_batch(const service::Snapshot& oracle, std::size_t count,
                                        std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<service::Query> batch;
-  batch.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    batch.push_back({oracle.sources()[rng.next_below(oracle.num_sources())],
-                     static_cast<Vertex>(rng.next_below(oracle.num_vertices())),
-                     static_cast<EdgeId>(rng.next_below(oracle.num_edges()))});
-  }
-  return batch;
+  return service::random_query_batch(oracle.sources(), oracle.num_vertices(),
+                                     oracle.num_edges(), count, rng);
 }
 
 std::vector<service::Query> demo_batch(const service::Snapshot& oracle) {

@@ -20,7 +20,7 @@ if [[ $# -gt 0 && $1 != -* ]]; then  # a leading flag is an extra arg, not a dir
   shift
 fi
 
-for bin in bench_build bench_service; do
+for bin in bench_build bench_service bench_net; do
   if [[ ! -x "$build_dir/$bin" ]]; then
     echo "error: $build_dir/$bin not found; configure with google-benchmark installed" >&2
     exit 1
@@ -34,5 +34,33 @@ echo "== bench_build -> BENCH_build.json"
 echo "== bench_service -> BENCH_service.json"
 "$build_dir/bench_service" \
   --benchmark_out="$repo_root/BENCH_service.json" --benchmark_out_format=json "$@"
+
+# The loopback TCP rows belong in the serving trajectory, next to the
+# in-process paths they wrap: run bench_net separately (it owns a server
+# thread) and merge its rows into BENCH_service.json.
+echo "== bench_net -> BENCH_service.json (merged)"
+net_json="$(mktemp /tmp/bench_net.XXXXXX.json)"
+"$build_dir/bench_net" \
+  --benchmark_out="$net_json" --benchmark_out_format=json "$@"
+python3 - "$repo_root/BENCH_service.json" "$net_json" <<'PY'
+import json, sys
+svc_path, net_path = sys.argv[1], sys.argv[2]
+with open(svc_path) as f:
+    svc = json.load(f)
+with open(net_path) as f:
+    net = json.load(f)
+# Re-base the appended rows' family indices past the existing ones so
+# tooling that groups by family_index never conflates TCP rows with the
+# in-process rows they happen to share indices with.
+offset = 1 + max((b.get("family_index", 0) for b in svc["benchmarks"]), default=-1)
+for b in net["benchmarks"]:
+    if "family_index" in b:
+        b["family_index"] += offset
+svc["benchmarks"].extend(net["benchmarks"])
+with open(svc_path, "w") as f:
+    json.dump(svc, f, indent=2)
+    f.write("\n")
+PY
+rm -f "$net_json"
 
 echo "wrote $repo_root/BENCH_build.json and $repo_root/BENCH_service.json"

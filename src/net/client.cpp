@@ -1,0 +1,325 @@
+#include "net/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/assert.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MSRP_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define MSRP_HAVE_SOCKETS 0
+#endif
+
+namespace msrp::net {
+
+#if MSRP_HAVE_SOCKETS
+
+// Sends to a server that closed on us must fail with EPIPE, not SIGPIPE.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace {
+
+/// connect() with a timeout: non-blocking dial, poll for writability, then
+/// back to blocking mode for the plain read/write loops.
+int dial_once(const std::string& host, std::uint16_t port, unsigned timeout_ms) {
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net client: bad host address " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("net client: socket() failed");
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno == EINPROGRESS) {
+    ::pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc == 1) {
+      int err = 0;
+      ::socklen_t len = sizeof err;
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      rc = err == 0 ? 0 : -1;
+    } else {
+      rc = -1;  // timeout or poll failure
+    }
+  }
+  if (rc != 0) {
+    ::close(fd);
+    return -1;
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+#ifdef SO_NOSIGPIPE
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);  // macOS
+#endif
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(ClientOptions opts)
+    : opts_(std::move(opts)), decoder_(opts_.max_frame_bytes) {
+  dial();
+}
+
+Client::~Client() { close_socket(); }
+
+void Client::close_socket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::dial() {
+  for (unsigned attempt = 0;; ++attempt) {
+    fd_ = dial_once(opts_.host, opts_.port, opts_.connect_timeout_ms);
+    if (fd_ >= 0) break;
+    if (attempt >= opts_.connect_retries) {
+      throw std::runtime_error("net client: cannot connect to " + opts_.host + ":" +
+                               std::to_string(opts_.port));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts_.retry_delay_ms));
+  }
+  decoder_ = FrameDecoder(opts_.max_frame_bytes);
+  ready_.clear();
+  failed_.clear();
+  inflight_.clear();
+
+  // The handshake: the first frame on the wire must be a HELLO we can
+  // speak. The version is checked from the leading u32 BEFORE the payload
+  // is decoded — a future version is allowed to change the HELLO layout,
+  // so a mismatch must surface as the version diagnostic, not as a decode
+  // error. Every failure path closes the socket (the constructor may be
+  // about to propagate, with no destructor coming).
+  Frame frame = read_frame();
+  if (frame.type != FrameType::kHello) {
+    close_socket();
+    throw std::runtime_error("net client: server did not start with HELLO");
+  }
+  if (frame.payload.size() < 4) {
+    close_socket();
+    throw std::runtime_error("net client: HELLO frame too short");
+  }
+  const std::uint32_t version = std::uint32_t{frame.payload[0]} |
+                                (std::uint32_t{frame.payload[1]} << 8) |
+                                (std::uint32_t{frame.payload[2]} << 16) |
+                                (std::uint32_t{frame.payload[3]} << 24);
+  if (version != kProtocolVersion) {
+    close_socket();
+    throw std::runtime_error("net client: server speaks protocol version " +
+                             std::to_string(version) + ", this client speaks " +
+                             std::to_string(kProtocolVersion));
+  }
+  try {
+    hello_ = decode_hello(frame.payload);
+  } catch (const ProtocolError& ex) {
+    close_socket();
+    throw std::runtime_error(std::string("net client: malformed HELLO: ") + ex.what());
+  }
+}
+
+void Client::reconnect() {
+  close_socket();
+  dial();
+}
+
+void Client::write_all(std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ::ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close_socket();
+      throw std::runtime_error("net client: connection lost during send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+Frame Client::read_frame() {
+  for (;;) {
+    try {
+      if (auto frame = decoder_.next()) return std::move(*frame);
+    } catch (const ProtocolError&) {
+      close_socket();  // a corrupt stream cannot be resynchronized
+      throw;
+    }
+    std::uint8_t buf[65536];
+    const ::ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n == 0) {
+      close_socket();
+      throw std::runtime_error("net client: server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close_socket();
+      throw std::runtime_error("net client: connection lost during receive");
+    }
+    decoder_.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+std::uint64_t Client::send(std::span<const service::Query> queries) {
+  if (fd_ < 0) {
+    // inflight() (not inflight_) on purpose: dial() clears the buffered
+    // ready_/failed_ results too, and reconnecting must never destroy
+    // answers the caller has yet to wait() for.
+    if (!opts_.auto_reconnect || inflight() != 0) {
+      throw std::runtime_error("net client: not connected");
+    }
+    dial();
+  }
+  // Reject a batch the server's decoder would refuse anyway — before
+  // shipping tens of megabytes just to learn that.
+  const std::size_t payload_bytes = 16 + 12 * queries.size();
+  if (payload_bytes > opts_.max_frame_bytes) {
+    throw std::runtime_error("net client: batch exceeds the maximum frame size (" +
+                             std::to_string(payload_bytes) + " > " +
+                             std::to_string(opts_.max_frame_bytes) + " payload bytes)");
+  }
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  append_query_batch(bytes, id, queries);
+  write_all(bytes);
+  inflight_.emplace(id, queries.size());
+  return id;
+}
+
+BatchAnswer Client::collect_next() {
+  for (;;) {
+    Frame frame = read_frame();
+    switch (frame.type) {
+      case FrameType::kAnswerBatch: {
+        AnswerBatchFrame ab = decode_answer_batch(frame.payload);
+        // The reply must answer a batch we actually sent, in full — an
+        // unknown id or a short answer vector is a server defect the
+        // caller must never index into.
+        const auto it = inflight_.find(ab.request_id);
+        if (it == inflight_.end() || ab.answers.size() != it->second) {
+          close_socket();
+          throw std::runtime_error(
+              it == inflight_.end()
+                  ? "net client: answer for a request that is not in flight"
+                  : "net client: answer count does not match the batch");
+        }
+        inflight_.erase(it);
+        return BatchAnswer{ab.request_id, std::move(ab.answers)};
+      }
+      case FrameType::kError: {
+        const ErrorFrame err = decode_error(frame.payload);
+        if (err.request_id == 0) {
+          // Connection-level: the server is about to close on us.
+          close_socket();
+          throw std::runtime_error("net client: server error: " + err.message);
+        }
+        const auto it = inflight_.find(err.request_id);
+        if (it == inflight_.end()) {
+          close_socket();
+          throw std::runtime_error("net client: error for a request that is not in flight");
+        }
+        inflight_.erase(it);
+        failed_.emplace(err.request_id, err.message);
+        // Surface through wait()/wait_any() below so the caller can match
+        // the failure to its id.
+        return BatchAnswer{err.request_id, {}};
+      }
+      default:
+        close_socket();
+        throw std::runtime_error("net client: unexpected frame type from server");
+    }
+  }
+}
+
+BatchAnswer Client::wait_any() {
+  if (!ready_.empty()) {
+    auto it = ready_.begin();
+    BatchAnswer out = std::move(it->second);
+    ready_.erase(it);
+    return out;
+  }
+  if (!failed_.empty()) {
+    auto it = failed_.begin();
+    const std::string message = std::move(it->second);
+    failed_.erase(it);
+    throw std::runtime_error("net client: batch failed: " + message);
+  }
+  MSRP_REQUIRE(!inflight_.empty(), "net client: wait_any with nothing in flight");
+  BatchAnswer got = collect_next();
+  if (const auto it = failed_.find(got.request_id); it != failed_.end()) {
+    const std::string message = std::move(it->second);
+    failed_.erase(it);
+    throw std::runtime_error("net client: batch failed: " + message);
+  }
+  return got;
+}
+
+std::vector<Dist> Client::wait(std::uint64_t request_id) {
+  if (const auto it = ready_.find(request_id); it != ready_.end()) {
+    std::vector<Dist> out = std::move(it->second.answers);
+    ready_.erase(it);
+    return out;
+  }
+  for (;;) {
+    if (const auto it = failed_.find(request_id); it != failed_.end()) {
+      const std::string message = std::move(it->second);
+      failed_.erase(it);
+      throw std::runtime_error("net client: batch failed: " + message);
+    }
+    MSRP_REQUIRE(inflight_.count(request_id) != 0,
+                 "net client: waiting for an id that is not in flight");
+    BatchAnswer got = collect_next();
+    if (got.request_id == request_id) {
+      if (const auto it = failed_.find(request_id); it != failed_.end()) {
+        const std::string message = std::move(it->second);
+        failed_.erase(it);
+        throw std::runtime_error("net client: batch failed: " + message);
+      }
+      return std::move(got.answers);
+    }
+    if (failed_.find(got.request_id) == failed_.end()) {
+      ready_.emplace(got.request_id, std::move(got));
+    }
+  }
+}
+
+std::vector<Dist> Client::query_batch(std::span<const service::Query> queries) {
+  return wait(send(queries));
+}
+
+#else  // !MSRP_HAVE_SOCKETS
+
+Client::Client(ClientOptions opts) : opts_(std::move(opts)) {
+  throw std::runtime_error("net client: sockets are unavailable on this platform");
+}
+Client::~Client() = default;
+void Client::dial() {}
+void Client::close_socket() {}
+void Client::reconnect() {}
+void Client::write_all(std::span<const std::uint8_t>) {}
+Frame Client::read_frame() { return {}; }
+BatchAnswer Client::collect_next() { return {}; }
+std::uint64_t Client::send(std::span<const service::Query>) { return 0; }
+BatchAnswer Client::wait_any() { return {}; }
+std::vector<Dist> Client::wait(std::uint64_t) { return {}; }
+std::vector<Dist> Client::query_batch(std::span<const service::Query>) { return {}; }
+
+#endif
+
+}  // namespace msrp::net

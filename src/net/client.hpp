@@ -1,0 +1,120 @@
+/// \file
+/// Client side of the wire protocol: a blocking-socket library for callers
+/// and load generators.
+///
+/// One Client owns one TCP connection: connect() dials, performs the HELLO
+/// handshake (version check, oracle identity capture), and then batches
+/// flow. Two call shapes share the connection:
+///
+///   * query_batch() — the synchronous round trip: send one batch, block
+///     until its answer arrives;
+///   * send() / wait_any() / wait(id) — explicit pipelining: send() writes a
+///     batch and returns its request id immediately, any number may be in
+///     flight, and the waits collect completed batches in whatever order
+///     the server finishes them (answers for other ids are buffered, never
+///     lost). This is the shape the msrp_client load generator drives.
+///
+/// A server-reported batch failure (ERROR frame with our id) surfaces as a
+/// thrown std::runtime_error from the wait that collects it; a
+/// connection-level ERROR (id 0) or any framing violation additionally
+/// marks the connection dead. reconnect() re-dials and re-handshakes —
+/// in-flight ids are lost (their batches die with the old socket) — and
+/// with ClientOptions::auto_reconnect a send() on a dead connection does
+/// this transparently when nothing is in flight.
+///
+/// Instances are not thread-safe; give each thread its own Client (the
+/// load generator opens one per connection by design).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "service/query.hpp"
+#include "util/distance.hpp"
+
+namespace msrp::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-dial connect timeout.
+  unsigned connect_timeout_ms = 5000;
+  /// Extra dial attempts before connect() gives up — lets a client start
+  /// before its server finishes binding (CI does exactly this).
+  unsigned connect_retries = 0;
+  unsigned retry_delay_ms = 200;
+  /// Re-dial transparently when send() finds the connection dead and no
+  /// batches are in flight.
+  bool auto_reconnect = false;
+};
+
+/// One completed batch collected by wait_any().
+struct BatchAnswer {
+  std::uint64_t request_id = 0;
+  std::vector<Dist> answers;
+};
+
+class Client {
+ public:
+  /// Dials and handshakes; throws std::runtime_error when the server is
+  /// unreachable (after retries) or speaks an unknown protocol version.
+  explicit Client(ClientOptions opts);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Server identity from the handshake (oracle digest, n, m, sources).
+  const HelloInfo& hello() const { return hello_; }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Batches sent but not yet collected by a wait.
+  std::size_t inflight() const { return inflight_.size() + ready_.size() + failed_.size(); }
+
+  /// Drops the current socket (in-flight ids are lost) and dials fresh.
+  void reconnect();
+
+  /// Writes one QUERY_BATCH and returns its request id without waiting.
+  std::uint64_t send(std::span<const service::Query> queries);
+
+  /// Blocks for the next completed batch, in server-completion order.
+  /// Throws std::runtime_error if the server reported that batch failed.
+  BatchAnswer wait_any();
+
+  /// Blocks until the batch with this id completes (others are buffered).
+  std::vector<Dist> wait(std::uint64_t request_id);
+
+  /// send() + wait(): the synchronous round trip.
+  std::vector<Dist> query_batch(std::span<const service::Query> queries);
+
+ private:
+  void dial();
+  void close_socket();
+  void write_all(std::span<const std::uint8_t> bytes);
+  /// Reads socket bytes into the decoder until one frame is complete.
+  Frame read_frame();
+  /// Reads frames until some batch completes; returns it.
+  BatchAnswer collect_next();
+
+  ClientOptions opts_;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  HelloInfo hello_;
+  std::uint64_t next_id_ = 1;
+  // Ids on the wire, with the answer count each one owes us — a reply
+  // whose id or size does not match something we sent is treated as a
+  // protocol violation, never returned to the caller.
+  std::unordered_map<std::uint64_t, std::size_t> inflight_;
+  // Answers (or server-reported errors) that arrived while waiting for a
+  // different id.
+  std::unordered_map<std::uint64_t, BatchAnswer> ready_;
+  std::unordered_map<std::uint64_t, std::string> failed_;
+};
+
+}  // namespace msrp::net

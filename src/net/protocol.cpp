@@ -1,0 +1,243 @@
+#include "net/protocol.hpp"
+
+#include "util/fnv.hpp"
+
+namespace msrp::net {
+
+namespace {
+
+// Little-endian scalar I/O, independent of host byte order.
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_u32_at(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64_at(std::uint8_t* p, std::uint64_t v) {
+  put_u32_at(p, static_cast<std::uint32_t>(v));
+  put_u32_at(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) | (std::uint32_t{p[2]} << 16) |
+         (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return std::uint64_t{get_u32(p)} | (std::uint64_t{get_u32(p + 4)} << 32);
+}
+
+/// A payload reader that throws ProtocolError instead of reading past the
+/// end — every decoder below funnels through it, so a lying count field
+/// can never cause an out-of-bounds read.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> payload) : p_(payload) {}
+
+  std::uint32_t u32() { return get_u32(take(4)); }
+  std::uint64_t u64() { return get_u64(take(8)); }
+
+  const std::uint8_t* take(std::size_t n) {
+    if (p_.size() - pos_ < n) throw ProtocolError("frame payload truncated");
+    const std::uint8_t* at = p_.data() + pos_;
+    pos_ += n;
+    return at;
+  }
+
+  /// Guards a count field before it sizes any allocation: the payload must
+  /// actually hold `count` records of `record_bytes` each. Without this, a
+  /// 40-byte frame claiming 2^32 queries would drive a multi-gigabyte
+  /// reserve() whose bad_alloc is not a ProtocolError.
+  void expect_records(std::uint64_t count, std::size_t record_bytes) const {
+    if ((p_.size() - pos_) / record_bytes < count) {
+      throw ProtocolError("frame payload truncated (count exceeds payload)");
+    }
+  }
+
+  void expect_end() const {
+    if (pos_ != p_.size()) throw ProtocolError("frame payload has trailing bytes");
+  }
+
+ private:
+  std::span<const std::uint8_t> p_;
+  std::size_t pos_ = 0;
+};
+
+/// Encodes payload via `fill`, then patches the header in place: the
+/// payload is built directly in `out` after a 24-byte gap, and the header
+/// (whose checksum needs the final payload) is written straight into the
+/// gap — no temporary buffer on the per-frame path.
+template <typename Fill>
+void append_frame(std::vector<std::uint8_t>& out, FrameType type, Fill&& fill) {
+  const std::size_t header_at = out.size();
+  out.resize(out.size() + kFrameHeaderBytes);
+  fill(out);
+  std::uint8_t* h = out.data() + header_at;
+  const std::uint8_t* payload = h + kFrameHeaderBytes;
+  const std::size_t payload_len = out.size() - header_at - kFrameHeaderBytes;
+  put_u32_at(h, kFrameMagic);
+  put_u32_at(h + 4, static_cast<std::uint32_t>(payload_len));
+  put_u32_at(h + 8, static_cast<std::uint32_t>(type));
+  put_u32_at(h + 12, 0);  // reserved
+  put_u64_at(h + 16, fnv::mix_bytes(fnv::kOffset, payload, payload_len));
+}
+
+}  // namespace
+
+void append_hello(std::vector<std::uint8_t>& out, const HelloInfo& hello) {
+  append_frame(out, FrameType::kHello, [&](std::vector<std::uint8_t>& buf) {
+    put_u32(buf, hello.version);
+    put_u32(buf, 0);  // flags, reserved
+    put_u64(buf, hello.oracle_digest);
+    put_u32(buf, hello.num_vertices);
+    put_u32(buf, hello.num_edges);
+    put_u32(buf, static_cast<std::uint32_t>(hello.sources.size()));
+    put_u32(buf, 0);  // reserved
+    for (const Vertex s : hello.sources) put_u32(buf, s);
+  });
+}
+
+void append_query_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                        std::span<const service::Query> queries) {
+  append_frame(out, FrameType::kQueryBatch, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, request_id);
+    put_u32(buf, static_cast<std::uint32_t>(queries.size()));
+    put_u32(buf, 0);  // reserved
+    for (const service::Query& q : queries) {
+      put_u32(buf, q.s);
+      put_u32(buf, q.t);
+      put_u32(buf, q.e);
+    }
+  });
+}
+
+void append_answer_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                         std::span<const Dist> answers) {
+  append_frame(out, FrameType::kAnswerBatch, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, request_id);
+    put_u32(buf, static_cast<std::uint32_t>(answers.size()));
+    put_u32(buf, 0);  // reserved
+    for (const Dist d : answers) put_u32(buf, d);
+  });
+}
+
+void append_error(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                  std::string_view message) {
+  append_frame(out, FrameType::kError, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, request_id);
+    put_u32(buf, static_cast<std::uint32_t>(message.size()));
+    put_u32(buf, 0);  // reserved
+    buf.insert(buf.end(), message.begin(), message.end());
+  });
+}
+
+HelloInfo decode_hello(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  HelloInfo hello;
+  hello.version = r.u32();
+  r.u32();  // flags
+  hello.oracle_digest = r.u64();
+  hello.num_vertices = r.u32();
+  hello.num_edges = r.u32();
+  const std::uint32_t sigma = r.u32();
+  r.u32();  // reserved
+  r.expect_records(sigma, 4);
+  hello.sources.reserve(sigma);
+  for (std::uint32_t i = 0; i < sigma; ++i) hello.sources.push_back(r.u32());
+  r.expect_end();
+  return hello;
+}
+
+QueryBatchFrame decode_query_batch(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  QueryBatchFrame qb;
+  qb.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  r.u32();  // reserved
+  r.expect_records(count, 12);
+  qb.queries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t s = r.u32();
+    const std::uint32_t t = r.u32();
+    const std::uint32_t e = r.u32();
+    qb.queries.push_back({s, t, e});
+  }
+  r.expect_end();
+  return qb;
+}
+
+AnswerBatchFrame decode_answer_batch(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  AnswerBatchFrame ab;
+  ab.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  r.u32();  // reserved
+  r.expect_records(count, 4);
+  ab.answers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) ab.answers.push_back(r.u32());
+  r.expect_end();
+  return ab;
+}
+
+ErrorFrame decode_error(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ErrorFrame err;
+  err.request_id = r.u64();
+  const std::uint32_t len = r.u32();
+  r.u32();  // reserved
+  const std::uint8_t* bytes = r.take(len);
+  err.message.assign(reinterpret_cast<const char*>(bytes), len);
+  r.expect_end();
+  return err;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  // Compact before growing: once the consumed prefix dominates the buffer
+  // (and is past trivial size), shift the tail down so a long-lived
+  // connection's buffer stays proportional to its unread bytes.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buffered_bytes() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + pos_;
+  if (get_u32(h) != kFrameMagic) throw ProtocolError("bad frame magic");
+  const std::uint32_t payload_len = get_u32(h + 4);
+  if (payload_len > max_frame_bytes_) {
+    throw ProtocolError("frame exceeds maximum size (" + std::to_string(payload_len) +
+                        " > " + std::to_string(max_frame_bytes_) + " bytes)");
+  }
+  if (buffered_bytes() < kFrameHeaderBytes + payload_len) return std::nullopt;
+
+  const std::uint32_t type = get_u32(h + 8);
+  const std::uint64_t checksum = get_u64(h + 16);
+  const std::uint8_t* payload = h + kFrameHeaderBytes;
+  if (fnv::mix_bytes(fnv::kOffset, payload, payload_len) != checksum) {
+    throw ProtocolError("frame checksum mismatch");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(payload, payload + payload_len);
+  pos_ += kFrameHeaderBytes + payload_len;
+  return frame;
+}
+
+}  // namespace msrp::net

@@ -1,0 +1,148 @@
+/// \file
+/// Binary wire protocol for remote replacement-path serving.
+///
+/// Everything on the socket is a *frame*: a fixed 24-byte header (magic,
+/// payload length, type, checksum) followed by the payload. Frames are
+/// self-delimiting, so a TCP stream of them can be cut anywhere — the
+/// incremental FrameDecoder reassembles frames across arbitrary read
+/// boundaries — and every payload travels under an FNV-1a checksum, so a
+/// corrupted or desynchronized stream is detected at the first bad frame
+/// instead of being served as garbage answers.
+///
+/// The conversation (byte-exact layouts in docs/NETWORK_PROTOCOL.md):
+///
+///   * on accept the server sends one HELLO frame: protocol version,
+///     oracle identity (content digest, n, m) and the source vertex list.
+///     A client that sees an unknown version (or no HELLO as the first
+///     frame) must disconnect — version negotiation is "take it or leave
+///     it", which keeps old clients from silently mis-decoding new frames;
+///   * the client then sends QUERY_BATCH frames, each carrying a caller-
+///     chosen request id and a run of (s, t, e) queries. Ids exist for
+///     pipelining: a client may have any number of batches in flight, and
+///     the server answers each batch as its QueryService completion fires
+///     — NOT necessarily in submission order;
+///   * the server replies per batch with ANSWER_BATCH (same request id,
+///     one u32 distance per query, kInfDist = unreachable) or ERROR (same
+///     request id, human-readable message) when the batch failed
+///     validation. An ERROR with request id 0 is connection-level — a
+///     protocol violation — and is followed by the server closing.
+///
+/// All integers are little-endian. A frame's payload is capped
+/// (max_frame_bytes, default 64 MiB); an oversized length in the header is
+/// a protocol error — the decoder refuses it *before* buffering, so a
+/// malicious or corrupt length cannot balloon memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/query.hpp"
+#include "util/distance.hpp"
+
+namespace msrp::net {
+
+/// First bytes of every frame, little-endian "MRPC".
+inline constexpr std::uint32_t kFrameMagic = 0x4350524du;
+/// Wire protocol version announced in the server HELLO.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Fixed byte size of the frame header.
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+/// Default payload cap; both sides reject frames claiming more.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,        ///< server -> client, once, first frame on the wire
+  kQueryBatch = 2,   ///< client -> server, pipelined
+  kAnswerBatch = 3,  ///< server -> client, one per QUERY_BATCH
+  kError = 4,        ///< server -> client; id 0 = fatal protocol error
+};
+
+/// A malformed byte stream (bad magic, oversized length, checksum
+/// mismatch, truncated or inconsistent payload). Connection-fatal: the
+/// stream cannot be resynchronized past it.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Frame {
+  FrameType type{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Server identity sent on accept.
+struct HelloInfo {
+  std::uint32_t version = kProtocolVersion;
+  std::uint64_t oracle_digest = 0;  ///< Snapshot::content_digest()
+  std::uint32_t num_vertices = 0;
+  std::uint32_t num_edges = 0;
+  std::vector<Vertex> sources;  ///< valid query sources, in oracle order
+};
+
+struct QueryBatchFrame {
+  std::uint64_t request_id = 0;
+  std::vector<service::Query> queries;
+};
+
+struct AnswerBatchFrame {
+  std::uint64_t request_id = 0;
+  std::vector<Dist> answers;
+};
+
+struct ErrorFrame {
+  std::uint64_t request_id = 0;  ///< 0 = connection-level, close follows
+  std::string message;
+};
+
+// ----- encoding ------------------------------------------------------------
+// Each encoder appends one complete frame (header + payload) to `out`, so
+// several frames can be gathered into one write.
+
+void append_hello(std::vector<std::uint8_t>& out, const HelloInfo& hello);
+void append_query_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                        std::span<const service::Query> queries);
+void append_answer_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                         std::span<const Dist> answers);
+void append_error(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                  std::string_view message);
+
+// ----- payload decoding ----------------------------------------------------
+// Throw ProtocolError when the payload size does not match its own counts.
+
+HelloInfo decode_hello(std::span<const std::uint8_t> payload);
+QueryBatchFrame decode_query_batch(std::span<const std::uint8_t> payload);
+AnswerBatchFrame decode_answer_batch(std::span<const std::uint8_t> payload);
+ErrorFrame decode_error(std::span<const std::uint8_t> payload);
+
+/// Incremental frame reassembly over a byte stream.
+///
+/// feed() whatever the socket produced — any split, down to one byte at a
+/// time — then call next() until it returns nullopt. Validation order per
+/// frame: magic, length cap, completeness, checksum; the first violation
+/// throws ProtocolError and the decoder must be discarded with its
+/// connection (a checksummed stream cannot be re-synchronized reliably).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Next complete frame, or nullopt until more bytes arrive.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+};
+
+}  // namespace msrp::net

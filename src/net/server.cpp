@@ -1,0 +1,499 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+
+#if defined(__linux__)
+#define MSRP_HAVE_NET_SERVER 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace msrp::net {
+
+#if MSRP_HAVE_NET_SERVER
+
+/// Per-connection state; touched exclusively on the loop thread. Pool
+/// callbacks reach a Conn only through the shared_ptr their closure
+/// captured via loop_.post, and a closure arriving after the connection
+/// died sees closed == true and drops its reply.
+struct Server::Conn {
+  int fd = -1;
+  FrameDecoder decoder;
+  // Output queue: encoded reply frames in write order; out_off is the
+  // partially-written prefix of the front buffer.
+  std::deque<std::vector<std::uint8_t>> outq;
+  std::size_t out_off = 0;
+  std::size_t out_bytes = 0;
+  std::size_t inflight = 0;   // batches inside the QueryService
+  bool reading = true;        // EPOLLIN currently wanted
+  bool want_write = false;    // EPOLLOUT currently wanted
+  bool closing = false;       // close as soon as outq flushes
+  bool closed = false;
+
+  explicit Conn(std::size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+};
+
+// A client may vanish with replies still queued; writing then must fail
+// with EPIPE, not kill the process with SIGPIPE.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  MSRP_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+             "net server: cannot make socket non-blocking");
+}
+
+}  // namespace
+
+Server::Server(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
+               ServerOptions opts)
+    : svc_(svc), oracle_(std::move(oracle)), opts_(std::move(opts)) {
+  MSRP_REQUIRE(oracle_ != nullptr, "net server: null oracle");
+
+  HelloInfo hello;
+  hello.oracle_digest = oracle_->content_digest();
+  hello.num_vertices = oracle_->num_vertices();
+  hello.num_edges = oracle_->num_edges();
+  hello.sources = oracle_->sources();
+  append_hello(hello_bytes_, hello);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("net server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("net server: bad bind address " + opts_.bind_addr);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<::sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    throw std::runtime_error("net server: cannot listen on " + opts_.bind_addr + ":" +
+                             std::to_string(opts_.port) + " (" + why + ")");
+  }
+  ::socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<::sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t ev) { on_accept(ev); });
+}
+
+Server::~Server() {
+  shutdown();
+  // No callback may outlive the server: each submit_batch callback posts
+  // its reply and only then decrements the count, so once it reaches zero
+  // nothing can touch loop_ or the counters again.
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_total_ == 0; });
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [fd, conn] : conns_) {
+    if (!conn->closed) ::close(conn->fd);
+  }
+}
+
+std::uint32_t Server::base_events() const {
+  return opts_.edge_triggered ? EPOLLET : 0u;
+}
+
+void Server::run() {
+  loop_.set_tick([this] { on_tick(); }, 100);
+  loop_.run();
+}
+
+void Server::shutdown() {
+  loop_.post([this] {
+    if (draining_) return;
+    draining_ = true;
+    drain_deadline_ =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(opts_.drain_timeout_ms);
+    if (listen_fd_ >= 0) {
+      loop_.remove_fd(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Stop reading new requests everywhere; flush + close what is idle.
+    // Collect first: maybe_finish_conn mutates conns_.
+    std::vector<std::shared_ptr<Conn>> all;
+    all.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) all.push_back(conn);
+    for (auto& conn : all) {
+      if (conn->reading) {
+        conn->reading = false;
+        update_epoll(conn);
+      }
+      maybe_finish_conn(conn);
+    }
+    check_drain_done();  // stops the loop once the last connection drains
+  });
+}
+
+void Server::on_tick() {
+  if (accept_paused_ && !draining_ && listen_fd_ >= 0) {
+    loop_.modify_fd(listen_fd_, EPOLLIN);  // retry accepting after fd pressure
+    accept_paused_ = false;
+  }
+  check_drain_done();
+}
+
+void Server::check_drain_done() {
+  if (!draining_) return;
+  if (!conns_.empty() && std::chrono::steady_clock::now() >= drain_deadline_) {
+    std::vector<std::shared_ptr<Conn>> all;
+    all.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) all.push_back(conn);
+    for (auto& conn : all) close_conn(conn);  // force: replies are lost
+  }
+  if (conns_.empty()) loop_.stop();
+}
+
+void Server::on_accept(std::uint32_t) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors with the backlog still pending: a level-
+        // triggered listener would re-fire every epoll_wait and peg the
+        // loop. Stop watching it; the tick re-arms it (~100 ms) and we
+        // retry once something has closed.
+        loop_.modify_fd(listen_fd_, 0);
+        accept_paused_ = true;
+        return;
+      }
+      return;  // transient accept failures (ECONNABORTED, ...) — keep serving
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto conn = std::make_shared<Conn>(opts_.max_frame_bytes);
+    conn->fd = fd;
+    conns_.emplace(fd, conn);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    loop_.add_fd(fd, EPOLLIN | base_events(),
+                 [this, conn](std::uint32_t ev) { on_conn_event(conn, ev); });
+    send_bytes(conn, hello_bytes_);  // copy; the template outlives everything
+  }
+}
+
+void Server::on_conn_event(const std::shared_ptr<Conn>& conn, std::uint32_t events) {
+  if (conn->closed) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_conn(conn);
+    return;
+  }
+  if (events & EPOLLOUT) on_writable(conn);
+  if (conn->closed) return;
+  if (events & EPOLLIN) on_readable(conn);
+}
+
+void Server::on_readable(const std::shared_ptr<Conn>& conn) {
+  std::uint8_t buf[65536];
+  for (;;) {
+    if (!conn->reading) return;  // backpressure kicked in mid-drain
+    const ::ssize_t n = ::read(conn->fd, buf, sizeof buf);
+    if (n == 0) {
+      // Peer closed. Any batches still in flight will complete and find
+      // closed == true; their replies are dropped, nothing blocks.
+      close_conn(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(conn);
+      return;
+    }
+    conn->decoder.feed({buf, static_cast<std::size_t>(n)});
+    pump(conn);
+    if (conn->closed || conn->closing) return;
+  }
+  pump(conn);
+}
+
+bool Server::has_capacity(const Conn& conn) const {
+  return !draining_ && conn.inflight < opts_.max_inflight_batches &&
+         conn.out_bytes <= opts_.output_high_water;
+}
+
+void Server::pump(const std::shared_ptr<Conn>& conn) {
+  // Process frames the decoder already holds, as far as the pipelining
+  // window and output backpressure allow. Called whenever capacity may
+  // have been created (bytes read, a batch completed, output drained) —
+  // a client that sent its whole pipeline in one burst makes progress
+  // even when no new bytes ever arrive.
+  try {
+    while (!conn->closed && !conn->closing && has_capacity(*conn)) {
+      auto frame = conn->decoder.next();
+      if (!frame) break;
+      handle_frame(conn, std::move(*frame));
+    }
+  } catch (const ProtocolError& ex) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, ex.what());
+    return;
+  }
+  update_read_interest(conn);
+}
+
+void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
+  if (frame.type != FrameType::kQueryBatch) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, "unexpected frame type " +
+                        std::to_string(static_cast<std::uint32_t>(frame.type)) +
+                        " (client may only send QUERY_BATCH)");
+    return;
+  }
+  QueryBatchFrame qb;
+  try {
+    qb = decode_query_batch(frame.payload);
+  } catch (const ProtocolError& ex) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, ex.what());
+    return;
+  }
+  if (qb.request_id == 0) {
+    // Id 0 is reserved for connection-level errors; echoing it back for a
+    // failed batch would read as "connection dead" to a conformant client.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, "request id 0 is reserved (batch ids must be nonzero)");
+    return;
+  }
+  batches_received_.fetch_add(1, std::memory_order_relaxed);
+
+  ++conn->inflight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_total_;
+  }
+  const std::uint64_t id = qb.request_id;
+  // The callback fires on a pool worker: hop back to the loop thread with
+  // the result, then release the destructor's inflight gate. Order
+  // matters twice over — post first, decrement after, so a destructor
+  // waiting on the gate cannot miss a reply still being posted; and
+  // notify WHILE holding the mutex, so the destructor cannot wake, see
+  // zero, and destroy the condition variable out from under notify_all.
+  try {
+    svc_.submit_batch(oracle_, std::move(qb.queries),
+                      [this, conn, id](service::BatchResult result) {
+                        loop_.post([this, conn, id, result = std::move(result)]() mutable {
+                          on_batch_done(conn, id, std::move(result));
+                        });
+                        std::lock_guard<std::mutex> lock(inflight_mu_);
+                        --inflight_total_;
+                        inflight_cv_.notify_all();
+                      });
+  } catch (...) {
+    // submit_batch threw before enqueueing (allocation failure): the
+    // callback will never fire, so roll the gate back or ~Server waits on
+    // it forever. The batch is answered with an error; the connection
+    // (and the loop) keep serving.
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_total_;
+    }
+    --conn->inflight;
+    batch_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::uint8_t> reply;
+    append_error(reply, id, "batch submission failed");
+    send_bytes(conn, std::move(reply));
+  }
+}
+
+void Server::on_batch_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                           service::BatchResult result) {
+  if (conn->closed || conn->closing) {
+    // Gone, or already told "fatal error, closing" — nothing may follow a
+    // connection-level ERROR on the wire.
+    replies_dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (!conn->closed) --conn->inflight;
+    return;
+  }
+  MSRP_CHECK(conn->inflight > 0, "net server: completion without an in-flight batch");
+  --conn->inflight;
+  std::vector<std::uint8_t> reply;
+  if (result.error != nullptr) {
+    batch_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::string message = "batch failed";
+    try {
+      std::rethrow_exception(result.error);
+    } catch (const std::exception& ex) {
+      message = ex.what();
+    } catch (...) {
+    }
+    append_error(reply, request_id, message);
+  } else {
+    queries_answered_.fetch_add(result.answers.size(), std::memory_order_relaxed);
+    append_answer_batch(reply, request_id, result.answers);
+  }
+  send_bytes(conn, std::move(reply));
+  if (conn->closed) return;  // send_bytes may close on a write error
+  pump(conn);                // the completion freed pipelining capacity
+  maybe_finish_conn(conn);
+}
+
+void Server::send_bytes(const std::shared_ptr<Conn>& conn, std::vector<std::uint8_t> bytes) {
+  // Closing means a connection-level ERROR is the last frame this peer
+  // gets; anything queued after it would contradict the protocol.
+  if (conn->closed || conn->closing || bytes.empty()) return;
+  conn->out_bytes += bytes.size();
+  conn->outq.push_back(std::move(bytes));
+  flush(conn);
+}
+
+void Server::flush(const std::shared_ptr<Conn>& conn) {
+  while (!conn->outq.empty()) {
+    const std::vector<std::uint8_t>& front = conn->outq.front();
+    const ::ssize_t n = ::send(conn->fd, front.data() + conn->out_off,
+                               front.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn);
+      return;
+    }
+    conn->out_off += static_cast<std::size_t>(n);
+    conn->out_bytes -= static_cast<std::size_t>(n);
+    if (conn->out_off == front.size()) {
+      conn->outq.pop_front();
+      conn->out_off = 0;
+    }
+  }
+  const bool want_write = !conn->outq.empty();
+  if (want_write != conn->want_write) {
+    conn->want_write = want_write;
+    update_epoll(conn);
+  }
+  if (conn->outq.empty() && conn->closing) {
+    close_conn(conn);
+    return;
+  }
+  update_read_interest(conn);
+  // A draining connection whose last queued reply just left via EPOLLOUT
+  // must close now, not at the drain deadline.
+  maybe_finish_conn(conn);
+}
+
+void Server::on_writable(const std::shared_ptr<Conn>& conn) {
+  flush(conn);
+  if (!conn->closed) pump(conn);  // drained output may have freed capacity
+}
+
+void Server::update_read_interest(const std::shared_ptr<Conn>& conn) {
+  if (conn->closed || conn->closing) return;
+  const bool want = has_capacity(*conn);
+  if (want != conn->reading) {
+    conn->reading = want;
+    update_epoll(conn);
+  }
+}
+
+void Server::update_epoll(const std::shared_ptr<Conn>& conn) {
+  if (conn->closed) return;
+  std::uint32_t events = base_events();
+  if (conn->reading) events |= EPOLLIN;
+  if (conn->want_write) events |= EPOLLOUT;
+  loop_.modify_fd(conn->fd, events);
+}
+
+void Server::fail_conn(const std::shared_ptr<Conn>& conn, const std::string& message) {
+  if (conn->closed || conn->closing) return;
+  std::vector<std::uint8_t> frame;
+  append_error(frame, 0, message);
+  if (conn->reading) {
+    conn->reading = false;
+    update_epoll(conn);
+  }
+  // Queue the ERROR before raising closing (send_bytes refuses frames on a
+  // closing connection), then close — now if already flushed, otherwise
+  // when flush() empties the queue.
+  send_bytes(conn, std::move(frame));
+  if (conn->closed) return;
+  conn->closing = true;
+  if (conn->outq.empty()) close_conn(conn);
+}
+
+void Server::close_conn(const std::shared_ptr<Conn>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  loop_.remove_fd(conn->fd);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (draining_) check_drain_done();
+}
+
+void Server::maybe_finish_conn(const std::shared_ptr<Conn>& conn) {
+  if (draining_ && !conn->closed && conn->inflight == 0 && conn->outq.empty()) {
+    close_conn(conn);
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats st;
+  st.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  st.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  st.batches_received = batches_received_.load(std::memory_order_relaxed);
+  st.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  st.batch_errors = batch_errors_.load(std::memory_order_relaxed);
+  st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  st.replies_dropped = replies_dropped_.load(std::memory_order_relaxed);
+  return st;
+}
+
+#else  // !MSRP_HAVE_NET_SERVER
+
+struct Server::Conn {};
+
+Server::Server(service::QueryService&, std::shared_ptr<const service::Snapshot>,
+               ServerOptions) {
+  throw std::runtime_error("net server: epoll serving is unavailable on this platform");
+}
+Server::~Server() = default;
+void Server::run() {}
+void Server::shutdown() {}
+ServerStats Server::stats() const { return {}; }
+void Server::on_accept(std::uint32_t) {}
+void Server::on_conn_event(const std::shared_ptr<Conn>&, std::uint32_t) {}
+void Server::on_readable(const std::shared_ptr<Conn>&) {}
+void Server::on_writable(const std::shared_ptr<Conn>&) {}
+bool Server::has_capacity(const Conn&) const { return false; }
+void Server::pump(const std::shared_ptr<Conn>&) {}
+void Server::handle_frame(const std::shared_ptr<Conn>&, Frame) {}
+void Server::on_batch_done(const std::shared_ptr<Conn>&, std::uint64_t,
+                           service::BatchResult) {}
+void Server::send_bytes(const std::shared_ptr<Conn>&, std::vector<std::uint8_t>) {}
+void Server::flush(const std::shared_ptr<Conn>&) {}
+void Server::fail_conn(const std::shared_ptr<Conn>&, const std::string&) {}
+void Server::close_conn(const std::shared_ptr<Conn>&) {}
+void Server::update_read_interest(const std::shared_ptr<Conn>&) {}
+void Server::update_epoll(const std::shared_ptr<Conn>&) {}
+void Server::maybe_finish_conn(const std::shared_ptr<Conn>&) {}
+void Server::on_tick() {}
+void Server::check_drain_done() {}
+std::uint32_t Server::base_events() const { return 0; }
+
+#endif
+
+}  // namespace msrp::net

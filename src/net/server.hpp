@@ -1,0 +1,184 @@
+/// \file
+/// TCP front end over the query service: the deployable server.
+///
+/// One Server binds one listening socket and serves one oracle through a
+/// QueryService. The threading split mirrors the async API it sits on
+/// (submit on accept, reply on completion — the handler shape PR 2's
+/// future/callback API was designed for):
+///
+///   * the LOOP THREAD (the caller of run(), inside an epoll EventLoop)
+///     owns every socket and all per-connection state: it accepts, reads
+///     and frame-decodes request bytes, writes reply bytes, and enforces
+///     backpressure. No locks anywhere on this path;
+///   * the POOL THREADS (QueryService's workers) answer batches. A decoded
+///     QUERY_BATCH is handed to QueryService::submit_batch with a callback;
+///     the callback fires on a worker and posts the encoded reply back to
+///     the loop thread through the event loop's eventfd doorbell. The
+///     worker never touches a socket, the loop thread never waits on a
+///     batch — each side stays at its own latency scale.
+///
+/// Pipelining falls out of the request ids: a connection may have up to
+/// max_inflight_batches batches in the service at once, and replies go out
+/// in *completion* order, tagged with the request id they answer.
+///
+/// Backpressure is per connection and two-sided. Reads pause (the fd drops
+/// out of the epoll interest set) while the connection has
+/// max_inflight_batches batches in flight or more than output_high_water
+/// reply bytes queued; they resume when both clear. Combined with the
+/// frame-size cap this bounds the memory a connection can hold:
+/// inflight * max_frame + queued output, no matter how fast it writes or
+/// how slowly it reads.
+///
+/// shutdown() drains instead of dropping: the listener closes immediately,
+/// reads stop, but every batch already in the service completes and its
+/// reply is flushed before the connection closes (bounded by
+/// drain_timeout_ms, then force-closed). A client that disconnects
+/// mid-batch just has its replies dropped on completion — the service is
+/// never cancelled, the server never blocks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/protocol.hpp"
+#include "service/query_service.hpp"
+
+namespace msrp::net {
+
+struct ServerOptions {
+  /// Address to bind (dotted IPv4). Loopback by default: exposing an
+  /// unauthenticated oracle on a public interface is an explicit decision.
+  std::string bind_addr = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Per-frame payload cap, both directions.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Batches one connection may have inside the QueryService at once;
+  /// reads pause beyond this (pipelining window).
+  std::size_t max_inflight_batches = 64;
+  /// Queued unsent reply bytes per connection beyond which reads pause
+  /// until the client drains its socket.
+  std::size_t output_high_water = 8u << 20;
+  /// Register sockets edge-triggered (EPOLLET) instead of level-triggered.
+  /// Identical behaviour (handlers drain to EAGAIN either way); exposed so
+  /// the loopback tests exercise both registration modes.
+  bool edge_triggered = false;
+  /// How long shutdown() waits for in-flight batches to complete and their
+  /// replies to flush before force-closing connections.
+  unsigned drain_timeout_ms = 10000;
+};
+
+/// Monotonic counters, readable from any thread while the server runs.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t batches_received = 0;
+  std::uint64_t queries_answered = 0;
+  std::uint64_t batch_errors = 0;     ///< batches answered with an ERROR frame
+  std::uint64_t protocol_errors = 0;  ///< connections dropped for bad framing
+  std::uint64_t replies_dropped = 0;  ///< completions whose connection was gone
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on failure);
+  /// serving starts when run() is called. `svc` and `oracle` must outlive
+  /// the server; the oracle shared_ptr pins the snapshot for its lifetime.
+  Server(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
+         ServerOptions opts = {});
+
+  /// Calls shutdown() and waits for in-flight batch callbacks to finish
+  /// delivering. Destroy only after run() has returned (or was never
+  /// called) — the loop must not be executing.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The port actually bound (resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Serves on the calling thread until shutdown() completes a drain.
+  void run();
+
+  /// Initiates graceful shutdown from any thread: stop accepting, let
+  /// in-flight batches complete and flush, then stop the loop. Idempotent.
+  void shutdown();
+
+  ServerStats stats() const;
+
+  /// True on platforms with epoll (the client side works everywhere).
+  static bool supported() { return event_loop_supported(); }
+
+ private:
+  struct Conn;
+
+  void on_accept(std::uint32_t events);
+  void on_conn_event(const std::shared_ptr<Conn>& conn, std::uint32_t events);
+  void on_readable(const std::shared_ptr<Conn>& conn);
+  void on_writable(const std::shared_ptr<Conn>& conn);
+  /// True while the connection may start another batch (pipelining window
+  /// open, output below the high-water mark, not draining).
+  bool has_capacity(const Conn& conn) const;
+  /// Processes frames already buffered in the decoder as far as
+  /// has_capacity allows, then re-syncs the epoll read interest.
+  void pump(const std::shared_ptr<Conn>& conn);
+  void handle_frame(const std::shared_ptr<Conn>& conn, Frame frame);
+  void on_batch_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                     service::BatchResult result);
+  /// Appends bytes to the connection's output queue and flushes what the
+  /// socket will take now.
+  void send_bytes(const std::shared_ptr<Conn>& conn, std::vector<std::uint8_t> bytes);
+  void flush(const std::shared_ptr<Conn>& conn);
+  /// Sends a connection-level ERROR frame and closes once it is flushed.
+  void fail_conn(const std::shared_ptr<Conn>& conn, const std::string& message);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  void update_read_interest(const std::shared_ptr<Conn>& conn);
+  void update_epoll(const std::shared_ptr<Conn>& conn);
+  /// Close-if-drained check used by the drain path.
+  void maybe_finish_conn(const std::shared_ptr<Conn>& conn);
+  /// Periodic work: re-arm a paused listener, police the drain deadline.
+  void on_tick();
+  void check_drain_done();
+  std::uint32_t base_events() const;
+
+  service::QueryService& svc_;
+  std::shared_ptr<const service::Snapshot> oracle_;
+  ServerOptions opts_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::uint8_t> hello_bytes_;  // encoded once, sent per accept
+
+  // Loop-thread-only connection table.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+  // Listener unwatched after EMFILE/ENFILE; the tick re-arms it.
+  bool accept_paused_ = false;
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+
+  // Batches inside the QueryService whose callback has not yet returned;
+  // the destructor waits for this to hit zero so no callback can touch a
+  // dead server.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_total_ = 0;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> batches_received_{0};
+  std::atomic<std::uint64_t> queries_answered_{0};
+  std::atomic<std::uint64_t> batch_errors_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> replies_dropped_{0};
+};
+
+}  // namespace msrp::net

@@ -1,0 +1,45 @@
+/// \file
+/// Idle-wait policy for the shard router's routing loop.
+///
+/// When a batch is blocked on worker responses the router polls the SPSC
+/// rings; how it waits between empty polls is a latency/CPU trade the
+/// deployment must own. Busy-spinning keeps per-query round-trips in the
+/// hundreds of nanoseconds but burns a core; sleeping frees the core but
+/// adds scheduler latency to every stall. The default (64 spin rounds,
+/// then 20 us sleeps) favours throughput; latency-sensitive deployments
+/// raise spin_rounds or set sleep_us to 0 (pure yield).
+///
+/// Defaults come from the environment so operators can tune a running
+/// binary: MSRP_SHARD_SPIN_ROUNDS and MSRP_SHARD_SLEEP_US. Explicit
+/// Options fields (or msrp_serve --shard-spin / --shard-sleep-us) win over
+/// the environment.
+#pragma once
+
+#include <cstdint>
+
+#include "util/env.hpp"
+
+namespace msrp::service {
+
+struct ShardBackoff {
+  /// Empty poll rounds to busy-spin before the loop starts sleeping.
+  std::uint32_t spin_rounds = 64;
+  /// Sleep between polls once past spin_rounds, in microseconds; 0 means
+  /// yield the CPU without a timed sleep (lowest latency that still lets
+  /// same-core workers run — the right setting when router and workers
+  /// share one CPU).
+  std::uint32_t sleep_us = 20;
+
+  /// Compiled-in defaults overridden by MSRP_SHARD_SPIN_ROUNDS /
+  /// MSRP_SHARD_SLEEP_US when set.
+  static ShardBackoff from_env() {
+    ShardBackoff bo;
+    bo.spin_rounds = static_cast<std::uint32_t>(
+        env::u64_or("MSRP_SHARD_SPIN_ROUNDS", bo.spin_rounds));
+    bo.sleep_us =
+        static_cast<std::uint32_t>(env::u64_or("MSRP_SHARD_SLEEP_US", bo.sleep_us));
+    return bo;
+  }
+};
+
+}  // namespace msrp::service

@@ -32,9 +32,17 @@ std::size_t OracleKeyHash::operator()(const OracleKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
-OracleCache::OracleCache(std::size_t capacity, std::size_t max_bytes)
-    : capacity_(capacity), max_bytes_(max_bytes) {
+OracleCache::OracleCache(std::size_t capacity, std::size_t max_bytes,
+                         std::chrono::milliseconds entry_ttl)
+    : capacity_(capacity), max_bytes_(max_bytes), entry_ttl_(entry_ttl),
+      clock_([] { return std::chrono::steady_clock::now(); }) {
   MSRP_REQUIRE(capacity >= 1, "oracle cache capacity must be >= 1");
+}
+
+void OracleCache::set_clock_for_testing(
+    std::function<std::chrono::steady_clock::time_point()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
 }
 
 std::size_t OracleCache::size() const {
@@ -50,6 +58,17 @@ std::size_t OracleCache::size_bytes() const {
 std::shared_ptr<const Snapshot> OracleCache::find_locked(const OracleKey& key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (entry_ttl_.count() > 0 && clock_() - it->second->inserted_at >= entry_ttl_) {
+    // Aged out: drop the entry and report a miss so get_or_build() refreshes
+    // it through the single-flight slot. In-flight holders of the old
+    // shared_ptr are unaffected.
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++expirations_;
     ++misses_;
     return nullptr;
   }
@@ -70,12 +89,13 @@ void OracleCache::insert_locked(const OracleKey& key, std::shared_ptr<const Snap
     bytes_ -= it->second->bytes;
     it->second->oracle = std::move(oracle);
     it->second->bytes = footprint;
+    it->second->inserted_at = clock_();
     bytes_ += footprint;
     lru_.splice(lru_.begin(), lru_, it->second);
     evict_over_budget_locked();
     return;
   }
-  lru_.push_front(Entry{key, std::move(oracle), footprint});
+  lru_.push_front(Entry{key, std::move(oracle), footprint, clock_()});
   index_.emplace(key, lru_.begin());
   bytes_ += footprint;
   evict_over_budget_locked();
@@ -155,6 +175,11 @@ std::uint64_t OracleCache::misses() const {
 std::uint64_t OracleCache::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+std::uint64_t OracleCache::expirations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expirations_;
 }
 
 }  // namespace msrp::service

@@ -20,6 +20,7 @@
 /// never drop an oracle a pending future still references.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -59,11 +60,27 @@ class OracleCache {
   /// large oracle can displace several small ones. The most recent insert
   /// itself is never evicted, even when it alone exceeds the budget
   /// (callers hold a shared_ptr anyway; caching it costs nothing extra).
-  explicit OracleCache(std::size_t capacity, std::size_t max_bytes = 0);
+  ///
+  /// `entry_ttl` (zero = never expire) ages entries out of the cache: a
+  /// lookup that finds an entry older than the TTL treats it as a miss and
+  /// drops it, so the next get_or_build() re-runs the builder — through the
+  /// same single-flight `building_` slot as any cold build, meaning one
+  /// refresh solve no matter how many threads hit the stale key at once.
+  /// Long-running servers use this to pick up re-saved snapshots or to
+  /// bound how stale a served oracle can get; batches already holding the
+  /// old shared_ptr keep serving it untouched.
+  explicit OracleCache(std::size_t capacity, std::size_t max_bytes = 0,
+                       std::chrono::milliseconds entry_ttl = {});
 
   std::size_t capacity() const { return capacity_; }
   std::size_t max_bytes() const { return max_bytes_; }
+  std::chrono::milliseconds entry_ttl() const { return entry_ttl_; }
   std::size_t size() const;
+
+  /// Replaces the time source used for TTL stamping/expiry (tests inject a
+  /// fake clock to age entries deterministically). Call before concurrent
+  /// use; the default is steady_clock::now.
+  void set_clock_for_testing(std::function<std::chrono::steady_clock::time_point()> clock);
 
   /// Summed footprint of the resident oracles.
   std::size_t size_bytes() const;
@@ -90,6 +107,9 @@ class OracleCache {
   std::uint64_t misses() const;
   std::uint64_t evictions() const;
 
+  /// Entries dropped because they outlived entry_ttl (a subset of misses).
+  std::uint64_t expirations() const;
+
   /// Builds currently in flight (claimed but not yet landed).
   std::size_t pending_builds() const;
 
@@ -98,6 +118,7 @@ class OracleCache {
     OracleKey key;
     std::shared_ptr<const Snapshot> oracle;
     std::size_t bytes = 0;  // footprint at insert time (snapshots are immutable)
+    std::chrono::steady_clock::time_point inserted_at{};  // TTL stamp
   };
   // Most-recently-used at the front; the map points into the list.
   using LruList = std::list<Entry>;
@@ -109,6 +130,8 @@ class OracleCache {
 
   std::size_t capacity_;
   std::size_t max_bytes_;
+  std::chrono::milliseconds entry_ttl_{};
+  std::function<std::chrono::steady_clock::time_point()> clock_;
   std::size_t bytes_ = 0;
   mutable std::mutex mu_;
   LruList lru_;
@@ -118,6 +141,7 @@ class OracleCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
 };
 
 }  // namespace msrp::service

@@ -16,7 +16,8 @@ namespace msrp::service {
 static constexpr std::size_t kMaxRouters = 4;
 
 QueryService::QueryService(Options opts)
-    : opts_(std::move(opts)), cache_(opts_.cache_capacity, opts_.cache_max_bytes),
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_capacity, opts_.cache_max_bytes, opts_.cache_entry_ttl),
       pool_(opts_.threads) {}
 
 std::shared_ptr<const Snapshot> QueryService::build(const Graph& g,
@@ -71,6 +72,7 @@ std::shared_ptr<ShardRouter> QueryService::router_for(const Snapshot& oracle) {
     ShardRouterOptions router_opts;
     router_opts.shards = opts_.shards;
     router_opts.worker_argv = opts_.shard_worker_argv;
+    router_opts.backoff = opts_.shard_backoff;
     auto router = std::make_shared<ShardRouter>(oracle, router_opts);
     routers_.emplace_front(key, router);
     while (routers_.size() > kMaxRouters) {

@@ -40,6 +40,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <functional>
 #include <future>
@@ -52,6 +53,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "service/backoff.hpp"
 #include "service/oracle_cache.hpp"
 #include "service/query.hpp"
 #include "service/snapshot.hpp"
@@ -89,6 +91,11 @@ class QueryService {
     std::size_t cache_capacity = 4;
     /// Oracle cache byte budget (summed Snapshot footprints; 0 = unlimited).
     std::size_t cache_max_bytes = 0;
+    /// Age limit on cached oracles (0 = never expire). An expired entry is
+    /// refreshed through the single-flight build path on next use; see
+    /// OracleCache. Long-running servers set this to re-pick-up re-saved
+    /// snapshots without a restart.
+    std::chrono::milliseconds cache_entry_ttl{0};
     /// Batches smaller than this answer inline on the calling thread —
     /// below it the fan-out overhead exceeds the O(1)-per-query work.
     std::size_t min_parallel_batch = 2048;
@@ -103,6 +110,9 @@ class QueryService {
     /// the router appends "--shard-worker <base>:<k>"). Empty = plain fork
     /// without exec. Only meaningful when sharding (shards >= 1).
     std::vector<std::string> shard_worker_argv = {};
+    /// Idle-wait policy of the routers' polling loop (shards >= 1);
+    /// defaults honour MSRP_SHARD_SPIN_ROUNDS / MSRP_SHARD_SLEEP_US.
+    ShardBackoff shard_backoff = ShardBackoff::from_env();
   };
 
   QueryService() : QueryService(Options{}) {}

@@ -302,7 +302,8 @@ std::vector<Dist> ShardRouter::query_batch(std::span<const Query> queries) {
         stalled_checks = 0;
         continue;
       }
-      // No progress: spin briefly for latency, then yield, and periodically
+      // No progress: spin briefly for latency, then back off per
+      // opts_.backoff (see backoff.hpp for the env knobs), and periodically
       // check whether a stalled shard's worker died under us. A shard that
       // answers nothing for the whole stall deadline is respawned even if
       // the pid still looks alive — waitpid/kill(pid, 0) can be fooled by
@@ -326,8 +327,12 @@ std::vector<Dist> ShardRouter::query_batch(std::span<const Query> queries) {
           stalled_checks = 0;
         }
       }
-      if (idle_rounds > 64) {
-        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      if (idle_rounds > opts_.backoff.spin_rounds) {
+        if (opts_.backoff.sleep_us == 0) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(opts_.backoff.sleep_us));
+        }
       }
     }
   } catch (...) {

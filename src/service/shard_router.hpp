@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "service/backoff.hpp"
 #include "service/query.hpp"
 #include "service/shard_channel.hpp"
 #include "service/shard_plan.hpp"
@@ -65,6 +66,9 @@ struct ShardRouterOptions {
   std::vector<std::string> worker_argv = {};
   /// How long to wait for a forked worker to flag itself ready.
   unsigned ready_timeout_ms = 30000;
+  /// Idle-wait policy while a batch is blocked on worker responses;
+  /// defaults honour MSRP_SHARD_SPIN_ROUNDS / MSRP_SHARD_SLEEP_US.
+  ShardBackoff backoff = ShardBackoff::from_env();
 };
 
 /// Monotonic counters; see ShardRouter::stats(). `segments_placed` staying

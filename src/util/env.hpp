@@ -1,0 +1,27 @@
+// Tiny environment-variable parsing helpers for runtime tunables.
+//
+// Deployment knobs that must be settable without recompiling (or without
+// plumbing a flag through an embedder's stack) read their defaults from the
+// environment through these; a flag or Options field still wins when set
+// explicitly. Malformed values fall back to the compiled-in default rather
+// than aborting — a typo in an env var must never take a server down.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace msrp::env {
+
+/// Value of `name` parsed as an unsigned integer; `fallback` when the
+/// variable is unset, empty, malformed, or has trailing garbage.
+inline std::uint64_t u64_or(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace msrp::env

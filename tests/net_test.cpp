@@ -1,0 +1,645 @@
+// Tests for the network serving layer (src/net/): the frame codec under
+// adversarial inputs (truncation, corruption, oversize, splits), and the
+// epoll server + client end to end over loopback — byte-identical answers
+// vs the in-process QueryService for every serving mode (built oracle,
+// zero-copy mmap snapshot, multi-process shards), pipelining, concurrent
+// clients, disconnect-mid-batch, backpressure, and graceful shutdown.
+// Runs under TSan in CI (loop thread vs pool callbacks vs client threads).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "service/query_gen.hpp"
+#include "service/query_service.hpp"
+#include "service/shard_router.hpp"
+#include "util/rng.hpp"
+
+#if defined(__unix__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace msrp {
+namespace {
+
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameType;
+using net::ProtocolError;
+using service::Query;
+using service::Snapshot;
+
+// Fork-without-exec shard workers and TSan do not mix (the forked child
+// inherits the sanitizer's threading state); the multi-process leg of the
+// serving-mode matrix is skipped under TSan, like shard_test is.
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsanBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsanBuild = true;
+#else
+constexpr bool kTsanBuild = false;
+#endif
+#else
+constexpr bool kTsanBuild = false;
+#endif
+
+// ----------------------------------------------------------- frame codec ---
+
+std::vector<std::uint8_t> sample_stream() {
+  std::vector<std::uint8_t> bytes;
+  net::HelloInfo hello;
+  hello.oracle_digest = 0x1234567890abcdefULL;
+  hello.num_vertices = 100;
+  hello.num_edges = 250;
+  hello.sources = {0, 17, 41};
+  net::append_hello(bytes, hello);
+  net::append_query_batch(bytes, 7, std::vector<Query>{{0, 5, 3}, {17, 99, 0}});
+  net::append_answer_batch(bytes, 7, std::vector<Dist>{4, kInfDist});
+  net::append_error(bytes, 9, "boom");
+  return bytes;
+}
+
+void expect_sample_frames(std::vector<Frame> frames) {
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  const net::HelloInfo hello = net::decode_hello(frames[0].payload);
+  EXPECT_EQ(hello.version, net::kProtocolVersion);
+  EXPECT_EQ(hello.oracle_digest, 0x1234567890abcdefULL);
+  EXPECT_EQ(hello.num_vertices, 100u);
+  EXPECT_EQ(hello.num_edges, 250u);
+  EXPECT_EQ(hello.sources, (std::vector<Vertex>{0, 17, 41}));
+
+  EXPECT_EQ(frames[1].type, FrameType::kQueryBatch);
+  const net::QueryBatchFrame qb = net::decode_query_batch(frames[1].payload);
+  EXPECT_EQ(qb.request_id, 7u);
+  EXPECT_EQ(qb.queries, (std::vector<Query>{{0, 5, 3}, {17, 99, 0}}));
+
+  EXPECT_EQ(frames[2].type, FrameType::kAnswerBatch);
+  const net::AnswerBatchFrame ab = net::decode_answer_batch(frames[2].payload);
+  EXPECT_EQ(ab.request_id, 7u);
+  EXPECT_EQ(ab.answers, (std::vector<Dist>{4, kInfDist}));
+
+  EXPECT_EQ(frames[3].type, FrameType::kError);
+  const net::ErrorFrame err = net::decode_error(frames[3].payload);
+  EXPECT_EQ(err.request_id, 9u);
+  EXPECT_EQ(err.message, "boom");
+}
+
+TEST(FrameDecoder, RoundTripsEveryFrameType) {
+  const auto bytes = sample_stream();
+  FrameDecoder dec;
+  dec.feed(bytes);
+  std::vector<Frame> frames;
+  while (auto f = dec.next()) frames.push_back(std::move(*f));
+  expect_sample_frames(std::move(frames));
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoder, ReassemblesAcrossArbitrarySplits) {
+  const auto bytes = sample_stream();
+  // Every prefix split, plus byte-at-a-time: a frame boundary must never be
+  // assumed to coincide with a read boundary.
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    FrameDecoder dec;
+    std::vector<Frame> frames;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      const std::size_t chunk =
+          trial == 0 ? 1 : 1 + rng.next_below(std::min<std::size_t>(37, bytes.size() - pos));
+      dec.feed({bytes.data() + pos, std::min(chunk, bytes.size() - pos)});
+      pos += chunk;
+      while (auto f = dec.next()) frames.push_back(std::move(*f));
+    }
+    expect_sample_frames(std::move(frames));
+  }
+}
+
+// ------------------------------------------- adversarial input suite -------
+
+TEST(FrameDecoderAdversarial, TruncatedHeaderYieldsNoFrame) {
+  const auto bytes = sample_stream();
+  FrameDecoder dec;
+  dec.feed({bytes.data(), net::kFrameHeaderBytes - 1});
+  EXPECT_FALSE(dec.next().has_value());  // not an error: more bytes may come
+  EXPECT_EQ(dec.buffered_bytes(), net::kFrameHeaderBytes - 1);
+}
+
+TEST(FrameDecoderAdversarial, TruncatedPayloadYieldsNoFrame) {
+  std::vector<std::uint8_t> bytes;
+  net::append_query_batch(bytes, 1, std::vector<Query>{{0, 1, 2}});
+  FrameDecoder dec;
+  dec.feed({bytes.data(), bytes.size() - 1});
+  EXPECT_FALSE(dec.next().has_value());
+  dec.feed({bytes.data() + bytes.size() - 1, 1});  // last byte completes it
+  EXPECT_TRUE(dec.next().has_value());
+}
+
+TEST(FrameDecoderAdversarial, BadMagicThrows) {
+  auto bytes = sample_stream();
+  bytes[0] ^= 0xff;
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_THROW(dec.next(), ProtocolError);
+}
+
+TEST(FrameDecoderAdversarial, ChecksumMismatchThrowsForEveryPayloadByte) {
+  std::vector<std::uint8_t> bytes;
+  net::append_query_batch(bytes, 42, std::vector<Query>{{1, 2, 3}});
+  for (std::size_t i = net::kFrameHeaderBytes; i < bytes.size(); ++i) {
+    auto corrupt = bytes;
+    corrupt[i] ^= 0x01;
+    FrameDecoder dec;
+    dec.feed(corrupt);
+    EXPECT_THROW(dec.next(), ProtocolError) << "flipped payload byte " << i;
+  }
+}
+
+TEST(FrameDecoderAdversarial, ZeroLengthBatchIsValid) {
+  std::vector<std::uint8_t> bytes;
+  net::append_query_batch(bytes, 5, std::vector<Query>{});
+  FrameDecoder dec;
+  dec.feed(bytes);
+  const auto frame = dec.next();
+  ASSERT_TRUE(frame.has_value());
+  const net::QueryBatchFrame qb = net::decode_query_batch(frame->payload);
+  EXPECT_EQ(qb.request_id, 5u);
+  EXPECT_TRUE(qb.queries.empty());
+}
+
+TEST(FrameDecoderAdversarial, MaxSizePlusOneFrameRejectedBeforeBuffering) {
+  // A header announcing max+1 payload bytes must be refused from the header
+  // alone — the decoder never waits for (or allocates) the payload.
+  constexpr std::size_t kMax = 4096;
+  std::vector<std::uint8_t> frame;
+  net::append_error(frame, 1, std::string(kMax + 1, 'x'));
+  FrameDecoder dec(kMax);
+  dec.feed({frame.data(), net::kFrameHeaderBytes});  // header only
+  EXPECT_THROW(dec.next(), ProtocolError);
+
+  // Exactly max-size is accepted (boundary).
+  std::vector<std::uint8_t> ok;
+  net::append_error(ok, 1, std::string(kMax - 16, 'x'));  // 16 = error fixed fields
+  FrameDecoder dec2(kMax);
+  dec2.feed(ok);
+  EXPECT_TRUE(dec2.next().has_value());
+}
+
+TEST(FrameDecoderAdversarial, LyingPayloadCountsThrow) {
+  // A checksum-valid frame whose payload counts disagree with its size must
+  // be caught by the payload decoders, not read out of bounds.
+  std::vector<std::uint8_t> bytes;
+  net::append_query_batch(bytes, 1, std::vector<Query>{{0, 1, 2}});
+  Frame frame;
+  {
+    FrameDecoder dec;
+    dec.feed(bytes);
+    frame = *dec.next();
+  }
+  auto short_payload = frame.payload;
+  short_payload.resize(short_payload.size() - 4);  // count says 1, bytes say less
+  EXPECT_THROW(net::decode_query_batch(short_payload), ProtocolError);
+
+  auto long_payload = frame.payload;
+  long_payload.push_back(0);  // trailing garbage
+  EXPECT_THROW(net::decode_query_batch(long_payload), ProtocolError);
+}
+
+TEST(FrameDecoderAdversarial, HugeCountFieldRejectedBeforeAllocating) {
+  // A 16-byte payload claiming 2^32 - 1 queries must be refused by the
+  // count-vs-payload check, not by a multi-gigabyte reserve() blowing up.
+  std::vector<std::uint8_t> payload(16, 0);
+  payload[8] = payload[9] = payload[10] = payload[11] = 0xff;  // count, LE
+  EXPECT_THROW(net::decode_query_batch(payload), ProtocolError);
+  EXPECT_THROW(net::decode_answer_batch(payload), ProtocolError);
+  // Same shape for HELLO's source count (offset 24 within its payload).
+  std::vector<std::uint8_t> hello(32, 0);
+  hello[0] = 1;  // version
+  hello[24] = hello[25] = hello[26] = hello[27] = 0xff;  // sigma, LE
+  EXPECT_THROW(net::decode_hello(hello), ProtocolError);
+}
+
+TEST(FrameDecoderAdversarial, InterleavedPipelinedIdsDecodeInOrder) {
+  // Many batches with shuffled request ids back-to-back in one buffer: the
+  // decoder must hand them back in wire order with ids intact (the ids, not
+  // arrival order, pair answers to requests).
+  std::vector<std::uint64_t> ids = {9, 2, 7, 1, 8, 3, 1000000007ULL, 4};
+  std::vector<std::uint8_t> bytes;
+  for (const std::uint64_t id : ids) {
+    net::append_query_batch(
+        bytes, id, std::vector<Query>{{static_cast<Vertex>(id % 97), 1, 2}});
+  }
+  FrameDecoder dec;
+  dec.feed(bytes);
+  for (const std::uint64_t id : ids) {
+    const auto frame = dec.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(net::decode_query_batch(frame->payload).request_id, id);
+  }
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+// -------------------------------------------------- loopback end-to-end ---
+
+/// Small deterministic instance shared by the end-to-end tests.
+struct NetFixture {
+  Graph g{0};
+  std::vector<Vertex> sources{0, 11, 29};
+  service::QueryService svc{{.threads = 2, .min_parallel_batch = 64}};
+  std::shared_ptr<const Snapshot> oracle;
+
+  NetFixture() {
+    Rng rng(77);
+    g = gen::connected_gnp(60, 0.08, rng);
+    oracle = svc.build(g, sources);
+  }
+
+  std::vector<Query> random_queries(std::size_t count, std::uint64_t seed) const {
+    Rng rng(seed);
+    return service::random_query_batch(sources, g.num_vertices(), g.num_edges(), count,
+                                       rng);
+  }
+};
+
+/// Server on an ephemeral loopback port with its run() thread.
+struct TestServer {
+  net::Server server;
+  std::thread thread;
+
+  TestServer(service::QueryService& svc, std::shared_ptr<const Snapshot> oracle,
+             net::ServerOptions opts = {})
+      : server(svc, std::move(oracle), opts), thread([this] { server.run(); }) {}
+
+  ~TestServer() {
+    server.shutdown();
+    thread.join();
+  }
+
+  net::ClientOptions client_options() const {
+    net::ClientOptions copts;
+    copts.port = server.port();
+    copts.connect_retries = 10;
+    return copts;
+  }
+};
+
+#define SKIP_WITHOUT_EPOLL()                                         \
+  do {                                                               \
+    if (!net::Server::supported()) GTEST_SKIP() << "epoll required"; \
+  } while (false)
+
+TEST(NetServer, HelloCarriesOracleIdentity) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+  EXPECT_EQ(client.hello().version, net::kProtocolVersion);
+  EXPECT_EQ(client.hello().oracle_digest, fx.oracle->content_digest());
+  EXPECT_EQ(client.hello().num_vertices, fx.g.num_vertices());
+  EXPECT_EQ(client.hello().num_edges, fx.g.num_edges());
+  EXPECT_EQ(client.hello().sources, fx.sources);
+}
+
+TEST(NetServer, AnswersOverTcpMatchInProcessByteForByte) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  const std::vector<Query> queries = fx.random_queries(3000, 1);
+  const std::vector<Dist> want = fx.svc.query_batch(*fx.oracle, queries);
+
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+  EXPECT_EQ(client.query_batch(queries), want);
+
+  const net::ServerStats st = ts.server.stats();
+  EXPECT_EQ(st.batches_received, 1u);
+  EXPECT_EQ(st.queries_answered, queries.size());
+  EXPECT_EQ(st.protocol_errors, 0u);
+}
+
+// The acceptance matrix: TCP answers must be byte-identical to the
+// in-process path for every serving mode — freshly built, zero-copy mmap
+// snapshot, and multi-process shards.
+TEST(NetServer, EveryServingModeMatchesInProcess) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  const std::vector<Query> queries = fx.random_queries(2000, 2);
+  const std::vector<Dist> want = fx.svc.query_batch(*fx.oracle, queries);
+
+  {  // v2 snapshot served zero-copy from a memory mapping
+    const std::string path = testing::TempDir() + "/net_test_oracle.v2.snap";
+    fx.oracle->save(path, service::SnapshotFormat::kV2);
+    service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+    const auto mapped = svc.load(path, {.use_mmap = true, .verify_cells = false});
+    ASSERT_TRUE(mapped->is_mapped());
+    TestServer ts(svc, mapped);
+    net::Client client(ts.client_options());
+    EXPECT_EQ(client.query_batch(queries), want);
+  }
+
+  if (!kTsanBuild && service::ShardRouter::supported()) {  // multi-process shards
+    service::QueryService svc({.threads = 2, .shards = 2});
+    const auto oracle = svc.build(fx.g, fx.sources);
+    TestServer ts(svc, oracle);
+    net::Client client(ts.client_options());
+    EXPECT_EQ(client.query_batch(queries), want);
+  }
+}
+
+TEST(NetServer, EmptyBatchAnswersEmpty) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+  EXPECT_TRUE(client.query_batch(std::vector<Query>{}).empty());
+}
+
+TEST(NetServer, PipelinedBatchesCollectByIdInAnyOrder) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+
+  constexpr std::size_t kBatches = 12;
+  std::vector<std::vector<Query>> batches;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    batches.push_back(fx.random_queries(100 + 37 * b, 100 + b));
+    ids.push_back(client.send(batches.back()));
+  }
+  EXPECT_EQ(client.inflight(), kBatches);
+  // Collect newest-first: buffered out-of-order answers must pair by id.
+  for (std::size_t b = kBatches; b-- > 0;) {
+    EXPECT_EQ(client.wait(ids[b]), fx.svc.query_batch(*fx.oracle, batches[b]))
+        << "batch " << b;
+  }
+  EXPECT_EQ(client.inflight(), 0u);
+}
+
+TEST(NetServer, TinyPipelineWindowStillDrainsFullBurst) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  // Window of 2 with a 30-batch burst sent before any read: progress must
+  // come from completions pumping the decoder backlog, not from new bytes.
+  net::ServerOptions sopts;
+  sopts.max_inflight_batches = 2;
+  TestServer ts(fx.svc, fx.oracle, sopts);
+  net::Client client(ts.client_options());
+
+  constexpr std::size_t kBatches = 30;
+  std::vector<std::vector<Query>> batches;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    batches.push_back(fx.random_queries(64, 200 + b));
+    ids.push_back(client.send(batches[b]));
+  }
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    EXPECT_EQ(client.wait(ids[b]), fx.svc.query_batch(*fx.oracle, batches[b]));
+  }
+}
+
+TEST(NetServer, EdgeTriggeredModeServesIdentically) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  net::ServerOptions sopts;
+  sopts.edge_triggered = true;
+  TestServer ts(fx.svc, fx.oracle, sopts);
+  net::Client client(ts.client_options());
+  const std::vector<Query> queries = fx.random_queries(2000, 3);
+  EXPECT_EQ(client.query_batch(queries), fx.svc.query_batch(*fx.oracle, queries));
+}
+
+TEST(NetServer, InvalidQueryAnswersErrorAndConnectionSurvives) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+
+  const Vertex not_a_source = 1;  // fixture sources are {0, 11, 29}
+  ASSERT_EQ(std::count(fx.sources.begin(), fx.sources.end(), not_a_source), 0);
+  EXPECT_THROW(client.query_batch(std::vector<Query>{{not_a_source, 0, 0}}),
+               std::runtime_error);
+
+  // Batch-level failure, not connection-level: the same connection keeps
+  // serving valid batches.
+  const std::vector<Query> queries = fx.random_queries(200, 4);
+  EXPECT_EQ(client.query_batch(queries), fx.svc.query_batch(*fx.oracle, queries));
+  EXPECT_EQ(ts.server.stats().batch_errors, 1u);
+}
+
+TEST(NetServer, ConcurrentClientsGetConsistentAnswers) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+
+  constexpr unsigned kClients = 4;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        net::Client client(ts.client_options());
+        for (int round = 0; round < 5; ++round) {
+          const auto queries = fx.random_queries(300, 1000 + 17 * c + round);
+          const auto want = fx.svc.query_batch(*fx.oracle, queries);
+          if (client.query_batch(queries) != want) {
+            errors[c] = "answer mismatch";
+            return;
+          }
+        }
+      } catch (const std::exception& ex) {
+        errors[c] = ex.what();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (unsigned c = 0; c < kClients; ++c) EXPECT_EQ(errors[c], "") << "client " << c;
+}
+
+TEST(NetServer, ClientDisconnectMidBatchLeavesServerServing) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  {
+    net::Client doomed(ts.client_options());
+    doomed.send(fx.random_queries(5000, 5));
+    // Destructor closes the socket with the batch still in flight; the
+    // server completes it, finds the connection gone, and drops the reply.
+  }
+  net::Client client(ts.client_options());
+  const std::vector<Query> queries = fx.random_queries(500, 6);
+  EXPECT_EQ(client.query_batch(queries), fx.svc.query_batch(*fx.oracle, queries));
+}
+
+TEST(NetServer, GracefulShutdownDrainsInFlightBatches) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  auto ts = std::make_unique<TestServer>(fx.svc, fx.oracle);
+  net::Client client(ts->client_options());
+
+  // Several batches in flight when shutdown lands: every reply must still
+  // arrive (drain semantics), after which the server closes the connection.
+  std::vector<std::vector<Query>> batches;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t b = 0; b < 8; ++b) {
+    batches.push_back(fx.random_queries(2000, 300 + b));
+    ids.push_back(client.send(batches[b]));
+  }
+  // Drain covers batches the server has *read*; make sure all 8 were
+  // (send() only guarantees kernel-buffer delivery) before shutting down.
+  while (ts->server.stats().batches_received < 8) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ts->server.shutdown();
+  for (std::size_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(client.wait(ids[b]), fx.svc.query_batch(*fx.oracle, batches[b]));
+  }
+  ts.reset();  // run() has drained; join
+  // The drained connection is closed; the next round trip must fail.
+  EXPECT_THROW(client.query_batch(fx.random_queries(10, 7)), std::runtime_error);
+}
+
+TEST(NetServer, DrainCompletesPromptlyWhenOutputFlushesLate) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  auto ts = std::make_unique<TestServer>(fx.svc, fx.oracle);
+  net::Client client(ts->client_options());
+
+  // A reply far larger than the socket buffers, with the client not
+  // reading until after shutdown: the final flush happens via EPOLLOUT
+  // while draining, and the connection must close the moment it empties —
+  // not at the 10 s drain deadline.
+  const std::vector<Query> queries = fx.random_queries(1'500'000, 9);
+  const std::uint64_t id = client.send(queries);
+  while (ts->server.stats().batches_received == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ts->server.shutdown();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(client.wait(id).size(), queries.size());
+  ts.reset();  // joins run(); stalls until the drain deadline if broken
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(8));
+}
+
+#if defined(__unix__)
+
+/// Raw loopback socket for protocol-violation tests (the Client refuses to
+/// send malformed bytes, so speak to the port directly).
+struct RawConn {
+  int fd = -1;
+
+  explicit RawConn(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    ::sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof addr), 0);
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send(std::span<const std::uint8_t> bytes) {
+    ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+              static_cast<::ssize_t>(bytes.size()));
+  }
+
+  /// Reads until EOF and returns every frame the server sent.
+  std::vector<Frame> read_all_frames() {
+    FrameDecoder dec;
+    std::vector<Frame> frames;
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ::ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n <= 0) break;
+      dec.feed({buf, static_cast<std::size_t>(n)});
+      while (auto f = dec.next()) frames.push_back(std::move(*f));
+    }
+    return frames;
+  }
+};
+
+TEST(NetServer, GarbageBytesGetErrorFrameThenClose) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  RawConn raw(ts.server.port());
+  const std::uint8_t garbage[64] = {0xde, 0xad, 0xbe, 0xef};
+  raw.send(garbage);
+  const std::vector<Frame> frames = raw.read_all_frames();
+  ASSERT_EQ(frames.size(), 2u);  // HELLO, then connection-level ERROR + EOF
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  EXPECT_EQ(frames[1].type, FrameType::kError);
+  EXPECT_EQ(net::decode_error(frames[1].payload).request_id, 0u);
+  EXPECT_EQ(ts.server.stats().protocol_errors, 1u);
+}
+
+TEST(NetServer, OversizedFrameHeaderGetsErrorFrameThenClose) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  net::ServerOptions sopts;
+  sopts.max_frame_bytes = 4096;
+  TestServer ts(fx.svc, fx.oracle, sopts);
+  RawConn raw(ts.server.port());
+  // Valid magic, payload_len = max+1: rejected from the header alone.
+  std::vector<std::uint8_t> header;
+  net::append_error(header, 0, "");     // borrow a real header...
+  header.resize(net::kFrameHeaderBytes);  // ...keep only the 24 header bytes
+  header[4] = 0x01;                     // payload_len = 0x1001 > 4096
+  header[5] = 0x10;
+  raw.send(header);
+  const std::vector<Frame> frames = raw.read_all_frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[1].type, FrameType::kError);
+  EXPECT_NE(net::decode_error(frames[1].payload).message.find("maximum size"),
+            std::string::npos);
+}
+
+TEST(NetServer, RequestIdZeroIsRejected) {
+  // Id 0 means "the connection" in ERROR frames; a batch using it could
+  // never be failed unambiguously, so it is a protocol violation up front.
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  RawConn raw(ts.server.port());
+  std::vector<std::uint8_t> bytes;
+  net::append_query_batch(bytes, 0, fx.random_queries(5, 8));
+  raw.send(bytes);
+  const std::vector<Frame> frames = raw.read_all_frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[1].type, FrameType::kError);
+  const net::ErrorFrame err = net::decode_error(frames[1].payload);
+  EXPECT_EQ(err.request_id, 0u);
+  EXPECT_NE(err.message.find("reserved"), std::string::npos);
+}
+
+TEST(NetServer, NonBatchFrameFromClientIsRejected) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  RawConn raw(ts.server.port());
+  std::vector<std::uint8_t> bytes;
+  net::append_answer_batch(bytes, 1, std::vector<Dist>{1});  // clients must not send this
+  raw.send(bytes);
+  const std::vector<Frame> frames = raw.read_all_frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[1].type, FrameType::kError);
+  EXPECT_EQ(net::decode_error(frames[1].payload).request_id, 0u);
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace msrp

@@ -567,6 +567,84 @@ TEST(OracleCache, SingleOracleOverBudgetStillServes) {
   EXPECT_EQ(cache.find(key), nullptr);
 }
 
+TEST(OracleCache, TtlExpiresEntriesOnTheInjectedClock) {
+  using namespace std::chrono_literals;
+  service::OracleCache cache(4, 0, /*entry_ttl=*/1000ms);
+  auto now = std::chrono::steady_clock::time_point{};  // fake time
+  cache.set_clock_for_testing([&now] { return now; });
+
+  const OracleKey key{1, {0}, 0};
+  int builds = 0;
+  auto builder = [&builds] {
+    ++builds;
+    return tiny_oracle(4);
+  };
+
+  const auto first = cache.get_or_build(key, builder);
+  EXPECT_EQ(builds, 1);
+  now += 999ms;  // just inside the TTL: still a hit
+  EXPECT_EQ(cache.get_or_build(key, builder).get(), first.get());
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.expirations(), 0u);
+
+  now += 1ms;  // exactly at the TTL: expired, refreshed through get_or_build
+  const auto refreshed = cache.get_or_build(key, builder);
+  EXPECT_EQ(builds, 2);
+  EXPECT_NE(refreshed.get(), first.get());
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  // The pre-refresh holder keeps serving its own copy untouched.
+  EXPECT_EQ(first->num_vertices(), 4u);
+}
+
+TEST(OracleCache, TtlRefreshIsSingleFlightedAcrossThreads) {
+  using namespace std::chrono_literals;
+  service::OracleCache cache(4, 0, /*entry_ttl=*/10ms);
+  std::atomic<std::int64_t> now_ms{0};
+  cache.set_clock_for_testing([&now_ms] {
+    return std::chrono::steady_clock::time_point{} +
+           std::chrono::milliseconds(now_ms.load());
+  });
+
+  const OracleKey key{2, {0}, 0};
+  std::atomic<int> builds{0};
+  auto builder = [&builds] {
+    builds.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return tiny_oracle(5);
+  };
+  (void)cache.get_or_build(key, builder);
+  ASSERT_EQ(builds.load(), 1);
+
+  now_ms.store(1000);  // stale for everyone at once
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] { (void)cache.get_or_build(key, builder); });
+  }
+  for (auto& t : threads) t.join();
+  // One expiration noticed, one refresh build shared by all six threads.
+  EXPECT_EQ(builds.load(), 2);
+  EXPECT_EQ(cache.expirations(), 1u);
+}
+
+TEST(OracleCache, ZeroTtlNeverExpires) {
+  service::OracleCache cache(4);  // default: no TTL
+  auto now = std::chrono::steady_clock::time_point{};
+  cache.set_clock_for_testing([&now] { return now; });
+  const OracleKey key{3, {0}, 0};
+  cache.insert(key, tiny_oracle(4));
+  now += std::chrono::hours(10000);
+  EXPECT_NE(cache.find(key), nullptr);
+  EXPECT_EQ(cache.expirations(), 0u);
+}
+
+TEST(QueryService, CacheTtlOptionReachesTheCache) {
+  using namespace std::chrono_literals;
+  service::QueryService svc({.threads = 1, .cache_entry_ttl = 250ms});
+  EXPECT_EQ(svc.cache().entry_ttl(), 250ms);
+}
+
 TEST(OracleCache, GetOrBuildBuildsOnce) {
   service::OracleCache cache(2);
   const OracleKey key{42, {0}, 7};

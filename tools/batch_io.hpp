@@ -1,0 +1,95 @@
+// Batch-file I/O shared by the serving tools.
+//
+// msrp_serve (local batches) and msrp_client (remote batches) read the
+// same "s t e" query files and write the same "s t e answer" lines — and
+// the CI network smoke job byte-compares one tool's output against the
+// other's, so the formats must be one piece of code, not two copies.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/query.hpp"
+#include "util/distance.hpp"
+
+namespace msrp::tools {
+
+/// Strict numeric flag parsing for the CLIs: the whole token must be a
+/// number, and a junk value is a one-line usage error (exit 2), never an
+/// uncaught std::stoul exception aborting the process.
+inline std::uint64_t cli_u64(const std::string& value, const char* flag) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t parsed = std::stoull(value, &pos);
+    if (pos == value.size()) return parsed;
+  } catch (...) {
+  }
+  std::fprintf(stderr, "error: %s: invalid number \"%s\"\n", flag, value.c_str());
+  std::exit(2);
+}
+
+inline double cli_double(const std::string& value, const char* flag) {
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(value, &pos);
+    if (pos == value.size()) return parsed;
+  } catch (...) {
+  }
+  std::fprintf(stderr, "error: %s: invalid number \"%s\"\n", flag, value.c_str());
+  std::exit(2);
+}
+
+/// Parses queries, one "s t e" per line ('#' starts a comment). Prints a
+/// file:line diagnostic and exits on malformed input (CLI contract).
+inline std::vector<service::Query> read_batch_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open batch file %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<service::Query> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t s = 0, t = 0, e = 0;
+    if (!(ls >> s >> t >> e)) {
+      std::fprintf(stderr, "error: %s:%zu: expected \"s t e\"\n", path.c_str(), lineno);
+      std::exit(1);
+    }
+    out.push_back({static_cast<Vertex>(s), static_cast<Vertex>(t),
+                   static_cast<EdgeId>(e)});
+  }
+  return out;
+}
+
+/// Writes one "s t e answer" line per query ("inf" for unreachable).
+/// Returns false (after printing the error) when the file cannot be
+/// opened; answers must be batch-sized.
+inline bool write_answer_file(const std::string& path,
+                              std::span<const service::Query> batch,
+                              std::span<const Dist> answers) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    f << batch[i].s << ' ' << batch[i].t << ' ' << batch[i].e << ' ';
+    if (answers[i] == kInfDist) {
+      f << "inf\n";
+    } else {
+      f << answers[i] << '\n';
+    }
+  }
+  return true;
+}
+
+}  // namespace msrp::tools

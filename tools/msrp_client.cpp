@@ -1,0 +1,226 @@
+// msrp_client — remote query client and load generator for msrp_serve
+// --listen.
+//
+// Two modes share the connection machinery (src/net/client.hpp):
+//
+//   Batch mode: send one batch file, write the answers, exit. The output
+//   lines are byte-identical to msrp_serve --out for the same batch, which
+//   is what the CI network smoke job compares.
+//
+//     msrp_client --connect 127.0.0.1:7171 --batch-file q.txt --out a.txt
+//
+//   Load mode: open --connections connections (one thread each), keep
+//   --inflight pipelined batches of --batch-size random queries per
+//   connection for --duration seconds, then report throughput and
+//   per-batch latency percentiles. Random queries are generated from the
+//   server's HELLO (source list, n, m) — no local oracle needed.
+//
+//     msrp_client --connect 127.0.0.1:7171 --connections 4
+//         --batch-size 512 --inflight 8 --duration 10
+//
+// Options:
+//   --connect host:port    server address (required)
+//   --batch-file <path>    queries, one "s t e" per line ('#' comments)
+//   --out <path>           write "s t e answer" lines (batch mode)
+//   --connections N        load-mode connections/threads (default 1)
+//   --batch-size B         queries per generated batch (default 512)
+//   --inflight K           pipelined batches per connection (default 4)
+//   --duration S           load-mode seconds (default 5)
+//   --seed N               RNG seed for generated queries (default 1)
+//   --retries N            extra connect attempts, 200 ms apart (default 25)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "batch_io.hpp"
+#include "net/client.hpp"
+#include "service/query_gen.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace msrp;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: msrp_client --connect host:port --batch-file <path> [--out <path>]\n"
+               "       msrp_client --connect host:port [--connections N] [--batch-size B]\n"
+               "                   [--inflight K] [--duration S] [--seed N] [--retries N]\n");
+  std::exit(2);
+}
+
+std::vector<service::Query> random_batch(const net::HelloInfo& hello, std::size_t count,
+                                         Rng& rng) {
+  return service::random_query_batch(hello.sources, hello.num_vertices, hello.num_edges,
+                                     count, rng);
+}
+
+struct LoadResult {
+  std::uint64_t batches = 0;
+  std::uint64_t queries = 0;
+  std::vector<double> latencies_ms;  // one entry per completed batch
+  std::string error;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect, batch_path, out_path;
+  unsigned connections = 1;
+  std::size_t batch_size = 512;
+  std::size_t inflight = 4;
+  double duration_s = 5.0;
+  std::uint64_t seed = 1;
+  unsigned retries = 25;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      connect = next();
+    } else if (arg == "--batch-file") {
+      batch_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--connections") {
+      connections = static_cast<unsigned>(tools::cli_u64(next(), "--connections"));
+    } else if (arg == "--batch-size") {
+      batch_size = tools::cli_u64(next(), "--batch-size");
+    } else if (arg == "--inflight") {
+      inflight = tools::cli_u64(next(), "--inflight");
+    } else if (arg == "--duration") {
+      duration_s = tools::cli_double(next(), "--duration");
+    } else if (arg == "--seed") {
+      seed = tools::cli_u64(next(), "--seed");
+    } else if (arg == "--retries") {
+      retries = static_cast<unsigned>(tools::cli_u64(next(), "--retries"));
+    } else {
+      usage();
+    }
+  }
+  const std::size_t colon = connect.rfind(':');
+  if (connect.empty() || colon == std::string::npos) usage();
+  if (connections == 0 || batch_size == 0 || inflight == 0) usage();
+
+  const std::uint64_t port = tools::cli_u64(connect.substr(colon + 1), "--connect");
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "error: port %llu out of range (1-65535)\n",
+                 static_cast<unsigned long long>(port));
+    return 2;
+  }
+  net::ClientOptions copts;
+  copts.host = connect.substr(0, colon);
+  copts.port = static_cast<std::uint16_t>(port);
+  copts.connect_retries = retries;
+
+  try {
+    if (!batch_path.empty()) {
+      // Batch mode: one connection, one batch, answers out.
+      const std::vector<service::Query> batch = tools::read_batch_file(batch_path);
+      net::Client client(copts);
+      std::printf("connected to %s (oracle: n=%u m=%u sigma=%zu digest=%016llx)\n",
+                  connect.c_str(), client.hello().num_vertices, client.hello().num_edges,
+                  client.hello().sources.size(),
+                  static_cast<unsigned long long>(client.hello().oracle_digest));
+      Timer t;
+      const std::vector<Dist> answers = client.query_batch(batch);
+      std::printf("answered %zu queries in %.3f ms over TCP\n", batch.size(), t.millis());
+      if (!out_path.empty()) {
+        if (!tools::write_answer_file(out_path, batch, answers)) return 1;
+        std::printf("wrote answers to %s\n", out_path.c_str());
+      }
+      return 0;
+    }
+
+    // Load mode: one thread per connection; each keeps `inflight` batches
+    // pipelined and stamps per-batch latency send-to-collect.
+    std::vector<LoadResult> results(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    Timer wall;
+    for (unsigned c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        LoadResult& res = results[c];
+        try {
+          net::Client client(copts);
+          Rng rng(seed + c);
+          const auto deadline = std::chrono::steady_clock::now() +
+                                std::chrono::duration<double>(duration_s);
+          std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point> sent_at;
+          while (std::chrono::steady_clock::now() < deadline) {
+            while (client.inflight() < inflight) {
+              const auto batch = random_batch(client.hello(), batch_size, rng);
+              sent_at.emplace(client.send(batch), std::chrono::steady_clock::now());
+            }
+            net::BatchAnswer got = client.wait_any();
+            const auto it = sent_at.find(got.request_id);
+            if (it != sent_at.end()) {
+              res.latencies_ms.push_back(
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - it->second)
+                      .count());
+              sent_at.erase(it);
+            }
+            ++res.batches;
+            res.queries += got.answers.size();
+          }
+          while (client.inflight() > 0) {  // drain the pipeline
+            net::BatchAnswer got = client.wait_any();
+            ++res.batches;
+            res.queries += got.answers.size();
+          }
+        } catch (const std::exception& ex) {
+          res.error = ex.what();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs = wall.seconds();
+
+    std::uint64_t batches = 0, queries = 0;
+    std::vector<double> lat;
+    for (const LoadResult& res : results) {
+      if (!res.error.empty()) {
+        std::fprintf(stderr, "error: connection failed: %s\n", res.error.c_str());
+        return 1;
+      }
+      batches += res.batches;
+      queries += res.queries;
+      lat.insert(lat.end(), res.latencies_ms.begin(), res.latencies_ms.end());
+    }
+    std::sort(lat.begin(), lat.end());
+    std::printf("connections=%u batch=%zu inflight=%zu duration=%.1fs\n", connections,
+                batch_size, inflight, duration_s);
+    std::printf("completed %llu batches (%llu queries) in %.2f s: %.0f queries/s\n",
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(queries), secs,
+                secs > 0 ? static_cast<double>(queries) / secs : 0.0);
+    std::printf("batch latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+                percentile(lat, 0.50), percentile(lat, 0.90), percentile(lat, 0.99),
+                lat.empty() ? 0.0 : lat.back());
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  return 0;
+}

@@ -31,22 +31,40 @@
 //                          segments, each served zero-copy by a forked
 //                          msrp_serve worker; answers are bit-identical to
 //                          the in-process path (see docs/OPERATIONS.md)
+//   --shard-spin N         idle-poll rounds before the shard router sleeps
+//                          (default 64, or MSRP_SHARD_SPIN_ROUNDS)
+//   --shard-sleep-us N     router idle sleep in microseconds; 0 = yield
+//                          (default 20, or MSRP_SHARD_SLEEP_US)
 //   --out <path>           write "s t e answer" lines for the batch
+//
+// Network serving (docs/NETWORK_PROTOCOL.md):
+//   --listen <port>        serve the oracle over TCP until SIGINT/SIGTERM
+//                          (0 = pick an ephemeral port; the bound port is
+//                          printed). Composes with every oracle mode —
+//                          --build, --load-snapshot [--mmap], --shards N.
+//   --listen-addr <ip>     bind address (default 127.0.0.1)
 //
 // Internal:
 //   --shard-worker <base>:<k>   run as shard worker k of the supervisor
 //                               that owns shm prefix <base>; never invoked
 //                               by hand (the router passes it to exec)
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "batch_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "net/server.hpp"
+#include "service/query_gen.hpp"
 #include "service/query_service.hpp"
 #include "service/shard_process.hpp"
 #include "service/shard_router.hpp"
@@ -78,46 +96,74 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
                "         [--save-snapshot <path>] [--format v1|v2] [--mmap]\n"
                "         [--batch-file <path> | --random-queries N]\n"
                "         [--threads N] [--repeat K] [--async] [--shards N]\n"
+               "         [--shard-spin N] [--shard-sleep-us N]\n"
+               "         [--listen <port>] [--listen-addr <ip>]\n"
                "         [--out <path>]\n");
   std::exit(2);
-}
-
-std::vector<service::Query> read_batch_file(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "error: cannot open batch file %s\n", path.c_str());
-    std::exit(1);
-  }
-  std::vector<service::Query> out;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(f, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::uint64_t s = 0, t = 0, e = 0;
-    if (!(ls >> s >> t >> e)) {
-      std::fprintf(stderr, "error: %s:%zu: expected \"s t e\"\n", path.c_str(), lineno);
-      std::exit(1);
-    }
-    out.push_back({static_cast<Vertex>(s), static_cast<Vertex>(t),
-                   static_cast<EdgeId>(e)});
-  }
-  return out;
 }
 
 std::vector<service::Query> random_batch(const service::Snapshot& oracle, std::size_t count,
                                          std::uint64_t seed) {
   Rng rng(seed);
-  const auto& sources = oracle.sources();
-  std::vector<service::Query> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.push_back({sources[rng.next_below(sources.size())],
-                   static_cast<Vertex>(rng.next_below(oracle.num_vertices())),
-                   static_cast<EdgeId>(rng.next_below(oracle.num_edges()))});
+  return service::random_query_batch(oracle.sources(), oracle.num_vertices(),
+                                     oracle.num_edges(), count, rng);
+}
+
+// --listen shutdown flag; set by the SIGINT/SIGTERM handler (the only
+// async-signal-safe thing to do — the actual graceful shutdown runs on the
+// main thread's wait loop).
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+/// Runs the TCP front end until a signal arrives, then drains and reports.
+int serve_network(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
+                  const std::string& addr, std::uint16_t port) {
+  if (!net::Server::supported()) {
+    std::fprintf(stderr, "error: --listen needs epoll (Linux)\n");
+    return 1;
   }
-  return out;
+  net::ServerOptions sopts;
+  sopts.bind_addr = addr;
+  sopts.port = port;
+  net::Server server(svc, std::move(oracle), sopts);
+  std::printf("listening on %s:%u\n", addr.c_str(), server.port());
+  std::fflush(stdout);  // startup scripts parse this line for the port
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // The loop thread must never terminate the process: an escaping
+  // exception (epoll failure under fd pressure, ENOMEM) is recorded and
+  // treated like a stop signal instead.
+  std::atomic<bool> loop_done{false};
+  std::string loop_error;
+  std::thread loop([&server, &loop_done, &loop_error] {
+    try {
+      server.run();
+    } catch (const std::exception& ex) {
+      loop_error = ex.what();
+    }
+    loop_done.store(true, std::memory_order_release);
+  });
+  while (g_stop == 0 && !loop_done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down (draining in-flight batches)\n");
+  server.shutdown();
+  loop.join();
+  if (!loop_error.empty()) {
+    std::fprintf(stderr, "error: server loop failed: %s\n", loop_error.c_str());
+    return 1;
+  }
+  const net::ServerStats st = server.stats();
+  std::printf("served %llu connections, %llu batches, %llu queries "
+              "(%llu batch errors, %llu protocol errors, %llu replies dropped)\n",
+              static_cast<unsigned long long>(st.connections_accepted),
+              static_cast<unsigned long long>(st.batches_received),
+              static_cast<unsigned long long>(st.queries_answered),
+              static_cast<unsigned long long>(st.batch_errors),
+              static_cast<unsigned long long>(st.protocol_errors),
+              static_cast<unsigned long long>(st.replies_dropped));
+  return 0;
 }
 
 }  // namespace
@@ -143,6 +189,10 @@ int main(int argc, char** argv) {
   unsigned shards = 0;
   bool use_mmap = false;
   bool use_async = false;
+  bool listen = false;
+  unsigned listen_port = 0;
+  std::string listen_addr = "127.0.0.1";
+  service::ShardBackoff backoff = service::ShardBackoff::from_env();
   service::SnapshotFormat save_format = service::SnapshotFormat::kV2;
 
   for (int i = 1; i < argc; ++i) {
@@ -160,9 +210,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--sources") {
       for (const auto v : parse_list(next())) sources.push_back(v);
     } else if (arg == "--seed") {
-      cfg.seed = std::stoull(next());
+      cfg.seed = tools::cli_u64(next(), "--seed");
     } else if (arg == "--oversample") {
-      cfg.oversample = std::stod(next());
+      cfg.oversample = tools::cli_double(next(), "--oversample");
     } else if (arg == "--exact") {
       cfg.exact = true;
     } else if (arg == "--bk") {
@@ -185,13 +235,28 @@ int main(int argc, char** argv) {
     } else if (arg == "--batch-file") {
       batch_path = next();
     } else if (arg == "--random-queries") {
-      random_queries = std::stoull(next());
+      random_queries = tools::cli_u64(next(), "--random-queries");
     } else if (arg == "--threads") {
-      threads = static_cast<unsigned>(std::stoul(next()));
+      threads = static_cast<unsigned>(tools::cli_u64(next(), "--threads"));
     } else if (arg == "--shards") {
-      shards = static_cast<unsigned>(std::stoul(next()));
+      shards = static_cast<unsigned>(tools::cli_u64(next(), "--shards"));
+    } else if (arg == "--shard-spin") {
+      backoff.spin_rounds = static_cast<std::uint32_t>(tools::cli_u64(next(), "--shard-spin"));
+    } else if (arg == "--shard-sleep-us") {
+      backoff.sleep_us = static_cast<std::uint32_t>(tools::cli_u64(next(), "--shard-sleep-us"));
+    } else if (arg == "--listen") {
+      listen = true;
+      const std::uint64_t port = tools::cli_u64(next(), "--listen");
+      listen_port = static_cast<unsigned>(port);
+      if (port > 65535) {
+        std::fprintf(stderr, "error: --listen port %llu out of range (0-65535)\n",
+                     static_cast<unsigned long long>(port));
+        return 2;
+      }
+    } else if (arg == "--listen-addr") {
+      listen_addr = next();
     } else if (arg == "--repeat") {
-      repeat = std::stoull(next());
+      repeat = tools::cli_u64(next(), "--repeat");
       if (repeat == 0) repeat = 1;
     } else if (arg == "--out") {
       out_path = next();
@@ -214,6 +279,7 @@ int main(int argc, char** argv) {
       }
       svc_opts.shards = shards;
       svc_opts.shard_worker_argv = {argv[0]};  // workers exec this binary
+      svc_opts.shard_backoff = backoff;
     }
     service::QueryService svc(svc_opts);
     std::shared_ptr<const service::Snapshot> oracle;
@@ -252,9 +318,16 @@ int main(int argc, char** argv) {
                   save_path.c_str(), t.millis(), oracle->encoded_size());
     }
 
+    if (listen) {
+      // TCP front end over whatever oracle mode was selected above
+      // (in-process build, mmap snapshot, sharded workers alike).
+      return serve_network(svc, oracle, listen_addr,
+                           static_cast<std::uint16_t>(listen_port));
+    }
+
     std::vector<service::Query> batch;
     if (!batch_path.empty()) {
-      batch = read_batch_file(batch_path);
+      batch = tools::read_batch_file(batch_path);
     } else if (random_queries > 0) {
       batch = random_batch(*oracle, random_queries, cfg.seed);
     }
@@ -301,19 +374,7 @@ int main(int argc, char** argv) {
     }
 
     if (!out_path.empty()) {
-      std::ofstream f(out_path);
-      if (!f) {
-        std::fprintf(stderr, "error: cannot open %s for writing\n", out_path.c_str());
-        return 1;
-      }
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        f << batch[i].s << ' ' << batch[i].t << ' ' << batch[i].e << ' ';
-        if (answers[i] == kInfDist) {
-          f << "inf\n";
-        } else {
-          f << answers[i] << '\n';
-        }
-      }
+      if (!tools::write_answer_file(out_path, batch, answers)) return 1;
       std::printf("wrote answers to %s\n", out_path.c_str());
     }
   } catch (const std::exception& ex) {
