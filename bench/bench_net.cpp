@@ -10,14 +10,19 @@
 //   * BM_NetPipelined/K — the same 512-query batches with K kept in
 //     flight: measures how much the request ids + completion-order replies
 //     recover the syscall/latency overhead.
+//   * BM_NetMultiTenant/T — 512-query pipelined batches round-robined
+//     across T wire-registered oracles on one registry server: prices the
+//     digest lookup + fair-dispatch hop against the single-tenant rows.
 //
 // The deltas against BM_QueryBatch (same service, no socket) price the
 // network layer itself.
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "registry/oracle_registry.hpp"
 #include "service/query_gen.hpp"
 #include "service/query_service.hpp"
 
@@ -105,6 +110,68 @@ void BM_NetPipelined(benchmark::State& state) {
                           static_cast<std::int64_t>(kBatchSize));
 }
 BENCHMARK(BM_NetPipelined)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+/// Registry-enabled loopback server for the multi-tenant row; separate
+/// from LoopbackServer so the single-tenant rows keep pricing the bare
+/// server (no dispatcher in their path).
+struct RegistryLoopbackServer {
+  registry::OracleRegistry registry;
+  net::Server server;
+  std::thread thread;
+
+  RegistryLoopbackServer()
+      : registry(net_service()), server(net_service(), net_oracle(), &registry, {}) {
+    thread = std::thread([this] { server.run(); });
+  }
+  ~RegistryLoopbackServer() {
+    server.shutdown();
+    thread.join();
+  }
+};
+
+void BM_NetMultiTenant(benchmark::State& state) {
+  if (!net::Server::supported()) {
+    state.SkipWithError("epoll serving unsupported on this platform");
+    return;
+  }
+  static RegistryLoopbackServer loopback;
+  net::ClientOptions copts;
+  copts.port = loopback.server.port();
+  copts.connect_retries = 10;
+  net::Client client(copts);
+
+  const std::size_t tenants = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatchSize = 512;
+  constexpr std::size_t kInflight = 4;
+  std::vector<std::uint64_t> digests;
+  std::vector<std::vector<service::Query>> batches;
+  for (std::size_t i = 0; i < tenants; ++i) {
+    const Graph g = benchutil::er_graph(400 + 16 * static_cast<Vertex>(i), 6.0);
+    const auto sources = benchutil::spread_sources(g, 4);
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    edges.reserve(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) edges.push_back(g.endpoints(e));
+    const auto ack = client.register_graph(g.num_vertices(), edges, sources);
+    Rng rng(90 + i);
+    digests.push_back(ack.digest);
+    batches.push_back(service::random_query_batch(ack.sources, ack.num_vertices,
+                                                  ack.num_edges, kBatchSize, rng));
+  }
+
+  std::size_t next = 0;
+  for (auto _ : state) {
+    while (client.inflight() < kInflight) {
+      client.send(batches[next % tenants], digests[next % tenants]);
+      ++next;
+    }
+    auto got = client.wait_any();
+    benchmark::DoNotOptimize(got.answers.data());
+  }
+  while (client.inflight() > 0) client.wait_any();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchSize));
+}
+BENCHMARK(BM_NetMultiTenant)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 }  // namespace msrp

@@ -1,11 +1,13 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
 
+#include "core/config.hpp"
 #include "util/assert.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -88,10 +90,12 @@ void Client::close_socket() {
 }
 
 void Client::dial() {
+  dialing_ = true;
   for (unsigned attempt = 0;; ++attempt) {
     fd_ = dial_once(opts_.host, opts_.port, opts_.connect_timeout_ms);
     if (fd_ >= 0) break;
     if (attempt >= opts_.connect_retries) {
+      dialing_ = false;
       throw std::runtime_error("net client: cannot connect to " + opts_.host + ":" +
                                std::to_string(opts_.port));
     }
@@ -100,44 +104,91 @@ void Client::dial() {
   decoder_ = FrameDecoder(opts_.max_frame_bytes);
   ready_.clear();
   failed_.clear();
+  busy_.clear();
   inflight_.clear();
+  pending_frames_.clear();
 
   // The handshake: the first frame on the wire must be a HELLO we can
   // speak. The version is checked from the leading u32 BEFORE the payload
   // is decoded — a future version is allowed to change the HELLO layout,
   // so a mismatch must surface as the version diagnostic, not as a decode
-  // error. Every failure path closes the socket (the constructor may be
-  // about to propagate, with no destructor coming).
-  Frame frame = read_frame();
-  if (frame.type != FrameType::kHello) {
-    close_socket();
-    throw std::runtime_error("net client: server did not start with HELLO");
-  }
-  if (frame.payload.size() < 4) {
-    close_socket();
-    throw std::runtime_error("net client: HELLO frame too short");
-  }
-  const std::uint32_t version = std::uint32_t{frame.payload[0]} |
-                                (std::uint32_t{frame.payload[1]} << 8) |
-                                (std::uint32_t{frame.payload[2]} << 16) |
-                                (std::uint32_t{frame.payload[3]} << 24);
-  if (version != kProtocolVersion) {
-    close_socket();
-    throw std::runtime_error("net client: server speaks protocol version " +
-                             std::to_string(version) + ", this client speaks " +
-                             std::to_string(kProtocolVersion));
-  }
+  // error. Versions back to kMinProtocolVersion are accepted: a v2 frame
+  // with zero flags IS a v1 frame, so against an old server this client
+  // works until a registry call is made. Every failure path closes the
+  // socket (the constructor may be about to propagate, with no destructor
+  // coming).
   try {
-    hello_ = decode_hello(frame.payload);
-  } catch (const ProtocolError& ex) {
-    close_socket();
-    throw std::runtime_error(std::string("net client: malformed HELLO: ") + ex.what());
+    Frame frame = read_frame();
+    if (frame.type != FrameType::kHello) {
+      close_socket();
+      throw std::runtime_error("net client: server did not start with HELLO");
+    }
+    if (frame.payload.size() < 4) {
+      close_socket();
+      throw std::runtime_error("net client: HELLO frame too short");
+    }
+    const std::uint32_t version = std::uint32_t{frame.payload[0]} |
+                                  (std::uint32_t{frame.payload[1]} << 8) |
+                                  (std::uint32_t{frame.payload[2]} << 16) |
+                                  (std::uint32_t{frame.payload[3]} << 24);
+    if (version < kMinProtocolVersion || version > kProtocolVersion) {
+      close_socket();
+      throw std::runtime_error("net client: server speaks protocol version " +
+                               std::to_string(version) + ", this client speaks " +
+                               std::to_string(kMinProtocolVersion) + ".." +
+                               std::to_string(kProtocolVersion));
+    }
+    try {
+      hello_ = decode_hello(frame.payload);
+    } catch (const ProtocolError& ex) {
+      close_socket();
+      throw std::runtime_error(std::string("net client: malformed HELLO: ") + ex.what());
+    }
+  } catch (...) {
+    dialing_ = false;
+    throw;
   }
+  dialing_ = false;
 }
 
 void Client::reconnect() {
   close_socket();
   dial();
+}
+
+bool Client::try_resend() {
+  // Only idempotent QUERY_BATCH traffic can be replayed: every in-flight id
+  // must have its frame bytes stored, and no control call may be pending
+  // (REGISTER_GRAPH replayed twice would build twice — and worse, a replay
+  // that half-succeeded is unobservable).
+  if (!opts_.resend_on_reconnect || control_pending_ || dialing_) return false;
+  if (pending_frames_.size() != inflight_.size()) return false;
+  // dial() resets every per-connection map — save the batch state across
+  // it. Buffered answers survive too: reconnecting must never destroy
+  // results the caller has yet to wait() for.
+  auto frames = std::move(pending_frames_);
+  auto inflight = std::move(inflight_);
+  auto ready = std::move(ready_);
+  auto failed = std::move(failed_);
+  auto busy = std::move(busy_);
+  try {
+    dial();
+  } catch (...) {
+    return false;  // the caller reports the original connection loss
+  }
+  pending_frames_ = std::move(frames);
+  inflight_ = std::move(inflight);
+  ready_ = std::move(ready);
+  failed_ = std::move(failed);
+  busy_ = std::move(busy);
+  // Replay in send order (the map is id-ordered and ids are monotonic).
+  // A loss during the replay recurses — bounded by connect_retries per
+  // dial, and each recursion starts from a fresh socket.
+  for (const auto& [id, bytes] : pending_frames_) {
+    write_all(bytes);
+    if (fd_ < 0) return false;
+  }
+  return true;
 }
 
 void Client::write_all(std::span<const std::uint8_t> bytes) {
@@ -147,6 +198,10 @@ void Client::write_all(std::span<const std::uint8_t> bytes) {
     if (n < 0) {
       if (errno == EINTR) continue;
       close_socket();
+      // A successful resend already rewrote these bytes from
+      // pending_frames_ (the caller registered them before writing), so
+      // this call's job is done.
+      if (try_resend()) return;
       throw std::runtime_error("net client: connection lost during send");
     }
     off += static_cast<std::size_t>(n);
@@ -165,30 +220,36 @@ Frame Client::read_frame() {
     const ::ssize_t n = ::read(fd_, buf, sizeof buf);
     if (n == 0) {
       close_socket();
+      if (try_resend()) continue;  // fresh socket, batches replayed
       throw std::runtime_error("net client: server closed the connection");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       close_socket();
+      if (try_resend()) continue;
       throw std::runtime_error("net client: connection lost during receive");
     }
     decoder_.feed({buf, static_cast<std::size_t>(n)});
   }
 }
 
-std::uint64_t Client::send(std::span<const service::Query> queries) {
-  if (fd_ < 0) {
-    // inflight() (not inflight_) on purpose: dial() clears the buffered
-    // ready_/failed_ results too, and reconnecting must never destroy
-    // answers the caller has yet to wait() for.
-    if (!opts_.auto_reconnect || inflight() != 0) {
-      throw std::runtime_error("net client: not connected");
-    }
-    dial();
+void Client::ensure_connected() {
+  if (fd_ >= 0) return;
+  // inflight() (not inflight_) on purpose: dial() clears the buffered
+  // ready_/failed_/busy_ results too, and reconnecting must never destroy
+  // answers the caller has yet to wait() for.
+  if (!opts_.auto_reconnect || inflight() != 0) {
+    throw std::runtime_error("net client: not connected");
   }
+  dial();
+}
+
+std::uint64_t Client::send(std::span<const service::Query> queries,
+                           std::optional<std::uint64_t> digest) {
+  ensure_connected();
   // Reject a batch the server's decoder would refuse anyway — before
   // shipping tens of megabytes just to learn that.
-  const std::size_t payload_bytes = 16 + 12 * queries.size();
+  const std::size_t payload_bytes = 16 + (digest ? 8 : 0) + 12 * queries.size();
   if (payload_bytes > opts_.max_frame_bytes) {
     throw std::runtime_error("net client: batch exceeds the maximum frame size (" +
                              std::to_string(payload_bytes) + " > " +
@@ -196,111 +257,228 @@ std::uint64_t Client::send(std::span<const service::Query> queries) {
   }
   const std::uint64_t id = next_id_++;
   std::vector<std::uint8_t> bytes;
-  append_query_batch(bytes, id, queries);
-  write_all(bytes);
+  append_query_batch(bytes, id, queries, digest);
+  // Register before writing: a connection loss inside write_all resends
+  // from pending_frames_, and this frame must be part of that replay.
   inflight_.emplace(id, queries.size());
+  if (opts_.resend_on_reconnect) pending_frames_.emplace(id, bytes);
+  try {
+    write_all(bytes);
+  } catch (...) {
+    inflight_.erase(id);
+    pending_frames_.erase(id);
+    throw;
+  }
   return id;
 }
 
-BatchAnswer Client::collect_next() {
-  for (;;) {
-    Frame frame = read_frame();
-    switch (frame.type) {
-      case FrameType::kAnswerBatch: {
-        AnswerBatchFrame ab = decode_answer_batch(frame.payload);
-        // The reply must answer a batch we actually sent, in full — an
-        // unknown id or a short answer vector is a server defect the
-        // caller must never index into.
-        const auto it = inflight_.find(ab.request_id);
-        if (it == inflight_.end() || ab.answers.size() != it->second) {
-          close_socket();
-          throw std::runtime_error(
-              it == inflight_.end()
-                  ? "net client: answer for a request that is not in flight"
-                  : "net client: answer count does not match the batch");
-        }
-        inflight_.erase(it);
-        return BatchAnswer{ab.request_id, std::move(ab.answers)};
-      }
-      case FrameType::kError: {
-        const ErrorFrame err = decode_error(frame.payload);
-        if (err.request_id == 0) {
-          // Connection-level: the server is about to close on us.
-          close_socket();
-          throw std::runtime_error("net client: server error: " + err.message);
-        }
-        const auto it = inflight_.find(err.request_id);
-        if (it == inflight_.end()) {
-          close_socket();
-          throw std::runtime_error("net client: error for a request that is not in flight");
-        }
-        inflight_.erase(it);
-        failed_.emplace(err.request_id, err.message);
-        // Surface through wait()/wait_any() below so the caller can match
-        // the failure to its id.
-        return BatchAnswer{err.request_id, {}};
-      }
-      default:
+std::optional<Frame> Client::route_one(std::uint64_t control_id) {
+  Frame frame = read_frame();
+  switch (frame.type) {
+    case FrameType::kAnswerBatch: {
+      AnswerBatchFrame ab = decode_answer_batch(frame.payload);
+      // The reply must answer a batch we actually sent, in full — an
+      // unknown id or a short answer vector is a server defect the
+      // caller must never index into.
+      const auto it = inflight_.find(ab.request_id);
+      if (it == inflight_.end() || ab.answers.size() != it->second) {
         close_socket();
-        throw std::runtime_error("net client: unexpected frame type from server");
+        throw std::runtime_error(
+            it == inflight_.end()
+                ? "net client: answer for a request that is not in flight"
+                : "net client: answer count does not match the batch");
+      }
+      inflight_.erase(it);
+      pending_frames_.erase(ab.request_id);
+      ready_.emplace(ab.request_id, BatchAnswer{ab.request_id, std::move(ab.answers)});
+      return std::nullopt;
     }
+    case FrameType::kError: {
+      ErrorFrame err = decode_error(frame.payload);
+      if (err.request_id == 0) {
+        // Connection-level: the server is about to close on us.
+        close_socket();
+        throw std::runtime_error("net client: server error: " + err.message);
+      }
+      if (err.request_id == control_id) return frame;
+      const auto it = inflight_.find(err.request_id);
+      if (it == inflight_.end()) {
+        close_socket();
+        throw std::runtime_error("net client: error for a request that is not in flight");
+      }
+      inflight_.erase(it);
+      pending_frames_.erase(err.request_id);
+      failed_.emplace(err.request_id, std::move(err.message));
+      return std::nullopt;
+    }
+    case FrameType::kBusy: {
+      ErrorFrame busy = decode_error(frame.payload);  // BUSY shares the shape
+      if (busy.request_id == control_id && control_id != 0) return frame;
+      const auto it = inflight_.find(busy.request_id);
+      if (it == inflight_.end()) {
+        close_socket();
+        throw std::runtime_error("net client: BUSY for a request that is not in flight");
+      }
+      inflight_.erase(it);
+      pending_frames_.erase(busy.request_id);
+      busy_.emplace(busy.request_id, std::move(busy.message));
+      return std::nullopt;
+    }
+    case FrameType::kRegisterAck: {
+      const RegisterAckFrame ack = decode_register_ack(frame.payload);
+      if (control_id != 0 && ack.request_id == control_id) return frame;
+      close_socket();
+      throw std::runtime_error("net client: REGISTER_ACK with no registration in flight");
+    }
+    case FrameType::kOracleList: {
+      const OracleListFrame list = decode_oracle_list(frame.payload);
+      if (control_id != 0 && list.request_id == control_id) return frame;
+      close_socket();
+      throw std::runtime_error("net client: ORACLE_LIST with no list request in flight");
+    }
+    default:
+      close_socket();
+      throw std::runtime_error("net client: unexpected frame type from server");
   }
 }
 
 BatchAnswer Client::wait_any() {
-  if (!ready_.empty()) {
-    auto it = ready_.begin();
-    BatchAnswer out = std::move(it->second);
-    ready_.erase(it);
-    return out;
+  for (;;) {
+    if (!ready_.empty()) {
+      auto it = ready_.begin();
+      BatchAnswer out = std::move(it->second);
+      ready_.erase(it);
+      return out;
+    }
+    if (!failed_.empty()) {
+      auto it = failed_.begin();
+      const std::string message = std::move(it->second);
+      failed_.erase(it);
+      throw std::runtime_error("net client: batch failed: " + message);
+    }
+    if (!busy_.empty()) {
+      auto it = busy_.begin();
+      const std::string message = std::move(it->second);
+      busy_.erase(it);
+      throw BusyError("net client: batch rejected: " + message);
+    }
+    MSRP_REQUIRE(!inflight_.empty(), "net client: wait_any with nothing in flight");
+    route_one(0);
   }
-  if (!failed_.empty()) {
-    auto it = failed_.begin();
-    const std::string message = std::move(it->second);
-    failed_.erase(it);
-    throw std::runtime_error("net client: batch failed: " + message);
-  }
-  MSRP_REQUIRE(!inflight_.empty(), "net client: wait_any with nothing in flight");
-  BatchAnswer got = collect_next();
-  if (const auto it = failed_.find(got.request_id); it != failed_.end()) {
-    const std::string message = std::move(it->second);
-    failed_.erase(it);
-    throw std::runtime_error("net client: batch failed: " + message);
-  }
-  return got;
 }
 
 std::vector<Dist> Client::wait(std::uint64_t request_id) {
-  if (const auto it = ready_.find(request_id); it != ready_.end()) {
-    std::vector<Dist> out = std::move(it->second.answers);
-    ready_.erase(it);
-    return out;
-  }
   for (;;) {
+    if (const auto it = ready_.find(request_id); it != ready_.end()) {
+      std::vector<Dist> out = std::move(it->second.answers);
+      ready_.erase(it);
+      return out;
+    }
     if (const auto it = failed_.find(request_id); it != failed_.end()) {
       const std::string message = std::move(it->second);
       failed_.erase(it);
       throw std::runtime_error("net client: batch failed: " + message);
     }
+    if (const auto it = busy_.find(request_id); it != busy_.end()) {
+      const std::string message = std::move(it->second);
+      busy_.erase(it);
+      throw BusyError("net client: batch rejected: " + message);
+    }
     MSRP_REQUIRE(inflight_.count(request_id) != 0,
                  "net client: waiting for an id that is not in flight");
-    BatchAnswer got = collect_next();
-    if (got.request_id == request_id) {
-      if (const auto it = failed_.find(request_id); it != failed_.end()) {
-        const std::string message = std::move(it->second);
-        failed_.erase(it);
-        throw std::runtime_error("net client: batch failed: " + message);
-      }
-      return std::move(got.answers);
-    }
-    if (failed_.find(got.request_id) == failed_.end()) {
-      ready_.emplace(got.request_id, std::move(got));
-    }
+    route_one(0);
   }
 }
 
-std::vector<Dist> Client::query_batch(std::span<const service::Query> queries) {
-  return wait(send(queries));
+std::vector<Dist> Client::query_batch(std::span<const service::Query> queries,
+                                      std::optional<std::uint64_t> digest) {
+  return wait(send(queries, digest));
+}
+
+Frame Client::control_round_trip(std::uint64_t control_id, std::vector<std::uint8_t> bytes) {
+  ensure_connected();
+  MSRP_REQUIRE(!control_pending_, "net client: nested control call");
+  control_pending_ = true;
+  try {
+    write_all(bytes);
+    for (;;) {
+      if (auto reply = route_one(control_id)) {
+        control_pending_ = false;
+        return std::move(*reply);
+      }
+    }
+  } catch (...) {
+    control_pending_ = false;
+    throw;
+  }
+}
+
+RegisterAckFrame Client::register_graph(std::uint32_t num_vertices,
+                                        std::span<const std::pair<Vertex, Vertex>> edges,
+                                        std::span<const Vertex> sources,
+                                        std::optional<std::uint64_t> seed) {
+  RegisterGraphFrame reg;
+  reg.request_id = next_id_++;
+  reg.mode = RegisterMode::kEdgeList;
+  reg.seed = seed ? *seed : Config{}.seed;
+  reg.num_vertices = num_vertices;
+  reg.sources.assign(sources.begin(), sources.end());
+  reg.edges.assign(edges.begin(), edges.end());
+  std::vector<std::uint8_t> bytes;
+  append_register_graph(bytes, reg);
+  Frame reply = control_round_trip(reg.request_id, std::move(bytes));
+  if (reply.type == FrameType::kError) {
+    throw std::runtime_error("net client: registration failed: " +
+                             decode_error(reply.payload).message);
+  }
+  if (reply.type == FrameType::kBusy) {
+    throw BusyError("net client: registration rejected: " +
+                    decode_error(reply.payload).message);
+  }
+  return decode_register_ack(reply.payload);
+}
+
+RegisterAckFrame Client::register_snapshot_path(const std::string& path) {
+  RegisterGraphFrame reg;
+  reg.request_id = next_id_++;
+  reg.mode = RegisterMode::kSnapshotPath;
+  reg.snapshot_path = path;
+  std::vector<std::uint8_t> bytes;
+  append_register_graph(bytes, reg);
+  Frame reply = control_round_trip(reg.request_id, std::move(bytes));
+  if (reply.type == FrameType::kError) {
+    throw std::runtime_error("net client: registration failed: " +
+                             decode_error(reply.payload).message);
+  }
+  if (reply.type == FrameType::kBusy) {
+    throw BusyError("net client: registration rejected: " +
+                    decode_error(reply.payload).message);
+  }
+  return decode_register_ack(reply.payload);
+}
+
+std::vector<OracleListEntry> Client::list_oracles() {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  append_list_oracles(bytes, id);
+  Frame reply = control_round_trip(id, std::move(bytes));
+  if (reply.type == FrameType::kError) {
+    throw std::runtime_error("net client: list failed: " +
+                             decode_error(reply.payload).message);
+  }
+  return decode_oracle_list(reply.payload).oracles;
+}
+
+RegisterAckFrame Client::unregister(std::uint64_t digest) {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  append_unregister(bytes, id, digest);
+  Frame reply = control_round_trip(id, std::move(bytes));
+  if (reply.type == FrameType::kError) {
+    throw std::runtime_error("net client: unregister failed: " +
+                             decode_error(reply.payload).message);
+  }
+  return decode_register_ack(reply.payload);
 }
 
 #else  // !MSRP_HAVE_SOCKETS
@@ -311,14 +489,31 @@ Client::Client(ClientOptions opts) : opts_(std::move(opts)) {
 Client::~Client() = default;
 void Client::dial() {}
 void Client::close_socket() {}
+bool Client::try_resend() { return false; }
 void Client::reconnect() {}
+void Client::ensure_connected() {}
 void Client::write_all(std::span<const std::uint8_t>) {}
 Frame Client::read_frame() { return {}; }
-BatchAnswer Client::collect_next() { return {}; }
-std::uint64_t Client::send(std::span<const service::Query>) { return 0; }
+std::optional<Frame> Client::route_one(std::uint64_t) { return std::nullopt; }
+Frame Client::control_round_trip(std::uint64_t, std::vector<std::uint8_t>) { return {}; }
+std::uint64_t Client::send(std::span<const service::Query>, std::optional<std::uint64_t>) {
+  return 0;
+}
 BatchAnswer Client::wait_any() { return {}; }
 std::vector<Dist> Client::wait(std::uint64_t) { return {}; }
-std::vector<Dist> Client::query_batch(std::span<const service::Query>) { return {}; }
+std::vector<Dist> Client::query_batch(std::span<const service::Query>,
+                                      std::optional<std::uint64_t>) {
+  return {};
+}
+RegisterAckFrame Client::register_graph(std::uint32_t,
+                                        std::span<const std::pair<Vertex, Vertex>>,
+                                        std::span<const Vertex>,
+                                        std::optional<std::uint64_t>) {
+  return {};
+}
+RegisterAckFrame Client::register_snapshot_path(const std::string&) { return {}; }
+std::vector<OracleListEntry> Client::list_oracles() { return {}; }
+RegisterAckFrame Client::unregister(std::uint64_t) { return {}; }
 
 #endif
 

@@ -14,22 +14,46 @@
 ///     the server finishes them (answers for other ids are buffered, never
 ///     lost). This is the shape the msrp_client load generator drives.
 ///
+/// Protocol v2 adds registry control: register_graph() /
+/// register_snapshot_path() upload or name a graph and block until the
+/// server's oracle is built (minutes for big graphs — size the socket's
+/// patience accordingly), list_oracles() enumerates what is resident, and
+/// unregister() retires a digest. Batches may target any registered oracle
+/// by passing its digest to send()/query_batch(); without one the
+/// connection's HELLO default answers, exactly as in v1. Control calls
+/// interleave freely with pipelined batches — answers arriving during a
+/// control wait are buffered for their own wait() to find. A v1 server
+/// (HELLO version 1) works unchanged as long as no v2 feature is used.
+///
 /// A server-reported batch failure (ERROR frame with our id) surfaces as a
-/// thrown std::runtime_error from the wait that collects it; a
+/// thrown std::runtime_error from the wait that collects it; an
+/// admission-control rejection (BUSY frame) surfaces as BusyError — the
+/// batch did not run and an identical resend is safe after backing off. A
 /// connection-level ERROR (id 0) or any framing violation additionally
 /// marks the connection dead. reconnect() re-dials and re-handshakes —
 /// in-flight ids are lost (their batches die with the old socket) — and
 /// with ClientOptions::auto_reconnect a send() on a dead connection does
 /// this transparently when nothing is in flight.
 ///
+/// ClientOptions::resend_on_reconnect goes further: QUERY_BATCH is
+/// idempotent (same oracle, same queries, same answers), so when the
+/// connection drops with batches in flight the client re-dials and replays
+/// every uncollected batch frame verbatim — same ids — and the waits
+/// proceed as if nothing happened. Control frames are never replayed
+/// (REGISTER_GRAPH is not idempotent); a drop during a control call is an
+/// error.
+///
 /// Instances are not thread-safe; give each thread its own Client (the
 /// load generator opens one per connection by design).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/protocol.hpp"
@@ -51,6 +75,10 @@ struct ClientOptions {
   /// Re-dial transparently when send() finds the connection dead and no
   /// batches are in flight.
   bool auto_reconnect = false;
+  /// On connection loss with batches in flight: re-dial and replay every
+  /// uncollected QUERY_BATCH with its original id (idempotent, so answers
+  /// are identical). Implies nothing for control calls — those fail.
+  bool resend_on_reconnect = false;
 };
 
 /// One completed batch collected by wait_any().
@@ -59,10 +87,18 @@ struct BatchAnswer {
   std::vector<Dist> answers;
 };
 
+/// The server refused a batch or a registration under admission control
+/// (BUSY frame). Nothing ran; retry after a backoff.
+class BusyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class Client {
  public:
   /// Dials and handshakes; throws std::runtime_error when the server is
-  /// unreachable (after retries) or speaks an unknown protocol version.
+  /// unreachable (after retries) or speaks a protocol version outside
+  /// [kMinProtocolVersion, kProtocolVersion].
   explicit Client(ClientOptions opts);
   ~Client();
 
@@ -72,49 +108,104 @@ class Client {
   /// Server identity from the handshake (oracle digest, n, m, sources).
   const HelloInfo& hello() const { return hello_; }
 
+  /// The protocol version the server announced (may be lower than ours).
+  std::uint32_t server_version() const { return hello_.version; }
+
+  /// True when the server advertises registry support (HELLO flag).
+  bool registry_enabled() const { return (hello_.flags & kHelloRegistryEnabled) != 0; }
+
   bool connected() const { return fd_ >= 0; }
 
   /// Batches sent but not yet collected by a wait.
-  std::size_t inflight() const { return inflight_.size() + ready_.size() + failed_.size(); }
+  std::size_t inflight() const {
+    return inflight_.size() + ready_.size() + failed_.size() + busy_.size();
+  }
 
   /// Drops the current socket (in-flight ids are lost) and dials fresh.
   void reconnect();
 
   /// Writes one QUERY_BATCH and returns its request id without waiting.
-  std::uint64_t send(std::span<const service::Query> queries);
+  /// `digest` targets a registered oracle (v2); nullopt sends the
+  /// v1-compatible shape answered by the HELLO default oracle.
+  std::uint64_t send(std::span<const service::Query> queries,
+                     std::optional<std::uint64_t> digest = std::nullopt);
 
   /// Blocks for the next completed batch, in server-completion order.
-  /// Throws std::runtime_error if the server reported that batch failed.
+  /// Throws std::runtime_error if the server reported that batch failed,
+  /// BusyError if it was rejected by admission control.
   BatchAnswer wait_any();
 
   /// Blocks until the batch with this id completes (others are buffered).
   std::vector<Dist> wait(std::uint64_t request_id);
 
   /// send() + wait(): the synchronous round trip.
-  std::vector<Dist> query_batch(std::span<const service::Query> queries);
+  std::vector<Dist> query_batch(std::span<const service::Query> queries,
+                                std::optional<std::uint64_t> digest = std::nullopt);
+
+  // ----- registry control (protocol v2) -----------------------------------
+
+  /// Uploads an edge list and blocks until the server's oracle is ready.
+  /// `seed` is the solver Config::seed for the build; nullopt uses the
+  /// library default, which is what local differential tests build with.
+  /// Returns the ack carrying the oracle's content digest — the handle
+  /// every subsequent batch targets. Throws std::runtime_error when the
+  /// server rejects or the build fails, BusyError when admission says no.
+  RegisterAckFrame register_graph(std::uint32_t num_vertices,
+                                  std::span<const std::pair<Vertex, Vertex>> edges,
+                                  std::span<const Vertex> sources,
+                                  std::optional<std::uint64_t> seed = std::nullopt);
+
+  /// Asks the server to load a snapshot from its own filesystem (the path
+  /// is resolved server-side). Same blocking contract as register_graph.
+  RegisterAckFrame register_snapshot_path(const std::string& path);
+
+  /// Enumerates the server's resident oracles (sorted by digest).
+  std::vector<OracleListEntry> list_oracles();
+
+  /// Retires a digest. The returned state is kUnregistered (gone now) or
+  /// kExpiring (draining in-flight batches, gone when they finish).
+  RegisterAckFrame unregister(std::uint64_t digest);
 
  private:
   void dial();
   void close_socket();
+  /// True when a dropped connection was successfully re-dialed and every
+  /// uncollected batch replayed; the caller restarts its read/write.
+  bool try_resend();
   void write_all(std::span<const std::uint8_t> bytes);
   /// Reads socket bytes into the decoder until one frame is complete.
   Frame read_frame();
-  /// Reads frames until some batch completes; returns it.
-  BatchAnswer collect_next();
+  /// Reads one frame and routes it. Batch traffic (ANSWER_BATCH, per-id
+  /// ERROR/BUSY for an in-flight batch) lands in ready_/failed_/busy_ and
+  /// returns nullopt; a control reply carrying `control_id` (nonzero) is
+  /// returned to the caller. Control-shaped frames with no control call
+  /// pending are protocol violations.
+  std::optional<Frame> route_one(std::uint64_t control_id);
+  /// Performs one control round trip: writes `bytes`, blocks for the reply
+  /// to `control_id`, decodes ERROR/BUSY into the documented throws.
+  Frame control_round_trip(std::uint64_t control_id, std::vector<std::uint8_t> bytes);
+  /// Shared auto_reconnect gate used by send() and the control calls.
+  void ensure_connected();
 
   ClientOptions opts_;
   int fd_ = -1;
   FrameDecoder decoder_;
   HelloInfo hello_;
   std::uint64_t next_id_ = 1;
+  bool control_pending_ = false;  // a control round trip is on the wire
+  bool dialing_ = false;          // inside dial(); resend must not recurse
   // Ids on the wire, with the answer count each one owes us — a reply
   // whose id or size does not match something we sent is treated as a
   // protocol violation, never returned to the caller.
   std::unordered_map<std::uint64_t, std::size_t> inflight_;
-  // Answers (or server-reported errors) that arrived while waiting for a
-  // different id.
+  // Verbatim frame bytes of in-flight batches, kept only when
+  // resend_on_reconnect is set; ordered so a replay preserves send order.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> pending_frames_;
+  // Answers (or server-reported errors / busy rejections) that arrived
+  // while waiting for a different id.
   std::unordered_map<std::uint64_t, BatchAnswer> ready_;
   std::unordered_map<std::uint64_t, std::string> failed_;
+  std::unordered_map<std::uint64_t, std::string> busy_;
 };
 
 }  // namespace msrp::net

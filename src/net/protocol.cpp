@@ -101,7 +101,7 @@ void append_frame(std::vector<std::uint8_t>& out, FrameType type, Fill&& fill) {
 void append_hello(std::vector<std::uint8_t>& out, const HelloInfo& hello) {
   append_frame(out, FrameType::kHello, [&](std::vector<std::uint8_t>& buf) {
     put_u32(buf, hello.version);
-    put_u32(buf, 0);  // flags, reserved
+    put_u32(buf, hello.flags);  // reserved (always 0) before v2
     put_u64(buf, hello.oracle_digest);
     put_u32(buf, hello.num_vertices);
     put_u32(buf, hello.num_edges);
@@ -112,11 +112,13 @@ void append_hello(std::vector<std::uint8_t>& out, const HelloInfo& hello) {
 }
 
 void append_query_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
-                        std::span<const service::Query> queries) {
+                        std::span<const service::Query> queries,
+                        std::optional<std::uint64_t> digest) {
   append_frame(out, FrameType::kQueryBatch, [&](std::vector<std::uint8_t>& buf) {
     put_u64(buf, request_id);
     put_u32(buf, static_cast<std::uint32_t>(queries.size()));
-    put_u32(buf, 0);  // reserved
+    put_u32(buf, digest ? kQueryBatchHasDigest : 0);  // flags (v1: reserved 0)
+    if (digest) put_u64(buf, *digest);
     for (const service::Query& q : queries) {
       put_u32(buf, q.s);
       put_u32(buf, q.t);
@@ -145,11 +147,92 @@ void append_error(std::vector<std::uint8_t>& out, std::uint64_t request_id,
   });
 }
 
+void append_busy(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                 std::string_view message) {
+  append_frame(out, FrameType::kBusy, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, request_id);
+    put_u32(buf, static_cast<std::uint32_t>(message.size()));
+    put_u32(buf, 0);  // reserved
+    buf.insert(buf.end(), message.begin(), message.end());
+  });
+}
+
+void append_register_graph(std::vector<std::uint8_t>& out, const RegisterGraphFrame& reg) {
+  append_frame(out, FrameType::kRegisterGraph, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, reg.request_id);
+    put_u32(buf, static_cast<std::uint32_t>(reg.mode));
+    put_u32(buf, 0);  // reserved
+    if (reg.mode == RegisterMode::kEdgeList) {
+      put_u64(buf, reg.seed);
+      put_u32(buf, reg.num_vertices);
+      put_u32(buf, static_cast<std::uint32_t>(reg.edges.size()));
+      put_u32(buf, static_cast<std::uint32_t>(reg.sources.size()));
+      put_u32(buf, 0);  // reserved
+      for (const Vertex s : reg.sources) put_u32(buf, s);
+      for (const auto& [u, v] : reg.edges) {
+        put_u32(buf, u);
+        put_u32(buf, v);
+      }
+    } else {
+      put_u32(buf, static_cast<std::uint32_t>(reg.snapshot_path.size()));
+      put_u32(buf, 0);  // reserved
+      buf.insert(buf.end(), reg.snapshot_path.begin(), reg.snapshot_path.end());
+    }
+  });
+}
+
+void append_register_ack(std::vector<std::uint8_t>& out, const RegisterAckFrame& ack) {
+  append_frame(out, FrameType::kRegisterAck, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, ack.request_id);
+    put_u64(buf, ack.digest);
+    put_u32(buf, static_cast<std::uint32_t>(ack.state));
+    put_u32(buf, 0);  // reserved
+    put_u32(buf, ack.num_vertices);
+    put_u32(buf, ack.num_edges);
+    put_u32(buf, static_cast<std::uint32_t>(ack.sources.size()));
+    put_u32(buf, 0);  // reserved
+    for (const Vertex s : ack.sources) put_u32(buf, s);
+  });
+}
+
+void append_list_oracles(std::vector<std::uint8_t>& out, std::uint64_t request_id) {
+  append_frame(out, FrameType::kListOracles,
+               [&](std::vector<std::uint8_t>& buf) { put_u64(buf, request_id); });
+}
+
+void append_oracle_list(std::vector<std::uint8_t>& out, const OracleListFrame& list) {
+  append_frame(out, FrameType::kOracleList, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, list.request_id);
+    put_u32(buf, static_cast<std::uint32_t>(list.oracles.size()));
+    put_u32(buf, 0);  // reserved
+    for (const OracleListEntry& e : list.oracles) {
+      put_u64(buf, e.digest);
+      put_u32(buf, static_cast<std::uint32_t>(e.state));
+      put_u32(buf, e.num_vertices);
+      put_u32(buf, e.num_edges);
+      put_u32(buf, static_cast<std::uint32_t>(e.sources.size()));
+      put_u32(buf, e.inflight_batches);
+      put_u32(buf, 0);  // reserved
+      put_u64(buf, e.queries_answered);
+      put_u64(buf, e.footprint_bytes);
+      for (const Vertex s : e.sources) put_u32(buf, s);
+    }
+  });
+}
+
+void append_unregister(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                       std::uint64_t digest) {
+  append_frame(out, FrameType::kUnregister, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, request_id);
+    put_u64(buf, digest);
+  });
+}
+
 HelloInfo decode_hello(std::span<const std::uint8_t> payload) {
   Reader r(payload);
   HelloInfo hello;
   hello.version = r.u32();
-  r.u32();  // flags
+  hello.flags = r.u32();
   hello.oracle_digest = r.u64();
   hello.num_vertices = r.u32();
   hello.num_edges = r.u32();
@@ -167,7 +250,13 @@ QueryBatchFrame decode_query_batch(std::span<const std::uint8_t> payload) {
   QueryBatchFrame qb;
   qb.request_id = r.u64();
   const std::uint32_t count = r.u32();
-  r.u32();  // reserved
+  // v1 wrote this word as reserved-zero; v2 uses it as a flag field, so
+  // every v1 frame decodes here unchanged (flags == 0, no digest).
+  const std::uint32_t flags = r.u32();
+  if ((flags & ~kQueryBatchHasDigest) != 0) {
+    throw ProtocolError("unknown QUERY_BATCH flags");
+  }
+  if (flags & kQueryBatchHasDigest) qb.digest = r.u64();
   r.expect_records(count, 12);
   qb.queries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -203,6 +292,117 @@ ErrorFrame decode_error(std::span<const std::uint8_t> payload) {
   err.message.assign(reinterpret_cast<const char*>(bytes), len);
   r.expect_end();
   return err;
+}
+
+namespace {
+
+/// A state u32 from the wire; out-of-range values decode as kUnknown
+/// rather than faulting — the set may grow in later protocol revisions.
+registry::OracleState decode_state(std::uint32_t raw) {
+  return raw <= static_cast<std::uint32_t>(registry::OracleState::kUnregistered)
+             ? static_cast<registry::OracleState>(raw)
+             : registry::OracleState::kUnknown;
+}
+
+}  // namespace
+
+RegisterGraphFrame decode_register_graph(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  RegisterGraphFrame reg;
+  reg.request_id = r.u64();
+  const std::uint32_t mode = r.u32();
+  r.u32();  // reserved
+  if (mode == static_cast<std::uint32_t>(RegisterMode::kEdgeList)) {
+    reg.mode = RegisterMode::kEdgeList;
+    reg.seed = r.u64();
+    reg.num_vertices = r.u32();
+    const std::uint32_t m = r.u32();
+    const std::uint32_t sigma = r.u32();
+    r.u32();  // reserved
+    // Both counts guard their allocations: sources first (they precede the
+    // edges in the payload), then edges against what remains.
+    r.expect_records(std::uint64_t{sigma} + 2 * std::uint64_t{m}, 4);
+    reg.sources.reserve(sigma);
+    for (std::uint32_t i = 0; i < sigma; ++i) reg.sources.push_back(r.u32());
+    reg.edges.reserve(m);
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const Vertex u = r.u32();
+      const Vertex v = r.u32();
+      reg.edges.emplace_back(u, v);
+    }
+  } else if (mode == static_cast<std::uint32_t>(RegisterMode::kSnapshotPath)) {
+    reg.mode = RegisterMode::kSnapshotPath;
+    const std::uint32_t len = r.u32();
+    r.u32();  // reserved
+    const std::uint8_t* bytes = r.take(len);
+    reg.snapshot_path.assign(reinterpret_cast<const char*>(bytes), len);
+  } else {
+    throw ProtocolError("unknown REGISTER_GRAPH mode " + std::to_string(mode));
+  }
+  r.expect_end();
+  return reg;
+}
+
+RegisterAckFrame decode_register_ack(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  RegisterAckFrame ack;
+  ack.request_id = r.u64();
+  ack.digest = r.u64();
+  ack.state = decode_state(r.u32());
+  r.u32();  // reserved
+  ack.num_vertices = r.u32();
+  ack.num_edges = r.u32();
+  const std::uint32_t sigma = r.u32();
+  r.u32();  // reserved
+  r.expect_records(sigma, 4);
+  ack.sources.reserve(sigma);
+  for (std::uint32_t i = 0; i < sigma; ++i) ack.sources.push_back(r.u32());
+  r.expect_end();
+  return ack;
+}
+
+std::uint64_t decode_list_oracles(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const std::uint64_t request_id = r.u64();
+  r.expect_end();
+  return request_id;
+}
+
+OracleListFrame decode_oracle_list(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  OracleListFrame list;
+  list.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  r.u32();  // reserved
+  r.expect_records(count, 48);  // fixed bytes per entry, sources excluded
+  list.oracles.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    OracleListEntry e;
+    e.digest = r.u64();
+    e.state = decode_state(r.u32());
+    e.num_vertices = r.u32();
+    e.num_edges = r.u32();
+    const std::uint32_t sigma = r.u32();
+    e.inflight_batches = r.u32();
+    r.u32();  // reserved
+    e.queries_answered = r.u64();
+    e.footprint_bytes = r.u64();
+    r.expect_records(sigma, 4);
+    e.sources.reserve(sigma);
+    for (std::uint32_t j = 0; j < sigma; ++j) e.sources.push_back(r.u32());
+    list.oracles.push_back(std::move(e));
+  }
+  r.expect_end();
+  return list;
+}
+
+UnregisterFrame decode_unregister(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  UnregisterFrame un;
+  un.request_id = r.u64();
+  un.digest = r.u64();
+  r.expect_end();
+  return un;
 }
 
 void FrameDecoder::feed(std::span<const std::uint8_t> data) {

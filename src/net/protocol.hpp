@@ -27,6 +27,24 @@
 ///     validation. An ERROR with request id 0 is connection-level — a
 ///     protocol violation — and is followed by the server closing.
 ///
+/// Protocol v2 (docs/NETWORK_PROTOCOL.md §v2) adds the multi-tenant
+/// registry conversation on top of v1:
+///
+///   * REGISTER_GRAPH uploads an edge list (or names a server-side
+///     snapshot path); the server answers REGISTER_ACK with the oracle's
+///     digest and build state, or ERROR with the same request id when the
+///     registration was rejected;
+///   * LIST_ORACLES / ORACLE_LIST enumerate the registered oracles with
+///     state and per-tenant counters; UNREGISTER retires a digest;
+///   * QUERY_BATCH grows an optional target digest (flag bit 0): a v2
+///     client can aim any batch at any registered oracle. A v1-shaped
+///     batch (flags == 0, no digest) still decodes and targets the HELLO
+///     default — the frame layouts of v1 are a strict subset of v2, which
+///     is why updated clients accept either announced version;
+///   * BUSY (same payload shape as ERROR) rejects a batch that admission
+///     control will not queue; the connection stays healthy and the
+///     client may retry.
+///
 /// All integers are little-endian. A frame's payload is capped
 /// (max_frame_bytes, default 64 MiB); an oversized length in the header is
 /// a protocol error — the decoder refuses it *before* buffering, so a
@@ -41,6 +59,7 @@
 #include <string_view>
 #include <vector>
 
+#include "registry/oracle_state.hpp"
 #include "service/query.hpp"
 #include "util/distance.hpp"
 
@@ -49,7 +68,10 @@ namespace msrp::net {
 /// First bytes of every frame, little-endian "MRPC".
 inline constexpr std::uint32_t kFrameMagic = 0x4350524du;
 /// Wire protocol version announced in the server HELLO.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
+/// Lowest announced version an updated client still speaks (v1 frame
+/// layouts are a subset of v2).
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 /// Fixed byte size of the frame header.
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 /// Default payload cap; both sides reject frames claiming more.
@@ -60,7 +82,20 @@ enum class FrameType : std::uint32_t {
   kQueryBatch = 2,   ///< client -> server, pipelined
   kAnswerBatch = 3,  ///< server -> client, one per QUERY_BATCH
   kError = 4,        ///< server -> client; id 0 = fatal protocol error
+  // ----- v2 (registry) -----
+  kRegisterGraph = 5,  ///< client -> server: upload edge list / name a snapshot
+  kRegisterAck = 6,    ///< server -> client: digest + build state
+  kListOracles = 7,    ///< client -> server: enumerate registered oracles
+  kOracleList = 8,     ///< server -> client: reply to LIST_ORACLES
+  kUnregister = 9,     ///< client -> server: retire a digest
+  kBusy = 10,          ///< server -> client: batch rejected by admission control
 };
+
+/// QUERY_BATCH flag bits (v2; a v1 frame always carries flags == 0).
+inline constexpr std::uint32_t kQueryBatchHasDigest = 1u << 0;
+
+/// HELLO flag bits.
+inline constexpr std::uint32_t kHelloRegistryEnabled = 1u << 0;
 
 /// A malformed byte stream (bad magic, oversized length, checksum
 /// mismatch, truncated or inconsistent payload). Connection-fatal: the
@@ -75,10 +110,13 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
-/// Server identity sent on accept.
+/// Server identity sent on accept. A registry server with no default
+/// oracle announces digest 0, n = m = 0 and an empty source list; clients
+/// must then name a digest per batch.
 struct HelloInfo {
   std::uint32_t version = kProtocolVersion;
-  std::uint64_t oracle_digest = 0;  ///< Snapshot::content_digest()
+  std::uint32_t flags = 0;          ///< kHelloRegistryEnabled, ...
+  std::uint64_t oracle_digest = 0;  ///< Snapshot::content_digest(); 0 = none
   std::uint32_t num_vertices = 0;
   std::uint32_t num_edges = 0;
   std::vector<Vertex> sources;  ///< valid query sources, in oracle order
@@ -86,7 +124,59 @@ struct HelloInfo {
 
 struct QueryBatchFrame {
   std::uint64_t request_id = 0;
+  /// v2 target oracle; nullopt = the connection's HELLO default (the only
+  /// shape a v1 client can produce).
+  std::optional<std::uint64_t> digest;
   std::vector<service::Query> queries;
+};
+
+/// How REGISTER_GRAPH names the graph to build.
+enum class RegisterMode : std::uint32_t {
+  kEdgeList = 1,      ///< inline upload: n, m, sources, edge endpoints
+  kSnapshotPath = 2,  ///< path to a v1/v2 snapshot readable by the server
+};
+
+struct RegisterGraphFrame {
+  std::uint64_t request_id = 0;
+  RegisterMode mode = RegisterMode::kEdgeList;
+  // kEdgeList payload:
+  std::uint64_t seed = 0;  ///< solver Config::seed for the build
+  std::uint32_t num_vertices = 0;
+  std::vector<Vertex> sources;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  // kSnapshotPath payload:
+  std::string snapshot_path;
+};
+
+struct RegisterAckFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t digest = 0;
+  registry::OracleState state = registry::OracleState::kUnknown;
+  std::uint32_t num_vertices = 0;
+  std::uint32_t num_edges = 0;
+  std::vector<Vertex> sources;
+};
+
+/// One oracle in an ORACLE_LIST reply.
+struct OracleListEntry {
+  std::uint64_t digest = 0;
+  registry::OracleState state = registry::OracleState::kUnknown;
+  std::uint32_t num_vertices = 0;
+  std::uint32_t num_edges = 0;
+  std::uint32_t inflight_batches = 0;
+  std::uint64_t queries_answered = 0;
+  std::uint64_t footprint_bytes = 0;
+  std::vector<Vertex> sources;
+};
+
+struct OracleListFrame {
+  std::uint64_t request_id = 0;
+  std::vector<OracleListEntry> oracles;
+};
+
+struct UnregisterFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t digest = 0;
 };
 
 struct AnswerBatchFrame {
@@ -104,12 +194,24 @@ struct ErrorFrame {
 // several frames can be gathered into one write.
 
 void append_hello(std::vector<std::uint8_t>& out, const HelloInfo& hello);
+/// `digest` targets a specific registered oracle; nullopt emits the
+/// v1-compatible shape (flags == 0, no digest field).
 void append_query_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
-                        std::span<const service::Query> queries);
+                        std::span<const service::Query> queries,
+                        std::optional<std::uint64_t> digest = std::nullopt);
 void append_answer_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
                          std::span<const Dist> answers);
 void append_error(std::vector<std::uint8_t>& out, std::uint64_t request_id,
                   std::string_view message);
+void append_register_graph(std::vector<std::uint8_t>& out, const RegisterGraphFrame& reg);
+void append_register_ack(std::vector<std::uint8_t>& out, const RegisterAckFrame& ack);
+void append_list_oracles(std::vector<std::uint8_t>& out, std::uint64_t request_id);
+void append_oracle_list(std::vector<std::uint8_t>& out, const OracleListFrame& list);
+void append_unregister(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                       std::uint64_t digest);
+/// BUSY shares the ERROR payload shape (request id + message).
+void append_busy(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                 std::string_view message);
 
 // ----- payload decoding ----------------------------------------------------
 // Throw ProtocolError when the payload size does not match its own counts.
@@ -118,6 +220,12 @@ HelloInfo decode_hello(std::span<const std::uint8_t> payload);
 QueryBatchFrame decode_query_batch(std::span<const std::uint8_t> payload);
 AnswerBatchFrame decode_answer_batch(std::span<const std::uint8_t> payload);
 ErrorFrame decode_error(std::span<const std::uint8_t> payload);
+RegisterGraphFrame decode_register_graph(std::span<const std::uint8_t> payload);
+RegisterAckFrame decode_register_ack(std::span<const std::uint8_t> payload);
+/// LIST_ORACLES carries just the request id.
+std::uint64_t decode_list_oracles(std::span<const std::uint8_t> payload);
+OracleListFrame decode_oracle_list(std::span<const std::uint8_t> payload);
+UnregisterFrame decode_unregister(std::span<const std::uint8_t> payload);
 
 /// Incremental frame reassembly over a byte stream.
 ///

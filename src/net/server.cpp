@@ -1,6 +1,7 @@
 #include "net/server.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <stdexcept>
@@ -62,14 +63,35 @@ void set_nonblocking(int fd) {
 
 Server::Server(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
                ServerOptions opts)
-    : svc_(svc), oracle_(std::move(oracle)), opts_(std::move(opts)) {
-  MSRP_REQUIRE(oracle_ != nullptr, "net server: null oracle");
+    : Server(svc, std::move(oracle), nullptr, std::move(opts)) {}
+
+Server::Server(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
+               registry::OracleRegistry* registry, ServerOptions opts)
+    : svc_(svc), oracle_(std::move(oracle)), registry_(registry), opts_(std::move(opts)) {
+  MSRP_REQUIRE(oracle_ != nullptr || registry_ != nullptr,
+               "net server: need an oracle or a registry");
+
+  // Every batch funnels through the fair dispatcher; with a single oracle
+  // its caps simply act as a global inflight bound.
+  dispatcher_ = std::make_unique<registry::FairDispatcher>(
+      [this](std::shared_ptr<const service::Snapshot> o, std::vector<service::Query> q,
+             service::BatchCallback done) {
+        svc_.submit_batch(std::move(o), std::move(q), std::move(done));
+      },
+      opts_.dispatch);
 
   HelloInfo hello;
-  hello.oracle_digest = oracle_->content_digest();
-  hello.num_vertices = oracle_->num_vertices();
-  hello.num_edges = oracle_->num_edges();
-  hello.sources = oracle_->sources();
+  if (registry_ != nullptr) hello.flags |= kHelloRegistryEnabled;
+  if (oracle_ != nullptr) {
+    default_digest_ = oracle_->content_digest();
+    // The default oracle is a first-class tenant: v2 clients can LIST it,
+    // target it by digest, and its batch stats are tracked like any other.
+    if (registry_ != nullptr) registry_->adopt(oracle_);
+    hello.oracle_digest = default_digest_;
+    hello.num_vertices = oracle_->num_vertices();
+    hello.num_edges = oracle_->num_edges();
+    hello.sources = oracle_->sources();
+  }
   append_hello(hello_bytes_, hello);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -258,21 +280,55 @@ void Server::pump(const std::shared_ptr<Conn>& conn) {
 }
 
 void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
-  if (frame.type != FrameType::kQueryBatch) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-    fail_conn(conn, "unexpected frame type " +
-                        std::to_string(static_cast<std::uint32_t>(frame.type)) +
-                        " (client may only send QUERY_BATCH)");
-    return;
-  }
-  QueryBatchFrame qb;
+  // Decode errors and a reserved request id are connection-fatal; anything
+  // per-request is answered on the request's own id and the connection
+  // keeps serving.
   try {
-    qb = decode_query_batch(frame.payload);
+    switch (frame.type) {
+      case FrameType::kQueryBatch:
+        handle_query_batch(conn, decode_query_batch(frame.payload));
+        return;
+      case FrameType::kRegisterGraph:
+        handle_register(conn, decode_register_graph(frame.payload));
+        return;
+      case FrameType::kListOracles:
+        handle_list_oracles(conn, decode_list_oracles(frame.payload));
+        return;
+      case FrameType::kUnregister:
+        handle_unregister(conn, decode_unregister(frame.payload));
+        return;
+      default:
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        fail_conn(conn, "unexpected frame type " +
+                            std::to_string(static_cast<std::uint32_t>(frame.type)) +
+                            " (client may only send QUERY_BATCH, REGISTER_GRAPH, "
+                            "LIST_ORACLES or UNREGISTER)");
+        return;
+    }
   } catch (const ProtocolError& ex) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     fail_conn(conn, ex.what());
-    return;
   }
+}
+
+void Server::send_batch_error(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                              const std::string& message) {
+  std::vector<std::uint8_t> reply;
+  append_error(reply, request_id, message);
+  send_bytes(conn, std::move(reply));
+}
+
+namespace {
+
+std::string hex_digest(std::uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace
+
+void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFrame qb) {
   if (qb.request_id == 0) {
     // Id 0 is reserved for connection-level errors; echoing it back for a
     // failed batch would read as "connection dead" to a conformant client.
@@ -281,44 +337,242 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
     return;
   }
   batches_received_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = qb.request_id;
+
+  // Resolve the target oracle: the frame's digest (v2), else the HELLO
+  // default. Unknown digests are batch errors; a digest still building is
+  // BUSY (retryable) — the registration will land, the batch's data won't
+  // change.
+  const std::uint64_t digest = qb.digest ? *qb.digest : default_digest_;
+  std::shared_ptr<const service::Snapshot> oracle;
+  if (registry_ != nullptr) {
+    if (digest == 0) {
+      batch_errors_.fetch_add(1, std::memory_order_relaxed);
+      send_batch_error(conn, id,
+                       "this server has no default oracle; send a target digest "
+                       "(REGISTER_GRAPH first, or LIST_ORACLES)");
+      return;
+    }
+    oracle = registry_->resolve(digest);
+    if (oracle == nullptr) {
+      const registry::OracleState st = registry_->state(digest);
+      if (st == registry::OracleState::kRegistering ||
+          st == registry::OracleState::kBuilding) {
+        busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<std::uint8_t> reply;
+        append_busy(reply, id, "oracle " + hex_digest(digest) + " is still building; retry");
+        send_bytes(conn, std::move(reply));
+        return;
+      }
+      batch_errors_.fetch_add(1, std::memory_order_relaxed);
+      send_batch_error(conn, id, "unknown oracle digest " + hex_digest(digest));
+      return;
+    }
+  } else {
+    if (qb.digest && *qb.digest != default_digest_) {
+      batch_errors_.fetch_add(1, std::memory_order_relaxed);
+      send_batch_error(conn, id, "unknown oracle digest " + hex_digest(digest) +
+                                     " (single-oracle server)");
+      return;
+    }
+    oracle = oracle_;
+  }
 
   ++conn->inflight;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++inflight_total_;
   }
-  const std::uint64_t id = qb.request_id;
-  // The callback fires on a pool worker: hop back to the loop thread with
-  // the result, then release the destructor's inflight gate. Order
-  // matters twice over — post first, decrement after, so a destructor
-  // waiting on the gate cannot miss a reply still being posted; and
-  // notify WHILE holding the mutex, so the destructor cannot wake, see
-  // zero, and destroy the condition variable out from under notify_all.
-  try {
-    svc_.submit_batch(oracle_, std::move(qb.queries),
-                      [this, conn, id](service::BatchResult result) {
-                        loop_.post([this, conn, id, result = std::move(result)]() mutable {
-                          on_batch_done(conn, id, std::move(result));
-                        });
-                        std::lock_guard<std::mutex> lock(inflight_mu_);
-                        --inflight_total_;
-                        inflight_cv_.notify_all();
-                      });
-  } catch (...) {
-    // submit_batch threw before enqueueing (allocation failure): the
-    // callback will never fire, so roll the gate back or ~Server waits on
-    // it forever. The batch is answered with an error; the connection
-    // (and the loop) keep serving.
+  if (registry_ != nullptr) registry_->note_batch(digest);
+  // The callback fires on a pool worker: registry bookkeeping first, then
+  // hop back to the loop thread with the result, then release the
+  // destructor's inflight gate. Order matters twice over — post first,
+  // decrement after, so a destructor waiting on the gate cannot miss a
+  // reply still being posted; and notify WHILE holding the mutex, so the
+  // destructor cannot wake, see zero, and destroy the condition variable
+  // out from under notify_all. (The registry outlives the server by the
+  // same gate: note_complete runs before the decrement.)
+  const registry::DispatchVerdict verdict = dispatcher_->submit(
+      digest, std::move(oracle), std::move(qb.queries),
+      [this, conn, id, digest](service::BatchResult result) {
+        if (registry_ != nullptr) registry_->note_complete(digest, result.answers.size());
+        loop_.post([this, conn, id, result = std::move(result)]() mutable {
+          on_batch_done(conn, id, std::move(result));
+        });
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        --inflight_total_;
+        inflight_cv_.notify_all();
+      });
+  if (verdict == registry::DispatchVerdict::kBusy) {
+    // Rejected without queueing: the callback will never fire, so roll
+    // every piece of accounting back and tell the client to retry.
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
       --inflight_total_;
     }
     --conn->inflight;
-    batch_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (registry_ != nullptr) registry_->note_busy(digest);
+    busy_rejected_.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::uint8_t> reply;
-    append_error(reply, id, "batch submission failed");
+    append_busy(reply, id,
+                "server busy: tenant " + hex_digest(digest) + " queue is full; retry");
     send_bytes(conn, std::move(reply));
   }
+}
+
+void Server::handle_register(const std::shared_ptr<Conn>& conn, RegisterGraphFrame reg) {
+  if (reg.request_id == 0) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, "request id 0 is reserved (request ids must be nonzero)");
+    return;
+  }
+  const std::uint64_t id = reg.request_id;
+  if (registry_ == nullptr) {
+    registrations_failed_.fetch_add(1, std::memory_order_relaxed);
+    send_batch_error(conn, id,
+                     "registry is disabled on this server (start with --registry)");
+    return;
+  }
+  ++conn->inflight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_total_;
+  }
+  // Same delivery discipline as batches: the outcome posts to the loop
+  // thread, then the gate releases.
+  auto done = [this, conn, id](registry::RegisterOutcome outcome) {
+    loop_.post([this, conn, id, outcome = std::move(outcome)]() mutable {
+      on_register_done(conn, id, std::move(outcome));
+    });
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    --inflight_total_;
+    inflight_cv_.notify_all();
+  };
+  bool admitted = false;
+  std::string reason;
+  if (reg.mode == RegisterMode::kEdgeList) {
+    Config cfg;
+    cfg.seed = reg.seed;
+    admitted = registry_->register_graph(reg.num_vertices, std::move(reg.edges),
+                                         std::move(reg.sources), cfg, done, &reason);
+  } else {
+    admitted = registry_->register_snapshot(std::move(reg.snapshot_path), done, &reason);
+  }
+  if (!admitted) {
+    // Admission rejected synchronously: `done` never runs; roll back.
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_total_;
+    }
+    --conn->inflight;
+    registrations_failed_.fetch_add(1, std::memory_order_relaxed);
+    send_batch_error(conn, id, reason);
+  }
+}
+
+void Server::on_register_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                              registry::RegisterOutcome outcome) {
+  if (outcome.state == registry::OracleState::kReady) {
+    oracles_registered_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    registrations_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (conn->closed || conn->closing) {
+    replies_dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (!conn->closed) --conn->inflight;
+    return;
+  }
+  MSRP_CHECK(conn->inflight > 0, "net server: registration done without an in-flight slot");
+  --conn->inflight;
+  std::vector<std::uint8_t> reply;
+  if (outcome.state == registry::OracleState::kReady) {
+    RegisterAckFrame ack;
+    ack.request_id = request_id;
+    ack.digest = outcome.digest;
+    ack.state = outcome.state;
+    ack.num_vertices = outcome.oracle->num_vertices();
+    ack.num_edges = outcome.oracle->num_edges();
+    ack.sources = outcome.oracle->sources();
+    append_register_ack(reply, ack);
+  } else {
+    append_error(reply, request_id, outcome.error);
+  }
+  send_bytes(conn, std::move(reply));
+  if (conn->closed) return;
+  pump(conn);
+  maybe_finish_conn(conn);
+}
+
+void Server::handle_list_oracles(const std::shared_ptr<Conn>& conn,
+                                 std::uint64_t request_id) {
+  if (request_id == 0) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, "request id 0 is reserved (request ids must be nonzero)");
+    return;
+  }
+  OracleListFrame reply;
+  reply.request_id = request_id;
+  if (registry_ != nullptr) {
+    for (const registry::OracleInfo& info : registry_->list()) {
+      OracleListEntry e;
+      e.digest = info.digest;
+      e.state = info.state;
+      e.num_vertices = info.num_vertices;
+      e.num_edges = info.num_edges;
+      e.sources = info.sources;
+      e.inflight_batches = info.inflight_batches;
+      e.queries_answered = info.queries_answered;
+      e.footprint_bytes = info.footprint_bytes;
+      reply.oracles.push_back(std::move(e));
+    }
+  } else {
+    OracleListEntry e;
+    e.digest = default_digest_;
+    e.state = registry::OracleState::kReady;
+    e.num_vertices = oracle_->num_vertices();
+    e.num_edges = oracle_->num_edges();
+    e.sources = oracle_->sources();
+    e.queries_answered = svc_.queries_served();
+    e.footprint_bytes = oracle_->footprint_bytes();
+    reply.oracles.push_back(std::move(e));
+  }
+  std::vector<std::uint8_t> bytes;
+  append_oracle_list(bytes, reply);
+  send_bytes(conn, std::move(bytes));
+}
+
+void Server::handle_unregister(const std::shared_ptr<Conn>& conn, const UnregisterFrame& un) {
+  if (un.request_id == 0) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, "request id 0 is reserved (request ids must be nonzero)");
+    return;
+  }
+  if (registry_ == nullptr) {
+    send_batch_error(conn, un.request_id,
+                     "registry is disabled on this server (start with --registry)");
+    return;
+  }
+  const std::optional<registry::OracleState> result = registry_->unregister(un.digest);
+  if (!result) {
+    send_batch_error(conn, un.request_id, "unknown oracle digest " + hex_digest(un.digest));
+    return;
+  }
+  if (*result != registry::OracleState::kUnregistered &&
+      *result != registry::OracleState::kExpiring) {
+    send_batch_error(conn, un.request_id,
+                     "oracle " + hex_digest(un.digest) + " is still " +
+                         registry::to_string(*result) + "; cannot unregister");
+    return;
+  }
+  // ACK with the resulting state (kUnregistered = gone now, kExpiring =
+  // draining its in-flight batches) reusing the REGISTER_ACK shape.
+  RegisterAckFrame ack;
+  ack.request_id = un.request_id;
+  ack.digest = un.digest;
+  ack.state = *result;
+  std::vector<std::uint8_t> reply;
+  append_register_ack(reply, ack);
+  send_bytes(conn, std::move(reply));
 }
 
 void Server::on_batch_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
@@ -459,6 +713,9 @@ ServerStats Server::stats() const {
   st.batch_errors = batch_errors_.load(std::memory_order_relaxed);
   st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   st.replies_dropped = replies_dropped_.load(std::memory_order_relaxed);
+  st.busy_rejected = busy_rejected_.load(std::memory_order_relaxed);
+  st.oracles_registered = oracles_registered_.load(std::memory_order_relaxed);
+  st.registrations_failed = registrations_failed_.load(std::memory_order_relaxed);
   return st;
 }
 
@@ -468,6 +725,10 @@ struct Server::Conn {};
 
 Server::Server(service::QueryService&, std::shared_ptr<const service::Snapshot>,
                ServerOptions) {
+  throw std::runtime_error("net server: epoll serving is unavailable on this platform");
+}
+Server::Server(service::QueryService&, std::shared_ptr<const service::Snapshot>,
+               registry::OracleRegistry*, ServerOptions) {
   throw std::runtime_error("net server: epoll serving is unavailable on this platform");
 }
 Server::~Server() = default;
@@ -481,8 +742,16 @@ void Server::on_writable(const std::shared_ptr<Conn>&) {}
 bool Server::has_capacity(const Conn&) const { return false; }
 void Server::pump(const std::shared_ptr<Conn>&) {}
 void Server::handle_frame(const std::shared_ptr<Conn>&, Frame) {}
+void Server::handle_query_batch(const std::shared_ptr<Conn>&, QueryBatchFrame) {}
+void Server::handle_register(const std::shared_ptr<Conn>&, RegisterGraphFrame) {}
+void Server::handle_list_oracles(const std::shared_ptr<Conn>&, std::uint64_t) {}
+void Server::handle_unregister(const std::shared_ptr<Conn>&, const UnregisterFrame&) {}
 void Server::on_batch_done(const std::shared_ptr<Conn>&, std::uint64_t,
                            service::BatchResult) {}
+void Server::on_register_done(const std::shared_ptr<Conn>&, std::uint64_t,
+                              registry::RegisterOutcome) {}
+void Server::send_batch_error(const std::shared_ptr<Conn>&, std::uint64_t,
+                              const std::string&) {}
 void Server::send_bytes(const std::shared_ptr<Conn>&, std::vector<std::uint8_t>) {}
 void Server::flush(const std::shared_ptr<Conn>&) {}
 void Server::fail_conn(const std::shared_ptr<Conn>&, const std::string&) {}

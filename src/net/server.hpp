@@ -49,6 +49,8 @@
 
 #include "net/event_loop.hpp"
 #include "net/protocol.hpp"
+#include "registry/dispatch.hpp"
+#include "registry/oracle_registry.hpp"
 #include "service/query_service.hpp"
 
 namespace msrp::net {
@@ -74,6 +76,11 @@ struct ServerOptions {
   /// How long shutdown() waits for in-flight batches to complete and their
   /// replies to flush before force-closing connections.
   unsigned drain_timeout_ms = 10000;
+  /// Admission-control caps for the fair dispatcher every batch routes
+  /// through (per-tenant inflight/queue, total inflight; see
+  /// registry/dispatch.hpp). A batch the dispatcher refuses is answered
+  /// with a BUSY frame instead of queueing without bound.
+  registry::DispatchOptions dispatch;
 };
 
 /// Monotonic counters, readable from any thread while the server runs.
@@ -85,6 +92,9 @@ struct ServerStats {
   std::uint64_t batch_errors = 0;     ///< batches answered with an ERROR frame
   std::uint64_t protocol_errors = 0;  ///< connections dropped for bad framing
   std::uint64_t replies_dropped = 0;  ///< completions whose connection was gone
+  std::uint64_t busy_rejected = 0;    ///< batches answered with a BUSY frame
+  std::uint64_t oracles_registered = 0;     ///< successful wire registrations
+  std::uint64_t registrations_failed = 0;   ///< rejected or failed registrations
 };
 
 class Server {
@@ -94,6 +104,14 @@ class Server {
   /// the server; the oracle shared_ptr pins the snapshot for its lifetime.
   Server(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
          ServerOptions opts = {});
+
+  /// Multi-tenant flavour: batches may target any oracle `registry` has
+  /// ready (protocol v2), and REGISTER_GRAPH / LIST_ORACLES / UNREGISTER
+  /// are served. `oracle` is the HELLO default for v1 clients and may be
+  /// null (clients must then name a digest per batch). The registry must
+  /// outlive the server — declare it first.
+  Server(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
+         registry::OracleRegistry* registry, ServerOptions opts = {});
 
   /// Calls shutdown() and waits for in-flight batch callbacks to finish
   /// delivering. Destroy only after run() has returned (or was never
@@ -132,8 +150,17 @@ class Server {
   /// has_capacity allows, then re-syncs the epoll read interest.
   void pump(const std::shared_ptr<Conn>& conn);
   void handle_frame(const std::shared_ptr<Conn>& conn, Frame frame);
+  void handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFrame qb);
+  void handle_register(const std::shared_ptr<Conn>& conn, RegisterGraphFrame reg);
+  void handle_list_oracles(const std::shared_ptr<Conn>& conn, std::uint64_t request_id);
+  void handle_unregister(const std::shared_ptr<Conn>& conn, const UnregisterFrame& un);
   void on_batch_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
                      service::BatchResult result);
+  void on_register_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                        registry::RegisterOutcome outcome);
+  /// Answers one batch-level error without touching the connection state.
+  void send_batch_error(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                        const std::string& message);
   /// Appends bytes to the connection's output queue and flushes what the
   /// socket will take now.
   void send_bytes(const std::shared_ptr<Conn>& conn, std::vector<std::uint8_t> bytes);
@@ -152,6 +179,11 @@ class Server {
 
   service::QueryService& svc_;
   std::shared_ptr<const service::Snapshot> oracle_;
+  registry::OracleRegistry* registry_ = nullptr;  ///< optional; not owned
+  std::uint64_t default_digest_ = 0;              ///< HELLO oracle; 0 = none
+  /// Every batch routes through this WRR gate (even single-oracle servers:
+  /// the caps then act as a global inflight bound).
+  std::unique_ptr<registry::FairDispatcher> dispatcher_;
   ServerOptions opts_;
   EventLoop loop_;
   int listen_fd_ = -1;
@@ -179,6 +211,9 @@ class Server {
   std::atomic<std::uint64_t> batch_errors_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> replies_dropped_{0};
+  std::atomic<std::uint64_t> busy_rejected_{0};
+  std::atomic<std::uint64_t> oracles_registered_{0};
+  std::atomic<std::uint64_t> registrations_failed_{0};
 };
 
 }  // namespace msrp::net

@@ -1,0 +1,166 @@
+#include "registry/dispatch.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace msrp::registry {
+
+FairDispatcher::FairDispatcher(Submit submit, DispatchOptions opts)
+    : submit_(std::move(submit)), opts_(opts) {
+  MSRP_REQUIRE(submit_ != nullptr, "dispatcher: null submit function");
+  MSRP_REQUIRE(opts_.per_tenant_inflight >= 1, "dispatcher: per-tenant inflight cap must be >= 1");
+  MSRP_REQUIRE(opts_.total_inflight >= 1, "dispatcher: total inflight cap must be >= 1");
+}
+
+DispatchVerdict FairDispatcher::submit(std::uint64_t digest,
+                                       std::shared_ptr<const service::Snapshot> oracle,
+                                       std::vector<service::Query> queries,
+                                       service::BatchCallback done, std::uint32_t weight) {
+  MSRP_REQUIRE(done != nullptr, "dispatcher: null callback");
+  Pending batch{std::move(oracle), std::move(queries), std::move(done)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Tenant& t = tenants_[digest];
+    t.weight = weight == 0 ? 1 : weight;
+    // Fast path only when nothing of this tenant is queued — a batch must
+    // never overtake its own tenant's parked predecessors (per-tenant FIFO
+    // is part of the contract).
+    if (t.queue.empty() && t.inflight < opts_.per_tenant_inflight &&
+        total_inflight_ < opts_.total_inflight) {
+      ++t.inflight;
+      ++total_inflight_;
+      ++dispatched_total_;
+    } else if (t.queue.size() >= opts_.per_tenant_queue) {
+      ++busy_rejections_;
+      maybe_erase_locked(digest);
+      return DispatchVerdict::kBusy;
+    } else {
+      t.queue.push_back(std::move(batch));
+      ++total_queued_;
+      if (!t.in_ring) {
+        t.in_ring = true;
+        ring_.push_back(digest);
+      }
+      return DispatchVerdict::kQueued;
+    }
+  }
+  dispatch(digest, std::move(batch));
+  return DispatchVerdict::kDispatched;
+}
+
+void FairDispatcher::dispatch(std::uint64_t digest, Pending batch) {
+  // The wrapper does the dispatcher's completion bookkeeping BEFORE the
+  // caller's callback: the callback typically releases a server-side
+  // inflight gate whose drain implies "the dispatcher is idle", so nothing
+  // of ours may run after it.
+  auto wrapper = [this, digest, done = std::move(batch.done)](service::BatchResult result) {
+    on_complete(digest);
+    done(std::move(result));
+  };
+  try {
+    submit_(std::move(batch.oracle), std::move(batch.queries), wrapper);
+  } catch (...) {
+    // submit threw before enqueueing anything (allocation failure): the
+    // service will never invoke the wrapper, so deliver the failure
+    // ourselves — exactly once, with the bookkeeping the wrapper carries.
+    wrapper(service::BatchResult{{}, nullptr, std::current_exception()});
+  }
+}
+
+void FairDispatcher::on_complete(std::uint64_t digest) {
+  std::vector<Ready> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(digest);
+    MSRP_CHECK(it != tenants_.end() && it->second.inflight > 0,
+               "dispatcher: completion for an unknown batch");
+    --it->second.inflight;
+    --total_inflight_;
+    pump_locked(ready);
+    maybe_erase_locked(digest);
+  }
+  for (Ready& r : ready) dispatch(r.digest, std::move(r.batch));
+}
+
+void FairDispatcher::pump_locked(std::vector<Ready>& out) {
+  // Weighted round robin over the digests with queued work: the front
+  // tenant takes up to `weight` grants, then rotates to the back. A full
+  // lap of rotations without a single grant means every queued tenant is
+  // pinned by a cap — stop; the next completion pumps again. Queued work
+  // always implies inflight work somewhere (batches only queue when a cap
+  // binds), so the pump is always re-entered and queues cannot wedge.
+  std::size_t stalled = 0;
+  while (!ring_.empty() && total_inflight_ < opts_.total_inflight) {
+    const std::uint64_t digest = ring_.front();
+    Tenant& t = tenants_[digest];
+    if (t.queue.empty()) {
+      t.in_ring = false;
+      t.credits = 0;
+      ring_.pop_front();
+      maybe_erase_locked(digest);
+      continue;
+    }
+    if (t.inflight >= opts_.per_tenant_inflight) {
+      t.credits = 0;
+      ring_.push_back(digest);
+      ring_.pop_front();
+      if (++stalled >= ring_.size()) break;
+      continue;
+    }
+    if (t.credits >= t.weight) {
+      // Lap boundary, not a stall: the reset below makes this tenant
+      // grantable on its next visit, so the rotation always progresses
+      // (counting it as stalled would wedge a one-tenant ring with zero
+      // batches inflight).
+      t.credits = 0;
+      ring_.push_back(digest);
+      ring_.pop_front();
+      continue;
+    }
+    ++t.credits;
+    ++t.inflight;
+    ++total_inflight_;
+    ++dispatched_total_;
+    --total_queued_;
+    stalled = 0;
+    out.push_back(Ready{digest, std::move(t.queue.front())});
+    t.queue.pop_front();
+  }
+}
+
+void FairDispatcher::maybe_erase_locked(std::uint64_t digest) {
+  auto it = tenants_.find(digest);
+  if (it != tenants_.end() && it->second.inflight == 0 && it->second.queue.empty() &&
+      !it->second.in_ring) {
+    tenants_.erase(it);
+  }
+}
+
+std::size_t FairDispatcher::inflight_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_inflight_;
+}
+
+std::size_t FairDispatcher::queued_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_queued_;
+}
+
+std::size_t FairDispatcher::tenant_inflight(std::uint64_t digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(digest);
+  return it == tenants_.end() ? 0 : it->second.inflight;
+}
+
+std::uint64_t FairDispatcher::busy_rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_rejections_;
+}
+
+std::uint64_t FairDispatcher::dispatched_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatched_total_;
+}
+
+}  // namespace msrp::registry

@@ -1,0 +1,128 @@
+/// \file
+/// Weighted round-robin admission control in front of the query service.
+///
+/// The QueryService pool is a shared resource: without a gate, one tenant
+/// streaming huge batches at one digest occupies every worker and every
+/// other tenant's batches queue behind its backlog. The dispatcher sits
+/// between the server's frame handler and QueryService::submit_batch and
+/// enforces three limits:
+///
+///   * per-tenant inflight cap — at most `per_tenant_inflight` batches of
+///     one digest inside the service at once; excess arrivals queue;
+///   * per-tenant queue cap — at most `per_tenant_queue` batches parked
+///     per digest; beyond that the verdict is kBusy and the caller sends a
+///     BUSY frame (the batch is never silently dropped);
+///   * total inflight cap — the sum across tenants, so the pool's task
+///     queue stays bounded no matter how many tenants are registered.
+///
+/// Queued batches drain in weighted round-robin order: each completion
+/// pumps the ring, granting up to `weight` consecutive batches per tenant
+/// per lap. A saturating tenant therefore cannot starve another — the
+/// starved tenant's first queued batch is at most one ring lap away from
+/// dispatch, and the fairness test in tests/registry_test.cpp pins exactly
+/// that property.
+///
+/// Thread safety: submit() and the internal completion hook may run
+/// concurrently from any threads. The underlying submit function is always
+/// invoked OUTSIDE the dispatcher lock (it may do real work), and the
+/// completion bookkeeping runs BEFORE the caller's callback — so by the
+/// time a server's inflight gate releases its last batch, the dispatcher
+/// is quiescent and safe to destroy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "service/query_service.hpp"
+
+namespace msrp::registry {
+
+struct DispatchOptions {
+  /// Batches one digest may have inside the QueryService at once (>= 1).
+  std::size_t per_tenant_inflight = 16;
+  /// Batches parked per digest beyond the inflight cap; 0 = never queue,
+  /// reject with kBusy as soon as the inflight cap binds.
+  std::size_t per_tenant_queue = 256;
+  /// Summed inflight cap across all tenants (>= 1).
+  std::size_t total_inflight = 128;
+};
+
+enum class DispatchVerdict {
+  kDispatched,  ///< handed to the service immediately
+  kQueued,      ///< parked; dispatches when a completion frees capacity
+  kBusy,        ///< rejected — queue full; the callback will never run
+};
+
+class FairDispatcher {
+ public:
+  /// The downstream submit — QueryService::submit_batch in production, a
+  /// manually-completed stub in the fairness tests.
+  using Submit = std::function<void(std::shared_ptr<const service::Snapshot>,
+                                    std::vector<service::Query>, service::BatchCallback)>;
+
+  FairDispatcher(Submit submit, DispatchOptions opts);
+
+  FairDispatcher(const FairDispatcher&) = delete;
+  FairDispatcher& operator=(const FairDispatcher&) = delete;
+
+  /// Admits one batch for `digest`. On kDispatched/kQueued the callback
+  /// fires exactly once when the batch completes (bookkeeping already
+  /// done); on kBusy it never fires. `weight` is the tenant's WRR share —
+  /// grants per ring lap; later submits may revise it.
+  DispatchVerdict submit(std::uint64_t digest,
+                         std::shared_ptr<const service::Snapshot> oracle,
+                         std::vector<service::Query> queries, service::BatchCallback done,
+                         std::uint32_t weight = 1);
+
+  // Observability (tests assert against these).
+  std::size_t inflight_batches() const;
+  std::size_t queued_batches() const;
+  std::size_t tenant_inflight(std::uint64_t digest) const;
+  std::uint64_t busy_rejections() const;
+  std::uint64_t dispatched_total() const;
+
+ private:
+  struct Pending {
+    std::shared_ptr<const service::Snapshot> oracle;
+    std::vector<service::Query> queries;
+    service::BatchCallback done;
+  };
+  struct Tenant {
+    std::deque<Pending> queue;
+    std::size_t inflight = 0;
+    std::uint32_t weight = 1;
+    std::uint32_t credits = 0;  // grants taken this ring turn
+    bool in_ring = false;
+  };
+  /// One batch popped by the pump, dispatched outside the lock.
+  struct Ready {
+    std::uint64_t digest = 0;
+    Pending batch;
+  };
+
+  void on_complete(std::uint64_t digest);
+  /// Drains the ring as far as the caps allow; fills `out` for the caller
+  /// to dispatch after unlocking.
+  void pump_locked(std::vector<Ready>& out);
+  void dispatch(std::uint64_t digest, Pending batch);
+  /// Drops a tenant with no queued or inflight work (keeps the map bounded
+  /// under digest churn).
+  void maybe_erase_locked(std::uint64_t digest);
+
+  Submit submit_;
+  DispatchOptions opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Tenant> tenants_;
+  std::deque<std::uint64_t> ring_;  // digests with queued work, RR order
+  std::size_t total_inflight_ = 0;
+  std::size_t total_queued_ = 0;
+  std::uint64_t busy_rejections_ = 0;
+  std::uint64_t dispatched_total_ = 0;
+};
+
+}  // namespace msrp::registry

@@ -1,0 +1,52 @@
+/// \file
+/// Lifecycle states of a registered oracle, shared between the registry
+/// and the wire protocol (REGISTER_ACK and LIST_ORACLES carry the state
+/// as a u32, so the numeric values are part of protocol v2 and must never
+/// be renumbered).
+///
+/// The state machine:
+///
+///           register_graph / register_snapshot
+///                        |
+///                  kRegistering          (admitted; build not started)
+///                        |
+///                   kBuilding            (solve/load running on the pool)
+///                    |      |
+///                kReady   kFailed        (terminal failure; slot released)
+///                   |
+///               kExpiring                (unregistered with batches still
+///                   |                     in flight; drains, then gone)
+///             kUnregistered              (terminal; digest unknown again)
+///
+/// kUnknown is the protocol's "no such digest" answer, never a stored
+/// state.
+#pragma once
+
+#include <cstdint>
+
+namespace msrp::registry {
+
+enum class OracleState : std::uint32_t {
+  kUnknown = 0,
+  kRegistering = 1,
+  kBuilding = 2,
+  kReady = 3,
+  kFailed = 4,
+  kExpiring = 5,
+  kUnregistered = 6,
+};
+
+inline const char* to_string(OracleState s) {
+  switch (s) {
+    case OracleState::kUnknown: return "unknown";
+    case OracleState::kRegistering: return "registering";
+    case OracleState::kBuilding: return "building";
+    case OracleState::kReady: return "ready";
+    case OracleState::kFailed: return "failed";
+    case OracleState::kExpiring: return "expiring";
+    case OracleState::kUnregistered: return "unregistered";
+  }
+  return "invalid";
+}
+
+}  // namespace msrp::registry

@@ -45,6 +45,14 @@ void OracleCache::set_clock_for_testing(
   clock_ = std::move(clock);
 }
 
+void OracleCache::enable_refresh_ahead(double fraction, TaskRunner runner) {
+  MSRP_REQUIRE(fraction > 0.0, "refresh-ahead fraction must be > 0");
+  MSRP_REQUIRE(runner != nullptr, "refresh-ahead needs a task runner");
+  std::lock_guard<std::mutex> lock(mu_);
+  refresh_fraction_ = fraction;
+  runner_ = std::move(runner);
+}
+
 std::size_t OracleCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
@@ -55,13 +63,15 @@ std::size_t OracleCache::size_bytes() const {
   return bytes_;
 }
 
-std::shared_ptr<const Snapshot> OracleCache::find_locked(const OracleKey& key) {
+std::shared_ptr<const Snapshot> OracleCache::find_locked(const OracleKey& key,
+                                                         std::function<void()>* refresh_out) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
     return nullptr;
   }
-  if (entry_ttl_.count() > 0 && clock_() - it->second->inserted_at >= entry_ttl_) {
+  const auto age = clock_() - it->second->inserted_at;
+  if (entry_ttl_.count() > 0 && age >= entry_ttl_) {
     // Aged out: drop the entry and report a miss so get_or_build() refreshes
     // it through the single-flight slot. In-flight holders of the old
     // shared_ptr are unaffected.
@@ -74,15 +84,57 @@ std::shared_ptr<const Snapshot> OracleCache::find_locked(const OracleKey& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front, iterator stays valid
+
+  // Refresh-ahead: old enough, refreshable, and not already refreshing —
+  // claim the single-flight slot NOW (under the lock, so concurrent hits
+  // see it) but hand the task to the caller to start after unlocking: a
+  // synchronous test runner executing it here would deadlock on mu_.
+  if (refresh_out != nullptr && refresh_fraction_ > 0.0 && entry_ttl_.count() > 0 &&
+      it->second->rebuild != nullptr && building_.find(key) == building_.end() &&
+      std::chrono::duration<double, std::milli>(age).count() >=
+          refresh_fraction_ * static_cast<double>(entry_ttl_.count())) {
+    auto prom = std::make_shared<std::promise<std::shared_ptr<const Snapshot>>>();
+    building_.emplace(key, prom->get_future().share());
+    *refresh_out = [this, key, rebuild = it->second->rebuild, prom] {
+      std::shared_ptr<const Snapshot> built;
+      try {
+        built = rebuild();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          building_.erase(key);
+          ++refresh_failures_;
+        }
+        // Waiters parked on the slot (a cold miss racing this refresh) see
+        // the failure; the stale-but-valid entry keeps serving hits.
+        prom->set_exception(std::current_exception());
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        insert_locked(key, built, rebuild);  // re-stamps inserted_at
+        building_.erase(key);
+        ++refreshes_;
+      }
+      prom->set_value(std::move(built));
+    };
+  }
   return it->second->oracle;
 }
 
 std::shared_ptr<const Snapshot> OracleCache::find(const OracleKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return find_locked(key);
+  std::function<void()> refresh;
+  std::shared_ptr<const Snapshot> got;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    got = find_locked(key, &refresh);
+  }
+  if (refresh) runner_(std::move(refresh));
+  return got;
 }
 
-void OracleCache::insert_locked(const OracleKey& key, std::shared_ptr<const Snapshot> oracle) {
+void OracleCache::insert_locked(const OracleKey& key, std::shared_ptr<const Snapshot> oracle,
+                                Builder rebuild) {
   const std::size_t footprint = oracle ? oracle->footprint_bytes() : 0;
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -90,12 +142,13 @@ void OracleCache::insert_locked(const OracleKey& key, std::shared_ptr<const Snap
     it->second->oracle = std::move(oracle);
     it->second->bytes = footprint;
     it->second->inserted_at = clock_();
+    if (rebuild) it->second->rebuild = std::move(rebuild);
     bytes_ += footprint;
     lru_.splice(lru_.begin(), lru_, it->second);
     evict_over_budget_locked();
     return;
   }
-  lru_.push_front(Entry{key, std::move(oracle), footprint, clock_()});
+  lru_.push_front(Entry{key, std::move(oracle), footprint, clock_(), std::move(rebuild)});
   index_.emplace(key, lru_.begin());
   bytes_ += footprint;
   evict_over_budget_locked();
@@ -119,18 +172,28 @@ void OracleCache::insert(const OracleKey& key, std::shared_ptr<const Snapshot> o
 }
 
 std::shared_ptr<const Snapshot> OracleCache::get_or_build(
-    const OracleKey& key, const std::function<std::shared_ptr<const Snapshot>()>& build) {
+    const OracleKey& key, const Builder& build, const BuilderFactory& rebuild_factory) {
   std::promise<std::shared_ptr<const Snapshot>> mine;
   PendingFuture watch;
+  std::function<void()> refresh;
+  std::shared_ptr<const Snapshot> hit;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (auto hit = find_locked(key)) return hit;
-    auto pending = building_.find(key);
-    if (pending != building_.end()) {
-      watch = pending->second;  // someone else is building this key
-    } else {
-      building_.emplace(key, mine.get_future().share());
+    hit = find_locked(key, &refresh);
+    if (!hit) {
+      auto pending = building_.find(key);
+      if (pending != building_.end()) {
+        watch = pending->second;  // someone else is building (or refreshing)
+      } else {
+        building_.emplace(key, mine.get_future().share());
+      }
     }
+  }
+  if (hit) {
+    // Start the refresh this hit may have claimed, then serve the current
+    // oracle — the caller never waits on the rebuild.
+    if (refresh) runner_(std::move(refresh));
+    return hit;
   }
   if (watch.valid()) return watch.get();  // rethrows if that build failed
 
@@ -139,11 +202,15 @@ std::shared_ptr<const Snapshot> OracleCache::get_or_build(
   // pins the snapshot even if the LRU evicts it the moment it lands. The
   // catch must release the slot on ANY failure — build or landing — or the
   // key would be poisoned with a broken promise forever.
+  //
+  // The rebuild factory also runs out here: it typically copies the graph,
+  // a cost only cold builds should pay.
   std::shared_ptr<const Snapshot> built;
   try {
+    Builder rebuild = rebuild_factory ? rebuild_factory() : Builder{};
     built = build();
     std::lock_guard<std::mutex> lock(mu_);
-    insert_locked(key, built);
+    insert_locked(key, built, std::move(rebuild));
     building_.erase(key);
   } catch (...) {
     {
@@ -180,6 +247,16 @@ std::uint64_t OracleCache::evictions() const {
 std::uint64_t OracleCache::expirations() const {
   std::lock_guard<std::mutex> lock(mu_);
   return expirations_;
+}
+
+std::uint64_t OracleCache::refreshes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return refreshes_;
+}
+
+std::uint64_t OracleCache::refresh_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return refresh_failures_;
 }
 
 }  // namespace msrp::service

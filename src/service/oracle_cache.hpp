@@ -18,6 +18,15 @@
 /// eviction until the build lands. Together with the shared_ptr each
 /// waiter receives, that guarantees an eviction racing an async build can
 /// never drop an oracle a pending future still references.
+///
+/// Refresh-ahead rides on the same slots: with enable_refresh_ahead(f,
+/// runner), a lookup that hits an entry older than f * entry_ttl schedules
+/// the entry's stored rebuilder on `runner` (the serving pool) while still
+/// returning the current oracle. The rebuild claims the key's single-flight
+/// slot, so concurrent hot lookups schedule exactly one refresh — and a
+/// cold miss arriving mid-refresh parks on that slot instead of paying its
+/// own build. After warmup no request ever observes a cold build across a
+/// TTL boundary: the entry is re-stamped before it can expire.
 #pragma once
 
 #include <chrono>
@@ -53,6 +62,17 @@ struct OracleKeyHash {
 
 class OracleCache {
  public:
+  /// Produces one oracle (a full solve or snapshot load).
+  using Builder = std::function<std::shared_ptr<const Snapshot>()>;
+  /// Produces a self-contained Builder for later refreshes. Invoked at
+  /// most once per cold build this cache owns, outside the lock — this is
+  /// where the caller copies whatever the rebuild needs (the graph, the
+  /// sources) without taxing pure cache hits.
+  using BuilderFactory = std::function<Builder()>;
+  /// Executes refresh tasks (the serving pool in production, an inline or
+  /// manual runner in tests). Called outside the cache lock.
+  using TaskRunner = std::function<void(std::function<void()>)>;
+
   /// `capacity` is in oracles and must be >= 1. `max_bytes` is an
   /// additional budget on the summed Snapshot::footprint_bytes() of the
   /// resident oracles (0 = unlimited): when inserting pushes the total
@@ -82,6 +102,14 @@ class OracleCache {
   /// use; the default is steady_clock::now.
   void set_clock_for_testing(std::function<std::chrono::steady_clock::time_point()> clock);
 
+  /// Turns on refresh-ahead: a hit on an entry older than `fraction` *
+  /// entry_ttl (0 < fraction, meaningful below 1) schedules the entry's
+  /// stored rebuilder on `runner`, single-flighted through the same slot
+  /// as cold builds. Only entries built through get_or_build with a
+  /// BuilderFactory can refresh (plain insert()s have no rebuilder). Call
+  /// before concurrent use; requires a nonzero entry_ttl to do anything.
+  void enable_refresh_ahead(double fraction, TaskRunner runner);
+
   /// Summed footprint of the resident oracles.
   std::size_t size_bytes() const;
 
@@ -98,9 +126,11 @@ class OracleCache {
   /// entries. Concurrent misses on the same key are single-flighted: one
   /// caller builds, the rest block on its result (and see its exception if
   /// the build fails). The pending entry cannot be evicted mid-build.
-  std::shared_ptr<const Snapshot> get_or_build(
-      const OracleKey& key,
-      const std::function<std::shared_ptr<const Snapshot>()>& build);
+  /// `rebuild_factory`, when given, is invoked on the cold build this call
+  /// owns (never on hits or parked waits) and the Builder it returns is
+  /// stored with the entry for refresh-ahead.
+  std::shared_ptr<const Snapshot> get_or_build(const OracleKey& key, const Builder& build,
+                                               const BuilderFactory& rebuild_factory = nullptr);
 
   // Counters (monotonic, for observability and the eviction tests).
   std::uint64_t hits() const;
@@ -109,6 +139,10 @@ class OracleCache {
 
   /// Entries dropped because they outlived entry_ttl (a subset of misses).
   std::uint64_t expirations() const;
+
+  /// Refresh-ahead rebuilds that landed / failed.
+  std::uint64_t refreshes() const;
+  std::uint64_t refresh_failures() const;
 
   /// Builds currently in flight (claimed but not yet landed).
   std::size_t pending_builds() const;
@@ -119,19 +153,27 @@ class OracleCache {
     std::shared_ptr<const Snapshot> oracle;
     std::size_t bytes = 0;  // footprint at insert time (snapshots are immutable)
     std::chrono::steady_clock::time_point inserted_at{};  // TTL stamp
+    Builder rebuild;  // refresh-ahead rebuilder; null when not refreshable
   };
   // Most-recently-used at the front; the map points into the list.
   using LruList = std::list<Entry>;
   using PendingFuture = std::shared_future<std::shared_ptr<const Snapshot>>;
 
-  std::shared_ptr<const Snapshot> find_locked(const OracleKey& key);
-  void insert_locked(const OracleKey& key, std::shared_ptr<const Snapshot> oracle);
+  /// On a hit old enough to refresh (and not already refreshing), claims
+  /// the key's single-flight slot and writes the refresh task into
+  /// `*refresh_out` — the caller MUST run it after releasing mu_.
+  std::shared_ptr<const Snapshot> find_locked(const OracleKey& key,
+                                              std::function<void()>* refresh_out);
+  void insert_locked(const OracleKey& key, std::shared_ptr<const Snapshot> oracle,
+                     Builder rebuild = nullptr);
   void evict_over_budget_locked();
 
   std::size_t capacity_;
   std::size_t max_bytes_;
   std::chrono::milliseconds entry_ttl_{};
   std::function<std::chrono::steady_clock::time_point()> clock_;
+  double refresh_fraction_ = 0.0;  // 0 = refresh-ahead off
+  TaskRunner runner_;
   std::size_t bytes_ = 0;
   mutable std::mutex mu_;
   LruList lru_;
@@ -142,6 +184,8 @@ class OracleCache {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t expirations_ = 0;
+  std::uint64_t refreshes_ = 0;
+  std::uint64_t refresh_failures_ = 0;
 };
 
 }  // namespace msrp::service

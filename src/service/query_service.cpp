@@ -18,23 +18,43 @@ static constexpr std::size_t kMaxRouters = 4;
 QueryService::QueryService(Options opts)
     : opts_(std::move(opts)),
       cache_(opts_.cache_capacity, opts_.cache_max_bytes, opts_.cache_entry_ttl),
-      pool_(opts_.threads) {}
+      pool_(opts_.threads) {
+  if (opts_.cache_refresh_ahead > 0.0 && opts_.cache_entry_ttl.count() > 0) {
+    // Refresh tasks run on the serving pool. pool_ is declared last, so
+    // its destructor drains every queued refresh before cache_ dies.
+    cache_.enable_refresh_ahead(opts_.cache_refresh_ahead,
+                                [this](std::function<void()> task) {
+                                  pool_.submit(std::move(task));
+                                });
+  }
+}
 
 std::shared_ptr<const Snapshot> QueryService::build(const Graph& g,
                                                     const std::vector<Vertex>& sources,
                                                     const Config& cfg) {
   OracleKey key{io::graph_digest(g), sources, config_fingerprint(cfg)};
-  return cache_.get_or_build(key, [&] {
-    // Cold builds run on the serving pool: the solver's phase loops fan out
-    // with caller participation (ThreadPool::parallel_for), so this is safe
-    // even when the build itself is executing on a pool worker (async
-    // submit_batch) and every other worker is busy. The pool never enters
-    // the cache key — parallel builds are bit-identical to sequential ones.
+  // One solve routine serves both the cold build (borrowing the caller's
+  // graph by reference) and the refresh-ahead rebuilder (owning a copy —
+  // the caller's graph is long gone when a refresh fires). The pool never
+  // enters the cache key: parallel builds are bit-identical to sequential
+  // ones, and cold builds running ON a pool worker stay safe because the
+  // solver's phase loops use caller-participating parallel_for.
+  auto solve = [this, cfg](const Graph& graph, const std::vector<Vertex>& srcs) {
     Config build_cfg = cfg;
     build_cfg.build_pool = &pool_;
-    const MsrpResult res = solve_msrp(g, sources, build_cfg);
+    const MsrpResult res = solve_msrp(graph, srcs, build_cfg);
     return std::make_shared<const Snapshot>(Snapshot::capture(res));
-  });
+  };
+  OracleCache::BuilderFactory rebuild_factory;
+  if (opts_.cache_refresh_ahead > 0.0 && opts_.cache_entry_ttl.count() > 0) {
+    rebuild_factory = [&]() -> OracleCache::Builder {
+      // Invoked only on the cold build this call owns: copy the graph
+      // once so later refreshes are self-contained.
+      auto owned = std::make_shared<const Graph>(g);
+      return [solve, owned, srcs = sources] { return solve(*owned, srcs); };
+    };
+  }
+  return cache_.get_or_build(key, [&] { return solve(g, sources); }, rebuild_factory);
 }
 
 std::shared_ptr<const Snapshot> QueryService::load(const std::string& path,

@@ -96,6 +96,12 @@ class QueryService {
     /// OracleCache. Long-running servers set this to re-pick-up re-saved
     /// snapshots without a restart.
     std::chrono::milliseconds cache_entry_ttl{0};
+    /// Refresh-ahead fraction of cache_entry_ttl (0 = off; meaningful in
+    /// (0, 1)). A cache hit on an entry older than fraction * TTL kicks a
+    /// rebuild on the pool while still serving the current oracle, so a
+    /// warmed key never pays a cold build at the TTL boundary. Requires a
+    /// nonzero cache_entry_ttl.
+    double cache_refresh_ahead = 0.0;
     /// Batches smaller than this answer inline on the calling thread —
     /// below it the fan-out overhead exceeds the O(1)-per-query work.
     std::size_t min_parallel_batch = 2048;
@@ -158,8 +164,15 @@ class QueryService {
   void submit_batch(Graph g, std::vector<Vertex> sources, Config cfg,
                     std::vector<Query> queries, BatchCallback done);
 
+  /// Runs a closure on the worker pool — the registry layer builds its
+  /// registrations through this so they share the serving pool (and its
+  /// drain-on-destruction ordering) instead of spawning threads.
+  void run_async(std::function<void()> task) { pool_.submit(std::move(task)); }
+
   unsigned num_threads() const { return pool_.size(); }
   const OracleCache& cache() const { return cache_; }
+  /// Mutable access for tests (clock injection on the TTL/refresh paths).
+  OracleCache& cache_for_testing() { return cache_; }
 
   /// Total queries answered since construction (across all batches).
   std::uint64_t queries_served() const {

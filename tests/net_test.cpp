@@ -4,12 +4,20 @@
 // vs the in-process QueryService for every serving mode (built oracle,
 // zero-copy mmap snapshot, multi-process shards), pipelining, concurrent
 // clients, disconnect-mid-batch, backpressure, and graceful shutdown.
-// Runs under TSan in CI (loop thread vs pool callbacks vs client threads).
+// Protocol v2 coverage: wire registration of multiple tenants (the
+// differential matrix, scalable via MSRP_FUZZ_TENANTS), digest-targeted
+// batches, BUSY admission rejections, unregister lifecycles,
+// resend-on-reconnect across a server restart, and adversarial registry
+// frames. Runs under TSan in CI (loop thread vs pool callbacks vs client
+// threads).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <future>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -17,6 +25,7 @@
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
+#include "registry/oracle_registry.hpp"
 #include "service/query_gen.hpp"
 #include "service/query_service.hpp"
 #include "service/shard_router.hpp"
@@ -248,6 +257,173 @@ TEST(FrameDecoderAdversarial, InterleavedPipelinedIdsDecodeInOrder) {
     EXPECT_EQ(net::decode_query_batch(frame->payload).request_id, id);
   }
   EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameDecoder, RoundTripsRegistryFrameTypes) {
+  std::vector<std::uint8_t> bytes;
+  net::RegisterGraphFrame reg;
+  reg.request_id = 3;
+  reg.mode = net::RegisterMode::kEdgeList;
+  reg.seed = 42;
+  reg.num_vertices = 5;
+  reg.sources = {0, 2};
+  reg.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  net::append_register_graph(bytes, reg);
+
+  net::RegisterGraphFrame by_path;
+  by_path.request_id = 4;
+  by_path.mode = net::RegisterMode::kSnapshotPath;
+  by_path.snapshot_path = "oracles/g.v2.snap";
+  net::append_register_graph(bytes, by_path);
+
+  net::RegisterAckFrame ack;
+  ack.request_id = 5;
+  ack.digest = 0xfeedfaceULL;
+  ack.state = registry::OracleState::kReady;
+  ack.num_vertices = 5;
+  ack.num_edges = 4;
+  ack.sources = {0, 2};
+  net::append_register_ack(bytes, ack);
+
+  net::append_list_oracles(bytes, 6);
+
+  net::OracleListFrame list;
+  list.request_id = 6;
+  net::OracleListEntry entry;
+  entry.digest = 0xfeedfaceULL;
+  entry.state = registry::OracleState::kExpiring;
+  entry.num_vertices = 5;
+  entry.num_edges = 4;
+  entry.inflight_batches = 2;
+  entry.queries_answered = 777;
+  entry.footprint_bytes = 4096;
+  entry.sources = {0, 2};
+  list.oracles = {entry};
+  net::append_oracle_list(bytes, list);
+
+  net::append_unregister(bytes, 7, 0xfeedfaceULL);
+  net::append_busy(bytes, 8, "tenant queue full");
+  net::append_query_batch(bytes, 9, std::vector<Query>{{0, 1, 2}}, 0xfeedfaceULL);
+
+  FrameDecoder dec;
+  dec.feed(bytes);
+  const auto next = [&dec] {
+    auto f = dec.next();
+    EXPECT_TRUE(f.has_value());
+    return std::move(*f);
+  };
+
+  Frame f = next();
+  EXPECT_EQ(f.type, FrameType::kRegisterGraph);
+  const net::RegisterGraphFrame reg2 = net::decode_register_graph(f.payload);
+  EXPECT_EQ(reg2.request_id, 3u);
+  EXPECT_EQ(reg2.mode, net::RegisterMode::kEdgeList);
+  EXPECT_EQ(reg2.seed, 42u);
+  EXPECT_EQ(reg2.num_vertices, 5u);
+  EXPECT_EQ(reg2.sources, reg.sources);
+  EXPECT_EQ(reg2.edges, reg.edges);
+
+  f = next();
+  const net::RegisterGraphFrame path2 = net::decode_register_graph(f.payload);
+  EXPECT_EQ(path2.request_id, 4u);
+  EXPECT_EQ(path2.mode, net::RegisterMode::kSnapshotPath);
+  EXPECT_EQ(path2.snapshot_path, "oracles/g.v2.snap");
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kRegisterAck);
+  const net::RegisterAckFrame ack2 = net::decode_register_ack(f.payload);
+  EXPECT_EQ(ack2.request_id, 5u);
+  EXPECT_EQ(ack2.digest, 0xfeedfaceULL);
+  EXPECT_EQ(ack2.state, registry::OracleState::kReady);
+  EXPECT_EQ(ack2.num_edges, 4u);
+  EXPECT_EQ(ack2.sources, ack.sources);
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kListOracles);
+  EXPECT_EQ(net::decode_list_oracles(f.payload), 6u);
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kOracleList);
+  const net::OracleListFrame list2 = net::decode_oracle_list(f.payload);
+  EXPECT_EQ(list2.request_id, 6u);
+  ASSERT_EQ(list2.oracles.size(), 1u);
+  EXPECT_EQ(list2.oracles[0].digest, 0xfeedfaceULL);
+  EXPECT_EQ(list2.oracles[0].state, registry::OracleState::kExpiring);
+  EXPECT_EQ(list2.oracles[0].inflight_batches, 2u);
+  EXPECT_EQ(list2.oracles[0].queries_answered, 777u);
+  EXPECT_EQ(list2.oracles[0].footprint_bytes, 4096u);
+  EXPECT_EQ(list2.oracles[0].sources, entry.sources);
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kUnregister);
+  const net::UnregisterFrame un = net::decode_unregister(f.payload);
+  EXPECT_EQ(un.request_id, 7u);
+  EXPECT_EQ(un.digest, 0xfeedfaceULL);
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kBusy);
+  const net::ErrorFrame busy = net::decode_error(f.payload);  // shared shape
+  EXPECT_EQ(busy.request_id, 8u);
+  EXPECT_EQ(busy.message, "tenant queue full");
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kQueryBatch);
+  const net::QueryBatchFrame qb = net::decode_query_batch(f.payload);
+  EXPECT_EQ(qb.request_id, 9u);
+  ASSERT_TRUE(qb.digest.has_value());
+  EXPECT_EQ(*qb.digest, 0xfeedfaceULL);
+  EXPECT_EQ(qb.queries, (std::vector<Query>{{0, 1, 2}}));
+
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameDecoderAdversarial, LyingRegistryPayloadCountsThrow) {
+  // Same discipline as the v1 frames: checksum-valid payloads whose counts
+  // disagree with their byte size must throw, never read out of bounds.
+  const auto frame_payload = [](auto&& append) {
+    std::vector<std::uint8_t> bytes;
+    append(bytes);
+    FrameDecoder dec;
+    dec.feed(bytes);
+    return dec.next()->payload;
+  };
+
+  net::RegisterGraphFrame reg;
+  reg.request_id = 1;
+  reg.num_vertices = 4;
+  reg.sources = {0, 1};
+  reg.edges = {{0, 1}, {1, 2}};
+  auto payload = frame_payload(
+      [&](std::vector<std::uint8_t>& b) { net::append_register_graph(b, reg); });
+  auto shorter = payload;
+  shorter.resize(shorter.size() - 4);
+  EXPECT_THROW(net::decode_register_graph(shorter), ProtocolError);
+  auto longer = payload;
+  longer.push_back(0);
+  EXPECT_THROW(net::decode_register_graph(longer), ProtocolError);
+
+  net::OracleListFrame list;
+  list.oracles.resize(1);
+  list.oracles[0].sources = {0, 3};
+  payload = frame_payload(
+      [&](std::vector<std::uint8_t>& b) { net::append_oracle_list(b, list); });
+  shorter = payload;
+  shorter.resize(shorter.size() - 2);
+  EXPECT_THROW(net::decode_oracle_list(shorter), ProtocolError);
+
+  net::RegisterAckFrame ack;
+  ack.sources = {0};
+  payload = frame_payload(
+      [&](std::vector<std::uint8_t>& b) { net::append_register_ack(b, ack); });
+  shorter = payload;
+  shorter.resize(shorter.size() - 1);
+  EXPECT_THROW(net::decode_register_ack(shorter), ProtocolError);
+
+  payload = frame_payload(
+      [](std::vector<std::uint8_t>& b) { net::append_unregister(b, 1, 2); });
+  shorter = payload;
+  shorter.resize(shorter.size() - 1);
+  EXPECT_THROW(net::decode_unregister(shorter), ProtocolError);
 }
 
 // -------------------------------------------------- loopback end-to-end ---
@@ -531,6 +707,352 @@ TEST(NetServer, DrainCompletesPromptlyWhenOutputFlushesLate) {
   EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(8));
 }
 
+// --------------------------------------- multi-tenant registry (v2) ---
+
+/// Registry-enabled server on an ephemeral port. The registry member is
+/// declared before the server so it outlives it, exactly as production
+/// embedders must order the two.
+struct RegistryTestServer {
+  registry::OracleRegistry registry;
+  net::Server server;
+  std::thread thread;
+
+  RegistryTestServer(service::QueryService& svc, std::shared_ptr<const Snapshot> oracle,
+                     registry::RegistryOptions ropts = {}, net::ServerOptions sopts = {})
+      : registry(svc, ropts),
+        server(svc, std::move(oracle), &registry, sopts),
+        thread([this] { server.run(); }) {}
+
+  ~RegistryTestServer() {
+    server.shutdown();
+    thread.join();
+  }
+
+  net::ClientOptions client_options() const {
+    net::ClientOptions copts;
+    copts.port = server.port();
+    copts.connect_retries = 10;
+    return copts;
+  }
+};
+
+/// Parks every worker of `svc` until the returned promise is fulfilled, so
+/// a dispatched batch deterministically stays in flight.
+std::promise<void> wedge_pool(service::QueryService& svc) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  for (unsigned i = 0; i < svc.num_threads(); ++i) {
+    svc.run_async([gate] { gate.wait(); });
+  }
+  return release;
+}
+
+// The acceptance matrix: one listener, several oracles registered purely
+// over the wire, interleaved pipelined batches against each — answers must
+// be byte-identical to a local QueryService building the same graphs.
+// MSRP_FUZZ_TENANTS widens the matrix (2..8 random tenant graphs).
+TEST(NetRegistry, WireRegisteredTenantsMatchInProcessByteForByte) {
+  SKIP_WITHOUT_EPOLL();
+  service::QueryService svc({.threads = 2, .cache_capacity = 12, .min_parallel_batch = 64});
+  RegistryTestServer ts(svc, nullptr);  // no default oracle: registry only
+  net::Client client(ts.client_options());
+  EXPECT_TRUE(client.registry_enabled());
+  EXPECT_EQ(client.hello().oracle_digest, 0u);
+
+  std::size_t tenants = 2;
+  if (const char* fuzz = std::getenv("MSRP_FUZZ_TENANTS")) {
+    tenants = std::clamp<std::size_t>(std::strtoul(fuzz, nullptr, 10), 2, 8);
+  }
+
+  service::QueryService local({.threads = 2, .cache_capacity = 12, .min_parallel_batch = 64});
+  struct Tenant {
+    Graph g{0};
+    std::vector<Vertex> sources;
+    std::uint64_t digest = 0;
+    std::shared_ptr<const Snapshot> oracle;  // the local differential build
+  };
+  std::vector<Tenant> tens(tenants);
+  for (std::size_t i = 0; i < tenants; ++i) {
+    Rng rng(500 + i);
+    tens[i].g = gen::connected_gnp(static_cast<Vertex>(30 + 5 * i), 0.12, rng);
+    tens[i].sources = {0, static_cast<Vertex>(3 + i), static_cast<Vertex>(11 + 2 * i)};
+    const net::RegisterAckFrame ack =
+        client.register_graph(tens[i].g.num_vertices(), tens[i].g.edges(), tens[i].sources);
+    tens[i].oracle = local.build(tens[i].g, tens[i].sources);
+    EXPECT_EQ(ack.state, registry::OracleState::kReady);
+    EXPECT_EQ(ack.digest, tens[i].oracle->content_digest()) << "tenant " << i;
+    EXPECT_EQ(ack.num_vertices, tens[i].g.num_vertices());
+    EXPECT_EQ(ack.sources, tens[i].sources);
+    tens[i].digest = ack.digest;
+  }
+  for (std::size_t i = 0; i < tenants; ++i) {
+    for (std::size_t j = i + 1; j < tenants; ++j) {
+      EXPECT_NE(tens[i].digest, tens[j].digest);
+    }
+  }
+
+  // Interleave pipelined batches across every tenant on one connection.
+  struct Sent {
+    std::uint64_t id = 0;
+    std::size_t tenant = 0;
+    std::vector<Query> queries;
+  };
+  std::vector<Sent> sent;
+  std::size_t total_queries = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < tenants; ++i) {
+      Rng rng(900 + 7 * round + i);
+      auto queries = service::random_query_batch(tens[i].sources, tens[i].g.num_vertices(),
+                                                 tens[i].g.num_edges(), 150 + 31 * round, rng);
+      total_queries += queries.size();
+      sent.push_back({client.send(queries, tens[i].digest), i, std::move(queries)});
+    }
+  }
+  for (std::size_t s = sent.size(); s-- > 0;) {  // collect newest-first
+    EXPECT_EQ(client.wait(sent[s].id),
+              local.query_batch(*tens[sent[s].tenant].oracle, sent[s].queries))
+        << "batch " << s;
+  }
+
+  const auto listed = client.list_oracles();
+  ASSERT_EQ(listed.size(), tenants);
+  std::uint64_t answered = 0;
+  for (const auto& e : listed) {
+    EXPECT_EQ(e.state, registry::OracleState::kReady);
+    EXPECT_EQ(e.inflight_batches, 0u);
+    answered += e.queries_answered;
+  }
+  EXPECT_EQ(answered, total_queries);
+  EXPECT_EQ(ts.server.stats().oracles_registered, tenants);
+}
+
+TEST(NetRegistry, DefaultOracleServesV1AndDigestTargetedBatches) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  RegistryTestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+  EXPECT_TRUE(client.registry_enabled());
+  EXPECT_EQ(client.hello().oracle_digest, fx.oracle->content_digest());
+
+  const auto queries = fx.random_queries(500, 21);
+  const auto want = fx.svc.query_batch(*fx.oracle, queries);
+  EXPECT_EQ(client.query_batch(queries), want);  // v1 shape, no digest
+  EXPECT_EQ(client.query_batch(queries, fx.oracle->content_digest()), want);
+
+  // The adopted default is a first-class tenant in LIST_ORACLES.
+  const auto listed = client.list_oracles();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].digest, fx.oracle->content_digest());
+  EXPECT_EQ(listed[0].queries_answered, 2 * queries.size());
+}
+
+TEST(NetRegistry, NoDefaultOracleRejectsUntargetedBatches) {
+  SKIP_WITHOUT_EPOLL();
+  service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+  RegistryTestServer ts(svc, nullptr);
+  net::Client client(ts.client_options());
+  try {
+    client.query_batch(std::vector<Query>{{0, 0, 0}});
+    FAIL() << "expected a batch error";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("no default oracle"), std::string::npos);
+  }
+
+  // The connection survives; registering then targeting works.
+  Rng rng(81);
+  const Graph g = gen::connected_gnp(25, 0.18, rng);
+  const auto ack = client.register_graph(g.num_vertices(), g.edges(), std::vector<Vertex>{0, 4});
+  ASSERT_EQ(ack.state, registry::OracleState::kReady);
+  EXPECT_EQ(client.query_batch(std::vector<Query>{{0, 1, 0}}, ack.digest).size(), 1u);
+}
+
+TEST(NetRegistry, UnknownDigestFailsTheBatchNotTheConnection) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  RegistryTestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+
+  const auto queries = fx.random_queries(50, 51);
+  try {
+    client.query_batch(queries, 0xdeadbeefdeadbeefULL);
+    FAIL() << "expected a batch error";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("unknown oracle digest"), std::string::npos);
+  }
+  EXPECT_EQ(client.query_batch(queries), fx.svc.query_batch(*fx.oracle, queries));
+  EXPECT_EQ(ts.server.stats().batch_errors, 1u);
+  EXPECT_EQ(ts.server.stats().protocol_errors, 0u);
+}
+
+TEST(NetRegistry, RegistryDisabledServerStillSpeaksV2Shapes) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);  // single-oracle server, no registry
+  net::Client client(ts.client_options());
+  EXPECT_FALSE(client.registry_enabled());
+
+  Rng rng(91);
+  const Graph g = gen::connected_gnp(20, 0.2, rng);
+  try {
+    client.register_graph(g.num_vertices(), g.edges(), std::vector<Vertex>{0});
+    FAIL() << "expected registration to be refused";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("registry is disabled"), std::string::npos);
+  }
+
+  // An explicit digest naming the served oracle is accepted; a foreign one
+  // is a batch error that names the limitation.
+  const auto queries = fx.random_queries(100, 92);
+  EXPECT_EQ(client.query_batch(queries, fx.oracle->content_digest()),
+            fx.svc.query_batch(*fx.oracle, queries));
+  try {
+    client.query_batch(queries, 0x1234);
+    FAIL() << "expected a batch error";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("single-oracle server"), std::string::npos);
+  }
+
+  // LIST_ORACLES degrades to a one-row answer for the default oracle.
+  const auto listed = client.list_oracles();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].digest, fx.oracle->content_digest());
+}
+
+TEST(NetRegistry, AdmissionControlAnswersBusyAndRetrySucceeds) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  net::ServerOptions sopts;
+  sopts.dispatch = {.per_tenant_inflight = 1, .per_tenant_queue = 0, .total_inflight = 4};
+  RegistryTestServer ts(fx.svc, fx.oracle, {}, sopts);
+  net::Client client(ts.client_options());
+
+  // Wedge the pool so the first batch deterministically stays in flight;
+  // the second then overflows the zero-length queue.
+  std::promise<void> release = wedge_pool(fx.svc);
+  const auto b1 = fx.random_queries(200, 41);
+  const auto b2 = fx.random_queries(100, 42);
+  const std::uint64_t id1 = client.send(b1);
+  const std::uint64_t id2 = client.send(b2);
+  try {
+    client.wait(id2);
+    FAIL() << "expected BUSY";
+  } catch (const net::BusyError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("busy"), std::string::npos);
+  }
+  release.set_value();
+  EXPECT_EQ(client.wait(id1), fx.svc.query_batch(*fx.oracle, b1));
+  EXPECT_EQ(ts.server.stats().busy_rejected, 1u);
+
+  // BUSY means "did not run": an identical resend is safe and succeeds.
+  EXPECT_EQ(client.query_batch(b2), fx.svc.query_batch(*fx.oracle, b2));
+}
+
+TEST(NetRegistry, UnregisterAndReRegisterOverTheWire) {
+  SKIP_WITHOUT_EPOLL();
+  service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+  RegistryTestServer ts(svc, nullptr);
+  net::Client client(ts.client_options());
+
+  Rng rng(61);
+  const Graph g = gen::connected_gnp(30, 0.15, rng);
+  const std::vector<Vertex> sources{0, 5, 9};
+  const auto ack = client.register_graph(g.num_vertices(), g.edges(), sources);
+  ASSERT_EQ(ack.state, registry::OracleState::kReady);
+
+  // Re-registering a resident digest is idempotent, not a second tenant.
+  const auto dup = client.register_graph(g.num_vertices(), g.edges(), sources);
+  EXPECT_EQ(dup.digest, ack.digest);
+  EXPECT_EQ(client.list_oracles().size(), 1u);
+
+  Rng qrng(62);
+  const auto queries =
+      service::random_query_batch(sources, g.num_vertices(), g.num_edges(), 120, qrng);
+  const auto want = client.query_batch(queries, ack.digest);
+  EXPECT_EQ(want.size(), queries.size());
+
+  const auto gone = client.unregister(ack.digest);
+  EXPECT_EQ(gone.state, registry::OracleState::kUnregistered);
+  EXPECT_TRUE(client.list_oracles().empty());
+  EXPECT_THROW(client.query_batch(queries, ack.digest), std::runtime_error);
+  EXPECT_THROW(client.unregister(ack.digest), std::runtime_error);  // unknown now
+
+  // Re-registering the same graph revives the same digest.
+  const auto again = client.register_graph(g.num_vertices(), g.edges(), sources);
+  EXPECT_EQ(again.digest, ack.digest);
+  EXPECT_EQ(client.query_batch(queries, ack.digest), want);
+}
+
+TEST(NetRegistry, UnregisterWhileInflightDrainsThenRetires) {
+  SKIP_WITHOUT_EPOLL();
+  service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+  RegistryTestServer ts(svc, nullptr);
+  net::Client client(ts.client_options());
+
+  Rng rng(71);
+  const Graph g = gen::connected_gnp(30, 0.15, rng);
+  const std::vector<Vertex> sources{0, 5, 9};
+  const auto ack = client.register_graph(g.num_vertices(), g.edges(), sources);
+  ASSERT_EQ(ack.state, registry::OracleState::kReady);
+  Rng qrng(72);
+  const auto queries =
+      service::random_query_batch(sources, g.num_vertices(), g.num_edges(), 120, qrng);
+  const auto want = client.query_batch(queries, ack.digest);  // warm round trip
+
+  // One batch in flight on a wedged pool, then unregister underneath it.
+  std::promise<void> release = wedge_pool(svc);
+  const std::uint64_t id = client.send(queries, ack.digest);
+  while (ts.server.stats().batches_received < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto expiring = client.unregister(ack.digest);
+  EXPECT_EQ(expiring.state, registry::OracleState::kExpiring);
+  // Invisible to new batches while draining.
+  EXPECT_THROW(client.query_batch(queries, ack.digest), std::runtime_error);
+
+  release.set_value();
+  EXPECT_EQ(client.wait(id), want);  // the in-flight batch drains with answers
+  for (int i = 0; i < 2000 && ts.registry.tenant_count() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ts.registry.tenant_count(), 0u);  // fully retired after the drain
+}
+
+TEST(NetRegistry, ResendOnReconnectReplaysPipelinedBatchesAcrossRestart) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  auto tsA = std::make_unique<TestServer>(fx.svc, fx.oracle);
+  const std::uint16_t port = tsA->server.port();
+  net::ClientOptions copts = tsA->client_options();
+  copts.resend_on_reconnect = true;
+  net::Client client(copts);
+
+  std::vector<std::vector<Query>> batches;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t b = 0; b < 2; ++b) {
+    batches.push_back(fx.random_queries(150 + 40 * b, 600 + b));
+    ids.push_back(client.send(batches[b]));
+  }
+  while (tsA->server.stats().batches_received < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  tsA.reset();  // the server dies with both batches un-collected
+
+  net::ServerOptions sopts;
+  sopts.port = port;
+  TestServer tsB(fx.svc, fx.oracle, sopts);  // restart on the same port
+  for (std::size_t b = 2; b < 4; ++b) {  // keep pipelining across the outage
+    batches.push_back(fx.random_queries(150 + 40 * b, 600 + b));
+    ids.push_back(client.send(batches[b]));
+  }
+  // Every id must resolve with its original answers: the client re-dials
+  // and replays whatever the restart swallowed, ids preserved.
+  for (std::size_t b = batches.size(); b-- > 0;) {
+    EXPECT_EQ(client.wait(ids[b]), fx.svc.query_batch(*fx.oracle, batches[b]))
+        << "batch " << b;
+  }
+  EXPECT_EQ(client.inflight(), 0u);
+}
+
 #if defined(__unix__)
 
 /// Raw loopback socket for protocol-violation tests (the Client refuses to
@@ -637,6 +1159,60 @@ TEST(NetServer, NonBatchFrameFromClientIsRejected) {
   ASSERT_EQ(frames.size(), 2u);
   EXPECT_EQ(frames[1].type, FrameType::kError);
   EXPECT_EQ(net::decode_error(frames[1].payload).request_id, 0u);
+}
+
+TEST(NetRegistry, TruncatedRegisterUploadLeavesNoTenantBehind) {
+  SKIP_WITHOUT_EPOLL();
+  service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+  RegistryTestServer ts(svc, nullptr);
+  {
+    // Half a REGISTER_GRAPH frame, then the uploader vanishes.
+    Rng rng(96);
+    const Graph g = gen::connected_gnp(30, 0.15, rng);
+    net::RegisterGraphFrame reg;
+    reg.request_id = 1;
+    reg.num_vertices = g.num_vertices();
+    reg.sources = {0, 5};
+    reg.edges = g.edges();
+    std::vector<std::uint8_t> bytes;
+    net::append_register_graph(bytes, reg);
+    RawConn raw(ts.server.port());
+    raw.send(std::span(bytes.data(), bytes.size() / 2));
+  }
+  while (ts.server.stats().connections_closed < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The partial frame never became a registration — no provisional slot
+  // leaked — and the server still serves full uploads.
+  EXPECT_EQ(ts.server.stats().oracles_registered, 0u);
+  EXPECT_EQ(ts.registry.tenant_count(), 0u);
+  net::Client client(ts.client_options());
+  Rng rng2(97);
+  const Graph g2 = gen::connected_gnp(25, 0.18, rng2);
+  const auto ack = client.register_graph(g2.num_vertices(), g2.edges(), std::vector<Vertex>{0, 3});
+  EXPECT_EQ(ack.state, registry::OracleState::kReady);
+}
+
+TEST(NetRegistry, RegisterRequestIdZeroIsRejected) {
+  SKIP_WITHOUT_EPOLL();
+  service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+  RegistryTestServer ts(svc, nullptr);
+  RawConn raw(ts.server.port());
+  net::RegisterGraphFrame reg;
+  reg.request_id = 0;  // reserved for connection-level errors
+  reg.num_vertices = 3;
+  reg.sources = {0};
+  reg.edges = {{0, 1}, {1, 2}};
+  std::vector<std::uint8_t> bytes;
+  net::append_register_graph(bytes, reg);
+  raw.send(bytes);
+  const std::vector<Frame> frames = raw.read_all_frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[1].type, FrameType::kError);
+  const net::ErrorFrame err = net::decode_error(frames[1].payload);
+  EXPECT_EQ(err.request_id, 0u);
+  EXPECT_NE(err.message.find("reserved"), std::string::npos);
+  EXPECT_EQ(ts.registry.tenant_count(), 0u);
 }
 
 #endif  // __unix__

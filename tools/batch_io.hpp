@@ -33,6 +33,23 @@ inline std::uint64_t cli_u64(const std::string& value, const char* flag) {
   std::exit(2);
 }
 
+/// Hex flavour for oracle digests: accepts "9f3a..." or "0x9f3a..." (the
+/// tools print digests as %016llx). Same strict-parse exit(2) contract.
+inline std::uint64_t cli_hex_u64(const std::string& value, const char* flag) {
+  std::string v = value;
+  if (v.size() > 2 && v[0] == '0' && (v[1] == 'x' || v[1] == 'X')) v = v.substr(2);
+  if (!v.empty() && v.size() <= 16) {
+    try {
+      std::size_t pos = 0;
+      const std::uint64_t parsed = std::stoull(v, &pos, 16);
+      if (pos == v.size()) return parsed;
+    } catch (...) {
+    }
+  }
+  std::fprintf(stderr, "error: %s: invalid hex digest \"%s\"\n", flag, value.c_str());
+  std::exit(2);
+}
+
 inline double cli_double(const std::string& value, const char* flag) {
   try {
     std::size_t pos = 0;

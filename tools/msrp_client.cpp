@@ -18,6 +18,16 @@
 //     msrp_client --connect 127.0.0.1:7171 --connections 4
 //         --batch-size 512 --inflight 8 --duration 10
 //
+// Multi-tenant servers (msrp_serve --registry, protocol v2) add a third
+// axis: --register uploads a graph and targets it, --digest targets an
+// oracle registered earlier (by this client or anyone else), and --list
+// prints what the server is holding. Both modes then run against the
+// chosen oracle instead of the HELLO default.
+//
+//     msrp_client --connect 127.0.0.1:7171 --register g.txt --sources 0,5,9
+//         --batch-file q.txt --out a.txt
+//     msrp_client --connect 127.0.0.1:7171 --digest 9f3ac2... --duration 10
+//
 // Options:
 //   --connect host:port    server address (required)
 //   --batch-file <path>    queries, one "s t e" per line ('#' comments)
@@ -28,11 +38,21 @@
 //   --duration S           load-mode seconds (default 5)
 //   --seed N               RNG seed for generated queries (default 1)
 //   --retries N            extra connect attempts, 200 ms apart (default 25)
+//   --register <path>      register this edge-list graph first and target
+//                          its oracle (requires --sources; needs a
+//                          --registry server)
+//   --sources a,b,c        source vertices for --register
+//   --build-seed N         solver seed for --register (default: library)
+//   --digest HEX           target a registered oracle (16 hex digits, as
+//                          printed by the tools); unknown digests are a
+//                          usage error listing what the server has
+//   --list                 print the server's resident oracles and exit
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -40,7 +60,9 @@
 #include <vector>
 
 #include "batch_io.hpp"
+#include "graph/io.hpp"
 #include "net/client.hpp"
+#include "registry/oracle_state.hpp"
 #include "service/query_gen.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -53,19 +75,45 @@ namespace {
   std::fprintf(stderr,
                "usage: msrp_client --connect host:port --batch-file <path> [--out <path>]\n"
                "       msrp_client --connect host:port [--connections N] [--batch-size B]\n"
-               "                   [--inflight K] [--duration S] [--seed N] [--retries N]\n");
+               "                   [--inflight K] [--duration S] [--seed N] [--retries N]\n"
+               "       msrp_client --connect host:port --register <graph> --sources a,b,c\n"
+               "                   [--build-seed N] [...batch or load options]\n"
+               "       msrp_client --connect host:port --digest HEX [...batch or load options]\n"
+               "       msrp_client --connect host:port --list\n");
   std::exit(2);
 }
 
-std::vector<service::Query> random_batch(const net::HelloInfo& hello, std::size_t count,
-                                         Rng& rng) {
-  return service::random_query_batch(hello.sources, hello.num_vertices, hello.num_edges,
+std::vector<Vertex> parse_list(const std::string& s) {
+  std::vector<Vertex> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(static_cast<Vertex>(std::stoul(s.substr(pos, next - pos))));
+    pos = next + 1;
+  }
+  return out;
+}
+
+/// Identity of the oracle batches will run against — what random query
+/// generation needs. Defaults to the HELLO oracle; --register / --digest
+/// swap in the targeted one.
+struct Target {
+  std::optional<std::uint64_t> digest;  // passed on every QUERY_BATCH
+  std::uint32_t num_vertices = 0;
+  std::uint32_t num_edges = 0;
+  std::vector<Vertex> sources;
+};
+
+std::vector<service::Query> random_batch(const Target& target, std::size_t count, Rng& rng) {
+  return service::random_query_batch(target.sources, target.num_vertices, target.num_edges,
                                      count, rng);
 }
 
 struct LoadResult {
   std::uint64_t batches = 0;
   std::uint64_t queries = 0;
+  std::uint64_t busy = 0;  // batches the server rejected under load
   std::vector<double> latencies_ms;  // one entry per completed batch
   std::string error;
 };
@@ -82,7 +130,12 @@ double percentile(std::vector<double>& sorted, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string connect, batch_path, out_path;
+  std::string connect, batch_path, out_path, register_path;
+  std::vector<Vertex> reg_sources;
+  std::optional<std::uint64_t> build_seed;
+  bool digest_given = false;
+  std::uint64_t digest_value = 0;
+  bool list_only = false;
   unsigned connections = 1;
   std::size_t batch_size = 512;
   std::size_t inflight = 4;
@@ -114,10 +167,23 @@ int main(int argc, char** argv) {
       seed = tools::cli_u64(next(), "--seed");
     } else if (arg == "--retries") {
       retries = static_cast<unsigned>(tools::cli_u64(next(), "--retries"));
+    } else if (arg == "--register") {
+      register_path = next();
+    } else if (arg == "--sources") {
+      reg_sources = parse_list(next());
+    } else if (arg == "--build-seed") {
+      build_seed = tools::cli_u64(next(), "--build-seed");
+    } else if (arg == "--digest") {
+      digest_given = true;
+      digest_value = tools::cli_hex_u64(next(), "--digest");
+    } else if (arg == "--list") {
+      list_only = true;
     } else {
       usage();
     }
   }
+  if (!register_path.empty() && reg_sources.empty()) usage();
+  if (!register_path.empty() && digest_given) usage();  // one way to pick a target
   const std::size_t colon = connect.rfind(':');
   if (connect.empty() || colon == std::string::npos) usage();
   if (connections == 0 || batch_size == 0 || inflight == 0) usage();
@@ -134,16 +200,87 @@ int main(int argc, char** argv) {
   copts.connect_retries = retries;
 
   try {
+    // Control connection: handshake, optional list/register/digest target
+    // resolution. Batch mode reuses it; load mode dials its own.
+    net::Client client(copts);
+    std::printf("connected to %s (oracle: n=%u m=%u sigma=%zu digest=%016llx%s)\n",
+                connect.c_str(), client.hello().num_vertices, client.hello().num_edges,
+                client.hello().sources.size(),
+                static_cast<unsigned long long>(client.hello().oracle_digest),
+                client.registry_enabled() ? ", registry" : "");
+
+    if (list_only) {
+      const std::vector<net::OracleListEntry> oracles = client.list_oracles();
+      std::printf("%zu oracle(s) resident:\n", oracles.size());
+      for (const net::OracleListEntry& e : oracles) {
+        std::printf("  %016llx  %-12s n=%-8u m=%-8u sigma=%-4zu inflight=%-4u "
+                    "answered=%llu bytes=%llu\n",
+                    static_cast<unsigned long long>(e.digest),
+                    registry::to_string(e.state), e.num_vertices, e.num_edges,
+                    e.sources.size(), e.inflight_batches,
+                    static_cast<unsigned long long>(e.queries_answered),
+                    static_cast<unsigned long long>(e.footprint_bytes));
+      }
+      return 0;
+    }
+
+    Target target;
+    target.num_vertices = client.hello().num_vertices;
+    target.num_edges = client.hello().num_edges;
+    target.sources = client.hello().sources;
+
+    if (!register_path.empty()) {
+      const Graph g = io::load_edge_list(register_path);
+      Timer rt;
+      const net::RegisterAckFrame ack =
+          client.register_graph(g.num_vertices(), g.edges(), reg_sources, build_seed);
+      std::printf("registered %s: digest=%016llx n=%u m=%u sigma=%zu in %.1f ms\n",
+                  register_path.c_str(), static_cast<unsigned long long>(ack.digest),
+                  ack.num_vertices, ack.num_edges, ack.sources.size(), rt.millis());
+      target.digest = ack.digest;
+      target.num_vertices = ack.num_vertices;
+      target.num_edges = ack.num_edges;
+      target.sources = ack.sources;
+    } else if (digest_given) {
+      // Resolve the digest against what the server actually has — an
+      // unknown one is a usage error, with the valid choices spelled out.
+      target.digest = digest_value;
+      if (client.registry_enabled()) {
+        const std::vector<net::OracleListEntry> oracles = client.list_oracles();
+        const net::OracleListEntry* found = nullptr;
+        for (const net::OracleListEntry& e : oracles) {
+          if (e.digest == digest_value) found = &e;
+        }
+        if (found == nullptr || found->state != registry::OracleState::kReady) {
+          std::fprintf(stderr, "error: --digest %016llx: %s on this server\n",
+                       static_cast<unsigned long long>(digest_value),
+                       found == nullptr ? "no such oracle"
+                                        : registry::to_string(found->state));
+          std::fprintf(stderr, "available oracles:\n");
+          for (const net::OracleListEntry& e : oracles) {
+            std::fprintf(stderr, "  %016llx  %s n=%u m=%u\n",
+                         static_cast<unsigned long long>(e.digest),
+                         registry::to_string(e.state), e.num_vertices, e.num_edges);
+          }
+          return 2;
+        }
+        target.num_vertices = found->num_vertices;
+        target.num_edges = found->num_edges;
+        target.sources = found->sources;
+      } else if (digest_value != client.hello().oracle_digest) {
+        std::fprintf(stderr,
+                     "error: --digest %016llx: server has only %016llx (no registry)\n",
+                     static_cast<unsigned long long>(digest_value),
+                     static_cast<unsigned long long>(client.hello().oracle_digest));
+        return 2;
+      }
+    }
+
     if (!batch_path.empty()) {
       // Batch mode: one connection, one batch, answers out.
       const std::vector<service::Query> batch = tools::read_batch_file(batch_path);
-      net::Client client(copts);
-      std::printf("connected to %s (oracle: n=%u m=%u sigma=%zu digest=%016llx)\n",
-                  connect.c_str(), client.hello().num_vertices, client.hello().num_edges,
-                  client.hello().sources.size(),
-                  static_cast<unsigned long long>(client.hello().oracle_digest));
       Timer t;
-      const std::vector<Dist> answers = client.query_batch(batch);
+      const std::vector<Dist> answers = client.query_batch(batch, target.digest);
       std::printf("answered %zu queries in %.3f ms over TCP\n", batch.size(), t.millis());
       if (!out_path.empty()) {
         if (!tools::write_answer_file(out_path, batch, answers)) return 1;
@@ -162,32 +299,44 @@ int main(int argc, char** argv) {
       threads.emplace_back([&, c] {
         LoadResult& res = results[c];
         try {
-          net::Client client(copts);
+          net::Client worker(copts);
           Rng rng(seed + c);
           const auto deadline = std::chrono::steady_clock::now() +
                                 std::chrono::duration<double>(duration_s);
           std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point> sent_at;
           while (std::chrono::steady_clock::now() < deadline) {
-            while (client.inflight() < inflight) {
-              const auto batch = random_batch(client.hello(), batch_size, rng);
-              sent_at.emplace(client.send(batch), std::chrono::steady_clock::now());
+            while (worker.inflight() < inflight) {
+              const auto batch = random_batch(target, batch_size, rng);
+              sent_at.emplace(worker.send(batch, target.digest),
+                              std::chrono::steady_clock::now());
             }
-            net::BatchAnswer got = client.wait_any();
-            const auto it = sent_at.find(got.request_id);
-            if (it != sent_at.end()) {
-              res.latencies_ms.push_back(
-                  std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - it->second)
-                      .count());
-              sent_at.erase(it);
+            try {
+              net::BatchAnswer got = worker.wait_any();
+              const auto it = sent_at.find(got.request_id);
+              if (it != sent_at.end()) {
+                res.latencies_ms.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - it->second)
+                        .count());
+                sent_at.erase(it);
+              }
+              ++res.batches;
+              res.queries += got.answers.size();
+            } catch (const net::BusyError&) {
+              // Admission control said no: the batch never ran. Count it
+              // and keep the pipeline full — overload is part of what the
+              // load generator measures.
+              ++res.busy;
             }
-            ++res.batches;
-            res.queries += got.answers.size();
           }
-          while (client.inflight() > 0) {  // drain the pipeline
-            net::BatchAnswer got = client.wait_any();
-            ++res.batches;
-            res.queries += got.answers.size();
+          while (worker.inflight() > 0) {  // drain the pipeline
+            try {
+              net::BatchAnswer got = worker.wait_any();
+              ++res.batches;
+              res.queries += got.answers.size();
+            } catch (const net::BusyError&) {
+              ++res.busy;
+            }
           }
         } catch (const std::exception& ex) {
           res.error = ex.what();
@@ -197,7 +346,7 @@ int main(int argc, char** argv) {
     for (auto& t : threads) t.join();
     const double secs = wall.seconds();
 
-    std::uint64_t batches = 0, queries = 0;
+    std::uint64_t batches = 0, queries = 0, busy = 0;
     std::vector<double> lat;
     for (const LoadResult& res : results) {
       if (!res.error.empty()) {
@@ -206,15 +355,18 @@ int main(int argc, char** argv) {
       }
       batches += res.batches;
       queries += res.queries;
+      busy += res.busy;
       lat.insert(lat.end(), res.latencies_ms.begin(), res.latencies_ms.end());
     }
     std::sort(lat.begin(), lat.end());
     std::printf("connections=%u batch=%zu inflight=%zu duration=%.1fs\n", connections,
                 batch_size, inflight, duration_s);
-    std::printf("completed %llu batches (%llu queries) in %.2f s: %.0f queries/s\n",
+    std::printf("completed %llu batches (%llu queries) in %.2f s: %.0f queries/s, "
+                "%llu busy rejections\n",
                 static_cast<unsigned long long>(batches),
                 static_cast<unsigned long long>(queries), secs,
-                secs > 0 ? static_cast<double>(queries) / secs : 0.0);
+                secs > 0 ? static_cast<double>(queries) / secs : 0.0,
+                static_cast<unsigned long long>(busy));
     std::printf("batch latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
                 percentile(lat, 0.50), percentile(lat, 0.90), percentile(lat, 0.99),
                 lat.empty() ? 0.0 : lat.back());

@@ -43,11 +43,24 @@
 //                          printed). Composes with every oracle mode —
 //                          --build, --load-snapshot [--mmap], --shards N.
 //   --listen-addr <ip>     bind address (default 127.0.0.1)
+//   --registry             multi-tenant mode: clients register graphs over
+//                          the wire (protocol v2) and target them by
+//                          digest. Works with or without a local oracle
+//                          mode — `--registry --listen 0` alone starts an
+//                          empty server that clients populate.
+//   --max-tenants N        resident-oracle cap for --registry (default 16)
+//   --registry-bytes N     summed-footprint byte budget for --registry
+//                          (0 = unlimited)
+//   --cache-ttl-ms N       oracle cache TTL (0 = never expire)
+//   --refresh-ahead X      rebuild cached oracles at X * TTL (0 < X < 1)
+//                          in the background so a warmed key never pays a
+//                          cold build at the TTL boundary
 //
 // Internal:
 //   --shard-worker <base>:<k>   run as shard worker k of the supervisor
 //                               that owns shm prefix <base>; never invoked
 //                               by hand (the router passes it to exec)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -64,6 +77,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "net/server.hpp"
+#include "registry/oracle_registry.hpp"
 #include "service/query_gen.hpp"
 #include "service/query_service.hpp"
 #include "service/shard_process.hpp"
@@ -98,7 +112,10 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
                "         [--threads N] [--repeat K] [--async] [--shards N]\n"
                "         [--shard-spin N] [--shard-sleep-us N]\n"
                "         [--listen <port>] [--listen-addr <ip>]\n"
-               "         [--out <path>]\n");
+               "         [--registry] [--max-tenants N] [--registry-bytes N]\n"
+               "         [--cache-ttl-ms N] [--refresh-ahead X]\n"
+               "         [--out <path>]\n"
+               "       msrp_serve --registry --listen <port>   (empty multi-tenant server)\n");
   std::exit(2);
 }
 
@@ -117,15 +134,30 @@ void on_signal(int) { g_stop = 1; }
 
 /// Runs the TCP front end until a signal arrives, then drains and reports.
 int serve_network(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
-                  const std::string& addr, std::uint16_t port) {
+                  const std::string& addr, std::uint16_t port, bool use_registry,
+                  std::size_t max_tenants, std::size_t registry_bytes) {
   if (!net::Server::supported()) {
     std::fprintf(stderr, "error: --listen needs epoll (Linux)\n");
     return 1;
   }
+  // Declared before the server so it outlives it: in-flight registrations
+  // drain in ~Server, then the registry tears down.
+  std::unique_ptr<registry::OracleRegistry> reg;
+  if (use_registry) {
+    registry::RegistryOptions ropts;
+    ropts.max_tenants = max_tenants;
+    ropts.max_bytes = registry_bytes;
+    reg = std::make_unique<registry::OracleRegistry>(svc, ropts);
+  }
   net::ServerOptions sopts;
   sopts.bind_addr = addr;
   sopts.port = port;
-  net::Server server(svc, std::move(oracle), sopts);
+  net::Server server(svc, std::move(oracle), reg.get(), sopts);
+  if (use_registry) {
+    std::printf("registry enabled: max %zu tenants%s\n", max_tenants,
+                registry_bytes ? (", " + std::to_string(registry_bytes) + " bytes").c_str()
+                               : "");
+  }
   std::printf("listening on %s:%u\n", addr.c_str(), server.port());
   std::fflush(stdout);  // startup scripts parse this line for the port
 
@@ -163,6 +195,14 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
               static_cast<unsigned long long>(st.batch_errors),
               static_cast<unsigned long long>(st.protocol_errors),
               static_cast<unsigned long long>(st.replies_dropped));
+  if (use_registry) {
+    std::printf("registry: %llu oracles registered, %llu registrations failed, "
+                "%llu batches rejected busy, %zu tenants resident at shutdown\n",
+                static_cast<unsigned long long>(st.oracles_registered),
+                static_cast<unsigned long long>(st.registrations_failed),
+                static_cast<unsigned long long>(st.busy_rejected),
+                reg->tenant_count());
+  }
   return 0;
 }
 
@@ -192,6 +232,11 @@ int main(int argc, char** argv) {
   bool listen = false;
   unsigned listen_port = 0;
   std::string listen_addr = "127.0.0.1";
+  bool use_registry = false;
+  std::size_t max_tenants = 16;
+  std::size_t registry_bytes = 0;
+  std::uint64_t cache_ttl_ms = 0;
+  double refresh_ahead = 0.0;
   service::ShardBackoff backoff = service::ShardBackoff::from_env();
   service::SnapshotFormat save_format = service::SnapshotFormat::kV2;
 
@@ -255,6 +300,24 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--listen-addr") {
       listen_addr = next();
+    } else if (arg == "--registry") {
+      use_registry = true;
+    } else if (arg == "--max-tenants") {
+      max_tenants = tools::cli_u64(next(), "--max-tenants");
+      if (max_tenants == 0) {
+        std::fprintf(stderr, "error: --max-tenants must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--registry-bytes") {
+      registry_bytes = tools::cli_u64(next(), "--registry-bytes");
+    } else if (arg == "--cache-ttl-ms") {
+      cache_ttl_ms = tools::cli_u64(next(), "--cache-ttl-ms");
+    } else if (arg == "--refresh-ahead") {
+      refresh_ahead = tools::cli_double(next(), "--refresh-ahead");
+      if (refresh_ahead <= 0.0 || refresh_ahead >= 1.0) {
+        std::fprintf(stderr, "error: --refresh-ahead must be in (0, 1)\n");
+        return 2;
+      }
     } else if (arg == "--repeat") {
       repeat = tools::cli_u64(next(), "--repeat");
       if (repeat == 0) repeat = 1;
@@ -266,12 +329,21 @@ int main(int argc, char** argv) {
   }
 
   const int modes = int(!graph_path.empty()) + int(demo) + int(!snapshot_path.empty());
-  if (modes != 1) usage();
+  // A registry listener may start empty (clients register graphs over the
+  // wire); every other shape needs exactly one oracle mode.
+  if (modes != 1 && !(modes == 0 && use_registry && listen)) usage();
+  if (refresh_ahead > 0.0 && cache_ttl_ms == 0) {
+    std::fprintf(stderr, "error: --refresh-ahead needs a nonzero --cache-ttl-ms\n");
+    return 2;
+  }
 
   try {
     service::QueryService::Options svc_opts;
     svc_opts.threads = threads;
     svc_opts.cache_capacity = 4;
+    if (use_registry) svc_opts.cache_capacity = std::max<std::size_t>(max_tenants, 4);
+    svc_opts.cache_entry_ttl = std::chrono::milliseconds(cache_ttl_ms);
+    svc_opts.cache_refresh_ahead = refresh_ahead;
     if (shards >= 1) {
       if (!service::ShardRouter::supported()) {
         std::fprintf(stderr, "error: --shards needs POSIX fork + shared memory\n");
@@ -285,7 +357,10 @@ int main(int argc, char** argv) {
     std::shared_ptr<const service::Snapshot> oracle;
 
     Timer build_timer;
-    if (!snapshot_path.empty()) {
+    if (modes == 0) {
+      // Registry-only listener: no local oracle; clients register graphs
+      // over the wire and target them by digest.
+    } else if (!snapshot_path.empty()) {
       // --mmap is the zero-copy serving path: the v2 cells payload stays on
       // disk and pages in on demand, so skip its checksum at load time.
       oracle = svc.load(snapshot_path,
@@ -307,10 +382,12 @@ int main(int argc, char** argv) {
       oracle = svc.build(g, sources, cfg);
       std::printf("built oracle in %.1f ms\n", build_timer.millis());
     }
-    std::printf("oracle: n=%u m=%u sigma=%u threads=%u\n", oracle->num_vertices(),
-                oracle->num_edges(), oracle->num_sources(), svc.num_threads());
+    if (oracle != nullptr) {
+      std::printf("oracle: n=%u m=%u sigma=%u threads=%u\n", oracle->num_vertices(),
+                  oracle->num_edges(), oracle->num_sources(), svc.num_threads());
+    }
 
-    if (!save_path.empty()) {
+    if (!save_path.empty() && oracle != nullptr) {
       Timer t;
       oracle->save(save_path, save_format);
       std::printf("saved %s snapshot to %s in %.1f ms (%zu bytes)\n",
@@ -322,7 +399,8 @@ int main(int argc, char** argv) {
       // TCP front end over whatever oracle mode was selected above
       // (in-process build, mmap snapshot, sharded workers alike).
       return serve_network(svc, oracle, listen_addr,
-                           static_cast<std::uint16_t>(listen_port));
+                           static_cast<std::uint16_t>(listen_port), use_registry,
+                           max_tenants, registry_bytes);
     }
 
     std::vector<service::Query> batch;
