@@ -10,6 +10,13 @@
 //   * BM_NetPipelined/K — the same 512-query batches with K kept in
 //     flight: measures how much the request ids + completion-order replies
 //     recover the syscall/latency overhead.
+//   * BM_NetPipelinedMultiLoop/L — the BM_NetPipelined/4 workload spread
+//     over 4 connections against a server running L event loops (each
+//     with its own SO_REUSEPORT listener). L=1 prices the loop-sharding
+//     refactor itself; L>1 shows the accept/read/write fan-out on
+//     multi-core hosts (a single-core container keeps the rows flat — the
+//     one driver thread and the shared QueryService pool bound it; use
+//     msrp_client --connections for an open-loop load test).
 //   * BM_NetMultiTenant/T — 512-query pipelined batches round-robined
 //     across T wire-registered oracles on one registry server: prices the
 //     digest lookup + fair-dispatch hop against the single-tenant rows.
@@ -110,6 +117,50 @@ void BM_NetPipelined(benchmark::State& state) {
                           static_cast<std::int64_t>(kBatchSize));
 }
 BENCHMARK(BM_NetPipelined)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+void BM_NetPipelinedMultiLoop(benchmark::State& state) {
+  if (!net::Server::supported()) {
+    state.SkipWithError("epoll serving unsupported on this platform");
+    return;
+  }
+  const unsigned loops = static_cast<unsigned>(state.range(0));
+  constexpr std::size_t kConns = 4;
+  constexpr std::size_t kInflightPerConn = 4;
+  constexpr std::size_t kBatchSize = 512;
+
+  // Dedicated server per row (the shared LoopbackServer is single-loop).
+  net::ServerOptions sopts;
+  sopts.loops = loops;
+  net::Server server(net_service(), net_oracle(), sopts);
+  std::thread thread([&server] { server.run(); });
+
+  net::ClientOptions copts;
+  copts.port = server.port();
+  copts.connect_retries = 10;
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (std::size_t c = 0; c < kConns; ++c) {
+    clients.push_back(std::make_unique<net::Client>(copts));
+  }
+  const auto batch = make_batch(kBatchSize, 9);
+
+  std::size_t next = 0;
+  for (auto _ : state) {
+    for (auto& c : clients) {
+      while (c->inflight() < kInflightPerConn) c->send(batch);
+    }
+    auto got = clients[next++ % kConns]->wait_any();  // one completion/iter
+    benchmark::DoNotOptimize(got.answers.data());
+  }
+  for (auto& c : clients) {
+    while (c->inflight() > 0) c->wait_any();  // drain outside the timer
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchSize));
+  clients.clear();
+  server.shutdown();
+  thread.join();
+}
+BENCHMARK(BM_NetPipelinedMultiLoop)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 /// Registry-enabled loopback server for the multi-tenant row; separate
 /// from LoopbackServer so the single-tenant rows keep pricing the bare

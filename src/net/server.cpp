@@ -5,6 +5,7 @@
 #include <cstring>
 #include <deque>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -15,6 +16,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sched.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -24,12 +26,29 @@ namespace msrp::net {
 
 #if MSRP_HAVE_NET_SERVER
 
-/// Per-connection state; touched exclusively on the loop thread. Pool
-/// callbacks reach a Conn only through the shared_ptr their closure
-/// captured via loop_.post, and a closure arriving after the connection
-/// died sees closed == true and drops its reply.
+/// One event loop plus everything it owns: its listener (every loop has
+/// one under SO_REUSEPORT; only loop 0 in hand-off mode), its accepted
+/// connections, and its drain progress. All fields are touched exclusively
+/// on this shard's loop thread (other threads reach it via loop.post).
+struct Server::LoopShard {
+  EventLoop loop;
+  unsigned index = 0;
+  int listen_fd = -1;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  // Listener unwatched after EMFILE/ENFILE; the tick re-arms it.
+  bool accept_paused = false;
+  bool drain_started = false;
+  // Hand-off round-robin cursor (only used by the accepting loop).
+  std::size_t next_handoff = 0;
+};
+
+/// Per-connection state; touched exclusively on its home loop's thread.
+/// Pool callbacks reach a Conn only through the shared_ptr their closure
+/// captured via home->loop.post, and a closure arriving after the
+/// connection died sees closed == true and drops its reply.
 struct Server::Conn {
   int fd = -1;
+  LoopShard* home = nullptr;  // the one loop allowed to touch this Conn
   FrameDecoder decoder;
   // Output queue: encoded reply frames in write order; out_off is the
   // partially-written prefix of the front buffer.
@@ -57,6 +76,57 @@ void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   MSRP_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
              "net server: cannot make socket non-blocking");
+}
+
+/// Binds + listens one non-blocking listener. Returns -1 with `why` set on
+/// failure (REUSEPORT probing treats that as "fall back", not fatal).
+int make_listener(const std::string& bind_addr, std::uint16_t port, bool reuseport,
+                  std::string* why) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *why = "socket() failed";
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+    *why = "SO_REUSEPORT unavailable";
+    ::close(fd);
+    return -1;
+  }
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    *why = "bad bind address " + bind_addr;
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 128) != 0) {
+    *why = std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+std::uint16_t bound_port(int fd) {
+  ::sockaddr_in addr{};
+  ::socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<::sockaddr*>(&addr), &len);
+  return ntohs(addr.sin_port);
+}
+
+void pin_loop_thread(unsigned slot) {
+  unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) ncpu = 1;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(slot % ncpu, &set);
+  ::sched_setaffinity(0, sizeof(set), &set);
 }
 
 }  // namespace
@@ -94,43 +164,70 @@ Server::Server(service::QueryService& svc, std::shared_ptr<const service::Snapsh
   }
   append_hello(hello_bytes_, hello);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("net server: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  ::sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opts_.port);
-  if (::inet_pton(AF_INET, opts_.bind_addr.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    throw std::runtime_error("net server: bad bind address " + opts_.bind_addr);
+  const unsigned nloops = std::max(1u, opts_.loops);
+  loops_.reserve(nloops);
+  for (unsigned i = 0; i < nloops; ++i) {
+    loops_.push_back(std::make_unique<LoopShard>());
+    loops_[i]->index = i;
   }
-  if (::bind(listen_fd_, reinterpret_cast<::sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, 128) != 0) {
-    const std::string why = std::strerror(errno);
-    ::close(listen_fd_);
-    throw std::runtime_error("net server: cannot listen on " + opts_.bind_addr + ":" +
-                             std::to_string(opts_.port) + " (" + why + ")");
-  }
-  ::socklen_t len = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<::sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  set_nonblocking(listen_fd_);
 
-  loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t ev) { on_accept(ev); });
+  // One SO_REUSEPORT listener per loop on the shared port (the kernel then
+  // spreads accepts across them); any REUSEPORT failure falls back to a
+  // single plain listener on loop 0 with round-robin hand-off.
+  std::string why;
+  if (nloops > 1 && !opts_.force_accept_handoff) {
+    const int fd0 = make_listener(opts_.bind_addr, opts_.port, /*reuseport=*/true, &why);
+    if (fd0 >= 0) {
+      loops_[0]->listen_fd = fd0;
+      port_ = bound_port(fd0);  // resolves port 0 for the remaining binds
+      bool ok = true;
+      for (unsigned i = 1; i < nloops; ++i) {
+        const int fd = make_listener(opts_.bind_addr, port_, /*reuseport=*/true, &why);
+        if (fd < 0) {
+          ok = false;
+          break;
+        }
+        loops_[i]->listen_fd = fd;
+      }
+      if (!ok) {
+        for (auto& ls : loops_) {
+          if (ls->listen_fd >= 0) ::close(ls->listen_fd);
+          ls->listen_fd = -1;
+        }
+        port_ = 0;
+      }
+    }
+  }
+  if (loops_[0]->listen_fd < 0) {
+    handoff_mode_ = nloops > 1;
+    const int fd = make_listener(opts_.bind_addr, opts_.port, /*reuseport=*/false, &why);
+    if (fd < 0) {
+      throw std::runtime_error("net server: cannot listen on " + opts_.bind_addr + ":" +
+                               std::to_string(opts_.port) + " (" + why + ")");
+    }
+    loops_[0]->listen_fd = fd;
+    port_ = bound_port(fd);
+  }
+  for (auto& lsp : loops_) {
+    LoopShard* ls = lsp.get();
+    if (ls->listen_fd < 0) continue;
+    ls->loop.add_fd(ls->listen_fd, EPOLLIN,
+                    [this, ls](std::uint32_t ev) { on_accept(*ls, ev); });
+  }
 }
 
 Server::~Server() {
   shutdown();
   // No callback may outlive the server: each submit_batch callback posts
   // its reply and only then decrements the count, so once it reaches zero
-  // nothing can touch loop_ or the counters again.
+  // nothing can touch any loop or the counters again.
   std::unique_lock<std::mutex> lock(inflight_mu_);
   inflight_cv_.wait(lock, [this] { return inflight_total_ == 0; });
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  for (auto& [fd, conn] : conns_) {
-    if (!conn->closed) ::close(conn->fd);
+  for (auto& ls : loops_) {
+    if (ls->listen_fd >= 0) ::close(ls->listen_fd);
+    for (auto& [fd, conn] : ls->conns) {
+      if (!conn->closed) ::close(conn->fd);
+    }
   }
 }
 
@@ -139,59 +236,89 @@ std::uint32_t Server::base_events() const {
 }
 
 void Server::run() {
-  loop_.set_tick([this] { on_tick(); }, 100);
-  loop_.run();
+  // Loops 1..N-1 on their own threads, loop 0 on the caller; every loop
+  // stops itself once its own shard finishes draining.
+  std::vector<std::thread> threads;
+  threads.reserve(loops_.size() - 1);
+  for (std::size_t i = 1; i < loops_.size(); ++i) {
+    LoopShard* ls = loops_[i].get();
+    const bool pin = opts_.pin_loops;
+    threads.emplace_back([this, ls, pin] {
+      if (pin) pin_loop_thread(ls->index);
+      ls->loop.set_tick([this, ls] { on_tick(*ls); }, 100);
+      ls->loop.run();
+    });
+  }
+  if (opts_.pin_loops) pin_loop_thread(0);
+  loops_[0]->loop.set_tick([this] { on_tick(*loops_[0]); }, 100);
+  loops_[0]->loop.run();
+  for (auto& t : threads) t.join();
 }
 
 void Server::shutdown() {
-  loop_.post([this] {
-    if (draining_) return;
-    draining_ = true;
-    drain_deadline_ =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(opts_.drain_timeout_ms);
-    if (listen_fd_ >= 0) {
-      loop_.remove_fd(listen_fd_);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
-    // Stop reading new requests everywhere; flush + close what is idle.
-    // Collect first: maybe_finish_conn mutates conns_.
-    std::vector<std::shared_ptr<Conn>> all;
-    all.reserve(conns_.size());
-    for (auto& [fd, conn] : conns_) all.push_back(conn);
-    for (auto& conn : all) {
-      if (conn->reading) {
-        conn->reading = false;
-        update_epoll(conn);
-      }
-      maybe_finish_conn(conn);
-    }
-    check_drain_done();  // stops the loop once the last connection drains
-  });
-}
-
-void Server::on_tick() {
-  if (accept_paused_ && !draining_ && listen_fd_ >= 0) {
-    loop_.modify_fd(listen_fd_, EPOLLIN);  // retry accepting after fd pressure
-    accept_paused_ = false;
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    return;  // idempotent: the winner already posted the drain everywhere
   }
-  check_drain_done();
+  // Written before any loop can observe draining_ == true via its posted
+  // closure below.
+  drain_deadline_ =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(opts_.drain_timeout_ms);
+  for (auto& lsp : loops_) {
+    LoopShard* ls = lsp.get();
+    ls->loop.post([this, ls] { drain_loop(*ls); });
+  }
 }
 
-void Server::check_drain_done() {
-  if (!draining_) return;
-  if (!conns_.empty() && std::chrono::steady_clock::now() >= drain_deadline_) {
+void Server::drain_loop(LoopShard& ls) {
+  if (ls.drain_started) return;
+  ls.drain_started = true;
+  if (ls.listen_fd >= 0) {
+    ls.loop.remove_fd(ls.listen_fd);
+    ::close(ls.listen_fd);
+    ls.listen_fd = -1;
+  }
+  // Stop reading new requests everywhere; flush + close what is idle.
+  // Collect first: maybe_finish_conn mutates conns.
+  std::vector<std::shared_ptr<Conn>> all;
+  all.reserve(ls.conns.size());
+  for (auto& [fd, conn] : ls.conns) all.push_back(conn);
+  for (auto& conn : all) {
+    if (conn->reading) {
+      conn->reading = false;
+      update_epoll(conn);
+    }
+    maybe_finish_conn(conn);
+  }
+  check_drain_done(ls);  // stops this loop once its last connection drains
+}
+
+void Server::on_tick(LoopShard& ls) {
+  if (ls.accept_paused && !draining_.load(std::memory_order_acquire) &&
+      ls.listen_fd >= 0) {
+    ls.loop.modify_fd(ls.listen_fd, EPOLLIN);  // retry accepting after fd pressure
+    ls.accept_paused = false;
+  }
+  // shutdown() posts drain_loop, but a loop that was already stopped when
+  // shutdown ran (or raced the post) still drains off its tick.
+  if (draining_.load(std::memory_order_acquire) && !ls.drain_started) drain_loop(ls);
+  check_drain_done(ls);
+}
+
+void Server::check_drain_done(LoopShard& ls) {
+  if (!draining_.load(std::memory_order_acquire) || !ls.drain_started) return;
+  if (!ls.conns.empty() && std::chrono::steady_clock::now() >= drain_deadline_) {
     std::vector<std::shared_ptr<Conn>> all;
-    all.reserve(conns_.size());
-    for (auto& [fd, conn] : conns_) all.push_back(conn);
+    all.reserve(ls.conns.size());
+    for (auto& [fd, conn] : ls.conns) all.push_back(conn);
     for (auto& conn : all) close_conn(conn);  // force: replies are lost
   }
-  if (conns_.empty()) loop_.stop();
+  if (ls.conns.empty()) ls.loop.stop();
 }
 
-void Server::on_accept(std::uint32_t) {
+void Server::on_accept(LoopShard& ls, std::uint32_t) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = ::accept4(ls.listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
@@ -200,23 +327,44 @@ void Server::on_accept(std::uint32_t) {
         // triggered listener would re-fire every epoll_wait and peg the
         // loop. Stop watching it; the tick re-arms it (~100 ms) and we
         // retry once something has closed.
-        loop_.modify_fd(listen_fd_, 0);
-        accept_paused_ = true;
+        ls.loop.modify_fd(ls.listen_fd, 0);
+        ls.accept_paused = true;
         return;
       }
       return;  // transient accept failures (ECONNABORTED, ...) — keep serving
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-    auto conn = std::make_shared<Conn>(opts_.max_frame_bytes);
-    conn->fd = fd;
-    conns_.emplace(fd, conn);
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    loop_.add_fd(fd, EPOLLIN | base_events(),
-                 [this, conn](std::uint32_t ev) { on_conn_event(conn, ev); });
-    send_bytes(conn, hello_bytes_);  // copy; the template outlives everything
+    if (handoff_mode_) {
+      // Single listener: spread connections across loops round-robin. The
+      // target loop adopts the socket on its own thread, so per-loop
+      // connection ownership holds in this mode too.
+      LoopShard* target = loops_[ls.next_handoff++ % loops_.size()].get();
+      if (target != &ls) {
+        target->loop.post([this, target, fd] { adopt_conn(*target, fd); });
+        continue;
+      }
+    }
+    adopt_conn(ls, fd);
   }
+}
+
+void Server::adopt_conn(LoopShard& ls, int fd) {
+  if (draining_.load(std::memory_order_acquire)) {
+    // A handed-off socket can arrive after this loop started draining;
+    // nothing may adopt it now.
+    ::close(fd);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  auto conn = std::make_shared<Conn>(opts_.max_frame_bytes);
+  conn->fd = fd;
+  conn->home = &ls;
+  ls.conns.emplace(fd, conn);
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  ls.loop.add_fd(fd, EPOLLIN | base_events(),
+                 [this, conn](std::uint32_t ev) { on_conn_event(conn, ev); });
+  send_bytes(conn, hello_bytes_);  // copy; the template outlives everything
 }
 
 void Server::on_conn_event(const std::shared_ptr<Conn>& conn, std::uint32_t events) {
@@ -255,7 +403,8 @@ void Server::on_readable(const std::shared_ptr<Conn>& conn) {
 }
 
 bool Server::has_capacity(const Conn& conn) const {
-  return !draining_ && conn.inflight < opts_.max_inflight_batches &&
+  return !draining_.load(std::memory_order_acquire) &&
+         conn.inflight < opts_.max_inflight_batches &&
          conn.out_bytes <= opts_.output_high_water;
 }
 
@@ -396,7 +545,7 @@ void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFra
       digest, std::move(oracle), std::move(qb.queries),
       [this, conn, id, digest](service::BatchResult result) {
         if (registry_ != nullptr) registry_->note_complete(digest, result.answers.size());
-        loop_.post([this, conn, id, result = std::move(result)]() mutable {
+        conn->home->loop.post([this, conn, id, result = std::move(result)]() mutable {
           on_batch_done(conn, id, std::move(result));
         });
         std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -441,7 +590,7 @@ void Server::handle_register(const std::shared_ptr<Conn>& conn, RegisterGraphFra
   // Same delivery discipline as batches: the outcome posts to the loop
   // thread, then the gate releases.
   auto done = [this, conn, id](registry::RegisterOutcome outcome) {
-    loop_.post([this, conn, id, outcome = std::move(outcome)]() mutable {
+    conn->home->loop.post([this, conn, id, outcome = std::move(outcome)]() mutable {
       on_register_done(conn, id, std::move(outcome));
     });
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -668,7 +817,7 @@ void Server::update_epoll(const std::shared_ptr<Conn>& conn) {
   std::uint32_t events = base_events();
   if (conn->reading) events |= EPOLLIN;
   if (conn->want_write) events |= EPOLLOUT;
-  loop_.modify_fd(conn->fd, events);
+  conn->home->loop.modify_fd(conn->fd, events);
 }
 
 void Server::fail_conn(const std::shared_ptr<Conn>& conn, const std::string& message) {
@@ -691,15 +840,16 @@ void Server::fail_conn(const std::shared_ptr<Conn>& conn, const std::string& mes
 void Server::close_conn(const std::shared_ptr<Conn>& conn) {
   if (conn->closed) return;
   conn->closed = true;
-  loop_.remove_fd(conn->fd);
+  conn->home->loop.remove_fd(conn->fd);
   ::close(conn->fd);
-  conns_.erase(conn->fd);
+  conn->home->conns.erase(conn->fd);
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
-  if (draining_) check_drain_done();
+  if (draining_.load(std::memory_order_acquire)) check_drain_done(*conn->home);
 }
 
 void Server::maybe_finish_conn(const std::shared_ptr<Conn>& conn) {
-  if (draining_ && !conn->closed && conn->inflight == 0 && conn->outq.empty()) {
+  if (draining_.load(std::memory_order_acquire) && conn->home->drain_started &&
+      !conn->closed && conn->inflight == 0 && conn->outq.empty()) {
     close_conn(conn);
   }
 }
@@ -722,6 +872,7 @@ ServerStats Server::stats() const {
 #else  // !MSRP_HAVE_NET_SERVER
 
 struct Server::Conn {};
+struct Server::LoopShard {};
 
 Server::Server(service::QueryService&, std::shared_ptr<const service::Snapshot>,
                ServerOptions) {
@@ -735,7 +886,8 @@ Server::~Server() = default;
 void Server::run() {}
 void Server::shutdown() {}
 ServerStats Server::stats() const { return {}; }
-void Server::on_accept(std::uint32_t) {}
+void Server::on_accept(LoopShard&, std::uint32_t) {}
+void Server::adopt_conn(LoopShard&, int) {}
 void Server::on_conn_event(const std::shared_ptr<Conn>&, std::uint32_t) {}
 void Server::on_readable(const std::shared_ptr<Conn>&) {}
 void Server::on_writable(const std::shared_ptr<Conn>&) {}
@@ -759,8 +911,9 @@ void Server::close_conn(const std::shared_ptr<Conn>&) {}
 void Server::update_read_interest(const std::shared_ptr<Conn>&) {}
 void Server::update_epoll(const std::shared_ptr<Conn>&) {}
 void Server::maybe_finish_conn(const std::shared_ptr<Conn>&) {}
-void Server::on_tick() {}
-void Server::check_drain_done() {}
+void Server::on_tick(LoopShard&) {}
+void Server::check_drain_done(LoopShard&) {}
+void Server::drain_loop(LoopShard&) {}
 std::uint32_t Server::base_events() const { return 0; }
 
 #endif

@@ -1,21 +1,31 @@
 /// \file
 /// TCP front end over the query service: the deployable server.
 ///
-/// One Server binds one listening socket and serves one oracle through a
-/// QueryService. The threading split mirrors the async API it sits on
-/// (submit on accept, reply on completion — the handler shape PR 2's
-/// future/callback API was designed for):
+/// One Server serves one oracle (or a registry of them) through a
+/// QueryService, across ServerOptions::loops event-loop threads. The
+/// threading split mirrors the async API it sits on (submit on accept,
+/// reply on completion — the handler shape PR 2's future/callback API was
+/// designed for):
 ///
-///   * the LOOP THREAD (the caller of run(), inside an epoll EventLoop)
-///     owns every socket and all per-connection state: it accepts, reads
-///     and frame-decodes request bytes, writes reply bytes, and enforces
-///     backpressure. No locks anywhere on this path;
+///   * each LOOP THREAD (an epoll EventLoop; run() starts loops-1 extra
+///     threads and serves loop 0 on the caller) owns its accepted sockets
+///     and all their per-connection state outright: it reads and
+///     frame-decodes request bytes, writes reply bytes, and enforces
+///     backpressure. No frame decode or reply write ever crosses loops,
+///     so there are no locks anywhere on this path. With SO_REUSEPORT
+///     every loop has its own listener on the shared port and the kernel
+///     spreads accepts; where REUSEPORT is unavailable (or the test hook
+///     forces it), loop 0 accepts and hands connections off round-robin
+///     through the target loop's doorbell;
 ///   * the POOL THREADS (QueryService's workers) answer batches. A decoded
 ///     QUERY_BATCH is handed to QueryService::submit_batch with a callback;
 ///     the callback fires on a worker and posts the encoded reply back to
-///     the loop thread through the event loop's eventfd doorbell. The
-///     worker never touches a socket, the loop thread never waits on a
+///     the connection's OWN loop through that loop's eventfd doorbell. The
+///     worker never touches a socket, loop threads never wait on a
 ///     batch — each side stays at its own latency scale.
+///
+/// Registry, dispatcher, and QueryService state stay shared across loops
+/// behind their existing locks; only connection state is per-loop.
 ///
 /// Pipelining falls out of the request ids: a connection may have up to
 /// max_inflight_batches batches in the service at once, and replies go out
@@ -73,6 +83,18 @@ struct ServerOptions {
   /// Identical behaviour (handlers drain to EAGAIN either way); exposed so
   /// the loopback tests exercise both registration modes.
   bool edge_triggered = false;
+  /// Event-loop threads. Each loop gets its own SO_REUSEPORT listener on
+  /// the shared port and owns its accepted connections outright; when
+  /// REUSEPORT is unavailable, loop 0 keeps the single listener and hands
+  /// accepted sockets off round-robin. 0 is treated as 1.
+  unsigned loops = 1;
+  /// Pin loop thread i to CPU (i mod hardware_concurrency). Linux-only;
+  /// a no-op elsewhere. Note run()'s calling thread (loop 0) is pinned
+  /// too.
+  bool pin_loops = false;
+  /// Test hook: skip SO_REUSEPORT and exercise the single-listener
+  /// accept-hand-off fallback even where REUSEPORT works.
+  bool force_accept_handoff = false;
   /// How long shutdown() waits for in-flight batches to complete and their
   /// replies to flush before force-closing connections.
   unsigned drain_timeout_ms = 10000;
@@ -124,7 +146,9 @@ class Server {
   /// The port actually bound (resolves port 0).
   std::uint16_t port() const { return port_; }
 
-  /// Serves on the calling thread until shutdown() completes a drain.
+  /// Serves until shutdown() completes a drain: starts loops-1 extra
+  /// threads and runs loop 0 on the calling thread, joining the others
+  /// before returning.
   void run();
 
   /// Initiates graceful shutdown from any thread: stop accepting, let
@@ -138,8 +162,12 @@ class Server {
 
  private:
   struct Conn;
+  struct LoopShard;
 
-  void on_accept(std::uint32_t events);
+  void on_accept(LoopShard& ls, std::uint32_t events);
+  /// Registers an accepted socket with `ls` (its home loop from then on);
+  /// runs on ls's loop thread. The handoff path posts into it.
+  void adopt_conn(LoopShard& ls, int fd);
   void on_conn_event(const std::shared_ptr<Conn>& conn, std::uint32_t events);
   void on_readable(const std::shared_ptr<Conn>& conn);
   void on_writable(const std::shared_ptr<Conn>& conn);
@@ -173,8 +201,11 @@ class Server {
   /// Close-if-drained check used by the drain path.
   void maybe_finish_conn(const std::shared_ptr<Conn>& conn);
   /// Periodic work: re-arm a paused listener, police the drain deadline.
-  void on_tick();
-  void check_drain_done();
+  void on_tick(LoopShard& ls);
+  void check_drain_done(LoopShard& ls);
+  /// Loop-thread half of shutdown(): close the listener, stop reads,
+  /// flush-and-close what is idle.
+  void drain_loop(LoopShard& ls);
   std::uint32_t base_events() const;
 
   service::QueryService& svc_;
@@ -185,16 +216,19 @@ class Server {
   /// the caps then act as a global inflight bound).
   std::unique_ptr<registry::FairDispatcher> dispatcher_;
   ServerOptions opts_;
-  EventLoop loop_;
-  int listen_fd_ = -1;
+  /// One per event loop; unique_ptr keeps addresses stable (Conns point at
+  /// their home shard). Sized and wired in the constructor, before any
+  /// thread exists.
+  std::vector<std::unique_ptr<LoopShard>> loops_;
+  /// Accept-hand-off fallback active (no SO_REUSEPORT): only loop 0
+  /// listens, and hands sockets off round-robin.
+  bool handoff_mode_ = false;
   std::uint16_t port_ = 0;
   std::vector<std::uint8_t> hello_bytes_;  // encoded once, sent per accept
 
-  // Loop-thread-only connection table.
-  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
-  // Listener unwatched after EMFILE/ENFILE; the tick re-arms it.
-  bool accept_paused_ = false;
-  bool draining_ = false;
+  std::atomic<bool> draining_{false};
+  // Written once by the shutdown() call that wins the draining_ CAS,
+  // before any loop observes draining_ == true.
   std::chrono::steady_clock::time_point drain_deadline_{};
 
   // Batches inside the QueryService whose callback has not yet returned;

@@ -1,43 +1,60 @@
 /// \file
-/// Idle-wait policy for the shard router's routing loop.
+/// Idle-wait policy for the shard transport (router collector and workers).
 ///
-/// When a batch is blocked on worker responses the router polls the SPSC
-/// rings; how it waits between empty polls is a latency/CPU trade the
-/// deployment must own. Busy-spinning keeps per-query round-trips in the
-/// hundreds of nanoseconds but burns a core; sleeping frees the core but
-/// adds scheduler latency to every stall. The default (64 spin rounds,
-/// then 20 us sleeps) favours throughput; latency-sensitive deployments
-/// raise spin_rounds or set sleep_us to 0 (pure yield).
+/// When the collector is blocked on worker responses — or a worker on new
+/// requests — how it waits is a latency/CPU trade the deployment must own.
+/// Both sides spin briefly first (sub-microsecond wakeups while traffic is
+/// flowing), then park on a futex doorbell in the shared channel
+/// (util/futex.hpp): the other side rings after pushing, so an idle shard
+/// deployment burns ~0% CPU instead of waking every sleep quantum. Waits
+/// are bounded by wait_timeout_us so stop flags, orphaned supervisors, and
+/// dead workers are still noticed when a wake is lost to a crash.
 ///
 /// Defaults come from the environment so operators can tune a running
-/// binary: MSRP_SHARD_SPIN_ROUNDS and MSRP_SHARD_SLEEP_US. Explicit
-/// Options fields (or msrp_serve --shard-spin / --shard-sleep-us) win over
-/// the environment.
+/// binary: MSRP_SHARD_SPIN_ROUNDS, MSRP_SHARD_SLEEP_US,
+/// MSRP_SHARD_DOORBELL (0 disables futex parking; falls back to
+/// spin-then-sleep polling), and MSRP_SHARD_WAIT_US (futex wait bound).
+/// Explicit Options fields (or msrp_serve --shard-spin /
+/// --shard-sleep-us) win over the environment.
 #pragma once
 
 #include <cstdint>
 
 #include "util/env.hpp"
+#include "util/futex.hpp"
 
 namespace msrp::service {
 
 struct ShardBackoff {
-  /// Empty poll rounds to busy-spin before the loop starts sleeping.
+  /// Empty poll rounds to busy-spin before parking (doorbell mode) or
+  /// sleeping (polling mode).
   std::uint32_t spin_rounds = 64;
-  /// Sleep between polls once past spin_rounds, in microseconds; 0 means
-  /// yield the CPU without a timed sleep (lowest latency that still lets
-  /// same-core workers run — the right setting when router and workers
-  /// share one CPU).
+  /// Polling-mode sleep between polls once past spin_rounds, in
+  /// microseconds; 0 means yield the CPU without a timed sleep (lowest
+  /// latency that still lets same-core workers run — the right setting
+  /// when router and workers share one CPU).
   std::uint32_t sleep_us = 20;
+  /// Park on the shared-memory futex doorbells instead of timed-sleep
+  /// polling. On platforms without futex this silently degrades to the
+  /// polling behaviour (util/futex.hpp).
+  bool use_doorbell = true;
+  /// Upper bound on one doorbell park, in microseconds. Bounds how stale a
+  /// lost wake (crashed peer) can leave either side; also the cadence of
+  /// the collector's worker-death checks while stalled.
+  std::uint32_t wait_timeout_us = 10000;
 
   /// Compiled-in defaults overridden by MSRP_SHARD_SPIN_ROUNDS /
-  /// MSRP_SHARD_SLEEP_US when set.
+  /// MSRP_SHARD_SLEEP_US / MSRP_SHARD_DOORBELL / MSRP_SHARD_WAIT_US.
   static ShardBackoff from_env() {
     ShardBackoff bo;
     bo.spin_rounds = static_cast<std::uint32_t>(
         env::u64_or("MSRP_SHARD_SPIN_ROUNDS", bo.spin_rounds));
     bo.sleep_us =
         static_cast<std::uint32_t>(env::u64_or("MSRP_SHARD_SLEEP_US", bo.sleep_us));
+    bo.use_doorbell = env::u64_or("MSRP_SHARD_DOORBELL", bo.use_doorbell ? 1 : 0) != 0;
+    bo.wait_timeout_us = static_cast<std::uint32_t>(
+        env::u64_or("MSRP_SHARD_WAIT_US", bo.wait_timeout_us));
+    if (bo.wait_timeout_us == 0) bo.wait_timeout_us = 1;  // 0 would mean busy-poll
     return bo;
   }
 };

@@ -116,9 +116,13 @@ class QueryService {
     /// the router appends "--shard-worker <base>:<k>"). Empty = plain fork
     /// without exec. Only meaningful when sharding (shards >= 1).
     std::vector<std::string> shard_worker_argv = {};
-    /// Idle-wait policy of the routers' polling loop (shards >= 1);
-    /// defaults honour MSRP_SHARD_SPIN_ROUNDS / MSRP_SHARD_SLEEP_US.
+    /// Idle-wait policy of the routers' collector and (via the
+    /// environment) the workers (shards >= 1); defaults honour the
+    /// MSRP_SHARD_* knobs (see backoff.hpp).
     ShardBackoff shard_backoff = ShardBackoff::from_env();
+    /// Pin shard worker k to CPU (k mod hardware_concurrency);
+    /// Linux-only, shards >= 1.
+    bool pin_shard_workers = false;
   };
 
   QueryService() : QueryService(Options{}) {}

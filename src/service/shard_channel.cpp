@@ -20,6 +20,7 @@ ShardChannel* ShardChannel::init(void* mem, std::uint32_t capacity,
   ch->worker_state_.store(kStarting, std::memory_order_relaxed);
   ch->stop_flag_.store(0, std::memory_order_relaxed);
   ch->generation_.store(0, std::memory_order_relaxed);
+  ch->request_doorbell_.store(0, std::memory_order_relaxed);
   ch->reset_rings();
   ch->magic_ = kMagic;
   return ch;
@@ -33,6 +34,20 @@ ShardChannel* ShardChannel::adopt(void* mem, std::size_t bytes) {
                "shard channel: corrupt capacity");
   MSRP_REQUIRE(bytes >= bytes_for(ch->capacity_), "shard channel: truncated segment");
   return ch;
+}
+
+ShardDoorbell* ShardDoorbell::init(void* mem) {
+  auto* bell = new (mem) ShardDoorbell();
+  bell->seq_.store(0, std::memory_order_relaxed);
+  bell->magic_ = kMagic;
+  return bell;
+}
+
+ShardDoorbell* ShardDoorbell::adopt(void* mem, std::size_t bytes) {
+  MSRP_REQUIRE(bytes >= sizeof(ShardDoorbell), "shard doorbell: segment too small");
+  auto* bell = static_cast<ShardDoorbell*>(mem);
+  MSRP_REQUIRE(bell->magic_ == kMagic, "shard doorbell: bad magic");
+  return bell;
 }
 
 }  // namespace msrp::service

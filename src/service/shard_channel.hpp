@@ -10,11 +10,21 @@
 /// acquire/release cursor pair per direction — no CAS, no futex, no
 /// syscalls on the hot path; an idle worker backs off to short sleeps.
 ///
-/// Every request carries the caller's query index as a tag and every
-/// response echoes it, so the router can merge answers back into batch
-/// order no matter how shards interleave, and can requeue precisely the
-/// unanswered tags when a worker dies mid-batch (the supervisor then
-/// reset()s the rings before the respawned worker attaches).
+/// Every request tag carries a batch namespace in its high 32 bits and the
+/// query's batch index in the low 32 (make_tag/tag_namespace/tag_index);
+/// every response echoes it. That is what lets several batches overlap in
+/// the rings at once: the router merges completions by (namespace, index)
+/// no matter how shards or batches interleave, and can requeue precisely
+/// the unanswered tags — across all namespaces — when a worker dies
+/// mid-flight (the supervisor then reset()s the rings before the respawned
+/// worker attaches).
+///
+/// Idle waiting is doorbell-based (util/futex.hpp): request_doorbell() is
+/// bumped+woken by the supervisor after pushing requests (and on stop), so
+/// an idle worker parks in the kernel instead of sleep-polling; workers
+/// ring back through the router-global ShardDoorbell segment after pushing
+/// responses. The spin-first fast path keeps sub-µs latency while traffic
+/// flows.
 ///
 /// The slots and cursors are plain trivially-copyable data + lock-free
 /// std::atomic, so the struct can live in zero-initialized shared memory
@@ -31,7 +41,20 @@
 
 namespace msrp::service {
 
-/// One routed point query; `tag` is the index in the caller's batch.
+/// Tags are (batch namespace << 32) | batch index: the namespace names one
+/// in-flight batch, the index the query's slot within it. Batches are
+/// capped at 2^32 queries by construction.
+inline std::uint64_t make_tag(std::uint32_t ns, std::uint32_t index) {
+  return (std::uint64_t{ns} << 32) | index;
+}
+inline std::uint32_t tag_namespace(std::uint64_t tag) {
+  return static_cast<std::uint32_t>(tag >> 32);
+}
+inline std::uint32_t tag_index(std::uint64_t tag) {
+  return static_cast<std::uint32_t>(tag);
+}
+
+/// One routed point query; `tag` is make_tag(namespace, batch index).
 struct ShardRequest {
   std::uint64_t tag = 0;
   std::uint32_t si = 0;  // source index LOCAL to the shard's sub-snapshot
@@ -91,6 +114,9 @@ class ShardChannel {
   std::atomic<std::uint32_t>& stop_flag() { return stop_flag_; }
   /// Bumped by the supervisor on every respawn (observability/tests).
   std::atomic<std::uint32_t>& generation() { return generation_; }
+  /// Doorbell the supervisor rings (bump + futex wake) after pushing
+  /// requests or raising the stop flag; an idle worker parks on it.
+  std::atomic<std::uint32_t>& request_doorbell() { return request_doorbell_; }
 
   // ----- rings ------------------------------------------------------------
 
@@ -156,12 +182,37 @@ class ShardChannel {
   std::atomic<std::uint32_t> worker_state_;
   std::atomic<std::uint32_t> stop_flag_;
   std::atomic<std::uint32_t> generation_;
-  std::uint32_t pad_ = 0;
+  std::atomic<std::uint32_t> request_doorbell_;
   ShardCursor req_head_, req_tail_;    // producer: supervisor / consumer: worker
   ShardCursor resp_head_, resp_tail_;  // producer: worker / consumer: supervisor
   // Followed in the segment by ShardRequest[capacity], ShardResponse[capacity].
 };
 static_assert(std::is_trivially_destructible_v<ShardChannel>,
               "shard channels are abandoned in shared memory, never destroyed");
+
+/// Router-global completion doorbell, in its own tiny shm segment
+/// (shard_doorbell_name). Every worker bumps + wakes `seq` after pushing
+/// responses; the collector — which must wait on "any shard completed",
+/// something a per-channel word cannot express with one futex — parks here.
+/// Submitters bump it too, so a parked collector picks up new batches
+/// immediately.
+struct ShardDoorbell {
+  static constexpr std::uint64_t kMagic = 0x4c4c'45425253ull;  // "SRBELL"
+
+  static std::size_t bytes_for() { return sizeof(ShardDoorbell); }
+  /// Formats a zero-initialized segment (supervisor side, once).
+  static ShardDoorbell* init(void* mem);
+  /// Validates a mapped segment's magic (worker side).
+  static ShardDoorbell* adopt(void* mem, std::size_t bytes);
+
+  std::atomic<std::uint32_t>& seq() { return seq_; }
+
+ private:
+  std::uint64_t magic_ = 0;
+  std::atomic<std::uint32_t> seq_;
+  std::uint32_t pad_ = 0;
+};
+static_assert(std::is_trivially_destructible_v<ShardDoorbell> &&
+              std::is_trivially_copyable_v<ShardCursor>);
 
 }  // namespace msrp::service

@@ -6,8 +6,10 @@
 #include <memory>
 #include <thread>
 
+#include "service/backoff.hpp"
 #include "service/shard_channel.hpp"
 #include "service/snapshot.hpp"
+#include "util/futex.hpp"
 #include "util/shm.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -27,6 +29,8 @@ std::string shard_channel_name(const std::string& base, std::uint32_t k) {
 std::string shard_snapshot_name(const std::string& base, std::uint32_t k) {
   return base + ".s" + std::to_string(k);
 }
+
+std::string shard_doorbell_name(const std::string& base) { return base + ".d"; }
 
 namespace {
 
@@ -64,6 +68,12 @@ int run_shard_worker(const ShardWorkerConfig& cfg) {
                          /*writable=*/true);
     ShardChannel* ch = ShardChannel::adopt(chan_seg.data(), chan_seg.size());
 
+    ShmSegment bell_seg =
+        ShmSegment::open(shard_doorbell_name(cfg.base_name), /*writable=*/true);
+    ShardDoorbell* bell = ShardDoorbell::adopt(bell_seg.data(), bell_seg.size());
+
+    const ShardBackoff bo = ShardBackoff::from_env();
+
     // The snapshot image is attached zero-copy: the oracle's table spans
     // alias the read-only segment, so every worker serves the one copy the
     // supervisor placed.
@@ -76,6 +86,13 @@ int run_shard_worker(const ShardWorkerConfig& cfg) {
     const std::uint32_t sigma = oracle.num_sources();
 
     ch->worker_state().store(ShardChannel::kReady, std::memory_order_release);
+    // The supervisor may be parked on the state word (wait_worker_ready).
+    util::futex_wake_u32(ch->worker_state(), 1);
+
+    const auto ring_back = [&] {
+      bell->seq().fetch_add(1, std::memory_order_release);
+      util::futex_wake_u32(bell->seq(), 1);
+    };
 
     std::uint64_t idle_spins = 0;
     while (true) {
@@ -99,24 +116,48 @@ int run_shard_worker(const ShardWorkerConfig& cfg) {
           if (ch->stop_flag().load(std::memory_order_acquire) != 0 ||
               ((++full_spins & 1023) == 0 && !parent_alive(original_ppid))) {
             ch->worker_state().store(ShardChannel::kExited, std::memory_order_release);
+            util::futex_wake_u32(ch->worker_state(), 1);
+            ring_back();
             return 0;
           }
+          ring_back();  // remind a parked collector there is work to drain
           std::this_thread::sleep_for(std::chrono::microseconds(10));
         }
       }
+      if (worked) ring_back();
       if (ch->stop_flag().load(std::memory_order_acquire) != 0) break;
       if (worked) {
         idle_spins = 0;
         continue;
       }
-      // Idle backoff: spin briefly for latency, then sleep; check for an
-      // orphaned supervisor every ~1024 sleeps (~50 ms).
-      if (++idle_spins > 64) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (++idle_spins <= bo.spin_rounds) continue;  // spin-first fast path
+      if (bo.use_doorbell) {
+        // Park on the request doorbell: snapshot the word, re-check the
+        // real conditions (requests/stop may have landed between the empty
+        // pop above and here — the ring always precedes the futex wake on
+        // the supervisor side), then wait. The bounded timeout doubles as
+        // the orphan-check cadence, so a supervisor that died without
+        // raising stop is still noticed within one wait period.
+        const std::uint32_t seen = ch->request_doorbell().load(std::memory_order_acquire);
+        if (ch->requests_pending() == 0 &&
+            ch->stop_flag().load(std::memory_order_acquire) == 0) {
+          util::futex_wait_u32(ch->request_doorbell(), seen, bo.wait_timeout_us);
+        }
+        if (!parent_alive(original_ppid)) break;
+      } else {
+        // Polling fallback: sleep between polls; check for an orphaned
+        // supervisor every ~1024 sleeps.
+        if (bo.sleep_us == 0) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(bo.sleep_us));
+        }
         if ((idle_spins & 1023) == 0 && !parent_alive(original_ppid)) break;
       }
     }
     ch->worker_state().store(ShardChannel::kExited, std::memory_order_release);
+    util::futex_wake_u32(ch->worker_state(), 1);
+    ring_back();
     return 0;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "shard worker %s.%u: %s\n", cfg.base_name.c_str(),

@@ -32,6 +32,8 @@ struct ShardWorkerConfig {
 std::string shard_channel_name(const std::string& base, std::uint32_t k);
 /// Name of shard k's snapshot segment: "<base>.s<k>".
 std::string shard_snapshot_name(const std::string& base, std::uint32_t k);
+/// Name of the router-global completion-doorbell segment: "<base>.d".
+std::string shard_doorbell_name(const std::string& base);
 
 /// Runs a worker to completion in the calling process. Returns a process
 /// exit code (0 = clean stop). Never throws.

@@ -7,11 +7,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <deque>
 #include <stdexcept>
-#include <thread>
+#include <utility>
 
 #include "util/assert.hpp"
+#include "util/futex.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define MSRP_HAVE_FORK 1
@@ -21,15 +21,19 @@
 #else
 #define MSRP_HAVE_FORK 0
 #endif
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 namespace msrp::service {
 
 namespace {
 
-/// Death checks run every 512 no-progress rounds (~10 ms each once the
-/// router reaches its sleep backoff); after this many consecutive checks
-/// with zero progress (~30 s), a stalled shard is respawned even if its
-/// pid probes alive — the safety net against pid reuse and wedged workers.
+/// After this many consecutive no-progress death checks, a stalled shard
+/// is respawned even if its pid probes alive — the safety net against pid
+/// reuse and wedged workers. Checks run about every 10 ms once the
+/// collector is parked (each bounded doorbell wait doubles as one check),
+/// so this is ~30 s.
 constexpr std::size_t kStallChecksBeforeForcedRespawn = 3000;
 
 /// Distinct base names even when two routers are built in the same process
@@ -44,6 +48,26 @@ std::string make_base_name() {
   return "/msrp." + std::to_string(pid) + "." +
          std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
+
+/// Bump-then-wake: the bump is what a racing waiter's FUTEX_WAIT compare
+/// sees, the wake is for one already parked.
+void ring_doorbell(std::atomic<std::uint32_t>& word) {
+  word.fetch_add(1, std::memory_order_release);
+  util::futex_wake_u32(word, 1);
+}
+
+#if defined(__linux__)
+void pin_current_thread(unsigned slot) {
+  unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) ncpu = 1;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(slot % ncpu, &set);
+  ::sched_setaffinity(0, sizeof(set), &set);
+}
+#else
+void pin_current_thread(unsigned) {}
+#endif
 
 }  // namespace
 
@@ -74,10 +98,18 @@ ShardRouter::ShardRouter(const Snapshot& oracle, const ShardRouterOptions& opts)
   }
 
   shards_.resize(plan_.num_shards());
+  pending_.resize(plan_.num_shards());
+  inflight_.resize(plan_.num_shards());
   try {
+    // The doorbell segment must exist before any worker forks: workers
+    // open it unconditionally right after the channel.
+    bell_seg_ = ShmSegment::create(shard_doorbell_name(base_name_),
+                                   ShardDoorbell::bytes_for());
+    bell_ = ShardDoorbell::init(bell_seg_.data());
     for (unsigned k = 0; k < plan_.num_shards(); ++k) place_shard(oracle, k);
     for (unsigned k = 0; k < plan_.num_shards(); ++k) spawn_worker(k);
     for (unsigned k = 0; k < plan_.num_shards(); ++k) wait_worker_ready(k);
+    collector_ = std::thread(&ShardRouter::collector_main, this);
   } catch (...) {
     stop_all_workers();  // segments unlink via ~ShmSegment
     throw;
@@ -111,17 +143,27 @@ void ShardRouter::place_shard(const Snapshot& oracle, unsigned k) {
 }
 
 void ShardRouter::spawn_worker(unsigned k) {
-#if MSRP_HAVE_FORK
   Shard& sh = shards_[k];
   sh.ch->worker_state().store(ShardChannel::kStarting, std::memory_order_release);
   sh.ch->stop_flag().store(0, std::memory_order_release);
 
+  if (opts_.workers_in_process) {
+    const bool pin = opts_.pin_workers;
+    sh.thr = std::thread([this, k, pin] {
+      if (pin) pin_current_thread(k);
+      run_shard_worker({base_name_, k});
+    });
+    return;
+  }
+
+#if MSRP_HAVE_FORK
   const ::pid_t pid = ::fork();
   if (pid < 0) throw std::runtime_error("shard router: fork failed");
   if (pid == 0) {
     // Child. Either exec the configured worker binary or serve from the
     // inherited image directly. _exit (not exit) so the parent's atexit
     // hooks and static destructors never run twice.
+    if (opts_.pin_workers) pin_current_thread(k);  // affinity survives exec
     if (!opts_.worker_argv.empty()) {
       const std::string spec = base_name_ + ":" + std::to_string(k);
       std::vector<char*> argv;
@@ -139,6 +181,7 @@ void ShardRouter::spawn_worker(unsigned k) {
     }
     ::_exit(run_shard_worker({base_name_, k}));
   }
+  std::lock_guard<std::mutex> lk(mu_);
   sh.pid = static_cast<long>(pid);
 #else
   (void)k;
@@ -148,34 +191,63 @@ void ShardRouter::spawn_worker(unsigned k) {
 
 void ShardRouter::wait_worker_ready(unsigned k) {
   Shard& sh = shards_[k];
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(opts_.ready_timeout_ms);
-  while (sh.ch->worker_state().load(std::memory_order_acquire) != ShardChannel::kReady) {
-    if (worker_dead(k)) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(opts_.ready_timeout_ms);
+  // Park on the state word itself: the worker futex-wakes it when storing
+  // kReady (or kExited), so the happy path returns within microseconds of
+  // the worker coming up instead of on a polling-granularity boundary.
+  // Each park is still bounded — a worker killed before it can ring never
+  // wakes us, and the death check must keep running.
+  std::uint32_t state;
+  while ((state = sh.ch->worker_state().load(std::memory_order_acquire)) !=
+         ShardChannel::kReady) {
+    if (state == ShardChannel::kExited || worker_dead(k)) {
       throw std::runtime_error("shard router: worker " + std::to_string(k) +
                                " exited during startup");
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now > deadline) {
       throw std::runtime_error("shard router: worker " + std::to_string(k) +
                                " not ready in time");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const auto remain_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now).count() + 1);
+    util::futex_wait_u32(sh.ch->worker_state(), state,
+                         std::min<std::uint64_t>(remain_us, 10000));
   }
+  const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.ready_wait_us += static_cast<std::uint64_t>(waited.count());
 }
 
 bool ShardRouter::worker_dead(unsigned k) {
-#if MSRP_HAVE_FORK
   Shard& sh = shards_[k];
-  if (sh.pid < 0) return true;
+  if (opts_.workers_in_process) {
+    if (!sh.thr.joinable()) return true;
+    if (sh.ch->worker_state().load(std::memory_order_acquire) == ShardChannel::kExited) {
+      sh.thr.join();
+      return true;
+    }
+    return false;
+  }
+#if MSRP_HAVE_FORK
+  long pid;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pid = sh.pid;
+  }
+  if (pid < 0) return true;
   int status = 0;
-  const ::pid_t r = ::waitpid(static_cast<::pid_t>(sh.pid), &status, WNOHANG);
+  const ::pid_t r = ::waitpid(static_cast<::pid_t>(pid), &status, WNOHANG);
   if (r == 0) return false;  // still running
   if (r < 0 && errno == ECHILD) {
     // Someone else reaped our children (an embedder's SIGCHLD handler, or
     // SIG_IGN auto-reaping). Probe liveness directly — declaring a live
     // worker dead would put two consumers on one SPSC ring.
-    if (::kill(static_cast<::pid_t>(sh.pid), 0) == 0) return false;
+    if (::kill(static_cast<::pid_t>(pid), 0) == 0) return false;
   }
+  std::lock_guard<std::mutex> lk(mu_);
   sh.pid = -1;  // exited and reaped (by us or by the embedder)
   return true;
 #else
@@ -186,46 +258,94 @@ bool ShardRouter::worker_dead(unsigned k) {
 
 void ShardRouter::respawn_worker(unsigned k) {
   Shard& sh = shards_[k];
-  // Single-flight by construction: callers hold route_mu_, and worker_dead
-  // usually reaped the old pid already. The forced-respawn path (stall
-  // deadline, pid-probe fooled by reuse) arrives with pid still set — make
-  // sure no old incarnation can touch the rings we are about to reset.
+  // Single-flight by construction: only the collector thread respawns, and
+  // worker_dead usually reaped the old pid already. The forced-respawn
+  // path (stall deadline, pid-probe fooled by reuse) arrives with the pid
+  // still set — make sure no old incarnation can touch the rings we are
+  // about to reset.
+  if (opts_.workers_in_process) {
+    if (sh.thr.joinable()) {
+      // No SIGKILL for a thread: ask it to stop and wait. A wedged thread
+      // would hang here, which the test hook documents as unsupported.
+      sh.ch->stop_flag().store(1, std::memory_order_release);
+      ring_doorbell(sh.ch->request_doorbell());
+      sh.thr.join();
+    }
+  } else {
 #if MSRP_HAVE_FORK
-  if (sh.pid >= 0) {
-    ::kill(static_cast<::pid_t>(sh.pid), SIGKILL);
-    int status = 0;
-    ::waitpid(static_cast<::pid_t>(sh.pid), &status, 0);
-    sh.pid = -1;
-  }
+    long pid;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      pid = sh.pid;
+    }
+    if (pid >= 0) {
+      ::kill(static_cast<::pid_t>(pid), SIGKILL);
+      int status = 0;
+      ::waitpid(static_cast<::pid_t>(pid), &status, 0);
+      std::lock_guard<std::mutex> lk(mu_);
+      sh.pid = -1;
+    }
 #endif
+  }
   sh.ch->generation().fetch_add(1, std::memory_order_acq_rel);
   sh.ch->reset_rings();
   spawn_worker(k);
   wait_worker_ready(k);
+  std::lock_guard<std::mutex> lk(mu_);
   stats_.respawns += 1;
 }
 
 void ShardRouter::stop_all_workers() noexcept {
-#if MSRP_HAVE_FORK
+  // Stop the collector first so nothing below races it on rings or pids.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    collector_stop_ = true;
+  }
+  if (collector_.joinable()) {
+    ring_submit_bell();
+    collector_.join();
+  }
+
   for (Shard& sh : shards_) {
-    if (sh.ch != nullptr) sh.ch->stop_flag().store(1, std::memory_order_release);
+    if (sh.ch == nullptr) continue;
+    sh.ch->stop_flag().store(1, std::memory_order_release);
+    // Wake a worker parked on its request doorbell; otherwise it only
+    // notices the flag after its bounded wait times out.
+    ring_doorbell(sh.ch->request_doorbell());
+  }
+
+  if (opts_.workers_in_process) {
+    for (Shard& sh : shards_) {
+      if (sh.thr.joinable()) sh.thr.join();
+    }
+    return;
+  }
+
+#if MSRP_HAVE_FORK
+  // One shared deadline across all pids: every worker was told to stop
+  // above, so they wind down concurrently and shutdown costs ~one worker's
+  // reaction time, not the sum over shards.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  bool any_alive = true;
+  while (any_alive) {
+    any_alive = false;
+    for (Shard& sh : shards_) {
+      if (sh.pid < 0) continue;
+      int status = 0;
+      if (::waitpid(static_cast<::pid_t>(sh.pid), &status, WNOHANG) != 0) {
+        sh.pid = -1;
+      } else {
+        any_alive = true;
+      }
+    }
+    if (!any_alive || std::chrono::steady_clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   for (Shard& sh : shards_) {
     if (sh.pid < 0) continue;
-    // Give the worker ~2s to notice the stop flag, then force it.
+    ::kill(static_cast<::pid_t>(sh.pid), SIGKILL);
     int status = 0;
-    bool reaped = false;
-    for (int i = 0; i < 200; ++i) {
-      if (::waitpid(static_cast<::pid_t>(sh.pid), &status, WNOHANG) != 0) {
-        reaped = true;
-        break;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-    if (!reaped) {
-      ::kill(static_cast<::pid_t>(sh.pid), SIGKILL);
-      ::waitpid(static_cast<::pid_t>(sh.pid), &status, 0);
-    }
+    ::waitpid(static_cast<::pid_t>(sh.pid), &status, 0);
     sh.pid = -1;
   }
 #endif
@@ -234,12 +354,18 @@ void ShardRouter::stop_all_workers() noexcept {
 
 std::vector<Dist> ShardRouter::query_batch(std::span<const Query> queries) {
   const unsigned num_shards = plan_.num_shards();
+  MSRP_REQUIRE(queries.size() <= 0xffffffffull,
+               "shard router: batch exceeds the 2^32 tag-index space");
 
-  // Validate and bucket by owning shard before touching any ring. Buckets
-  // keep batch order within a shard; tags are batch indices, so the merge
-  // is a plain indexed store.
-  std::vector<std::deque<std::uint32_t>> pending(num_shards);
-  std::vector<std::uint32_t> local_si(queries.size());
+  // Validate and bucket by owning shard before involving the collector.
+  // Buckets keep batch order within a shard; tag indices are batch
+  // indices, so the merge is a plain indexed store.
+  Batch b;
+  b.queries = queries;
+  b.local_si.resize(queries.size());
+  b.buckets.resize(num_shards);
+  b.out.resize(queries.size());
+  b.remaining = queries.size();
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const Query& q = queries[i];
     MSRP_REQUIRE(q.s < n_ && source_index_[q.s] >= 0,
@@ -247,144 +373,245 @@ std::vector<Dist> ShardRouter::query_batch(std::span<const Query> queries) {
     MSRP_REQUIRE(q.t < n_, "query target out of range");
     MSRP_REQUIRE(q.e < m_, "query edge out of range");
     const auto si = static_cast<std::uint32_t>(source_index_[q.s]);
-    pending[plan_.shard_of(si)].push_back(static_cast<std::uint32_t>(i));
-    local_si[i] = plan_.local_index(si);
+    b.buckets[plan_.shard_of(si)].push_back(static_cast<std::uint32_t>(i));
+    b.local_si[i] = plan_.local_index(si);
   }
 
-  std::vector<Dist> out(queries.size());
-  std::size_t remaining = queries.size();
-
-  std::lock_guard<std::mutex> route_lock(route_mu_);
-  if (poisoned_) {
-    throw std::runtime_error(
-        "shard router: poisoned by an earlier unrecoverable worker failure; "
-        "destroy and recreate it");
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (poisoned_) {
+      throw std::runtime_error(
+          "shard router: poisoned by an earlier unrecoverable worker failure; "
+          "destroy and recreate it");
+    }
+    if (queries.empty()) {
+      stats_.batches_routed += 1;
+      return {};
+    }
+    submitted_.push_back(&b);
   }
-  // Tags pushed to shard k's ring and not yet answered, oldest first. The
-  // worker answers in FIFO order, but requeue-after-respawn makes strict
-  // FIFO matching too brittle to assert — the merge is tag-indexed anyway.
-  std::vector<std::deque<std::uint32_t>> inflight(num_shards);
+  ring_submit_bell();
 
-  try {
-    std::size_t idle_rounds = 0;
-    std::size_t stalled_checks = 0;  // consecutive death checks with no progress
-    while (remaining > 0) {
-      bool progress = false;
-      for (unsigned k = 0; k < num_shards; ++k) {
-        Shard& sh = shards_[k];
-        ShardResponse resp;
-        while (sh.ch->try_pop_response(resp)) {
-          const auto qi = static_cast<std::uint32_t>(resp.tag);
-          MSRP_CHECK(qi < out.size(), "shard router: response tag out of range");
-          out[qi] = resp.answer;
-          --remaining;
-          progress = true;
-          auto& fl = inflight[k];
-          if (!fl.empty() && fl.front() == qi) {
-            fl.pop_front();
-          } else {
-            const auto it = std::find(fl.begin(), fl.end(), qi);
-            MSRP_CHECK(it != fl.end(), "shard router: response for unknown tag");
-            fl.erase(it);
-          }
-        }
-        while (!pending[k].empty()) {
-          const std::uint32_t qi = pending[k].front();
-          const Query& q = queries[qi];
-          if (!sh.ch->try_push_request({qi, local_si[qi], q.t, q.e, 0})) break;
-          pending[k].pop_front();
-          inflight[k].push_back(qi);
-          progress = true;
-        }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return b.done; });
+  }
+  if (!b.error.empty()) throw std::runtime_error("shard router: " + b.error);
+  return std::move(b.out);
+}
+
+void ShardRouter::ring_submit_bell() { ring_doorbell(bell_->seq()); }
+
+void ShardRouter::collector_main() {
+  std::size_t idle_rounds = 0;
+  std::size_t stalled_checks = 0;  // consecutive death checks with no progress
+  bool stop = false;
+  while (true) {
+    // Snapshot the bell BEFORE polling: any ring that lands after this
+    // load makes the futex wait below return immediately, so a wake
+    // between "saw nothing to do" and "parked" is never lost.
+    const std::uint32_t seen = bell_->seq().load(std::memory_order_acquire);
+    try {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop = collector_stop_;
       }
-      if (progress) {
+      if (collector_poll()) {
         idle_rounds = 0;
         stalled_checks = 0;
         continue;
       }
-      // No progress: spin briefly for latency, then back off per
-      // opts_.backoff (see backoff.hpp for the env knobs), and periodically
-      // check whether a stalled shard's worker died under us. A shard that
-      // answers nothing for the whole stall deadline is respawned even if
-      // the pid still looks alive — waitpid/kill(pid, 0) can be fooled by
-      // an embedder auto-reaping children plus pid reuse, and a wedged
-      // worker is as gone as a dead one (respawn SIGKILLs the pid first).
+      if (stop) break;
+
       ++idle_rounds;
-      if (idle_rounds % 512 == 0) {
+      const bool parked_phase = idle_rounds > opts_.backoff.spin_rounds;
+      // Death checks cost a waitpid per outstanding shard, so pace them to
+      // ~10 ms: in doorbell mode every parked round IS one bounded wait;
+      // in polling mode every 512 sleeps.
+      const bool check_now = parked_phase && opts_.backoff.use_doorbell
+                                 ? true
+                                 : (idle_rounds % 512 == 0);
+      if (check_now && !active_.empty()) {
         ++stalled_checks;
-        for (unsigned k = 0; k < num_shards; ++k) {
-          if (inflight[k].empty() && pending[k].empty()) continue;
+        for (unsigned k = 0; k < shards_.size(); ++k) {
+          if (pending_[k].empty() && inflight_[k].empty()) continue;
+          // A shard that answers nothing for the whole stall deadline is
+          // respawned even if the pid still looks alive — waitpid or
+          // kill(pid, 0) can be fooled by an embedder auto-reaping
+          // children plus pid reuse, and a wedged worker is as gone as a
+          // dead one (respawn SIGKILLs the pid first).
           if (!worker_dead(k) && stalled_checks < kStallChecksBeforeForcedRespawn) {
             continue;
           }
-          // Requeue everything the dead worker still owed us (front of the
-          // line, preserving order), reset the rings, and bring up a fresh
-          // worker against the already-placed snapshot segment.
-          auto& fl = inflight[k];
-          for (auto it = fl.rbegin(); it != fl.rend(); ++it) pending[k].push_front(*it);
-          fl.clear();
+          requeue_inflight(k);
           respawn_worker(k);
           stalled_checks = 0;
         }
       }
-      if (idle_rounds > opts_.backoff.spin_rounds) {
-        if (opts_.backoff.sleep_us == 0) {
+      if (parked_phase) {
+        if (opts_.backoff.use_doorbell) {
+          util::futex_wait_u32(bell_->seq(), seen, opts_.backoff.wait_timeout_us);
+        } else if (opts_.backoff.sleep_us == 0) {
           std::this_thread::yield();
         } else {
           std::this_thread::sleep_for(std::chrono::microseconds(opts_.backoff.sleep_us));
         }
       }
+    } catch (const std::exception& ex) {
+      // A respawn failure or ring-invariant breach would otherwise strand
+      // tags in the rings and mis-merge every later batch. Fail the
+      // in-flight batches, restore clean rings + workers; if even that
+      // fails the router is poisoned and callers fail fast.
+      recover_after_error(ex.what());
+      idle_rounds = 0;
+      stalled_checks = 0;
+    } catch (...) {
+      recover_after_error("unknown collector failure");
+      idle_rounds = 0;
+      stalled_checks = 0;
     }
-  } catch (...) {
-    // An escaping exception (respawn failure, ring-invariant breach) would
-    // otherwise strand this batch's requests/responses in the rings and
-    // poison every later batch with stale tags. Restore the rings to empty
-    // with fresh workers; if that fails too, flag the router unusable.
-    recover_after_error();
-    throw;
   }
-
-  stats_.queries_routed += queries.size();
-  return out;
+  // Destruction with callers still blocked is a caller bug, but leave no
+  // thread waiting forever.
+  fail_all_batches("router destroyed with batches in flight");
 }
 
-void ShardRouter::recover_after_error() noexcept {
-#if MSRP_HAVE_FORK
+bool ShardRouter::drain_submissions() {
+  std::deque<Batch*> fresh;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fresh.swap(submitted_);
+  }
+  if (fresh.empty()) return false;
+  for (Batch* b : fresh) {
+    do {
+      b->ns = next_ns_++;
+    } while (active_.count(b->ns) != 0);  // 2^32 wrap vs a still-live batch
+    active_.emplace(b->ns, b);
+    for (unsigned k = 0; k < shards_.size(); ++k) {
+      for (std::uint32_t qi : b->buckets[k]) pending_[k].push_back({b, qi});
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.peak_inflight_batches =
+      std::max<std::uint64_t>(stats_.peak_inflight_batches, active_.size());
+  return true;
+}
+
+bool ShardRouter::collector_poll() {
+  bool progress = drain_submissions();
+
   for (unsigned k = 0; k < shards_.size(); ++k) {
     Shard& sh = shards_[k];
-    try {
-      if (sh.pid >= 0) {
-        ::kill(static_cast<::pid_t>(sh.pid), SIGKILL);
-        int status = 0;
-        ::waitpid(static_cast<::pid_t>(sh.pid), &status, 0);
-        sh.pid = -1;
+    ShardResponse resp;
+    while (sh.ch->try_pop_response(resp)) {
+      progress = true;
+      const std::uint32_t ns = tag_namespace(resp.tag);
+      const std::uint32_t qi = tag_index(resp.tag);
+      const auto it = active_.find(ns);
+      MSRP_CHECK(it != active_.end(), "shard router: response for unknown namespace");
+      Batch* b = it->second;
+      MSRP_CHECK(qi < b->out.size(), "shard router: response tag out of range");
+      b->out[qi] = resp.answer;
+      --b->remaining;
+      auto& fl = inflight_[k];
+      if (!fl.empty() && fl.front().b == b && fl.front().qi == qi) {
+        fl.pop_front();
+      } else {
+        const auto fit = std::find_if(fl.begin(), fl.end(), [&](const Entry& e) {
+          return e.b == b && e.qi == qi;
+        });
+        MSRP_CHECK(fit != fl.end(), "shard router: response for unknown tag");
+        fl.erase(fit);
       }
-      sh.ch->generation().fetch_add(1, std::memory_order_acq_rel);
-      sh.ch->reset_rings();
-      spawn_worker(k);
-      wait_worker_ready(k);
+      if (b->remaining == 0) {
+        active_.erase(ns);
+        std::lock_guard<std::mutex> lk(mu_);
+        b->done = true;
+        stats_.queries_routed += b->queries.size();
+        stats_.batches_routed += 1;
+        done_cv_.notify_all();
+      }
+    }
+
+    bool pushed = false;
+    auto& pq = pending_[k];
+    while (!pq.empty()) {
+      const Entry e = pq.front();
+      const Query& q = e.b->queries[e.qi];
+      if (!sh.ch->try_push_request(
+              {make_tag(e.b->ns, e.qi), e.b->local_si[e.qi], q.t, q.e, 0})) {
+        break;  // ring full; retry after the worker drains
+      }
+      pq.pop_front();
+      inflight_[k].push_back(e);
+      pushed = true;
+      progress = true;
+    }
+    if (pushed) ring_doorbell(sh.ch->request_doorbell());
+  }
+  return progress;
+}
+
+void ShardRouter::requeue_inflight(unsigned k) {
+  // Requeue everything the dead worker still owed — across every batch
+  // namespace — at the front of the line, preserving order; the rings are
+  // reset before the fresh worker attaches, so no tag is lost or doubled.
+  auto& fl = inflight_[k];
+  for (auto it = fl.rbegin(); it != fl.rend(); ++it) pending_[k].push_front(*it);
+  fl.clear();
+}
+
+void ShardRouter::fail_all_batches(const std::string& why) {
+  std::vector<Batch*> victims;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Batch* b : submitted_) victims.push_back(b);
+    submitted_.clear();
+  }
+  for (auto& [ns, b] : active_) victims.push_back(b);
+  active_.clear();
+  for (auto& pq : pending_) pq.clear();
+  for (auto& fl : inflight_) fl.clear();
+  if (victims.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Batch* b : victims) {
+    b->error = why;
+    b->done = true;
+  }
+  done_cv_.notify_all();
+}
+
+void ShardRouter::recover_after_error(const std::string& why) noexcept {
+  try {
+    fail_all_batches("unrecoverable failure mid-batch: " + why);
+  } catch (...) {
+  }
+  for (unsigned k = 0; k < shards_.size(); ++k) {
+    try {
+      respawn_worker(k);
     } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
       poisoned_ = true;
     }
   }
-#else
-  poisoned_ = true;
-#endif
 }
 
 ShardRouterStats ShardRouter::stats() const {
-  std::lock_guard<std::mutex> lock(route_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }
 
 long ShardRouter::worker_pid(unsigned k) const {
   MSRP_REQUIRE(k < shards_.size(), "shard router: shard index out of range");
+  std::lock_guard<std::mutex> lock(mu_);
   return shards_[k].pid;
 }
 
 std::vector<std::string> ShardRouter::segment_names() const {
   std::vector<std::string> names;
-  names.reserve(2 * shards_.size());
+  names.reserve(2 * shards_.size() + 1);
+  names.push_back(shard_doorbell_name(base_name_));
   for (unsigned k = 0; k < shards_.size(); ++k) {
     names.push_back(shard_snapshot_name(base_name_, k));
     names.push_back(shard_channel_name(base_name_, k));

@@ -8,8 +8,10 @@
 // differential matrix, scalable via MSRP_FUZZ_TENANTS), digest-targeted
 // batches, BUSY admission rejections, unregister lifecycles,
 // resend-on-reconnect across a server restart, and adversarial registry
-// frames. Runs under TSan in CI (loop thread vs pool callbacks vs client
-// threads).
+// frames. Multi-loop coverage: SO_REUSEPORT listeners and the
+// accept-hand-off fallback serve identically, drain on shutdown, and a
+// peer RST mid-reply never raises SIGPIPE. Runs under TSan in CI (loop
+// threads vs pool callbacks vs client threads).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -707,6 +709,128 @@ TEST(NetServer, DrainCompletesPromptlyWhenOutputFlushesLate) {
   EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(8));
 }
 
+// ----------------------------------------------------- multi-loop accept ---
+
+TEST(NetServerMultiLoop, ReuseportLoopsServeConcurrentClientsIdentically) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  net::ServerOptions sopts;
+  sopts.loops = 3;  // all three listeners share the ephemeral port
+  TestServer ts(fx.svc, fx.oracle, sopts);
+
+  constexpr unsigned kClients = 6;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        net::Client client(ts.client_options());
+        for (int round = 0; round < 4; ++round) {
+          const auto queries = fx.random_queries(400, 3000 + 31 * c + round);
+          const auto want = fx.svc.query_batch(*fx.oracle, queries);
+          if (client.query_batch(queries) != want) {
+            errors[c] = "answer mismatch";
+            return;
+          }
+        }
+      } catch (const std::exception& ex) {
+        errors[c] = ex.what();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (unsigned c = 0; c < kClients; ++c) EXPECT_EQ(errors[c], "") << "client " << c;
+  const net::ServerStats st = ts.server.stats();
+  EXPECT_EQ(st.connections_accepted, kClients);
+  EXPECT_EQ(st.batches_received, kClients * 4u);
+  EXPECT_EQ(st.protocol_errors, 0u);
+}
+
+TEST(NetServerMultiLoop, AcceptHandoffFallbackServesIdentically) {
+  // force_accept_handoff: loop 0 owns the only listener and posts accepted
+  // sockets to the other loops round-robin — the code path platforms
+  // without SO_REUSEPORT always take. With 3 loops and 6 clients every
+  // loop adopts handed-off connections.
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  net::ServerOptions sopts;
+  sopts.loops = 3;
+  sopts.force_accept_handoff = true;
+  TestServer ts(fx.svc, fx.oracle, sopts);
+
+  constexpr unsigned kClients = 6;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        net::Client client(ts.client_options());
+        // Pipeline a few batches so handed-off connections exercise the
+        // full submit/complete path, not just one round trip.
+        std::vector<std::vector<Query>> batches;
+        std::vector<std::uint64_t> ids;
+        for (std::size_t b = 0; b < 3; ++b) {
+          batches.push_back(fx.random_queries(250, 4000 + 13 * c + b));
+          ids.push_back(client.send(batches[b]));
+        }
+        for (std::size_t b = 0; b < 3; ++b) {
+          if (client.wait(ids[b]) != fx.svc.query_batch(*fx.oracle, batches[b])) {
+            errors[c] = "answer mismatch";
+            return;
+          }
+        }
+      } catch (const std::exception& ex) {
+        errors[c] = ex.what();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (unsigned c = 0; c < kClients; ++c) EXPECT_EQ(errors[c], "") << "client " << c;
+  EXPECT_EQ(ts.server.stats().connections_accepted, kClients);
+}
+
+TEST(NetServerMultiLoop, GracefulShutdownDrainsEveryLoop) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  net::ServerOptions sopts;
+  sopts.loops = 2;
+  auto ts = std::make_unique<TestServer>(fx.svc, fx.oracle, sopts);
+
+  // Batches in flight on connections owned by different loops when
+  // shutdown lands: every loop must observe the drain and still flush
+  // every reply before run() returns.
+  constexpr unsigned kClients = 4;
+  std::vector<std::unique_ptr<net::Client>> clients;
+  std::vector<std::vector<Query>> batches;
+  std::vector<std::uint64_t> ids;
+  for (unsigned c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<net::Client>(ts->client_options()));
+    batches.push_back(fx.random_queries(2000, 5000 + c));
+    ids.push_back(clients[c]->send(batches[c]));
+  }
+  while (ts->server.stats().batches_received < kClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ts->server.shutdown();
+  for (unsigned c = 0; c < kClients; ++c) {
+    EXPECT_EQ(clients[c]->wait(ids[c]), fx.svc.query_batch(*fx.oracle, batches[c]))
+        << "client " << c;
+  }
+  ts.reset();  // joins every loop thread; hangs here if one missed the drain
+}
+
+TEST(NetServerMultiLoop, EdgeTriggeredMultiLoopServesIdentically) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  net::ServerOptions sopts;
+  sopts.loops = 2;
+  sopts.edge_triggered = true;
+  TestServer ts(fx.svc, fx.oracle, sopts);
+  net::Client client(ts.client_options());
+  const std::vector<Query> queries = fx.random_queries(2000, 11);
+  EXPECT_EQ(client.query_batch(queries), fx.svc.query_batch(*fx.oracle, queries));
+}
+
 // --------------------------------------- multi-tenant registry (v2) ---
 
 /// Registry-enabled server on an ephemeral port. The registry member is
@@ -1159,6 +1283,39 @@ TEST(NetServer, NonBatchFrameFromClientIsRejected) {
   ASSERT_EQ(frames.size(), 2u);
   EXPECT_EQ(frames[1].type, FrameType::kError);
   EXPECT_EQ(net::decode_error(frames[1].payload).request_id, 0u);
+}
+
+TEST(NetServer, PeerResetMidReplyDoesNotKillServer) {
+  // SIGPIPE regression test. A client that sends a batch and then
+  // hard-resets its socket (SO_LINGER 0 → RST) leaves the server writing a
+  // large reply into a dead connection. Every server write uses
+  // MSG_NOSIGNAL, so that must surface as a failed send and a closed
+  // connection — never a SIGPIPE that kills the process. If the guard
+  // regresses, this whole test binary dies here.
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  {
+    RawConn raw(ts.server.port());
+    // A batch whose reply far exceeds the socket buffers, so the server is
+    // still sending when the RST lands.
+    std::vector<std::uint8_t> bytes;
+    net::append_query_batch(bytes, 1, fx.random_queries(500'000, 12));
+    raw.send(bytes);
+    while (ts.server.stats().batches_received == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ::linger lg{1, 0};  // close() sends RST instead of FIN
+    ASSERT_EQ(::setsockopt(raw.fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg), 0);
+  }
+  // The server must still be alive and serving.
+  while (ts.server.stats().connections_closed == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  net::Client client(ts.client_options());
+  const std::vector<Query> queries = fx.random_queries(300, 13);
+  EXPECT_EQ(client.query_batch(queries), fx.svc.query_batch(*fx.oracle, queries));
+  EXPECT_EQ(ts.server.stats().protocol_errors, 0u);
 }
 
 TEST(NetRegistry, TruncatedRegisterUploadLeavesNoTenantBehind) {

@@ -7,8 +7,10 @@
 // Release matrix runs them.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "baseline/baselines.hpp"
@@ -217,7 +219,7 @@ TEST(ShardRouterTest, UnlinksSegmentsOnDestruction) {
     opts.shards = 3;
     ShardRouter router(oracle, opts);
     names = router.segment_names();
-    ASSERT_EQ(names.size(), 6u);  // snapshot + channel per shard
+    ASSERT_EQ(names.size(), 7u);  // snapshot + channel per shard, one doorbell
     for (const auto& name : names) {
       EXPECT_TRUE(ShmSegment::exists(name)) << name;
     }
@@ -226,6 +228,107 @@ TEST(ShardRouterTest, UnlinksSegmentsOnDestruction) {
   }
   for (const auto& name : names) {
     EXPECT_FALSE(ShmSegment::exists(name)) << name << " leaked";
+  }
+}
+
+TEST(ShardRouterTest, StartupWaitIsFutexPromptNotPollingGranular) {
+  // The ready wait parks on the worker-state futex and is woken the moment
+  // the worker flags itself, so the time blocked in wait_worker_ready is
+  // genuine worker startup (fork + shm attach), not sleep-poll quanta. A
+  // generous ceiling still catches a regression to coarse polling: the old
+  // 1 ms-granularity loop on a loaded machine drifted toward tens of ms
+  // per shard; real startup of 4 tiny shards stays far below the bound.
+  const Snapshot oracle = demo_snapshot(80, 4, 37);
+  ShardRouterOptions opts;
+  opts.shards = 4;
+  ShardRouter router(oracle, opts);
+  const auto st = router.stats();
+  EXPECT_LT(st.ready_wait_us, 2'000'000u) << "ready wait looks poll-bound";
+  EXPECT_EQ(st.respawns, 0u);
+}
+
+TEST(ShardRouterTest, ConcurrentBatchesOverlapAndMatchInProcess) {
+  // The pipelined router must let M concurrent batches share the rings
+  // under distinct tag namespaces and still merge each one bit-identically
+  // to the in-process service. peak_inflight_batches > 1 pins down that
+  // they really overlapped rather than serializing.
+  service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+  Rng rng(0xA11CE);
+  const Graph g = gen::connected_avg_degree(140, 6.0, rng);
+  const std::vector<Vertex> sources{0, 35, 70, 105};
+  const auto oracle = svc.build(g, sources);
+
+  constexpr int kBatches = 6;
+  std::vector<std::vector<Query>> queries(kBatches);
+  std::vector<std::vector<Dist>> want(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    queries[b] = random_queries(*oracle, 1500, 41 + b);
+    want[b] = svc.query_batch(*oracle, queries[b]);
+  }
+
+  ShardRouterOptions opts;
+  opts.shards = 2;
+  opts.ring_capacity = 64;  // small rings force real interleaving
+  ShardRouter router(*oracle, opts);
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Dist>> got(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    threads.emplace_back([&, b] { got[b] = router.query_batch(queries[b]); });
+  }
+  for (auto& t : threads) t.join();
+  for (int b = 0; b < kBatches; ++b) {
+    EXPECT_EQ(got[b], want[b]) << "batch " << b;
+  }
+  const auto st = router.stats();
+  EXPECT_EQ(st.batches_routed, static_cast<std::uint64_t>(kBatches));
+  EXPECT_EQ(st.queries_routed, std::uint64_t{kBatches} * 1500u);
+  EXPECT_GT(st.peak_inflight_batches, 1u) << "batches serialized, not pipelined";
+}
+
+TEST(ShardRouterTest, KillMidPipelineRespawnsAndAnswersAllBatches) {
+  // Kill a worker while several batches are in flight: the respawn must
+  // requeue the unanswered tags of every namespace, and all batches must
+  // complete with answers identical to the in-process service.
+  service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+  Rng rng(0xD1E);
+  const Graph g = gen::connected_avg_degree(140, 6.0, rng);
+  const std::vector<Vertex> sources{0, 35, 70, 105};
+  const auto oracle = svc.build(g, sources);
+
+  constexpr int kBatches = 4;
+  std::vector<std::vector<Query>> queries(kBatches);
+  std::vector<std::vector<Dist>> want(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    queries[b] = random_queries(*oracle, 4000, 53 + b);
+    want[b] = svc.query_batch(*oracle, queries[b]);
+  }
+
+  ShardRouterOptions opts;
+  opts.shards = 2;
+  opts.ring_capacity = 64;
+  ShardRouter router(*oracle, opts);
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Dist>> got(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    threads.emplace_back([&, b] { got[b] = router.query_batch(queries[b]); });
+  }
+  // Let the pipeline get going, then kill one worker under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const long victim = router.worker_pid(1);
+  if (victim > 0) ::kill(static_cast<pid_t>(victim), SIGKILL);
+  for (auto& t : threads) t.join();
+
+  for (int b = 0; b < kBatches; ++b) {
+    EXPECT_EQ(got[b], want[b]) << "batch " << b;
+  }
+  if (victim > 0) {
+    // If every batch drained before the SIGKILL landed, the death goes
+    // unnoticed until more work arrives; one more batch forces detection.
+    EXPECT_EQ(router.query_batch(queries[0]), want[0]);
+    EXPECT_GE(router.stats().respawns, 1u);
+    EXPECT_NE(router.worker_pid(1), victim);
   }
 }
 

@@ -49,6 +49,7 @@
 //   --list                 print the server's resident oracles and exit
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -130,6 +131,11 @@ double percentile(std::vector<double>& sorted, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The client library sends with MSG_NOSIGNAL, but a server vanishing
+  // between poll and send must never kill the tool either way.
+#ifndef _WIN32
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   std::string connect, batch_path, out_path, register_path;
   std::vector<Vertex> reg_sources;
   std::optional<std::uint64_t> build_seed;

@@ -43,6 +43,13 @@
 //                          printed). Composes with every oracle mode —
 //                          --build, --load-snapshot [--mmap], --shards N.
 //   --listen-addr <ip>     bind address (default 127.0.0.1)
+//   --loops N              event-loop threads; each gets its own
+//                          SO_REUSEPORT listener on the shared port (or
+//                          round-robin accept hand-off where REUSEPORT is
+//                          unavailable). Default 1.
+//   --pin-workers          pin event-loop threads and shard worker
+//                          processes to CPUs (thread/worker k -> CPU k mod
+//                          hardware_concurrency); Linux-only
 //   --registry             multi-tenant mode: clients register graphs over
 //                          the wire (protocol v2) and target them by
 //                          digest. Works with or without a local oracle
@@ -111,7 +118,8 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
                "         [--batch-file <path> | --random-queries N]\n"
                "         [--threads N] [--repeat K] [--async] [--shards N]\n"
                "         [--shard-spin N] [--shard-sleep-us N]\n"
-               "         [--listen <port>] [--listen-addr <ip>]\n"
+               "         [--listen <port>] [--listen-addr <ip>] [--loops N]\n"
+               "         [--pin-workers]\n"
                "         [--registry] [--max-tenants N] [--registry-bytes N]\n"
                "         [--cache-ttl-ms N] [--refresh-ahead X]\n"
                "         [--out <path>]\n"
@@ -134,8 +142,9 @@ void on_signal(int) { g_stop = 1; }
 
 /// Runs the TCP front end until a signal arrives, then drains and reports.
 int serve_network(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
-                  const std::string& addr, std::uint16_t port, bool use_registry,
-                  std::size_t max_tenants, std::size_t registry_bytes) {
+                  const std::string& addr, std::uint16_t port, unsigned loops,
+                  bool pin_loops, bool use_registry, std::size_t max_tenants,
+                  std::size_t registry_bytes) {
   if (!net::Server::supported()) {
     std::fprintf(stderr, "error: --listen needs epoll (Linux)\n");
     return 1;
@@ -152,7 +161,10 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
   net::ServerOptions sopts;
   sopts.bind_addr = addr;
   sopts.port = port;
+  sopts.loops = loops;
+  sopts.pin_loops = pin_loops;
   net::Server server(svc, std::move(oracle), reg.get(), sopts);
+  if (loops > 1) std::printf("event loops: %u\n", loops);
   if (use_registry) {
     std::printf("registry enabled: max %zu tenants%s\n", max_tenants,
                 registry_bytes ? (", " + std::to_string(registry_bytes) + " bytes").c_str()
@@ -209,6 +221,12 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A peer closing its socket mid-reply must surface as EPIPE from the
+  // write, not kill the process. Applies to every mode (server loops,
+  // shard supervisors, workers) — set before anything can write a socket.
+#ifndef _WIN32
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   // Shard-worker mode first: the supervisor execs this binary with only the
   // worker spec, and the worker must never parse (or require) serving flags.
   for (int i = 1; i < argc; ++i) {
@@ -232,6 +250,8 @@ int main(int argc, char** argv) {
   bool listen = false;
   unsigned listen_port = 0;
   std::string listen_addr = "127.0.0.1";
+  unsigned loops = 1;
+  bool pin_workers = false;
   bool use_registry = false;
   std::size_t max_tenants = 16;
   std::size_t registry_bytes = 0;
@@ -300,6 +320,11 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--listen-addr") {
       listen_addr = next();
+    } else if (arg == "--loops") {
+      loops = static_cast<unsigned>(tools::cli_u64(next(), "--loops"));
+      if (loops == 0) loops = 1;
+    } else if (arg == "--pin-workers") {
+      pin_workers = true;
     } else if (arg == "--registry") {
       use_registry = true;
     } else if (arg == "--max-tenants") {
@@ -352,6 +377,7 @@ int main(int argc, char** argv) {
       svc_opts.shards = shards;
       svc_opts.shard_worker_argv = {argv[0]};  // workers exec this binary
       svc_opts.shard_backoff = backoff;
+      svc_opts.pin_shard_workers = pin_workers;
     }
     service::QueryService svc(svc_opts);
     std::shared_ptr<const service::Snapshot> oracle;
@@ -399,8 +425,8 @@ int main(int argc, char** argv) {
       // TCP front end over whatever oracle mode was selected above
       // (in-process build, mmap snapshot, sharded workers alike).
       return serve_network(svc, oracle, listen_addr,
-                           static_cast<std::uint16_t>(listen_port), use_registry,
-                           max_tenants, registry_bytes);
+                           static_cast<std::uint16_t>(listen_port), loops, pin_workers,
+                           use_registry, max_tenants, registry_bytes);
     }
 
     std::vector<service::Query> batch;
