@@ -9,6 +9,8 @@
 
 #include "core/config.hpp"
 #include "util/assert.hpp"
+#include "util/deadline.hpp"
+#include "util/failpoint.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define MSRP_HAVE_SOCKETS 1
@@ -24,6 +26,26 @@
 #endif
 
 namespace msrp::net {
+
+std::chrono::milliseconds RetryPolicy::backoff_for(unsigned attempt) const {
+  if (attempt == 0) return std::chrono::milliseconds(0);
+  double ms = static_cast<double>(initial_backoff_ms);
+  for (unsigned i = 1; i < attempt; ++i) ms *= multiplier;
+  ms = std::min(ms, static_cast<double>(max_backoff_ms));
+  if (jitter > 0.0) {
+    // splitmix64-style hash of (seed, attempt): deterministic jitter, so a
+    // pinned seed gives a reproducible schedule while distinct clients
+    // (distinct seeds) still decorrelate their retries.
+    std::uint64_t h = seed + 0x9e3779b97f4a7c15ull * (attempt + 1);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    const double unit = static_cast<double>(h % 10000) / 10000.0;  // [0, 1)
+    ms *= 1.0 + jitter * (2.0 * unit - 1.0);
+  }
+  if (ms < 0.0) ms = 0.0;
+  return std::chrono::milliseconds(static_cast<long long>(ms));
+}
 
 #if MSRP_HAVE_SOCKETS
 
@@ -91,6 +113,7 @@ void Client::close_socket() {
 
 void Client::dial() {
   dialing_ = true;
+  recv_bound_ = kNoDeadline;  // the handshake reads are not batch waits
   for (unsigned attempt = 0;; ++attempt) {
     fd_ = dial_once(opts_.host, opts_.port, opts_.connect_timeout_ms);
     if (fd_ >= 0) break;
@@ -107,6 +130,7 @@ void Client::dial() {
   busy_.clear();
   inflight_.clear();
   pending_frames_.clear();
+  wire_deadlines_.clear();
 
   // The handshake: the first frame on the wire must be a HELLO we can
   // speak. The version is checked from the leading u32 BEFORE the payload
@@ -171,6 +195,7 @@ bool Client::try_resend() {
   auto ready = std::move(ready_);
   auto failed = std::move(failed_);
   auto busy = std::move(busy_);
+  auto deadlines = std::move(wire_deadlines_);
   try {
     dial();
   } catch (...) {
@@ -181,6 +206,7 @@ bool Client::try_resend() {
   ready_ = std::move(ready);
   failed_ = std::move(failed);
   busy_ = std::move(busy);
+  wire_deadlines_ = std::move(deadlines);  // absolute instants survive a re-dial
   // Replay in send order (the map is id-ordered and ids are monotonic).
   // A loss during the replay recurses — bounded by connect_retries per
   // dial, and each recursion starts from a fresh socket.
@@ -209,12 +235,36 @@ void Client::write_all(std::span<const std::uint8_t> bytes) {
 }
 
 Frame Client::read_frame() {
+  // Capture the wait's bound: dial() (inside a mid-read resend) resets the
+  // member, but this read must stay bounded across the reconnect too.
+  const Deadline bound = recv_bound_;
   for (;;) {
     try {
       if (auto frame = decoder_.next()) return std::move(*frame);
     } catch (const ProtocolError&) {
       close_socket();  // a corrupt stream cannot be resynchronized
       throw;
+    }
+    if (bound != kNoDeadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          bound - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        // No reply inside the batch's budget plus grace. The server may
+        // still answer on this socket eventually, but the wait is over and
+        // the reply could never be reconciled — the connection goes too.
+        close_socket();
+        throw DeadlineError("net client: " + std::string(kDeadlineExceededPrefix) +
+                            ": no reply within the batch deadline");
+      }
+      ::pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (pr == 0) continue;  // timed out: re-check the clock above
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        close_socket();
+        if (try_resend()) continue;
+        throw std::runtime_error("net client: connection lost during receive");
+      }
     }
     std::uint8_t buf[65536];
     const ::ssize_t n = ::read(fd_, buf, sizeof buf);
@@ -225,6 +275,13 @@ Frame Client::read_frame() {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      close_socket();
+      if (try_resend()) continue;
+      throw std::runtime_error("net client: connection lost during receive");
+    }
+    if (MSRP_FAILPOINT("client.recv_truncate")) {
+      // Drop these bytes and the socket: the connection dies mid-frame,
+      // exactly as a peer reset between two reads would look.
       close_socket();
       if (try_resend()) continue;
       throw std::runtime_error("net client: connection lost during receive");
@@ -245,11 +302,13 @@ void Client::ensure_connected() {
 }
 
 std::uint64_t Client::send(std::span<const service::Query> queries,
-                           std::optional<std::uint64_t> digest) {
+                           std::optional<std::uint64_t> digest,
+                           std::optional<std::uint32_t> deadline_ms) {
   ensure_connected();
   // Reject a batch the server's decoder would refuse anyway — before
   // shipping tens of megabytes just to learn that.
-  const std::size_t payload_bytes = 16 + (digest ? 8 : 0) + 12 * queries.size();
+  const std::size_t payload_bytes =
+      16 + (digest ? 8 : 0) + (deadline_ms ? 4 : 0) + 12 * queries.size();
   if (payload_bytes > opts_.max_frame_bytes) {
     throw std::runtime_error("net client: batch exceeds the maximum frame size (" +
                              std::to_string(payload_bytes) + " > " +
@@ -257,16 +316,21 @@ std::uint64_t Client::send(std::span<const service::Query> queries,
   }
   const std::uint64_t id = next_id_++;
   std::vector<std::uint8_t> bytes;
-  append_query_batch(bytes, id, queries, digest);
+  append_query_batch(bytes, id, queries, digest, deadline_ms);
   // Register before writing: a connection loss inside write_all resends
   // from pending_frames_, and this frame must be part of that replay.
   inflight_.emplace(id, queries.size());
   if (opts_.resend_on_reconnect) pending_frames_.emplace(id, bytes);
+  if (deadline_ms) {
+    wire_deadlines_[id] =
+        deadline_after_ms(*deadline_ms) + std::chrono::milliseconds(opts_.deadline_grace_ms);
+  }
   try {
     write_all(bytes);
   } catch (...) {
     inflight_.erase(id);
     pending_frames_.erase(id);
+    wire_deadlines_.erase(id);
     throw;
   }
   return id;
@@ -290,6 +354,7 @@ std::optional<Frame> Client::route_one(std::uint64_t control_id) {
       }
       inflight_.erase(it);
       pending_frames_.erase(ab.request_id);
+      wire_deadlines_.erase(ab.request_id);
       ready_.emplace(ab.request_id, BatchAnswer{ab.request_id, std::move(ab.answers)});
       return std::nullopt;
     }
@@ -308,6 +373,7 @@ std::optional<Frame> Client::route_one(std::uint64_t control_id) {
       }
       inflight_.erase(it);
       pending_frames_.erase(err.request_id);
+      wire_deadlines_.erase(err.request_id);
       failed_.emplace(err.request_id, std::move(err.message));
       return std::nullopt;
     }
@@ -321,6 +387,7 @@ std::optional<Frame> Client::route_one(std::uint64_t control_id) {
       }
       inflight_.erase(it);
       pending_frames_.erase(busy.request_id);
+      wire_deadlines_.erase(busy.request_id);
       busy_.emplace(busy.request_id, std::move(busy.message));
       return std::nullopt;
     }
@@ -354,6 +421,9 @@ BatchAnswer Client::wait_any() {
       auto it = failed_.begin();
       const std::string message = std::move(it->second);
       failed_.erase(it);
+      if (is_deadline_exceeded_message(message)) {
+        throw DeadlineError("net client: batch failed: " + message);
+      }
       throw std::runtime_error("net client: batch failed: " + message);
     }
     if (!busy_.empty()) {
@@ -363,6 +433,11 @@ BatchAnswer Client::wait_any() {
       throw BusyError("net client: batch rejected: " + message);
     }
     MSRP_REQUIRE(!inflight_.empty(), "net client: wait_any with nothing in flight");
+    // The earliest give-up instant across the deadlined batches bounds the
+    // read: once it passes, that batch can never complete acceptably.
+    Deadline bound = kNoDeadline;
+    for (const auto& [id, d] : wire_deadlines_) bound = std::min(bound, d);
+    recv_bound_ = bound;
     route_one(0);
   }
 }
@@ -377,6 +452,9 @@ std::vector<Dist> Client::wait(std::uint64_t request_id) {
     if (const auto it = failed_.find(request_id); it != failed_.end()) {
       const std::string message = std::move(it->second);
       failed_.erase(it);
+      if (is_deadline_exceeded_message(message)) {
+        throw DeadlineError("net client: batch failed: " + message);
+      }
       throw std::runtime_error("net client: batch failed: " + message);
     }
     if (const auto it = busy_.find(request_id); it != busy_.end()) {
@@ -386,17 +464,68 @@ std::vector<Dist> Client::wait(std::uint64_t request_id) {
     }
     MSRP_REQUIRE(inflight_.count(request_id) != 0,
                  "net client: waiting for an id that is not in flight");
+    const auto dl = wire_deadlines_.find(request_id);
+    recv_bound_ = dl == wire_deadlines_.end() ? kNoDeadline : dl->second;
     route_one(0);
   }
 }
 
 std::vector<Dist> Client::query_batch(std::span<const service::Query> queries,
-                                      std::optional<std::uint64_t> digest) {
-  return wait(send(queries, digest));
+                                      std::optional<std::uint64_t> digest,
+                                      std::optional<std::uint32_t> deadline_ms) {
+  return wait(send(queries, digest, deadline_ms));
+}
+
+std::vector<Dist> Client::query_batch_retry(std::span<const service::Query> queries,
+                                            const RetryPolicy& policy,
+                                            std::optional<std::uint64_t> digest) {
+  const Deadline overall =
+      policy.deadline_ms != 0 ? deadline_after_ms(policy.deadline_ms) : kNoDeadline;
+  const unsigned attempts = std::max(1u, policy.max_attempts);
+  for (unsigned attempt = 0;; ++attempt) {
+    // Each attempt carries whatever budget remains, so the server stops
+    // working on an attempt the client has already given up on.
+    std::optional<std::uint32_t> wire_ms;
+    if (overall != kNoDeadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          overall - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        throw DeadlineError("net client: " + std::string(kDeadlineExceededPrefix) +
+                            ": retry budget exhausted after " + std::to_string(attempt) +
+                            " attempts");
+      }
+      wire_ms = static_cast<std::uint32_t>(left.count());
+    }
+    try {
+      if (!connected()) reconnect();
+      return query_batch(queries, digest, wire_ms);
+    } catch (const BusyError&) {
+      if (attempt + 1 >= attempts) throw;
+    } catch (const DeadlineError&) {
+      if (attempt + 1 >= attempts) throw;
+    } catch (const std::runtime_error&) {
+      // Connection loss closes the socket; a server-reported batch error
+      // leaves it open and is never retried (same bytes, same verdict).
+      if (connected() || attempt + 1 >= attempts) throw;
+    }
+    auto pause = policy.backoff_for(attempt + 1);
+    if (overall != kNoDeadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          overall - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        throw DeadlineError("net client: " + std::string(kDeadlineExceededPrefix) +
+                            ": retry budget exhausted after " + std::to_string(attempt + 1) +
+                            " attempts");
+      }
+      pause = std::min(pause, std::chrono::milliseconds(left.count()));
+    }
+    if (pause.count() > 0) std::this_thread::sleep_for(pause);
+  }
 }
 
 Frame Client::control_round_trip(std::uint64_t control_id, std::vector<std::uint8_t> bytes) {
   ensure_connected();
+  recv_bound_ = kNoDeadline;  // control calls keep the unbounded wait
   MSRP_REQUIRE(!control_pending_, "net client: nested control call");
   control_pending_ = true;
   try {
@@ -496,13 +625,20 @@ void Client::write_all(std::span<const std::uint8_t>) {}
 Frame Client::read_frame() { return {}; }
 std::optional<Frame> Client::route_one(std::uint64_t) { return std::nullopt; }
 Frame Client::control_round_trip(std::uint64_t, std::vector<std::uint8_t>) { return {}; }
-std::uint64_t Client::send(std::span<const service::Query>, std::optional<std::uint64_t>) {
+std::uint64_t Client::send(std::span<const service::Query>, std::optional<std::uint64_t>,
+                           std::optional<std::uint32_t>) {
   return 0;
 }
 BatchAnswer Client::wait_any() { return {}; }
 std::vector<Dist> Client::wait(std::uint64_t) { return {}; }
 std::vector<Dist> Client::query_batch(std::span<const service::Query>,
-                                      std::optional<std::uint64_t>) {
+                                      std::optional<std::uint64_t>,
+                                      std::optional<std::uint32_t>) {
+  return {};
+}
+std::vector<Dist> Client::query_batch_retry(std::span<const service::Query>,
+                                            const RetryPolicy&,
+                                            std::optional<std::uint64_t>) {
   return {};
 }
 RegisterAckFrame Client::register_graph(std::uint32_t,

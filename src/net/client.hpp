@@ -47,6 +47,7 @@
 /// load generator opens one per connection by design).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -58,6 +59,7 @@
 
 #include "net/protocol.hpp"
 #include "service/query.hpp"
+#include "util/deadline.hpp"
 #include "util/distance.hpp"
 
 namespace msrp::net {
@@ -79,6 +81,12 @@ struct ClientOptions {
   /// uncollected QUERY_BATCH with its original id (idempotent, so answers
   /// are identical). Implies nothing for control calls — those fail.
   bool resend_on_reconnect = false;
+  /// Local wait bound for batches sent with a deadline: a wait gives up
+  /// (DeadlineError, socket closed — the orphaned reply could never be
+  /// reconciled) this many ms after the batch's own deadline passes with
+  /// no reply, so a dead or wedged server cannot park the client forever.
+  /// Batches sent without a deadline keep the unbounded legacy wait.
+  unsigned deadline_grace_ms = 500;
 };
 
 /// One completed batch collected by wait_any().
@@ -92,6 +100,36 @@ struct BatchAnswer {
 class BusyError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// The server answered DEADLINE_EXCEEDED: the batch's end-to-end budget
+/// ran out somewhere in the pipeline (dispatch queue, service, or shard
+/// router). The batch produced no answers; a resend with a fresh budget is
+/// safe.
+class DeadlineError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Retry schedule for query_batch_retry(): exponential backoff with
+/// deterministic jitter, bounded by attempts and an overall deadline.
+struct RetryPolicy {
+  /// Overall budget for the call, across every attempt and backoff
+  /// (0 = unbounded). Each attempt's wire deadline is the time remaining.
+  std::uint32_t deadline_ms = 0;
+  /// Total attempts, first try included (clamped up to 1).
+  unsigned max_attempts = 3;
+  unsigned initial_backoff_ms = 10;
+  double multiplier = 2.0;
+  unsigned max_backoff_ms = 1000;
+  /// +/- fraction applied to each backoff, derived deterministically from
+  /// (seed, attempt) — no global RNG, so tests can pin exact schedules.
+  double jitter = 0.2;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  /// The pause before attempt `attempt` (1-based; attempt 0 is the first
+  /// try and never waits). Pure function of the policy fields.
+  std::chrono::milliseconds backoff_for(unsigned attempt) const;
 };
 
 class Client {
@@ -127,12 +165,16 @@ class Client {
   /// Writes one QUERY_BATCH and returns its request id without waiting.
   /// `digest` targets a registered oracle (v2); nullopt sends the
   /// v1-compatible shape answered by the HELLO default oracle.
+  /// `deadline_ms` is the batch's end-to-end budget, carried on the wire;
+  /// the server answers DEADLINE_EXCEEDED instead of running past it.
   std::uint64_t send(std::span<const service::Query> queries,
-                     std::optional<std::uint64_t> digest = std::nullopt);
+                     std::optional<std::uint64_t> digest = std::nullopt,
+                     std::optional<std::uint32_t> deadline_ms = std::nullopt);
 
   /// Blocks for the next completed batch, in server-completion order.
-  /// Throws std::runtime_error if the server reported that batch failed,
-  /// BusyError if it was rejected by admission control.
+  /// Throws std::runtime_error if the server reported that batch failed
+  /// (DeadlineError when it reported DEADLINE_EXCEEDED), BusyError if it
+  /// was rejected by admission control.
   BatchAnswer wait_any();
 
   /// Blocks until the batch with this id completes (others are buffered).
@@ -140,7 +182,18 @@ class Client {
 
   /// send() + wait(): the synchronous round trip.
   std::vector<Dist> query_batch(std::span<const service::Query> queries,
-                                std::optional<std::uint64_t> digest = std::nullopt);
+                                std::optional<std::uint64_t> digest = std::nullopt,
+                                std::optional<std::uint32_t> deadline_ms = std::nullopt);
+
+  /// query_batch with a retry loop: BUSY rejections, connection loss, and
+  /// DEADLINE_EXCEEDED replies are retried on the policy's backoff
+  /// schedule (QUERY_BATCH is idempotent, so a resend is always safe);
+  /// any other server-reported failure rethrows immediately. The policy's
+  /// deadline bounds the whole call, backoffs included, and each attempt
+  /// carries the remaining budget on the wire.
+  std::vector<Dist> query_batch_retry(std::span<const service::Query> queries,
+                                      const RetryPolicy& policy,
+                                      std::optional<std::uint64_t> digest = std::nullopt);
 
   // ----- registry control (protocol v2) -----------------------------------
 
@@ -206,6 +259,12 @@ class Client {
   std::unordered_map<std::uint64_t, BatchAnswer> ready_;
   std::unordered_map<std::uint64_t, std::string> failed_;
   std::unordered_map<std::uint64_t, std::string> busy_;
+  // Local give-up instant (wire deadline + grace) per in-flight batch that
+  // was sent with a deadline; bounds the waits via recv_bound_.
+  std::unordered_map<std::uint64_t, Deadline> wire_deadlines_;
+  // The bound the current wait imposes on read_frame (kNoDeadline = wait
+  // forever); set by wait()/wait_any() per pass, cleared for control calls.
+  Deadline recv_bound_ = kNoDeadline;
 };
 
 }  // namespace msrp::net

@@ -113,12 +113,16 @@ void append_hello(std::vector<std::uint8_t>& out, const HelloInfo& hello) {
 
 void append_query_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
                         std::span<const service::Query> queries,
-                        std::optional<std::uint64_t> digest) {
+                        std::optional<std::uint64_t> digest,
+                        std::optional<std::uint32_t> deadline_ms) {
   append_frame(out, FrameType::kQueryBatch, [&](std::vector<std::uint8_t>& buf) {
     put_u64(buf, request_id);
     put_u32(buf, static_cast<std::uint32_t>(queries.size()));
-    put_u32(buf, digest ? kQueryBatchHasDigest : 0);  // flags (v1: reserved 0)
+    const std::uint32_t flags = (digest ? kQueryBatchHasDigest : 0) |
+                                (deadline_ms ? kQueryBatchHasDeadline : 0);
+    put_u32(buf, flags);  // v1: reserved 0
     if (digest) put_u64(buf, *digest);
+    if (deadline_ms) put_u32(buf, *deadline_ms);
     for (const service::Query& q : queries) {
       put_u32(buf, q.s);
       put_u32(buf, q.t);
@@ -212,10 +216,14 @@ void append_oracle_list(std::vector<std::uint8_t>& out, const OracleListFrame& l
       put_u32(buf, e.num_edges);
       put_u32(buf, static_cast<std::uint32_t>(e.sources.size()));
       put_u32(buf, e.inflight_batches);
-      put_u32(buf, 0);  // reserved
+      // Previously reserved-zero: length of the failure-reason string that
+      // follows the source list. FAILED entries are the only producers, so
+      // pre-deadline streams are byte-identical.
+      put_u32(buf, static_cast<std::uint32_t>(e.error.size()));
       put_u64(buf, e.queries_answered);
       put_u64(buf, e.footprint_bytes);
       for (const Vertex s : e.sources) put_u32(buf, s);
+      buf.insert(buf.end(), e.error.begin(), e.error.end());
     }
   });
 }
@@ -253,10 +261,11 @@ QueryBatchFrame decode_query_batch(std::span<const std::uint8_t> payload) {
   // v1 wrote this word as reserved-zero; v2 uses it as a flag field, so
   // every v1 frame decodes here unchanged (flags == 0, no digest).
   const std::uint32_t flags = r.u32();
-  if ((flags & ~kQueryBatchHasDigest) != 0) {
+  if ((flags & ~(kQueryBatchHasDigest | kQueryBatchHasDeadline)) != 0) {
     throw ProtocolError("unknown QUERY_BATCH flags");
   }
   if (flags & kQueryBatchHasDigest) qb.digest = r.u64();
+  if (flags & kQueryBatchHasDeadline) qb.deadline_ms = r.u32();
   r.expect_records(count, 12);
   qb.queries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -384,12 +393,14 @@ OracleListFrame decode_oracle_list(std::span<const std::uint8_t> payload) {
     e.num_edges = r.u32();
     const std::uint32_t sigma = r.u32();
     e.inflight_batches = r.u32();
-    r.u32();  // reserved
+    const std::uint32_t error_len = r.u32();  // reserved-zero before deadlines
     e.queries_answered = r.u64();
     e.footprint_bytes = r.u64();
     r.expect_records(sigma, 4);
     e.sources.reserve(sigma);
     for (std::uint32_t j = 0; j < sigma; ++j) e.sources.push_back(r.u32());
+    const std::uint8_t* err = r.take(error_len);
+    e.error.assign(reinterpret_cast<const char*>(err), error_len);
     list.oracles.push_back(std::move(e));
   }
   r.expect_end();

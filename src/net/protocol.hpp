@@ -93,6 +93,13 @@ enum class FrameType : std::uint32_t {
 
 /// QUERY_BATCH flag bits (v2; a v1 frame always carries flags == 0).
 inline constexpr std::uint32_t kQueryBatchHasDigest = 1u << 0;
+/// Bit 1: the frame carries a u32 relative deadline in milliseconds (after
+/// the optional digest). Absent = wait forever — the pre-deadline shape,
+/// byte-identical to what older clients emit. A batch whose deadline passes
+/// anywhere in the pipeline is answered with an ERROR frame whose message
+/// starts with "DEADLINE_EXCEEDED" (util/deadline.hpp) rather than a new
+/// frame type, so deadline-unaware peers still parse the reply.
+inline constexpr std::uint32_t kQueryBatchHasDeadline = 1u << 1;
 
 /// HELLO flag bits.
 inline constexpr std::uint32_t kHelloRegistryEnabled = 1u << 0;
@@ -127,6 +134,9 @@ struct QueryBatchFrame {
   /// v2 target oracle; nullopt = the connection's HELLO default (the only
   /// shape a v1 client can produce).
   std::optional<std::uint64_t> digest;
+  /// Relative deadline budget in ms; nullopt = no deadline. The receiver
+  /// pins it to an absolute instant at decode time.
+  std::optional<std::uint32_t> deadline_ms;
   std::vector<service::Query> queries;
 };
 
@@ -167,6 +177,9 @@ struct OracleListEntry {
   std::uint64_t queries_answered = 0;
   std::uint64_t footprint_bytes = 0;
   std::vector<Vertex> sources;
+  /// Failure reason for kFailed entries ("" otherwise); travels after the
+  /// source list, length in the entry's previously-reserved u32.
+  std::string error;
 };
 
 struct OracleListFrame {
@@ -195,10 +208,12 @@ struct ErrorFrame {
 
 void append_hello(std::vector<std::uint8_t>& out, const HelloInfo& hello);
 /// `digest` targets a specific registered oracle; nullopt emits the
-/// v1-compatible shape (flags == 0, no digest field).
+/// v1-compatible shape (flags == 0, no digest field). `deadline_ms` adds a
+/// relative deadline (flag bit 1); nullopt keeps the legacy layout.
 void append_query_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
                         std::span<const service::Query> queries,
-                        std::optional<std::uint64_t> digest = std::nullopt);
+                        std::optional<std::uint64_t> digest = std::nullopt,
+                        std::optional<std::uint32_t> deadline_ms = std::nullopt);
 void append_answer_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
                          std::span<const Dist> answers);
 void append_error(std::vector<std::uint8_t>& out, std::uint64_t request_id,

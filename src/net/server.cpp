@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/deadline.hpp"
+#include "util/failpoint.hpp"
 
 #if defined(__linux__)
 #define MSRP_HAVE_NET_SERVER 1
@@ -60,6 +62,10 @@ struct Server::Conn {
   bool want_write = false;    // EPOLLOUT currently wanted
   bool closing = false;       // close as soon as outq flushes
   bool closed = false;
+  // Eviction stamps, swept on the loop tick: last bytes read off the
+  // socket, and last time queued output made write progress.
+  std::chrono::steady_clock::time_point last_read;
+  std::chrono::steady_clock::time_point last_write_progress;
 
   explicit Conn(std::size_t max_frame_bytes) : decoder(max_frame_bytes) {}
 };
@@ -145,8 +151,8 @@ Server::Server(service::QueryService& svc, std::shared_ptr<const service::Snapsh
   // its caps simply act as a global inflight bound.
   dispatcher_ = std::make_unique<registry::FairDispatcher>(
       [this](std::shared_ptr<const service::Snapshot> o, std::vector<service::Query> q,
-             service::BatchCallback done) {
-        svc_.submit_batch(std::move(o), std::move(q), std::move(done));
+             service::BatchCallback done, Deadline deadline) {
+        svc_.submit_batch(std::move(o), std::move(q), std::move(done), deadline);
       },
       opts_.dispatch);
 
@@ -299,6 +305,31 @@ void Server::on_tick(LoopShard& ls) {
     ls.loop.modify_fd(ls.listen_fd, EPOLLIN);  // retry accepting after fd pressure
     ls.accept_paused = false;
   }
+  // Registry timers (build timeouts, FAILED-tenant reaping) ride the tick
+  // of one loop so the sweep is not multiplied by the loop count.
+  if (registry_ != nullptr && ls.index == 0) registry_->poke();
+  const bool idle_on = opts_.idle_timeout_ms > 0;
+  const bool stall_on = opts_.write_stall_timeout_ms > 0;
+  if ((idle_on || stall_on) && !draining_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    // Collect first: close_conn mutates ls.conns.
+    std::vector<std::shared_ptr<Conn>> victims;
+    for (auto& [fd, conn] : ls.conns) {
+      if (conn->closed) continue;
+      const bool idle =
+          idle_on && conn->inflight == 0 && conn->outq.empty() &&
+          now - conn->last_read >= std::chrono::milliseconds(opts_.idle_timeout_ms);
+      const bool stalled =
+          stall_on && !conn->outq.empty() &&
+          now - conn->last_write_progress >=
+              std::chrono::milliseconds(opts_.write_stall_timeout_ms);
+      if (idle || stalled) victims.push_back(conn);
+    }
+    for (auto& conn : victims) {
+      connections_evicted_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(conn);
+    }
+  }
   // shutdown() posts drain_loop, but a loop that was already stopped when
   // shutdown ran (or raced the post) still drains off its tick.
   if (draining_.load(std::memory_order_acquire) && !ls.drain_started) drain_loop(ls);
@@ -360,6 +391,7 @@ void Server::adopt_conn(LoopShard& ls, int fd) {
   auto conn = std::make_shared<Conn>(opts_.max_frame_bytes);
   conn->fd = fd;
   conn->home = &ls;
+  conn->last_read = conn->last_write_progress = std::chrono::steady_clock::now();
   ls.conns.emplace(fd, conn);
   connections_accepted_.fetch_add(1, std::memory_order_relaxed);
   ls.loop.add_fd(fd, EPOLLIN | base_events(),
@@ -395,6 +427,7 @@ void Server::on_readable(const std::shared_ptr<Conn>& conn) {
       close_conn(conn);
       return;
     }
+    conn->last_read = std::chrono::steady_clock::now();
     conn->decoder.feed({buf, static_cast<std::size_t>(n)});
     pump(conn);
     if (conn->closed || conn->closing) return;
@@ -487,6 +520,11 @@ void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFra
   }
   batches_received_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t id = qb.request_id;
+  // The relative budget on the wire becomes an absolute instant here, at
+  // decode — every later stage (dispatcher queue, service, shard router)
+  // compares against this same instant.
+  const Deadline deadline =
+      qb.deadline_ms ? deadline_after_ms(*qb.deadline_ms) : kNoDeadline;
 
   // Resolve the target oracle: the frame's digest (v2), else the HELLO
   // default. Unknown digests are batch errors; a digest still building is
@@ -514,6 +552,12 @@ void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFra
         return;
       }
       batch_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (st == registry::OracleState::kFailed) {
+        send_batch_error(conn, id,
+                         "oracle " + hex_digest(digest) +
+                             " failed to build (LIST_ORACLES carries the reason)");
+        return;
+      }
       send_batch_error(conn, id, "unknown oracle digest " + hex_digest(digest));
       return;
     }
@@ -551,7 +595,8 @@ void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFra
         std::lock_guard<std::mutex> lock(inflight_mu_);
         --inflight_total_;
         inflight_cv_.notify_all();
-      });
+      },
+      /*weight=*/1, deadline);
   if (verdict == registry::DispatchVerdict::kBusy) {
     // Rejected without queueing: the callback will never fire, so roll
     // every piece of accounting back and tell the client to retry.
@@ -672,6 +717,7 @@ void Server::handle_list_oracles(const std::shared_ptr<Conn>& conn,
       e.inflight_batches = info.inflight_batches;
       e.queries_answered = info.queries_answered;
       e.footprint_bytes = info.footprint_bytes;
+      e.error = info.error;
       reply.oracles.push_back(std::move(e));
     }
   } else {
@@ -737,13 +783,17 @@ void Server::on_batch_done(const std::shared_ptr<Conn>& conn, std::uint64_t requ
   --conn->inflight;
   std::vector<std::uint8_t> reply;
   if (result.error != nullptr) {
-    batch_errors_.fetch_add(1, std::memory_order_relaxed);
     std::string message = "batch failed";
     try {
       std::rethrow_exception(result.error);
     } catch (const std::exception& ex) {
       message = ex.what();
     } catch (...) {
+    }
+    if (is_deadline_exceeded_message(message)) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      batch_errors_.fetch_add(1, std::memory_order_relaxed);
     }
     append_error(reply, request_id, message);
   } else {
@@ -760,12 +810,18 @@ void Server::send_bytes(const std::shared_ptr<Conn>& conn, std::vector<std::uint
   // Closing means a connection-level ERROR is the last frame this peer
   // gets; anything queued after it would contradict the protocol.
   if (conn->closed || conn->closing || bytes.empty()) return;
+  // A fresh backlog starts its stall clock now, not at the last write of
+  // some long-idle exchange.
+  if (conn->outq.empty()) conn->last_write_progress = std::chrono::steady_clock::now();
   conn->out_bytes += bytes.size();
   conn->outq.push_back(std::move(bytes));
   flush(conn);
 }
 
 void Server::flush(const std::shared_ptr<Conn>& conn) {
+  // error action: pretend the socket took nothing this round (a stuck
+  // write); the stall-eviction timer is what recovers the connection.
+  if (MSRP_FAILPOINT("server.flush")) return;
   while (!conn->outq.empty()) {
     const std::vector<std::uint8_t>& front = conn->outq.front();
     const ::ssize_t n = ::send(conn->fd, front.data() + conn->out_off,
@@ -778,6 +834,7 @@ void Server::flush(const std::shared_ptr<Conn>& conn) {
     }
     conn->out_off += static_cast<std::size_t>(n);
     conn->out_bytes -= static_cast<std::size_t>(n);
+    if (n > 0) conn->last_write_progress = std::chrono::steady_clock::now();
     if (conn->out_off == front.size()) {
       conn->outq.pop_front();
       conn->out_off = 0;
@@ -866,6 +923,8 @@ ServerStats Server::stats() const {
   st.busy_rejected = busy_rejected_.load(std::memory_order_relaxed);
   st.oracles_registered = oracles_registered_.load(std::memory_order_relaxed);
   st.registrations_failed = registrations_failed_.load(std::memory_order_relaxed);
+  st.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  st.connections_evicted = connections_evicted_.load(std::memory_order_relaxed);
   return st;
 }
 

@@ -98,6 +98,14 @@ struct ServerOptions {
   /// How long shutdown() waits for in-flight batches to complete and their
   /// replies to flush before force-closing connections.
   unsigned drain_timeout_ms = 10000;
+  /// Evict a connection with no batches in flight, no queued output, and
+  /// no bytes read for this long (0 = never). Bounds the sockets a silent
+  /// peer can pin; swept on the ~100 ms loop tick.
+  unsigned idle_timeout_ms = 0;
+  /// Evict a connection whose queued output has made no write progress for
+  /// this long (0 = never) — a reader stuck below the high-water mark
+  /// would otherwise hold its replies (and their memory) forever.
+  unsigned write_stall_timeout_ms = 0;
   /// Admission-control caps for the fair dispatcher every batch routes
   /// through (per-tenant inflight/queue, total inflight; see
   /// registry/dispatch.hpp). A batch the dispatcher refuses is answered
@@ -117,6 +125,8 @@ struct ServerStats {
   std::uint64_t busy_rejected = 0;    ///< batches answered with a BUSY frame
   std::uint64_t oracles_registered = 0;     ///< successful wire registrations
   std::uint64_t registrations_failed = 0;   ///< rejected or failed registrations
+  std::uint64_t deadline_exceeded = 0;      ///< batches answered DEADLINE_EXCEEDED
+  std::uint64_t connections_evicted = 0;    ///< idle / write-stall evictions
 };
 
 class Server {
@@ -200,7 +210,8 @@ class Server {
   void update_epoll(const std::shared_ptr<Conn>& conn);
   /// Close-if-drained check used by the drain path.
   void maybe_finish_conn(const std::shared_ptr<Conn>& conn);
-  /// Periodic work: re-arm a paused listener, police the drain deadline.
+  /// Periodic work: re-arm a paused listener, police the drain deadline,
+  /// evict idle / write-stalled connections, poke the registry's timers.
   void on_tick(LoopShard& ls);
   void check_drain_done(LoopShard& ls);
   /// Loop-thread half of shutdown(): close the listener, stop reads,
@@ -248,6 +259,8 @@ class Server {
   std::atomic<std::uint64_t> busy_rejected_{0};
   std::atomic<std::uint64_t> oracles_registered_{0};
   std::atomic<std::uint64_t> registrations_failed_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> connections_evicted_{0};
 };
 
 }  // namespace msrp::net

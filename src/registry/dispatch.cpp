@@ -16,9 +16,10 @@ FairDispatcher::FairDispatcher(Submit submit, DispatchOptions opts)
 DispatchVerdict FairDispatcher::submit(std::uint64_t digest,
                                        std::shared_ptr<const service::Snapshot> oracle,
                                        std::vector<service::Query> queries,
-                                       service::BatchCallback done, std::uint32_t weight) {
+                                       service::BatchCallback done, std::uint32_t weight,
+                                       Deadline deadline) {
   MSRP_REQUIRE(done != nullptr, "dispatcher: null callback");
-  Pending batch{std::move(oracle), std::move(queries), std::move(done)};
+  Pending batch{std::move(oracle), std::move(queries), std::move(done), deadline};
   {
     std::lock_guard<std::mutex> lock(mu_);
     Tenant& t = tenants_[digest];
@@ -38,6 +39,7 @@ DispatchVerdict FairDispatcher::submit(std::uint64_t digest,
     } else {
       t.queue.push_back(std::move(batch));
       ++total_queued_;
+      if (deadline != kNoDeadline) ++queued_deadlines_;
       if (!t.in_ring) {
         t.in_ring = true;
         ring_.push_back(digest);
@@ -59,7 +61,7 @@ void FairDispatcher::dispatch(std::uint64_t digest, Pending batch) {
     done(std::move(result));
   };
   try {
-    submit_(std::move(batch.oracle), std::move(batch.queries), wrapper);
+    submit_(std::move(batch.oracle), std::move(batch.queries), wrapper, batch.deadline);
   } catch (...) {
     // submit threw before enqueueing anything (allocation failure): the
     // service will never invoke the wrapper, so deliver the failure
@@ -70,6 +72,7 @@ void FairDispatcher::dispatch(std::uint64_t digest, Pending batch) {
 
 void FairDispatcher::on_complete(std::uint64_t digest) {
   std::vector<Ready> ready;
+  std::vector<Pending> expired;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = tenants_.find(digest);
@@ -77,13 +80,42 @@ void FairDispatcher::on_complete(std::uint64_t digest) {
                "dispatcher: completion for an unknown batch");
     --it->second.inflight;
     --total_inflight_;
-    pump_locked(ready);
+    pump_locked(ready, expired);
     maybe_erase_locked(digest);
+  }
+  // Expired batches never held an inflight slot, so their completion is
+  // just the callback — no recursive on_complete.
+  for (Pending& p : expired) {
+    p.done(service::BatchResult{
+        {}, nullptr,
+        std::make_exception_ptr(DeadlineExceeded("batch expired in dispatch queue"))});
   }
   for (Ready& r : ready) dispatch(r.digest, std::move(r.batch));
 }
 
-void FairDispatcher::pump_locked(std::vector<Ready>& out) {
+void FairDispatcher::expire_queued_locked(std::vector<Pending>& expired) {
+  if (queued_deadlines_ == 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::uint64_t digest : ring_) {
+    auto it = tenants_.find(digest);
+    if (it == tenants_.end()) continue;
+    auto& q = it->second.queue;
+    for (auto pit = q.begin(); pit != q.end();) {
+      if (pit->deadline == kNoDeadline || now < pit->deadline) {
+        ++pit;
+        continue;
+      }
+      expired.push_back(std::move(*pit));
+      pit = q.erase(pit);
+      --total_queued_;
+      --queued_deadlines_;
+      ++deadline_expirations_;
+    }
+  }
+}
+
+void FairDispatcher::pump_locked(std::vector<Ready>& out, std::vector<Pending>& expired) {
+  expire_queued_locked(expired);
   // Weighted round robin over the digests with queued work: the front
   // tenant takes up to `weight` grants, then rotates to the back. A full
   // lap of rotations without a single grant means every queued tenant is
@@ -123,6 +155,7 @@ void FairDispatcher::pump_locked(std::vector<Ready>& out) {
     ++total_inflight_;
     ++dispatched_total_;
     --total_queued_;
+    if (t.queue.front().deadline != kNoDeadline) --queued_deadlines_;
     stalled = 0;
     out.push_back(Ready{digest, std::move(t.queue.front())});
     t.queue.pop_front();
@@ -161,6 +194,11 @@ std::uint64_t FairDispatcher::busy_rejections() const {
 std::uint64_t FairDispatcher::dispatched_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dispatched_total_;
+}
+
+std::uint64_t FairDispatcher::deadline_expirations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadline_expirations_;
 }
 
 }  // namespace msrp::registry

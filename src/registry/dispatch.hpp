@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "service/query_service.hpp"
+#include "util/deadline.hpp"
 
 namespace msrp::registry {
 
@@ -61,9 +62,12 @@ enum class DispatchVerdict {
 class FairDispatcher {
  public:
   /// The downstream submit — QueryService::submit_batch in production, a
-  /// manually-completed stub in the fairness tests.
+  /// manually-completed stub in the fairness tests. The Deadline is the
+  /// batch's end-to-end budget (kNoDeadline = none), already spent in part
+  /// by any time the batch sat in the dispatch queue.
   using Submit = std::function<void(std::shared_ptr<const service::Snapshot>,
-                                    std::vector<service::Query>, service::BatchCallback)>;
+                                    std::vector<service::Query>, service::BatchCallback,
+                                    Deadline)>;
 
   FairDispatcher(Submit submit, DispatchOptions opts);
 
@@ -73,11 +77,13 @@ class FairDispatcher {
   /// Admits one batch for `digest`. On kDispatched/kQueued the callback
   /// fires exactly once when the batch completes (bookkeeping already
   /// done); on kBusy it never fires. `weight` is the tenant's WRR share —
-  /// grants per ring lap; later submits may revise it.
+  /// grants per ring lap; later submits may revise it. A batch whose
+  /// `deadline` passes while parked in the queue is completed with
+  /// DeadlineExceeded at the next pump instead of dispatching stale work.
   DispatchVerdict submit(std::uint64_t digest,
                          std::shared_ptr<const service::Snapshot> oracle,
                          std::vector<service::Query> queries, service::BatchCallback done,
-                         std::uint32_t weight = 1);
+                         std::uint32_t weight = 1, Deadline deadline = kNoDeadline);
 
   // Observability (tests assert against these).
   std::size_t inflight_batches() const;
@@ -85,12 +91,15 @@ class FairDispatcher {
   std::size_t tenant_inflight(std::uint64_t digest) const;
   std::uint64_t busy_rejections() const;
   std::uint64_t dispatched_total() const;
+  /// Queued batches completed with DeadlineExceeded before dispatch.
+  std::uint64_t deadline_expirations() const;
 
  private:
   struct Pending {
     std::shared_ptr<const service::Snapshot> oracle;
     std::vector<service::Query> queries;
     service::BatchCallback done;
+    Deadline deadline = kNoDeadline;
   };
   struct Tenant {
     std::deque<Pending> queue;
@@ -107,8 +116,13 @@ class FairDispatcher {
 
   void on_complete(std::uint64_t digest);
   /// Drains the ring as far as the caps allow; fills `out` for the caller
-  /// to dispatch after unlocking.
-  void pump_locked(std::vector<Ready>& out);
+  /// to dispatch after unlocking, and `expired` with queued batches whose
+  /// deadline passed (their callbacks fire outside the lock, with
+  /// DeadlineExceeded — they never took an inflight slot).
+  void pump_locked(std::vector<Ready>& out, std::vector<Pending>& expired);
+  /// Moves expired entries of every queued tenant into `expired`. Gated on
+  /// queued_deadlines_ so deadline-free workloads pay nothing.
+  void expire_queued_locked(std::vector<Pending>& expired);
   void dispatch(std::uint64_t digest, Pending batch);
   /// Drops a tenant with no queued or inflight work (keeps the map bounded
   /// under digest churn).
@@ -121,8 +135,10 @@ class FairDispatcher {
   std::deque<std::uint64_t> ring_;  // digests with queued work, RR order
   std::size_t total_inflight_ = 0;
   std::size_t total_queued_ = 0;
+  std::size_t queued_deadlines_ = 0;  // queued batches with a real deadline
   std::uint64_t busy_rejections_ = 0;
   std::uint64_t dispatched_total_ = 0;
+  std::uint64_t deadline_expirations_ = 0;
 };
 
 }  // namespace msrp::registry

@@ -1,10 +1,13 @@
 #include "registry/oracle_registry.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "graph/graph.hpp"
 #include "util/assert.hpp"
+#include "util/failpoint.hpp"
 #include "util/fnv.hpp"
 
 namespace msrp::registry {
@@ -24,6 +27,22 @@ OracleRegistry::~OracleRegistry() {
 }
 
 std::uint64_t OracleRegistry::admit_locked(std::string* reason) {
+  // FAILED tenants must not block admission — their slots are only kept
+  // for failure-reason visibility, not capacity. Reap the expired ones,
+  // and when the registry is still full, displace the oldest failure:
+  // a live registration outranks a stale error message.
+  reap_failed_locked(std::chrono::steady_clock::now());
+  while (entries_.size() >= opts_.max_tenants) {
+    auto oldest = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.state != OracleState::kFailed) continue;
+      if (oldest == entries_.end() || it->second.failed_at < oldest->second.failed_at) {
+        oldest = it;
+      }
+    }
+    if (oldest == entries_.end()) break;
+    entries_.erase(oldest);
+  }
   if (entries_.size() >= opts_.max_tenants) {
     if (reason) {
       *reason = "registry full (" + std::to_string(opts_.max_tenants) +
@@ -35,7 +54,11 @@ std::uint64_t OracleRegistry::admit_locked(std::string* reason) {
   // key is an internal nonce hash, re-keyed to the oracle's content digest
   // when the build lands. fnv of a counter never returns 0 in practice.
   const std::uint64_t key = fnv::mix_u64(fnv::kOffset, ++nonce_);
-  entries_.emplace(key, Entry{});
+  Entry e;
+  if (opts_.build_timeout.count() > 0) {
+    e.build_deadline = std::chrono::steady_clock::now() + opts_.build_timeout;
+  }
+  entries_.emplace(key, std::move(e));
   return key;
 }
 
@@ -49,17 +72,26 @@ bool OracleRegistry::register_graph(Vertex num_vertices,
     std::lock_guard<std::mutex> lock(mu_);
     key = admit_locked(reason);
     if (key == 0) return false;
+    entries_[key].done = std::move(done);
     ++pending_;
   }
   svc_.run_async([this, key, num_vertices, edges = std::move(edges),
-                  sources = std::move(sources), cfg, done = std::move(done)]() mutable {
+                  sources = std::move(sources), cfg]() mutable {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      entries_[key].state = OracleState::kBuilding;
+      auto it = entries_.find(key);
+      // A build timeout may already have failed the entry (or reaped it)
+      // before this task even started; leave that verdict alone.
+      if (it != entries_.end() && it->second.state == OracleState::kRegistering) {
+        it->second.state = OracleState::kBuilding;
+      }
     }
     std::shared_ptr<const service::Snapshot> built;
     std::string error;
     try {
+      if (MSRP_FAILPOINT("registry.build")) {
+        throw std::runtime_error("injected registry build failure");
+      }
       if (sources.empty()) throw std::invalid_argument("registration has no sources");
       std::vector<Vertex> sorted = sources;
       std::sort(sorted.begin(), sorted.end());
@@ -74,7 +106,7 @@ bool OracleRegistry::register_graph(Vertex num_vertices,
     } catch (const std::exception& ex) {
       error = ex.what();
     }
-    finish(key, std::move(built), std::move(error), done);
+    finish(key, std::move(built), std::move(error));
     std::lock_guard<std::mutex> lock(mu_);
     --pending_;
     pending_cv_.notify_all();
@@ -90,21 +122,28 @@ bool OracleRegistry::register_snapshot(std::string path, RegisterCallback done,
     std::lock_guard<std::mutex> lock(mu_);
     key = admit_locked(reason);
     if (key == 0) return false;
+    entries_[key].done = std::move(done);
     ++pending_;
   }
-  svc_.run_async([this, key, path = std::move(path), done = std::move(done)] {
+  svc_.run_async([this, key, path = std::move(path)] {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      entries_[key].state = OracleState::kBuilding;
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.state == OracleState::kRegistering) {
+        it->second.state = OracleState::kBuilding;
+      }
     }
     std::shared_ptr<const service::Snapshot> loaded;
     std::string error;
     try {
+      if (MSRP_FAILPOINT("registry.build")) {
+        throw std::runtime_error("injected registry build failure");
+      }
       loaded = svc_.load(path);
     } catch (const std::exception& ex) {
       error = ex.what();
     }
-    finish(key, std::move(loaded), std::move(error), done);
+    finish(key, std::move(loaded), std::move(error));
     std::lock_guard<std::mutex> lock(mu_);
     --pending_;
     pending_cv_.notify_all();
@@ -114,12 +153,19 @@ bool OracleRegistry::register_snapshot(std::string path, RegisterCallback done,
 
 void OracleRegistry::finish(std::uint64_t provisional_key,
                             std::shared_ptr<const service::Snapshot> oracle,
-                            std::string error, const RegisterCallback& done) {
+                            std::string error) {
   RegisterOutcome outcome;
+  RegisterCallback done;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto prov = entries_.find(provisional_key);
-    MSRP_CHECK(prov != entries_.end(), "registry: provisional entry vanished mid-build");
+    // The entry can be gone (timed out, reaped) or already kFailed with its
+    // callback delivered by poke(): either way this build's result arrives
+    // too late and is discarded — the timeout verdict stands.
+    if (prov == entries_.end()) return;
+    done = std::move(prov->second.done);
+    prov->second.done = nullptr;
+    if (done == nullptr) return;
     if (error.empty() && oracle != nullptr) {
       const std::uint64_t digest = oracle->content_digest();
       const bool already = entries_.count(digest) != 0;
@@ -143,12 +189,62 @@ void OracleRegistry::finish(std::uint64_t provisional_key,
       error = "registration produced no oracle";
     }
     if (!error.empty()) {
-      entries_.erase(provisional_key);  // release the admission slot
+      // Keep the slot as kFailed so LIST_ORACLES can surface the reason;
+      // reaped after failed_ttl (immediately when the TTL is zero).
+      Entry& f = prov->second;
+      f.state = OracleState::kFailed;
+      f.error = error;
+      f.failed_at = std::chrono::steady_clock::now();
+      f.build_deadline = kNoDeadline;
+      if (opts_.failed_ttl.count() == 0) entries_.erase(prov);
       outcome.state = OracleState::kFailed;
       outcome.error = std::move(error);
     }
   }
   done(std::move(outcome));
+}
+
+void OracleRegistry::poke() {
+  struct Fired {
+    RegisterCallback done;
+    std::string error;
+  };
+  std::vector<Fired> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    reap_failed_locked(now);
+    for (auto& [key, e] : entries_) {
+      if (e.build_deadline == kNoDeadline || now < e.build_deadline) continue;
+      if (e.state != OracleState::kRegistering && e.state != OracleState::kBuilding) continue;
+      e.state = OracleState::kFailed;
+      e.error =
+          "build timed out after " + std::to_string(opts_.build_timeout.count()) + " ms";
+      e.failed_at = now;
+      e.build_deadline = kNoDeadline;
+      // The pool task keeps running; finish() will see done == nullptr and
+      // discard its late result.
+      if (e.done) fired.push_back({std::move(e.done), e.error});
+      e.done = nullptr;
+    }
+  }
+  for (Fired& f : fired) {
+    RegisterOutcome outcome;
+    outcome.state = OracleState::kFailed;
+    outcome.error = std::move(f.error);
+    f.done(std::move(outcome));
+  }
+}
+
+void OracleRegistry::reap_failed_locked(std::chrono::steady_clock::time_point now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& e = it->second;
+    if (e.state == OracleState::kFailed && now - e.failed_at >= opts_.failed_ttl) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::uint64_t OracleRegistry::adopt(std::shared_ptr<const service::Snapshot> oracle) {
@@ -189,6 +285,10 @@ std::optional<OracleState> OracleRegistry::unregister(std::uint64_t digest) {
       return OracleState::kExpiring;
     case OracleState::kExpiring:
       return OracleState::kExpiring;  // idempotent
+    case OracleState::kFailed:
+      // An operator may clear a failed slot before its TTL reap.
+      entries_.erase(it);
+      return OracleState::kUnregistered;
     default:
       // Still registering/building: the slot cannot be retired mid-build;
       // the caller reports the unchanged state as an error.
@@ -234,6 +334,7 @@ std::vector<OracleInfo> OracleRegistry::list() const {
     info.state = e.state;
     info.inflight_batches = static_cast<std::uint32_t>(e.inflight);
     info.queries_answered = e.queries_answered;
+    info.error = e.error;
     if (e.oracle) {
       info.num_vertices = e.oracle->num_vertices();
       info.num_edges = e.oracle->num_edges();

@@ -22,6 +22,7 @@
 /// feeds it (declare it first).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -35,6 +36,7 @@
 #include "core/config.hpp"
 #include "registry/oracle_state.hpp"
 #include "service/query_service.hpp"
+#include "util/deadline.hpp"
 
 namespace msrp::registry {
 
@@ -45,6 +47,16 @@ struct RegistryOptions {
   /// registration whose finished oracle would break the budget fails at
   /// completion — admission cannot know the footprint before the solve.
   std::size_t max_bytes = 0;
+  /// How long a FAILED tenant is retained (so LIST_ORACLES can surface the
+  /// failure reason) before its slot is reaped; 0 = release immediately,
+  /// the pre-deadline behavior. Reaping runs in poke() and at admission.
+  std::chrono::milliseconds failed_ttl{60000};
+  /// Budget for a registration to reach kReady; 0 = unbounded. When it
+  /// passes, poke() moves the tenant to kFailed ("build timed out") and
+  /// fires its callback, instead of the tenant wedging in
+  /// REGISTERING/BUILDING forever. The build task itself keeps running
+  /// (a pool task cannot be aborted) — its late result is discarded.
+  std::chrono::milliseconds build_timeout{0};
 };
 
 /// Result of one asynchronous registration, delivered exactly once.
@@ -67,6 +79,8 @@ struct OracleInfo {
   std::uint32_t inflight_batches = 0;
   std::uint64_t queries_answered = 0;
   std::uint64_t footprint_bytes = 0;
+  /// Failure reason for kFailed entries (empty otherwise).
+  std::string error;
 };
 
 class OracleRegistry {
@@ -117,6 +131,12 @@ class OracleRegistry {
 
   std::vector<OracleInfo> list() const;
 
+  /// Time-driven maintenance: reaps FAILED tenants past their TTL and
+  /// times out registrations past the build budget (firing their callbacks
+  /// with kFailed, outside the lock). The serving layer calls this from
+  /// its event-loop tick; tests call it directly.
+  void poke();
+
   std::size_t tenant_count() const;
   /// Summed footprint of ready/expiring oracles.
   std::size_t resident_bytes() const;
@@ -127,16 +147,28 @@ class OracleRegistry {
     std::shared_ptr<const service::Snapshot> oracle;
     std::size_t inflight = 0;
     std::uint64_t queries_answered = 0;
+    /// Failure reason while kFailed; surfaced through list().
+    std::string error;
+    /// When the entry became kFailed (TTL reap reference point).
+    std::chrono::steady_clock::time_point failed_at{};
+    /// Instant a registration must have reached kReady by; kNoDeadline
+    /// when RegistryOptions::build_timeout is 0 or for adopted oracles.
+    Deadline build_deadline = kNoDeadline;
+    /// Registration callback, held here so a build timeout can fire it;
+    /// finish() pulls it (null afterwards = already delivered).
+    RegisterCallback done;
   };
 
   /// Admission + provisional entry under one lock; returns the provisional
-  /// key or 0 when rejected.
+  /// key or 0 when rejected. Reaps expired FAILED tenants first so their
+  /// slots are reusable.
   std::uint64_t admit_locked(std::string* reason);
   /// Lands a finished build: budget check, provisional -> final re-key,
-  /// then the user callback (outside the lock).
+  /// then the registration callback (outside the lock). A build whose
+  /// entry already timed out (kFailed, callback gone) is discarded.
   void finish(std::uint64_t provisional_key,
-              std::shared_ptr<const service::Snapshot> oracle, std::string error,
-              const RegisterCallback& done);
+              std::shared_ptr<const service::Snapshot> oracle, std::string error);
+  void reap_failed_locked(std::chrono::steady_clock::time_point now);
   std::size_t resident_bytes_locked() const;
 
   service::QueryService& svc_;

@@ -12,7 +12,10 @@
 ///                        |
 ///                   kBuilding            (solve/load running on the pool)
 ///                    |      |
-///                kReady   kFailed        (terminal failure; slot released)
+///                kReady   kFailed        (terminal failure; the slot and
+///                   |                     its reason stay listable until
+///                   |                     the failed-TTL reap or an
+///                   |                     explicit unregister)
 ///                   |
 ///               kExpiring                (unregistered with batches still
 ///                   |                     in flight; drains, then gone)

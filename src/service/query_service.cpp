@@ -8,6 +8,7 @@
 #include "core/msrp.hpp"
 #include "graph/io.hpp"
 #include "service/shard_router.hpp"
+#include "util/failpoint.hpp"
 
 namespace msrp::service {
 
@@ -154,14 +155,21 @@ void QueryService::answer_range(const Snapshot& oracle, std::span<const Query> q
 }
 
 std::vector<Dist> QueryService::query_batch(const Snapshot& oracle,
-                                            std::span<const Query> queries) {
+                                            std::span<const Query> queries,
+                                            Deadline deadline) {
   if (sharding()) {
     // Multi-process path: the router validates, routes each query to the
     // worker owning its source, and merges in batch order — bit-identical
-    // to the in-process path below.
-    std::vector<Dist> out = router_for(oracle)->query_batch(queries);
+    // to the in-process path below. The router's collector enforces the
+    // deadline while answers are in flight.
+    std::vector<Dist> out = router_for(oracle)->query_batch(queries, deadline);
     queries_served_.fetch_add(queries.size(), std::memory_order_relaxed);
     return out;
+  }
+  // The in-process path has no unbounded waits (every chunk is O(1) work
+  // on an immutable table), so an up-front check suffices.
+  if (deadline_expired(deadline)) {
+    throw DeadlineExceeded("batch expired before answering");
   }
   const std::uint32_t sigma = oracle.num_sources();
   const BatchPlan plan = plan_shards(oracle, queries);
@@ -249,7 +257,7 @@ struct QueryService::AsyncBatch {
 
 std::future<BatchResult> QueryService::submit_batch_impl(
     std::function<std::shared_ptr<const Snapshot>()> resolve, std::vector<Query> queries,
-    BatchCallback done) {
+    BatchCallback done, Deadline deadline) {
   auto state = std::make_shared<AsyncBatch>();
   state->queries = std::move(queries);
   state->callback = std::move(done);
@@ -259,15 +267,24 @@ std::future<BatchResult> QueryService::submit_batch_impl(
   // Everything heavy — the oracle resolve (a cold-cache build is a full
   // MSRP solve), validation, sharding, answering — happens inside pool
   // tasks. This submit only enqueues one closure.
-  pool_.submit([this, state, resolve = std::move(resolve)] {
+  pool_.submit([this, state, resolve = std::move(resolve), deadline] {
     try {
       state->oracle = resolve();
+      // delay action: burns the batch's budget right where a slow cold
+      // build or a saturated pool would, so deadline tests are exact.
+      (void)MSRP_FAILPOINT("service.answer");
+      // The resolve may have been a full cold build, or the batch may have
+      // queued behind a saturated pool — either can consume the whole
+      // budget before a single answer is computed.
+      if (deadline_expired(deadline)) {
+        throw DeadlineExceeded("batch expired before answering");
+      }
       const Snapshot& oracle = *state->oracle;
       if (sharding()) {
         // The worker processes are the parallelism; routing occupies just
         // this one pool task (and never blocks on other pool tasks, so the
         // no-worker-waits-on-workers pool invariant holds).
-        state->answers = router_for(oracle)->query_batch(state->queries);
+        state->answers = router_for(oracle)->query_batch(state->queries, deadline);
         queries_served_.fetch_add(state->queries.size(), std::memory_order_relaxed);
         state->deliver(BatchResult{std::move(state->answers), state->oracle, nullptr});
         return;
@@ -338,11 +355,12 @@ std::future<BatchResult> QueryService::submit_batch(Graph g, std::vector<Vertex>
 }
 
 void QueryService::submit_batch(std::shared_ptr<const Snapshot> oracle,
-                                std::vector<Query> queries, BatchCallback done) {
+                                std::vector<Query> queries, BatchCallback done,
+                                Deadline deadline) {
   MSRP_REQUIRE(oracle != nullptr, "submit_batch: null oracle");
   MSRP_REQUIRE(done != nullptr, "submit_batch: null callback");
   submit_batch_impl([oracle = std::move(oracle)] { return oracle; }, std::move(queries),
-                    std::move(done));
+                    std::move(done), deadline);
 }
 
 void QueryService::submit_batch(Graph g, std::vector<Vertex> sources, Config cfg,

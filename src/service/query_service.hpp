@@ -58,6 +58,7 @@
 #include "service/query.hpp"
 #include "service/snapshot.hpp"
 #include "service/thread_pool.hpp"
+#include "util/deadline.hpp"
 
 namespace msrp::service {
 
@@ -144,8 +145,11 @@ class QueryService {
   /// query names a non-source s, or an out-of-range t or e; no partial
   /// answers are produced in that case. Safe to call from several threads
   /// concurrently: batches share the worker pool but track their own
-  /// completion.
-  std::vector<Dist> query_batch(const Snapshot& oracle, std::span<const Query> queries);
+  /// completion. A non-default `deadline` bounds the wait: the sharded
+  /// path hands it to the router (whose collector enforces it mid-flight);
+  /// either path throws DeadlineExceeded instead of answering late.
+  std::vector<Dist> query_batch(const Snapshot& oracle, std::span<const Query> queries,
+                                Deadline deadline = kNoDeadline);
 
   // ----- async API --------------------------------------------------------
 
@@ -162,9 +166,12 @@ class QueryService {
 
   /// Callback flavours of the two overloads above; `done` runs on a pool
   /// worker once the batch completes (or fails, with BatchResult::error
-  /// set).
+  /// set). `deadline` bounds the whole batch: an expired batch fails with
+  /// DeadlineExceeded in BatchResult::error instead of waiting — checked
+  /// after the oracle resolve and enforced continuously inside the shard
+  /// router while answers are in flight.
   void submit_batch(std::shared_ptr<const Snapshot> oracle, std::vector<Query> queries,
-                    BatchCallback done);
+                    BatchCallback done, Deadline deadline = kNoDeadline);
   void submit_batch(Graph g, std::vector<Vertex> sources, Config cfg,
                     std::vector<Query> queries, BatchCallback done);
 
@@ -205,7 +212,7 @@ class QueryService {
 
   std::future<BatchResult> submit_batch_impl(
       std::function<std::shared_ptr<const Snapshot>()> resolve,
-      std::vector<Query> queries, BatchCallback done);
+      std::vector<Query> queries, BatchCallback done, Deadline deadline = kNoDeadline);
 
   /// Returns (creating on first use) the shard router serving `oracle`,
   /// keyed by content digest. Routers are kept in a small LRU so a stream

@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "service/backoff.hpp"
 #include "service/shard_channel.hpp"
 #include "service/snapshot.hpp"
+#include "util/env.hpp"
+#include "util/failpoint.hpp"
 #include "util/futex.hpp"
 #include "util/shm.hpp"
 
@@ -74,13 +77,38 @@ int run_shard_worker(const ShardWorkerConfig& cfg) {
 
     const ShardBackoff bo = ShardBackoff::from_env();
 
+    if (MSRP_FAILPOINT("shard_worker.attach_corrupt")) {
+      // Tear the shared image so attach-time validation must catch it. XOR
+      // is involutory: a later armed spawn flips the byte back, so a
+      // respawn cycle can also demonstrate recovery.
+      ShmSegment rw = ShmSegment::open(shard_snapshot_name(cfg.base_name, cfg.shard_index),
+                                       /*writable=*/true);
+      if (rw.size() > 0) {
+        static_cast<std::uint8_t*>(rw.data())[rw.size() / 2] ^= 0xff;
+      }
+    }
+
     // The snapshot image is attached zero-copy: the oracle's table spans
     // alias the read-only segment, so every worker serves the one copy the
-    // supervisor placed.
+    // supervisor placed. Validation covers the full image by default (the
+    // header/meta checksum always, the cells checksum unless
+    // MSRP_SHARD_VERIFY_ATTACH=0): a worker must fail fast on a corrupt or
+    // torn mapping, not serve garbage from it.
     auto snap_seg = std::make_shared<ShmSegment>(
         ShmSegment::open(shard_snapshot_name(cfg.base_name, cfg.shard_index)));
-    const Snapshot oracle = Snapshot::attach(snap_seg->data(), snap_seg->size(), snap_seg,
-                                             {.verify_cells = false});
+    const bool verify_cells = env::u64_or("MSRP_SHARD_VERIFY_ATTACH", 1) != 0;
+    std::optional<Snapshot> attached;
+    try {
+      attached.emplace(Snapshot::attach(snap_seg->data(), snap_seg->size(), snap_seg,
+                                        {.verify_cells = verify_cells}));
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "shard worker %s.%u: snapshot image rejected at attach: %s\n",
+                   cfg.base_name.c_str(), cfg.shard_index, ex.what());
+      ch->worker_state().store(ShardChannel::kExited, std::memory_order_release);
+      util::futex_wake_u32(ch->worker_state(), 1);
+      return kShardWorkerExitBadSnapshot;
+    }
+    const Snapshot& oracle = *attached;
     const Vertex n = oracle.num_vertices();
     const EdgeId m = oracle.num_edges();
     const std::uint32_t sigma = oracle.num_sources();
@@ -100,12 +128,19 @@ int run_shard_worker(const ShardWorkerConfig& cfg) {
       ShardRequest req;
       while (ch->try_pop_request(req)) {
         worked = true;
+        // Crash window 1: the request left the ring but was never answered.
+        // Respawn must requeue it from the supervisor's in-flight ledger.
+        (void)MSRP_FAILPOINT("shard_worker.pop");
         // The router validates queries against the full oracle before
         // routing; re-clamp here anyway so a corrupted ring can only yield
         // a wrong answer, never an out-of-bounds read.
         const Dist answer = (req.si < sigma && req.t < n && req.e < m)
                                 ? oracle.avoiding_at(req.si, req.t, req.e)
                                 : kInfDist;
+        // Crash window 2: answer computed, never pushed (same requeue
+        // obligation, later point of death). Armed with delay:USEC this is
+        // the "slow reply near the deadline edge" site.
+        (void)MSRP_FAILPOINT("shard_worker.reply");
         ShardResponse resp{req.tag, answer, 0};
         std::uint64_t full_spins = 0;
         while (!ch->try_push_response(resp)) {
@@ -124,7 +159,10 @@ int run_shard_worker(const ShardWorkerConfig& cfg) {
           std::this_thread::sleep_for(std::chrono::microseconds(10));
         }
       }
-      if (worked) ring_back();
+      // Lost-wake injection: responses were pushed but the doorbell stays
+      // silent — the collector must still make progress off its bounded
+      // futex wait (backoff.hpp wait_timeout_us), just slower.
+      if (worked && !MSRP_FAILPOINT("shard_worker.lost_wake")) ring_back();
       if (ch->stop_flag().load(std::memory_order_acquire) != 0) break;
       if (worked) {
         idle_spins = 0;

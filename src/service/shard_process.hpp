@@ -28,6 +28,14 @@ struct ShardWorkerConfig {
   std::uint32_t shard_index = 0;
 };
 
+/// Exit code of a worker whose snapshot segment failed attach-time
+/// validation (checksum/shape mismatch — a corrupt or torn image). Distinct
+/// from 0 (clean stop), 1 (generic failure), 2 (bad --shard-worker spec)
+/// and 127 (exec failure) so the supervisor can log it meaningfully. Set
+/// MSRP_SHARD_VERIFY_ATTACH=0 to skip the (full-image) cells checksum and
+/// only verify the header, as before.
+inline constexpr int kShardWorkerExitBadSnapshot = 3;
+
 /// Name of shard k's channel segment: "<base>.c<k>".
 std::string shard_channel_name(const std::string& base, std::uint32_t k);
 /// Name of shard k's snapshot segment: "<base>.s<k>".

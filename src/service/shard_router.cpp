@@ -287,10 +287,43 @@ void ShardRouter::respawn_worker(unsigned k) {
     }
 #endif
   }
-  sh.ch->generation().fetch_add(1, std::memory_order_acq_rel);
-  sh.ch->reset_rings();
-  spawn_worker(k);
-  wait_worker_ready(k);
+  // A replacement can die during startup too — a rejected snapshot image,
+  // an OOM kill, a crash in attach. Startup death here is cheap to retry,
+  // and retrying is strictly better than failing every in-flight batch,
+  // so the seat gets a few fresh spawns before the failure counts as
+  // sticky and propagates.
+  constexpr int kSpawnAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    sh.ch->generation().fetch_add(1, std::memory_order_acq_rel);
+    sh.ch->reset_rings();
+    spawn_worker(k);
+    try {
+      wait_worker_ready(k);
+      break;
+    } catch (const std::runtime_error&) {
+      // Reap the failed incarnation so the next spawn starts clean.
+#if MSRP_HAVE_FORK
+      if (!opts_.workers_in_process) {
+        long pid;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          pid = sh.pid;
+        }
+        if (pid >= 0) {
+          ::kill(static_cast<::pid_t>(pid), SIGKILL);
+          int status = 0;
+          ::waitpid(static_cast<::pid_t>(pid), &status, 0);
+          std::lock_guard<std::mutex> lk(mu_);
+          sh.pid = -1;
+        }
+      }
+#endif
+      if (opts_.workers_in_process && sh.thr.joinable()) sh.thr.join();
+      if (attempt >= kSpawnAttempts) throw;
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.respawns += 1;  // the failed incarnation still counts
+    }
+  }
   std::lock_guard<std::mutex> lk(mu_);
   stats_.respawns += 1;
 }
@@ -352,15 +385,20 @@ void ShardRouter::stop_all_workers() noexcept {
   // ~ShmSegment unmaps and unlinks each owned segment when shards_ dies.
 }
 
-std::vector<Dist> ShardRouter::query_batch(std::span<const Query> queries) {
+std::vector<Dist> ShardRouter::query_batch(std::span<const Query> queries,
+                                           Deadline deadline) {
   const unsigned num_shards = plan_.num_shards();
   MSRP_REQUIRE(queries.size() <= 0xffffffffull,
                "shard router: batch exceeds the 2^32 tag-index space");
+  if (deadline_expired(deadline)) {
+    throw DeadlineExceeded("batch expired before routing");
+  }
 
   // Validate and bucket by owning shard before involving the collector.
   // Buckets keep batch order within a shard; tag indices are batch
   // indices, so the merge is a plain indexed store.
   Batch b;
+  b.deadline = deadline;
   b.queries = queries;
   b.local_si.resize(queries.size());
   b.buckets.resize(num_shards);
@@ -396,7 +434,11 @@ std::vector<Dist> ShardRouter::query_batch(std::span<const Query> queries) {
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [&] { return b.done; });
   }
-  if (!b.error.empty()) throw std::runtime_error("shard router: " + b.error);
+  if (!b.error.empty()) {
+    if (is_deadline_exceeded_message(b.error)) throw DeadlineExceeded(b.error.substr(
+        std::min(b.error.size(), kDeadlineExceededPrefix.size() + 2)));
+    throw std::runtime_error("shard router: " + b.error);
+  }
   return std::move(b.out);
 }
 
@@ -488,6 +530,7 @@ bool ShardRouter::drain_submissions() {
       b->ns = next_ns_++;
     } while (active_.count(b->ns) != 0);  // 2^32 wrap vs a still-live batch
     active_.emplace(b->ns, b);
+    if (b->deadline != kNoDeadline) any_deadline_ = true;
     for (unsigned k = 0; k < shards_.size(); ++k) {
       for (std::uint32_t qi : b->buckets[k]) pending_[k].push_back({b, qi});
     }
@@ -498,8 +541,47 @@ bool ShardRouter::drain_submissions() {
   return true;
 }
 
+bool ShardRouter::expire_batches() {
+  if (!any_deadline_) return false;
+  const auto now = std::chrono::steady_clock::now();
+  bool any_left = false;
+  bool expired_any = false;
+  for (auto it = active_.begin(); it != active_.end();) {
+    Batch* b = it->second;
+    if (b->deadline == kNoDeadline || now < b->deadline) {
+      any_left = any_left || b->deadline != kNoDeadline;
+      ++it;
+      continue;
+    }
+    // Abandon the batch: purge its unanswered queries everywhere so the
+    // deque fronts stay consistent; answers already in the response rings
+    // arrive for a namespace no longer active and are dropped by
+    // collector_poll. The worker-side work for them is wasted by design —
+    // the caller stopped caring at the deadline.
+    for (unsigned k = 0; k < shards_.size(); ++k) {
+      for (auto* q : {&pending_[k], &inflight_[k]}) {
+        q->erase(std::remove_if(q->begin(), q->end(),
+                                [&](const Entry& e) { return e.b == b; }),
+                 q->end());
+      }
+    }
+    it = active_.erase(it);
+    expired_any = true;
+    std::lock_guard<std::mutex> lk(mu_);
+    b->error = std::string(kDeadlineExceededPrefix) +
+               ": batch expired in shard router with " +
+               std::to_string(b->remaining) + " answers outstanding";
+    b->done = true;
+    stats_.deadlines_expired += 1;
+    done_cv_.notify_all();
+  }
+  any_deadline_ = any_left;
+  return expired_any;
+}
+
 bool ShardRouter::collector_poll() {
   bool progress = drain_submissions();
+  progress = expire_batches() || progress;
 
   for (unsigned k = 0; k < shards_.size(); ++k) {
     Shard& sh = shards_[k];
@@ -509,7 +591,14 @@ bool ShardRouter::collector_poll() {
       const std::uint32_t ns = tag_namespace(resp.tag);
       const std::uint32_t qi = tag_index(resp.tag);
       const auto it = active_.find(ns);
-      MSRP_CHECK(it != active_.end(), "shard router: response for unknown namespace");
+      if (it == active_.end()) {
+        // A late answer for a batch that already expired or failed: its
+        // bookkeeping was purged when it completed, so the answer is
+        // simply dropped. A namespace that was never issued at all is
+        // still an invariant breach.
+        MSRP_CHECK(ns < next_ns_, "shard router: response for unknown namespace");
+        continue;
+      }
       Batch* b = it->second;
       MSRP_CHECK(qi < b->out.size(), "shard router: response tag out of range");
       b->out[qi] = resp.answer;

@@ -1,6 +1,8 @@
 #include "service/snapshot.hpp"
 
 #include <bit>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -8,7 +10,14 @@
 
 #include "service/mmap_file.hpp"
 #include "tree/bfs_tree.hpp"
+#include "util/failpoint.hpp"
 #include "util/fnv.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MSRP_HAVE_FSYNC_SAVE 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace msrp::service {
 namespace {
@@ -553,11 +562,58 @@ Snapshot Snapshot::read(std::istream& is) {
 }
 
 void Snapshot::save(const std::string& path, SnapshotFormat format) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  // Crash-safe save: write a temp file IN THE TARGET DIRECTORY (rename is
+  // only atomic within a filesystem), fsync it, then rename over `path`.
+  // A crash at any point leaves either the old file or the complete new
+  // one — never a truncated snapshot a later load would choke on.
   const std::vector<std::uint8_t> buf = encode(format);
-  f.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
-  if (!f) throw std::runtime_error("write failed: " + path);
+  const std::string tmp = path + ".tmp." + std::to_string(
+#if MSRP_HAVE_FSYNC_SAVE
+      static_cast<unsigned long>(::getpid())
+#else
+      0ul
+#endif
+  );
+#if MSRP_HAVE_FSYNC_SAVE
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw std::runtime_error("cannot open for writing: " + tmp);
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ::ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write failed: " + tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    throw std::runtime_error("fsync failed: " + tmp);
+  }
+  ::close(fd);
+#else
+  {
+    std::ofstream f(tmp, std::ios::binary);
+    if (!f) throw std::runtime_error("cannot open for writing: " + tmp);
+    f.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write failed: " + tmp);
+    }
+  }
+#endif
+  // crash action: the durable temp file exists but `path` was never
+  // replaced — exactly the mid-save power cut the rename protects against.
+  (void)MSRP_FAILPOINT("snapshot.save");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("rename failed: " + tmp + " -> " + path);
+  }
 }
 
 Snapshot Snapshot::load(const std::string& path, const LoadOptions& opts) {

@@ -1,0 +1,224 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace msrp::fail {
+namespace {
+
+enum class Action : int { kOff = 0, kError = 1, kCrash = 2, kDelay = 3 };
+
+// One armed site. hit() reads these fields with plain atomic loads and no
+// lock, so a process that forks mid-hit can never hand a child a poisoned
+// mutex; only writers (set/clear, rare and test-only) serialize.
+struct Point {
+  std::atomic<const char*> name{nullptr};  // interned; published last
+  std::atomic<int> action{0};
+  std::atomic<std::uint64_t> arg{0};        // delay microseconds
+  std::atomic<std::uint64_t> every{1};      // fire on every K-th hit
+  std::atomic<std::int64_t> remaining{-1};  // fires left; -1 = unlimited
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+constexpr std::size_t kMaxPoints = 64;
+Point g_points[kMaxPoints];
+std::atomic<std::size_t> g_count{0};
+// Count of sites currently armed (action != kOff) — the hit() fast path.
+std::atomic<int> g_armed{0};
+std::mutex g_write_mu;
+std::once_flag g_env_once;
+
+Point* find(const char* name) {
+  const std::size_t n = g_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* pn = g_points[i].name.load(std::memory_order_acquire);
+    if (pn != nullptr && std::strcmp(pn, name) == 0) return &g_points[i];
+  }
+  return nullptr;
+}
+
+// Caller holds g_write_mu.
+Point* find_or_add_locked(const char* name) {
+  if (Point* p = find(name)) return p;
+  const std::size_t n = g_count.load(std::memory_order_relaxed);
+  if (n >= kMaxPoints) return nullptr;
+  Point& p = g_points[n];
+  // Names are interned and deliberately never freed: a concurrent hit()
+  // may hold the pointer past clear_all().
+  char* copy = new char[std::strlen(name) + 1];
+  std::strcpy(copy, name);
+  p.name.store(copy, std::memory_order_release);
+  g_count.store(n + 1, std::memory_order_release);
+  return &p;
+}
+
+struct ParsedSpec {
+  Action action = Action::kOff;
+  std::uint64_t arg = 0;
+  std::uint64_t every = 1;
+  std::int64_t remaining = -1;
+};
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// Grammar: action[:arg][*max][%every], e.g. "crash*1", "delay:500%3".
+bool parse_spec(const std::string& spec, ParsedSpec* out) {
+  std::string head = spec;
+  // Peel *max and %every suffixes (either order).
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::size_t star = head.find_last_of("*%");
+    if (star == std::string::npos) break;
+    std::uint64_t v = 0;
+    if (!parse_u64(head.substr(star + 1), &v)) return false;
+    if (head[star] == '*') {
+      out->remaining = static_cast<std::int64_t>(v);
+    } else {
+      if (v == 0) return false;
+      out->every = v;
+    }
+    head.erase(star);
+  }
+  const std::size_t colon = head.find(':');
+  const std::string action = head.substr(0, colon);
+  std::string arg;
+  if (colon != std::string::npos) arg = head.substr(colon + 1);
+  if (action == "off") {
+    out->action = Action::kOff;
+    return arg.empty();
+  }
+  if (action == "error") {
+    out->action = Action::kError;
+    return arg.empty();
+  }
+  if (action == "crash") {
+    out->action = Action::kCrash;
+    return arg.empty();
+  }
+  if (action == "delay") {
+    out->action = Action::kDelay;
+    return parse_u64(arg, &out->arg);
+  }
+  return false;
+}
+
+void apply_locked(Point* p, const ParsedSpec& s) {
+  const bool was_armed = p->action.load(std::memory_order_relaxed) != 0;
+  p->arg.store(s.arg, std::memory_order_relaxed);
+  p->every.store(s.every, std::memory_order_relaxed);
+  p->remaining.store(s.remaining, std::memory_order_relaxed);
+  p->hits.store(0, std::memory_order_relaxed);
+  p->fires.store(0, std::memory_order_relaxed);
+  p->action.store(static_cast<int>(s.action), std::memory_order_release);
+  const bool armed = s.action != Action::kOff;
+  if (armed && !was_armed) g_armed.fetch_add(1, std::memory_order_relaxed);
+  if (!armed && was_armed) g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void parse_env_locked() {
+  const char* env = std::getenv("MSRP_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string all(env);
+  std::size_t pos = 0;
+  while (pos < all.size()) {
+    std::size_t end = all.find_first_of(";,", pos);
+    if (end == std::string::npos) end = all.size();
+    const std::string item = all.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) continue;  // malformed: skip
+    ParsedSpec s;
+    if (!parse_spec(item.substr(eq + 1), &s)) continue;
+    if (Point* p = find_or_add_locked(item.substr(0, eq).c_str())) apply_locked(p, s);
+  }
+}
+
+}  // namespace
+
+void load_env() {
+  std::lock_guard<std::mutex> lk(g_write_mu);
+  parse_env_locked();
+}
+
+bool hit(const char* name) {
+  std::call_once(g_env_once, load_env);
+  if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+  Point* p = find(name);
+  if (p == nullptr) return false;
+  const auto action = static_cast<Action>(p->action.load(std::memory_order_acquire));
+  if (action == Action::kOff) return false;
+  const std::uint64_t hits = p->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t every = p->every.load(std::memory_order_relaxed);
+  if (every > 1 && hits % every != 0) return false;
+  // Bounded-fire sites count down; <= 0 means spent. The decrement is not
+  // exact under concurrent hits, which is fine for fault injection.
+  std::int64_t rem = p->remaining.load(std::memory_order_relaxed);
+  if (rem == 0) return false;
+  if (rem > 0) p->remaining.fetch_sub(1, std::memory_order_relaxed);
+  p->fires.fetch_add(1, std::memory_order_relaxed);
+  switch (action) {
+    case Action::kError:
+      return true;
+    case Action::kCrash:
+      // _Exit: no atexit handlers, no leak reports, no stack unwind — the
+      // closest portable stand-in for a SIGKILL'd process.
+      std::_Exit(kCrashExitCode);
+    case Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(p->arg.load(std::memory_order_relaxed)));
+      return false;
+    case Action::kOff:
+      break;
+  }
+  return false;
+}
+
+bool set(const char* name, const std::string& spec) {
+  ParsedSpec s;
+  if (!parse_spec(spec, &s)) return false;
+  std::lock_guard<std::mutex> lk(g_write_mu);
+  Point* p = find_or_add_locked(name);
+  if (p == nullptr) return false;
+  apply_locked(p, s);
+  return true;
+}
+
+void clear(const char* name) {
+  std::lock_guard<std::mutex> lk(g_write_mu);
+  Point* p = find(name);
+  if (p == nullptr) return;
+  const bool was_armed = p->action.load(std::memory_order_relaxed) != 0;
+  p->action.store(static_cast<int>(Action::kOff), std::memory_order_release);
+  if (was_armed) g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void clear_all() {
+  std::lock_guard<std::mutex> lk(g_write_mu);
+  const std::size_t n = g_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point& p = g_points[i];
+    const bool was_armed = p.action.load(std::memory_order_relaxed) != 0;
+    p.action.store(static_cast<int>(Action::kOff), std::memory_order_release);
+    if (was_armed) g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t fire_count(const char* name) {
+  Point* p = find(name);
+  return p == nullptr ? 0 : p->fires.load(std::memory_order_relaxed);
+}
+
+}  // namespace msrp::fail

@@ -1,0 +1,86 @@
+// Named failure-injection sites (failpoints).
+//
+// A failpoint is a compiled-in hook at a fragile seam — a worker about to
+// pop a request, a server about to flush a socket, a snapshot save between
+// write and rename — that tests and chaos harnesses can arm to misbehave
+// on demand: return an error, crash the process, or stall for a while.
+// Sites are compiled in only under -DMSRP_FAILPOINTS=ON (the MSRP_FAILPOINT
+// macro collapses to `false` otherwise, so production builds carry zero
+// overhead and cannot be armed by a stray environment variable).
+//
+// Arming a site, programmatically or from the environment:
+//
+//   msrp::fail::set("shard_worker.pop", "crash*1");    // in-process
+//   MSRP_FAILPOINTS="shard_worker.pop=crash*1" ./binary  // from outside
+//
+// The spec grammar is `action[:arg][*max][%every]`:
+//
+//   off          disarm
+//   error        the site takes its failure branch (MSRP_FAILPOINT -> true)
+//   crash        std::_Exit(kCrashExitCode) at the site
+//   delay:USEC   sleep USEC microseconds, then continue normally
+//   *N           fire at most N times (e.g. `crash*1` = one-shot)
+//   %K           fire on every K-th hit only (e.g. `delay:500%3`)
+//
+// Multiple sites: `MSRP_FAILPOINTS="a=crash*1;b=delay:100"` (`;` or `,`).
+// The environment is parsed once, on the first hit; set()/clear() override
+// it at any time. Configuration survives fork (shared address-space copy)
+// and exec (the environment propagates), so shard worker processes can be
+// armed from the supervisor's test before it spawns them.
+//
+// hit() is lock-free on the read path — a fixed table of atomics — so a
+// site inside a fork-calling process can never deadlock a child on an
+// inherited mutex. docs/RELIABILITY.md catalogs every site in the tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msrp::fail {
+
+/// Whether failpoint sites are compiled into this build.
+#if defined(MSRP_FAILPOINTS)
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// Exit status of a `crash` action — distinct from every deliberate exit
+/// code in the tree, so tests can tell an injected crash from a real one.
+inline constexpr int kCrashExitCode = 86;
+
+/// One site evaluation: counts the hit, applies the armed action (crash and
+/// delay happen inside), and returns true when the site should take its
+/// error branch. Unarmed sites return false in a few atomic loads.
+bool hit(const char* name);
+
+/// Arms `name` with `spec` (grammar above). Returns false on a malformed
+/// spec (the site is left disarmed rather than half-armed).
+bool set(const char* name, const std::string& spec);
+
+/// Disarms one site / every site. Counters are kept (fire_count still
+/// reports) until reset by a new set() on the same name.
+void clear(const char* name);
+void clear_all();
+
+/// Times the armed action actually fired at this site (not mere hits).
+std::uint64_t fire_count(const char* name);
+
+/// Forces (re-)parsing of MSRP_FAILPOINTS from the environment. Called
+/// implicitly by the first hit(); exposed for tests that mutate the
+/// environment mid-process.
+void load_env();
+
+}  // namespace msrp::fail
+
+/// The site macro. Reads as "should this site fail now?":
+///
+///   if (MSRP_FAILPOINT("server.flush")) { /* injected failure branch */ }
+///
+/// Sites whose only meaningful actions are crash/delay may ignore the
+/// result: `(void)MSRP_FAILPOINT("shard_worker.pop");`
+#if defined(MSRP_FAILPOINTS)
+#define MSRP_FAILPOINT(name) (::msrp::fail::hit(name))
+#else
+#define MSRP_FAILPOINT(name) (false)
+#endif

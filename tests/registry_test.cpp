@@ -53,7 +53,7 @@ struct ManualSubmit {
 
   FairDispatcher::Submit fn() {
     return [this](std::shared_ptr<const Snapshot>, std::vector<Query> queries,
-                  service::BatchCallback done) {
+                  service::BatchCallback done, Deadline) {
       if (throw_on_submit) throw std::runtime_error("submit refused");
       captured.push_back({queries.empty() ? Vertex{0} : queries[0].s, std::move(done)});
     };
@@ -263,18 +263,28 @@ TEST(OracleRegistry, AdmissionRejectsBeyondMaxTenants) {
   EXPECT_EQ(reg.tenant_count(), 1u);
 }
 
-TEST(OracleRegistry, InvalidSourcesFailAndReleaseTheSlot) {
+TEST(OracleRegistry, InvalidSourcesFailButStayListableUntilDisplaced) {
   RegistryFixture fx;
   OracleRegistry reg(fx.svc, {.max_tenants = 1});
   const RegisterOutcome bad =
       fx.register_and_wait(reg, fx.g, {fx.g.num_vertices() + 7});  // out of range
   EXPECT_EQ(bad.state, OracleState::kFailed);
   EXPECT_FALSE(bad.error.empty());
-  EXPECT_EQ(reg.tenant_count(), 0u);  // slot released, not leaked
 
-  // The freed slot admits the next registration.
+  // The failure keeps its slot for reason visibility: it is listable,
+  // state kFailed, with the build error attached.
+  EXPECT_EQ(reg.tenant_count(), 1u);
+  const auto listed = reg.list();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].state, OracleState::kFailed);
+  EXPECT_FALSE(listed[0].error.empty());
+
+  // But it never blocks admission — a full registry displaces the oldest
+  // failure to admit a live registration.
   const RegisterOutcome good = fx.register_and_wait(reg, fx.g, fx.sources);
   EXPECT_EQ(good.state, OracleState::kReady);
+  EXPECT_EQ(reg.tenant_count(), 1u);
+  EXPECT_EQ(reg.state(good.digest), OracleState::kReady);
 }
 
 TEST(OracleRegistry, ReRegisteringTheSameDigestIsIdempotent) {
@@ -316,7 +326,12 @@ TEST(OracleRegistry, ByteBudgetRejectsAtCompletion) {
   const RegisterOutcome out = fx.register_and_wait(reg, fx.g, fx.sources);
   EXPECT_EQ(out.state, OracleState::kFailed);
   EXPECT_NE(out.error.find("byte budget"), std::string::npos);
-  EXPECT_EQ(reg.tenant_count(), 0u);
+  // The rejection is retained as a listable kFailed slot, reason attached.
+  EXPECT_EQ(reg.tenant_count(), 1u);
+  const auto listed = reg.list();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].state, OracleState::kFailed);
+  EXPECT_NE(listed[0].error.find("byte budget"), std::string::npos);
 }
 
 TEST(OracleRegistry, RegisterSnapshotPathLoadsAndFailsCleanly) {
@@ -340,7 +355,10 @@ TEST(OracleRegistry, RegisterSnapshotPathLoadsAndFailsCleanly) {
   const RegisterOutcome bad = bad_promise.get_future().get();
   EXPECT_EQ(bad.state, OracleState::kFailed);
   EXPECT_FALSE(bad.error.empty());
-  EXPECT_EQ(reg.tenant_count(), 1u);  // only the good one survives
+  // The good oracle serves; the failure sits beside it as a kFailed slot
+  // until the failed-TTL reap (or an unregister) clears it.
+  EXPECT_EQ(reg.tenant_count(), 2u);
+  EXPECT_EQ(reg.state(ok.digest), OracleState::kReady);
   std::remove(path.c_str());
 }
 

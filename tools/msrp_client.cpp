@@ -38,6 +38,11 @@
 //   --duration S           load-mode seconds (default 5)
 //   --seed N               RNG seed for generated queries (default 1)
 //   --retries N            extra connect attempts, 200 ms apart (default 25)
+//   --deadline-ms N        end-to-end budget per batch, carried on the wire;
+//                          batch mode retries on backoff inside the budget,
+//                          load mode counts DEADLINE_EXCEEDED batches
+//   --max-attempts N       batch-mode retry attempts within the deadline
+//                          (default 3; needs --deadline-ms)
 //   --register <path>      register this edge-list graph first and target
 //                          its oracle (requires --sources; needs a
 //                          --registry server)
@@ -77,6 +82,7 @@ namespace {
                "usage: msrp_client --connect host:port --batch-file <path> [--out <path>]\n"
                "       msrp_client --connect host:port [--connections N] [--batch-size B]\n"
                "                   [--inflight K] [--duration S] [--seed N] [--retries N]\n"
+               "                   [--deadline-ms N] [--max-attempts N]\n"
                "       msrp_client --connect host:port --register <graph> --sources a,b,c\n"
                "                   [--build-seed N] [...batch or load options]\n"
                "       msrp_client --connect host:port --digest HEX [...batch or load options]\n"
@@ -114,7 +120,8 @@ std::vector<service::Query> random_batch(const Target& target, std::size_t count
 struct LoadResult {
   std::uint64_t batches = 0;
   std::uint64_t queries = 0;
-  std::uint64_t busy = 0;  // batches the server rejected under load
+  std::uint64_t busy = 0;      // batches the server rejected under load
+  std::uint64_t expired = 0;   // batches answered DEADLINE_EXCEEDED
   std::vector<double> latencies_ms;  // one entry per completed batch
   std::string error;
 };
@@ -148,6 +155,8 @@ int main(int argc, char** argv) {
   double duration_s = 5.0;
   std::uint64_t seed = 1;
   unsigned retries = 25;
+  std::uint64_t deadline_ms = 0;
+  unsigned max_attempts = 3;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -173,6 +182,11 @@ int main(int argc, char** argv) {
       seed = tools::cli_u64(next(), "--seed");
     } else if (arg == "--retries") {
       retries = static_cast<unsigned>(tools::cli_u64(next(), "--retries"));
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = tools::cli_u64(next(), "--deadline-ms");
+    } else if (arg == "--max-attempts") {
+      max_attempts = static_cast<unsigned>(tools::cli_u64(next(), "--max-attempts"));
+      if (max_attempts == 0) max_attempts = 1;
     } else if (arg == "--register") {
       register_path = next();
     } else if (arg == "--sources") {
@@ -283,10 +297,21 @@ int main(int argc, char** argv) {
     }
 
     if (!batch_path.empty()) {
-      // Batch mode: one connection, one batch, answers out.
+      // Batch mode: one connection, one batch, answers out. With a
+      // deadline the retry loop hides transient BUSY / connection loss /
+      // server-side expiry inside the budget; without one the legacy
+      // unbounded round trip is kept.
       const std::vector<service::Query> batch = tools::read_batch_file(batch_path);
       Timer t;
-      const std::vector<Dist> answers = client.query_batch(batch, target.digest);
+      std::vector<Dist> answers;
+      if (deadline_ms > 0) {
+        net::RetryPolicy policy;
+        policy.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
+        policy.max_attempts = max_attempts;
+        answers = client.query_batch_retry(batch, policy, target.digest);
+      } else {
+        answers = client.query_batch(batch, target.digest);
+      }
       std::printf("answered %zu queries in %.3f ms over TCP\n", batch.size(), t.millis());
       if (!out_path.empty()) {
         if (!tools::write_answer_file(out_path, batch, answers)) return 1;
@@ -310,10 +335,14 @@ int main(int argc, char** argv) {
           const auto deadline = std::chrono::steady_clock::now() +
                                 std::chrono::duration<double>(duration_s);
           std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point> sent_at;
+          const std::optional<std::uint32_t> batch_deadline =
+              deadline_ms > 0 ? std::optional<std::uint32_t>(
+                                    static_cast<std::uint32_t>(deadline_ms))
+                              : std::nullopt;
           while (std::chrono::steady_clock::now() < deadline) {
             while (worker.inflight() < inflight) {
               const auto batch = random_batch(target, batch_size, rng);
-              sent_at.emplace(worker.send(batch, target.digest),
+              sent_at.emplace(worker.send(batch, target.digest, batch_deadline),
                               std::chrono::steady_clock::now());
             }
             try {
@@ -333,6 +362,10 @@ int main(int argc, char** argv) {
               // and keep the pipeline full — overload is part of what the
               // load generator measures.
               ++res.busy;
+            } catch (const net::DeadlineError&) {
+              // The server gave up on the batch inside its budget — also a
+              // load signal, not a tool failure.
+              ++res.expired;
             }
           }
           while (worker.inflight() > 0) {  // drain the pipeline
@@ -342,6 +375,8 @@ int main(int argc, char** argv) {
               res.queries += got.answers.size();
             } catch (const net::BusyError&) {
               ++res.busy;
+            } catch (const net::DeadlineError&) {
+              ++res.expired;
             }
           }
         } catch (const std::exception& ex) {
@@ -352,7 +387,7 @@ int main(int argc, char** argv) {
     for (auto& t : threads) t.join();
     const double secs = wall.seconds();
 
-    std::uint64_t batches = 0, queries = 0, busy = 0;
+    std::uint64_t batches = 0, queries = 0, busy = 0, expired = 0;
     std::vector<double> lat;
     for (const LoadResult& res : results) {
       if (!res.error.empty()) {
@@ -362,17 +397,19 @@ int main(int argc, char** argv) {
       batches += res.batches;
       queries += res.queries;
       busy += res.busy;
+      expired += res.expired;
       lat.insert(lat.end(), res.latencies_ms.begin(), res.latencies_ms.end());
     }
     std::sort(lat.begin(), lat.end());
     std::printf("connections=%u batch=%zu inflight=%zu duration=%.1fs\n", connections,
                 batch_size, inflight, duration_s);
     std::printf("completed %llu batches (%llu queries) in %.2f s: %.0f queries/s, "
-                "%llu busy rejections\n",
+                "%llu busy rejections, %llu deadline expirations\n",
                 static_cast<unsigned long long>(batches),
                 static_cast<unsigned long long>(queries), secs,
                 secs > 0 ? static_cast<double>(queries) / secs : 0.0,
-                static_cast<unsigned long long>(busy));
+                static_cast<unsigned long long>(busy),
+                static_cast<unsigned long long>(expired));
     std::printf("batch latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
                 percentile(lat, 0.50), percentile(lat, 0.90), percentile(lat, 0.99),
                 lat.empty() ? 0.0 : lat.back());

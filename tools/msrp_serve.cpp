@@ -43,6 +43,11 @@
 //                          printed). Composes with every oracle mode —
 //                          --build, --load-snapshot [--mmap], --shards N.
 //   --listen-addr <ip>     bind address (default 127.0.0.1)
+//   --idle-timeout-ms N    evict connections with no traffic for N ms
+//                          (0 = never, the default)
+//   --stall-timeout-ms N   evict connections whose replies make no write
+//                          progress for N ms — a stuck peer cannot pin
+//                          reply buffers forever (0 = never, the default)
 //   --loops N              event-loop threads; each gets its own
 //                          SO_REUSEPORT listener on the shared port (or
 //                          round-robin accept hand-off where REUSEPORT is
@@ -58,6 +63,12 @@
 //   --max-tenants N        resident-oracle cap for --registry (default 16)
 //   --registry-bytes N     summed-footprint byte budget for --registry
 //                          (0 = unlimited)
+//   --failed-ttl-ms N      how long a failed registration stays listable
+//                          (with its reason) before its slot is reaped
+//                          (default 60000; 0 = release immediately)
+//   --build-timeout-ms N   fail a registration that has not built within
+//                          N ms instead of letting it wedge (0 = never,
+//                          the default)
 //   --cache-ttl-ms N       oracle cache TTL (0 = never expire)
 //   --refresh-ahead X      rebuild cached oracles at X * TTL (0 < X < 1)
 //                          in the background so a warmed key never pays a
@@ -119,8 +130,9 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
                "         [--threads N] [--repeat K] [--async] [--shards N]\n"
                "         [--shard-spin N] [--shard-sleep-us N]\n"
                "         [--listen <port>] [--listen-addr <ip>] [--loops N]\n"
-               "         [--pin-workers]\n"
+               "         [--pin-workers] [--idle-timeout-ms N] [--stall-timeout-ms N]\n"
                "         [--registry] [--max-tenants N] [--registry-bytes N]\n"
+               "         [--failed-ttl-ms N] [--build-timeout-ms N]\n"
                "         [--cache-ttl-ms N] [--refresh-ahead X]\n"
                "         [--out <path>]\n"
                "       msrp_serve --registry --listen <port>   (empty multi-tenant server)\n");
@@ -144,7 +156,9 @@ void on_signal(int) { g_stop = 1; }
 int serve_network(service::QueryService& svc, std::shared_ptr<const service::Snapshot> oracle,
                   const std::string& addr, std::uint16_t port, unsigned loops,
                   bool pin_loops, bool use_registry, std::size_t max_tenants,
-                  std::size_t registry_bytes) {
+                  std::size_t registry_bytes, std::uint64_t idle_timeout_ms,
+                  std::uint64_t stall_timeout_ms, std::uint64_t failed_ttl_ms,
+                  std::uint64_t build_timeout_ms) {
   if (!net::Server::supported()) {
     std::fprintf(stderr, "error: --listen needs epoll (Linux)\n");
     return 1;
@@ -156,6 +170,8 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
     registry::RegistryOptions ropts;
     ropts.max_tenants = max_tenants;
     ropts.max_bytes = registry_bytes;
+    ropts.failed_ttl = std::chrono::milliseconds(failed_ttl_ms);
+    ropts.build_timeout = std::chrono::milliseconds(build_timeout_ms);
     reg = std::make_unique<registry::OracleRegistry>(svc, ropts);
   }
   net::ServerOptions sopts;
@@ -163,6 +179,8 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
   sopts.port = port;
   sopts.loops = loops;
   sopts.pin_loops = pin_loops;
+  sopts.idle_timeout_ms = idle_timeout_ms;
+  sopts.write_stall_timeout_ms = stall_timeout_ms;
   net::Server server(svc, std::move(oracle), reg.get(), sopts);
   if (loops > 1) std::printf("event loops: %u\n", loops);
   if (use_registry) {
@@ -207,6 +225,11 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
               static_cast<unsigned long long>(st.batch_errors),
               static_cast<unsigned long long>(st.protocol_errors),
               static_cast<unsigned long long>(st.replies_dropped));
+  if (st.deadline_exceeded != 0 || st.connections_evicted != 0) {
+    std::printf("reliability: %llu deadlines exceeded, %llu connections evicted\n",
+                static_cast<unsigned long long>(st.deadline_exceeded),
+                static_cast<unsigned long long>(st.connections_evicted));
+  }
   if (use_registry) {
     std::printf("registry: %llu oracles registered, %llu registrations failed, "
                 "%llu batches rejected busy, %zu tenants resident at shutdown\n",
@@ -255,6 +278,10 @@ int main(int argc, char** argv) {
   bool use_registry = false;
   std::size_t max_tenants = 16;
   std::size_t registry_bytes = 0;
+  std::uint64_t idle_timeout_ms = 0;
+  std::uint64_t stall_timeout_ms = 0;
+  std::uint64_t failed_ttl_ms = 60000;
+  std::uint64_t build_timeout_ms = 0;
   std::uint64_t cache_ttl_ms = 0;
   double refresh_ahead = 0.0;
   service::ShardBackoff backoff = service::ShardBackoff::from_env();
@@ -335,6 +362,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--registry-bytes") {
       registry_bytes = tools::cli_u64(next(), "--registry-bytes");
+    } else if (arg == "--idle-timeout-ms") {
+      idle_timeout_ms = tools::cli_u64(next(), "--idle-timeout-ms");
+    } else if (arg == "--stall-timeout-ms") {
+      stall_timeout_ms = tools::cli_u64(next(), "--stall-timeout-ms");
+    } else if (arg == "--failed-ttl-ms") {
+      failed_ttl_ms = tools::cli_u64(next(), "--failed-ttl-ms");
+    } else if (arg == "--build-timeout-ms") {
+      build_timeout_ms = tools::cli_u64(next(), "--build-timeout-ms");
     } else if (arg == "--cache-ttl-ms") {
       cache_ttl_ms = tools::cli_u64(next(), "--cache-ttl-ms");
     } else if (arg == "--refresh-ahead") {
@@ -426,7 +461,8 @@ int main(int argc, char** argv) {
       // (in-process build, mmap snapshot, sharded workers alike).
       return serve_network(svc, oracle, listen_addr,
                            static_cast<std::uint16_t>(listen_port), loops, pin_workers,
-                           use_registry, max_tenants, registry_bytes);
+                           use_registry, max_tenants, registry_bytes, idle_timeout_ms,
+                           stall_timeout_ms, failed_ttl_ms, build_timeout_ms);
     }
 
     std::vector<service::Query> batch;
