@@ -20,6 +20,14 @@
 //   * BM_NetMultiTenant/T — 512-query pipelined batches round-robined
 //     across T wire-registered oracles on one registry server: prices the
 //     digest lookup + fair-dispatch hop against the single-tenant rows.
+//   * BM_NetVitality/B — synchronous VITALITY_BATCH round trips of B
+//     top-k-most-vital queries: each answer walks the canonical path and
+//     sorts its edges, so the row prices the heaviest per-query assembly
+//     the v3 opcodes added, plus the variable-length reply encode.
+//   * BM_NetKFail/B — synchronous KFAIL_BATCH round trips with |F|
+//     cycling 0/1/2 per query: one third base reads, one third oracle
+//     rows, one third bounded BFS of G - F on the server pool — the
+//     worst-case mix a resilience audit sends.
 //
 // The deltas against BM_QueryBatch (same service, no socket) price the
 // network layer itself.
@@ -32,6 +40,7 @@
 #include "registry/oracle_registry.hpp"
 #include "service/query_gen.hpp"
 #include "service/query_service.hpp"
+#include "service/workloads.hpp"
 
 namespace msrp {
 namespace {
@@ -57,6 +66,40 @@ std::vector<service::Query> make_batch(std::size_t count, std::uint64_t seed) {
   Rng rng(seed);
   return service::random_query_batch(oracle.sources(), oracle.num_vertices(),
                                      oracle.num_edges(), count, rng);
+}
+
+std::vector<service::VitalityQuery> make_vitality_batch(std::size_t count,
+                                                        std::uint64_t seed) {
+  const service::Snapshot& oracle = *net_oracle();
+  Rng rng(seed);
+  std::vector<service::VitalityQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({oracle.sources()[rng.next_below(oracle.num_sources())],
+                   static_cast<Vertex>(rng.next_below(oracle.num_vertices())),
+                   1 + static_cast<std::uint32_t>(rng.next_below(8))});
+  }
+  return out;
+}
+
+/// |F| cycles 0/1/2 so each batch carries the full k-fail answer mix:
+/// base reads, single-failure oracle rows, and two-failure bounded BFS.
+std::vector<service::KFailQuery> make_kfail_batch(std::size_t count, std::uint64_t seed) {
+  const service::Snapshot& oracle = *net_oracle();
+  Rng rng(seed);
+  std::vector<service::KFailQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    service::KFailQuery q{oracle.sources()[rng.next_below(oracle.num_sources())],
+                          static_cast<Vertex>(rng.next_below(oracle.num_vertices())),
+                          {}};
+    while (q.fails.size() < i % 3) {
+      const EdgeId e = static_cast<EdgeId>(rng.next_below(oracle.num_edges()));
+      if (q.fails.empty() || q.fails.front() != e) q.fails.push_back(e);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
 }
 
 /// Loopback server shared by all rows; spawned on first use, reaped at
@@ -223,6 +266,38 @@ void BM_NetMultiTenant(benchmark::State& state) {
                           static_cast<std::int64_t>(kBatchSize));
 }
 BENCHMARK(BM_NetMultiTenant)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_NetVitality(benchmark::State& state) {
+  if (!net::Server::supported()) {
+    state.SkipWithError("epoll serving unsupported on this platform");
+    return;
+  }
+  net::Client client(loopback_options());
+  const auto batch = make_vitality_batch(static_cast<std::size_t>(state.range(0)), 17);
+  for (auto _ : state) {
+    auto results = client.vitality_batch(batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_NetVitality)->Arg(64)->Arg(1024)->UseRealTime();
+
+void BM_NetKFail(benchmark::State& state) {
+  if (!net::Server::supported()) {
+    state.SkipWithError("epoll serving unsupported on this platform");
+    return;
+  }
+  net::Client client(loopback_options());
+  const auto batch = make_kfail_batch(static_cast<std::size_t>(state.range(0)), 18);
+  for (auto _ : state) {
+    auto answers = client.kfail_batch(batch);
+    benchmark::DoNotOptimize(answers.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_NetKFail)->Arg(64)->Arg(1024)->UseRealTime();
 
 }  // namespace
 }  // namespace msrp

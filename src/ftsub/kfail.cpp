@@ -1,0 +1,50 @@
+#include "ftsub/kfail.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace msrp {
+
+namespace {
+
+bool failed(std::span<const EdgeId> fails, EdgeId e) {
+  // |fails| <= 2 in practice; a linear scan beats any set structure.
+  return std::find(fails.begin(), fails.end(), e) != fails.end();
+}
+
+}  // namespace
+
+Dist kfail_distance(const Graph& g, Vertex s, Vertex t,
+                    std::span<const EdgeId> fails, KFailScratch& scratch) {
+  const Vertex n = g.num_vertices();
+  MSRP_REQUIRE(s < n && t < n, "kfail_distance: vertex out of range");
+  for (EdgeId e : fails)
+    MSRP_REQUIRE(e < g.num_edges(), "kfail_distance: failed edge out of range");
+  if (s == t) return 0;
+
+  scratch.begin(n);
+  scratch.stamp[s] = scratch.epoch;
+  scratch.dist[s] = 0;
+  scratch.queue.push_back(s);
+  for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+    const Vertex u = scratch.queue[head];
+    const Dist du = scratch.dist[u];
+    for (const Arc& a : g.neighbors(u)) {
+      if (failed(fails, a.edge) || scratch.visited(a.to)) continue;
+      if (a.to == t) return du + 1;
+      scratch.stamp[a.to] = scratch.epoch;
+      scratch.dist[a.to] = du + 1;
+      scratch.queue.push_back(a.to);
+    }
+  }
+  return kInfDist;
+}
+
+Dist kfail_distance(const Graph& g, Vertex s, Vertex t,
+                    std::span<const EdgeId> fails) {
+  KFailScratch scratch;
+  return kfail_distance(g, s, t, fails, scratch);
+}
+
+}  // namespace msrp

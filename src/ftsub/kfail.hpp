@@ -1,0 +1,57 @@
+// Bounded-failure distances: d(s, t) in G - F for a small edge set F.
+//
+// The replacement-path oracle answers |F| == 1 in O(1); this module covers
+// the |F| <= k tail (k tiny, in practice 2 — service::kMaxKFailEdges) by a
+// plain BFS of G that skips the failed edges. That is the honest cost model
+// from the paper's discussion of dual failures: no subquadratic structure is
+// known for k >= 2 unweighted multi-source replacement paths, so the serving
+// stack prices those queries as one bounded BFS each.
+//
+// The scratch reuses the epoch-stamp idiom of the ftsub late-divergence BFS:
+// begin() bumps an epoch instead of clearing arrays, so a batch of k-fail
+// queries on one graph costs O(m + n) per query with zero re-zeroing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/distance.hpp"
+
+namespace msrp {
+
+/// Reusable BFS workspace for kfail_distance. One instance per thread;
+/// sharing across graphs of different sizes is fine (begin() regrows).
+struct KFailScratch {
+  std::vector<std::uint32_t> stamp;
+  std::vector<Dist> dist;
+  std::vector<Vertex> queue;
+  std::uint32_t epoch = 0;
+
+  void begin(Vertex n) {
+    if (stamp.size() < n) {
+      stamp.resize(n, 0);
+      dist.resize(n);
+    }
+    if (++epoch == 0) {  // wrapped: stale stamps could alias, refill once
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      epoch = 1;
+    }
+    queue.clear();
+  }
+  bool visited(Vertex v) const { return stamp[v] == epoch; }
+};
+
+/// d(s, t) in G - fails. Requires s, t < g.num_vertices(), every id in
+/// `fails` < g.num_edges(), and |fails| small (the BFS is O(m |fails|) in
+/// the worst case because each arc scan checks the failure list linearly).
+/// Returns kInfDist when t is unreachable after the failures.
+Dist kfail_distance(const Graph& g, Vertex s, Vertex t,
+                    std::span<const EdgeId> fails, KFailScratch& scratch);
+
+/// Convenience overload with a private scratch.
+Dist kfail_distance(const Graph& g, Vertex s, Vertex t,
+                    std::span<const EdgeId> fails);
+
+}  // namespace msrp

@@ -126,6 +126,9 @@ void Client::dial() {
   }
   decoder_ = FrameDecoder(opts_.max_frame_bytes);
   ready_.clear();
+  ready_vitality_.clear();
+  ready_vickrey_.clear();
+  ready_kfail_.clear();
   failed_.clear();
   busy_.clear();
   inflight_.clear();
@@ -181,10 +184,11 @@ void Client::reconnect() {
 }
 
 bool Client::try_resend() {
-  // Only idempotent QUERY_BATCH traffic can be replayed: every in-flight id
-  // must have its frame bytes stored, and no control call may be pending
-  // (REGISTER_GRAPH replayed twice would build twice — and worse, a replay
-  // that half-succeeded is unobservable).
+  // Only idempotent batch traffic (QUERY_BATCH and the v3 workload frames)
+  // can be replayed: every in-flight id must have its frame bytes stored,
+  // and no control call may be pending (REGISTER_GRAPH replayed twice
+  // would build twice — and worse, a replay that half-succeeded is
+  // unobservable).
   if (!opts_.resend_on_reconnect || control_pending_ || dialing_) return false;
   if (pending_frames_.size() != inflight_.size()) return false;
   // dial() resets every per-connection map — save the batch state across
@@ -193,6 +197,9 @@ bool Client::try_resend() {
   auto frames = std::move(pending_frames_);
   auto inflight = std::move(inflight_);
   auto ready = std::move(ready_);
+  auto ready_vitality = std::move(ready_vitality_);
+  auto ready_vickrey = std::move(ready_vickrey_);
+  auto ready_kfail = std::move(ready_kfail_);
   auto failed = std::move(failed_);
   auto busy = std::move(busy_);
   auto deadlines = std::move(wire_deadlines_);
@@ -204,6 +211,9 @@ bool Client::try_resend() {
   pending_frames_ = std::move(frames);
   inflight_ = std::move(inflight);
   ready_ = std::move(ready);
+  ready_vitality_ = std::move(ready_vitality);
+  ready_vickrey_ = std::move(ready_vickrey);
+  ready_kfail_ = std::move(ready_kfail);
   failed_ = std::move(failed);
   busy_ = std::move(busy);
   wire_deadlines_ = std::move(deadlines);  // absolute instants survive a re-dial
@@ -301,25 +311,19 @@ void Client::ensure_connected() {
   dial();
 }
 
-std::uint64_t Client::send(std::span<const service::Query> queries,
-                           std::optional<std::uint64_t> digest,
-                           std::optional<std::uint32_t> deadline_ms) {
-  ensure_connected();
-  // Reject a batch the server's decoder would refuse anyway — before
+std::uint64_t Client::track_and_write(std::uint64_t id, std::vector<std::uint8_t> bytes,
+                                      FrameType expect, std::size_t count,
+                                      std::optional<std::uint32_t> deadline_ms) {
+  // Reject a frame the server's decoder would refuse anyway — before
   // shipping tens of megabytes just to learn that.
-  const std::size_t payload_bytes =
-      16 + (digest ? 8 : 0) + (deadline_ms ? 4 : 0) + 12 * queries.size();
-  if (payload_bytes > opts_.max_frame_bytes) {
+  if (bytes.size() > kFrameHeaderBytes + opts_.max_frame_bytes) {
     throw std::runtime_error("net client: batch exceeds the maximum frame size (" +
-                             std::to_string(payload_bytes) + " > " +
+                             std::to_string(bytes.size() - kFrameHeaderBytes) + " > " +
                              std::to_string(opts_.max_frame_bytes) + " payload bytes)");
   }
-  const std::uint64_t id = next_id_++;
-  std::vector<std::uint8_t> bytes;
-  append_query_batch(bytes, id, queries, digest, deadline_ms);
   // Register before writing: a connection loss inside write_all resends
   // from pending_frames_, and this frame must be part of that replay.
-  inflight_.emplace(id, queries.size());
+  inflight_.emplace(id, Inflight{expect, count});
   if (opts_.resend_on_reconnect) pending_frames_.emplace(id, bytes);
   if (deadline_ms) {
     wire_deadlines_[id] =
@@ -336,26 +340,108 @@ std::uint64_t Client::send(std::span<const service::Query> queries,
   return id;
 }
 
+void Client::require_v3(const char* opcode) const {
+  if (hello_.version >= 3) return;
+  throw std::runtime_error("net client: " + std::string(opcode) +
+                           " needs protocol version 3, but the server speaks version " +
+                           std::to_string(hello_.version));
+}
+
+std::uint64_t Client::send(std::span<const service::Query> queries,
+                           std::optional<std::uint64_t> digest,
+                           std::optional<std::uint32_t> deadline_ms) {
+  ensure_connected();
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  append_query_batch(bytes, id, queries, digest, deadline_ms);
+  return track_and_write(id, std::move(bytes), FrameType::kAnswerBatch, queries.size(),
+                         deadline_ms);
+}
+
+std::uint64_t Client::send_vitality(std::span<const service::VitalityQuery> queries,
+                                    std::optional<std::uint64_t> digest,
+                                    std::optional<std::uint32_t> deadline_ms) {
+  ensure_connected();
+  require_v3("VITALITY_BATCH");
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  append_vitality_batch(bytes, id, queries, digest, deadline_ms);
+  return track_and_write(id, std::move(bytes), FrameType::kVitalityAnswer, queries.size(),
+                         deadline_ms);
+}
+
+std::uint64_t Client::send_vickrey(std::span<const service::VickreyQuery> queries,
+                                   std::optional<std::uint64_t> digest,
+                                   std::optional<std::uint32_t> deadline_ms) {
+  ensure_connected();
+  require_v3("VICKREY_BATCH");
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  append_vickrey_batch(bytes, id, queries, digest, deadline_ms);
+  return track_and_write(id, std::move(bytes), FrameType::kVickreyAnswer, queries.size(),
+                         deadline_ms);
+}
+
+std::uint64_t Client::send_kfail(std::span<const service::KFailQuery> queries,
+                                 std::optional<std::uint64_t> digest,
+                                 std::optional<std::uint32_t> deadline_ms) {
+  ensure_connected();
+  require_v3("KFAIL_BATCH");
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  append_kfail_batch(bytes, id, queries, digest, deadline_ms);
+  return track_and_write(id, std::move(bytes), FrameType::kKFailAnswer, queries.size(),
+                         deadline_ms);
+}
+
+void Client::settle_inflight(std::uint64_t request_id, FrameType got, std::size_t answered) {
+  // The reply must answer a batch we actually sent, with the frame kind
+  // that batch's opcode owes us, in full — an unknown id, a reply of the
+  // wrong kind, or a short answer vector is a server defect the caller
+  // must never index into.
+  const auto it = inflight_.find(request_id);
+  if (it == inflight_.end()) {
+    close_socket();
+    throw std::runtime_error("net client: answer for a request that is not in flight");
+  }
+  if (it->second.expect != got) {
+    close_socket();
+    throw std::runtime_error("net client: answer kind does not match the request's opcode");
+  }
+  if (it->second.count != answered) {
+    close_socket();
+    throw std::runtime_error("net client: answer count does not match the batch");
+  }
+  inflight_.erase(it);
+  pending_frames_.erase(request_id);
+  wire_deadlines_.erase(request_id);
+}
+
 std::optional<Frame> Client::route_one(std::uint64_t control_id) {
   Frame frame = read_frame();
   switch (frame.type) {
     case FrameType::kAnswerBatch: {
       AnswerBatchFrame ab = decode_answer_batch(frame.payload);
-      // The reply must answer a batch we actually sent, in full — an
-      // unknown id or a short answer vector is a server defect the
-      // caller must never index into.
-      const auto it = inflight_.find(ab.request_id);
-      if (it == inflight_.end() || ab.answers.size() != it->second) {
-        close_socket();
-        throw std::runtime_error(
-            it == inflight_.end()
-                ? "net client: answer for a request that is not in flight"
-                : "net client: answer count does not match the batch");
-      }
-      inflight_.erase(it);
-      pending_frames_.erase(ab.request_id);
-      wire_deadlines_.erase(ab.request_id);
+      settle_inflight(ab.request_id, FrameType::kAnswerBatch, ab.answers.size());
       ready_.emplace(ab.request_id, BatchAnswer{ab.request_id, std::move(ab.answers)});
+      return std::nullopt;
+    }
+    case FrameType::kVitalityAnswer: {
+      VitalityAnswerFrame va = decode_vitality_answer(frame.payload);
+      settle_inflight(va.request_id, FrameType::kVitalityAnswer, va.results.size());
+      ready_vitality_.emplace(va.request_id, std::move(va.results));
+      return std::nullopt;
+    }
+    case FrameType::kVickreyAnswer: {
+      VickreyAnswerFrame va = decode_vickrey_answer(frame.payload);
+      settle_inflight(va.request_id, FrameType::kVickreyAnswer, va.results.size());
+      ready_vickrey_.emplace(va.request_id, std::move(va.results));
+      return std::nullopt;
+    }
+    case FrameType::kKFailAnswer: {
+      KFailAnswerFrame ka = decode_kfail_answer(frame.payload);
+      settle_inflight(ka.request_id, FrameType::kKFailAnswer, ka.answers.size());
+      ready_kfail_.emplace(ka.request_id, std::move(ka.answers));
       return std::nullopt;
     }
     case FrameType::kError: {
@@ -442,6 +528,27 @@ BatchAnswer Client::wait_any() {
   }
 }
 
+void Client::wait_step(std::uint64_t request_id) {
+  if (const auto it = failed_.find(request_id); it != failed_.end()) {
+    const std::string message = std::move(it->second);
+    failed_.erase(it);
+    if (is_deadline_exceeded_message(message)) {
+      throw DeadlineError("net client: batch failed: " + message);
+    }
+    throw std::runtime_error("net client: batch failed: " + message);
+  }
+  if (const auto it = busy_.find(request_id); it != busy_.end()) {
+    const std::string message = std::move(it->second);
+    busy_.erase(it);
+    throw BusyError("net client: batch rejected: " + message);
+  }
+  MSRP_REQUIRE(inflight_.count(request_id) != 0,
+               "net client: waiting for an id that is not in flight");
+  const auto dl = wire_deadlines_.find(request_id);
+  recv_bound_ = dl == wire_deadlines_.end() ? kNoDeadline : dl->second;
+  route_one(0);
+}
+
 std::vector<Dist> Client::wait(std::uint64_t request_id) {
   for (;;) {
     if (const auto it = ready_.find(request_id); it != ready_.end()) {
@@ -449,24 +556,40 @@ std::vector<Dist> Client::wait(std::uint64_t request_id) {
       ready_.erase(it);
       return out;
     }
-    if (const auto it = failed_.find(request_id); it != failed_.end()) {
-      const std::string message = std::move(it->second);
-      failed_.erase(it);
-      if (is_deadline_exceeded_message(message)) {
-        throw DeadlineError("net client: batch failed: " + message);
-      }
-      throw std::runtime_error("net client: batch failed: " + message);
+    wait_step(request_id);
+  }
+}
+
+std::vector<service::VitalityResult> Client::wait_vitality(std::uint64_t request_id) {
+  for (;;) {
+    if (const auto it = ready_vitality_.find(request_id); it != ready_vitality_.end()) {
+      std::vector<service::VitalityResult> out = std::move(it->second);
+      ready_vitality_.erase(it);
+      return out;
     }
-    if (const auto it = busy_.find(request_id); it != busy_.end()) {
-      const std::string message = std::move(it->second);
-      busy_.erase(it);
-      throw BusyError("net client: batch rejected: " + message);
+    wait_step(request_id);
+  }
+}
+
+std::vector<service::VickreyResult> Client::wait_vickrey(std::uint64_t request_id) {
+  for (;;) {
+    if (const auto it = ready_vickrey_.find(request_id); it != ready_vickrey_.end()) {
+      std::vector<service::VickreyResult> out = std::move(it->second);
+      ready_vickrey_.erase(it);
+      return out;
     }
-    MSRP_REQUIRE(inflight_.count(request_id) != 0,
-                 "net client: waiting for an id that is not in flight");
-    const auto dl = wire_deadlines_.find(request_id);
-    recv_bound_ = dl == wire_deadlines_.end() ? kNoDeadline : dl->second;
-    route_one(0);
+    wait_step(request_id);
+  }
+}
+
+std::vector<Dist> Client::wait_kfail(std::uint64_t request_id) {
+  for (;;) {
+    if (const auto it = ready_kfail_.find(request_id); it != ready_kfail_.end()) {
+      std::vector<Dist> out = std::move(it->second);
+      ready_kfail_.erase(it);
+      return out;
+    }
+    wait_step(request_id);
   }
 }
 
@@ -476,13 +599,37 @@ std::vector<Dist> Client::query_batch(std::span<const service::Query> queries,
   return wait(send(queries, digest, deadline_ms));
 }
 
-std::vector<Dist> Client::query_batch_retry(std::span<const service::Query> queries,
-                                            const RetryPolicy& policy,
-                                            std::optional<std::uint64_t> digest) {
+std::vector<service::VitalityResult> Client::vitality_batch(
+    std::span<const service::VitalityQuery> queries, std::optional<std::uint64_t> digest,
+    std::optional<std::uint32_t> deadline_ms) {
+  return wait_vitality(send_vitality(queries, digest, deadline_ms));
+}
+
+std::vector<service::VickreyResult> Client::vickrey_batch(
+    std::span<const service::VickreyQuery> queries, std::optional<std::uint64_t> digest,
+    std::optional<std::uint32_t> deadline_ms) {
+  return wait_vickrey(send_vickrey(queries, digest, deadline_ms));
+}
+
+std::vector<Dist> Client::kfail_batch(std::span<const service::KFailQuery> queries,
+                                      std::optional<std::uint64_t> digest,
+                                      std::optional<std::uint32_t> deadline_ms) {
+  return wait_kfail(send_kfail(queries, digest, deadline_ms));
+}
+
+namespace {
+
+/// The retry loop shared by every idempotent round trip: BUSY rejections,
+/// connection loss, and DEADLINE_EXCEEDED replies retry on the policy's
+/// backoff schedule; any other server-reported failure rethrows. `attempt`
+/// runs one synchronous round trip with the remaining wire budget.
+template <class Attempt>
+auto run_with_retry(Client& client, const RetryPolicy& policy, Attempt attempt)
+    -> decltype(attempt(std::optional<std::uint32_t>{})) {
   const Deadline overall =
       policy.deadline_ms != 0 ? deadline_after_ms(policy.deadline_ms) : kNoDeadline;
   const unsigned attempts = std::max(1u, policy.max_attempts);
-  for (unsigned attempt = 0;; ++attempt) {
+  for (unsigned round = 0;; ++round) {
     // Each attempt carries whatever budget remains, so the server stops
     // working on an attempt the client has already given up on.
     std::optional<std::uint32_t> wire_ms;
@@ -491,36 +638,70 @@ std::vector<Dist> Client::query_batch_retry(std::span<const service::Query> quer
           overall - std::chrono::steady_clock::now());
       if (left.count() <= 0) {
         throw DeadlineError("net client: " + std::string(kDeadlineExceededPrefix) +
-                            ": retry budget exhausted after " + std::to_string(attempt) +
+                            ": retry budget exhausted after " + std::to_string(round) +
                             " attempts");
       }
       wire_ms = static_cast<std::uint32_t>(left.count());
     }
     try {
-      if (!connected()) reconnect();
-      return query_batch(queries, digest, wire_ms);
+      if (!client.connected()) client.reconnect();
+      return attempt(wire_ms);
     } catch (const BusyError&) {
-      if (attempt + 1 >= attempts) throw;
+      if (round + 1 >= attempts) throw;
     } catch (const DeadlineError&) {
-      if (attempt + 1 >= attempts) throw;
+      if (round + 1 >= attempts) throw;
     } catch (const std::runtime_error&) {
       // Connection loss closes the socket; a server-reported batch error
       // leaves it open and is never retried (same bytes, same verdict).
-      if (connected() || attempt + 1 >= attempts) throw;
+      if (client.connected() || round + 1 >= attempts) throw;
     }
-    auto pause = policy.backoff_for(attempt + 1);
+    auto pause = policy.backoff_for(round + 1);
     if (overall != kNoDeadline) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           overall - std::chrono::steady_clock::now());
       if (left.count() <= 0) {
         throw DeadlineError("net client: " + std::string(kDeadlineExceededPrefix) +
-                            ": retry budget exhausted after " + std::to_string(attempt + 1) +
+                            ": retry budget exhausted after " + std::to_string(round + 1) +
                             " attempts");
       }
       pause = std::min(pause, std::chrono::milliseconds(left.count()));
     }
     if (pause.count() > 0) std::this_thread::sleep_for(pause);
   }
+}
+
+}  // namespace
+
+std::vector<Dist> Client::query_batch_retry(std::span<const service::Query> queries,
+                                            const RetryPolicy& policy,
+                                            std::optional<std::uint64_t> digest) {
+  return run_with_retry(*this, policy, [&](std::optional<std::uint32_t> wire_ms) {
+    return query_batch(queries, digest, wire_ms);
+  });
+}
+
+std::vector<service::VitalityResult> Client::vitality_batch_retry(
+    std::span<const service::VitalityQuery> queries, const RetryPolicy& policy,
+    std::optional<std::uint64_t> digest) {
+  return run_with_retry(*this, policy, [&](std::optional<std::uint32_t> wire_ms) {
+    return vitality_batch(queries, digest, wire_ms);
+  });
+}
+
+std::vector<service::VickreyResult> Client::vickrey_batch_retry(
+    std::span<const service::VickreyQuery> queries, const RetryPolicy& policy,
+    std::optional<std::uint64_t> digest) {
+  return run_with_retry(*this, policy, [&](std::optional<std::uint32_t> wire_ms) {
+    return vickrey_batch(queries, digest, wire_ms);
+  });
+}
+
+std::vector<Dist> Client::kfail_batch_retry(std::span<const service::KFailQuery> queries,
+                                            const RetryPolicy& policy,
+                                            std::optional<std::uint64_t> digest) {
+  return run_with_retry(*this, policy, [&](std::optional<std::uint32_t> wire_ms) {
+    return kfail_batch(queries, digest, wire_ms);
+  });
 }
 
 Frame Client::control_round_trip(std::uint64_t control_id, std::vector<std::uint8_t> bytes) {
@@ -629,9 +810,49 @@ std::uint64_t Client::send(std::span<const service::Query>, std::optional<std::u
                            std::optional<std::uint32_t>) {
   return 0;
 }
+std::uint64_t Client::track_and_write(std::uint64_t, std::vector<std::uint8_t>, FrameType,
+                                      std::size_t, std::optional<std::uint32_t>) {
+  return 0;
+}
+void Client::require_v3(const char*) const {}
+void Client::wait_step(std::uint64_t) {}
+void Client::settle_inflight(std::uint64_t, FrameType, std::size_t) {}
+std::uint64_t Client::send_vitality(std::span<const service::VitalityQuery>,
+                                    std::optional<std::uint64_t>,
+                                    std::optional<std::uint32_t>) {
+  return 0;
+}
+std::uint64_t Client::send_vickrey(std::span<const service::VickreyQuery>,
+                                   std::optional<std::uint64_t>,
+                                   std::optional<std::uint32_t>) {
+  return 0;
+}
+std::uint64_t Client::send_kfail(std::span<const service::KFailQuery>,
+                                 std::optional<std::uint64_t>,
+                                 std::optional<std::uint32_t>) {
+  return 0;
+}
 BatchAnswer Client::wait_any() { return {}; }
 std::vector<Dist> Client::wait(std::uint64_t) { return {}; }
+std::vector<service::VitalityResult> Client::wait_vitality(std::uint64_t) { return {}; }
+std::vector<service::VickreyResult> Client::wait_vickrey(std::uint64_t) { return {}; }
+std::vector<Dist> Client::wait_kfail(std::uint64_t) { return {}; }
 std::vector<Dist> Client::query_batch(std::span<const service::Query>,
+                                      std::optional<std::uint64_t>,
+                                      std::optional<std::uint32_t>) {
+  return {};
+}
+std::vector<service::VitalityResult> Client::vitality_batch(
+    std::span<const service::VitalityQuery>, std::optional<std::uint64_t>,
+    std::optional<std::uint32_t>) {
+  return {};
+}
+std::vector<service::VickreyResult> Client::vickrey_batch(std::span<const service::VickreyQuery>,
+                                                          std::optional<std::uint64_t>,
+                                                          std::optional<std::uint32_t>) {
+  return {};
+}
+std::vector<Dist> Client::kfail_batch(std::span<const service::KFailQuery>,
                                       std::optional<std::uint64_t>,
                                       std::optional<std::uint32_t>) {
   return {};
@@ -639,6 +860,18 @@ std::vector<Dist> Client::query_batch(std::span<const service::Query>,
 std::vector<Dist> Client::query_batch_retry(std::span<const service::Query>,
                                             const RetryPolicy&,
                                             std::optional<std::uint64_t>) {
+  return {};
+}
+std::vector<service::VitalityResult> Client::vitality_batch_retry(
+    std::span<const service::VitalityQuery>, const RetryPolicy&, std::optional<std::uint64_t>) {
+  return {};
+}
+std::vector<service::VickreyResult> Client::vickrey_batch_retry(
+    std::span<const service::VickreyQuery>, const RetryPolicy&, std::optional<std::uint64_t>) {
+  return {};
+}
+std::vector<Dist> Client::kfail_batch_retry(std::span<const service::KFailQuery>,
+                                            const RetryPolicy&, std::optional<std::uint64_t>) {
   return {};
 }
 RegisterAckFrame Client::register_graph(std::uint32_t,

@@ -43,6 +43,16 @@
 /// (REGISTER_GRAPH is not idempotent); a drop during a control call is an
 /// error.
 ///
+/// Protocol v3 adds the typed workload opcodes: send_vitality() /
+/// send_vickrey() / send_kfail() pipeline exactly like send() — same ids,
+/// same digest targeting, same wire deadlines, same BUSY/ERROR surface —
+/// and their waits return typed results instead of raw distances. Every
+/// workload frame is idempotent, so resend_on_reconnect replays them
+/// verbatim alongside point batches. The typed sends throw when the server
+/// announced a version below 3 (its dispatcher would fail the connection
+/// on the unknown opcode); everything else on this class works against a
+/// v1/v2 server unchanged.
+///
 /// Instances are not thread-safe; give each thread its own Client (the
 /// load generator opens one per connection by design).
 #pragma once
@@ -156,7 +166,8 @@ class Client {
 
   /// Batches sent but not yet collected by a wait.
   std::size_t inflight() const {
-    return inflight_.size() + ready_.size() + failed_.size() + busy_.size();
+    return inflight_.size() + ready_.size() + ready_vitality_.size() + ready_vickrey_.size() +
+           ready_kfail_.size() + failed_.size() + busy_.size();
   }
 
   /// Drops the current socket (in-flight ids are lost) and dials fresh.
@@ -192,6 +203,71 @@ class Client {
   /// deadline bounds the whole call, backoffs included, and each attempt
   /// carries the remaining budget on the wire.
   std::vector<Dist> query_batch_retry(std::span<const service::Query> queries,
+                                      const RetryPolicy& policy,
+                                      std::optional<std::uint64_t> digest = std::nullopt);
+
+  // ----- workload opcodes (protocol v3) -----------------------------------
+  // Same pipelining contract as send()/wait(): any mix of point and typed
+  // batches may be in flight at once, replies pair by request id AND frame
+  // type (a reply of the wrong kind for an id is a protocol violation), and
+  // wait_any() keeps returning point batches only — typed batches are
+  // collected by their own waits. All typed sends throw std::runtime_error
+  // against a server that announced a version below 3.
+
+  /// Writes one VITALITY_BATCH (top-k most-vital edges per query) and
+  /// returns its request id without waiting.
+  std::uint64_t send_vitality(std::span<const service::VitalityQuery> queries,
+                              std::optional<std::uint64_t> digest = std::nullopt,
+                              std::optional<std::uint32_t> deadline_ms = std::nullopt);
+
+  /// Writes one VICKREY_BATCH (per-edge Vickrey payments per query).
+  std::uint64_t send_vickrey(std::span<const service::VickreyQuery> queries,
+                             std::optional<std::uint64_t> digest = std::nullopt,
+                             std::optional<std::uint32_t> deadline_ms = std::nullopt);
+
+  /// Writes one KFAIL_BATCH (d(s, t) avoiding an explicit edge set per
+  /// query, |F| <= service::kMaxKFailEdges).
+  std::uint64_t send_kfail(std::span<const service::KFailQuery> queries,
+                           std::optional<std::uint64_t> digest = std::nullopt,
+                           std::optional<std::uint32_t> deadline_ms = std::nullopt);
+
+  /// Blocks until the vitality batch with this id completes; one result per
+  /// query, in query order. Same throw surface as wait().
+  std::vector<service::VitalityResult> wait_vitality(std::uint64_t request_id);
+
+  /// Blocks until the Vickrey batch with this id completes.
+  std::vector<service::VickreyResult> wait_vickrey(std::uint64_t request_id);
+
+  /// Blocks until the k-fail batch with this id completes; one distance per
+  /// query (kInfDist = unreachable once F is removed).
+  std::vector<Dist> wait_kfail(std::uint64_t request_id);
+
+  /// send_vitality() + wait_vitality(): the synchronous round trip.
+  std::vector<service::VitalityResult> vitality_batch(
+      std::span<const service::VitalityQuery> queries,
+      std::optional<std::uint64_t> digest = std::nullopt,
+      std::optional<std::uint32_t> deadline_ms = std::nullopt);
+
+  std::vector<service::VickreyResult> vickrey_batch(
+      std::span<const service::VickreyQuery> queries,
+      std::optional<std::uint64_t> digest = std::nullopt,
+      std::optional<std::uint32_t> deadline_ms = std::nullopt);
+
+  std::vector<Dist> kfail_batch(std::span<const service::KFailQuery> queries,
+                                std::optional<std::uint64_t> digest = std::nullopt,
+                                std::optional<std::uint32_t> deadline_ms = std::nullopt);
+
+  /// Retry wrappers with query_batch_retry's exact contract — the typed
+  /// frames are just as idempotent, so the same verdicts are retried.
+  std::vector<service::VitalityResult> vitality_batch_retry(
+      std::span<const service::VitalityQuery> queries, const RetryPolicy& policy,
+      std::optional<std::uint64_t> digest = std::nullopt);
+
+  std::vector<service::VickreyResult> vickrey_batch_retry(
+      std::span<const service::VickreyQuery> queries, const RetryPolicy& policy,
+      std::optional<std::uint64_t> digest = std::nullopt);
+
+  std::vector<Dist> kfail_batch_retry(std::span<const service::KFailQuery> queries,
                                       const RetryPolicy& policy,
                                       std::optional<std::uint64_t> digest = std::nullopt);
 
@@ -239,6 +315,21 @@ class Client {
   Frame control_round_trip(std::uint64_t control_id, std::vector<std::uint8_t> bytes);
   /// Shared auto_reconnect gate used by send() and the control calls.
   void ensure_connected();
+  /// Shared tail of every send: registers the already-encoded frame under
+  /// `id` (expecting `count` replies of `expect`'s kind), arms the wire
+  /// deadline, writes — rolling all of it back when the write fails.
+  std::uint64_t track_and_write(std::uint64_t id, std::vector<std::uint8_t> bytes,
+                                FrameType expect, std::size_t count,
+                                std::optional<std::uint32_t> deadline_ms);
+  /// Throws std::runtime_error unless the server announced protocol >= 3.
+  void require_v3(const char* opcode) const;
+  /// Common per-pass body of the typed waits: throws the buffered failure
+  /// for `request_id` if one arrived, else blocks for one more frame.
+  void wait_step(std::uint64_t request_id);
+  /// On a reply frame: looks up `request_id` expecting `got`-typed replies
+  /// owing `answered` entries; erases the in-flight record on match, fails
+  /// the connection on any mismatch.
+  void settle_inflight(std::uint64_t request_id, FrameType got, std::size_t answered);
 
   ClientOptions opts_;
   int fd_ = -1;
@@ -247,16 +338,26 @@ class Client {
   std::uint64_t next_id_ = 1;
   bool control_pending_ = false;  // a control round trip is on the wire
   bool dialing_ = false;          // inside dial(); resend must not recurse
-  // Ids on the wire, with the answer count each one owes us — a reply
-  // whose id or size does not match something we sent is treated as a
-  // protocol violation, never returned to the caller.
-  std::unordered_map<std::uint64_t, std::size_t> inflight_;
+  /// One batch on the wire: which reply frame kind must answer it and how
+  /// many entries that reply owes us.
+  struct Inflight {
+    FrameType expect = FrameType::kAnswerBatch;
+    std::size_t count = 0;
+  };
+  // Ids on the wire — a reply whose id, frame kind, or size does not match
+  // something we sent is treated as a protocol violation, never returned
+  // to the caller.
+  std::unordered_map<std::uint64_t, Inflight> inflight_;
   // Verbatim frame bytes of in-flight batches, kept only when
   // resend_on_reconnect is set; ordered so a replay preserves send order.
   std::map<std::uint64_t, std::vector<std::uint8_t>> pending_frames_;
   // Answers (or server-reported errors / busy rejections) that arrived
-  // while waiting for a different id.
+  // while waiting for a different id. Typed replies buffer in their own
+  // maps so a wait can never hand back the wrong result kind.
   std::unordered_map<std::uint64_t, BatchAnswer> ready_;
+  std::unordered_map<std::uint64_t, std::vector<service::VitalityResult>> ready_vitality_;
+  std::unordered_map<std::uint64_t, std::vector<service::VickreyResult>> ready_vickrey_;
+  std::unordered_map<std::uint64_t, std::vector<Dist>> ready_kfail_;
   std::unordered_map<std::uint64_t, std::string> failed_;
   std::unordered_map<std::uint64_t, std::string> busy_;
   // Local give-up instant (wire deadline + grace) per in-flight batch that

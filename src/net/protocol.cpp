@@ -236,6 +236,132 @@ void append_unregister(std::vector<std::uint8_t>& out, std::uint64_t request_id,
   });
 }
 
+namespace {
+
+/// The envelope every batch request shares (QUERY_BATCH and the three v3
+/// workload batches): request id, record count, flag word, optional digest
+/// and deadline. One writer/reader pair keeps the layouts identical.
+void put_batch_envelope(std::vector<std::uint8_t>& buf, std::uint64_t request_id,
+                        std::size_t count, const std::optional<std::uint64_t>& digest,
+                        const std::optional<std::uint32_t>& deadline_ms) {
+  put_u64(buf, request_id);
+  put_u32(buf, static_cast<std::uint32_t>(count));
+  const std::uint32_t flags = (digest ? kQueryBatchHasDigest : 0) |
+                              (deadline_ms ? kQueryBatchHasDeadline : 0);
+  put_u32(buf, flags);
+  if (digest) put_u64(buf, *digest);
+  if (deadline_ms) put_u32(buf, *deadline_ms);
+}
+
+struct BatchEnvelope {
+  std::uint64_t request_id = 0;
+  std::uint32_t count = 0;
+  std::optional<std::uint64_t> digest;
+  std::optional<std::uint32_t> deadline_ms;
+};
+
+BatchEnvelope read_batch_envelope(Reader& r, const char* frame_name) {
+  BatchEnvelope env;
+  env.request_id = r.u64();
+  env.count = r.u32();
+  const std::uint32_t flags = r.u32();
+  if ((flags & ~(kQueryBatchHasDigest | kQueryBatchHasDeadline)) != 0) {
+    throw ProtocolError(std::string("unknown ") + frame_name + " flags");
+  }
+  if (flags & kQueryBatchHasDigest) env.digest = r.u64();
+  if (flags & kQueryBatchHasDeadline) env.deadline_ms = r.u32();
+  return env;
+}
+
+}  // namespace
+
+void append_vitality_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                           std::span<const service::VitalityQuery> queries,
+                           std::optional<std::uint64_t> digest,
+                           std::optional<std::uint32_t> deadline_ms) {
+  append_frame(out, FrameType::kVitalityBatch, [&](std::vector<std::uint8_t>& buf) {
+    put_batch_envelope(buf, request_id, queries.size(), digest, deadline_ms);
+    for (const service::VitalityQuery& q : queries) {
+      put_u32(buf, q.s);
+      put_u32(buf, q.t);
+      put_u32(buf, q.k);
+    }
+  });
+}
+
+void append_vitality_answer(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                            std::span<const service::VitalityResult> results) {
+  append_frame(out, FrameType::kVitalityAnswer, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, request_id);
+    put_u32(buf, static_cast<std::uint32_t>(results.size()));
+    put_u32(buf, 0);  // reserved
+    for (const service::VitalityResult& res : results) {
+      put_u32(buf, res.base);
+      put_u32(buf, static_cast<std::uint32_t>(res.edges.size()));
+      for (const service::VitalityEntry& e : res.edges) {
+        put_u32(buf, e.edge);
+        put_u32(buf, e.position);
+        put_u32(buf, e.replacement);
+      }
+    }
+  });
+}
+
+void append_vickrey_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                          std::span<const service::VickreyQuery> queries,
+                          std::optional<std::uint64_t> digest,
+                          std::optional<std::uint32_t> deadline_ms) {
+  append_frame(out, FrameType::kVickreyBatch, [&](std::vector<std::uint8_t>& buf) {
+    put_batch_envelope(buf, request_id, queries.size(), digest, deadline_ms);
+    for (const service::VickreyQuery& q : queries) {
+      put_u32(buf, q.s);
+      put_u32(buf, q.t);
+    }
+  });
+}
+
+void append_vickrey_answer(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                           std::span<const service::VickreyResult> results) {
+  append_frame(out, FrameType::kVickreyAnswer, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, request_id);
+    put_u32(buf, static_cast<std::uint32_t>(results.size()));
+    put_u32(buf, 0);  // reserved
+    for (const service::VickreyResult& res : results) {
+      put_u32(buf, res.base);
+      put_u32(buf, static_cast<std::uint32_t>(res.prices.size()));
+      for (const service::VickreyCharge& c : res.prices) {
+        put_u32(buf, c.edge);
+        put_u32(buf, c.price);
+      }
+    }
+  });
+}
+
+void append_kfail_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                        std::span<const service::KFailQuery> queries,
+                        std::optional<std::uint64_t> digest,
+                        std::optional<std::uint32_t> deadline_ms) {
+  append_frame(out, FrameType::kKFailBatch, [&](std::vector<std::uint8_t>& buf) {
+    put_batch_envelope(buf, request_id, queries.size(), digest, deadline_ms);
+    for (const service::KFailQuery& q : queries) {
+      put_u32(buf, q.s);
+      put_u32(buf, q.t);
+      put_u32(buf, static_cast<std::uint32_t>(q.fails.size()));
+      for (const EdgeId e : q.fails) put_u32(buf, e);
+    }
+  });
+}
+
+void append_kfail_answer(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                         std::span<const Dist> answers) {
+  append_frame(out, FrameType::kKFailAnswer, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, request_id);
+    put_u32(buf, static_cast<std::uint32_t>(answers.size()));
+    put_u32(buf, 0);  // reserved
+    for (const Dist d : answers) put_u32(buf, d);
+  });
+}
+
 HelloInfo decode_hello(std::span<const std::uint8_t> payload) {
   Reader r(payload);
   HelloInfo hello;
@@ -414,6 +540,148 @@ UnregisterFrame decode_unregister(std::span<const std::uint8_t> payload) {
   un.digest = r.u64();
   r.expect_end();
   return un;
+}
+
+VitalityBatchFrame decode_vitality_batch(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const BatchEnvelope env = read_batch_envelope(r, "VITALITY_BATCH");
+  VitalityBatchFrame vb;
+  vb.request_id = env.request_id;
+  vb.digest = env.digest;
+  vb.deadline_ms = env.deadline_ms;
+  r.expect_records(env.count, 12);
+  vb.queries.reserve(env.count);
+  for (std::uint32_t i = 0; i < env.count; ++i) {
+    service::VitalityQuery q;
+    q.s = r.u32();
+    q.t = r.u32();
+    q.k = r.u32();
+    if (q.k == 0) throw ProtocolError("VITALITY_BATCH k must be positive");
+    if (q.k > service::kMaxTopKVital) {
+      throw ProtocolError("VITALITY_BATCH k " + std::to_string(q.k) + " exceeds cap " +
+                          std::to_string(service::kMaxTopKVital));
+    }
+    vb.queries.push_back(q);
+  }
+  r.expect_end();
+  return vb;
+}
+
+VitalityAnswerFrame decode_vitality_answer(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  VitalityAnswerFrame va;
+  va.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  r.u32();  // reserved
+  r.expect_records(count, 8);  // fixed bytes per result, entries excluded
+  va.results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    service::VitalityResult res;
+    res.base = r.u32();
+    const std::uint32_t entries = r.u32();
+    r.expect_records(entries, 12);
+    res.edges.reserve(entries);
+    for (std::uint32_t j = 0; j < entries; ++j) {
+      service::VitalityEntry e;
+      e.edge = r.u32();
+      e.position = r.u32();
+      e.replacement = r.u32();
+      res.edges.push_back(e);
+    }
+    va.results.push_back(std::move(res));
+  }
+  r.expect_end();
+  return va;
+}
+
+VickreyBatchFrame decode_vickrey_batch(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const BatchEnvelope env = read_batch_envelope(r, "VICKREY_BATCH");
+  VickreyBatchFrame vb;
+  vb.request_id = env.request_id;
+  vb.digest = env.digest;
+  vb.deadline_ms = env.deadline_ms;
+  r.expect_records(env.count, 8);
+  vb.queries.reserve(env.count);
+  for (std::uint32_t i = 0; i < env.count; ++i) {
+    service::VickreyQuery q;
+    q.s = r.u32();
+    q.t = r.u32();
+    vb.queries.push_back(q);
+  }
+  r.expect_end();
+  return vb;
+}
+
+VickreyAnswerFrame decode_vickrey_answer(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  VickreyAnswerFrame va;
+  va.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  r.u32();  // reserved
+  r.expect_records(count, 8);  // fixed bytes per result, charges excluded
+  va.results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    service::VickreyResult res;
+    res.base = r.u32();
+    const std::uint32_t charges = r.u32();
+    r.expect_records(charges, 8);
+    res.prices.reserve(charges);
+    for (std::uint32_t j = 0; j < charges; ++j) {
+      service::VickreyCharge c;
+      c.edge = r.u32();
+      c.price = r.u32();
+      res.prices.push_back(c);
+    }
+    va.results.push_back(std::move(res));
+  }
+  r.expect_end();
+  return va;
+}
+
+KFailBatchFrame decode_kfail_batch(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const BatchEnvelope env = read_batch_envelope(r, "KFAIL_BATCH");
+  KFailBatchFrame kb;
+  kb.request_id = env.request_id;
+  kb.digest = env.digest;
+  kb.deadline_ms = env.deadline_ms;
+  r.expect_records(env.count, 12);  // minimum record size (empty failure set)
+  kb.queries.reserve(env.count);
+  for (std::uint32_t i = 0; i < env.count; ++i) {
+    service::KFailQuery q;
+    q.s = r.u32();
+    q.t = r.u32();
+    const std::uint32_t fails = r.u32();
+    if (fails > service::kMaxKFailEdges) {
+      throw ProtocolError("KFAIL_BATCH failure set of " + std::to_string(fails) +
+                          " edges exceeds cap " + std::to_string(service::kMaxKFailEdges));
+    }
+    q.fails.reserve(fails);
+    for (std::uint32_t j = 0; j < fails; ++j) {
+      const EdgeId e = r.u32();
+      for (const EdgeId seen : q.fails) {
+        if (seen == e) throw ProtocolError("KFAIL_BATCH duplicate edge in failure set");
+      }
+      q.fails.push_back(e);
+    }
+    kb.queries.push_back(std::move(q));
+  }
+  r.expect_end();
+  return kb;
+}
+
+KFailAnswerFrame decode_kfail_answer(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  KFailAnswerFrame ka;
+  ka.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  r.u32();  // reserved
+  r.expect_records(count, 4);
+  ka.answers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) ka.answers.push_back(r.u32());
+  r.expect_end();
+  return ka;
 }
 
 void FrameDecoder::feed(std::span<const std::uint8_t> data) {

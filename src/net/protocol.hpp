@@ -45,6 +45,25 @@
 ///     control will not queue; the connection stays healthy and the
 ///     client may retry.
 ///
+/// Protocol v3 (docs/NETWORK_PROTOCOL.md §v3) promotes the dormant
+/// workloads to first-class opcodes, one request/reply frame pair each:
+///
+///   * VITALITY_BATCH / VITALITY_ANSWER — top-k most-vital edges of the
+///     canonical s->t path, per query (s, t, k);
+///   * VICKREY_BATCH / VICKREY_ANSWER — per-edge Vickrey payments along
+///     the canonical s->t path, per query (s, t);
+///   * KFAIL_BATCH / KFAIL_ANSWER — d(s, t) avoiding an explicit edge set
+///     F with |F| <= kMaxKFailEdges, per query (s, t, F).
+///
+/// The three request frames share QUERY_BATCH's envelope — request id,
+/// count, flag word with the same digest (bit 0) and deadline (bit 1)
+/// meanings — so digest targeting, admission control, deadlines, BUSY,
+/// and the ERROR path all apply unchanged; only the per-query record
+/// differs. The v1/v2 frame layouts are untouched: a v2 client's bytes
+/// decode identically against a v3 server, and the new decoders reject
+/// malformed requests (k == 0 or k > kMaxTopKVital, |F| > kMaxKFailEdges,
+/// duplicate edges in F) as ProtocolError before any allocation.
+///
 /// All integers are little-endian. A frame's payload is capped
 /// (max_frame_bytes, default 64 MiB); an oversized length in the header is
 /// a protocol error — the decoder refuses it *before* buffering, so a
@@ -61,6 +80,7 @@
 
 #include "registry/oracle_state.hpp"
 #include "service/query.hpp"
+#include "service/workloads.hpp"
 #include "util/distance.hpp"
 
 namespace msrp::net {
@@ -68,9 +88,9 @@ namespace msrp::net {
 /// First bytes of every frame, little-endian "MRPC".
 inline constexpr std::uint32_t kFrameMagic = 0x4350524du;
 /// Wire protocol version announced in the server HELLO.
-inline constexpr std::uint32_t kProtocolVersion = 2;
-/// Lowest announced version an updated client still speaks (v1 frame
-/// layouts are a subset of v2).
+inline constexpr std::uint32_t kProtocolVersion = 3;
+/// Lowest announced version an updated client still speaks (the v1 and v2
+/// frame layouts are strict subsets of v3).
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
 /// Fixed byte size of the frame header.
 inline constexpr std::size_t kFrameHeaderBytes = 24;
@@ -89,6 +109,13 @@ enum class FrameType : std::uint32_t {
   kOracleList = 8,     ///< server -> client: reply to LIST_ORACLES
   kUnregister = 9,     ///< client -> server: retire a digest
   kBusy = 10,          ///< server -> client: batch rejected by admission control
+  // ----- v3 (workload opcodes) -----
+  kVitalityBatch = 11,   ///< client -> server: top-k most-vital-edge queries
+  kVitalityAnswer = 12,  ///< server -> client: one per VITALITY_BATCH
+  kVickreyBatch = 13,    ///< client -> server: Vickrey pricing queries
+  kVickreyAnswer = 14,   ///< server -> client: one per VICKREY_BATCH
+  kKFailBatch = 15,      ///< client -> server: k-edge-failure queries
+  kKFailAnswer = 16,     ///< server -> client: one per KFAIL_BATCH
 };
 
 /// QUERY_BATCH flag bits (v2; a v1 frame always carries flags == 0).
@@ -197,6 +224,49 @@ struct AnswerBatchFrame {
   std::vector<Dist> answers;
 };
 
+// ----- v3 workload frames ---------------------------------------------------
+// The three request frames reuse QUERY_BATCH's envelope (request id, count,
+// flag word, optional digest, optional deadline); only the per-query record
+// differs. Their reply frames carry one result per query, in query order.
+
+struct VitalityBatchFrame {
+  std::uint64_t request_id = 0;
+  std::optional<std::uint64_t> digest;
+  std::optional<std::uint32_t> deadline_ms;
+  std::vector<service::VitalityQuery> queries;
+};
+
+struct VitalityAnswerFrame {
+  std::uint64_t request_id = 0;
+  std::vector<service::VitalityResult> results;
+};
+
+struct VickreyBatchFrame {
+  std::uint64_t request_id = 0;
+  std::optional<std::uint64_t> digest;
+  std::optional<std::uint32_t> deadline_ms;
+  std::vector<service::VickreyQuery> queries;
+};
+
+struct VickreyAnswerFrame {
+  std::uint64_t request_id = 0;
+  std::vector<service::VickreyResult> results;
+};
+
+struct KFailBatchFrame {
+  std::uint64_t request_id = 0;
+  std::optional<std::uint64_t> digest;
+  std::optional<std::uint32_t> deadline_ms;
+  std::vector<service::KFailQuery> queries;
+};
+
+/// One u32 distance per query — ANSWER_BATCH's payload shape under its own
+/// frame type, so a pipelined client can pair replies to request kinds.
+struct KFailAnswerFrame {
+  std::uint64_t request_id = 0;
+  std::vector<Dist> answers;
+};
+
 struct ErrorFrame {
   std::uint64_t request_id = 0;  ///< 0 = connection-level, close follows
   std::string message;
@@ -227,6 +297,26 @@ void append_unregister(std::vector<std::uint8_t>& out, std::uint64_t request_id,
 /// BUSY shares the ERROR payload shape (request id + message).
 void append_busy(std::vector<std::uint8_t>& out, std::uint64_t request_id,
                  std::string_view message);
+// v3 workload frames. The batch encoders take the same optional digest /
+// deadline pair as append_query_batch and set the same flag bits.
+void append_vitality_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                           std::span<const service::VitalityQuery> queries,
+                           std::optional<std::uint64_t> digest = std::nullopt,
+                           std::optional<std::uint32_t> deadline_ms = std::nullopt);
+void append_vitality_answer(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                            std::span<const service::VitalityResult> results);
+void append_vickrey_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                          std::span<const service::VickreyQuery> queries,
+                          std::optional<std::uint64_t> digest = std::nullopt,
+                          std::optional<std::uint32_t> deadline_ms = std::nullopt);
+void append_vickrey_answer(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                           std::span<const service::VickreyResult> results);
+void append_kfail_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                        std::span<const service::KFailQuery> queries,
+                        std::optional<std::uint64_t> digest = std::nullopt,
+                        std::optional<std::uint32_t> deadline_ms = std::nullopt);
+void append_kfail_answer(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                         std::span<const Dist> answers);
 
 // ----- payload decoding ----------------------------------------------------
 // Throw ProtocolError when the payload size does not match its own counts.
@@ -241,6 +331,16 @@ RegisterAckFrame decode_register_ack(std::span<const std::uint8_t> payload);
 std::uint64_t decode_list_oracles(std::span<const std::uint8_t> payload);
 OracleListFrame decode_oracle_list(std::span<const std::uint8_t> payload);
 UnregisterFrame decode_unregister(std::span<const std::uint8_t> payload);
+// v3 workload decoders. Beyond size consistency these validate the
+// requests themselves: k == 0 or k > service::kMaxTopKVital, a failure set
+// larger than service::kMaxKFailEdges, and duplicate edges within one
+// failure set are all ProtocolError — rejected before any allocation.
+VitalityBatchFrame decode_vitality_batch(std::span<const std::uint8_t> payload);
+VitalityAnswerFrame decode_vitality_answer(std::span<const std::uint8_t> payload);
+VickreyBatchFrame decode_vickrey_batch(std::span<const std::uint8_t> payload);
+VickreyAnswerFrame decode_vickrey_answer(std::span<const std::uint8_t> payload);
+KFailBatchFrame decode_kfail_batch(std::span<const std::uint8_t> payload);
+KFailAnswerFrame decode_kfail_answer(std::span<const std::uint8_t> payload);
 
 /// Incremental frame reassembly over a byte stream.
 ///

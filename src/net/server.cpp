@@ -70,6 +70,16 @@ struct Server::Conn {
   explicit Conn(std::size_t max_frame_bytes) : decoder(max_frame_bytes) {}
 };
 
+/// Success reply of one typed workload batch (vitality / Vickrey / k-fail).
+/// The typed service callback encodes it on a pool worker — each workload
+/// has its own answer frame — and the shared completion path on the loop
+/// thread only ships bytes; on error the bytes stay empty and an ERROR
+/// frame is sent instead.
+struct Server::WorkloadReply {
+  std::vector<std::uint8_t> bytes;
+  std::size_t answered = 0;  ///< queries answered (stats + registry notes)
+};
+
 // A client may vanish with replies still queued; writing then must fail
 // with EPIPE, not kill the process with SIGPIPE.
 #ifndef MSG_NOSIGNAL
@@ -470,6 +480,15 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
       case FrameType::kQueryBatch:
         handle_query_batch(conn, decode_query_batch(frame.payload));
         return;
+      case FrameType::kVitalityBatch:
+        handle_vitality_batch(conn, decode_vitality_batch(frame.payload));
+        return;
+      case FrameType::kVickreyBatch:
+        handle_vickrey_batch(conn, decode_vickrey_batch(frame.payload));
+        return;
+      case FrameType::kKFailBatch:
+        handle_kfail_batch(conn, decode_kfail_batch(frame.payload));
+        return;
       case FrameType::kRegisterGraph:
         handle_register(conn, decode_register_graph(frame.payload));
         return;
@@ -483,8 +502,9 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         fail_conn(conn, "unexpected frame type " +
                             std::to_string(static_cast<std::uint32_t>(frame.type)) +
-                            " (client may only send QUERY_BATCH, REGISTER_GRAPH, "
-                            "LIST_ORACLES or UNREGISTER)");
+                            " (client may only send QUERY_BATCH, VITALITY_BATCH, "
+                            "VICKREY_BATCH, KFAIL_BATCH, REGISTER_GRAPH, LIST_ORACLES "
+                            "or UNREGISTER)");
         return;
     }
   } catch (const ProtocolError& ex) {
@@ -510,6 +530,57 @@ std::string hex_digest(std::uint64_t digest) {
 
 }  // namespace
 
+std::shared_ptr<const service::Snapshot> Server::resolve_oracle(
+    const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+    const std::optional<std::uint64_t>& digest_opt, std::uint64_t* digest_out) {
+  // Resolve the target oracle: the frame's digest (v2), else the HELLO
+  // default. Unknown digests are batch errors; a digest still building is
+  // BUSY (retryable) — the registration will land, the batch's data won't
+  // change.
+  const std::uint64_t digest = digest_opt ? *digest_opt : default_digest_;
+  *digest_out = digest;
+  if (registry_ != nullptr) {
+    if (digest == 0) {
+      batch_errors_.fetch_add(1, std::memory_order_relaxed);
+      send_batch_error(conn, request_id,
+                       "this server has no default oracle; send a target digest "
+                       "(REGISTER_GRAPH first, or LIST_ORACLES)");
+      return nullptr;
+    }
+    std::shared_ptr<const service::Snapshot> oracle = registry_->resolve(digest);
+    if (oracle == nullptr) {
+      const registry::OracleState st = registry_->state(digest);
+      if (st == registry::OracleState::kRegistering ||
+          st == registry::OracleState::kBuilding) {
+        busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<std::uint8_t> reply;
+        append_busy(reply, request_id,
+                    "oracle " + hex_digest(digest) + " is still building; retry");
+        send_bytes(conn, std::move(reply));
+        return nullptr;
+      }
+      batch_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (st == registry::OracleState::kFailed) {
+        send_batch_error(conn, request_id,
+                         "oracle " + hex_digest(digest) +
+                             " failed to build (LIST_ORACLES carries the reason)");
+        return nullptr;
+      }
+      send_batch_error(conn, request_id, "unknown oracle digest " + hex_digest(digest));
+      return nullptr;
+    }
+    return oracle;
+  }
+  if (digest_opt && *digest_opt != default_digest_) {
+    batch_errors_.fetch_add(1, std::memory_order_relaxed);
+    send_batch_error(conn, request_id,
+                     "unknown oracle digest " + hex_digest(digest) +
+                         " (single-oracle server)");
+    return nullptr;
+  }
+  return oracle_;
+}
+
 void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFrame qb) {
   if (qb.request_id == 0) {
     // Id 0 is reserved for connection-level errors; echoing it back for a
@@ -526,50 +597,10 @@ void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFra
   const Deadline deadline =
       qb.deadline_ms ? deadline_after_ms(*qb.deadline_ms) : kNoDeadline;
 
-  // Resolve the target oracle: the frame's digest (v2), else the HELLO
-  // default. Unknown digests are batch errors; a digest still building is
-  // BUSY (retryable) — the registration will land, the batch's data won't
-  // change.
-  const std::uint64_t digest = qb.digest ? *qb.digest : default_digest_;
-  std::shared_ptr<const service::Snapshot> oracle;
-  if (registry_ != nullptr) {
-    if (digest == 0) {
-      batch_errors_.fetch_add(1, std::memory_order_relaxed);
-      send_batch_error(conn, id,
-                       "this server has no default oracle; send a target digest "
-                       "(REGISTER_GRAPH first, or LIST_ORACLES)");
-      return;
-    }
-    oracle = registry_->resolve(digest);
-    if (oracle == nullptr) {
-      const registry::OracleState st = registry_->state(digest);
-      if (st == registry::OracleState::kRegistering ||
-          st == registry::OracleState::kBuilding) {
-        busy_rejected_.fetch_add(1, std::memory_order_relaxed);
-        std::vector<std::uint8_t> reply;
-        append_busy(reply, id, "oracle " + hex_digest(digest) + " is still building; retry");
-        send_bytes(conn, std::move(reply));
-        return;
-      }
-      batch_errors_.fetch_add(1, std::memory_order_relaxed);
-      if (st == registry::OracleState::kFailed) {
-        send_batch_error(conn, id,
-                         "oracle " + hex_digest(digest) +
-                             " failed to build (LIST_ORACLES carries the reason)");
-        return;
-      }
-      send_batch_error(conn, id, "unknown oracle digest " + hex_digest(digest));
-      return;
-    }
-  } else {
-    if (qb.digest && *qb.digest != default_digest_) {
-      batch_errors_.fetch_add(1, std::memory_order_relaxed);
-      send_batch_error(conn, id, "unknown oracle digest " + hex_digest(digest) +
-                                     " (single-oracle server)");
-      return;
-    }
-    oracle = oracle_;
-  }
+  std::uint64_t digest = 0;
+  std::shared_ptr<const service::Snapshot> oracle =
+      resolve_oracle(conn, id, qb.digest, &digest);
+  if (oracle == nullptr) return;
 
   ++conn->inflight;
   {
@@ -612,6 +643,193 @@ void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFra
                 "server busy: tenant " + hex_digest(digest) + " queue is full; retry");
     send_bytes(conn, std::move(reply));
   }
+}
+
+void Server::submit_workload(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                             std::uint64_t digest, registry::FairDispatcher::StartFn start,
+                             std::shared_ptr<WorkloadReply> reply, Deadline deadline) {
+  // Same admission discipline as point-query batches: the typed batch takes
+  // a dispatcher slot under the SAME tenant digest, so a vitality flood
+  // fights a point-query flood for exactly one WRR share.
+  ++conn->inflight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_total_;
+  }
+  if (registry_ != nullptr) registry_->note_batch(digest);
+  const registry::DispatchVerdict verdict = dispatcher_->submit_task(
+      digest, std::move(start),
+      [this, conn, request_id, digest, reply](service::BatchResult result) {
+        // The typed callback inside `start` already encoded the reply (or
+        // left it empty and set the error); this wrapper is the shared
+        // delivery tail — post to the home loop, then release the gate.
+        if (registry_ != nullptr) registry_->note_complete(digest, reply->answered);
+        conn->home->loop.post([this, conn, request_id, reply,
+                               error = result.error]() mutable {
+          on_workload_done(conn, request_id, reply, std::move(error));
+        });
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        --inflight_total_;
+        inflight_cv_.notify_all();
+      },
+      /*weight=*/1, deadline);
+  if (verdict == registry::DispatchVerdict::kBusy) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_total_;
+    }
+    --conn->inflight;
+    if (registry_ != nullptr) registry_->note_busy(digest);
+    busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::uint8_t> busy;
+    append_busy(busy, request_id,
+                "server busy: tenant " + hex_digest(digest) + " queue is full; retry");
+    send_bytes(conn, std::move(busy));
+  }
+}
+
+void Server::on_workload_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                              const std::shared_ptr<WorkloadReply>& reply,
+                              std::exception_ptr error) {
+  if (conn->closed || conn->closing) {
+    replies_dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (!conn->closed) --conn->inflight;
+    return;
+  }
+  MSRP_CHECK(conn->inflight > 0, "net server: completion without an in-flight batch");
+  --conn->inflight;
+  std::vector<std::uint8_t> bytes;
+  if (error != nullptr) {
+    std::string message = "batch failed";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& ex) {
+      message = ex.what();
+    } catch (...) {
+    }
+    if (is_deadline_exceeded_message(message)) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      batch_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    append_error(bytes, request_id, message);
+  } else {
+    queries_answered_.fetch_add(reply->answered, std::memory_order_relaxed);
+    bytes = std::move(reply->bytes);
+  }
+  send_bytes(conn, std::move(bytes));
+  if (conn->closed) return;
+  pump(conn);
+  maybe_finish_conn(conn);
+}
+
+void Server::handle_vitality_batch(const std::shared_ptr<Conn>& conn, VitalityBatchFrame fb) {
+  if (fb.request_id == 0) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, "request id 0 is reserved (batch ids must be nonzero)");
+    return;
+  }
+  batches_received_.fetch_add(1, std::memory_order_relaxed);
+  vitality_batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = fb.request_id;
+  const Deadline deadline =
+      fb.deadline_ms ? deadline_after_ms(*fb.deadline_ms) : kNoDeadline;
+  std::uint64_t digest = 0;
+  std::shared_ptr<const service::Snapshot> oracle =
+      resolve_oracle(conn, id, fb.digest, &digest);
+  if (oracle == nullptr) return;
+  auto reply = std::make_shared<WorkloadReply>();
+  auto queries =
+      std::make_shared<std::vector<service::VitalityQuery>>(std::move(fb.queries));
+  submit_workload(
+      conn, id, digest,
+      [this, oracle = std::move(oracle), queries, id,
+       reply](service::BatchCallback cb, Deadline dl) {
+        // `dl` is the same absolute instant decoded above — the dispatcher
+        // hands it back so queue time burns the batch's own budget.
+        svc_.submit_vitality(
+            oracle, std::move(*queries),
+            [cb = std::move(cb), id, reply](service::VitalityBatchResult r) {
+              if (r.error == nullptr) {
+                reply->answered = r.results.size();
+                append_vitality_answer(reply->bytes, id, r.results);
+              }
+              cb(service::BatchResult{{}, std::move(r.oracle), r.error});
+            },
+            dl);
+      },
+      reply, deadline);
+}
+
+void Server::handle_vickrey_batch(const std::shared_ptr<Conn>& conn, VickreyBatchFrame fb) {
+  if (fb.request_id == 0) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, "request id 0 is reserved (batch ids must be nonzero)");
+    return;
+  }
+  batches_received_.fetch_add(1, std::memory_order_relaxed);
+  vickrey_batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = fb.request_id;
+  const Deadline deadline =
+      fb.deadline_ms ? deadline_after_ms(*fb.deadline_ms) : kNoDeadline;
+  std::uint64_t digest = 0;
+  std::shared_ptr<const service::Snapshot> oracle =
+      resolve_oracle(conn, id, fb.digest, &digest);
+  if (oracle == nullptr) return;
+  auto reply = std::make_shared<WorkloadReply>();
+  auto queries =
+      std::make_shared<std::vector<service::VickreyQuery>>(std::move(fb.queries));
+  submit_workload(
+      conn, id, digest,
+      [this, oracle = std::move(oracle), queries, id,
+       reply](service::BatchCallback cb, Deadline dl) {
+        svc_.submit_vickrey(
+            oracle, std::move(*queries),
+            [cb = std::move(cb), id, reply](service::VickreyBatchResult r) {
+              if (r.error == nullptr) {
+                reply->answered = r.results.size();
+                append_vickrey_answer(reply->bytes, id, r.results);
+              }
+              cb(service::BatchResult{{}, std::move(r.oracle), r.error});
+            },
+            dl);
+      },
+      reply, deadline);
+}
+
+void Server::handle_kfail_batch(const std::shared_ptr<Conn>& conn, KFailBatchFrame fb) {
+  if (fb.request_id == 0) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, "request id 0 is reserved (batch ids must be nonzero)");
+    return;
+  }
+  batches_received_.fetch_add(1, std::memory_order_relaxed);
+  kfail_batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = fb.request_id;
+  const Deadline deadline =
+      fb.deadline_ms ? deadline_after_ms(*fb.deadline_ms) : kNoDeadline;
+  std::uint64_t digest = 0;
+  std::shared_ptr<const service::Snapshot> oracle =
+      resolve_oracle(conn, id, fb.digest, &digest);
+  if (oracle == nullptr) return;
+  auto reply = std::make_shared<WorkloadReply>();
+  auto queries = std::make_shared<std::vector<service::KFailQuery>>(std::move(fb.queries));
+  submit_workload(
+      conn, id, digest,
+      [this, oracle = std::move(oracle), queries, id,
+       reply](service::BatchCallback cb, Deadline dl) {
+        svc_.submit_kfail(
+            oracle, std::move(*queries),
+            [cb = std::move(cb), id, reply](service::BatchResult r) {
+              if (r.error == nullptr) {
+                reply->answered = r.answers.size();
+                append_kfail_answer(reply->bytes, id, r.answers);
+              }
+              cb(service::BatchResult{{}, std::move(r.oracle), r.error});
+            },
+            dl);
+      },
+      reply, deadline);
 }
 
 void Server::handle_register(const std::shared_ptr<Conn>& conn, RegisterGraphFrame reg) {
@@ -917,6 +1135,9 @@ ServerStats Server::stats() const {
   st.connections_closed = connections_closed_.load(std::memory_order_relaxed);
   st.batches_received = batches_received_.load(std::memory_order_relaxed);
   st.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  st.vitality_batches = vitality_batches_.load(std::memory_order_relaxed);
+  st.vickrey_batches = vickrey_batches_.load(std::memory_order_relaxed);
+  st.kfail_batches = kfail_batches_.load(std::memory_order_relaxed);
   st.batch_errors = batch_errors_.load(std::memory_order_relaxed);
   st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   st.replies_dropped = replies_dropped_.load(std::memory_order_relaxed);
@@ -932,6 +1153,7 @@ ServerStats Server::stats() const {
 
 struct Server::Conn {};
 struct Server::LoopShard {};
+struct Server::WorkloadReply {};
 
 Server::Server(service::QueryService&, std::shared_ptr<const service::Snapshot>,
                ServerOptions) {
@@ -954,6 +1176,19 @@ bool Server::has_capacity(const Conn&) const { return false; }
 void Server::pump(const std::shared_ptr<Conn>&) {}
 void Server::handle_frame(const std::shared_ptr<Conn>&, Frame) {}
 void Server::handle_query_batch(const std::shared_ptr<Conn>&, QueryBatchFrame) {}
+void Server::handle_vitality_batch(const std::shared_ptr<Conn>&, VitalityBatchFrame) {}
+void Server::handle_vickrey_batch(const std::shared_ptr<Conn>&, VickreyBatchFrame) {}
+void Server::handle_kfail_batch(const std::shared_ptr<Conn>&, KFailBatchFrame) {}
+std::shared_ptr<const service::Snapshot> Server::resolve_oracle(
+    const std::shared_ptr<Conn>&, std::uint64_t, const std::optional<std::uint64_t>&,
+    std::uint64_t*) {
+  return nullptr;
+}
+void Server::submit_workload(const std::shared_ptr<Conn>&, std::uint64_t, std::uint64_t,
+                             registry::FairDispatcher::StartFn,
+                             std::shared_ptr<WorkloadReply>, Deadline) {}
+void Server::on_workload_done(const std::shared_ptr<Conn>&, std::uint64_t,
+                              const std::shared_ptr<WorkloadReply>&, std::exception_ptr) {}
 void Server::handle_register(const std::shared_ptr<Conn>&, RegisterGraphFrame) {}
 void Server::handle_list_oracles(const std::shared_ptr<Conn>&, std::uint64_t) {}
 void Server::handle_unregister(const std::shared_ptr<Conn>&, const UnregisterFrame&) {}

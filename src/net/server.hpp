@@ -117,8 +117,11 @@ struct ServerOptions {
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
-  std::uint64_t batches_received = 0;
+  std::uint64_t batches_received = 0;  ///< all batch kinds, point queries included
   std::uint64_t queries_answered = 0;
+  std::uint64_t vitality_batches = 0;  ///< TOP_K_VITAL batches received
+  std::uint64_t vickrey_batches = 0;   ///< VICKREY_PRICES batches received
+  std::uint64_t kfail_batches = 0;     ///< K_FAIL batches received
   std::uint64_t batch_errors = 0;     ///< batches answered with an ERROR frame
   std::uint64_t protocol_errors = 0;  ///< connections dropped for bad framing
   std::uint64_t replies_dropped = 0;  ///< completions whose connection was gone
@@ -173,6 +176,7 @@ class Server {
  private:
   struct Conn;
   struct LoopShard;
+  struct WorkloadReply;
 
   void on_accept(LoopShard& ls, std::uint32_t events);
   /// Registers an accepted socket with `ls` (its home loop from then on);
@@ -189,6 +193,27 @@ class Server {
   void pump(const std::shared_ptr<Conn>& conn);
   void handle_frame(const std::shared_ptr<Conn>& conn, Frame frame);
   void handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFrame qb);
+  void handle_vitality_batch(const std::shared_ptr<Conn>& conn, VitalityBatchFrame fb);
+  void handle_vickrey_batch(const std::shared_ptr<Conn>& conn, VickreyBatchFrame fb);
+  void handle_kfail_batch(const std::shared_ptr<Conn>& conn, KFailBatchFrame fb);
+  /// Resolves a batch's target oracle (frame digest, else the HELLO
+  /// default) and reports it via `digest_out`. On failure the reply —
+  /// batch ERROR or BUSY — is already sent and nullptr comes back; shared
+  /// by every batch opcode.
+  std::shared_ptr<const service::Snapshot> resolve_oracle(
+      const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+      const std::optional<std::uint64_t>& digest_opt, std::uint64_t* digest_out);
+  /// Admits one typed workload batch through the dispatcher with the
+  /// standard accounting (conn inflight, destructor gate, registry notes,
+  /// BUSY rollback). `start` submits to the service; its completion must
+  /// fill `reply` on success before invoking the dispatcher-wrapped
+  /// callback.
+  void submit_workload(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                       std::uint64_t digest, registry::FairDispatcher::StartFn start,
+                       std::shared_ptr<WorkloadReply> reply, Deadline deadline);
+  void on_workload_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
+                        const std::shared_ptr<WorkloadReply>& reply,
+                        std::exception_ptr error);
   void handle_register(const std::shared_ptr<Conn>& conn, RegisterGraphFrame reg);
   void handle_list_oracles(const std::shared_ptr<Conn>& conn, std::uint64_t request_id);
   void handle_unregister(const std::shared_ptr<Conn>& conn, const UnregisterFrame& un);
@@ -253,6 +278,9 @@ class Server {
   std::atomic<std::uint64_t> connections_closed_{0};
   std::atomic<std::uint64_t> batches_received_{0};
   std::atomic<std::uint64_t> queries_answered_{0};
+  std::atomic<std::uint64_t> vitality_batches_{0};
+  std::atomic<std::uint64_t> vickrey_batches_{0};
+  std::atomic<std::uint64_t> kfail_batches_{0};
   std::atomic<std::uint64_t> batch_errors_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> replies_dropped_{0};

@@ -18,8 +18,23 @@ DispatchVerdict FairDispatcher::submit(std::uint64_t digest,
                                        std::vector<service::Query> queries,
                                        service::BatchCallback done, std::uint32_t weight,
                                        Deadline deadline) {
+  // Point-query batches are just one kind of task: wrap the constructor's
+  // Submit function into a StartFn and share the admission machinery.
+  return submit_task(
+      digest,
+      [this, oracle = std::move(oracle),
+       queries = std::move(queries)](service::BatchCallback cb, Deadline dl) mutable {
+        submit_(std::move(oracle), std::move(queries), std::move(cb), dl);
+      },
+      std::move(done), weight, deadline);
+}
+
+DispatchVerdict FairDispatcher::submit_task(std::uint64_t digest, StartFn start,
+                                            service::BatchCallback done,
+                                            std::uint32_t weight, Deadline deadline) {
+  MSRP_REQUIRE(start != nullptr, "dispatcher: null start function");
   MSRP_REQUIRE(done != nullptr, "dispatcher: null callback");
-  Pending batch{std::move(oracle), std::move(queries), std::move(done), deadline};
+  Pending batch{std::move(start), std::move(done), deadline};
   {
     std::lock_guard<std::mutex> lock(mu_);
     Tenant& t = tenants_[digest];
@@ -61,9 +76,9 @@ void FairDispatcher::dispatch(std::uint64_t digest, Pending batch) {
     done(std::move(result));
   };
   try {
-    submit_(std::move(batch.oracle), std::move(batch.queries), wrapper, batch.deadline);
+    batch.start(wrapper, batch.deadline);
   } catch (...) {
-    // submit threw before enqueueing anything (allocation failure): the
+    // start threw before enqueueing anything (allocation failure): the
     // service will never invoke the wrapper, so deliver the failure
     // ourselves — exactly once, with the bookkeeping the wrapper carries.
     wrapper(service::BatchResult{{}, nullptr, std::current_exception()});

@@ -69,6 +69,15 @@ class FairDispatcher {
                                     std::vector<service::Query>, service::BatchCallback,
                                     Deadline)>;
 
+  /// A deferred batch of ANY workload: invoked (at most once, outside the
+  /// dispatcher lock) when the batch wins an inflight slot, with the
+  /// dispatcher's bookkeeping wrapped into the callback it must hand to the
+  /// service. Admission control does not care what the batch computes —
+  /// only that exactly one completion comes back — so the v3 opcodes
+  /// (vitality, Vickrey, k-fail) ride the same WRR ring as point-query
+  /// batches via submit_task().
+  using StartFn = std::function<void(service::BatchCallback, Deadline)>;
+
   FairDispatcher(Submit submit, DispatchOptions opts);
 
   FairDispatcher(const FairDispatcher&) = delete;
@@ -85,6 +94,15 @@ class FairDispatcher {
                          std::vector<service::Query> queries, service::BatchCallback done,
                          std::uint32_t weight = 1, Deadline deadline = kNoDeadline);
 
+  /// Like submit(), for a batch that starts through an arbitrary closure
+  /// instead of the constructor's Submit function. `start` receives the
+  /// bookkeeping-wrapped callback and the deadline; it must hand them to
+  /// exactly one service submit. A batch whose deadline expires while
+  /// queued completes with DeadlineExceeded and `start` is never invoked.
+  DispatchVerdict submit_task(std::uint64_t digest, StartFn start,
+                              service::BatchCallback done, std::uint32_t weight = 1,
+                              Deadline deadline = kNoDeadline);
+
   // Observability (tests assert against these).
   std::size_t inflight_batches() const;
   std::size_t queued_batches() const;
@@ -96,8 +114,7 @@ class FairDispatcher {
 
  private:
   struct Pending {
-    std::shared_ptr<const service::Snapshot> oracle;
-    std::vector<service::Query> queries;
+    StartFn start;  ///< hands the batch to the service when dispatched
     service::BatchCallback done;
     Deadline deadline = kNoDeadline;
   };

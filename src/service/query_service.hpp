@@ -58,6 +58,7 @@
 #include "service/query.hpp"
 #include "service/snapshot.hpp"
 #include "service/thread_pool.hpp"
+#include "service/workloads.hpp"
 #include "util/deadline.hpp"
 
 namespace msrp::service {
@@ -81,6 +82,23 @@ struct BatchResult {
 /// should not throw — an escaping exception cannot trigger a second
 /// delivery, but it is lost to the pool's fire-and-forget error slot.
 using BatchCallback = std::function<void(BatchResult)>;
+
+/// Outcome of one asynchronous vitality batch (TOP_K_VITAL); same error
+/// channel contract as BatchResult.
+struct VitalityBatchResult {
+  std::vector<VitalityResult> results;  ///< results[i] answers queries[i]
+  std::shared_ptr<const Snapshot> oracle;
+  std::exception_ptr error;
+};
+using VitalityCallback = std::function<void(VitalityBatchResult)>;
+
+/// Outcome of one asynchronous Vickrey batch (VICKREY_PRICES).
+struct VickreyBatchResult {
+  std::vector<VickreyResult> results;
+  std::shared_ptr<const Snapshot> oracle;
+  std::exception_ptr error;
+};
+using VickreyCallback = std::function<void(VickreyBatchResult)>;
 
 class QueryService {
  public:
@@ -175,6 +193,62 @@ class QueryService {
   void submit_batch(Graph g, std::vector<Vertex> sources, Config cfg,
                     std::vector<Query> queries, BatchCallback done);
 
+  // ----- workload API (the protocol v3 opcodes; see service/workloads.hpp) --
+
+  /// Top-k most-vital edges of each query's canonical s->t path. Expands
+  /// every query into one point query per path edge and answers them
+  /// through query_batch — so the sharded path and the in-process path
+  /// return byte-identical results — then ranks (vitality desc, position
+  /// asc) and truncates to k. Validation (source/target range, 1 <= k <=
+  /// kMaxTopKVital) throws before any work, like query_batch.
+  std::vector<VitalityResult> vitality_batch(const Snapshot& oracle,
+                                             std::span<const VitalityQuery> queries,
+                                             Deadline deadline = kNoDeadline);
+
+  /// Vickrey payments along each query's canonical path: price(e) =
+  /// d(s,t,e) - d(s,t) in path order, kInfDist for bridges. Same expansion
+  /// machinery (and therefore the same bytes on every serving path) as
+  /// vitality_batch.
+  std::vector<VickreyResult> vickrey_batch(const Snapshot& oracle,
+                                           std::span<const VickreyQuery> queries,
+                                           Deadline deadline = kNoDeadline);
+
+  /// d(s, t) avoiding each query's failure set F, |F| <= kMaxKFailEdges.
+  /// |F| == 1 routes through the point-query path (O(1) oracle reads,
+  /// sharded when configured); |F| == 0 is the base distance; |F| == 2
+  /// runs a bounded BFS of G - F and therefore needs the graph behind the
+  /// oracle — attach_graph() it (build() does so automatically) or the
+  /// batch throws std::invalid_argument.
+  std::vector<Dist> kfail_batch(const Snapshot& oracle, std::span<const KFailQuery> queries,
+                                Deadline deadline = kNoDeadline);
+
+  /// Async flavours: validation, expansion, and answering all run on the
+  /// pool; `done` fires exactly once from a worker (error channel on
+  /// validation failure, DeadlineExceeded, or a missing attached graph).
+  /// These share submit_batch's machinery — the same failpoints, deadline
+  /// checks, and shard routing apply.
+  void submit_vitality(std::shared_ptr<const Snapshot> oracle,
+                       std::vector<VitalityQuery> queries, VitalityCallback done,
+                       Deadline deadline = kNoDeadline);
+  void submit_vickrey(std::shared_ptr<const Snapshot> oracle,
+                      std::vector<VickreyQuery> queries, VickreyCallback done,
+                      Deadline deadline = kNoDeadline);
+  /// K-fail answers are plain distances, so the callback reuses
+  /// BatchResult/BatchCallback.
+  void submit_kfail(std::shared_ptr<const Snapshot> oracle, std::vector<KFailQuery> queries,
+                    BatchCallback done, Deadline deadline = kNoDeadline);
+
+  /// Attaches the graph behind an oracle digest so 2-edge-failure queries
+  /// (a BFS of G - F, not a table read) can be served. build() attaches
+  /// automatically; oracles loaded from snapshots need an explicit attach
+  /// before |F| == 2 K_FAIL queries work. Attached graphs live in a small
+  /// MRU list, so a stream of distinct digests cannot hoard memory.
+  void attach_graph(std::uint64_t digest, std::shared_ptr<const Graph> graph);
+
+  /// Graph previously attached for `digest`, or nullptr. Marks the entry
+  /// most recently used.
+  std::shared_ptr<const Graph> graph_for(std::uint64_t digest);
+
   /// Runs a closure on the worker pool — the registry layer builds its
   /// registrations through this so they share the serving pool (and its
   /// drain-on-destruction ordering) instead of spawning threads.
@@ -221,6 +295,10 @@ class QueryService {
 
   Options opts_;
   OracleCache cache_;
+  // Graphs attached for K_FAIL |F| == 2 service, by oracle content digest,
+  // MRU first (bounded; see kMaxAttachedGraphs in the .cpp).
+  std::mutex graphs_mu_;
+  std::list<std::pair<std::uint64_t, std::shared_ptr<const Graph>>> graphs_;
   // Multi-process shard routers by oracle content digest, MRU first.
   // Declared before pool_: pool tasks route through these, and the pool's
   // destructor drains its queue before the routers shut their workers down.

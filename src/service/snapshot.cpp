@@ -671,6 +671,21 @@ std::span<const Dist> Snapshot::row(Vertex s, Vertex t) const {
   return {tab.cells.data() + tab.row_offset[t], tab.cells.data() + tab.row_offset[t + 1]};
 }
 
+std::vector<EdgeId> Snapshot::canonical_path(Vertex s, Vertex t) const {
+  const std::uint32_t si = source_index(s);
+  MSRP_REQUIRE(t < n_, "target out of range");
+  const SourceTable& tab = tables_[si];
+  const Dist dt = tab.dist[t];
+  if (dt == kInfDist || dt == 0) return {};
+  std::vector<EdgeId> path(dt);
+  Vertex v = t;
+  for (Dist i = dt; i > 0; --i) {
+    path[i - 1] = tab.parent_edge[v];
+    v = tab.parent[v];
+  }
+  return path;
+}
+
 Dist Snapshot::avoiding(Vertex s, Vertex t, EdgeId e) const {
   const std::uint32_t si = source_index(s);
   MSRP_REQUIRE(t < n_, "target out of range");

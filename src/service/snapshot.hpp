@@ -148,6 +148,15 @@ class Snapshot {
   /// MsrpResult::avoiding.
   Dist avoiding(Vertex s, Vertex t, EdgeId e) const;
 
+  /// Edge ids of the canonical s->t shortest path in path order: element i
+  /// is the edge whose deeper endpoint sits at distance i+1 from s — the
+  /// same indexing as row(s, t), so row(s, t)[i] == avoiding(s, t, path[i]).
+  /// Empty when s == t or t is unreachable; throws if s is not a source or
+  /// t is out of range. This is what the vitality and Vickrey workloads
+  /// enumerate, and it needs no Graph: the trees stored in the snapshot
+  /// carry the parent edges.
+  std::vector<EdgeId> canonical_path(Vertex s, Vertex t) const;
+
   /// avoiding() with the source-index lookup and bounds checks hoisted out;
   /// the batched read path calls this once per query.
   Dist avoiding_at(std::uint32_t si, Vertex t, EdgeId e) const {

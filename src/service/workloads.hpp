@@ -1,0 +1,102 @@
+/// \file
+/// Query and result shapes for the served workloads beyond plain d(s,t,e):
+/// top-k most-vital edges, Vickrey edge pricing, and k-edge-failure
+/// distances. These are the in-process vocabulary shared by the
+/// QueryService typed entry points, the wire codec (protocol v3 frames
+/// carry exactly these fields), and the differential tests — one
+/// definition, so a wire round trip and a local call cannot drift.
+///
+/// Semantics (all relative to the oracle's canonical BFS trees, so every
+/// serving path — in-process, mmap, sharded, wire — answers identically):
+///
+///   * VitalityQuery(s, t, k): the k edges of the canonical s->t path whose
+///     removal hurts most. Each entry carries the edge id, its position on
+///     the path (0 = incident to s), and the replacement distance
+///     d(s, t, e); vitality is replacement - base (kInfDist for bridges)
+///     and entries are ordered by (vitality desc, position asc), exactly
+///     like rp::most_vital_edges.
+///   * VickreyQuery(s, t): per-edge Vickrey payments along the canonical
+///     path. An edge's price is d(s, t, e) - d(s, t) — the detour premium
+///     its owner could extract in a second-price auction — kInfDist when
+///     the edge is a bridge (monopoly). Prices are in path order.
+///   * KFailQuery(s, t, fails): d(s, t) in G - fails for a failure set of
+///     at most kMaxKFailEdges edges. |fails| == 1 is answered by the O(1)
+///     oracle; |fails| == 2 needs the graph (a bounded BFS via the ftsub
+///     machinery); |fails| == 0 degenerates to the base distance.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "service/query.hpp"
+#include "util/distance.hpp"
+
+namespace msrp::service {
+
+/// Most failure sets the serving stack accepts per K_FAIL query. Enforced
+/// at wire decode (ProtocolError) and at the service boundary
+/// (std::invalid_argument), so no layer below ever sees a larger set.
+inline constexpr std::size_t kMaxKFailEdges = 2;
+
+/// Cap on TOP_K_VITAL's k. A path has fewer than n edges, so any larger
+/// request is either a typo or an attack on the reply allocator.
+inline constexpr std::uint32_t kMaxTopKVital = 1u << 16;
+
+struct VitalityQuery {
+  Vertex s = 0;
+  Vertex t = 0;
+  std::uint32_t k = 0;
+  friend bool operator==(const VitalityQuery&, const VitalityQuery&) = default;
+};
+
+/// One edge of a vitality answer. `replacement` is d(s, t, edge); the
+/// vitality itself (replacement - base, kInfDist for bridges) is derived,
+/// not carried — see VitalityResult::vitality_of.
+struct VitalityEntry {
+  EdgeId edge = kNoEdge;
+  std::uint32_t position = 0;  ///< index on the canonical s->t path, 0 at s
+  Dist replacement = kInfDist;
+  friend bool operator==(const VitalityEntry&, const VitalityEntry&) = default;
+};
+
+struct VitalityResult {
+  Dist base = kInfDist;  ///< d(s, t); kInfDist when t is unreachable
+  /// Top-k entries, (vitality desc, position asc), truncated to k. Empty
+  /// when t is unreachable or s == t.
+  std::vector<VitalityEntry> edges;
+
+  Dist vitality_of(const VitalityEntry& e) const {
+    return e.replacement == kInfDist ? kInfDist : e.replacement - base;
+  }
+  friend bool operator==(const VitalityResult&, const VitalityResult&) = default;
+};
+
+struct VickreyQuery {
+  Vertex s = 0;
+  Vertex t = 0;
+  friend bool operator==(const VickreyQuery&, const VickreyQuery&) = default;
+};
+
+/// One priced edge of a Vickrey answer, in canonical path order.
+struct VickreyCharge {
+  EdgeId edge = kNoEdge;
+  Dist price = 0;  ///< d(s,t,edge) - d(s,t); kInfDist = bridge monopoly
+  friend bool operator==(const VickreyCharge&, const VickreyCharge&) = default;
+};
+
+struct VickreyResult {
+  Dist base = kInfDist;  ///< d(s, t); kInfDist when t is unreachable
+  std::vector<VickreyCharge> prices;  ///< one per canonical path edge
+  friend bool operator==(const VickreyResult&, const VickreyResult&) = default;
+};
+
+struct KFailQuery {
+  Vertex s = 0;
+  Vertex t = 0;
+  /// Failed edge ids, |fails| <= kMaxKFailEdges, no duplicates.
+  std::vector<EdgeId> fails;
+  friend bool operator==(const KFailQuery&, const KFailQuery&) = default;
+};
+
+}  // namespace msrp::service

@@ -7,12 +7,21 @@
 // write-stall eviction, and shard-worker recovery (kill while futex-
 // parked, corrupted attach detected and healed by respawn).
 //
+// The protocol-v3 workload opcodes get the same treatment: every typed
+// entry point (vitality, Vickrey, k-fail) honors expired deadlines on both
+// the sync and callback paths, a parked KFAIL_BATCH surfaces DEADLINE on
+// the wire, admission control answers BUSY to a VITALITY_BATCH and the
+// typed retry wrapper replays it byte-identically, and a service.answer
+// stall turns each workload batch into an ERROR frame without hurting the
+// connection.
+//
 // Failpoint *sites* are compiled in only under -DMSRP_FAILPOINTS=ON; the
 // fail:: control functions are always linked, so the framework tests run
 // in every build and the injection tests GTEST_SKIP when the sites are
 // compiled out. Fork-based legs skip under TSan like shard_test does.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +42,7 @@
 #include "service/query_gen.hpp"
 #include "service/query_service.hpp"
 #include "service/shard_router.hpp"
+#include "service/workloads.hpp"
 #include "util/deadline.hpp"
 #include "util/failpoint.hpp"
 #include "util/rng.hpp"
@@ -302,6 +312,54 @@ struct ChaosFixture {
   }
 };
 
+std::vector<service::VitalityQuery> vitality_queries(const ChaosFixture& fx,
+                                                     std::size_t count,
+                                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<service::VitalityQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({fx.sources[rng.next_below(fx.sources.size())],
+                   static_cast<Vertex>(rng.next_below(fx.g.num_vertices())),
+                   1 + static_cast<std::uint32_t>(rng.next_below(6))});
+  }
+  return out;
+}
+
+std::vector<service::VickreyQuery> vickrey_queries(const ChaosFixture& fx,
+                                                   std::size_t count,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<service::VickreyQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({fx.sources[rng.next_below(fx.sources.size())],
+                   static_cast<Vertex>(rng.next_below(fx.g.num_vertices()))});
+  }
+  return out;
+}
+
+/// |F| cycles 0/1/2 so every k-fail answer path (base read, oracle row,
+/// bounded BFS of G - F) sits in each batch.
+std::vector<service::KFailQuery> kfail_queries(const ChaosFixture& fx, std::size_t count,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<service::KFailQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    service::KFailQuery q{fx.sources[rng.next_below(fx.sources.size())],
+                          static_cast<Vertex>(rng.next_below(fx.g.num_vertices())),
+                          {}};
+    while (q.fails.size() < i % 3) {
+      const EdgeId e = static_cast<EdgeId>(rng.next_below(fx.g.num_edges()));
+      if (std::find(q.fails.begin(), q.fails.end(), e) == q.fails.end())
+        q.fails.push_back(e);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
 /// Parks every worker of `svc` until the returned promise is fulfilled, so
 /// a submitted batch deterministically waits behind the wedge.
 std::promise<void> wedge_pool(service::QueryService& svc) {
@@ -345,6 +403,46 @@ TEST(ServiceDeadline, GenerousDeadlineAnswersIdentically) {
   EXPECT_EQ(fx.svc.query_batch(*fx.oracle, queries, deadline_after_ms(60000)), want);
 }
 
+// Every typed workload entry point enforces the same deadline contract as
+// query_batch: sync throws, the callback path delivers the error channel.
+TEST(ServiceDeadline, WorkloadEntryPointsHonorExpiredDeadlines) {
+  ChaosFixture fx;
+  const auto vq = vitality_queries(fx, 120, 20);
+  const auto pq = vickrey_queries(fx, 120, 21);
+  const auto fq = kfail_queries(fx, 120, 22);
+  const Deadline past = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+
+  EXPECT_THROW(fx.svc.vitality_batch(*fx.oracle, vq, past), DeadlineExceeded);
+  EXPECT_THROW(fx.svc.vickrey_batch(*fx.oracle, pq, past), DeadlineExceeded);
+  EXPECT_THROW(fx.svc.kfail_batch(*fx.oracle, fq, past), DeadlineExceeded);
+
+  std::promise<service::VitalityBatchResult> vp;
+  fx.svc.submit_vitality(fx.oracle, vq,
+                         [&](service::VitalityBatchResult r) { vp.set_value(std::move(r)); },
+                         past);
+  const service::VitalityBatchResult vr = vp.get_future().get();
+  ASSERT_NE(vr.error, nullptr);
+  EXPECT_TRUE(vr.results.empty());
+  EXPECT_THROW(std::rethrow_exception(vr.error), DeadlineExceeded);
+
+  std::promise<service::VickreyBatchResult> pp;
+  fx.svc.submit_vickrey(fx.oracle, pq,
+                        [&](service::VickreyBatchResult r) { pp.set_value(std::move(r)); },
+                        past);
+  const service::VickreyBatchResult pr = pp.get_future().get();
+  ASSERT_NE(pr.error, nullptr);
+  EXPECT_TRUE(pr.results.empty());
+  EXPECT_THROW(std::rethrow_exception(pr.error), DeadlineExceeded);
+
+  std::promise<service::BatchResult> fp;
+  fx.svc.submit_kfail(fx.oracle, fq,
+                      [&](service::BatchResult r) { fp.set_value(std::move(r)); }, past);
+  const service::BatchResult fr = fp.get_future().get();
+  ASSERT_NE(fr.error, nullptr);
+  EXPECT_TRUE(fr.answers.empty());
+  EXPECT_THROW(std::rethrow_exception(fr.error), DeadlineExceeded);
+}
+
 // Acceptance: a delay failpoint that pushes the answer path past its budget
 // must surface DEADLINE_EXCEEDED within 2x the deadline, not answer late.
 TEST(ServiceDeadline, DelayFailpointForcesDeadlineWithinTwiceTheBudget) {
@@ -371,6 +469,52 @@ TEST(ServiceDeadline, DelayFailpointForcesDeadlineWithinTwiceTheBudget) {
     EXPECT_TRUE(is_deadline_exceeded_message(e.what()));
   }
   EXPECT_LT(elapsed.count(), 2 * kDeadlineMs);
+}
+
+// The same acceptance for each typed workload path: the service.answer site
+// fires on every submit_* closure, so a one-shot stall past the budget must
+// turn into the error channel, opcode by opcode, never a late answer.
+TEST(ServiceDeadline, DelayFailpointFailsEachWorkloadBatchInsteadOfAnsweringLate) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ChaosFixture fx;
+  constexpr unsigned kDeadlineMs = 150;
+
+  const auto expect_deadline_error = [&](std::exception_ptr error) {
+    ASSERT_NE(error, nullptr);
+    try {
+      std::rethrow_exception(error);
+    } catch (const DeadlineExceeded& e) {
+      EXPECT_TRUE(is_deadline_exceeded_message(e.what()));
+    }
+  };
+
+  ASSERT_TRUE(fail::set("service.answer", "delay:180000*1"));
+  std::promise<service::VitalityBatchResult> vp;
+  fx.svc.submit_vitality(fx.oracle, vitality_queries(fx, 120, 25),
+                         [&](service::VitalityBatchResult r) { vp.set_value(std::move(r)); },
+                         deadline_after_ms(kDeadlineMs));
+  const service::VitalityBatchResult vr = vp.get_future().get();
+  EXPECT_TRUE(vr.results.empty());
+  expect_deadline_error(vr.error);
+
+  ASSERT_TRUE(fail::set("service.answer", "delay:180000*1"));
+  std::promise<service::VickreyBatchResult> pp;
+  fx.svc.submit_vickrey(fx.oracle, vickrey_queries(fx, 120, 26),
+                        [&](service::VickreyBatchResult r) { pp.set_value(std::move(r)); },
+                        deadline_after_ms(kDeadlineMs));
+  const service::VickreyBatchResult pr = pp.get_future().get();
+  EXPECT_TRUE(pr.results.empty());
+  expect_deadline_error(pr.error);
+
+  ASSERT_TRUE(fail::set("service.answer", "delay:180000*1"));
+  std::promise<service::BatchResult> fp;
+  fx.svc.submit_kfail(fx.oracle, kfail_queries(fx, 120, 27),
+                      [&](service::BatchResult r) { fp.set_value(std::move(r)); },
+                      deadline_after_ms(kDeadlineMs));
+  const service::BatchResult fr = fp.get_future().get();
+  fail::clear("service.answer");
+  EXPECT_TRUE(fr.answers.empty());
+  expect_deadline_error(fr.error);
 }
 
 // ------------------------------------------------------- crash-safe saves
@@ -543,6 +687,27 @@ TEST(NetDeadline, BatchParkedPastItsDeadlineReturnsDeadlineError) {
   EXPECT_GE(ts.server.stats().deadline_exceeded, 1u);
 }
 
+// The typed opcodes ride the same wire-deadline machinery: a KFAIL_BATCH
+// parked behind a wedged pool past its budget comes back as DEADLINE, and
+// the connection then serves a clean replay of the same batch.
+TEST(NetDeadline, KFailBatchParkedPastItsDeadlineReturnsDeadlineError) {
+  SKIP_WITHOUT_EPOLL();
+  ChaosFixture fx;
+  const auto queries = kfail_queries(fx, 150, 16);
+  const auto want = fx.svc.kfail_batch(*fx.oracle, queries);
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+
+  auto release = wedge_pool(fx.svc);
+  const std::uint64_t id = client.send_kfail(queries, std::nullopt, /*deadline_ms=*/30);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  release.set_value();
+
+  EXPECT_THROW(client.wait_kfail(id), net::DeadlineError);
+  EXPECT_GE(ts.server.stats().deadline_exceeded, 1u);
+  EXPECT_EQ(client.kfail_batch(queries), want);
+}
+
 TEST(NetDeadline, GenerousWireDeadlineAnswersByteForByte) {
   SKIP_WITHOUT_EPOLL();
   ChaosFixture fx;
@@ -643,6 +808,40 @@ TEST(NetChaos, TruncatedReceivesAreRetriedToIdenticalAnswers) {
   EXPECT_GE(fail::fire_count("client.recv_truncate"), 1u);
 }
 
+TEST(NetChaos, StalledAnswerFailsEachWorkloadBatchButNotTheConnection) {
+  SKIP_WITHOUT_EPOLL();
+  SKIP_WITHOUT_FAILPOINTS();
+  ChaosFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+  const auto vq = vitality_queries(fx, 80, 51);
+  const auto pq = vickrey_queries(fx, 80, 52);
+  const auto fq = kfail_queries(fx, 80, 53);
+
+  // Opcode by opcode: a one-shot 180 ms stall against a 60 ms wire budget
+  // turns exactly that batch into an ERROR frame (mapped to DeadlineError
+  // client-side); the connection survives and an immediate clean resend on
+  // the SAME socket matches the in-process answers.
+  ASSERT_TRUE(fail::set("service.answer", "delay:180000*1"));
+  EXPECT_THROW(client.vitality_batch(vq, std::nullopt, /*deadline_ms=*/60),
+               net::DeadlineError);
+  EXPECT_EQ(client.vitality_batch(vq), fx.svc.vitality_batch(*fx.oracle, vq));
+
+  ASSERT_TRUE(fail::set("service.answer", "delay:180000*1"));
+  EXPECT_THROW(client.vickrey_batch(pq, std::nullopt, /*deadline_ms=*/60),
+               net::DeadlineError);
+  EXPECT_EQ(client.vickrey_batch(pq), fx.svc.vickrey_batch(*fx.oracle, pq));
+
+  ASSERT_TRUE(fail::set("service.answer", "delay:180000*1"));
+  EXPECT_THROW(client.kfail_batch(fq, std::nullopt, /*deadline_ms=*/60),
+               net::DeadlineError);
+  EXPECT_EQ(client.kfail_batch(fq), fx.svc.kfail_batch(*fx.oracle, fq));
+  fail::clear("service.answer");
+
+  EXPECT_GE(ts.server.stats().deadline_exceeded, 3u);
+  EXPECT_EQ(ts.server.stats().protocol_errors, 0u);
+}
+
 TEST(NetRegistryChaos, FailedWireRegistrationIsListableWithItsReason) {
   SKIP_WITHOUT_EPOLL();
   ChaosFixture fx;
@@ -666,6 +865,43 @@ TEST(NetRegistryChaos, FailedWireRegistrationIsListableWithItsReason) {
   const auto ack = client.unregister(listed[0].digest);
   EXPECT_EQ(ack.state, registry::OracleState::kUnregistered);
   EXPECT_TRUE(client.list_oracles().empty());
+}
+
+// Admission control treats a VITALITY_BATCH exactly like a point batch:
+// overflow past the zero-length tenant queue is answered BUSY, BUSY means
+// "did not run", and the typed retry wrapper replays it byte-identically.
+TEST(NetRegistryChaos, VitalityBusySignalsAndTypedRetrySucceeds) {
+  SKIP_WITHOUT_EPOLL();
+  ChaosFixture fx;
+  const auto b1 = vitality_queries(fx, 200, 61);
+  const auto b2 = vitality_queries(fx, 100, 62);
+  const auto want1 = fx.svc.vitality_batch(*fx.oracle, b1);
+  const auto want2 = fx.svc.vitality_batch(*fx.oracle, b2);
+
+  net::ServerOptions sopts;
+  sopts.dispatch = {.per_tenant_inflight = 1, .per_tenant_queue = 0, .total_inflight = 4};
+  RegistryTestServer ts(fx.svc, fx.oracle, {}, sopts);
+  net::Client client(ts.client_options());
+
+  // Wedge the pool so the first batch deterministically stays in flight;
+  // the second then overflows the zero-length queue.
+  std::promise<void> release = wedge_pool(fx.svc);
+  const std::uint64_t id1 = client.send_vitality(b1);
+  const std::uint64_t id2 = client.send_vitality(b2);
+  try {
+    client.wait_vitality(id2);
+    FAIL() << "expected BUSY";
+  } catch (const net::BusyError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("busy"), std::string::npos);
+  }
+  release.set_value();
+  EXPECT_EQ(client.wait_vitality(id1), want1);
+  EXPECT_EQ(ts.server.stats().busy_rejected, 1u);
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 5;
+  EXPECT_EQ(client.vitality_batch_retry(b2, policy), want2);
 }
 
 // ------------------------------------------------------ shard-worker chaos

@@ -10,8 +10,14 @@
 // resend-on-reconnect across a server restart, and adversarial registry
 // frames. Multi-loop coverage: SO_REUSEPORT listeners and the
 // accept-hand-off fallback serve identically, drain on shutdown, and a
-// peer RST mid-reply never raises SIGPIPE. Runs under TSan in CI (loop
-// threads vs pool callbacks vs client threads).
+// peer RST mid-reply never raises SIGPIPE. Protocol v3 coverage: the three
+// workload opcodes (TOP_K_VITAL, VICKREY_PRICES, K_FAIL) round-trip,
+// reject lying counts / out-of-range k / oversized or duplicated failure
+// sets, serve byte-identically across every serving mode and pipeline
+// mixed with point batches, and the legacy v2 frame shapes stay
+// byte-identical under the v3 server (plus an unknown-opcode probe).
+// Runs under TSan in CI (loop threads vs pool callbacks vs client
+// threads).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -428,6 +434,199 @@ TEST(FrameDecoderAdversarial, LyingRegistryPayloadCountsThrow) {
   EXPECT_THROW(net::decode_unregister(shorter), ProtocolError);
 }
 
+// ------------------------------------------- v3 workload frames -----------
+
+TEST(FrameDecoder, RoundTripsWorkloadFrameTypes) {
+  std::vector<std::uint8_t> bytes;
+  const std::vector<service::VitalityQuery> vq{{0, 5, 3}, {17, 99, 1}};
+  net::append_vitality_batch(bytes, 21, vq, 0xfeedfaceULL, 250);
+  std::vector<service::VitalityResult> vres(2);
+  vres[0].base = 4;
+  vres[0].edges = {{7, 0, kInfDist}, {9, 2, 6}};
+  vres[1].base = kInfDist;
+  net::append_vitality_answer(bytes, 21, vres);
+
+  const std::vector<service::VickreyQuery> pq{{0, 5}, {17, 99}};
+  net::append_vickrey_batch(bytes, 22, pq);
+  std::vector<service::VickreyResult> pres(2);
+  pres[0].base = 4;
+  pres[0].prices = {{7, 0}, {9, kInfDist}};
+  net::append_vickrey_answer(bytes, 22, pres);
+
+  const std::vector<service::KFailQuery> fq{{0, 5, {}}, {1, 6, {3}}, {2, 7, {3, 9}}};
+  net::append_kfail_batch(bytes, 23, fq, std::nullopt, 100);
+  net::append_kfail_answer(bytes, 23, std::vector<Dist>{4, kInfDist, 9});
+
+  FrameDecoder dec;
+  dec.feed(bytes);
+  const auto next = [&dec] {
+    auto f = dec.next();
+    EXPECT_TRUE(f.has_value());
+    return std::move(*f);
+  };
+
+  Frame f = next();
+  EXPECT_EQ(f.type, FrameType::kVitalityBatch);
+  const net::VitalityBatchFrame vb = net::decode_vitality_batch(f.payload);
+  EXPECT_EQ(vb.request_id, 21u);
+  ASSERT_TRUE(vb.digest.has_value());
+  EXPECT_EQ(*vb.digest, 0xfeedfaceULL);
+  ASSERT_TRUE(vb.deadline_ms.has_value());
+  EXPECT_EQ(*vb.deadline_ms, 250u);
+  EXPECT_EQ(vb.queries, vq);
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kVitalityAnswer);
+  const net::VitalityAnswerFrame va = net::decode_vitality_answer(f.payload);
+  EXPECT_EQ(va.request_id, 21u);
+  EXPECT_EQ(va.results, vres);
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kVickreyBatch);
+  const net::VickreyBatchFrame pb = net::decode_vickrey_batch(f.payload);
+  EXPECT_EQ(pb.request_id, 22u);
+  EXPECT_FALSE(pb.digest.has_value());
+  EXPECT_FALSE(pb.deadline_ms.has_value());
+  EXPECT_EQ(pb.queries, pq);
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kVickreyAnswer);
+  const net::VickreyAnswerFrame pa = net::decode_vickrey_answer(f.payload);
+  EXPECT_EQ(pa.request_id, 22u);
+  EXPECT_EQ(pa.results, pres);
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kKFailBatch);
+  const net::KFailBatchFrame fb = net::decode_kfail_batch(f.payload);
+  EXPECT_EQ(fb.request_id, 23u);
+  EXPECT_FALSE(fb.digest.has_value());
+  ASSERT_TRUE(fb.deadline_ms.has_value());
+  EXPECT_EQ(*fb.deadline_ms, 100u);
+  EXPECT_EQ(fb.queries, fq);
+
+  f = next();
+  EXPECT_EQ(f.type, FrameType::kKFailAnswer);
+  const net::KFailAnswerFrame fa = net::decode_kfail_answer(f.payload);
+  EXPECT_EQ(fa.request_id, 23u);
+  EXPECT_EQ(fa.answers, (std::vector<Dist>{4, kInfDist, 9}));
+
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameDecoderAdversarial, WorkloadRequestValidationThrows) {
+  // The v3 request decoders reject malformed *requests*, not just
+  // malformed bytes: k out of range, an oversized failure set, and a
+  // duplicated failed edge are each ProtocolError before any allocation.
+  const auto payload_of = [](auto&& append) {
+    std::vector<std::uint8_t> bytes;
+    append(bytes);
+    FrameDecoder dec;
+    dec.feed(bytes);
+    return dec.next()->payload;
+  };
+
+  // k == 0 asks for nothing; the decoder refuses rather than guessing.
+  auto payload = payload_of([](std::vector<std::uint8_t>& b) {
+    net::append_vitality_batch(b, 1, std::vector<service::VitalityQuery>{{0, 1, 0}});
+  });
+  EXPECT_THROW(net::decode_vitality_batch(payload), ProtocolError);
+
+  // k just past the cap throws; the cap itself is accepted (boundary).
+  payload = payload_of([](std::vector<std::uint8_t>& b) {
+    net::append_vitality_batch(
+        b, 1, std::vector<service::VitalityQuery>{{0, 1, service::kMaxTopKVital + 1}});
+  });
+  EXPECT_THROW(net::decode_vitality_batch(payload), ProtocolError);
+  payload = payload_of([](std::vector<std::uint8_t>& b) {
+    net::append_vitality_batch(
+        b, 1, std::vector<service::VitalityQuery>{{0, 1, service::kMaxTopKVital}});
+  });
+  EXPECT_EQ(net::decode_vitality_batch(payload).queries[0].k, service::kMaxTopKVital);
+
+  // |F| == kMaxKFailEdges + 1 is refused even though the bytes are
+  // perfectly self-consistent.
+  payload = payload_of([](std::vector<std::uint8_t>& b) {
+    net::append_kfail_batch(b, 1, std::vector<service::KFailQuery>{{0, 1, {2, 3, 4}}});
+  });
+  EXPECT_THROW(net::decode_kfail_batch(payload), ProtocolError);
+
+  // A duplicated edge in F is a contradiction (failing one edge twice), so
+  // it is rejected rather than silently deduplicated.
+  payload = payload_of([](std::vector<std::uint8_t>& b) {
+    net::append_kfail_batch(b, 1, std::vector<service::KFailQuery>{{0, 1, {4, 4}}});
+  });
+  EXPECT_THROW(net::decode_kfail_batch(payload), ProtocolError);
+  payload = payload_of([](std::vector<std::uint8_t>& b) {
+    net::append_kfail_batch(b, 1, std::vector<service::KFailQuery>{{0, 1, {4, 5}}});
+  });
+  EXPECT_EQ(net::decode_kfail_batch(payload).queries[0].fails, (std::vector<EdgeId>{4, 5}));
+}
+
+TEST(FrameDecoderAdversarial, LyingWorkloadPayloadCountsThrow) {
+  // Same discipline as the v1/v2 frames: checksum-valid payloads whose
+  // counts disagree with their byte size must throw, never read out of
+  // bounds — for all six workload frame shapes.
+  const auto payload_of = [](auto&& append) {
+    std::vector<std::uint8_t> bytes;
+    append(bytes);
+    FrameDecoder dec;
+    dec.feed(bytes);
+    return dec.next()->payload;
+  };
+  const auto expect_lying_throws = [](std::vector<std::uint8_t> payload, auto&& decode) {
+    auto shorter = payload;
+    shorter.resize(shorter.size() - 1);
+    EXPECT_THROW(decode(shorter), ProtocolError);
+    auto longer = payload;
+    longer.push_back(0);
+    EXPECT_THROW(decode(longer), ProtocolError);
+  };
+
+  expect_lying_throws(
+      payload_of([](std::vector<std::uint8_t>& b) {
+        net::append_vitality_batch(b, 1, std::vector<service::VitalityQuery>{{0, 1, 2}});
+      }),
+      [](std::span<const std::uint8_t> p) { return net::decode_vitality_batch(p); });
+  std::vector<service::VitalityResult> vres(1);
+  vres[0].base = 3;
+  vres[0].edges = {{0, 0, 5}};
+  expect_lying_throws(
+      payload_of([&](std::vector<std::uint8_t>& b) { net::append_vitality_answer(b, 1, vres); }),
+      [](std::span<const std::uint8_t> p) { return net::decode_vitality_answer(p); });
+  expect_lying_throws(
+      payload_of([](std::vector<std::uint8_t>& b) {
+        net::append_vickrey_batch(b, 1, std::vector<service::VickreyQuery>{{0, 1}});
+      }),
+      [](std::span<const std::uint8_t> p) { return net::decode_vickrey_batch(p); });
+  std::vector<service::VickreyResult> pres(1);
+  pres[0].base = 3;
+  pres[0].prices = {{0, 2}};
+  expect_lying_throws(
+      payload_of([&](std::vector<std::uint8_t>& b) { net::append_vickrey_answer(b, 1, pres); }),
+      [](std::span<const std::uint8_t> p) { return net::decode_vickrey_answer(p); });
+  expect_lying_throws(
+      payload_of([](std::vector<std::uint8_t>& b) {
+        net::append_kfail_batch(b, 1, std::vector<service::KFailQuery>{{0, 1, {2}}});
+      }),
+      [](std::span<const std::uint8_t> p) { return net::decode_kfail_batch(p); });
+  expect_lying_throws(
+      payload_of([](std::vector<std::uint8_t>& b) {
+        net::append_kfail_answer(b, 1, std::vector<Dist>{4});
+      }),
+      [](std::span<const std::uint8_t> p) { return net::decode_kfail_answer(p); });
+
+  // A 16-byte envelope claiming 2^32 - 1 queries must die on the
+  // count-vs-payload check, not on a multi-gigabyte reserve().
+  std::vector<std::uint8_t> huge(16, 0);
+  huge[8] = huge[9] = huge[10] = huge[11] = 0xff;  // count, LE
+  EXPECT_THROW(net::decode_vitality_batch(huge), ProtocolError);
+  EXPECT_THROW(net::decode_vickrey_batch(huge), ProtocolError);
+  EXPECT_THROW(net::decode_kfail_batch(huge), ProtocolError);
+  EXPECT_THROW(net::decode_vitality_answer(huge), ProtocolError);
+  EXPECT_THROW(net::decode_vickrey_answer(huge), ProtocolError);
+  EXPECT_THROW(net::decode_kfail_answer(huge), ProtocolError);
+}
+
 // -------------------------------------------------- loopback end-to-end ---
 
 /// Small deterministic instance shared by the end-to-end tests.
@@ -532,6 +731,159 @@ TEST(NetServer, EveryServingModeMatchesInProcess) {
     net::Client client(ts.client_options());
     EXPECT_EQ(client.query_batch(queries), want);
   }
+}
+
+/// Random typed workload batches over the fixture's instance; |F| cycles
+/// through 0, 1, and 2 so every K_FAIL serving tier is hit.
+struct WorkloadBatches {
+  std::vector<service::VitalityQuery> vitality;
+  std::vector<service::VickreyQuery> vickrey;
+  std::vector<service::KFailQuery> kfail;
+};
+
+WorkloadBatches random_workloads(const NetFixture& fx, std::size_t count,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  WorkloadBatches out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vertex s = fx.sources[rng.next_below(fx.sources.size())];
+    const Vertex t = static_cast<Vertex>(rng.next_below(fx.g.num_vertices()));
+    out.vitality.push_back({s, t, 1 + static_cast<std::uint32_t>(rng.next_below(6))});
+    out.vickrey.push_back({s, t});
+    service::KFailQuery f{s, t, {}};
+    while (f.fails.size() < i % (service::kMaxKFailEdges + 1)) {
+      const EdgeId e = static_cast<EdgeId>(rng.next_below(fx.g.num_edges()));
+      if (std::find(f.fails.begin(), f.fails.end(), e) == f.fails.end()) {
+        f.fails.push_back(e);
+      }
+    }
+    out.kfail.push_back(std::move(f));
+  }
+  return out;
+}
+
+// The v3 acceptance matrix, wire leg: all three workload opcodes over TCP
+// must be byte-identical to the in-process typed entry points.
+TEST(NetServer, WorkloadOpcodesOverTcpMatchInProcess) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  const WorkloadBatches wb = random_workloads(fx, 200, 314);
+  const auto vwant = fx.svc.vitality_batch(*fx.oracle, wb.vitality);
+  const auto pwant = fx.svc.vickrey_batch(*fx.oracle, wb.vickrey);
+  const auto fwant = fx.svc.kfail_batch(*fx.oracle, wb.kfail);
+
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+  EXPECT_EQ(client.vitality_batch(wb.vitality), vwant);
+  EXPECT_EQ(client.vickrey_batch(wb.vickrey), pwant);
+  EXPECT_EQ(client.kfail_batch(wb.kfail), fwant);
+
+  const net::ServerStats st = ts.server.stats();
+  EXPECT_EQ(st.vitality_batches, 1u);
+  EXPECT_EQ(st.vickrey_batches, 1u);
+  EXPECT_EQ(st.kfail_batches, 1u);
+  EXPECT_EQ(st.queries_answered, wb.vitality.size() + wb.vickrey.size() + wb.kfail.size());
+  EXPECT_EQ(st.protocol_errors, 0u);
+}
+
+// Workload serving-mode matrix: the same typed batches against a zero-copy
+// mmap snapshot (graph attached for the |F| == 2 tier) and against
+// multi-process shards must produce the same bytes as the built oracle.
+TEST(NetServer, WorkloadOpcodesServeEveryMode) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  const WorkloadBatches wb = random_workloads(fx, 150, 315);
+  const auto vwant = fx.svc.vitality_batch(*fx.oracle, wb.vitality);
+  const auto pwant = fx.svc.vickrey_batch(*fx.oracle, wb.vickrey);
+  const auto fwant = fx.svc.kfail_batch(*fx.oracle, wb.kfail);
+
+  {  // v2 snapshot served zero-copy from a memory mapping
+    const std::string path = testing::TempDir() + "/net_test_workload.v2.snap";
+    fx.oracle->save(path, service::SnapshotFormat::kV2);
+    service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+    const auto mapped = svc.load(path, {.use_mmap = true, .verify_cells = false});
+    ASSERT_TRUE(mapped->is_mapped());
+    svc.attach_graph(mapped->content_digest(), std::make_shared<const Graph>(fx.g));
+    TestServer ts(svc, mapped);
+    net::Client client(ts.client_options());
+    EXPECT_EQ(client.vitality_batch(wb.vitality), vwant);
+    EXPECT_EQ(client.vickrey_batch(wb.vickrey), pwant);
+    EXPECT_EQ(client.kfail_batch(wb.kfail), fwant);
+  }
+
+  if (!kTsanBuild && service::ShardRouter::supported()) {  // multi-process shards
+    service::QueryService svc({.threads = 2, .shards = 2});
+    const auto oracle = svc.build(fx.g, fx.sources);
+    TestServer ts(svc, oracle);
+    net::Client client(ts.client_options());
+    EXPECT_EQ(client.vitality_batch(wb.vitality), vwant);
+    EXPECT_EQ(client.vickrey_batch(wb.vickrey), pwant);
+    EXPECT_EQ(client.kfail_batch(wb.kfail), fwant);
+  }
+}
+
+// A two-edge failure set against a snapshot-only server (no graph behind
+// the digest) is a batch error naming attach_graph — and the connection
+// keeps serving the tiers that do work.
+TEST(NetServer, TwoEdgeKFailWithoutGraphFailsTheBatchNotTheConnection) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  const std::string path = testing::TempDir() + "/net_test_nograph.v2.snap";
+  fx.oracle->save(path, service::SnapshotFormat::kV2);
+  service::QueryService svc({.threads = 2, .min_parallel_batch = 64});
+  const auto mapped = svc.load(path, {.use_mmap = true, .verify_cells = false});
+  TestServer ts(svc, mapped);
+  net::Client client(ts.client_options());
+
+  const std::vector<service::KFailQuery> two{{fx.sources[0], 5, {0, 1}}};
+  try {
+    client.kfail_batch(two);
+    FAIL() << "expected a batch error";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("attach_graph"), std::string::npos);
+  }
+
+  const std::vector<service::KFailQuery> one{{fx.sources[0], 5, {0}}};
+  EXPECT_EQ(client.kfail_batch(one), fx.svc.kfail_batch(*fx.oracle, one));
+  EXPECT_EQ(ts.server.stats().batch_errors, 1u);
+  EXPECT_EQ(ts.server.stats().protocol_errors, 0u);
+}
+
+// Point batches and all three workload kinds pipelined on one connection:
+// replies pair by (request id, opcode), whatever order completions land in.
+TEST(NetServer, PipelinedMixedOpcodesPairByIdAndKind) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+
+  constexpr std::size_t kRounds = 4;
+  std::vector<std::vector<Query>> points;
+  std::vector<WorkloadBatches> loads;
+  std::vector<std::uint64_t> point_ids, vit_ids, vic_ids, kf_ids;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    points.push_back(fx.random_queries(80 + 13 * r, 700 + r));
+    loads.push_back(random_workloads(fx, 40 + 9 * r, 800 + r));
+    point_ids.push_back(client.send(points[r]));
+    vit_ids.push_back(client.send_vitality(loads[r].vitality));
+    vic_ids.push_back(client.send_vickrey(loads[r].vickrey));
+    kf_ids.push_back(client.send_kfail(loads[r].kfail));
+  }
+  EXPECT_EQ(client.inflight(), 4 * kRounds);
+  // Collect newest-first, interleaving kinds.
+  for (std::size_t r = kRounds; r-- > 0;) {
+    EXPECT_EQ(client.wait_kfail(kf_ids[r]), fx.svc.kfail_batch(*fx.oracle, loads[r].kfail))
+        << "round " << r;
+    EXPECT_EQ(client.wait(point_ids[r]), fx.svc.query_batch(*fx.oracle, points[r]))
+        << "round " << r;
+    EXPECT_EQ(client.wait_vitality(vit_ids[r]),
+              fx.svc.vitality_batch(*fx.oracle, loads[r].vitality))
+        << "round " << r;
+    EXPECT_EQ(client.wait_vickrey(vic_ids[r]),
+              fx.svc.vickrey_batch(*fx.oracle, loads[r].vickrey))
+        << "round " << r;
+  }
+  EXPECT_EQ(client.inflight(), 0u);
 }
 
 TEST(NetServer, EmptyBatchAnswersEmpty) {
@@ -1008,6 +1360,47 @@ TEST(NetRegistry, UnknownDigestFailsTheBatchNotTheConnection) {
   EXPECT_EQ(ts.server.stats().protocol_errors, 0u);
 }
 
+// Digest-targeted workload batches against a wire-registered tenant: the
+// registry path and the typed opcodes compose.
+TEST(NetRegistry, WorkloadBatchesTargetRegisteredTenants) {
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  RegistryTestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+
+  Rng rng(88);
+  const Graph g2 = gen::connected_gnp(35, 0.15, rng);
+  const std::vector<Vertex> sources2{0, 7};
+  const net::RegisterAckFrame ack =
+      client.register_graph(g2.num_vertices(), g2.edges(), sources2);
+  ASSERT_EQ(ack.state, registry::OracleState::kReady);
+
+  service::QueryService local({.threads = 2, .min_parallel_batch = 64});
+  const auto oracle2 = local.build(g2, sources2);
+  ASSERT_EQ(oracle2->content_digest(), ack.digest);
+
+  std::vector<service::VitalityQuery> vq;
+  std::vector<service::KFailQuery> fq;
+  for (Vertex t = 0; t < g2.num_vertices(); ++t) {
+    vq.push_back({0, t, 3});
+    fq.push_back({7, t, {static_cast<EdgeId>(t % g2.num_edges()),
+                         static_cast<EdgeId>((t + 1) % g2.num_edges())}});
+  }
+  // The registered tenant's graph lives server-side (register_graph built
+  // it there), so even |F| == 2 works over the wire against the digest.
+  EXPECT_EQ(client.vitality_batch(vq, ack.digest), local.vitality_batch(*oracle2, vq));
+  EXPECT_EQ(client.kfail_batch(fq, ack.digest), local.kfail_batch(*oracle2, fq));
+
+  // An unknown digest fails the workload batch, not the connection.
+  try {
+    client.vitality_batch(vq, 0xdeadbeefULL);
+    FAIL() << "expected a batch error";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("unknown oracle digest"), std::string::npos);
+  }
+  EXPECT_EQ(client.vitality_batch(vq, ack.digest), local.vitality_batch(*oracle2, vq));
+}
+
 TEST(NetRegistry, RegistryDisabledServerStillSpeaksV2Shapes) {
   SKIP_WITHOUT_EPOLL();
   NetFixture fx;
@@ -1215,6 +1608,21 @@ struct RawConn {
     }
     return frames;
   }
+
+  /// Reads until `want` frames arrived (or EOF), leaving the connection
+  /// open — for success-path tests where the server keeps serving.
+  std::vector<Frame> read_frames(std::size_t want) {
+    FrameDecoder dec;
+    std::vector<Frame> frames;
+    std::uint8_t buf[4096];
+    while (frames.size() < want) {
+      const ::ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n <= 0) break;
+      dec.feed({buf, static_cast<std::size_t>(n)});
+      while (auto f = dec.next()) frames.push_back(std::move(*f));
+    }
+    return frames;
+  }
 };
 
 TEST(NetServer, GarbageBytesGetErrorFrameThenClose) {
@@ -1283,6 +1691,63 @@ TEST(NetServer, NonBatchFrameFromClientIsRejected) {
   ASSERT_EQ(frames.size(), 2u);
   EXPECT_EQ(frames[1].type, FrameType::kError);
   EXPECT_EQ(net::decode_error(frames[1].payload).request_id, 0u);
+}
+
+TEST(NetServer, UnknownOpcodeProbeGetsErrorFrameThenClose) {
+  // A forward-compatibility probe: a checksum-valid frame with a type the
+  // server does not know (say, a hypothetical v4 opcode) must be answered
+  // with a connection-level ERROR naming the allowed opcodes — never
+  // silently dropped, never crashing the dispatch switch.
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  RawConn raw(ts.server.port());
+  std::vector<std::uint8_t> bytes;
+  net::append_query_batch(bytes, 1, fx.random_queries(3, 14));
+  bytes[8] = 99;  // frame type (checksum covers the payload, not the header)
+  raw.send(bytes);
+  const std::vector<Frame> frames = raw.read_all_frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  EXPECT_EQ(frames[1].type, FrameType::kError);
+  const net::ErrorFrame err = net::decode_error(frames[1].payload);
+  EXPECT_EQ(err.request_id, 0u);
+  EXPECT_NE(err.message.find("unexpected frame type 99"), std::string::npos);
+  EXPECT_EQ(ts.server.stats().protocol_errors, 1u);
+}
+
+TEST(NetServer, LegacyV2FramesAreByteIdenticalUnderV3Server) {
+  // Interop pin: a protocol-v2 client knows nothing of the workload
+  // opcodes. Its bytes — a flags==0 QUERY_BATCH — must produce an
+  // ANSWER_BATCH that is byte-for-byte what a v2 server would have sent,
+  // and the v3 HELLO must still announce sources/digest in the v1 layout
+  // (v2 clients accept any announced version >= their own frames' needs,
+  // so the payload shapes are load-bearing, not just the field values).
+  SKIP_WITHOUT_EPOLL();
+  NetFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  const std::vector<Query> queries = fx.random_queries(120, 15);
+  const std::vector<Dist> want = fx.svc.query_batch(*fx.oracle, queries);
+
+  RawConn raw(ts.server.port());
+  std::vector<std::uint8_t> bytes;
+  net::append_query_batch(bytes, 7, queries);  // exactly a v2 client's bytes
+  raw.send(bytes);
+  const std::vector<Frame> frames = raw.read_frames(2);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  const net::HelloInfo hello = net::decode_hello(frames[0].payload);
+  EXPECT_EQ(hello.version, 3u);
+  EXPECT_GE(hello.version, net::kMinProtocolVersion);
+  EXPECT_EQ(hello.sources, fx.sources);
+
+  // Byte-compare the reply against a locally encoded ANSWER_BATCH.
+  ASSERT_EQ(frames[1].type, FrameType::kAnswerBatch);
+  std::vector<std::uint8_t> expect;
+  net::append_answer_batch(expect, 7, want);
+  FrameDecoder dec;
+  dec.feed(expect);
+  EXPECT_EQ(frames[1].payload, dec.next()->payload);
 }
 
 TEST(NetServer, PeerResetMidReplyDoesNotKillServer) {

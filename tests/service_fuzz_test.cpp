@@ -18,10 +18,18 @@
 // rerun with MSRP_FUZZ_SEED=<seed> MSRP_FUZZ_GRAPHS=1 to reproduce exactly
 // that instance. MSRP_FUZZ_GRAPHS raises the default 200-instance budget
 // for soak runs.
+//
+// A second harness fuzzes the protocol v3 typed workloads (TOP_K_VITAL,
+// VICKREY_PRICES, K_FAIL) the same way: independent referees derived from
+// the brute-force oracle — and, for k-fail, a from-scratch BFS of G - F —
+// checked against the sync, async, mmap-reload, and sharded serving paths.
+// MSRP_FUZZ_WORKLOADS sets its instance budget.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +38,7 @@
 #include "core/msrp.hpp"
 #include "graph/generators.hpp"
 #include "service/query_service.hpp"
+#include "service/workloads.hpp"
 
 namespace msrp {
 namespace {
@@ -159,6 +168,229 @@ TEST(ServiceFuzz, AllServingPathsMatchBruteForce) {
       ASSERT_EQ(svc.query_batch(v2, queries), want) << "v2 mmap path diverged, seed=" << seed;
     }
     std::remove(v1_path.c_str());
+    std::remove(v2_path.c_str());
+  }
+}
+
+// ----- typed workload referees (protocol v3 opcodes) -----------------------
+//
+// Each referee is derived from the brute-force oracle (or, for k-fail, a
+// plain BFS written here from scratch), never from the service's own
+// assembly code — the point is that two independent derivations of "top-k
+// vital", "Vickrey prices", and "d(s,t) in G - F" agree bit for bit.
+
+service::VitalityResult referee_vitality(const MsrpResult& truth, Vertex s, Vertex t,
+                                         std::uint32_t k) {
+  service::VitalityResult out;
+  out.base = truth.shortest(s, t);
+  if (s == t || out.base == kInfDist) return out;
+  const std::vector<EdgeId> path = truth.tree(s).path_edges(t);
+  for (std::uint32_t i = 0; i < path.size(); ++i) {
+    out.edges.push_back({path[i], i, truth.avoiding(s, t, path[i])});
+  }
+  // (vitality desc, position asc); base is constant over the path, so
+  // ordering by the replacement distance is the same order (kInfDist — a
+  // bridge — sorts largest).
+  std::stable_sort(out.edges.begin(), out.edges.end(),
+                   [](const service::VitalityEntry& a, const service::VitalityEntry& b) {
+                     if (a.replacement != b.replacement) return a.replacement > b.replacement;
+                     return a.position < b.position;
+                   });
+  if (out.edges.size() > k) out.edges.resize(k);
+  return out;
+}
+
+service::VickreyResult referee_vickrey(const MsrpResult& truth, Vertex s, Vertex t) {
+  service::VickreyResult out;
+  out.base = truth.shortest(s, t);
+  if (s == t || out.base == kInfDist) return out;
+  for (const EdgeId e : truth.tree(s).path_edges(t)) {
+    const Dist repl = truth.avoiding(s, t, e);
+    out.prices.push_back({e, repl == kInfDist ? kInfDist : repl - out.base});
+  }
+  return out;
+}
+
+/// d(s, t) in G - fails by textbook BFS — independent of the ftsub
+/// machinery, the oracle rows, and the canonical-tree code alike.
+Dist referee_kfail(const Graph& g, Vertex s, Vertex t, std::span<const EdgeId> fails) {
+  if (s == t) return 0;
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  std::vector<Vertex> queue{s};
+  dist[s] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    for (const Arc& a : g.neighbors(u)) {
+      if (std::find(fails.begin(), fails.end(), a.edge) != fails.end()) continue;
+      if (dist[a.to] != kInfDist) continue;
+      dist[a.to] = dist[u] + 1;
+      if (a.to == t) return dist[a.to];
+      queue.push_back(a.to);
+    }
+  }
+  return dist[t];
+}
+
+// Differential fuzz for the three v3 workloads: every iteration answers the
+// same typed batches through the in-process path, the async submit path,
+// the v2 mmap reload in a *fresh* service (where |F| == 2 must demand an
+// explicit attach_graph), and — with MSRP_FUZZ_SHARDS — the forked-shard
+// path, all against the referees above. Rerun one instance with
+// MSRP_FUZZ_SEED=<seed> MSRP_FUZZ_WORKLOADS=1.
+TEST(ServiceFuzz, WorkloadOpcodesMatchBruteForce) {
+  const std::uint64_t base_seed = env_u64("MSRP_FUZZ_SEED", 0x3B17A11DULL);
+  const std::uint64_t num_graphs = env_u64("MSRP_FUZZ_WORKLOADS", 120);
+  const std::uint64_t shards = env_u64("MSRP_FUZZ_SHARDS", 0);
+  const std::string dir = testing::TempDir();
+
+  service::QueryService svc(
+      {.threads = 4, .cache_capacity = 2, .min_parallel_batch = 64});
+  // A second service that never built anything: oracles arrive here only as
+  // mmap-loaded snapshots, so it exercises the attach_graph contract.
+  service::QueryService reload_svc(
+      {.threads = 2, .cache_capacity = 2, .min_parallel_batch = 64});
+  std::unique_ptr<service::QueryService> sharded_svc;
+  if (shards > 0) {
+    service::QueryService::Options opts;
+    opts.threads = 2;
+    opts.cache_capacity = 2;
+    opts.min_parallel_batch = 64;
+    opts.shards = static_cast<unsigned>(shards);
+    sharded_svc = std::make_unique<service::QueryService>(opts);
+  }
+
+  for (std::uint64_t iter = 0; iter < num_graphs; ++iter) {
+    const std::uint64_t seed = base_seed + iter;
+    SCOPED_TRACE("workload fuzz seed " + std::to_string(seed) +
+                 " (rerun: MSRP_FUZZ_SEED=" + std::to_string(seed) +
+                 " MSRP_FUZZ_WORKLOADS=1)");
+    Rng rng(seed);
+
+    const Graph g = random_instance(rng);
+    const Vertex n = g.num_vertices();
+    const EdgeId m = g.num_edges();
+    if (m == 0) continue;
+
+    const std::uint32_t sigma =
+        1 + static_cast<std::uint32_t>(rng.next_below(std::min<Vertex>(4, n)));
+    const auto picks = rng.sample_without_replacement(n, sigma);
+    const std::vector<Vertex> sources(picks.begin(), picks.end());
+
+    Config cfg;
+    cfg.seed = rng.next_u64();
+    cfg.exact = rng.next_bernoulli(0.25);
+
+    const MsrpResult truth = solve_msrp_brute_force(g, sources);
+    const auto oracle = svc.build(g, sources, cfg);
+
+    // One query of each kind per (source, target) pair — exhaustive over
+    // the pair universe (sigma <= 4, n <= 35), randomized in k and F.
+    std::vector<service::VitalityQuery> vq;
+    std::vector<service::VitalityResult> vwant;
+    std::vector<service::VickreyQuery> pq;
+    std::vector<service::VickreyResult> pwant;
+    std::vector<service::KFailQuery> fq;
+    std::vector<Dist> fwant;
+    bool has_two_fail = false;
+    for (const Vertex s : sources) {
+      for (Vertex t = 0; t < n; ++t) {
+        const std::uint32_t k = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+        vq.push_back({s, t, k});
+        vwant.push_back(referee_vitality(truth, s, t, k));
+        pq.push_back({s, t});
+        pwant.push_back(referee_vickrey(truth, s, t));
+
+        service::KFailQuery f{s, t, {}};
+        const std::size_t fk =
+            std::min<std::size_t>(rng.next_below(service::kMaxKFailEdges + 1), m);
+        while (f.fails.size() < fk) {
+          const EdgeId e = static_cast<EdgeId>(rng.next_below(m));
+          if (std::find(f.fails.begin(), f.fails.end(), e) == f.fails.end()) {
+            f.fails.push_back(e);
+          }
+        }
+        has_two_fail |= f.fails.size() == 2;
+        fwant.push_back(referee_kfail(g, s, t, f.fails));
+        fq.push_back(std::move(f));
+      }
+    }
+
+    // |F| <= 1 answers must also equal the oracle row the point path would
+    // serve — the two referees (BFS vs brute-force rows) cross-check here.
+    for (std::size_t i = 0; i < fq.size(); ++i) {
+      if (fq[i].fails.size() == 1) {
+        ASSERT_EQ(fwant[i], truth.avoiding(fq[i].s, fq[i].t, fq[i].fails[0]))
+            << "referees disagree, seed=" << seed;
+      }
+    }
+
+    // Path 1: the sync typed entry points.
+    ASSERT_EQ(svc.vitality_batch(*oracle, vq), vwant) << "vitality diverged, seed=" << seed;
+    ASSERT_EQ(svc.vickrey_batch(*oracle, pq), pwant) << "vickrey diverged, seed=" << seed;
+    ASSERT_EQ(svc.kfail_batch(*oracle, fq), fwant) << "kfail diverged, seed=" << seed;
+
+    // Path 2: the async submit flavours (what the wire server drives).
+    {
+      std::promise<service::VitalityBatchResult> vp;
+      svc.submit_vitality(oracle, vq, [&vp](service::VitalityBatchResult r) {
+        vp.set_value(std::move(r));
+      });
+      const service::VitalityBatchResult vr = vp.get_future().get();
+      ASSERT_EQ(vr.error, nullptr) << "async vitality failed, seed=" << seed;
+      ASSERT_EQ(vr.results, vwant) << "async vitality diverged, seed=" << seed;
+
+      std::promise<service::VickreyBatchResult> pp;
+      svc.submit_vickrey(oracle, pq, [&pp](service::VickreyBatchResult r) {
+        pp.set_value(std::move(r));
+      });
+      const service::VickreyBatchResult pr = pp.get_future().get();
+      ASSERT_EQ(pr.error, nullptr) << "async vickrey failed, seed=" << seed;
+      ASSERT_EQ(pr.results, pwant) << "async vickrey diverged, seed=" << seed;
+
+      std::promise<service::BatchResult> fp;
+      svc.submit_kfail(oracle, fq, [&fp](service::BatchResult r) {
+        fp.set_value(std::move(r));
+      });
+      const service::BatchResult fr = fp.get_future().get();
+      ASSERT_EQ(fr.error, nullptr) << "async kfail failed, seed=" << seed;
+      ASSERT_EQ(fr.answers, fwant) << "async kfail diverged, seed=" << seed;
+    }
+
+    // Path 3 (opt-in): the forked shard workers. attach_graph supplies the
+    // BFS graph the |F| == 2 queries need, exactly as a sharded embedder
+    // would.
+    if (sharded_svc != nullptr) {
+      sharded_svc->attach_graph(oracle->content_digest(), std::make_shared<const Graph>(g));
+      ASSERT_EQ(sharded_svc->vitality_batch(*oracle, vq), vwant)
+          << "sharded vitality diverged, seed=" << seed;
+      ASSERT_EQ(sharded_svc->vickrey_batch(*oracle, pq), pwant)
+          << "sharded vickrey diverged, seed=" << seed;
+      ASSERT_EQ(sharded_svc->kfail_batch(*oracle, fq), fwant)
+          << "sharded kfail diverged, seed=" << seed;
+    }
+
+    // Path 4: v2 snapshot reloaded zero-copy into a service that never saw
+    // the build. Vitality and Vickrey work from the mapping alone; a
+    // two-edge failure set must first refuse (no graph behind the digest),
+    // then answer identically once the graph is attached.
+    const std::string v2_path =
+        dir + "/msrp_wfuzz_" + std::to_string(seed) + ".v2.snap";
+    oracle->save(v2_path, service::SnapshotFormat::kV2);
+    {
+      const Snapshot v2 = Snapshot::load(v2_path, {.use_mmap = true, .verify_cells = false});
+      ASSERT_EQ(v2.content_digest(), oracle->content_digest()) << "seed=" << seed;
+      ASSERT_EQ(reload_svc.vitality_batch(v2, vq), vwant)
+          << "mmap vitality diverged, seed=" << seed;
+      ASSERT_EQ(reload_svc.vickrey_batch(v2, pq), pwant)
+          << "mmap vickrey diverged, seed=" << seed;
+      if (has_two_fail) {
+        EXPECT_THROW(reload_svc.kfail_batch(v2, fq), std::invalid_argument)
+            << "unattached |F|==2 must refuse, seed=" << seed;
+      }
+      reload_svc.attach_graph(v2.content_digest(), std::make_shared<const Graph>(g));
+      ASSERT_EQ(reload_svc.kfail_batch(v2, fq), fwant)
+          << "mmap kfail diverged, seed=" << seed;
+    }
     std::remove(v2_path.c_str());
   }
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "service/query.hpp"
+#include "service/workloads.hpp"
 #include "util/distance.hpp"
 
 namespace msrp::tools {
@@ -105,6 +106,177 @@ inline bool write_answer_file(const std::string& path,
     } else {
       f << answers[i] << '\n';
     }
+  }
+  return true;
+}
+
+// ----- v3 workload batch files ---------------------------------------------
+// Same contract as the point-query pair above: msrp_serve answers these
+// files locally, msrp_client ships them over the wire, and CI byte-compares
+// the two outputs — so each workload's read/write format lives here once.
+
+namespace detail {
+
+inline void print_dist(std::ofstream& f, Dist d) {
+  if (d == kInfDist) {
+    f << "inf";
+  } else {
+    f << d;
+  }
+}
+
+}  // namespace detail
+
+/// Parses vitality queries, one "s t k" per line ('#' comments).
+inline std::vector<service::VitalityQuery> read_vitality_batch_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open batch file %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<service::VitalityQuery> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t s = 0, t = 0, k = 0;
+    if (!(ls >> s >> t >> k)) {
+      std::fprintf(stderr, "error: %s:%zu: expected \"s t k\"\n", path.c_str(), lineno);
+      std::exit(1);
+    }
+    out.push_back({static_cast<Vertex>(s), static_cast<Vertex>(t),
+                   static_cast<std::uint32_t>(k)});
+  }
+  return out;
+}
+
+/// Parses Vickrey queries, one "s t" per line ('#' comments).
+inline std::vector<service::VickreyQuery> read_vickrey_batch_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open batch file %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<service::VickreyQuery> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t s = 0, t = 0;
+    if (!(ls >> s >> t)) {
+      std::fprintf(stderr, "error: %s:%zu: expected \"s t\"\n", path.c_str(), lineno);
+      std::exit(1);
+    }
+    out.push_back({static_cast<Vertex>(s), static_cast<Vertex>(t)});
+  }
+  return out;
+}
+
+/// Parses k-fail queries, one "s t [e...]" per line — zero to
+/// service::kMaxKFailEdges failed edge ids after the endpoints.
+inline std::vector<service::KFailQuery> read_kfail_batch_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open batch file %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<service::KFailQuery> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t s = 0, t = 0;
+    if (!(ls >> s >> t)) {
+      std::fprintf(stderr, "error: %s:%zu: expected \"s t [e...]\"\n", path.c_str(), lineno);
+      std::exit(1);
+    }
+    service::KFailQuery q{static_cast<Vertex>(s), static_cast<Vertex>(t), {}};
+    std::uint64_t e = 0;
+    while (ls >> e) q.fails.push_back(static_cast<EdgeId>(e));
+    if (q.fails.size() > service::kMaxKFailEdges) {
+      std::fprintf(stderr, "error: %s:%zu: at most %zu failed edges per query\n",
+                   path.c_str(), lineno, service::kMaxKFailEdges);
+      std::exit(1);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+/// One "s t k base entry..." line per query, entries as
+/// "edge:position:replacement" in result order ("inf" for a bridge's
+/// replacement, base "inf" when t is unreachable).
+inline bool write_vitality_answer_file(const std::string& path,
+                                       std::span<const service::VitalityQuery> batch,
+                                       std::span<const service::VitalityResult> results) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    f << batch[i].s << ' ' << batch[i].t << ' ' << batch[i].k << ' ';
+    detail::print_dist(f, results[i].base);
+    for (const service::VitalityEntry& e : results[i].edges) {
+      f << ' ' << e.edge << ':' << e.position << ':';
+      detail::print_dist(f, e.replacement);
+    }
+    f << '\n';
+  }
+  return true;
+}
+
+/// One "s t base charge..." line per query, charges as "edge:price" in
+/// path order ("inf" = bridge monopoly).
+inline bool write_vickrey_answer_file(const std::string& path,
+                                      std::span<const service::VickreyQuery> batch,
+                                      std::span<const service::VickreyResult> results) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    f << batch[i].s << ' ' << batch[i].t << ' ';
+    detail::print_dist(f, results[i].base);
+    for (const service::VickreyCharge& c : results[i].prices) {
+      f << ' ' << c.edge << ':';
+      detail::print_dist(f, c.price);
+    }
+    f << '\n';
+  }
+  return true;
+}
+
+/// One "s t F answer" line per query, F as comma-joined edge ids ("-" when
+/// empty), answer "inf" for unreachable.
+inline bool write_kfail_answer_file(const std::string& path,
+                                    std::span<const service::KFailQuery> batch,
+                                    std::span<const Dist> answers) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    f << batch[i].s << ' ' << batch[i].t << ' ';
+    if (batch[i].fails.empty()) {
+      f << '-';
+    } else {
+      for (std::size_t j = 0; j < batch[i].fails.size(); ++j) {
+        if (j != 0) f << ',';
+        f << batch[i].fails[j];
+      }
+    }
+    f << ' ';
+    detail::print_dist(f, answers[i]);
+    f << '\n';
   }
   return true;
 }

@@ -21,6 +21,16 @@
 //
 // Serving options:
 //   --batch-file <path>    queries, one "s t e" per line ('#' comments)
+//   --workload <kind>      answer a typed workload batch instead of point
+//                          queries: "vitality" reads "s t k" lines and
+//                          writes top-k most-vital edges, "vickrey" reads
+//                          "s t" and writes per-edge Vickrey prices,
+//                          "kfail" reads "s t [e...]" and writes d(s, t)
+//                          avoiding the listed edges (at most 2; two-edge
+//                          sets need a --build/--demo oracle — a bare
+//                          snapshot has no graph to BFS). Output lines are
+//                          byte-identical to msrp_client --workload over
+//                          TCP, which CI compares.
 //   --random-queries N     generate N uniform random queries instead
 //   --threads N            worker threads (default: hardware concurrency)
 //   --repeat K             run the batch K times for throughput (default 1)
@@ -127,6 +137,7 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
                "options: [--seed N] [--oversample X] [--exact] [--bk]\n"
                "         [--save-snapshot <path>] [--format v1|v2] [--mmap]\n"
                "         [--batch-file <path> | --random-queries N]\n"
+               "         [--workload vitality|vickrey|kfail]\n"
                "         [--threads N] [--repeat K] [--async] [--shards N]\n"
                "         [--shard-spin N] [--shard-sleep-us N]\n"
                "         [--listen <port>] [--listen-addr <ip>] [--loops N]\n"
@@ -144,6 +155,54 @@ std::vector<service::Query> random_batch(const service::Snapshot& oracle, std::s
   Rng rng(seed);
   return service::random_query_batch(oracle.sources(), oracle.num_vertices(),
                                      oracle.num_edges(), count, rng);
+}
+
+// Random typed workload batches for --workload --random-queries: same
+// source/vertex sampling as the point generator, with the workload's own
+// extra dimension (k, or a failed-edge set) drawn alongside.
+std::vector<service::VitalityQuery> random_vitality_batch(const service::Snapshot& oracle,
+                                                          std::size_t count,
+                                                          std::uint64_t seed) {
+  Rng rng(seed);
+  const auto sources = oracle.sources();
+  std::vector<service::VitalityQuery> out(count);
+  for (auto& q : out) {
+    q.s = sources[rng.next_below(sources.size())];
+    q.t = static_cast<Vertex>(rng.next_below(oracle.num_vertices()));
+    q.k = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+  }
+  return out;
+}
+
+std::vector<service::VickreyQuery> random_vickrey_batch(const service::Snapshot& oracle,
+                                                        std::size_t count,
+                                                        std::uint64_t seed) {
+  Rng rng(seed);
+  const auto sources = oracle.sources();
+  std::vector<service::VickreyQuery> out(count);
+  for (auto& q : out) {
+    q.s = sources[rng.next_below(sources.size())];
+    q.t = static_cast<Vertex>(rng.next_below(oracle.num_vertices()));
+  }
+  return out;
+}
+
+std::vector<service::KFailQuery> random_kfail_batch(const service::Snapshot& oracle,
+                                                    std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto sources = oracle.sources();
+  const std::uint32_t m = oracle.num_edges();
+  std::vector<service::KFailQuery> out(count);
+  for (auto& q : out) {
+    q.s = sources[rng.next_below(sources.size())];
+    q.t = static_cast<Vertex>(rng.next_below(oracle.num_vertices()));
+    const std::size_t k = m == 0 ? 0 : rng.next_below(service::kMaxKFailEdges + 1);
+    while (q.fails.size() < k) {
+      const EdgeId e = static_cast<EdgeId>(rng.next_below(m));
+      if (std::find(q.fails.begin(), q.fails.end(), e) == q.fails.end()) q.fails.push_back(e);
+    }
+  }
+  return out;
 }
 
 // --listen shutdown flag; set by the SIGINT/SIGTERM handler (the only
@@ -259,7 +318,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::string graph_path, snapshot_path, save_path, batch_path, out_path;
+  std::string graph_path, snapshot_path, save_path, batch_path, out_path, workload;
   std::vector<Vertex> sources;
   Config cfg;
   cfg.seed = 42;
@@ -326,6 +385,9 @@ int main(int argc, char** argv) {
       use_async = true;
     } else if (arg == "--batch-file") {
       batch_path = next();
+    } else if (arg == "--workload") {
+      workload = next();
+      if (workload != "vitality" && workload != "vickrey" && workload != "kfail") usage();
     } else if (arg == "--random-queries") {
       random_queries = tools::cli_u64(next(), "--random-queries");
     } else if (arg == "--threads") {
@@ -463,6 +525,73 @@ int main(int argc, char** argv) {
                            static_cast<std::uint16_t>(listen_port), loops, pin_workers,
                            use_registry, max_tenants, registry_bytes, idle_timeout_ms,
                            stall_timeout_ms, failed_ttl_ms, build_timeout_ms);
+    }
+
+    if (!workload.empty()) {
+      // Typed workload batches run the synchronous service entry points
+      // (shard-aware: their replacement lookups route through the shard
+      // workers exactly like point queries).
+      if (oracle == nullptr) {
+        std::fprintf(stderr, "error: --workload needs a local oracle mode\n");
+        return 2;
+      }
+      if (use_async) {
+        std::fprintf(stderr, "error: --workload runs the synchronous path (drop --async)\n");
+        return 2;
+      }
+      std::size_t answered = 0;
+      Timer serve_timer;
+      if (workload == "vitality") {
+        std::vector<service::VitalityQuery> wq;
+        if (!batch_path.empty()) {
+          wq = tools::read_vitality_batch_file(batch_path);
+        } else if (random_queries > 0) {
+          wq = random_vitality_batch(*oracle, random_queries, cfg.seed);
+        }
+        if (wq.empty()) return 0;
+        std::vector<service::VitalityResult> results;
+        for (std::size_t r = 0; r < repeat; ++r) results = svc.vitality_batch(*oracle, wq);
+        answered = wq.size();
+        if (!out_path.empty() &&
+            !tools::write_vitality_answer_file(out_path, wq, results)) {
+          return 1;
+        }
+      } else if (workload == "vickrey") {
+        std::vector<service::VickreyQuery> wq;
+        if (!batch_path.empty()) {
+          wq = tools::read_vickrey_batch_file(batch_path);
+        } else if (random_queries > 0) {
+          wq = random_vickrey_batch(*oracle, random_queries, cfg.seed);
+        }
+        if (wq.empty()) return 0;
+        std::vector<service::VickreyResult> results;
+        for (std::size_t r = 0; r < repeat; ++r) results = svc.vickrey_batch(*oracle, wq);
+        answered = wq.size();
+        if (!out_path.empty() &&
+            !tools::write_vickrey_answer_file(out_path, wq, results)) {
+          return 1;
+        }
+      } else {  // kfail
+        std::vector<service::KFailQuery> wq;
+        if (!batch_path.empty()) {
+          wq = tools::read_kfail_batch_file(batch_path);
+        } else if (random_queries > 0) {
+          wq = random_kfail_batch(*oracle, random_queries, cfg.seed);
+        }
+        if (wq.empty()) return 0;
+        std::vector<Dist> answers;
+        for (std::size_t r = 0; r < repeat; ++r) answers = svc.kfail_batch(*oracle, wq);
+        answered = wq.size();
+        if (!out_path.empty() && !tools::write_kfail_answer_file(out_path, wq, answers)) {
+          return 1;
+        }
+      }
+      const double secs = serve_timer.seconds();
+      const double total = static_cast<double>(answered) * static_cast<double>(repeat);
+      std::printf("answered %zu %s queries x%zu in %.1f ms  (%.0f queries/sec)\n", answered,
+                  workload.c_str(), repeat, secs * 1e3, secs > 0 ? total / secs : 0.0);
+      if (!out_path.empty()) std::printf("wrote answers to %s\n", out_path.c_str());
+      return 0;
     }
 
     std::vector<service::Query> batch;
