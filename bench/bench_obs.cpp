@@ -1,0 +1,115 @@
+// EXP-obs: cost of the observability layer on the serving hot path.
+//
+// Rows (merged into BENCH_service.json by bench/run_benchmarks.sh):
+//
+//   * BM_CounterAdd — one striped Counter::add: the unit every per-frame
+//     counter bump costs. Budget: well under 20 ns.
+//   * BM_HistogramRecord — one Histogram::record (bucket index + two
+//     relaxed fetch_adds on the caller's stripe): the unit each of the
+//     four per-stage stamps costs. Budget: well under 20 ns.
+//   * BM_MetricsOverhead/0 vs /1 — a tight loop answering the arithmetic
+//     a hot serving frame does, without (/0) and with (/1) the full
+//     per-request instrumentation (counter bump + four stage records +
+//     trace-ring sample tick). The delta prices "metrics on" end to end;
+//     it must stay in the low tens of nanoseconds so BM_NetPipelined is
+//     unmoved within noise.
+//   * BM_CounterAddContended/T — T threads hammering ONE counter: shows
+//     the stripes keeping cross-thread interference flat (compare the
+//     per-op time against BM_CounterAdd rather than expecting perfect
+//     scaling — the stripe count bounds the separation).
+//   * BM_Snapshot — full MetricsRegistry::snapshot() with a realistic
+//     series population: the read-side cost a /metrics scrape pays.
+//     Milliseconds-scale budget; it shares no locks with record paths.
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace msrp {
+namespace {
+
+obs::MetricsRegistry& bench_registry() {
+  static obs::MetricsRegistry reg;
+  return reg;
+}
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter* c = bench_registry().counter("bench.counter");
+  for (auto _ : state) {
+    c->add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram* h = bench_registry().histogram("bench.hist");
+  std::uint64_t ns = 1;
+  for (auto _ : state) {
+    // A cheap LCG keeps the recorded value (and thus the bucket) varying,
+    // so the row prices bucket_index too, not one hot cache line.
+    ns = ns * 2862933555777941757ull + 3037000493ull;
+    h->record(ns % 1'000'000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_MetricsOverhead(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  obs::Counter* batches = bench_registry().counter("bench.batches");
+  obs::Histogram* decode = bench_registry().histogram("bench.stage", "decode");
+  obs::Histogram* queue = bench_registry().histogram("bench.stage", "queue");
+  obs::Histogram* execute = bench_registry().histogram("bench.stage", "execute");
+  obs::Histogram* flush = bench_registry().histogram("bench.stage", "flush");
+  obs::TraceRing ring(/*sample_every_n=*/1024);
+  std::uint64_t acc = 0;
+  std::uint64_t fake_ns = 100;
+  for (auto _ : state) {
+    // Stand-in for a frame's real work, kept tiny so the instrumentation
+    // delta dominates the row instead of drowning in it.
+    acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+    fake_ns = (acc >> 40) + 1;
+    if (instrumented) {
+      batches->add();
+      decode->record(fake_ns);
+      queue->record(fake_ns);
+      execute->record(fake_ns);
+      flush->record(fake_ns);
+      benchmark::DoNotOptimize(ring.sample());
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
+
+void BM_CounterAddContended(benchmark::State& state) {
+  obs::Counter* c = bench_registry().counter("bench.contended");
+  for (auto _ : state) {
+    c->add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAddContended)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_Snapshot(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  for (int i = 0; i < 64; ++i) {
+    reg.counter("snap.counter." + std::to_string(i))->add(static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < 8; ++i) reg.gauge("snap.gauge." + std::to_string(i))->set(i);
+  for (const char* stage : {"decode", "queue", "execute", "flush"}) {
+    obs::Histogram* h = reg.histogram("snap.latency", stage);
+    for (std::uint64_t ns = 1; ns < 1'000'000; ns *= 3) h->record(ns);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Snapshot);
+
+}  // namespace
+}  // namespace msrp

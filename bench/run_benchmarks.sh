@@ -20,7 +20,7 @@ if [[ $# -gt 0 && $1 != -* ]]; then  # a leading flag is an extra arg, not a dir
   shift
 fi
 
-for bin in bench_build bench_service bench_net; do
+for bin in bench_build bench_service bench_net bench_obs; do
   if [[ ! -x "$build_dir/$bin" ]]; then
     echo "error: $build_dir/$bin not found; configure with google-benchmark installed" >&2
     exit 1
@@ -35,32 +35,40 @@ echo "== bench_service -> BENCH_service.json"
 "$build_dir/bench_service" \
   --benchmark_out="$repo_root/BENCH_service.json" --benchmark_out_format=json "$@"
 
-# The loopback TCP rows belong in the serving trajectory, next to the
-# in-process paths they wrap: run bench_net separately (it owns a server
-# thread) and merge its rows into BENCH_service.json.
-echo "== bench_net -> BENCH_service.json (merged)"
-net_json="$(mktemp /tmp/bench_net.XXXXXX.json)"
-"$build_dir/bench_net" \
-  --benchmark_out="$net_json" --benchmark_out_format=json "$@"
-python3 - "$repo_root/BENCH_service.json" "$net_json" <<'PY'
+# Rows from the remaining binaries belong in the serving trajectory next
+# to the in-process paths they wrap or instrument: run each separately
+# (bench_net owns a server thread) and merge its rows into
+# BENCH_service.json, re-basing family indices past the existing ones so
+# tooling that groups by family_index never conflates merged rows with the
+# in-process rows they happen to share indices with.
+merge_into_service() {
+  local bin="$1"
+  shift
+  echo "== $bin -> BENCH_service.json (merged)"
+  local tmp_json
+  tmp_json="$(mktemp "/tmp/$bin.XXXXXX.json")"
+  "$build_dir/$bin" \
+    --benchmark_out="$tmp_json" --benchmark_out_format=json "$@"
+  python3 - "$repo_root/BENCH_service.json" "$tmp_json" <<'PY'
 import json, sys
-svc_path, net_path = sys.argv[1], sys.argv[2]
+svc_path, extra_path = sys.argv[1], sys.argv[2]
 with open(svc_path) as f:
     svc = json.load(f)
-with open(net_path) as f:
-    net = json.load(f)
-# Re-base the appended rows' family indices past the existing ones so
-# tooling that groups by family_index never conflates TCP rows with the
-# in-process rows they happen to share indices with.
+with open(extra_path) as f:
+    extra = json.load(f)
 offset = 1 + max((b.get("family_index", 0) for b in svc["benchmarks"]), default=-1)
-for b in net["benchmarks"]:
+for b in extra["benchmarks"]:
     if "family_index" in b:
         b["family_index"] += offset
-svc["benchmarks"].extend(net["benchmarks"])
+svc["benchmarks"].extend(extra["benchmarks"])
 with open(svc_path, "w") as f:
     json.dump(svc, f, indent=2)
     f.write("\n")
 PY
-rm -f "$net_json"
+  rm -f "$tmp_json"
+}
+
+merge_into_service bench_net "$@"
+merge_into_service bench_obs "$@"
 
 echo "wrote $repo_root/BENCH_build.json and $repo_root/BENCH_service.json"

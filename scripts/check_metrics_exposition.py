@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Validator for the /metrics Prometheus text exposition.
+
+Reads an exposition body (a file argument, or stdin with "-"), checks it
+is structurally valid text format 0.0.4, and asserts the metric families
+the serving path must always export are present:
+
+  * every sample line parses as `name{labels} value` with a legal metric
+    name and a numeric value;
+  * every emitted family has a preceding `# TYPE` line, and sample names
+    match their family's type (counters end in _total; histograms emit
+    _bucket/_sum/_count series);
+  * histogram `le` bucket edges are ascending with ascending cumulative
+    counts, each series ends at le="+Inf", and the +Inf count equals the
+    family's _count sample;
+  * the required names below exist, including the per-stage
+    msrp_query_latency_seconds histogram for all four stages.
+
+Optionally cross-checks counters against `msrp_client --stats` output
+(--stats-file): every counter the wire snapshot reports must appear in
+the scrape. Exact equality is only required with --stats-exact (the CI
+smoke scrapes and queries the wire at different instants, so by default
+the scrape may lag or lead).
+
+Usage:
+  scripts/check_metrics_exposition.py metrics.txt [--stats-file stats.txt]
+      [--stats-exact]
+
+Exits 0 when valid, 1 listing every violation. Run by the CI
+observability-smoke job; see docs/OBSERVABILITY.md.
+"""
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+REQUIRED_NAMES = [
+    "msrp_server_connections_accepted_total",
+    "msrp_server_batches_received_total",
+    "msrp_server_queries_answered_total",
+    "msrp_dispatch_dispatched_total_total",
+    "msrp_dispatch_inflight_batches",
+    "msrp_service_queries_served_total",
+    "msrp_cache_hits_total",
+]
+REQUIRED_STAGES = ["decode", "queue", "execute", "flush"]
+
+
+def parse_labels(label_blob):
+    if not label_blob:
+        return {}
+    return {m.group(1): m.group(2) for m in LABEL_RE.finditer(label_blob[1:-1])}
+
+
+def validate(text):
+    errors = []
+    types = {}  # family name -> declared type
+    samples = []  # (name, labels, value)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments are legal, we emit none
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample line: {line!r}")
+            continue
+        name, label_blob, value = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: illegal metric name: {name!r}")
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {value!r} for {name}")
+        samples.append((name, parse_labels(label_blob), value, lineno))
+
+    def family_of(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                if types[base] == "histogram":
+                    return base
+        return name
+
+    # Every sample must belong to a declared family of a matching type.
+    for name, labels, value, lineno in samples:
+        fam = family_of(name)
+        if fam not in types:
+            errors.append(f"line {lineno}: sample {name} has no # TYPE declaration")
+            continue
+        ftype = types[fam]
+        if ftype == "counter" and not name.endswith("_total"):
+            errors.append(f"line {lineno}: counter sample {name} lacks _total suffix")
+        if ftype == "histogram" and fam == name:
+            errors.append(
+                f"line {lineno}: histogram family {name} emitted as a bare sample"
+            )
+
+    # Histogram coherence per (family, non-le labels): ascending edges,
+    # ascending cumulative counts, closed by +Inf == _count.
+    series = {}
+    counts = {}
+    for name, labels, value, lineno in samples:
+        fam = family_of(name)
+        if types.get(fam) != "histogram":
+            continue
+        key_labels = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        if name.endswith("_bucket"):
+            series.setdefault((fam, key_labels), []).append(
+                (labels.get("le"), float(value), lineno)
+            )
+        elif name.endswith("_count"):
+            counts[(fam, key_labels)] = float(value)
+    for (fam, key_labels), buckets in series.items():
+        where = f"{fam}{dict(key_labels)}"
+        if buckets[-1][0] != "+Inf":
+            errors.append(f"{where}: bucket series does not end at le=\"+Inf\"")
+            continue
+        prev_edge, prev_count = None, -1.0
+        for le, cum, lineno in buckets[:-1]:
+            edge = float(le)
+            if prev_edge is not None and edge <= prev_edge:
+                errors.append(f"line {lineno}: {where}: le edges not ascending")
+            if cum < prev_count:
+                errors.append(f"line {lineno}: {where}: cumulative counts decreased")
+            prev_edge, prev_count = edge, cum
+        inf_count = buckets[-1][1]
+        if inf_count < prev_count:
+            errors.append(f"{where}: +Inf bucket below the last finite bucket")
+        if (fam, key_labels) in counts and counts[(fam, key_labels)] != inf_count:
+            errors.append(
+                f"{where}: _count {counts[(fam, key_labels)]} != +Inf bucket {inf_count}"
+            )
+
+    # Required serving metrics.
+    present = {name for name, _, _, _ in samples}
+    for required in REQUIRED_NAMES:
+        if required not in present:
+            errors.append(f"required metric missing: {required}")
+    stage_counts = {
+        labels.get("stage"): float(value)
+        for name, labels, value, _ in samples
+        if name == "msrp_query_latency_seconds_count"
+    }
+    for stage in REQUIRED_STAGES:
+        if stage not in stage_counts:
+            errors.append(
+                f"required histogram missing: msrp_query_latency_seconds stage={stage}"
+            )
+    return errors, samples, stage_counts
+
+
+# Counters the act of reading perturbs: the --stats client's own connection
+# is accepted before the wire snapshot and closed before the scrape, so
+# these can never be read at the same instant by both paths. Exact mode
+# still requires their presence, just not equality.
+EXACT_EXEMPT = {
+    "server.connections_accepted",
+    "server.connections_closed",
+}
+
+
+def cross_check_stats(samples, stage_counts, stats_text, exact):
+    """Compare the scrape against `msrp_client --stats` line output."""
+    errors = []
+    scraped = {}
+    for name, labels, value, _ in samples:
+        if not labels:
+            scraped[name] = float(value)
+
+    def expo(name):  # registry dotted name -> exposition counter name
+        return "msrp_" + re.sub(r"[^a-zA-Z0-9_]", "_", name) + "_total"
+
+    wire_hist = {}
+    for line in stats_text.splitlines():
+        parts = line.split()
+        if len(parts) >= 3 and parts[0] == "counter":
+            name, value = parts[1], float(parts[2])
+            ename = expo(name)
+            if ename not in scraped:
+                errors.append(f"wire counter {name} absent from scrape as {ename}")
+            elif exact and name not in EXACT_EXEMPT and scraped[ename] != value:
+                errors.append(
+                    f"wire counter {name}={value} != scraped {ename}={scraped[ename]}"
+                )
+        elif parts and parts[0] == "histogram":
+            m = re.match(r"histogram (\S+)\[(\S+)\] count=(\d+)", line)
+            if m:
+                wire_hist[(m.group(1), m.group(2))] = float(m.group(3))
+    for (name, stage), count in wire_hist.items():
+        if name != "query_latency":
+            continue
+        if stage not in stage_counts:
+            errors.append(f"wire histogram stage {stage} absent from scrape")
+        elif exact and stage_counts[stage] != count:
+            errors.append(
+                f"wire stage {stage} count {count} != scraped {stage_counts[stage]}"
+            )
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("metrics", help="exposition body file, or - for stdin")
+    ap.add_argument("--stats-file", help="msrp_client --stats output to cross-check")
+    ap.add_argument(
+        "--stats-exact",
+        action="store_true",
+        help="require exact counter equality with --stats-file",
+    )
+    args = ap.parse_args()
+
+    text = sys.stdin.read() if args.metrics == "-" else open(args.metrics).read()
+    errors, samples, stage_counts = validate(text)
+    if args.stats_file:
+        stats_text = open(args.stats_file).read()
+        errors += cross_check_stats(samples, stage_counts, stats_text, args.stats_exact)
+
+    if errors:
+        for e in errors:
+            print(f"check_metrics_exposition: {e}", file=sys.stderr)
+        print(f"check_metrics_exposition: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(
+        f"check_metrics_exposition: OK ({len(samples)} samples, "
+        f"{len(stage_counts)} query_latency stages)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -347,6 +347,13 @@ void Client::require_v3(const char* opcode) const {
                            std::to_string(hello_.version));
 }
 
+void Client::require_v4(const char* opcode) const {
+  if (hello_.version >= 4) return;
+  throw std::runtime_error("net client: " + std::string(opcode) +
+                           " needs protocol version 4, but the server speaks version " +
+                           std::to_string(hello_.version));
+}
+
 std::uint64_t Client::send(std::span<const service::Query> queries,
                            std::optional<std::uint64_t> digest,
                            std::optional<std::uint32_t> deadline_ms) {
@@ -488,6 +495,12 @@ std::optional<Frame> Client::route_one(std::uint64_t control_id) {
       if (control_id != 0 && list.request_id == control_id) return frame;
       close_socket();
       throw std::runtime_error("net client: ORACLE_LIST with no list request in flight");
+    }
+    case FrameType::kStatsSnapshot: {
+      const StatsSnapshotFrame stats = decode_stats_snapshot(frame.payload);
+      if (control_id != 0 && stats.request_id == control_id) return frame;
+      close_socket();
+      throw std::runtime_error("net client: STATS_SNAPSHOT with no stats request in flight");
     }
     default:
       close_socket();
@@ -791,6 +804,19 @@ RegisterAckFrame Client::unregister(std::uint64_t digest) {
   return decode_register_ack(reply.payload);
 }
 
+StatsSnapshotFrame Client::stats() {
+  require_v4("STATS_REQUEST");
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  append_stats_request(bytes, id);
+  Frame reply = control_round_trip(id, std::move(bytes));
+  if (reply.type == FrameType::kError) {
+    throw std::runtime_error("net client: stats failed: " +
+                             decode_error(reply.payload).message);
+  }
+  return decode_stats_snapshot(reply.payload);
+}
+
 #else  // !MSRP_HAVE_SOCKETS
 
 Client::Client(ClientOptions opts) : opts_(std::move(opts)) {
@@ -815,6 +841,7 @@ std::uint64_t Client::track_and_write(std::uint64_t, std::vector<std::uint8_t>, 
   return 0;
 }
 void Client::require_v3(const char*) const {}
+void Client::require_v4(const char*) const {}
 void Client::wait_step(std::uint64_t) {}
 void Client::settle_inflight(std::uint64_t, FrameType, std::size_t) {}
 std::uint64_t Client::send_vitality(std::span<const service::VitalityQuery>,
@@ -883,6 +910,7 @@ RegisterAckFrame Client::register_graph(std::uint32_t,
 RegisterAckFrame Client::register_snapshot_path(const std::string&) { return {}; }
 std::vector<OracleListEntry> Client::list_oracles() { return {}; }
 RegisterAckFrame Client::unregister(std::uint64_t) { return {}; }
+StatsSnapshotFrame Client::stats() { return {}; }
 
 #endif
 

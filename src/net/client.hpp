@@ -53,6 +53,15 @@
 /// on the unknown opcode); everything else on this class works against a
 /// v1/v2 server unchanged.
 ///
+/// Protocol v4 adds observability: stats() performs a STATS_REQUEST /
+/// STATS_SNAPSHOT control round trip and returns the server's typed
+/// metrics dump — every counter, gauge, and latency histogram in its
+/// process registry, histograms as sparse (bucket index, count) pairs over
+/// the fixed obs/metrics.hpp geometry, so percentiles are derivable
+/// client-side without shipping 136 buckets per series. Like the other
+/// control calls it interleaves freely with pipelined batches and throws
+/// against a server that announced a version below 4.
+///
 /// Instances are not thread-safe; give each thread its own Client (the
 /// load generator opens one per connection by design).
 #pragma once
@@ -295,6 +304,15 @@ class Client {
   /// kExpiring (draining in-flight batches, gone when they finish).
   RegisterAckFrame unregister(std::uint64_t digest);
 
+  // ----- observability (protocol v4) ---------------------------------------
+
+  /// Dumps the server's metrics registry: a STATS_REQUEST / STATS_SNAPSHOT
+  /// round trip. Counters and gauges carry their registry names verbatim
+  /// ("server.batches_received"); histogram buckets are sparse over the
+  /// shared obs geometry. Throws std::runtime_error against a server that
+  /// announced a version below 4.
+  StatsSnapshotFrame stats();
+
  private:
   void dial();
   void close_socket();
@@ -323,6 +341,8 @@ class Client {
                                 std::optional<std::uint32_t> deadline_ms);
   /// Throws std::runtime_error unless the server announced protocol >= 3.
   void require_v3(const char* opcode) const;
+  /// Throws std::runtime_error unless the server announced protocol >= 4.
+  void require_v4(const char* opcode) const;
   /// Common per-pass body of the typed waits: throws the buffered failure
   /// for `request_id` if one arrived, else blocks for one more frame.
   void wait_step(std::uint64_t request_id);

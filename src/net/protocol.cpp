@@ -684,6 +684,113 @@ KFailAnswerFrame decode_kfail_answer(std::span<const std::uint8_t> payload) {
   return ka;
 }
 
+void append_stats_request(std::vector<std::uint8_t>& out, std::uint64_t request_id) {
+  append_frame(out, FrameType::kStatsRequest,
+               [&](std::vector<std::uint8_t>& buf) { put_u64(buf, request_id); });
+}
+
+namespace {
+
+void put_name(std::vector<std::uint8_t>& buf, const std::string& name) {
+  put_u32(buf, static_cast<std::uint32_t>(name.size()));
+  buf.insert(buf.end(), name.begin(), name.end());
+}
+
+std::string read_name(Reader& r) {
+  const std::uint32_t len = r.u32();
+  const std::uint8_t* bytes = r.take(len);
+  return std::string(reinterpret_cast<const char*>(bytes), len);
+}
+
+}  // namespace
+
+void append_stats_snapshot(std::vector<std::uint8_t>& out, const StatsSnapshotFrame& stats) {
+  append_frame(out, FrameType::kStatsSnapshot, [&](std::vector<std::uint8_t>& buf) {
+    put_u64(buf, stats.request_id);
+    put_u32(buf, static_cast<std::uint32_t>(stats.counters.size()));
+    put_u32(buf, static_cast<std::uint32_t>(stats.gauges.size()));
+    put_u32(buf, static_cast<std::uint32_t>(stats.histograms.size()));
+    put_u32(buf, 0);  // reserved
+    for (const StatsCounter& c : stats.counters) {
+      put_name(buf, c.name);
+      put_u64(buf, c.value);
+    }
+    for (const StatsGauge& g : stats.gauges) {
+      put_name(buf, g.name);
+      put_u64(buf, static_cast<std::uint64_t>(g.value));
+    }
+    for (const StatsHistogram& h : stats.histograms) {
+      put_name(buf, h.name);
+      put_name(buf, h.label);
+      put_u64(buf, h.count);
+      put_u64(buf, h.sum_ns);
+      put_u32(buf, static_cast<std::uint32_t>(h.buckets.size()));
+      put_u32(buf, 0);  // reserved
+      for (const auto& [idx, cnt] : h.buckets) {
+        put_u32(buf, idx);
+        put_u64(buf, cnt);
+      }
+    }
+  });
+}
+
+std::uint64_t decode_stats_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const std::uint64_t request_id = r.u64();
+  r.expect_end();
+  return request_id;
+}
+
+StatsSnapshotFrame decode_stats_snapshot(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  StatsSnapshotFrame stats;
+  stats.request_id = r.u64();
+  const std::uint32_t n_counters = r.u32();
+  const std::uint32_t n_gauges = r.u32();
+  const std::uint32_t n_hists = r.u32();
+  r.u32();  // reserved
+  // Minimum record sizes guard the reserves (names add to the minimum).
+  r.expect_records(std::uint64_t{n_counters} + n_gauges, 12);
+  stats.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    StatsCounter c;
+    c.name = read_name(r);
+    c.value = r.u64();
+    stats.counters.push_back(std::move(c));
+  }
+  stats.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    StatsGauge g;
+    g.name = read_name(r);
+    g.value = static_cast<std::int64_t>(r.u64());
+    stats.gauges.push_back(std::move(g));
+  }
+  r.expect_records(n_hists, 32);
+  stats.histograms.reserve(n_hists);
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    StatsHistogram h;
+    h.name = read_name(r);
+    h.label = read_name(r);
+    h.count = r.u64();
+    h.sum_ns = r.u64();
+    const std::uint32_t pairs = r.u32();
+    r.u32();  // reserved
+    r.expect_records(pairs, 12);
+    h.buckets.reserve(pairs);
+    for (std::uint32_t j = 0; j < pairs; ++j) {
+      const std::uint32_t idx = r.u32();
+      const std::uint64_t cnt = r.u64();
+      if (!h.buckets.empty() && idx <= h.buckets.back().first) {
+        throw ProtocolError("STATS_SNAPSHOT bucket indices not ascending");
+      }
+      h.buckets.emplace_back(idx, cnt);
+    }
+    stats.histograms.push_back(std::move(h));
+  }
+  r.expect_end();
+  return stats;
+}
+
 void FrameDecoder::feed(std::span<const std::uint8_t> data) {
   // Compact before growing: once the consumed prefix dominates the buffer
   // (and is past trivial size), shift the tail down so a long-lived

@@ -64,6 +64,20 @@
 /// malformed requests (k == 0 or k > kMaxTopKVital, |F| > kMaxKFailEdges,
 /// duplicate edges in F) as ProtocolError before any allocation.
 ///
+/// Protocol v4 (docs/NETWORK_PROTOCOL.md §v4) adds the observability
+/// conversation:
+///
+///   * STATS_REQUEST / STATS_SNAPSHOT — a typed dump of the server's
+///     metrics registry (src/obs/): named monotonic counters, gauges, and
+///     log-linear latency histograms with sparse nonzero buckets, so
+///     `msrp_client --stats` sees exactly the series a Prometheus scrape
+///     of `--metrics-addr` sees. The frame carries registry names
+///     ("server.batches_received"); exposition naming ("msrp_..._total")
+///     is a renderer concern, not a wire concern.
+///
+/// Every v1–v3 frame layout is untouched; v3 clients' bytes decode
+/// identically against a v4 server.
+///
 /// All integers are little-endian. A frame's payload is capped
 /// (max_frame_bytes, default 64 MiB); an oversized length in the header is
 /// a protocol error — the decoder refuses it *before* buffering, so a
@@ -88,9 +102,9 @@ namespace msrp::net {
 /// First bytes of every frame, little-endian "MRPC".
 inline constexpr std::uint32_t kFrameMagic = 0x4350524du;
 /// Wire protocol version announced in the server HELLO.
-inline constexpr std::uint32_t kProtocolVersion = 3;
-/// Lowest announced version an updated client still speaks (the v1 and v2
-/// frame layouts are strict subsets of v3).
+inline constexpr std::uint32_t kProtocolVersion = 4;
+/// Lowest announced version an updated client still speaks (the v1–v3
+/// frame layouts are strict subsets of v4).
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
 /// Fixed byte size of the frame header.
 inline constexpr std::size_t kFrameHeaderBytes = 24;
@@ -116,6 +130,9 @@ enum class FrameType : std::uint32_t {
   kVickreyAnswer = 14,   ///< server -> client: one per VICKREY_BATCH
   kKFailBatch = 15,      ///< client -> server: k-edge-failure queries
   kKFailAnswer = 16,     ///< server -> client: one per KFAIL_BATCH
+  // ----- v4 (observability) -----
+  kStatsRequest = 17,   ///< client -> server: dump the metrics registry
+  kStatsSnapshot = 18,  ///< server -> client: one per STATS_REQUEST
 };
 
 /// QUERY_BATCH flag bits (v2; a v1 frame always carries flags == 0).
@@ -272,6 +289,38 @@ struct ErrorFrame {
   std::string message;
 };
 
+// ----- v4 observability frames ---------------------------------------------
+// STATS_SNAPSHOT is a typed dump of an obs::MetricsSnapshot: counter and
+// gauge samples by registry name, histograms by (name, stage label) with
+// only the nonzero buckets on the wire (bucket geometry is fixed — see
+// obs/metrics.hpp bucket_index/bucket_upper_ns — so indices suffice).
+
+struct StatsCounter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct StatsGauge {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct StatsHistogram {
+  std::string name;   ///< registry base name, e.g. "query_latency"
+  std::string label;  ///< stage label value; "" = unlabelled
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  /// (bucket index, count) for every nonzero bucket, ascending index.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+};
+
+struct StatsSnapshotFrame {
+  std::uint64_t request_id = 0;
+  std::vector<StatsCounter> counters;
+  std::vector<StatsGauge> gauges;
+  std::vector<StatsHistogram> histograms;
+};
+
 // ----- encoding ------------------------------------------------------------
 // Each encoder appends one complete frame (header + payload) to `out`, so
 // several frames can be gathered into one write.
@@ -317,6 +366,9 @@ void append_kfail_batch(std::vector<std::uint8_t>& out, std::uint64_t request_id
                         std::optional<std::uint32_t> deadline_ms = std::nullopt);
 void append_kfail_answer(std::vector<std::uint8_t>& out, std::uint64_t request_id,
                          std::span<const Dist> answers);
+// v4 observability frames. STATS_REQUEST carries just the request id.
+void append_stats_request(std::vector<std::uint8_t>& out, std::uint64_t request_id);
+void append_stats_snapshot(std::vector<std::uint8_t>& out, const StatsSnapshotFrame& stats);
 
 // ----- payload decoding ----------------------------------------------------
 // Throw ProtocolError when the payload size does not match its own counts.
@@ -341,6 +393,9 @@ VickreyBatchFrame decode_vickrey_batch(std::span<const std::uint8_t> payload);
 VickreyAnswerFrame decode_vickrey_answer(std::span<const std::uint8_t> payload);
 KFailBatchFrame decode_kfail_batch(std::span<const std::uint8_t> payload);
 KFailAnswerFrame decode_kfail_answer(std::span<const std::uint8_t> payload);
+/// STATS_REQUEST carries just the request id.
+std::uint64_t decode_stats_request(std::span<const std::uint8_t> payload);
+StatsSnapshotFrame decode_stats_snapshot(std::span<const std::uint8_t> payload);
 
 /// Incremental frame reassembly over a byte stream.
 ///

@@ -166,6 +166,51 @@ Server::Server(service::QueryService& svc, std::shared_ptr<const service::Snapsh
       },
       opts_.dispatch);
 
+  // Per-stage latency histograms plus the registry export of everything the
+  // server already counts. The histogram handles are process-global, so
+  // several servers in one process (tests) merge into the same series.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::instance();
+  stage_decode_ = metrics.histogram("query_latency", "decode");
+  stage_queue_ = metrics.histogram("query_latency", "queue");
+  stage_execute_ = metrics.histogram("query_latency", "execute");
+  stage_flush_ = metrics.histogram("query_latency", "flush");
+  trace_ = opts_.trace_ring;
+  collector_ = metrics.register_collector([this](obs::MetricsSnapshot& out) {
+    const auto counter = [&out](const char* name, std::uint64_t v) {
+      out.counters.push_back({name, v});
+    };
+    counter("server.connections_accepted",
+            connections_accepted_.load(std::memory_order_relaxed));
+    counter("server.connections_closed", connections_closed_.load(std::memory_order_relaxed));
+    counter("server.batches_received", batches_received_.load(std::memory_order_relaxed));
+    counter("server.queries_answered", queries_answered_.load(std::memory_order_relaxed));
+    counter("server.vitality_batches", vitality_batches_.load(std::memory_order_relaxed));
+    counter("server.vickrey_batches", vickrey_batches_.load(std::memory_order_relaxed));
+    counter("server.kfail_batches", kfail_batches_.load(std::memory_order_relaxed));
+    counter("server.batch_errors", batch_errors_.load(std::memory_order_relaxed));
+    counter("server.protocol_errors", protocol_errors_.load(std::memory_order_relaxed));
+    counter("server.replies_dropped", replies_dropped_.load(std::memory_order_relaxed));
+    counter("server.busy_rejected", busy_rejected_.load(std::memory_order_relaxed));
+    counter("server.oracles_registered",
+            oracles_registered_.load(std::memory_order_relaxed));
+    counter("server.registrations_failed",
+            registrations_failed_.load(std::memory_order_relaxed));
+    counter("server.deadline_exceeded", deadline_exceeded_.load(std::memory_order_relaxed));
+    counter("server.connections_evicted",
+            connections_evicted_.load(std::memory_order_relaxed));
+    out.gauges.push_back({"dispatch.inflight_batches",
+                          static_cast<std::int64_t>(dispatcher_->inflight_batches())});
+    out.gauges.push_back({"dispatch.queued_batches",
+                          static_cast<std::int64_t>(dispatcher_->queued_batches())});
+    counter("dispatch.busy_rejections", dispatcher_->busy_rejections());
+    counter("dispatch.dispatched_total", dispatcher_->dispatched_total());
+    counter("dispatch.deadline_expirations", dispatcher_->deadline_expirations());
+    for (const fail::SiteStats& s : fail::all_sites()) {
+      out.counters.push_back({std::string("failpoint.") + s.name + ".hits", s.hits});
+      out.counters.push_back({std::string("failpoint.") + s.name + ".fires", s.fires});
+    }
+  });
+
   HelloInfo hello;
   if (registry_ != nullptr) hello.flags |= kHelloRegistryEnabled;
   if (oracle_ != nullptr) {
@@ -475,19 +520,22 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
   // Decode errors and a reserved request id are connection-fatal; anything
   // per-request is answered on the request's own id and the connection
   // keeps serving.
+  // One stamp per frame, taken before any payload decode: the zero point
+  // of the decode stage for every batch opcode.
+  const std::uint64_t recv_ns = obs::now_ns();
   try {
     switch (frame.type) {
       case FrameType::kQueryBatch:
-        handle_query_batch(conn, decode_query_batch(frame.payload));
+        handle_query_batch(conn, decode_query_batch(frame.payload), recv_ns);
         return;
       case FrameType::kVitalityBatch:
-        handle_vitality_batch(conn, decode_vitality_batch(frame.payload));
+        handle_vitality_batch(conn, decode_vitality_batch(frame.payload), recv_ns);
         return;
       case FrameType::kVickreyBatch:
-        handle_vickrey_batch(conn, decode_vickrey_batch(frame.payload));
+        handle_vickrey_batch(conn, decode_vickrey_batch(frame.payload), recv_ns);
         return;
       case FrameType::kKFailBatch:
-        handle_kfail_batch(conn, decode_kfail_batch(frame.payload));
+        handle_kfail_batch(conn, decode_kfail_batch(frame.payload), recv_ns);
         return;
       case FrameType::kRegisterGraph:
         handle_register(conn, decode_register_graph(frame.payload));
@@ -498,13 +546,16 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
       case FrameType::kUnregister:
         handle_unregister(conn, decode_unregister(frame.payload));
         return;
+      case FrameType::kStatsRequest:
+        handle_stats(conn, decode_stats_request(frame.payload));
+        return;
       default:
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         fail_conn(conn, "unexpected frame type " +
                             std::to_string(static_cast<std::uint32_t>(frame.type)) +
                             " (client may only send QUERY_BATCH, VITALITY_BATCH, "
-                            "VICKREY_BATCH, KFAIL_BATCH, REGISTER_GRAPH, LIST_ORACLES "
-                            "or UNREGISTER)");
+                            "VICKREY_BATCH, KFAIL_BATCH, REGISTER_GRAPH, LIST_ORACLES, "
+                            "UNREGISTER or STATS_REQUEST)");
         return;
     }
   } catch (const ProtocolError& ex) {
@@ -581,7 +632,8 @@ std::shared_ptr<const service::Snapshot> Server::resolve_oracle(
   return oracle_;
 }
 
-void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFrame qb) {
+void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFrame qb,
+                                std::uint64_t recv_ns) {
   if (qb.request_id == 0) {
     // Id 0 is reserved for connection-level errors; echoing it back for a
     // failed batch would read as "connection dead" to a conformant client.
@@ -602,6 +654,13 @@ void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFra
       resolve_oracle(conn, id, qb.digest, &digest);
   if (oracle == nullptr) return;
 
+  // Decode stage ends here: frame parsed, oracle resolved, dispatcher next.
+  const std::uint64_t submit_ns = obs::now_ns();
+  stage_decode_->record(submit_ns - recv_ns);
+  std::shared_ptr<obs::TraceSpan> span =
+      begin_span(id, static_cast<std::uint32_t>(FrameType::kQueryBatch),
+                 static_cast<std::uint32_t>(qb.queries.size()), recv_ns, submit_ns);
+
   ++conn->inflight;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -616,12 +675,29 @@ void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFra
   // destructor cannot wake, see zero, and destroy the condition variable
   // out from under notify_all. (The registry outlives the server by the
   // same gate: note_complete runs before the decrement.)
-  const registry::DispatchVerdict verdict = dispatcher_->submit(
-      digest, std::move(oracle), std::move(qb.queries),
-      [this, conn, id, digest](service::BatchResult result) {
+  const registry::DispatchVerdict verdict = dispatcher_->submit_task(
+      digest,
+      [this, oracle = std::move(oracle), queries = std::move(qb.queries), submit_ns,
+       span](service::BatchCallback cb, Deadline dl) mutable {
+        // Queue stage ends when the dispatcher grants the inflight slot;
+        // execute runs from here to the service completion callback.
+        const std::uint64_t start_ns = obs::now_ns();
+        stage_queue_->record(start_ns - submit_ns);
+        if (span != nullptr) span->queue_ns = start_ns - submit_ns;
+        svc_.submit_batch(
+            std::move(oracle), std::move(queries),
+            [this, cb = std::move(cb), start_ns, span](service::BatchResult r) {
+              const std::uint64_t done_ns = obs::now_ns();
+              stage_execute_->record(done_ns - start_ns);
+              if (span != nullptr) span->execute_ns = done_ns - start_ns;
+              cb(std::move(r));
+            },
+            dl);
+      },
+      [this, conn, id, digest, span](service::BatchResult result) {
         if (registry_ != nullptr) registry_->note_complete(digest, result.answers.size());
-        conn->home->loop.post([this, conn, id, result = std::move(result)]() mutable {
-          on_batch_done(conn, id, std::move(result));
+        conn->home->loop.post([this, conn, id, span, result = std::move(result)]() mutable {
+          on_batch_done(conn, id, std::move(result), span);
         });
         std::lock_guard<std::mutex> lock(inflight_mu_);
         --inflight_total_;
@@ -647,7 +723,8 @@ void Server::handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFra
 
 void Server::submit_workload(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
                              std::uint64_t digest, registry::FairDispatcher::StartFn start,
-                             std::shared_ptr<WorkloadReply> reply, Deadline deadline) {
+                             std::shared_ptr<WorkloadReply> reply, Deadline deadline,
+                             std::uint64_t submit_ns, std::shared_ptr<obs::TraceSpan> span) {
   // Same admission discipline as point-query batches: the typed batch takes
   // a dispatcher slot under the SAME tenant digest, so a vitality flood
   // fights a point-query flood for exactly one WRR share.
@@ -657,16 +734,34 @@ void Server::submit_workload(const std::shared_ptr<Conn>& conn, std::uint64_t re
     ++inflight_total_;
   }
   if (registry_ != nullptr) registry_->note_batch(digest);
+  // Wrap the typed start so queue and execute are stamped exactly like
+  // point batches: queue ends when the dispatcher invokes the wrapper,
+  // execute spans the service round trip inside `start`.
+  registry::FairDispatcher::StartFn timed_start =
+      [this, start = std::move(start), submit_ns, span](service::BatchCallback cb,
+                                                        Deadline dl) {
+        const std::uint64_t start_ns = obs::now_ns();
+        stage_queue_->record(start_ns - submit_ns);
+        if (span != nullptr) span->queue_ns = start_ns - submit_ns;
+        start(
+            [this, cb = std::move(cb), start_ns, span](service::BatchResult r) {
+              const std::uint64_t done_ns = obs::now_ns();
+              stage_execute_->record(done_ns - start_ns);
+              if (span != nullptr) span->execute_ns = done_ns - start_ns;
+              cb(std::move(r));
+            },
+            dl);
+      };
   const registry::DispatchVerdict verdict = dispatcher_->submit_task(
-      digest, std::move(start),
-      [this, conn, request_id, digest, reply](service::BatchResult result) {
+      digest, std::move(timed_start),
+      [this, conn, request_id, digest, reply, span](service::BatchResult result) {
         // The typed callback inside `start` already encoded the reply (or
         // left it empty and set the error); this wrapper is the shared
         // delivery tail — post to the home loop, then release the gate.
         if (registry_ != nullptr) registry_->note_complete(digest, reply->answered);
-        conn->home->loop.post([this, conn, request_id, reply,
+        conn->home->loop.post([this, conn, request_id, reply, span,
                                error = result.error]() mutable {
-          on_workload_done(conn, request_id, reply, std::move(error));
+          on_workload_done(conn, request_id, reply, std::move(error), span);
         });
         std::lock_guard<std::mutex> lock(inflight_mu_);
         --inflight_total_;
@@ -690,7 +785,8 @@ void Server::submit_workload(const std::shared_ptr<Conn>& conn, std::uint64_t re
 
 void Server::on_workload_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
                               const std::shared_ptr<WorkloadReply>& reply,
-                              std::exception_ptr error) {
+                              std::exception_ptr error,
+                              const std::shared_ptr<obs::TraceSpan>& span) {
   if (conn->closed || conn->closing) {
     replies_dropped_.fetch_add(1, std::memory_order_relaxed);
     if (!conn->closed) --conn->inflight;
@@ -698,8 +794,12 @@ void Server::on_workload_done(const std::shared_ptr<Conn>& conn, std::uint64_t r
   }
   MSRP_CHECK(conn->inflight > 0, "net server: completion without an in-flight batch");
   --conn->inflight;
+  // Flush stage: completion back on the loop thread -> reply bytes pushed
+  // into the connection's send path.
+  const std::uint64_t flush_start_ns = obs::now_ns();
+  const bool failed = error != nullptr;
   std::vector<std::uint8_t> bytes;
-  if (error != nullptr) {
+  if (failed) {
     std::string message = "batch failed";
     try {
       std::rethrow_exception(error);
@@ -718,12 +818,20 @@ void Server::on_workload_done(const std::shared_ptr<Conn>& conn, std::uint64_t r
     bytes = std::move(reply->bytes);
   }
   send_bytes(conn, std::move(bytes));
+  const std::uint64_t flush_ns = obs::now_ns() - flush_start_ns;
+  stage_flush_->record(flush_ns);
+  if (span != nullptr) {
+    span->flush_ns = flush_ns;
+    span->error = failed;
+    trace_->publish(*span);
+  }
   if (conn->closed) return;
   pump(conn);
   maybe_finish_conn(conn);
 }
 
-void Server::handle_vitality_batch(const std::shared_ptr<Conn>& conn, VitalityBatchFrame fb) {
+void Server::handle_vitality_batch(const std::shared_ptr<Conn>& conn, VitalityBatchFrame fb,
+                                   std::uint64_t recv_ns) {
   if (fb.request_id == 0) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     fail_conn(conn, "request id 0 is reserved (batch ids must be nonzero)");
@@ -741,6 +849,11 @@ void Server::handle_vitality_batch(const std::shared_ptr<Conn>& conn, VitalityBa
   auto reply = std::make_shared<WorkloadReply>();
   auto queries =
       std::make_shared<std::vector<service::VitalityQuery>>(std::move(fb.queries));
+  const std::uint64_t submit_ns = obs::now_ns();
+  stage_decode_->record(submit_ns - recv_ns);
+  std::shared_ptr<obs::TraceSpan> span =
+      begin_span(id, static_cast<std::uint32_t>(FrameType::kVitalityBatch),
+                 static_cast<std::uint32_t>(queries->size()), recv_ns, submit_ns);
   submit_workload(
       conn, id, digest,
       [this, oracle = std::move(oracle), queries, id,
@@ -758,10 +871,11 @@ void Server::handle_vitality_batch(const std::shared_ptr<Conn>& conn, VitalityBa
             },
             dl);
       },
-      reply, deadline);
+      reply, deadline, submit_ns, span);
 }
 
-void Server::handle_vickrey_batch(const std::shared_ptr<Conn>& conn, VickreyBatchFrame fb) {
+void Server::handle_vickrey_batch(const std::shared_ptr<Conn>& conn, VickreyBatchFrame fb,
+                                  std::uint64_t recv_ns) {
   if (fb.request_id == 0) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     fail_conn(conn, "request id 0 is reserved (batch ids must be nonzero)");
@@ -779,6 +893,11 @@ void Server::handle_vickrey_batch(const std::shared_ptr<Conn>& conn, VickreyBatc
   auto reply = std::make_shared<WorkloadReply>();
   auto queries =
       std::make_shared<std::vector<service::VickreyQuery>>(std::move(fb.queries));
+  const std::uint64_t submit_ns = obs::now_ns();
+  stage_decode_->record(submit_ns - recv_ns);
+  std::shared_ptr<obs::TraceSpan> span =
+      begin_span(id, static_cast<std::uint32_t>(FrameType::kVickreyBatch),
+                 static_cast<std::uint32_t>(queries->size()), recv_ns, submit_ns);
   submit_workload(
       conn, id, digest,
       [this, oracle = std::move(oracle), queries, id,
@@ -794,10 +913,11 @@ void Server::handle_vickrey_batch(const std::shared_ptr<Conn>& conn, VickreyBatc
             },
             dl);
       },
-      reply, deadline);
+      reply, deadline, submit_ns, span);
 }
 
-void Server::handle_kfail_batch(const std::shared_ptr<Conn>& conn, KFailBatchFrame fb) {
+void Server::handle_kfail_batch(const std::shared_ptr<Conn>& conn, KFailBatchFrame fb,
+                                std::uint64_t recv_ns) {
   if (fb.request_id == 0) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     fail_conn(conn, "request id 0 is reserved (batch ids must be nonzero)");
@@ -814,6 +934,11 @@ void Server::handle_kfail_batch(const std::shared_ptr<Conn>& conn, KFailBatchFra
   if (oracle == nullptr) return;
   auto reply = std::make_shared<WorkloadReply>();
   auto queries = std::make_shared<std::vector<service::KFailQuery>>(std::move(fb.queries));
+  const std::uint64_t submit_ns = obs::now_ns();
+  stage_decode_->record(submit_ns - recv_ns);
+  std::shared_ptr<obs::TraceSpan> span =
+      begin_span(id, static_cast<std::uint32_t>(FrameType::kKFailBatch),
+                 static_cast<std::uint32_t>(queries->size()), recv_ns, submit_ns);
   submit_workload(
       conn, id, digest,
       [this, oracle = std::move(oracle), queries, id,
@@ -829,7 +954,7 @@ void Server::handle_kfail_batch(const std::shared_ptr<Conn>& conn, KFailBatchFra
             },
             dl);
       },
-      reply, deadline);
+      reply, deadline, submit_ns, span);
 }
 
 void Server::handle_register(const std::shared_ptr<Conn>& conn, RegisterGraphFrame reg) {
@@ -989,7 +1114,8 @@ void Server::handle_unregister(const std::shared_ptr<Conn>& conn, const Unregist
 }
 
 void Server::on_batch_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
-                           service::BatchResult result) {
+                           service::BatchResult result,
+                           const std::shared_ptr<obs::TraceSpan>& span) {
   if (conn->closed || conn->closing) {
     // Gone, or already told "fatal error, closing" — nothing may follow a
     // connection-level ERROR on the wire.
@@ -999,8 +1125,12 @@ void Server::on_batch_done(const std::shared_ptr<Conn>& conn, std::uint64_t requ
   }
   MSRP_CHECK(conn->inflight > 0, "net server: completion without an in-flight batch");
   --conn->inflight;
+  // Flush stage: completion back on the loop thread -> reply encoded and
+  // pushed into the connection's send path.
+  const std::uint64_t flush_start_ns = obs::now_ns();
+  const bool failed = result.error != nullptr;
   std::vector<std::uint8_t> reply;
-  if (result.error != nullptr) {
+  if (failed) {
     std::string message = "batch failed";
     try {
       std::rethrow_exception(result.error);
@@ -1019,6 +1149,13 @@ void Server::on_batch_done(const std::shared_ptr<Conn>& conn, std::uint64_t requ
     append_answer_batch(reply, request_id, result.answers);
   }
   send_bytes(conn, std::move(reply));
+  const std::uint64_t flush_ns = obs::now_ns() - flush_start_ns;
+  stage_flush_->record(flush_ns);
+  if (span != nullptr) {
+    span->flush_ns = flush_ns;
+    span->error = failed;
+    trace_->publish(*span);
+  }
   if (conn->closed) return;  // send_bytes may close on a write error
   pump(conn);                // the completion freed pipelining capacity
   maybe_finish_conn(conn);
@@ -1129,6 +1266,53 @@ void Server::maybe_finish_conn(const std::shared_ptr<Conn>& conn) {
   }
 }
 
+std::shared_ptr<obs::TraceSpan> Server::begin_span(std::uint64_t request_id,
+                                                   std::uint32_t frame_type,
+                                                   std::uint32_t queries,
+                                                   std::uint64_t recv_ns,
+                                                   std::uint64_t submit_ns) {
+  if (trace_ == nullptr || !trace_->sample()) return nullptr;
+  auto span = std::make_shared<obs::TraceSpan>();
+  span->request_id = request_id;
+  span->frame_type = frame_type;
+  span->queries = queries;
+  span->start_ns = recv_ns;
+  span->decode_ns = submit_ns - recv_ns;
+  return span;
+}
+
+void Server::handle_stats(const std::shared_ptr<Conn>& conn, std::uint64_t request_id) {
+  if (request_id == 0) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    fail_conn(conn, "request id 0 is reserved (request ids must be nonzero)");
+    return;
+  }
+  // snapshot() takes the registry mutex and runs every collector — fine for
+  // an operator opcode, never on the batch path.
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  StatsSnapshotFrame out;
+  out.request_id = request_id;
+  out.counters.reserve(snap.counters.size());
+  for (const obs::CounterSample& c : snap.counters) out.counters.push_back({c.name, c.value});
+  out.gauges.reserve(snap.gauges.size());
+  for (const obs::GaugeSample& g : snap.gauges) out.gauges.push_back({g.name, g.value});
+  out.histograms.reserve(snap.histograms.size());
+  for (const obs::HistogramSample& h : snap.histograms) {
+    StatsHistogram sh;
+    sh.name = h.name;
+    sh.label = h.label;
+    sh.count = h.count;
+    sh.sum_ns = h.sum_ns;
+    for (std::uint32_t i = 0; i < obs::kHistogramBuckets; ++i) {
+      if (h.buckets[i] != 0) sh.buckets.emplace_back(i, h.buckets[i]);
+    }
+    out.histograms.push_back(std::move(sh));
+  }
+  std::vector<std::uint8_t> bytes;
+  append_stats_snapshot(bytes, out);
+  send_bytes(conn, std::move(bytes));
+}
+
 ServerStats Server::stats() const {
   ServerStats st;
   st.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
@@ -1175,10 +1359,20 @@ void Server::on_writable(const std::shared_ptr<Conn>&) {}
 bool Server::has_capacity(const Conn&) const { return false; }
 void Server::pump(const std::shared_ptr<Conn>&) {}
 void Server::handle_frame(const std::shared_ptr<Conn>&, Frame) {}
-void Server::handle_query_batch(const std::shared_ptr<Conn>&, QueryBatchFrame) {}
-void Server::handle_vitality_batch(const std::shared_ptr<Conn>&, VitalityBatchFrame) {}
-void Server::handle_vickrey_batch(const std::shared_ptr<Conn>&, VickreyBatchFrame) {}
-void Server::handle_kfail_batch(const std::shared_ptr<Conn>&, KFailBatchFrame) {}
+void Server::handle_query_batch(const std::shared_ptr<Conn>&, QueryBatchFrame,
+                                std::uint64_t) {}
+void Server::handle_vitality_batch(const std::shared_ptr<Conn>&, VitalityBatchFrame,
+                                   std::uint64_t) {}
+void Server::handle_vickrey_batch(const std::shared_ptr<Conn>&, VickreyBatchFrame,
+                                  std::uint64_t) {}
+void Server::handle_kfail_batch(const std::shared_ptr<Conn>&, KFailBatchFrame,
+                                std::uint64_t) {}
+void Server::handle_stats(const std::shared_ptr<Conn>&, std::uint64_t) {}
+std::shared_ptr<obs::TraceSpan> Server::begin_span(std::uint64_t, std::uint32_t,
+                                                   std::uint32_t, std::uint64_t,
+                                                   std::uint64_t) {
+  return nullptr;
+}
 std::shared_ptr<const service::Snapshot> Server::resolve_oracle(
     const std::shared_ptr<Conn>&, std::uint64_t, const std::optional<std::uint64_t>&,
     std::uint64_t*) {
@@ -1186,14 +1380,16 @@ std::shared_ptr<const service::Snapshot> Server::resolve_oracle(
 }
 void Server::submit_workload(const std::shared_ptr<Conn>&, std::uint64_t, std::uint64_t,
                              registry::FairDispatcher::StartFn,
-                             std::shared_ptr<WorkloadReply>, Deadline) {}
+                             std::shared_ptr<WorkloadReply>, Deadline, std::uint64_t,
+                             std::shared_ptr<obs::TraceSpan>) {}
 void Server::on_workload_done(const std::shared_ptr<Conn>&, std::uint64_t,
-                              const std::shared_ptr<WorkloadReply>&, std::exception_ptr) {}
+                              const std::shared_ptr<WorkloadReply>&, std::exception_ptr,
+                              const std::shared_ptr<obs::TraceSpan>&) {}
 void Server::handle_register(const std::shared_ptr<Conn>&, RegisterGraphFrame) {}
 void Server::handle_list_oracles(const std::shared_ptr<Conn>&, std::uint64_t) {}
 void Server::handle_unregister(const std::shared_ptr<Conn>&, const UnregisterFrame&) {}
 void Server::on_batch_done(const std::shared_ptr<Conn>&, std::uint64_t,
-                           service::BatchResult) {}
+                           service::BatchResult, const std::shared_ptr<obs::TraceSpan>&) {}
 void Server::on_register_done(const std::shared_ptr<Conn>&, std::uint64_t,
                               registry::RegisterOutcome) {}
 void Server::send_batch_error(const std::shared_ptr<Conn>&, std::uint64_t,

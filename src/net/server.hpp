@@ -59,6 +59,8 @@
 
 #include "net/event_loop.hpp"
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "registry/dispatch.hpp"
 #include "registry/oracle_registry.hpp"
 #include "service/query_service.hpp"
@@ -111,6 +113,10 @@ struct ServerOptions {
   /// registry/dispatch.hpp). A batch the dispatcher refuses is answered
   /// with a BUSY frame instead of queueing without bound.
   registry::DispatchOptions dispatch;
+  /// Optional trace ring (obs/trace.hpp): one batch in N gets its per-stage
+  /// span published here. Not owned; must outlive the server. Null = no
+  /// sampling (stage histograms still record unconditionally).
+  obs::TraceRing* trace_ring = nullptr;
 };
 
 /// Monotonic counters, readable from any thread while the server runs.
@@ -192,10 +198,24 @@ class Server {
   /// has_capacity allows, then re-syncs the epoll read interest.
   void pump(const std::shared_ptr<Conn>& conn);
   void handle_frame(const std::shared_ptr<Conn>& conn, Frame frame);
-  void handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFrame qb);
-  void handle_vitality_batch(const std::shared_ptr<Conn>& conn, VitalityBatchFrame fb);
-  void handle_vickrey_batch(const std::shared_ptr<Conn>& conn, VickreyBatchFrame fb);
-  void handle_kfail_batch(const std::shared_ptr<Conn>& conn, KFailBatchFrame fb);
+  /// `recv_ns` is the obs::now_ns() stamp taken when the frame surfaced on
+  /// the loop thread — the zero point of the batch's decode stage.
+  void handle_query_batch(const std::shared_ptr<Conn>& conn, QueryBatchFrame qb,
+                          std::uint64_t recv_ns);
+  void handle_vitality_batch(const std::shared_ptr<Conn>& conn, VitalityBatchFrame fb,
+                             std::uint64_t recv_ns);
+  void handle_vickrey_batch(const std::shared_ptr<Conn>& conn, VickreyBatchFrame fb,
+                            std::uint64_t recv_ns);
+  void handle_kfail_batch(const std::shared_ptr<Conn>& conn, KFailBatchFrame fb,
+                          std::uint64_t recv_ns);
+  /// Answers STATS_REQUEST with a typed dump of the process metrics
+  /// registry (counters, gauges, sparse histogram buckets).
+  void handle_stats(const std::shared_ptr<Conn>& conn, std::uint64_t request_id);
+  /// Starts a trace span for a sampled batch (null when unsampled or no
+  /// ring is configured) with the decode stage already stamped.
+  std::shared_ptr<obs::TraceSpan> begin_span(std::uint64_t request_id,
+                                             std::uint32_t frame_type, std::uint32_t queries,
+                                             std::uint64_t recv_ns, std::uint64_t submit_ns);
   /// Resolves a batch's target oracle (frame digest, else the HELLO
   /// default) and reports it via `digest_out`. On failure the reply —
   /// batch ERROR or BUSY — is already sent and nullptr comes back; shared
@@ -208,17 +228,23 @@ class Server {
   /// BUSY rollback). `start` submits to the service; its completion must
   /// fill `reply` on success before invoking the dispatcher-wrapped
   /// callback.
+  /// `submit_ns` is the dispatcher hand-off stamp: queue time runs from it
+  /// to the dispatcher invoking `start`, execute from `start` to the service
+  /// completion. `span` (may be null) collects the same stamps for tracing.
   void submit_workload(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
                        std::uint64_t digest, registry::FairDispatcher::StartFn start,
-                       std::shared_ptr<WorkloadReply> reply, Deadline deadline);
+                       std::shared_ptr<WorkloadReply> reply, Deadline deadline,
+                       std::uint64_t submit_ns, std::shared_ptr<obs::TraceSpan> span);
   void on_workload_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
                         const std::shared_ptr<WorkloadReply>& reply,
-                        std::exception_ptr error);
+                        std::exception_ptr error,
+                        const std::shared_ptr<obs::TraceSpan>& span);
   void handle_register(const std::shared_ptr<Conn>& conn, RegisterGraphFrame reg);
   void handle_list_oracles(const std::shared_ptr<Conn>& conn, std::uint64_t request_id);
   void handle_unregister(const std::shared_ptr<Conn>& conn, const UnregisterFrame& un);
   void on_batch_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
-                     service::BatchResult result);
+                     service::BatchResult result,
+                     const std::shared_ptr<obs::TraceSpan>& span);
   void on_register_done(const std::shared_ptr<Conn>& conn, std::uint64_t request_id,
                         registry::RegisterOutcome outcome);
   /// Answers one batch-level error without touching the connection state.
@@ -289,6 +315,19 @@ class Server {
   std::atomic<std::uint64_t> registrations_failed_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> connections_evicted_{0};
+
+  // Per-stage latency histograms ("query_latency" in the process registry),
+  // recorded for every batch. Raw registry handles — stable for process
+  // lifetime, wait-free to record into.
+  obs::Histogram* stage_decode_ = nullptr;
+  obs::Histogram* stage_queue_ = nullptr;
+  obs::Histogram* stage_execute_ = nullptr;
+  obs::Histogram* stage_flush_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;  ///< opts_.trace_ring; null = no sampling
+  // Exports the atomics above plus dispatcher and failpoint counters into
+  // the registry. Declared last: destroyed first, so no snapshot can call
+  // into a half-destroyed server.
+  obs::MetricsRegistry::CollectorHandle collector_;
 };
 
 }  // namespace msrp::net

@@ -1,0 +1,155 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace msrp::obs {
+
+namespace {
+
+bool name_byte_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+/// Seconds with enough digits to round-trip the ns-resolution bucket edges.
+void append_seconds(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(ns) / 1e9);
+  out += buf;
+}
+
+}  // namespace
+
+std::string exposition_name(const std::string& registry_name) {
+  std::string out = "msrp_";
+  out.reserve(registry_name.size() + 5);
+  for (char c : registry_name) out += name_byte_ok(c) ? c : '_';
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+
+  for (const CounterSample& c : snap.counters) {
+    const std::string base = exposition_name(c.name);
+    out += "# TYPE " + base + "_total counter\n";
+    out += base + "_total ";
+    append_u64(out, c.value);
+    out += '\n';
+  }
+
+  for (const GaugeSample& g : snap.gauges) {
+    const std::string base = exposition_name(g.name);
+    out += "# TYPE " + base + " gauge\n";
+    out += base + ' ';
+    append_i64(out, static_cast<std::int64_t>(g.value));
+    out += '\n';
+  }
+
+  // Histograms with the same base name but different stage labels form one
+  // metric family: one TYPE line, one labelled series set each.
+  std::string prev_family;
+  for (const HistogramSample& h : snap.histograms) {
+    const std::string family = exposition_name(h.name) + "_seconds";
+    if (family != prev_family) {
+      out += "# TYPE " + family + " histogram\n";
+      prev_family = family;
+    }
+    const std::string label_prefix =
+        h.label.empty() ? std::string() : "stage=\"" + h.label + "\"";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      cumulative += h.buckets[b];
+      if (h.buckets[b] == 0) continue;  // sparse: omit untouched edges
+      out += family + "_bucket{" + label_prefix;
+      if (!label_prefix.empty()) out += ',';
+      out += "le=\"";
+      append_seconds(out, bucket_upper_ns(b));
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += family + "_bucket{" + label_prefix;
+    if (!label_prefix.empty()) out += ',';
+    out += "le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += '\n';
+    out += family + "_sum";
+    if (!label_prefix.empty()) out += '{' + label_prefix + '}';
+    out += ' ';
+    append_seconds(out, h.sum_ns);
+    out += '\n';
+    out += family + "_count";
+    if (!label_prefix.empty()) out += '{' + label_prefix + '}';
+    out += ' ';
+    append_u64(out, h.count);
+    out += '\n';
+  }
+
+  return out;
+}
+
+std::string render_stats_lines(const MetricsSnapshot& snap) {
+  // Group counters and gauges by their dotted prefix so each subsystem
+  // prints as one line: "stats server: batches_received=12 ...".
+  std::map<std::string, std::string> lines;
+  const auto add = [&lines](const std::string& name, const std::string& value) {
+    const std::size_t dot = name.find('.');
+    const std::string group = dot == std::string::npos ? "misc" : name.substr(0, dot);
+    const std::string key = dot == std::string::npos ? name : name.substr(dot + 1);
+    std::string& line = lines[group];
+    if (!line.empty()) line += ' ';
+    line += key + '=' + value;
+  };
+  for (const CounterSample& c : snap.counters) {
+    std::string v;
+    append_u64(v, c.value);
+    add(c.name, v);
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    std::string v;
+    append_i64(v, g.value);
+    add(g.name, v);
+  }
+
+  std::string out;
+  for (const auto& [group, line] : lines) {
+    out += "stats " + group + ": " + line + '\n';
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.count == 0) continue;
+    out += "stats " + h.name;
+    if (!h.label.empty()) out += '[' + h.label + ']';
+    out += ": count=";
+    append_u64(out, h.count);
+    out += " mean_us=";
+    append_u64(out, h.count == 0 ? 0 : h.sum_ns / h.count / 1000);
+    out += " p50_us=";
+    append_u64(out, h.quantile(0.50) / 1000);
+    out += " p90_us=";
+    append_u64(out, h.quantile(0.90) / 1000);
+    out += " p99_us=";
+    append_u64(out, h.quantile(0.99) / 1000);
+    out += " p999_us=";
+    append_u64(out, h.quantile(0.999) / 1000);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace msrp::obs

@@ -1,0 +1,31 @@
+/// \file
+/// Renderers over MetricsSnapshot: the Prometheus text exposition served
+/// at GET /metrics, and the compact stats lines msrp_serve prints to
+/// stderr. One snapshot, one formatting path — every exporter (HTTP, wire
+/// STATS, stderr) reads the same registry state.
+///
+/// Naming: registry names are dotted ("server.batches_received");
+/// exposition sanitizes every non-[a-zA-Z0-9_] byte to '_' and prefixes
+/// "msrp_". Counters gain the "_total" suffix, histograms are emitted in
+/// seconds as "msrp_<name>_seconds" with cumulative "_bucket{le=...}"
+/// series, "_sum" and "_count" — the standard Prometheus histogram
+/// triplet. A histogram's stage label becomes {stage="..."}.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace msrp::obs {
+
+/// "server.batches_received" -> "msrp_server_batches_received".
+std::string exposition_name(const std::string& registry_name);
+
+/// Prometheus text format 0.0.4 (the format every scraper accepts).
+std::string render_prometheus(const MetricsSnapshot& snap);
+
+/// Compact `key=value` stats lines (one subsystem prefix per line) for
+/// periodic/final stderr telemetry.
+std::string render_stats_lines(const MetricsSnapshot& snap);
+
+}  // namespace msrp::obs

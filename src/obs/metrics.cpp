@@ -1,0 +1,289 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace msrp::obs {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t quantile_ns(const std::uint64_t* buckets, std::size_t n_buckets, double q) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n_buckets; ++i) total += buckets[i];
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q=0 -> first sample's bucket.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return bucket_upper_ns(i);
+  }
+  return bucket_upper_ns(n_buckets - 1);
+}
+
+namespace detail {
+
+std::size_t thread_stripe() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+}  // namespace detail
+
+void Histogram::read(std::uint64_t* out_buckets, std::uint64_t& out_count,
+                     std::uint64_t& out_sum_ns) const {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) out_buckets[b] = 0;
+  for (const Stripe& s : stripes_) {
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t c = s.buckets[b].load(std::memory_order_relaxed);
+      out_buckets[b] += c;
+      count += c;
+    }
+    sum += s.sum_ns.load(std::memory_order_relaxed);
+  }
+  out_count = count;
+  out_sum_ns = sum;
+}
+
+// ---------------------------------------------------------------------------
+// ShmCounterPage
+
+std::size_t ShmCounterPage::bytes_for() { return sizeof(Page); }
+
+ShmCounterPage ShmCounterPage::create(const std::string& shm_name) {
+  ShmCounterPage p;
+  p.seg_ = ShmSegment::create(shm_name, bytes_for());
+  p.page_ = reinterpret_cast<Page*>(p.seg_.data());
+  // The segment is zero-filled: state 0 == free is the valid empty page.
+  p.page_->magic = kMagic;
+  return p;
+}
+
+ShmCounterPage ShmCounterPage::open(const std::string& shm_name) {
+  ShmCounterPage p;
+  p.seg_ = ShmSegment::open(shm_name, /*writable=*/true);
+  if (p.seg_.size() < bytes_for()) {
+    throw std::runtime_error("shm counter page " + shm_name + ": segment too small");
+  }
+  p.page_ = reinterpret_cast<Page*>(p.seg_.data());
+  if (p.page_->magic != kMagic) {
+    throw std::runtime_error("shm counter page " + shm_name + ": bad magic");
+  }
+  return p;
+}
+
+std::atomic<std::uint64_t>* ShmCounterPage::find_or_create(std::string_view name) {
+  if (page_ == nullptr || name.size() >= kSlotNameBytes) return nullptr;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    Slot& s = page_->slots[i];
+    std::uint64_t state = s.state.load(std::memory_order_acquire);
+    for (;;) {
+      if (state == 1) {
+        if (std::strncmp(s.name, name.data(), name.size()) == 0 &&
+            s.name[name.size()] == '\0') {
+          return &s.value;
+        }
+        break;  // published under another name; next slot
+      }
+      if (state == 0) {
+        // Claim: 0 -> 2, write the name, publish 2 -> 1. A concurrent
+        // claimer that loses the CAS re-reads and waits for publication.
+        if (s.state.compare_exchange_weak(state, 2, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          std::memset(s.name, 0, kSlotNameBytes);
+          std::memcpy(s.name, name.data(), name.size());
+          s.state.store(1, std::memory_order_release);
+          return &s.value;
+        }
+        continue;  // state reloaded by the failed CAS
+      }
+      // state == 2: another process is mid-claim on this slot; spin until
+      // it publishes, then compare names.
+      state = s.state.load(std::memory_order_acquire);
+    }
+  }
+  return nullptr;  // page full
+}
+
+std::atomic<std::uint64_t>* ShmCounterPage::find(std::string_view name) const {
+  if (page_ == nullptr || name.size() >= kSlotNameBytes) return nullptr;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    Slot& s = page_->slots[i];
+    if (s.state.load(std::memory_order_acquire) != 1) continue;
+    if (std::strncmp(s.name, name.data(), name.size()) == 0 && s.name[name.size()] == '\0') {
+      return &s.value;
+    }
+  }
+  return nullptr;
+}
+
+void ShmCounterPage::collect(MetricsSnapshot& out, const std::string& prefix) const {
+  if (page_ == nullptr) return;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    const Slot& s = page_->slots[i];
+    if (s.state.load(std::memory_order_acquire) != 1) continue;
+    out.counters.push_back(
+        {prefix + s.name, s.value.load(std::memory_order_relaxed)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c.get();
+  }
+  counters_.emplace_back(std::string(name), std::unique_ptr<Counter>(new Counter()));
+  return counters_.back().second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [n, g] : gauges_) {
+    if (n == name) return g.get();
+  }
+  gauges_.emplace_back(std::string(name), std::unique_ptr<Gauge>(new Gauge()));
+  return gauges_.back().second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [n, l, h] : histograms_) {
+    if (n == name && l == label) return h.get();
+  }
+  histograms_.emplace_back(std::string(name), std::string(label),
+                           std::unique_ptr<Histogram>(new Histogram()));
+  return std::get<2>(histograms_.back()).get();
+}
+
+MetricsRegistry::CollectorHandle MetricsRegistry::register_collector(CollectFn fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return CollectorHandle(this, id);
+}
+
+void MetricsRegistry::unregister_collector(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::erase_if(collectors_, [id](const auto& p) { return p.first == id; });
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snap.counters.reserve(counters_.size() + 16);
+    for (const auto& [n, c] : counters_) snap.counters.push_back({n, c->value()});
+    snap.gauges.reserve(gauges_.size() + 8);
+    for (const auto& [n, g] : gauges_) snap.gauges.push_back({n, g->value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [n, l, h] : histograms_) {
+      HistogramSample hs;
+      hs.name = n;
+      hs.label = l;
+      h->read(hs.buckets.data(), hs.count, hs.sum_ns);
+      snap.histograms.push_back(std::move(hs));
+    }
+    // Collectors run under mu_ so CollectorHandle::reset() can guarantee
+    // the callback is not mid-flight after it returns.
+    for (const auto& [id, fn] : collectors_) fn(snap);
+  }
+
+  // Merge duplicates (two subsystems exporting the same name sum into one
+  // series — the multi-instance test case) and sort for stable output.
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  {
+    std::vector<CounterSample> merged;
+    for (auto& c : snap.counters) {
+      if (!merged.empty() && merged.back().name == c.name) {
+        merged.back().value += c.value;
+      } else {
+        merged.push_back(std::move(c));
+      }
+    }
+    snap.counters = std::move(merged);
+  }
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  {
+    std::vector<GaugeSample> merged;
+    for (auto& g : snap.gauges) {
+      if (!merged.empty() && merged.back().name == g.name) {
+        merged.back().value += g.value;
+      } else {
+        merged.push_back(std::move(g));
+      }
+    }
+    snap.gauges = std::move(merged);
+  }
+  std::sort(snap.histograms.begin(), snap.histograms.end(), [](const auto& a, const auto& b) {
+    return a.name != b.name ? a.name < b.name : a.label < b.label;
+  });
+  {
+    std::vector<HistogramSample> merged;
+    for (auto& h : snap.histograms) {
+      if (!merged.empty() && merged.back().name == h.name && merged.back().label == h.label) {
+        HistogramSample& m = merged.back();
+        m.count += h.count;
+        m.sum_ns += h.sum_ns;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) m.buckets[b] += h.buckets[b];
+      } else {
+        merged.push_back(std::move(h));
+      }
+    }
+    snap.histograms = std::move(merged);
+  }
+  return snap;
+}
+
+MetricsRegistry::CollectorHandle::CollectorHandle(CollectorHandle&& other) noexcept
+    : reg_(other.reg_), id_(other.id_) {
+  other.reg_ = nullptr;
+  other.id_ = 0;
+}
+
+MetricsRegistry::CollectorHandle& MetricsRegistry::CollectorHandle::operator=(
+    CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    reg_ = other.reg_;
+    id_ = other.id_;
+    other.reg_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+MetricsRegistry::CollectorHandle::~CollectorHandle() { reset(); }
+
+void MetricsRegistry::CollectorHandle::reset() {
+  if (reg_ != nullptr) {
+    reg_->unregister_collector(id_);
+    reg_ = nullptr;
+    id_ = 0;
+  }
+}
+
+}  // namespace msrp::obs

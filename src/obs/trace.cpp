@@ -1,0 +1,65 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace msrp::obs {
+
+TraceRing::TraceRing(std::uint32_t sample_every_n, std::size_t capacity)
+    : every_(sample_every_n), cap_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(cap_);
+}
+
+void TraceRing::publish(const TraceSpan& span) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceSpan s = span;
+  s.trace_id = published_;
+  if (ring_.size() < cap_) {
+    ring_.push_back(s);
+  } else {
+    ring_[published_ % cap_] = s;
+  }
+  ++published_;
+}
+
+std::vector<TraceSpan> TraceRing::dump() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < cap_) {
+    out = ring_;
+  } else {
+    // The ring wrapped: oldest entry sits at published_ % cap_.
+    const std::size_t head = published_ % cap_;
+    for (std::size_t i = 0; i < cap_; ++i) out.push_back(ring_[(head + i) % cap_]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::published() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return published_;
+}
+
+std::string format_trace_spans(const std::vector<TraceSpan>& spans) {
+  std::string out;
+  out.reserve(spans.size() * 96 + 64);
+  char line[256];
+  for (const TraceSpan& s : spans) {
+    std::snprintf(line, sizeof(line),
+                  "trace=%llu req=%llu type=%u queries=%u start_ns=%llu "
+                  "decode_ns=%llu queue_ns=%llu execute_ns=%llu flush_ns=%llu%s\n",
+                  static_cast<unsigned long long>(s.trace_id),
+                  static_cast<unsigned long long>(s.request_id), s.frame_type, s.queries,
+                  static_cast<unsigned long long>(s.start_ns),
+                  static_cast<unsigned long long>(s.decode_ns),
+                  static_cast<unsigned long long>(s.queue_ns),
+                  static_cast<unsigned long long>(s.execute_ns),
+                  static_cast<unsigned long long>(s.flush_ns), s.error ? " error=1" : "");
+    out += line;
+  }
+  if (out.empty()) out = "# no sampled spans yet\n";
+  return out;
+}
+
+}  // namespace msrp::obs

@@ -34,6 +34,21 @@ QueryService::QueryService(Options opts)
                                   pool_.submit(std::move(task));
                                 });
   }
+  collector_ = obs::MetricsRegistry::instance().register_collector(
+      [this](obs::MetricsSnapshot& out) {
+        out.counters.push_back({"service.queries_served", queries_served()});
+        out.counters.push_back({"cache.hits", cache_.hits()});
+        out.counters.push_back({"cache.misses", cache_.misses()});
+        out.counters.push_back({"cache.evictions", cache_.evictions()});
+        out.counters.push_back({"cache.expirations", cache_.expirations()});
+        out.counters.push_back({"cache.refreshes", cache_.refreshes()});
+        out.counters.push_back({"cache.refresh_failures", cache_.refresh_failures()});
+        out.gauges.push_back(
+            {"cache.pending_builds", static_cast<std::int64_t>(cache_.pending_builds())});
+        out.gauges.push_back({"cache.entries", static_cast<std::int64_t>(cache_.size())});
+        out.gauges.push_back(
+            {"cache.bytes", static_cast<std::int64_t>(cache_.size_bytes())});
+      });
 }
 
 std::shared_ptr<const Snapshot> QueryService::build(const Graph& g,

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/metrics.hpp"
 #include "service/backoff.hpp"
 #include "service/oracle_cache.hpp"
 #include "service/query.hpp"
@@ -308,6 +309,9 @@ class QueryService {
   // Declared last so its destructor — which drains queued tasks — runs
   // first: async tasks touch the cache, routers, and counters above.
   ThreadPool pool_;
+  // After pool_: unregistered before anything the snapshot callback reads
+  // (cache_, queries_served_) is torn down.
+  obs::MetricsRegistry::CollectorHandle collector_;
 };
 
 }  // namespace msrp::service

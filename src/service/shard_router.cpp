@@ -106,10 +106,32 @@ ShardRouter::ShardRouter(const Snapshot& oracle, const ShardRouterOptions& opts)
     bell_seg_ = ShmSegment::create(shard_doorbell_name(base_name_),
                                    ShardDoorbell::bytes_for());
     bell_ = ShardDoorbell::init(bell_seg_.data());
+    // The metrics page likewise precedes the first fork: workers attach it
+    // (tolerantly) right after the doorbell.
+    metrics_page_ = obs::ShmCounterPage::create(shard_metrics_name(base_name_));
     for (unsigned k = 0; k < plan_.num_shards(); ++k) place_shard(oracle, k);
     for (unsigned k = 0; k < plan_.num_shards(); ++k) spawn_worker(k);
     for (unsigned k = 0; k < plan_.num_shards(); ++k) wait_worker_ready(k);
     collector_ = std::thread(&ShardRouter::collector_main, this);
+    metrics_collector_ = obs::MetricsRegistry::instance().register_collector(
+        [this](obs::MetricsSnapshot& out) {
+          ShardRouterStats st;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            st = stats_;
+          }
+          out.counters.push_back({"router.segments_placed", st.segments_placed});
+          out.counters.push_back({"router.bytes_placed", st.bytes_placed});
+          out.counters.push_back({"router.queries_routed", st.queries_routed});
+          out.counters.push_back({"router.batches_routed", st.batches_routed});
+          out.counters.push_back({"router.respawns", st.respawns});
+          out.counters.push_back({"router.deadlines_expired", st.deadlines_expired});
+          out.counters.push_back({"router.ready_wait_us", st.ready_wait_us});
+          out.gauges.push_back(
+              {"router.peak_inflight_batches",
+               static_cast<std::int64_t>(st.peak_inflight_batches)});
+          metrics_page_.collect(out, "shard.");
+        });
   } catch (...) {
     stop_all_workers();  // segments unlink via ~ShmSegment
     throw;
@@ -697,10 +719,21 @@ long ShardRouter::worker_pid(unsigned k) const {
   return shards_[k].pid;
 }
 
+std::uint64_t ShardRouter::worker_requests_total() const {
+  std::uint64_t total = 0;
+  for (unsigned k = 0; k < shards_.size(); ++k) {
+    const auto* slot =
+        metrics_page_.find("worker." + std::to_string(k) + ".requests");
+    if (slot != nullptr) total += slot->load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 std::vector<std::string> ShardRouter::segment_names() const {
   std::vector<std::string> names;
-  names.reserve(2 * shards_.size() + 1);
+  names.reserve(2 * shards_.size() + 2);
   names.push_back(shard_doorbell_name(base_name_));
+  names.push_back(shard_metrics_name(base_name_));
   for (unsigned k = 0; k < shards_.size(); ++k) {
     names.push_back(shard_snapshot_name(base_name_, k));
     names.push_back(shard_channel_name(base_name_, k));

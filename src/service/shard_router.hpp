@@ -50,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/backoff.hpp"
 #include "service/query.hpp"
 #include "service/shard_channel.hpp"
@@ -152,6 +153,11 @@ class ShardRouter {
   /// destruction).
   std::vector<std::string> segment_names() const;
 
+  /// Sum of the workers' shm "worker.<k>.requests" counters (0 where shm
+  /// metrics are unsupported). Lives in the router-owned metrics page, so
+  /// the count survives worker death and respawn exactly.
+  std::uint64_t worker_requests_total() const;
+
   /// Whether this platform can run the multi-process transport at all.
   static bool supported();
 
@@ -229,6 +235,9 @@ class ShardRouter {
   std::vector<Shard> shards_;
   ShmSegment bell_seg_;
   ShardDoorbell* bell_ = nullptr;
+  // Router-owned (created, unlinked on destruction) page the workers
+  // publish per-worker counters into across fork()/exec()/respawn.
+  obs::ShmCounterPage metrics_page_;
 
   // Shared submitter/collector state, all under mu_.
   mutable std::mutex mu_;
@@ -251,6 +260,9 @@ class ShardRouter {
   bool any_deadline_ = false;
 
   std::thread collector_;
+  // Last member: unregistered (blocking on any in-flight snapshot) before
+  // anything the callback reads — stats_ under mu_, metrics_page_ — dies.
+  obs::MetricsRegistry::CollectorHandle metrics_collector_;
 };
 
 }  // namespace msrp::service

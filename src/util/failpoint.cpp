@@ -221,4 +221,18 @@ std::uint64_t fire_count(const char* name) {
   return p == nullptr ? 0 : p->fires.load(std::memory_order_relaxed);
 }
 
+std::vector<SiteStats> all_sites() {
+  std::vector<SiteStats> out;
+  const std::size_t n = g_count.load(std::memory_order_acquire);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p = g_points[i];
+    const char* name = p.name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;
+    out.push_back({name, p.hits.load(std::memory_order_relaxed),
+                   p.fires.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
 }  // namespace msrp::fail

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace msrp::fail {
 
@@ -65,6 +66,19 @@ void clear_all();
 
 /// Times the armed action actually fired at this site (not mere hits).
 std::uint64_t fire_count(const char* name);
+
+/// One site's counters, for metrics export. `name` is interned and never
+/// freed, so the pointer outlives every caller.
+struct SiteStats {
+  const char* name = nullptr;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Counters for every site ever armed in this process (via set() or the
+/// environment). Lock-free reads of the fixed table — safe from a metrics
+/// collector running concurrently with hit()s.
+std::vector<SiteStats> all_sites();
 
 /// Forces (re-)parsing of MSRP_FAILPOINTS from the environment. Called
 /// implicitly by the first hit(); exposed for tests that mutate the

@@ -842,6 +842,49 @@ TEST(NetChaos, StalledAnswerFailsEachWorkloadBatchButNotTheConnection) {
   EXPECT_EQ(ts.server.stats().protocol_errors, 0u);
 }
 
+TEST(NetChaos, InjectedFailuresAreVisibleInScrapedCounters) {
+  SKIP_WITHOUT_EPOLL();
+  SKIP_WITHOUT_FAILPOINTS();
+  ChaosFixture fx;
+  TestServer ts(fx.svc, fx.oracle);
+  net::Client client(ts.client_options());
+  const auto queries = fx.random_queries(200, 61);
+
+  // Failpoint sites and deadline expirations are exported through the
+  // metrics registry, so an operator sees injected chaos in the same STATS
+  // snapshot (and /metrics scrape) as the serving counters. Server counters
+  // are compared as deltas (the registry is process-global and earlier
+  // tests may have bumped them); failpoint counters are compared as
+  // absolutes, because fail::set() zeroes a site's hits/fires.
+  const auto counter_value = [](const net::StatsSnapshotFrame& snap,
+                                const std::string& name) -> std::uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+  const net::StatsSnapshotFrame before = client.stats();
+
+  ASSERT_TRUE(fail::set("service.answer", "delay:180000*1"));
+  EXPECT_THROW(client.query_batch(queries, std::nullopt, /*deadline_ms=*/60),
+               net::DeadlineError);
+  fail::clear("service.answer");
+
+  const net::StatsSnapshotFrame after = client.stats();
+  EXPECT_GE(counter_value(after, "failpoint.service.answer.hits"), 1u);
+  EXPECT_GE(counter_value(after, "failpoint.service.answer.fires"), 1u);
+  EXPECT_GE(counter_value(after, "server.deadline_exceeded"),
+            counter_value(before, "server.deadline_exceeded") + 1);
+
+  // The failed batch still went through decode: the per-stage histograms
+  // carry it.
+  bool saw_decode = false;
+  for (const auto& h : after.histograms) {
+    if (h.name == "query_latency" && h.label == "decode" && h.count > 0) saw_decode = true;
+  }
+  EXPECT_TRUE(saw_decode);
+}
+
 TEST(NetRegistryChaos, FailedWireRegistrationIsListableWithItsReason) {
   SKIP_WITHOUT_EPOLL();
   ChaosFixture fx;

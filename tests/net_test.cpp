@@ -1720,7 +1720,7 @@ TEST(NetServer, LegacyV2FramesAreByteIdenticalUnderV3Server) {
   // Interop pin: a protocol-v2 client knows nothing of the workload
   // opcodes. Its bytes — a flags==0 QUERY_BATCH — must produce an
   // ANSWER_BATCH that is byte-for-byte what a v2 server would have sent,
-  // and the v3 HELLO must still announce sources/digest in the v1 layout
+  // and the current HELLO must still announce sources/digest in the v1 layout
   // (v2 clients accept any announced version >= their own frames' needs,
   // so the payload shapes are load-bearing, not just the field values).
   SKIP_WITHOUT_EPOLL();
@@ -1737,7 +1737,7 @@ TEST(NetServer, LegacyV2FramesAreByteIdenticalUnderV3Server) {
   ASSERT_EQ(frames.size(), 2u);
   EXPECT_EQ(frames[0].type, FrameType::kHello);
   const net::HelloInfo hello = net::decode_hello(frames[0].payload);
-  EXPECT_EQ(hello.version, 3u);
+  EXPECT_EQ(hello.version, net::kProtocolVersion);
   EXPECT_GE(hello.version, net::kMinProtocolVersion);
   EXPECT_EQ(hello.sources, fx.sources);
 

@@ -211,6 +211,35 @@ TEST(ShardRouterTest, RespawnsDeadWorkerAndRequeues) {
   EXPECT_NE(router.worker_pid(1), victim);
 }
 
+TEST(ShardRouterTest, ShmCountersSurviveWorkerKillAndRespawn) {
+  // The workers publish per-worker request counts into the router-owned
+  // shm metrics page. The page outlives the workers, and a respawned
+  // worker re-finds its slot by name — so counts accumulate exactly
+  // across a kill, with no lost or doubled increments. Killing while the
+  // router is idle keeps the arithmetic exact: every query is popped by a
+  // worker exactly once (a mid-batch kill could legitimately re-pop a
+  // requeued request).
+  const Snapshot oracle = demo_snapshot(150, 4, 29);
+  ShardRouterOptions opts;
+  opts.shards = 2;
+  ShardRouter router(oracle, opts);
+
+  const auto first = random_queries(oracle, 1000, 31);
+  const auto want_first = router.query_batch(first);
+  ASSERT_EQ(want_first.size(), first.size());
+  EXPECT_EQ(router.worker_requests_total(), first.size());
+
+  const long victim = router.worker_pid(1);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(static_cast<pid_t>(victim), SIGKILL), 0);
+
+  const auto second = random_queries(oracle, 1000, 33);
+  const auto answers = router.query_batch(second);
+  ASSERT_EQ(answers.size(), second.size());
+  EXPECT_GE(router.stats().respawns, 1u);
+  EXPECT_EQ(router.worker_requests_total(), first.size() + second.size());
+}
+
 TEST(ShardRouterTest, UnlinksSegmentsOnDestruction) {
   const Snapshot oracle = demo_snapshot(80, 3, 19);
   std::vector<std::string> names;
@@ -219,7 +248,7 @@ TEST(ShardRouterTest, UnlinksSegmentsOnDestruction) {
     opts.shards = 3;
     ShardRouter router(oracle, opts);
     names = router.segment_names();
-    ASSERT_EQ(names.size(), 7u);  // snapshot + channel per shard, one doorbell
+    ASSERT_EQ(names.size(), 8u);  // snapshot + channel per shard, doorbell, metrics page
     for (const auto& name : names) {
       EXPECT_TRUE(ShmSegment::exists(name)) << name;
     }

@@ -64,8 +64,13 @@
 //                          printed by the tools); unknown digests are a
 //                          usage error listing what the server has
 //   --list                 print the server's resident oracles and exit
+//   --stats                print the server's metrics registry (protocol
+//                          v4 STATS_REQUEST) and exit: one line per
+//                          counter/gauge, histogram lines with derived
+//                          percentiles
 #include <algorithm>
 #include <chrono>
+#include <array>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +85,7 @@
 #include "batch_io.hpp"
 #include "graph/io.hpp"
 #include "net/client.hpp"
+#include "obs/metrics.hpp"
 #include "registry/oracle_state.hpp"
 #include "service/query_gen.hpp"
 #include "util/rng.hpp"
@@ -99,7 +105,8 @@ namespace {
                "       msrp_client --connect host:port --register <graph> --sources a,b,c\n"
                "                   [--build-seed N] [...batch or load options]\n"
                "       msrp_client --connect host:port --digest HEX [...batch or load options]\n"
-               "       msrp_client --connect host:port --list\n");
+               "       msrp_client --connect host:port --list\n"
+               "       msrp_client --connect host:port --stats\n");
   std::exit(2);
 }
 
@@ -162,6 +169,7 @@ int main(int argc, char** argv) {
   bool digest_given = false;
   std::uint64_t digest_value = 0;
   bool list_only = false;
+  bool stats_only = false;
   unsigned connections = 1;
   std::size_t batch_size = 512;
   std::size_t inflight = 4;
@@ -214,6 +222,8 @@ int main(int argc, char** argv) {
       digest_value = tools::cli_hex_u64(next(), "--digest");
     } else if (arg == "--list") {
       list_only = true;
+    } else if (arg == "--stats") {
+      stats_only = true;
     } else {
       usage();
     }
@@ -245,6 +255,41 @@ int main(int argc, char** argv) {
                 client.hello().sources.size(),
                 static_cast<unsigned long long>(client.hello().oracle_digest),
                 client.registry_enabled() ? ", registry" : "");
+
+    if (stats_only) {
+      // One typed STATS round trip, printed in a stable line-per-series
+      // shape (scripts/check_metrics_exposition.py cross-checks these
+      // counters against the /metrics scrape).
+      const net::StatsSnapshotFrame snap = client.stats();
+      for (const net::StatsCounter& c : snap.counters) {
+        std::printf("counter %s %llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      }
+      for (const net::StatsGauge& g : snap.gauges) {
+        std::printf("gauge %s %lld\n", g.name.c_str(), static_cast<long long>(g.value));
+      }
+      for (const net::StatsHistogram& h : snap.histograms) {
+        // Re-densify the sparse buckets over the shared geometry so the
+        // percentile math is exactly the server's.
+        std::array<std::uint64_t, obs::kHistogramBuckets> buckets{};
+        for (const auto& [idx, count] : h.buckets) {
+          if (idx < obs::kHistogramBuckets) buckets[idx] = count;
+        }
+        const auto q = [&buckets](double p) {
+          return obs::quantile_ns(buckets.data(), buckets.size(), p);
+        };
+        std::printf("histogram %s[%s] count=%llu sum_ns=%llu p50_ns=%llu p90_ns=%llu "
+                    "p99_ns=%llu p999_ns=%llu\n",
+                    h.name.c_str(), h.label.c_str(),
+                    static_cast<unsigned long long>(h.count),
+                    static_cast<unsigned long long>(h.sum_ns),
+                    static_cast<unsigned long long>(q(0.50)),
+                    static_cast<unsigned long long>(q(0.90)),
+                    static_cast<unsigned long long>(q(0.99)),
+                    static_cast<unsigned long long>(q(0.999)));
+      }
+      return 0;
+    }
 
     if (list_only) {
       const std::vector<net::OracleListEntry> oracles = client.list_oracles();

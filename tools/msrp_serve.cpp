@@ -79,6 +79,14 @@
 //   --build-timeout-ms N   fail a registration that has not built within
 //                          N ms instead of letting it wedge (0 = never,
 //                          the default)
+//   --metrics-addr <ip:port>  also serve GET /metrics (Prometheus text
+//                          exposition), /healthz, and /traces over HTTP on
+//                          its own listener (docs/OBSERVABILITY.md). Port 0
+//                          picks an ephemeral port; the bound port is
+//                          printed as "metrics on <ip>:<port>".
+//   --trace-sample-n N     sample every Nth query into the bounded trace
+//                          ring dumped at /traces (0 = tracing off, the
+//                          default)
 //   --cache-ttl-ms N       oracle cache TTL (0 = never expire)
 //   --refresh-ahead X      rebuild cached oracles at X * TTL (0 < X < 1)
 //                          in the background so a warmed key never pays a
@@ -105,6 +113,9 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "net/server.hpp"
+#include "obs/exposition.hpp"
+#include "obs/http_metrics.hpp"
+#include "obs/trace.hpp"
 #include "registry/oracle_registry.hpp"
 #include "service/query_gen.hpp"
 #include "service/query_service.hpp"
@@ -142,6 +153,7 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
                "         [--shard-spin N] [--shard-sleep-us N]\n"
                "         [--listen <port>] [--listen-addr <ip>] [--loops N]\n"
                "         [--pin-workers] [--idle-timeout-ms N] [--stall-timeout-ms N]\n"
+               "         [--metrics-addr ip:port] [--trace-sample-n N]\n"
                "         [--registry] [--max-tenants N] [--registry-bytes N]\n"
                "         [--failed-ttl-ms N] [--build-timeout-ms N]\n"
                "         [--cache-ttl-ms N] [--refresh-ahead X]\n"
@@ -217,7 +229,8 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
                   bool pin_loops, bool use_registry, std::size_t max_tenants,
                   std::size_t registry_bytes, std::uint64_t idle_timeout_ms,
                   std::uint64_t stall_timeout_ms, std::uint64_t failed_ttl_ms,
-                  std::uint64_t build_timeout_ms) {
+                  std::uint64_t build_timeout_ms, const std::string& metrics_addr,
+                  std::uint64_t trace_sample_n) {
   if (!net::Server::supported()) {
     std::fprintf(stderr, "error: --listen needs epoll (Linux)\n");
     return 1;
@@ -233,6 +246,43 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
     ropts.build_timeout = std::chrono::milliseconds(build_timeout_ms);
     reg = std::make_unique<registry::OracleRegistry>(svc, ropts);
   }
+  // Observability plumbing. The trace ring and HTTP listener live on this
+  // frame: declared before the server (so stage handlers can publish spans
+  // for the server's whole lifetime) and torn down after it.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::instance();
+  obs::TraceRing trace_ring(static_cast<std::uint32_t>(trace_sample_n));
+  obs::MetricsRegistry::CollectorHandle reg_collector;
+  if (use_registry) {
+    registry::OracleRegistry* r = reg.get();
+    reg_collector = metrics.register_collector([r](obs::MetricsSnapshot& out) {
+      out.gauges.push_back(
+          {"registry.tenants_resident", static_cast<std::int64_t>(r->tenant_count())});
+    });
+  }
+  std::unique_ptr<obs::MetricsHttpServer> http;
+  if (!metrics_addr.empty()) {
+    if (!obs::MetricsHttpServer::supported()) {
+      std::fprintf(stderr, "error: --metrics-addr needs epoll (Linux)\n");
+      return 1;
+    }
+    const std::size_t colon = metrics_addr.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::fprintf(stderr, "error: --metrics-addr wants ip:port, got '%s'\n",
+                   metrics_addr.c_str());
+      return 2;
+    }
+    const std::uint64_t mport =
+        tools::cli_u64(metrics_addr.substr(colon + 1), "--metrics-addr");
+    if (mport > 65535) {
+      std::fprintf(stderr, "error: --metrics-addr port %llu out of range (0-65535)\n",
+                   static_cast<unsigned long long>(mport));
+      return 2;
+    }
+    obs::MetricsHttpServer::Options mopts;
+    mopts.host = metrics_addr.substr(0, colon);
+    mopts.port = static_cast<std::uint16_t>(mport);
+    http = std::make_unique<obs::MetricsHttpServer>(metrics, &trace_ring, mopts);
+  }
   net::ServerOptions sopts;
   sopts.bind_addr = addr;
   sopts.port = port;
@@ -240,6 +290,7 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
   sopts.pin_loops = pin_loops;
   sopts.idle_timeout_ms = idle_timeout_ms;
   sopts.write_stall_timeout_ms = stall_timeout_ms;
+  sopts.trace_ring = &trace_ring;
   net::Server server(svc, std::move(oracle), reg.get(), sopts);
   if (loops > 1) std::printf("event loops: %u\n", loops);
   if (use_registry) {
@@ -248,7 +299,10 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
                                : "");
   }
   std::printf("listening on %s:%u\n", addr.c_str(), server.port());
-  std::fflush(stdout);  // startup scripts parse this line for the port
+  if (http != nullptr) {
+    std::printf("metrics on %s:%u\n", http->host().c_str(), http->port());
+  }
+  std::fflush(stdout);  // startup scripts parse these lines for the ports
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -265,8 +319,17 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
     }
     loop_done.store(true, std::memory_order_release);
   });
+  // Periodic telemetry goes to stderr so stdout stays parseable; the
+  // lines come from the registry snapshot — the same state /metrics and
+  // the wire STATS opcode serve, one formatting path for all three.
+  unsigned ticks = 0;
+  constexpr unsigned kStatsEveryTicks = 200;  // 200 x 50 ms = 10 s
   while (g_stop == 0 && !loop_done.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (++ticks == kStatsEveryTicks) {
+      ticks = 0;
+      std::fputs(obs::render_stats_lines(metrics.snapshot()).c_str(), stderr);
+    }
   }
   std::printf("shutting down (draining in-flight batches)\n");
   server.shutdown();
@@ -275,28 +338,9 @@ int serve_network(service::QueryService& svc, std::shared_ptr<const service::Sna
     std::fprintf(stderr, "error: server loop failed: %s\n", loop_error.c_str());
     return 1;
   }
-  const net::ServerStats st = server.stats();
-  std::printf("served %llu connections, %llu batches, %llu queries "
-              "(%llu batch errors, %llu protocol errors, %llu replies dropped)\n",
-              static_cast<unsigned long long>(st.connections_accepted),
-              static_cast<unsigned long long>(st.batches_received),
-              static_cast<unsigned long long>(st.queries_answered),
-              static_cast<unsigned long long>(st.batch_errors),
-              static_cast<unsigned long long>(st.protocol_errors),
-              static_cast<unsigned long long>(st.replies_dropped));
-  if (st.deadline_exceeded != 0 || st.connections_evicted != 0) {
-    std::printf("reliability: %llu deadlines exceeded, %llu connections evicted\n",
-                static_cast<unsigned long long>(st.deadline_exceeded),
-                static_cast<unsigned long long>(st.connections_evicted));
-  }
-  if (use_registry) {
-    std::printf("registry: %llu oracles registered, %llu registrations failed, "
-                "%llu batches rejected busy, %zu tenants resident at shutdown\n",
-                static_cast<unsigned long long>(st.oracles_registered),
-                static_cast<unsigned long long>(st.registrations_failed),
-                static_cast<unsigned long long>(st.busy_rejected),
-                reg->tenant_count());
-  }
+  // Final telemetry: everything the old per-subsystem printf blocks
+  // reported (and more) now renders from the registry in one place.
+  std::fputs(obs::render_stats_lines(metrics.snapshot()).c_str(), stderr);
   return 0;
 }
 
@@ -342,6 +386,8 @@ int main(int argc, char** argv) {
   std::uint64_t failed_ttl_ms = 60000;
   std::uint64_t build_timeout_ms = 0;
   std::uint64_t cache_ttl_ms = 0;
+  std::string metrics_addr;
+  std::uint64_t trace_sample_n = 0;
   double refresh_ahead = 0.0;
   service::ShardBackoff backoff = service::ShardBackoff::from_env();
   service::SnapshotFormat save_format = service::SnapshotFormat::kV2;
@@ -432,6 +478,10 @@ int main(int argc, char** argv) {
       failed_ttl_ms = tools::cli_u64(next(), "--failed-ttl-ms");
     } else if (arg == "--build-timeout-ms") {
       build_timeout_ms = tools::cli_u64(next(), "--build-timeout-ms");
+    } else if (arg == "--metrics-addr") {
+      metrics_addr = next();
+    } else if (arg == "--trace-sample-n") {
+      trace_sample_n = tools::cli_u64(next(), "--trace-sample-n");
     } else if (arg == "--cache-ttl-ms") {
       cache_ttl_ms = tools::cli_u64(next(), "--cache-ttl-ms");
     } else if (arg == "--refresh-ahead") {
@@ -454,6 +504,10 @@ int main(int argc, char** argv) {
   // A registry listener may start empty (clients register graphs over the
   // wire); every other shape needs exactly one oracle mode.
   if (modes != 1 && !(modes == 0 && use_registry && listen)) usage();
+  if ((!metrics_addr.empty() || trace_sample_n != 0) && !listen) {
+    std::fprintf(stderr, "error: --metrics-addr/--trace-sample-n need --listen\n");
+    return 2;
+  }
   if (refresh_ahead > 0.0 && cache_ttl_ms == 0) {
     std::fprintf(stderr, "error: --refresh-ahead needs a nonzero --cache-ttl-ms\n");
     return 2;
@@ -524,7 +578,8 @@ int main(int argc, char** argv) {
       return serve_network(svc, oracle, listen_addr,
                            static_cast<std::uint16_t>(listen_port), loops, pin_workers,
                            use_registry, max_tenants, registry_bytes, idle_timeout_ms,
-                           stall_timeout_ms, failed_ttl_ms, build_timeout_ms);
+                           stall_timeout_ms, failed_ttl_ms, build_timeout_ms,
+                           metrics_addr, trace_sample_n);
     }
 
     if (!workload.empty()) {
@@ -630,16 +685,11 @@ int main(int argc, char** argv) {
                 repeat, secs * 1e3, secs > 0 ? total / secs : 0.0,
                 use_async ? ", async" : "");
     if (shards >= 1) {
-      if (const auto router = svc.router(*oracle)) {
-        const service::ShardRouterStats st = router->stats();
-        std::printf(
-            "sharding: %u workers, %llu shm segments placed once (%.2f MiB), "
-            "%llu queries routed, %llu respawns\n",
-            router->num_shards(), static_cast<unsigned long long>(st.segments_placed),
-            static_cast<double>(st.bytes_placed) / (1024.0 * 1024.0),
-            static_cast<unsigned long long>(st.queries_routed),
-            static_cast<unsigned long long>(st.respawns));
-      }
+      // Router/cache/worker telemetry, rendered from the registry (the
+      // same series --listen serves over /metrics and STATS).
+      std::fputs(
+          obs::render_stats_lines(obs::MetricsRegistry::instance().snapshot()).c_str(),
+          stderr);
     }
 
     if (!out_path.empty()) {
